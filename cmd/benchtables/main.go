@@ -1,0 +1,75 @@
+// Command benchtables regenerates the reconstructed evaluation: every
+// table and figure indexed in DESIGN.md section 4. Results print as
+// plain-text tables matching the rows recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	benchtables            # run everything (several minutes)
+//	benchtables -exp T1    # one experiment: T1 T2 T3 T4 F1 F2 F3 F4 F5 F6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+)
+
+import "goopc/internal/experiments"
+
+type runner struct {
+	name string
+	run  func(experiments.Config, io.Writer) error
+}
+
+var all = []runner{
+	{"T1", func(c experiments.Config, w io.Writer) error { return p(experiments.RunT1(c))(w) }},
+	{"T2", func(c experiments.Config, w io.Writer) error { return p(experiments.RunT2(c))(w) }},
+	{"T3", func(c experiments.Config, w io.Writer) error { return p(experiments.RunT3(c))(w) }},
+	{"T4", func(c experiments.Config, w io.Writer) error { return p(experiments.RunT4(c))(w) }},
+	{"F1", func(c experiments.Config, w io.Writer) error { return p(experiments.RunF1(c))(w) }},
+	{"F2", func(c experiments.Config, w io.Writer) error { return p(experiments.RunF2(c))(w) }},
+	{"F3", func(c experiments.Config, w io.Writer) error { return p(experiments.RunF3(c))(w) }},
+	{"F4", func(c experiments.Config, w io.Writer) error { return p(experiments.RunF4(c))(w) }},
+	{"F5", func(c experiments.Config, w io.Writer) error { return p(experiments.RunF5(c))(w) }},
+	{"F6", func(c experiments.Config, w io.Writer) error { return p(experiments.RunF6(c))(w) }},
+	{"E1", func(c experiments.Config, w io.Writer) error { return p(experiments.RunE1(c))(w) }},
+	{"E2", func(c experiments.Config, w io.Writer) error { return p(experiments.RunE2(c))(w) }},
+	{"E3", func(c experiments.Config, w io.Writer) error { return p(experiments.RunE3(c))(w) }},
+	{"E4", func(c experiments.Config, w io.Writer) error { return p(experiments.RunE4(c))(w) }},
+}
+
+// printable is any experiment result.
+type printable interface{ Print(io.Writer) }
+
+// p adapts a (result, error) pair to a deferred printer.
+func p[T printable](res T, err error) func(io.Writer) error {
+	return func(w io.Writer) error {
+		if err != nil {
+			return err
+		}
+		res.Print(w)
+		return nil
+	}
+}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (T1..T4, F1..F6) or 'all'")
+	flag.Parse()
+	cfg := experiments.Default()
+	exitCode := 0
+	for _, r := range all {
+		if !strings.EqualFold(*exp, "all") && !strings.EqualFold(*exp, r.name) {
+			continue
+		}
+		t0 := time.Now()
+		if err := r.run(cfg, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtables %s: %v\n", r.name, err)
+			exitCode = 1
+		}
+		fmt.Printf("[%s completed in %.1fs]\n\n", r.name, time.Since(t0).Seconds())
+	}
+	os.Exit(exitCode)
+}

@@ -1,0 +1,89 @@
+// Command drccheck runs the geometric design rule deck over a GDSII
+// layout (or the generated standard-cell library) and reports
+// violations — the design-side gate the OPC flow assumes is clean.
+//
+// Usage:
+//
+//	drccheck file.gds [-cell NAME]
+//	drccheck -selftest          (check the generated cell library)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"goopc/internal/drc"
+	"goopc/internal/layout"
+	"goopc/internal/layout/gen"
+)
+
+func main() {
+	cellName := flag.String("cell", "", "cell to check (default: top)")
+	selftest := flag.Bool("selftest", false, "check the generated standard-cell library")
+	flag.Parse()
+
+	if err := run(flag.Arg(0), *cellName, *selftest); err != nil {
+		fmt.Fprintln(os.Stderr, "drccheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path, cellName string, selftest bool) error {
+	deck := drc.Deck180()
+	fmt.Printf("rule deck: %d rules\n", len(deck))
+
+	if selftest {
+		ly := layout.New("selftest")
+		lib, err := gen.BuildCellLib(ly, gen.Tech180())
+		if err != nil {
+			return err
+		}
+		fail := 0
+		for _, c := range lib.Cells {
+			v := drc.CheckCell(c, deck)
+			status := "clean"
+			if len(v) > 0 {
+				status = fmt.Sprintf("%d violations", len(v))
+				fail++
+			}
+			fmt.Printf("  %-10s %s\n", c.Name, status)
+			for _, viol := range v {
+				fmt.Printf("    %v\n", viol)
+			}
+		}
+		if fail > 0 {
+			return fmt.Errorf("%d cells failed", fail)
+		}
+		return nil
+	}
+
+	if path == "" {
+		return fmt.Errorf("need a GDSII file or -selftest")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	ly, err := layout.ReadGDS(f)
+	if err != nil {
+		return err
+	}
+	cell := ly.Top
+	if cellName != "" {
+		cell = ly.Cell(cellName)
+		if cell == nil {
+			return fmt.Errorf("cell %q not found", cellName)
+		}
+	}
+	v := drc.CheckCell(cell, deck)
+	if len(v) == 0 {
+		fmt.Printf("%s: clean\n", cell.Name)
+		return nil
+	}
+	for _, viol := range v {
+		fmt.Println(" ", viol)
+	}
+	return fmt.Errorf("%s: %d violations", cell.Name, len(v))
+}

@@ -1,0 +1,122 @@
+// Command gdsplot renders a GDSII cell (or the built-in demo) to SVG.
+// With -opc it runs the correction flow on the clip and draws the
+// canonical target / corrected-mask / printed-contour overlay.
+//
+// Usage:
+//
+//	gdsplot -gds in.gds [-cell NAME] [-layer 2] -o out.svg
+//	gdsplot -demo -opc L3 -o out.svg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"goopc/internal/core"
+	"goopc/internal/geom"
+	"goopc/internal/layout"
+	"goopc/internal/opc"
+	"goopc/internal/optics"
+	"goopc/internal/render"
+	"goopc/internal/resist"
+)
+
+func main() {
+	gdsPath := flag.String("gds", "", "GDSII input")
+	cellName := flag.String("cell", "", "cell (default top)")
+	layerNum := flag.Int("layer", 2, "layer to draw")
+	out := flag.String("o", "out.svg", "output SVG path")
+	demo := flag.Bool("demo", false, "use the built-in line-end demo clip")
+	opcLevel := flag.String("opc", "", "run OPC at this level (L1/L2/L3) and overlay mask+contour")
+	flag.Parse()
+	if err := run(*gdsPath, *cellName, layout.Layer(*layerNum), *out, *demo, *opcLevel); err != nil {
+		fmt.Fprintln(os.Stderr, "gdsplot:", err)
+		os.Exit(1)
+	}
+}
+
+func run(gdsPath, cellName string, l layout.Layer, out string, demo bool, opcLevel string) error {
+	var target []geom.Polygon
+	switch {
+	case demo:
+		target = []geom.Polygon{
+			geom.R(-90, -2200, 90, 0).Polygon(),
+			geom.R(270, -2200, 450, 2200).Polygon(),
+			geom.R(-450, -2200, -270, 2200).Polygon(),
+		}
+	case gdsPath != "":
+		f, err := os.Open(gdsPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		ly, err := layout.ReadGDS(f)
+		if err != nil {
+			return err
+		}
+		cell := ly.Top
+		if cellName != "" {
+			if cell = ly.Cell(cellName); cell == nil {
+				return fmt.Errorf("cell %q not found", cellName)
+			}
+		}
+		target = layout.Flatten(cell, l)
+	default:
+		return fmt.Errorf("need -gds or -demo")
+	}
+	if len(target) == 0 {
+		return fmt.Errorf("no geometry")
+	}
+	window := opc.WindowFor(target, 600)
+
+	scene := render.Scene{
+		Window: window,
+		Layers: []render.LayerArt{{
+			Name: "drawn", Polys: target,
+			Style: render.Style{Fill: render.Palette[0], Opacity: 0.7},
+		}},
+	}
+	if opcLevel != "" {
+		var level core.Level
+		switch opcLevel {
+		case "L1":
+			level = core.L1
+		case "L2":
+			level = core.L2
+		case "L3":
+			level = core.L3
+		default:
+			return fmt.Errorf("unknown level %q", opcLevel)
+		}
+		s := optics.Default()
+		s.SourceSteps = 5
+		s.GuardNM = 1200
+		fmt.Println("calibrating flow...")
+		flow, err := core.NewFlow(core.Options{Optics: s, BiasSpaces: []geom.Coord{240, 420}})
+		if err != nil {
+			return err
+		}
+		res, _, err := flow.Correct(target, level)
+		if err != nil {
+			return err
+		}
+		im, err := flow.Sim.Aerial(res.AllMask(), window)
+		if err != nil {
+			return err
+		}
+		contours := resist.Contours(im, flow.Threshold, window)
+		scene = render.TargetMaskWafer(window, target, res.Corrected, res.SRAFs, contours)
+	}
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := scene.WriteSVG(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (window %v)\n", out, window)
+	return nil
+}

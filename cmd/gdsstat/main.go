@@ -1,0 +1,64 @@
+// Command gdsstat prints figure, vertex, reference and byte statistics
+// for GDSII files — the quantities OPC adoption inflates. With -layout
+// it also reports hierarchy statistics (stored vs expanded figures).
+//
+// Usage:
+//
+//	gdsstat [-layout] file.gds...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"goopc/internal/gds"
+	"goopc/internal/layout"
+)
+
+func main() {
+	layoutStats := flag.Bool("layout", false, "also report hierarchy statistics")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: gdsstat [-layout] file.gds...")
+		os.Exit(2)
+	}
+	exit := 0
+	for _, path := range flag.Args() {
+		if err := report(path, *layoutStats); err != nil {
+			fmt.Fprintf(os.Stderr, "gdsstat: %s: %v\n", path, err)
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+func report(path string, layoutStats bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	lib, err := gds.Read(f)
+	if err != nil {
+		return err
+	}
+	st, err := gds.CollectWithBytes(lib)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: lib=%q %s\n", path, lib.Name, st)
+	if layoutStats {
+		ly, err := layout.FromGDS(lib)
+		if err != nil {
+			return err
+		}
+		hs, err := layout.CollectHierStats(ly)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  hierarchy: cells=%d instances=%d placements=%d stored=%d expanded=%d compression=%.1fx\n",
+			hs.Cells, hs.Instances, hs.Placements, hs.StoredFigures, hs.ExpandedFigures, hs.CompressionRatio)
+	}
+	return nil
+}

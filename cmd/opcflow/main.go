@@ -1,0 +1,246 @@
+// Command opcflow runs the full OPC adoption flow on a layer: correct
+// at a chosen level (or all levels), verify, and print the impact
+// report — fidelity gained, mask data paid. Input is a GDSII file or a
+// built-in generated workload.
+//
+// Usage:
+//
+//	opcflow -workload stdcell [-level L3] [-out corrected.gds]
+//	opcflow -gds in.gds -layer 2 [-level all]
+//	opcflow -gds in.gds -deck job.json [-out corrected.gds]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"goopc/internal/core"
+	"goopc/internal/geom"
+	"goopc/internal/jobdeck"
+	"goopc/internal/layout"
+	"goopc/internal/layout/gen"
+	"goopc/internal/optics"
+)
+
+func main() {
+	gdsPath := flag.String("gds", "", "GDSII input file")
+	layerNum := flag.Int("layer", 2, "layer to correct")
+	workload := flag.String("workload", "", "built-in workload: stdcell | sram | routed | patterns")
+	levelFlag := flag.String("level", "all", "adoption level: L0 | L1 | L2 | L3 | all")
+	outPath := flag.String("out", "", "write corrected geometry to this GDSII file (single level only)")
+	deckPath := flag.String("deck", "", "JSON job deck: run a multi-layer tape-out job")
+	fast := flag.Bool("fast", true, "reduced source sampling for speed")
+	flag.Parse()
+
+	var err error
+	if *deckPath != "" {
+		err = runDeck(*deckPath, *gdsPath, *outPath)
+	} else {
+		err = run(*gdsPath, layout.Layer(*layerNum), *workload, *levelFlag, *outPath, *fast)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "opcflow:", err)
+		os.Exit(1)
+	}
+}
+
+// runDeck executes a JSON job deck against a GDSII layout and writes
+// the layout (now carrying OPC output layers) back out.
+func runDeck(deckPath, gdsPath, outPath string) error {
+	df, err := os.Open(deckPath)
+	if err != nil {
+		return err
+	}
+	deck, err := jobdeck.Parse(df)
+	df.Close()
+	if err != nil {
+		return err
+	}
+	if gdsPath == "" {
+		return fmt.Errorf("-deck needs -gds input")
+	}
+	gf, err := os.Open(gdsPath)
+	if err != nil {
+		return err
+	}
+	ly, err := layout.ReadGDS(gf)
+	gf.Close()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("deck %q on %q: calibrating...\n", deck.Name, gdsPath)
+	rep, err := jobdeck.Run(deck, ly)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("threshold %.3f\n", rep.Threshold)
+	for _, lr := range rep.Layers {
+		fmt.Printf("  layer %v %-16s mode=%-4s cells=%d tiles=%d figures=%d %.1fs\n",
+			lr.Layer, lr.Level, lr.Mode, lr.Cells, lr.Tiles, lr.Figures, lr.Seconds)
+	}
+	if outPath != "" {
+		out, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer out.Close()
+		n, err := layout.WriteGDS(out, ly)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d bytes, drawn + OPC layers)\n", outPath, n)
+	}
+	return nil
+}
+
+func run(gdsPath string, l layout.Layer, workload, levelFlag, outPath string, fast bool) error {
+	target, err := loadTarget(gdsPath, l, workload)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("target: %d polygons on layer %v\n", len(target), l)
+
+	s := optics.Default()
+	if fast {
+		s.SourceSteps = 5
+		s.GuardNM = 1200
+	}
+	fmt.Println("calibrating flow (threshold + rule table)...")
+	flow, err := core.NewFlow(core.Options{Optics: s, BiasSpaces: []geom.Coord{240, 320, 420, 560}})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("calibrated: threshold=%.3f ambit=%d nm\n\n", flow.Threshold, flow.Ambit)
+
+	levels, err := parseLevels(levelFlag)
+	if err != nil {
+		return err
+	}
+	for _, level := range levels {
+		if len(target) > 40 {
+			// Large targets go through the tiled engine; report data only.
+			res, st, err := flow.CorrectWindowed(target, level, 4*flow.Ambit, true)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-16s tiles=%d time=%.2fs worstRMS=%.2f polygons=%d\n",
+				level, st.Tiles, st.Seconds, st.WorstRMS, len(res.Corrected))
+			if outPath != "" && len(levels) == 1 {
+				if err := writeOut(outPath, res.Corrected, l); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		imp, err := flow.Assess(target, level)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-16s EPE mean=%.1f rms=%.1f max=%.1f nm | hotspots pinch=%d bridge=%d lobe=%d epe=%d | figures=%d shots=%d gds=%dB mrc=%d | correct=%.2fs verify=%.2fs\n",
+			imp.Level, imp.EPE.MeanAbs, imp.EPE.RMS, imp.EPE.Max,
+			imp.Pinches, imp.Bridges, imp.SideLobes, imp.EPEViolations,
+			imp.Data.Figures, imp.Data.Shots, imp.Data.GDSBytes, imp.MRCViolations,
+			imp.CorrectSec, imp.VerifySec)
+		if outPath != "" && len(levels) == 1 {
+			res, _, err := flow.Correct(target, level)
+			if err != nil {
+				return err
+			}
+			if err := writeOut(outPath, res.AllMask(), l); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func loadTarget(gdsPath string, l layout.Layer, workload string) ([]geom.Polygon, error) {
+	if gdsPath != "" {
+		f, err := os.Open(gdsPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		ly, err := layout.ReadGDS(f)
+		if err != nil {
+			return nil, err
+		}
+		return layout.Flatten(ly.Top, l), nil
+	}
+	ly := layout.New("workload")
+	rng := rand.New(rand.NewSource(1))
+	switch workload {
+	case "stdcell":
+		lib, err := gen.BuildCellLib(ly, gen.Tech180())
+		if err != nil {
+			return nil, err
+		}
+		block, err := gen.BuildBlock(ly, lib, "BLOCK", 2, 4, rng)
+		if err != nil {
+			return nil, err
+		}
+		return layout.Flatten(block, layout.Poly), nil
+	case "sram":
+		arr, err := gen.BuildSRAM(ly, gen.Tech180(), "SRAM", 4, 4)
+		if err != nil {
+			return nil, err
+		}
+		return layout.Flatten(arr, layout.Poly), nil
+	case "routed":
+		blk, err := gen.BuildRoutedBlock(ly, gen.Tech180(), "RT", 20000, 20000, 16, rng)
+		if err != nil {
+			return nil, err
+		}
+		return layout.Flatten(blk, layout.Metal1), nil
+	case "patterns":
+		cell, _, err := gen.ThroughPitch(ly, "TP", layout.Poly, 180,
+			[]geom.Coord{360, 520, 800}, 3000, 5)
+		if err != nil {
+			return nil, err
+		}
+		return layout.Flatten(cell, layout.Poly), nil
+	case "":
+		return nil, fmt.Errorf("need -gds or -workload")
+	}
+	return nil, fmt.Errorf("unknown workload %q", workload)
+}
+
+func parseLevels(s string) ([]core.Level, error) {
+	if strings.EqualFold(s, "all") {
+		return core.Levels, nil
+	}
+	switch strings.ToUpper(s) {
+	case "L0":
+		return []core.Level{core.L0}, nil
+	case "L1":
+		return []core.Level{core.L1}, nil
+	case "L2":
+		return []core.Level{core.L2}, nil
+	case "L3":
+		return []core.Level{core.L3}, nil
+	}
+	return nil, fmt.Errorf("unknown level %q", s)
+}
+
+func writeOut(path string, polys []geom.Polygon, l layout.Layer) error {
+	out := layout.New("corrected")
+	cell := out.MustCell("TOP")
+	for _, p := range polys {
+		cell.AddPolygon(layout.OPCLayer(l), p)
+	}
+	out.SetTop(cell)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	n, err := layout.WriteGDS(f, out)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d bytes)\n", path, n)
+	return nil
+}

@@ -1,0 +1,75 @@
+// Hotspot-library example: find printability failures by simulation
+// once, capture them as 2D geometry patterns, then screen a new design
+// for the same configurations with zero simulation — the workflow that
+// turned OPC verification into pattern-based design rules.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"goopc"
+)
+
+func main() {
+	fmt.Println("calibrating flow...")
+	opt := goopc.DefaultOptics()
+	opt.SourceSteps = 5
+	opt.GuardNM = 1200
+	flow, err := goopc.NewFlow(goopc.Options{Optics: opt, SkipBiasTable: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A test-chip clip with two marginal constructs: a sub-resolution
+	// space (bridges) and a sub-resolution line (pinches).
+	testChip := []goopc.Polygon{
+		// Bridge risk: 60 nm space between wide lines.
+		goopc.Rectangle(-460, -2000, -30, 2000),
+		goopc.Rectangle(30, -2000, 460, 2000),
+		// Pinch risk: 60 nm line, far away.
+		goopc.Rectangle(9970, -2000, 10030, 2000),
+	}
+	fmt.Println("verifying test chip at L0 and capturing hotspot patterns...")
+	hl, err := flow.BuildHotspotLibrary(testChip, goopc.L0, 600)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("captured %d hotspot pattern(s):\n", hl.Lib.Len())
+	for _, c := range hl.Captured {
+		fmt.Printf("  %-10s anchored at %v\n", c.Kind, c.Anchor)
+	}
+
+	// A "product" design reuses one bad construct among clean geometry.
+	var product []goopc.Polygon
+	product = append(product,
+		goopc.Rectangle(0, 0, 180, 4000),     // clean line
+		goopc.Rectangle(540, 0, 720, 4000),   // clean line
+		goopc.Rectangle(1080, 0, 1260, 4000), // clean line
+	)
+	// The same 60 nm space construct, placed far from the original.
+	product = append(product,
+		goopc.Rectangle(20000-460, 5000, 20000-30, 9000),
+		goopc.Rectangle(20000+30, 5000, 20000+460, 9000),
+	)
+	fmt.Println("\nscreening the product design (no simulation)...")
+	matches := hl.Screen(product)
+	if len(matches) == 0 {
+		fmt.Println("no known hotspots found")
+		return
+	}
+	for _, m := range matches {
+		fmt.Printf("  known hotspot %q found at %v\n", m.Name, m.At)
+	}
+
+	// The screen is geometric: fixing the spacing clears it.
+	fixed := []goopc.Polygon{
+		goopc.Rectangle(20000-560, 5000, 20000-130, 9000),
+		goopc.Rectangle(20000+130, 5000, 20000+560, 9000),
+	}
+	if rem := hl.Screen(fixed); len(rem) == 0 {
+		fmt.Println("after widening the space: screen is clean")
+	} else {
+		fmt.Printf("after fix: %d matches remain\n", len(rem))
+	}
+}

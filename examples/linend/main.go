@@ -1,0 +1,64 @@
+// Line-end example: the single most visible OPC effect. Measures the
+// printed pullback of a line tip uncorrected, with a rule-based
+// hammerhead, and with converged model OPC — then shows the gap-closure
+// risk when two tips face each other.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"goopc"
+	"goopc/internal/resist"
+)
+
+func main() {
+	fmt.Println("calibrating flow...")
+	flow, err := goopc.NewFlow(goopc.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Part 1: isolated tip at y=0.
+	tip := []goopc.Polygon{goopc.Rectangle(-90, -2600, 90, 0)}
+	fmt.Println("\nisolated 180 nm line tip (drawn end at y=0):")
+	for _, level := range goopc.Levels {
+		res, _, err := flow.Correct(tip, level)
+		if err != nil {
+			log.Fatal(err)
+		}
+		im, err := flow.Sim.Aerial(res.AllMask(), goopc.Rectangle(-500, -1100, 500, 400).BBox())
+		if err != nil {
+			log.Fatal(err)
+		}
+		d, ok := im.FindCrossing(0, -1000, 0, 1, flow.Threshold, 1600)
+		if !ok {
+			log.Fatalf("%v: no contour", level)
+		}
+		fmt.Printf("  %-16s printed tip at y=%+.1f nm (pullback %.1f)\n", level, d-1000, 1000-d)
+	}
+
+	// Part 2: facing tips across a 300 nm gap — pullback widens the
+	// gap; over-correction risks bridging it.
+	gapTarget := []goopc.Polygon{
+		goopc.Rectangle(-90, -2600, 90, -150),
+		goopc.Rectangle(-90, 150, 90, 2600),
+	}
+	fmt.Println("\nfacing tips across a drawn 300 nm gap:")
+	for _, level := range goopc.Levels {
+		res, _, err := flow.Correct(gapTarget, level)
+		if err != nil {
+			log.Fatal(err)
+		}
+		im, err := flow.Sim.Aerial(res.AllMask(), goopc.Rectangle(-500, -800, 500, 800).BBox())
+		if err != nil {
+			log.Fatal(err)
+		}
+		gap, err := resist.MeasureGap(im, flow.Threshold, 0, 0, false, 1500)
+		if err != nil {
+			fmt.Printf("  %-16s gap closed (bridge)\n", level)
+			continue
+		}
+		fmt.Printf("  %-16s printed gap %.1f nm (drawn 300)\n", level, gap)
+	}
+}

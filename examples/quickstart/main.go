@@ -1,0 +1,42 @@
+// Quickstart: calibrate a flow, correct an isolated line with a line
+// end at every adoption level, and print the fidelity/cost tradeoff —
+// the library's core loop in ~40 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"goopc"
+)
+
+func main() {
+	// A flow is calibrated once per process: dose-to-size threshold
+	// calibration plus rule-table generation by simulation. The zero
+	// options select the 248 nm / NA 0.68 baseline.
+	fmt.Println("calibrating 248 nm flow...")
+	flow, err := goopc.NewFlow(goopc.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("resist threshold: %.3f of clear field\n\n", flow.Threshold)
+
+	// The target: a 180 nm line ending in free space — the classic
+	// OPC-demanding pattern (line-end pullback plus iso-dense bias).
+	target := []goopc.Polygon{
+		goopc.Rectangle(-90, -2200, 90, 0),
+	}
+
+	fmt.Println("level            EPE-rms  EPE-max  figures  shots  gds-bytes")
+	for _, level := range goopc.Levels {
+		impact, err := flow.Assess(target, level)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-16s %7.1f  %7.1f  %7d  %5d  %9d\n",
+			level, impact.EPE.RMS, impact.EPE.Max,
+			impact.Data.Figures, impact.Data.Shots, impact.Data.GDSBytes)
+	}
+	fmt.Println("\nFidelity improves monotonically with adoption level;")
+	fmt.Println("mask data volume is the price paid.")
+}

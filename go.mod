@@ -1,0 +1,3 @@
+module goopc
+
+go 1.22

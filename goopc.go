@@ -1,0 +1,193 @@
+// Package goopc is the public surface of the OPC adoption library: a
+// from-scratch Go implementation of a 2001-era optical proximity
+// correction flow — GDSII layout in, calibrated partially-coherent
+// aerial-image model, rule-based and model-based correction, post-OPC
+// verification, mask data preparation — together with the impact
+// metrics (print fidelity, mask data volume, hierarchy survival,
+// design-rule headroom, runtime) that the DAC 2001 paper "Adoption of
+// OPC and the Impact on Design and Layout" discusses.
+//
+// The implementation lives under internal/; this package re-exports the
+// supported API. Quick start:
+//
+//	flow, err := goopc.NewFlow(goopc.Options{})
+//	target := []goopc.Polygon{goopc.Rectangle(0, 0, 180, 2000)}
+//	mask, conv, err := flow.Correct(target, goopc.L3)
+//	impact, err := flow.Assess(target, goopc.L3)
+package goopc
+
+import (
+	"io"
+
+	"goopc/internal/core"
+	"goopc/internal/gds"
+	"goopc/internal/geom"
+	"goopc/internal/layout"
+	"goopc/internal/opc"
+	"goopc/internal/opc/model"
+	"goopc/internal/optics"
+	"goopc/internal/orc"
+	"goopc/internal/resist"
+)
+
+// Geometry types.
+type (
+	// Coord is a layout coordinate in database units (1 DBU = 1 nm).
+	Coord = geom.Coord
+	// Point is a layout location.
+	Point = geom.Point
+	// Rect is an axis-aligned rectangle.
+	Rect = geom.Rect
+	// Polygon is a closed rectilinear ring.
+	Polygon = geom.Polygon
+	// Region is a set of disjoint rectangles with boolean operations.
+	Region = geom.Region
+	// Xform is a placement transform (orientation + magnification +
+	// offset).
+	Xform = geom.Xform
+	// Orient is one of the eight right-angle placement orientations.
+	Orient = geom.Orient
+)
+
+// Identity returns the no-op placement transform.
+func Identity() Xform { return geom.Identity() }
+
+// Pt builds a Point.
+func Pt(x, y Coord) Point { return geom.Pt(x, y) }
+
+// Rectangle builds the 4-point ring of a rectangle.
+func Rectangle(x0, y0, x1, y1 Coord) Polygon { return geom.R(x0, y0, x1, y1).Polygon() }
+
+// Flow types: the correction pipeline and its knobs.
+type (
+	// Flow is a calibrated correction flow; see core.Flow.
+	Flow = core.Flow
+	// Options configures NewFlow.
+	Options = core.Options
+	// Level is the OPC adoption level.
+	Level = core.Level
+	// Impact quantifies what one level did to one layout clip.
+	Impact = core.Impact
+	// PitchResult is one point of the design-rule exploration sweep.
+	PitchResult = core.PitchResult
+	// TileStats reports a windowed full-layer correction.
+	TileStats = core.TileStats
+	// HierarchyImpact reports context-variant counting.
+	HierarchyImpact = core.HierarchyImpact
+	// Convergence is the model-OPC iteration trace.
+	Convergence = model.Convergence
+	// CorrectionResult is a corrected mask (main features + assists).
+	CorrectionResult = opc.Result
+	// EPEStats summarizes edge placement error.
+	EPEStats = opc.EPEStats
+)
+
+// Adoption levels.
+const (
+	// L0 sends drawn data to the mask unchanged.
+	L0 = core.L0
+	// L1 applies rule-based OPC (bias tables, hammerheads, serifs).
+	L1 = core.L1
+	// L2 applies single-pass model-based OPC.
+	L2 = core.L2
+	// L3 applies converged model-based OPC with scattering bars.
+	L3 = core.L3
+)
+
+// Levels lists all adoption levels in order.
+var Levels = core.Levels
+
+// NewFlow calibrates a correction flow: dose-to-size threshold
+// calibration against the anchor pattern, then rule-table generation by
+// simulation. The zero Options value selects the 248 nm / NA 0.68
+// baseline with a 250 nm / 500 nm anchor.
+func NewFlow(o Options) (*Flow, error) { return core.NewFlow(o) }
+
+// AnalyzeHierarchyImpact counts the corrected cell variants a
+// context-dependent hierarchical OPC flow needs.
+func AnalyzeHierarchyImpact(ly *Layout, l Layer, radius Coord) (HierarchyImpact, error) {
+	return core.AnalyzeHierarchyImpact(ly, l, radius)
+}
+
+// Layout database types.
+type (
+	// Layout is a hierarchical cell database.
+	Layout = layout.Layout
+	// Cell is one named piece of layout.
+	Cell = layout.Cell
+	// Layer identifies a mask layer.
+	Layer = layout.Layer
+)
+
+// Common process layers (see internal/layout for the full map).
+const (
+	Active  = layout.Active
+	Poly    = layout.Poly
+	Contact = layout.Contact
+	Metal1  = layout.Metal1
+	Via1    = layout.Via1
+	Metal2  = layout.Metal2
+)
+
+// NewLayout creates an empty layout database.
+func NewLayout(name string) *Layout { return layout.New(name) }
+
+// Flatten expands one layer under a cell with all transforms applied.
+func Flatten(c *Cell, l Layer) []Polygon { return layout.Flatten(c, l) }
+
+// ReadGDS parses a GDSII stream into a layout.
+func ReadGDS(r io.Reader) (*Layout, error) { return layout.ReadGDS(r) }
+
+// WriteGDS serializes a layout as a GDSII stream and returns the byte
+// count (the mask data volume).
+func WriteGDS(w io.Writer, ly *Layout) (int64, error) { return layout.WriteGDS(w, ly) }
+
+// GDSLibrary is the lower-level GDSII model for callers that need
+// element access rather than the cell database.
+type GDSLibrary = gds.Library
+
+// Imaging and verification types for advanced use.
+type (
+	// OpticsSettings describes the exposure system.
+	OpticsSettings = optics.Settings
+	// Simulator computes aerial images.
+	Simulator = optics.Simulator
+	// AerialImage is a computed intensity field.
+	AerialImage = optics.Image
+	// Checker is the post-OPC verification engine.
+	Checker = orc.Checker
+	// VerifyReport is a verification outcome.
+	VerifyReport = orc.Report
+	// PWSite is a process-window CD monitor.
+	PWSite = orc.PWSite
+	// PWResult is an exposure-defocus analysis.
+	PWResult = orc.PWResult
+)
+
+// DefaultOptics returns the 248 nm KrF baseline settings.
+func DefaultOptics() OpticsSettings { return optics.Default() }
+
+// AnnularOptics returns the off-axis illumination variant.
+func AnnularOptics() OpticsSettings { return optics.DefaultAnnular() }
+
+// NewSimulator validates settings and builds an aerial-image simulator.
+func NewSimulator(s OpticsSettings) (*Simulator, error) { return optics.New(s) }
+
+// CalibrateThreshold performs dose-to-size calibration: the intensity
+// threshold at which the anchor line/space pattern prints at its drawn
+// CD.
+func CalibrateThreshold(sim *Simulator, anchorCD, anchorPitch Coord) (float64, error) {
+	return resist.CalibrateThreshold(sim, anchorCD, anchorPitch)
+}
+
+// NewChecker builds a post-OPC verification engine with production
+// defaults.
+func NewChecker(sim *Simulator, threshold float64) *Checker {
+	return orc.NewChecker(sim, threshold)
+}
+
+// AnalyzeProcessWindow runs the exposure-defocus matrix for a mask.
+func AnalyzeProcessWindow(sim *Simulator, threshold float64, mask []Polygon,
+	window Rect, sites []PWSite, focuses, doses []float64) (*PWResult, error) {
+	return orc.AnalyzeWindow(sim, threshold, mask, window, sites, focuses, doses)
+}

@@ -1,0 +1,154 @@
+package goopc_test
+
+// Public API smoke tests: everything a downstream user touches through
+// the root package, exercised end to end.
+
+import (
+	"bytes"
+	"testing"
+
+	"goopc"
+)
+
+func apiFlow(t *testing.T) *goopc.Flow {
+	t.Helper()
+	opt := goopc.DefaultOptics()
+	opt.SourceSteps = 5
+	opt.GuardNM = 1200
+	flow, err := goopc.NewFlow(goopc.Options{Optics: opt, SkipBiasTable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return flow
+}
+
+func TestPublicGeometryHelpers(t *testing.T) {
+	p := goopc.Rectangle(0, 0, 100, 200)
+	if p.Area() != 20000 {
+		t.Errorf("area = %d", p.Area())
+	}
+	if goopc.Pt(3, 4) != (goopc.Point{X: 3, Y: 4}) {
+		t.Error("Pt mismatch")
+	}
+}
+
+func TestPublicFlowCorrectAssess(t *testing.T) {
+	flow := apiFlow(t)
+	target := []goopc.Polygon{goopc.Rectangle(-90, -2000, 90, 0)}
+	mask, conv, err := flow.Correct(target, goopc.L2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conv == nil || len(mask.Corrected) == 0 {
+		t.Fatal("no correction result")
+	}
+	imp, err := flow.Assess(target, goopc.L0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imp.EPE.Sites == 0 || imp.Data.Figures != 1 {
+		t.Errorf("impact: %+v", imp)
+	}
+	if len(goopc.Levels) != 4 {
+		t.Error("Levels")
+	}
+}
+
+func TestPublicLayoutAndGDS(t *testing.T) {
+	ly := goopc.NewLayout("api")
+	cell := ly.MustCell("TOP")
+	cell.AddPolygon(goopc.Poly, goopc.Rectangle(0, 0, 180, 2000))
+	ly.SetTop(cell)
+	var buf bytes.Buffer
+	n, err := goopc.WriteGDS(&buf, ly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Error("byte count mismatch")
+	}
+	back, err := goopc.ReadGDS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	polys := goopc.Flatten(back.Top, goopc.Poly)
+	if len(polys) != 1 || polys[0].Area() != 180*2000 {
+		t.Errorf("round trip: %v", polys)
+	}
+}
+
+func TestPublicSimulatorAndChecker(t *testing.T) {
+	opt := goopc.DefaultOptics()
+	opt.SourceSteps = 5
+	opt.GuardNM = 1200
+	sim, err := goopc.NewSimulator(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := goopc.CalibrateThreshold(sim, 250, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checker := goopc.NewChecker(sim, th)
+	target := []goopc.Polygon{goopc.Rectangle(-125, -2000, 125, 2000)}
+	rep, err := checker.Check(target, goopc.CorrectionResult{Corrected: target},
+		goopc.Rectangle(-800, -800, 800, 800).BBox())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.EPE.Sites == 0 {
+		t.Error("no sites checked")
+	}
+	// Annular preset is valid.
+	if _, err := goopc.NewSimulator(goopc.AnnularOptics()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPublicProcessWindow(t *testing.T) {
+	opt := goopc.DefaultOptics()
+	opt.SourceSteps = 5
+	opt.GuardNM = 1200
+	sim, err := goopc.NewSimulator(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := goopc.CalibrateThreshold(sim, 250, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mask []goopc.Polygon
+	for i := -3; i <= 3; i++ {
+		x := goopc.Coord(i) * 500
+		mask = append(mask, goopc.Rectangle(x-125, -2000, x+125, 2000))
+	}
+	res, err := goopc.AnalyzeProcessWindow(sim, th, mask,
+		goopc.Rectangle(-400, -300, 400, 300).BBox(),
+		[]goopc.PWSite{{Name: "d", At: goopc.Pt(0, 0), Horizontal: true, TargetCD: 250, TolFrac: 0.1}},
+		[]float64{-300, 0, 300}, []float64{0.95, 1.0, 1.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.InSpec[1][1] {
+		t.Error("nominal out of spec")
+	}
+}
+
+func TestPublicHierarchyAnalysis(t *testing.T) {
+	ly := goopc.NewLayout("h")
+	bit := ly.MustCell("BIT")
+	bit.AddPolygon(goopc.Poly, goopc.Rectangle(0, 0, 180, 1000))
+	top := ly.MustCell("TOP")
+	top.PlaceArray(bit, goopc.Identity(), 8, 8, goopc.Pt(1000, 0), goopc.Pt(0, 2000))
+	ly.SetTop(top)
+	imp, err := goopc.AnalyzeHierarchyImpact(ly, goopc.Poly, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imp.Placements != 64 {
+		t.Errorf("placements = %d", imp.Placements)
+	}
+	if imp.TotalVariants >= imp.Placements {
+		t.Error("array interior should share contexts")
+	}
+}

@@ -1,0 +1,245 @@
+// Package core implements the paper's subject matter: the OPC adoption
+// flow. It wires the substrates together — layout in, calibrated
+// imaging model, rule-based or model-based correction at a selectable
+// adoption level, post-OPC verification, mask data preparation — and
+// quantifies what each correction level costs and buys: print fidelity,
+// mask data volume, hierarchy survival, design-rule headroom, and flow
+// runtime. Every experiment in DESIGN.md drives this package.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"goopc/internal/geom"
+	"goopc/internal/mask"
+	"goopc/internal/opc"
+	"goopc/internal/opc/model"
+	"goopc/internal/opc/rules"
+	"goopc/internal/optics"
+	"goopc/internal/orc"
+	"goopc/internal/resist"
+)
+
+// Level is the OPC adoption level, the paper's central knob.
+type Level int
+
+// Adoption levels.
+const (
+	// L0: no correction — the drawn data goes to the mask.
+	L0 Level = iota
+	// L1: rule-based OPC — bias tables, hammerheads, serifs.
+	L1
+	// L2: model-based OPC, single correction pass.
+	L2
+	// L3: model-based OPC iterated to convergence, with scattering bars.
+	L3
+)
+
+// Levels lists all adoption levels in order.
+var Levels = []Level{L0, L1, L2, L3}
+
+func (l Level) String() string {
+	switch l {
+	case L0:
+		return "L0-none"
+	case L1:
+		return "L1-rules"
+	case L2:
+		return "L2-model-1pass"
+	case L3:
+		return "L3-model-full"
+	}
+	return fmt.Sprintf("L%d", int(l))
+}
+
+// Flow is a calibrated correction flow: one exposure setup, one resist
+// threshold, one rule deck, ready to correct and assess layouts at any
+// adoption level.
+type Flow struct {
+	Sim       *optics.Simulator
+	Threshold float64
+	// Rules is the rule-based recipe (L1); its bias table is built
+	// during flow setup.
+	Rules rules.Recipe
+	// ModelIter1 and ModelIterFull are the iteration budgets of L2 and
+	// L3.
+	ModelIter1, ModelIterFull int
+	// Damping is the model-OPC feedback gain.
+	Damping float64
+	// Spec is the shared fragmentation recipe.
+	Spec geom.FragmentSpec
+	// MRC clamps all corrections.
+	MRC opc.MRC
+	// Checker verifies the result; Writer and MaskRules cost it.
+	Checker   *orc.Checker
+	Writer    mask.WriterModel
+	MaskRules mask.MRCRules
+	// Ambit is the optical interaction distance used for windows (DBU).
+	Ambit geom.Coord
+	// TilePasses is the number of context passes CorrectWindowed runs
+	// for iterated model correction (0 selects the default of 2).
+	TilePasses int
+	// RetargetMinCD, when positive, widens drawn features narrower than
+	// this before any correction (the pre-OPC retargeting stage); the
+	// EPE target remains the retargeted geometry.
+	RetargetMinCD geom.Coord
+	// AnchorCD and AnchorPitch record the calibration anchor.
+	AnchorCD, AnchorPitch geom.Coord
+}
+
+// Options configures flow construction.
+type Options struct {
+	// Optics defaults to optics.Default() when zero-valued.
+	Optics optics.Settings
+	// AnchorCD / AnchorPitch: the dose-to-size anchor (250/500 default).
+	AnchorCD, AnchorPitch geom.Coord
+	// BiasSpaces are the rule-table environment bins (defaults provided).
+	BiasSpaces []geom.Coord
+	// SkipBiasTable skips rule-table generation (L1 then biases by 0 and
+	// only applies hammerheads/serifs) — useful for fast tests.
+	SkipBiasTable bool
+}
+
+// NewFlow calibrates the resist threshold against the anchor and builds
+// the rule-based bias table by simulation. This mirrors a real process
+// bring-up: calibrate once, correct many.
+func NewFlow(o Options) (*Flow, error) {
+	s := o.Optics
+	if s.LambdaNM == 0 {
+		s = optics.Default()
+	}
+	sim, err := optics.New(s)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if o.AnchorCD == 0 {
+		o.AnchorCD, o.AnchorPitch = 250, 500
+	}
+	th, err := resist.CalibrateThreshold(sim, o.AnchorCD, o.AnchorPitch)
+	if err != nil {
+		return nil, fmt.Errorf("core: calibration: %w", err)
+	}
+	f := &Flow{
+		Sim:           sim,
+		Threshold:     th,
+		Rules:         rules.DefaultRecipe(),
+		ModelIter1:    1,
+		ModelIterFull: 8,
+		Damping:       0.7,
+		Spec:          geom.DefaultFragmentSpec(),
+		MRC:           opc.DefaultMRC(),
+		Checker:       orc.NewChecker(sim, th),
+		Writer:        mask.DefaultWriter(),
+		MaskRules:     mask.DefaultMRCRules(),
+		Ambit:         geom.Coord(2 * s.LambdaNM / s.NA),
+		AnchorCD:      o.AnchorCD,
+		AnchorPitch:   o.AnchorPitch,
+	}
+	if !o.SkipBiasTable {
+		spaces := o.BiasSpaces
+		if len(spaces) == 0 {
+			spaces = []geom.Coord{240, 320, 420, 560, 800}
+		}
+		tab, err := rules.BuildBiasTable(sim, th, 180, spaces)
+		if err != nil {
+			return nil, fmt.Errorf("core: bias table: %w", err)
+		}
+		f.Rules.Bias = tab
+	}
+	return f, nil
+}
+
+// Correct runs the given adoption level on a flat target layer and
+// returns the corrected mask plus the model convergence trace (nil for
+// L0/L1).
+func (f *Flow) Correct(target []geom.Polygon, level Level) (opc.Result, *model.Convergence, error) {
+	if len(target) == 0 {
+		return opc.Result{}, nil, fmt.Errorf("core: empty target")
+	}
+	if f.RetargetMinCD > 0 && level != L0 {
+		rt, err := opc.Retarget(target, f.RetargetMinCD)
+		if err != nil {
+			return opc.Result{}, nil, err
+		}
+		target = rt
+	}
+	switch level {
+	case L0:
+		return opc.Uncorrected(target), nil, nil
+	case L1:
+		return f.Rules.Apply(target), nil, nil
+	case L2, L3:
+		eng := model.New(f.Sim, f.Threshold)
+		eng.Spec = f.Spec
+		eng.MRC = f.MRC
+		eng.Damping = f.Damping
+		if level == L2 {
+			eng.MaxIter = f.ModelIter1
+		} else {
+			eng.MaxIter = f.ModelIterFull
+			// L3 adds assist features from the rule recipe before model
+			// iteration, then freezes them.
+			sraf := f.Rules
+			sraf.Bias = rules.BiasTable{}
+			sraf.HammerExt, sraf.HammerWing, sraf.SerifSize = 0, 0, 0
+			eng.SRAFs = sraf.Apply(target).SRAFs
+		}
+		window := opc.WindowFor(target, f.Ambit)
+		res, conv, err := eng.Correct(target, window)
+		if err != nil {
+			return opc.Result{}, nil, err
+		}
+		return res, &conv, nil
+	}
+	return opc.Result{}, nil, fmt.Errorf("core: unknown level %d", int(level))
+}
+
+// Impact is what one adoption level did to one layout clip: the
+// fidelity gained and the design/mask cost paid — the paper's
+// title quantities.
+type Impact struct {
+	Level Level
+	// EPE is the post-correction edge fidelity.
+	EPE opc.EPEStats
+	// Hotspots counts post-OPC verification failures by kind.
+	Pinches, Bridges, SideLobes, EPEViolations int
+	// Data is the mask-data cost of the corrected layer.
+	Data mask.DataStats
+	// MRCViolations counts mask-rule failures in the corrected data.
+	MRCViolations int
+	// CorrectSec and VerifySec are wall-clock flow costs.
+	CorrectSec, VerifySec float64
+	// Iterations is the model-OPC iteration count (0 for L0/L1).
+	Iterations int
+}
+
+// Assess corrects a flat target at the level, verifies it, and computes
+// the mask-data cost, timing each stage.
+func (f *Flow) Assess(target []geom.Polygon, level Level) (Impact, error) {
+	imp := Impact{Level: level}
+	t0 := time.Now()
+	res, conv, err := f.Correct(target, level)
+	if err != nil {
+		return imp, err
+	}
+	imp.CorrectSec = time.Since(t0).Seconds()
+	if conv != nil {
+		imp.Iterations = conv.Iterations
+	}
+	window := opc.WindowFor(target, f.Ambit)
+	t1 := time.Now()
+	rep, err := f.Checker.Check(target, res, window)
+	if err != nil {
+		return imp, err
+	}
+	imp.VerifySec = time.Since(t1).Seconds()
+	imp.EPE = rep.EPE
+	imp.Pinches = rep.Count(orc.Pinch)
+	imp.Bridges = rep.Count(orc.Bridge)
+	imp.SideLobes = rep.Count(orc.SideLobe)
+	imp.EPEViolations = rep.Count(orc.EPEViolation)
+	imp.Data = mask.Analyze(res.AllMask(), f.Writer)
+	imp.MRCViolations = len(mask.CheckMRC(res.AllMask(), f.MaskRules))
+	return imp, nil
+}

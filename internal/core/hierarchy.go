@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"goopc/internal/geom"
+	"goopc/internal/layout"
+)
+
+// HierarchyImpact quantifies what context-dependent OPC does to design
+// hierarchy: a cell master placed in N distinct optical neighborhoods
+// needs N corrected variants, and in the worst case the layout
+// effectively flattens — the data-volume cliff the paper warns about.
+type HierarchyImpact struct {
+	// Masters is the number of distinct cells with geometry on the
+	// layer.
+	Masters int
+	// Placements is the total number of times those masters are placed.
+	Placements int
+	// VariantsPerMaster maps each master to the number of distinct
+	// optical contexts among its placements (within ContextRadius).
+	VariantsPerMaster map[string]int
+	// TotalVariants is the number of corrected cell versions a
+	// context-dependent hierarchical OPC flow must produce and manage.
+	TotalVariants int
+	// ContextRadius is the optical interaction distance used.
+	ContextRadius geom.Coord
+}
+
+// ExpansionFactor is TotalVariants / Masters: 1.0 means hierarchy
+// survives intact; approaching Placements/Masters means effective
+// flattening.
+func (h HierarchyImpact) ExpansionFactor() float64 {
+	if h.Masters == 0 {
+		return 0
+	}
+	return float64(h.TotalVariants) / float64(h.Masters)
+}
+
+// AnalyzeHierarchyImpact enumerates every placement of every master
+// with geometry on the layer, computes the surrounding geometry within
+// the radius (in master-local coordinates), and counts the distinct
+// contexts per master.
+func AnalyzeHierarchyImpact(ly *layout.Layout, l layout.Layer, radius geom.Coord) (HierarchyImpact, error) {
+	if ly.Top == nil {
+		return HierarchyImpact{}, layout.ErrNoTop
+	}
+	type placement struct {
+		cell *layout.Cell
+		x    geom.Xform
+	}
+	var placements []placement
+	var walk func(c *layout.Cell, x geom.Xform)
+	walk = func(c *layout.Cell, x geom.Xform) {
+		for _, in := range c.Insts {
+			child := in.Cell
+			in.Each(func(ix geom.Xform) {
+				cx := x.Compose(ix)
+				if len(child.Shapes[l]) > 0 {
+					placements = append(placements, placement{child, cx})
+				}
+				walk(child, cx)
+			})
+		}
+	}
+	walk(ly.Top, geom.Identity())
+
+	imp := HierarchyImpact{
+		VariantsPerMaster: map[string]int{},
+		ContextRadius:     radius,
+	}
+	if len(placements) == 0 {
+		return imp, nil
+	}
+
+	// Flatten the whole layer once for context queries.
+	flat := layout.Flatten(ly.Top, l)
+	idx := geom.NewGridIndex(10000)
+	for i, p := range flat {
+		idx.Insert(p.BBox(), int32(i))
+	}
+
+	variants := map[string]map[uint64]bool{}
+	for _, pl := range placements {
+		bb := pl.x.ApplyRect(boundsOf(pl.cell.Shapes[l]))
+		window := bb.Grow(radius)
+		// Context region: everything in the window minus this
+		// placement's own geometry.
+		var ctx []geom.Polygon
+		for _, id := range idx.CollectIDs(window) {
+			ctx = append(ctx, flat[id])
+		}
+		own := make([]geom.Polygon, 0, len(pl.cell.Shapes[l]))
+		for _, p := range pl.cell.Shapes[l] {
+			own = append(own, pl.x.ApplyPolygon(p))
+		}
+		ctxRegion := geom.BooleanPolygons(ctx, own, "sub")
+		// Canonicalize in master-local coordinates.
+		inv := pl.x.Invert()
+		rects := ctxRegion.Rects()
+		local := make([]geom.Rect, 0, len(rects))
+		for _, r := range rects {
+			lr := inv.ApplyRect(r)
+			// Clip to the local window so identical neighborhoods match
+			// exactly even when distant geometry differs.
+			lw := boundsOf(pl.cell.Shapes[l]).Grow(radius)
+			lr = lr.Intersect(lw)
+			if !lr.Empty() {
+				local = append(local, lr)
+			}
+		}
+		sort.Slice(local, func(i, j int) bool {
+			a, b := local[i], local[j]
+			if a.Y0 != b.Y0 {
+				return a.Y0 < b.Y0
+			}
+			if a.X0 != b.X0 {
+				return a.X0 < b.X0
+			}
+			if a.Y1 != b.Y1 {
+				return a.Y1 < b.Y1
+			}
+			return a.X1 < b.X1
+		})
+		h := fnv.New64a()
+		for _, r := range local {
+			fmt.Fprintf(h, "%d,%d,%d,%d;", r.X0, r.Y0, r.X1, r.Y1)
+		}
+		key := h.Sum64()
+		if variants[pl.cell.Name] == nil {
+			variants[pl.cell.Name] = map[uint64]bool{}
+		}
+		variants[pl.cell.Name][key] = true
+		imp.Placements++
+	}
+	imp.Masters = len(variants)
+	for name, set := range variants {
+		imp.VariantsPerMaster[name] = len(set)
+		imp.TotalVariants += len(set)
+	}
+	return imp, nil
+}
+
+func boundsOf(ps []geom.Polygon) geom.Rect {
+	var bb geom.Rect
+	for i, p := range ps {
+		if i == 0 {
+			bb = p.BBox()
+		} else {
+			bb = bb.Union(p.BBox())
+		}
+	}
+	return bb
+}

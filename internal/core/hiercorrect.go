@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"goopc/internal/layout"
+)
+
+// CellCorrection reports one master's correction.
+type CellCorrection struct {
+	Cell     string
+	Polygons int
+	FinalRMS float64
+}
+
+// CellReport summarizes a hierarchical (context-independent) correction
+// pass over a layout.
+type CellReport struct {
+	Layer layout.Layer
+	Level Level
+	Cells []CellCorrection
+	// SharedMasters is the number of cells corrected once but placed
+	// multiple times — the data-volume win of staying hierarchical.
+	SharedMasters int
+}
+
+// CorrectCells corrects one layer master-by-master: every cell with
+// geometry on the layer is corrected in isolation (context-independent
+// OPC) and the result is written to the cell's OPC output layer
+// (layout.OPCLayer). Hierarchy survives intact: each master is
+// corrected once no matter how often it is placed.
+//
+// The price is accuracy at cell boundaries, where the real optical
+// neighborhood differs from the isolated view — the tradeoff the
+// hierarchy experiment (R-F5) quantifies. Use CorrectWindowed on the
+// flattened layer when boundary accuracy matters more than data volume.
+func (f *Flow) CorrectCells(ly *layout.Layout, l layout.Layer, level Level) (CellReport, error) {
+	rep := CellReport{Layer: l, Level: level}
+	if ly.Top == nil {
+		return rep, layout.ErrNoTop
+	}
+	// Collect reachable cells and their placement counts.
+	counts := map[*layout.Cell]int{}
+	var walk func(c *layout.Cell)
+	walk = func(c *layout.Cell) {
+		for _, in := range c.Insts {
+			counts[in.Cell] += in.Count()
+			walk(in.Cell)
+		}
+	}
+	counts[ly.Top] = 1
+	walk(ly.Top)
+
+	// Deterministic order.
+	cells := make([]*layout.Cell, 0, len(counts))
+	for c := range counts {
+		if len(c.Shapes[l]) > 0 {
+			cells = append(cells, c)
+		}
+	}
+	sort.Slice(cells, func(i, j int) bool { return cells[i].Name < cells[j].Name })
+
+	out := layout.OPCLayer(l)
+	for _, c := range cells {
+		target := c.Shapes[l]
+		res, conv, err := f.Correct(target, level)
+		if err != nil {
+			return rep, fmt.Errorf("core: cell %q: %w", c.Name, err)
+		}
+		polys := res.AllMask()
+		c.SetLayer(out, polys)
+		cc := CellCorrection{Cell: c.Name, Polygons: len(polys)}
+		if conv != nil {
+			cc.FinalRMS = conv.Final().RMS
+		}
+		rep.Cells = append(rep.Cells, cc)
+		if counts[c] > 1 {
+			rep.SharedMasters++
+		}
+	}
+	return rep, nil
+}
+
+// OPCDataComparison prices the corrected layer hierarchically vs
+// flattened: stored figures (hierarchy preserved) against expanded
+// figures (flat tape-out).
+type OPCDataComparison struct {
+	StoredFigures   int
+	ExpandedFigures int64
+}
+
+// CompareOPCData counts the corrected-layer figures both ways after a
+// CorrectCells pass.
+func CompareOPCData(ly *layout.Layout, l layout.Layer) (OPCDataComparison, error) {
+	if ly.Top == nil {
+		return OPCDataComparison{}, layout.ErrNoTop
+	}
+	out := layout.OPCLayer(l)
+	var cmp OPCDataComparison
+	seen := map[*layout.Cell]bool{}
+	var mark func(c *layout.Cell)
+	mark = func(c *layout.Cell) {
+		if seen[c] {
+			return
+		}
+		seen[c] = true
+		cmp.StoredFigures += len(c.Shapes[out])
+		for _, in := range c.Insts {
+			mark(in.Cell)
+		}
+	}
+	mark(ly.Top)
+	memo := map[*layout.Cell]int64{}
+	var expand func(c *layout.Cell) int64
+	expand = func(c *layout.Cell) int64 {
+		if v, ok := memo[c]; ok {
+			return v
+		}
+		n := int64(len(c.Shapes[out]))
+		for _, in := range c.Insts {
+			n += int64(in.Count()) * expand(in.Cell)
+		}
+		memo[c] = n
+		return n
+	}
+	cmp.ExpandedFigures = expand(ly.Top)
+	return cmp, nil
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+
+	"goopc/internal/geom"
+	"goopc/internal/opc"
+	"goopc/internal/orc"
+	"goopc/internal/patmatch"
+)
+
+// HotspotLibrary couples verification to pattern matching: hotspots
+// found by simulation once are captured as geometry patterns, and new
+// layouts are screened for the same configurations without imaging.
+// This is the bridge from OPC verification to pattern-based design
+// rules ("DRC Plus") that the adoption of OPC eventually produced.
+type HotspotLibrary struct {
+	Lib *patmatch.Library
+	// Captured lists the capture provenance for reporting.
+	Captured []CapturedHotspot
+}
+
+// CapturedHotspot records where a library pattern came from.
+type CapturedHotspot struct {
+	Kind   orc.HotspotKind
+	Name   string
+	Anchor geom.Point
+}
+
+// BuildHotspotLibrary verifies the target at a level and captures every
+// pinch and bridge hotspot as a pattern of the *drawn* layer (the
+// pattern screens designs before correction).
+func (f *Flow) BuildHotspotLibrary(target []geom.Polygon, level Level, radius geom.Coord) (*HotspotLibrary, error) {
+	res, _, err := f.Correct(target, level)
+	if err != nil {
+		return nil, err
+	}
+	window := opc.WindowFor(target, f.Ambit)
+	rep, err := f.Checker.Check(target, res, window)
+	if err != nil {
+		return nil, err
+	}
+	out := &HotspotLibrary{Lib: patmatch.NewLibrary(radius)}
+	for i, h := range rep.Hotspots {
+		if h.Kind != orc.Pinch && h.Kind != orc.Bridge {
+			continue
+		}
+		anchor, ok := patmatch.NearestVertex(target, h.At)
+		if !ok {
+			continue
+		}
+		name := fmt.Sprintf("%s-%d", h.Kind, i)
+		pat := patmatch.Capture(target, anchor, radius, name)
+		if pat.Empty() {
+			continue
+		}
+		if err := out.Lib.Add(pat); err != nil {
+			continue // duplicate or degenerate captures are not fatal
+		}
+		out.Captured = append(out.Captured, CapturedHotspot{Kind: h.Kind, Name: name, Anchor: anchor})
+	}
+	return out, nil
+}
+
+// Screen scans a drawn layer for known hotspot patterns. No simulation
+// runs: this is the cheap design-side check the capture pays for.
+func (h *HotspotLibrary) Screen(target []geom.Polygon) []patmatch.Match {
+	return h.Lib.Scan(target)
+}

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"goopc/internal/geom"
+	"goopc/internal/opc"
+	"goopc/internal/opc/model"
+)
+
+// TileStats reports a windowed full-layer correction run.
+type TileStats struct {
+	Tiles     int
+	Polygons  int
+	Corrected int
+	// Passes is the number of context passes run.
+	Passes int
+	// Seconds is the wall-clock correction time (all tiles, all passes).
+	Seconds float64
+	// WorstRMS is the worst per-tile final EPE RMS of the last pass.
+	WorstRMS float64
+}
+
+// CorrectWindowed runs model-based correction over an arbitrarily large
+// flat layer by tiling: each tile corrects the geometry clipped to its
+// core (cut edges frozen) with a halo of frozen context, so no
+// simulation window exceeds the optics grid limit. This is the shape of
+// every production full-chip OPC engine; the halo is the
+// stitching-accuracy knob.
+//
+// Correction runs in two context passes: pass 1 corrects every tile
+// against as-drawn halo context; pass 2 re-corrects against the pass-1
+// corrected context. Without the second pass every tile assumes its
+// neighbors stay drawn while they all move — the assembled mask then
+// systematically overshoots (each tile's correction double-counts the
+// proximity change its neighbors are also making).
+//
+// Tiles run in parallel across CPUs when parallel is true.
+func (f *Flow) CorrectWindowed(target []geom.Polygon, level Level, tile geom.Coord, parallel bool) (opc.Result, TileStats, error) {
+	var st TileStats
+	if len(target) == 0 {
+		return opc.Result{}, st, fmt.Errorf("core: empty target")
+	}
+	if level == L0 {
+		return opc.Uncorrected(target), st, nil
+	}
+	if level == L1 {
+		// Rule-based correction is local geometry: no tiling needed.
+		t0 := time.Now()
+		res := f.Rules.Apply(target)
+		st.Seconds = time.Since(t0).Seconds()
+		st.Polygons = len(target)
+		st.Corrected = len(res.Corrected)
+		st.Tiles = 1
+		return res, st, nil
+	}
+	if tile < 2*f.Ambit {
+		return opc.Result{}, st, fmt.Errorf("core: tile %d smaller than twice the ambit %d", tile, f.Ambit)
+	}
+	st.Polygons = len(target)
+	halo := f.Ambit
+	passes := f.TilePasses
+	if passes < 1 {
+		passes = 2
+	}
+	if level == L2 {
+		// Single-iteration correction moves edges too little for
+		// context double-counting to matter; one pass.
+		passes = 1
+	}
+	st.Passes = passes
+
+	idx := geom.NewGridIndex(tile)
+	var bounds geom.Rect
+	for i, p := range target {
+		bb := p.BBox()
+		idx.Insert(bb, int32(i))
+		if i == 0 {
+			bounds = bb
+		} else {
+			bounds = bounds.Union(bb)
+		}
+	}
+
+	type job struct{ core geom.Rect }
+	var jobs []job
+	for y := bounds.Y0; y < bounds.Y1; y += tile {
+		for x := bounds.X0; x < bounds.X1; x += tile {
+			jobs = append(jobs, job{geom.Rect{X0: x, Y0: y, X1: x + tile, Y1: y + tile}})
+		}
+	}
+	st.Tiles = len(jobs)
+
+	workers := 1
+	if parallel {
+		workers = runtime.GOMAXPROCS(0)
+		if workers > len(jobs) {
+			workers = len(jobs)
+		}
+	}
+
+	t0 := time.Now()
+	// Context source: the drawn layer on pass 1, the previous pass's
+	// corrected layer afterwards.
+	ctxPolys := target
+	ctxIdx := idx
+	var out opc.Result
+	for pass := 1; pass <= passes; pass++ {
+		var mu sync.Mutex
+		var firstErr error
+		passOut := opc.Result{}
+		passWorst := 0.0
+		jobCh := make(chan job)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := range jobCh {
+					active := clipToRegion(target, idx, j.core, geom.RegionFromRects(j.core))
+					if len(active) == 0 {
+						continue
+					}
+					window := j.core.Grow(halo)
+					ring := geom.RegionFromRects(window).Subtract(geom.RegionFromRects(j.core))
+					context := clipToRegion(ctxPolys, ctxIdx, window, ring)
+					eng := model.New(f.Sim, f.Threshold)
+					eng.Spec = f.Spec
+					eng.MRC = f.MRC
+					eng.Damping = f.Damping
+					if level == L2 {
+						eng.MaxIter = f.ModelIter1
+					} else {
+						eng.MaxIter = f.ModelIterFull
+					}
+					eng.Context = context
+					core := j.core
+					eng.FreezeBoundary = &core
+					// Everything is clipped to core + halo, so the window
+					// never exceeds tile + 2*halo regardless of how long
+					// the original wires are.
+					res, conv, err := eng.Correct(active, window)
+					mu.Lock()
+					if err != nil && firstErr == nil {
+						firstErr = fmt.Errorf("core: pass %d tile %v: %w", pass, j.core, err)
+					}
+					if err == nil {
+						passOut.Corrected = append(passOut.Corrected, res.Corrected...)
+						if rms := conv.Final().RMS; rms > passWorst {
+							passWorst = rms
+						}
+					}
+					mu.Unlock()
+				}
+			}()
+		}
+		for _, j := range jobs {
+			jobCh <- j
+		}
+		close(jobCh)
+		wg.Wait()
+		if firstErr != nil {
+			st.Seconds = time.Since(t0).Seconds()
+			return opc.Result{}, st, firstErr
+		}
+		out = passOut
+		st.WorstRMS = passWorst
+		if pass < passes {
+			ctxPolys = out.Corrected
+			ctxIdx = geom.NewGridIndex(tile)
+			for i, p := range ctxPolys {
+				ctxIdx.Insert(p.BBox(), int32(i))
+			}
+		}
+	}
+	st.Seconds = time.Since(t0).Seconds()
+	st.Corrected = len(out.Corrected)
+	return out, st, nil
+}
+
+// clipToRegion gathers the polygons touching the query window and clips
+// them to the region (fast-pathing polygons already inside it).
+func clipToRegion(polys []geom.Polygon, idx *geom.GridIndex, query geom.Rect, clip geom.Region) []geom.Polygon {
+	cb := clip.BBox()
+	var out []geom.Polygon
+	for _, id := range idx.CollectIDs(query) {
+		p := polys[id]
+		bb := p.BBox()
+		if !bb.Touches(cb) {
+			continue
+		}
+		// Fast path: fully inside a single-rect clip.
+		if clip.Count() == 1 {
+			r := clip.Rects()[0]
+			if bb.X0 >= r.X0 && bb.Y0 >= r.Y0 && bb.X1 <= r.X1 && bb.Y1 <= r.Y1 {
+				out = append(out, p)
+				continue
+			}
+		}
+		pieces := geom.RegionFromPolygons(p).Intersect(clip).Polygons()
+		out = append(out, pieces...)
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+// Package drc implements the geometric design rule checker the design
+// side of the flow runs: width, space, area, enclosure and extension
+// checks over flattened layer geometry, driven by a declarative rule
+// deck. The design-rule-impact experiment (R-T4) uses it to confirm
+// which drawn rules remain legal at each OPC level.
+package drc
+
+import (
+	"fmt"
+
+	"goopc/internal/geom"
+	"goopc/internal/layout"
+)
+
+// RuleKind selects the check performed.
+type RuleKind uint8
+
+// Rule kinds.
+const (
+	// MinWidth: every part of the layer is at least Value wide.
+	MinWidth RuleKind = iota
+	// MinSpace: distinct features are at least Value apart.
+	MinSpace
+	// MinArea: every polygon covers at least Value (DBU^2, in Value64).
+	MinArea
+	// Enclosure: OtherLayer grown by Value stays inside Layer
+	// (e.g. poly encloses contact by 120).
+	Enclosure
+	// MinExtension: Layer extends past OtherLayer by at least Value
+	// (e.g. poly endcap past active).
+	MinExtension
+)
+
+func (k RuleKind) String() string {
+	switch k {
+	case MinWidth:
+		return "min-width"
+	case MinSpace:
+		return "min-space"
+	case MinArea:
+		return "min-area"
+	case Enclosure:
+		return "enclosure"
+	case MinExtension:
+		return "extension"
+	}
+	return "?"
+}
+
+// Rule is one deck entry.
+type Rule struct {
+	Name  string
+	Kind  RuleKind
+	Layer layout.Layer
+	// OtherLayer is the second operand for Enclosure/MinExtension.
+	OtherLayer layout.Layer
+	Value      geom.Coord
+	// Value64 is used by MinArea.
+	Value64 int64
+}
+
+// Violation is one rule failure with its location.
+type Violation struct {
+	Rule Rule
+	At   geom.Rect
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s (%s %v) at %v", v.Rule.Name, v.Rule.Kind, v.Rule.Layer, v.At)
+}
+
+// Deck180 returns the drawn-rule deck matching gen.Tech180.
+func Deck180() []Rule {
+	return []Rule{
+		{Name: "POLY.W.1", Kind: MinWidth, Layer: layout.Poly, Value: 180},
+		{Name: "POLY.S.1", Kind: MinSpace, Layer: layout.Poly, Value: 240},
+		{Name: "M1.W.1", Kind: MinWidth, Layer: layout.Metal1, Value: 240},
+		{Name: "M1.S.1", Kind: MinSpace, Layer: layout.Metal1, Value: 240},
+		{Name: "CT.W.1", Kind: MinWidth, Layer: layout.Contact, Value: 220},
+		{Name: "CT.S.1", Kind: MinSpace, Layer: layout.Contact, Value: 280},
+		{Name: "M1.A.1", Kind: MinArea, Layer: layout.Metal1, Value64: 122500},
+		{Name: "CT.E.1", Kind: Enclosure, Layer: layout.Metal1, OtherLayer: layout.Contact, Value: 30},
+	}
+}
+
+// Check runs the deck over flattened geometry. layers maps each layer
+// to its flat polygons (use layout.Flatten).
+func Check(layers map[layout.Layer][]geom.Polygon, deck []Rule) []Violation {
+	var out []Violation
+	regions := map[layout.Layer]geom.Region{}
+	regionOf := func(l layout.Layer) geom.Region {
+		if g, ok := regions[l]; ok {
+			return g
+		}
+		g := geom.RegionFromPolygons(layers[l]...)
+		regions[l] = g
+		return g
+	}
+	for _, r := range deck {
+		switch r.Kind {
+		case MinWidth:
+			g := regionOf(r.Layer)
+			if g.Empty() || r.Value <= 1 {
+				continue
+			}
+			for _, s := range g.NarrowerThan(r.Value).Rects() {
+				out = append(out, Violation{Rule: r, At: s})
+			}
+		case MinSpace:
+			g := regionOf(r.Layer)
+			if g.Empty() || r.Value <= 1 {
+				continue
+			}
+			for _, s := range g.GapsNarrowerThan(r.Value).Rects() {
+				out = append(out, Violation{Rule: r, At: s})
+			}
+		case MinArea:
+			for _, p := range layers[r.Layer] {
+				if p.Area() < r.Value64 {
+					out = append(out, Violation{Rule: r, At: p.BBox()})
+				}
+			}
+		case Enclosure:
+			inner := regionOf(r.OtherLayer)
+			outer := regionOf(r.Layer)
+			if inner.Empty() {
+				continue
+			}
+			uncovered := inner.Grow(r.Value).Subtract(outer)
+			for _, s := range uncovered.Rects() {
+				out = append(out, Violation{Rule: r, At: s})
+			}
+		case MinExtension:
+			// Endcap rule: grow the crossing region along each axis by
+			// Value; anything not covered by the layer (the gate must
+			// continue) or the other layer (still over active, so not an
+			// end) is a short endcap. The two axes are checked
+			// independently so corners produce no artifacts.
+			cross := regionOf(r.OtherLayer).Intersect(regionOf(r.Layer))
+			if cross.Empty() {
+				continue
+			}
+			covered := regionOf(r.Layer).Union(regionOf(r.OtherLayer))
+			ext := cross.GrowDir(r.Value, 0).Union(cross.GrowDir(0, r.Value))
+			for _, s := range ext.Subtract(covered).Rects() {
+				out = append(out, Violation{Rule: r, At: s})
+			}
+		}
+	}
+	return out
+}
+
+// CheckCell flattens the needed layers of a cell and runs the deck.
+func CheckCell(cell *layout.Cell, deck []Rule) []Violation {
+	needed := map[layout.Layer]bool{}
+	for _, r := range deck {
+		needed[r.Layer] = true
+		if r.Kind == Enclosure || r.Kind == MinExtension {
+			needed[r.OtherLayer] = true
+		}
+	}
+	layers := map[layout.Layer][]geom.Polygon{}
+	for l := range needed {
+		layers[l] = layout.Flatten(cell, l)
+	}
+	return Check(layers, deck)
+}

@@ -1,0 +1,146 @@
+package drc
+
+import (
+	"math/rand"
+	"testing"
+
+	"goopc/internal/geom"
+	"goopc/internal/layout"
+	"goopc/internal/layout/gen"
+)
+
+func TestMinWidth(t *testing.T) {
+	deck := []Rule{{Name: "W", Kind: MinWidth, Layer: layout.Poly, Value: 180}}
+	layers := map[layout.Layer][]geom.Polygon{
+		layout.Poly: {geom.R(0, 0, 100, 2000).Polygon()}, // 100 wide
+	}
+	if v := Check(layers, deck); len(v) == 0 {
+		t.Error("narrow line should violate")
+	}
+	layers[layout.Poly] = []geom.Polygon{geom.R(0, 0, 180, 2000).Polygon()}
+	if v := Check(layers, deck); len(v) != 0 {
+		t.Errorf("legal line flagged: %v", v)
+	}
+}
+
+func TestMinSpace(t *testing.T) {
+	deck := []Rule{{Name: "S", Kind: MinSpace, Layer: layout.Poly, Value: 240}}
+	layers := map[layout.Layer][]geom.Polygon{
+		layout.Poly: {
+			geom.R(0, 0, 180, 2000).Polygon(),
+			geom.R(300, 0, 480, 2000).Polygon(), // 120 space
+		},
+	}
+	if v := Check(layers, deck); len(v) == 0 {
+		t.Error("tight space should violate")
+	}
+	layers[layout.Poly][1] = geom.R(420, 0, 600, 2000).Polygon() // 240 space
+	if v := Check(layers, deck); len(v) != 0 {
+		t.Errorf("legal space flagged: %v", v)
+	}
+}
+
+func TestMinArea(t *testing.T) {
+	deck := []Rule{{Name: "A", Kind: MinArea, Layer: layout.Metal1, Value64: 122500}}
+	layers := map[layout.Layer][]geom.Polygon{
+		layout.Metal1: {geom.R(0, 0, 300, 300).Polygon()}, // 90000
+	}
+	if v := Check(layers, deck); len(v) != 1 {
+		t.Errorf("violations = %d", len(Check(layers, deck)))
+	}
+	layers[layout.Metal1] = []geom.Polygon{geom.R(0, 0, 350, 350).Polygon()}
+	if v := Check(layers, deck); len(v) != 0 {
+		t.Errorf("legal area flagged: %v", v)
+	}
+}
+
+func TestEnclosure(t *testing.T) {
+	deck := []Rule{{Name: "E", Kind: Enclosure, Layer: layout.Metal1,
+		OtherLayer: layout.Contact, Value: 60}}
+	layers := map[layout.Layer][]geom.Polygon{
+		layout.Contact: {geom.R(100, 100, 320, 320).Polygon()},
+		layout.Metal1:  {geom.R(40, 40, 380, 380).Polygon()}, // exactly 60
+	}
+	if v := Check(layers, deck); len(v) != 0 {
+		t.Errorf("exact enclosure flagged: %v", v)
+	}
+	layers[layout.Metal1] = []geom.Polygon{geom.R(60, 40, 380, 380).Polygon()} // 40 on the left
+	if v := Check(layers, deck); len(v) == 0 {
+		t.Error("under-enclosure should violate")
+	}
+	// Contact with no metal at all.
+	layers[layout.Metal1] = nil
+	if v := Check(layers, deck); len(v) == 0 {
+		t.Error("uncovered contact should violate")
+	}
+}
+
+func TestMinExtension(t *testing.T) {
+	deck := []Rule{{Name: "X", Kind: MinExtension, Layer: layout.Poly,
+		OtherLayer: layout.Active, Value: 220}}
+	layers := map[layout.Layer][]geom.Polygon{
+		layout.Active: {geom.R(0, 0, 2000, 660).Polygon()},
+		// Gate crossing with full endcaps.
+		layout.Poly: {geom.R(900, -220, 1080, 880).Polygon()},
+	}
+	if v := Check(layers, deck); len(v) != 0 {
+		t.Errorf("full endcap flagged: %v", v)
+	}
+	// Endcap short by 100.
+	layers[layout.Poly] = []geom.Polygon{geom.R(900, -120, 1080, 880).Polygon()}
+	if v := Check(layers, deck); len(v) == 0 {
+		t.Error("short endcap should violate")
+	}
+}
+
+func TestCheckCellOnGeneratedLibrary(t *testing.T) {
+	ly := layout.New("lib")
+	lib, err := gen.BuildCellLib(ly, gen.Tech180())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Generated standard cells must be clean on the full 180 nm deck.
+	deck := Deck180()
+	for _, c := range lib.Cells {
+		if v := CheckCell(c, deck); len(v) != 0 {
+			t.Errorf("cell %s has %d violations: %v", c.Name, len(v), v[0])
+		}
+	}
+}
+
+func TestDeck180Complete(t *testing.T) {
+	deck := Deck180()
+	if len(deck) < 6 {
+		t.Errorf("deck has %d rules", len(deck))
+	}
+	kinds := map[RuleKind]bool{}
+	for _, r := range deck {
+		kinds[r.Kind] = true
+		if r.Name == "" {
+			t.Error("rule without name")
+		}
+	}
+	for _, k := range []RuleKind{MinWidth, MinSpace, MinArea, Enclosure} {
+		if !kinds[k] {
+			t.Errorf("deck missing kind %v", k)
+		}
+	}
+}
+
+func TestCheckRandomRectsNoFalsePositives(t *testing.T) {
+	// Widely spaced large rects: no rule fires.
+	rng := rand.New(rand.NewSource(3))
+	deck := Deck180()
+	layers := map[layout.Layer][]geom.Polygon{}
+	for i := 0; i < 10; i++ {
+		x := geom.Coord(i) * 5000
+		y := geom.Coord(rng.Intn(1000))
+		layers[layout.Poly] = append(layers[layout.Poly],
+			geom.R(x, y, x+500, y+2000).Polygon())
+		layers[layout.Metal1] = append(layers[layout.Metal1],
+			geom.R(x, y+3000, x+500, y+5000).Polygon())
+	}
+	if v := Check(layers, deck); len(v) != 0 {
+		t.Errorf("clean layout flagged: %v", v)
+	}
+}

@@ -1,0 +1,76 @@
+// Package experiments regenerates every table and figure of the
+// reconstructed evaluation (see DESIGN.md section 4). Each experiment
+// is a pure function from a calibrated Flow to a printable result, so
+// the same code backs the benchmark suite (bench_test.go), the
+// cmd/benchtables row printer, and EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync"
+
+	"goopc/internal/core"
+	"goopc/internal/geom"
+	"goopc/internal/optics"
+)
+
+// Config scales the experiments. Fast() keeps everything laptop-scale;
+// the numbers in EXPERIMENTS.md use the defaults.
+type Config struct {
+	// SourceSteps and GuardNM tune simulation accuracy vs speed.
+	SourceSteps int
+	GuardNM     float64
+	// BiasSpaces for the L1 rule table.
+	BiasSpaces []geom.Coord
+	// Seed drives all random layout generation.
+	Seed int64
+}
+
+// Default returns the configuration used for the recorded results.
+func Default() Config {
+	return Config{SourceSteps: 5, GuardNM: 1200, BiasSpaces: []geom.Coord{240, 320, 420, 560}, Seed: 1}
+}
+
+var (
+	flowMu    sync.Mutex
+	flowCache = map[string]*core.Flow{}
+)
+
+// SharedFlow builds (once) and returns the calibrated flow for a
+// configuration. Experiments share it because calibration and rule-table
+// generation dominate setup cost.
+func SharedFlow(cfg Config) (*core.Flow, error) {
+	key := fmt.Sprintf("%d/%f/%v", cfg.SourceSteps, cfg.GuardNM, cfg.BiasSpaces)
+	flowMu.Lock()
+	defer flowMu.Unlock()
+	if f, ok := flowCache[key]; ok {
+		return f, nil
+	}
+	s := optics.Default()
+	s.SourceSteps = cfg.SourceSteps
+	s.GuardNM = cfg.GuardNM
+	f, err := core.NewFlow(core.Options{Optics: s, BiasSpaces: cfg.BiasSpaces})
+	if err != nil {
+		return nil, err
+	}
+	flowCache[key] = f
+	return f, nil
+}
+
+// fmtFloat prints NaN as "-".
+func fmtFloat(v float64, prec int) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.*f", prec, v)
+}
+
+// rule prints a separator line.
+func rule(w io.Writer, n int) {
+	for i := 0; i < n; i++ {
+		fmt.Fprint(w, "-")
+	}
+	fmt.Fprintln(w)
+}

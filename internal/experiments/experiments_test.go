@@ -1,0 +1,273 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"goopc/internal/core"
+	"goopc/internal/timing"
+)
+
+// The experiment smoke tests assert the *shape* of each result — who
+// wins and in which direction — not absolute numbers. The full tables
+// are recorded by cmd/benchtables into EXPERIMENTS.md.
+
+func TestRunT1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("T1 runs the full pattern suite")
+	}
+	res, err := RunT1(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6*4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Correction reduces the summary RMS monotonically enough: L3 < L1 < L0.
+	if !(res.SummaryRMS[core.L3] < res.SummaryRMS[core.L1]) {
+		t.Errorf("L3 %.2f !< L1 %.2f", res.SummaryRMS[core.L3], res.SummaryRMS[core.L1])
+	}
+	if !(res.SummaryRMS[core.L1] < res.SummaryRMS[core.L0]) {
+		t.Errorf("L1 %.2f !< L0 %.2f", res.SummaryRMS[core.L1], res.SummaryRMS[core.L0])
+	}
+	// Headline factors: L3 cuts the summary RMS by >= 3x vs L0; the max
+	// (dominated by inherently rounded corners, where MRC clamps the
+	// correction) still improves by >= 1.8x.
+	if res.SummaryRMS[core.L3]*3 > res.SummaryRMS[core.L0] {
+		t.Errorf("L3 RMS %.1f not 3x better than L0 %.1f",
+			res.SummaryRMS[core.L3], res.SummaryRMS[core.L0])
+	}
+	if res.SummaryMax[core.L3]*1.8 > res.SummaryMax[core.L0] {
+		t.Errorf("L3 max %.1f not 1.8x better than L0 %.1f",
+			res.SummaryMax[core.L3], res.SummaryMax[core.L0])
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "Table 1") {
+		t.Error("Print missing title")
+	}
+}
+
+func TestRunF2Shape(t *testing.T) {
+	res, err := RunF2(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	pull := map[core.Level]float64{}
+	for _, r := range res.Rows {
+		pull[r.Level] = r.PullbackNM
+	}
+	// Uncorrected pullback is tens of nm; every correction level
+	// reduces it; model OPC ends near zero.
+	if pull[core.L0] < 20 {
+		t.Errorf("L0 pullback = %.1f, expected substantial", pull[core.L0])
+	}
+	if !(pull[core.L1] < pull[core.L0]) {
+		t.Errorf("hammerhead did not reduce pullback: %.1f -> %.1f", pull[core.L0], pull[core.L1])
+	}
+	if math.Abs(pull[core.L3]) > pull[core.L0]/3 {
+		t.Errorf("L3 pullback %.1f not <3x better than L0 %.1f", pull[core.L3], pull[core.L0])
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "Figure 2") {
+		t.Error("Print missing title")
+	}
+}
+
+func TestRunF4Shape(t *testing.T) {
+	res, err := RunF4(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 3 {
+		t.Fatalf("series = %d", len(res.Series))
+	}
+	for _, s := range res.Series {
+		if len(s.RMS) < 3 {
+			t.Fatalf("damping %.1f trace too short: %d", s.Damping, len(s.RMS))
+		}
+		// Every damping must end better than it started.
+		if !(s.RMS[len(s.RMS)-1] < s.RMS[0]) {
+			t.Errorf("damping %.1f did not improve: %v", s.Damping, s.RMS)
+		}
+	}
+	// Over-damped (0.3) converges slower than 0.7 at iteration 2.
+	var d03, d07 *F4Series
+	for i := range res.Series {
+		switch res.Series[i].Damping {
+		case 0.3:
+			d03 = &res.Series[i]
+		case 0.7:
+			d07 = &res.Series[i]
+		}
+	}
+	if d03 == nil || d07 == nil {
+		t.Fatal("missing series")
+	}
+	if len(d03.RMS) > 2 && len(d07.RMS) > 2 && d07.RMS[2] > d03.RMS[2] {
+		t.Errorf("damping 0.7 slower than 0.3 at iter 2: %.2f vs %.2f", d07.RMS[2], d03.RMS[2])
+	}
+}
+
+func TestRunF5Shape(t *testing.T) {
+	res, err := RunF5(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Variants grow (weakly) with radius and the zero-radius case needs
+	// exactly one variant per master.
+	zero := res.Rows[0]
+	if zero.RadiusNM != 0 {
+		t.Fatal("first row should be radius 0")
+	}
+	if zero.Impact.TotalVariants != zero.Impact.Masters {
+		t.Errorf("radius 0: variants %d != masters %d",
+			zero.Impact.TotalVariants, zero.Impact.Masters)
+	}
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].Impact.TotalVariants < res.Rows[i-1].Impact.TotalVariants {
+			t.Errorf("variants not monotone in radius: %d then %d",
+				res.Rows[i-1].Impact.TotalVariants, res.Rows[i].Impact.TotalVariants)
+		}
+	}
+	if last := res.Rows[len(res.Rows)-1].Impact; last.TotalVariants <= last.Masters {
+		t.Error("large radius should force extra variants")
+	}
+}
+
+func TestRunF6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("F6 sweeps fragmentation")
+	}
+	res, err := RunF6(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Finer fragmentation costs more vertices.
+	first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+	if first.MaxLen < last.MaxLen {
+		t.Fatal("rows should go coarse to fine")
+	}
+	if last.Vertices <= first.Vertices {
+		t.Errorf("finer fragments should add vertices: %d -> %d", first.Vertices, last.Vertices)
+	}
+	// And fidelity must not get worse than the coarsest setting.
+	if last.FinalRMS > first.FinalRMS+1 {
+		t.Errorf("finest RMS %.2f worse than coarsest %.2f", last.FinalRMS, first.FinalRMS)
+	}
+}
+
+func TestSharedFlowCaches(t *testing.T) {
+	cfg := Default()
+	a, err := SharedFlow(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SharedFlow(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("SharedFlow should cache per configuration")
+	}
+}
+
+func TestRunE2Shape(t *testing.T) {
+	res, err := RunE2(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	bin, psm := res.Rows[0], res.Rows[1]
+	// att-PSM steepens both edges and should not shrink the window.
+	if psm.NILSDense <= bin.NILSDense {
+		t.Errorf("PSM dense NILS %.2f !> binary %.2f", psm.NILSDense, bin.NILSDense)
+	}
+	if psm.NILSIso <= bin.NILSIso {
+		t.Errorf("PSM iso NILS %.2f !> binary %.2f", psm.NILSIso, bin.NILSIso)
+	}
+	if psm.DOFAt5EL < bin.DOFAt5EL-1e-9 {
+		t.Errorf("PSM DOF %.0f worse than binary %.0f", psm.DOFAt5EL, bin.DOFAt5EL)
+	}
+}
+
+func TestRunE4Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E4 builds two process-window surfaces")
+	}
+	res, err := RunE4(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	y := map[core.Level]float64{}
+	for _, r := range res.Rows {
+		y[r.Level] = r.Yield
+	}
+	// Yield improves with adoption level; L3 should be near-perfect
+	// under the default (well-run fab) variation.
+	if !(y[core.L3] > y[core.L0]+0.2) {
+		t.Errorf("L3 yield %.3f should beat L0 %.3f by a wide margin", y[core.L3], y[core.L0])
+	}
+	if y[core.L3] < 0.8 {
+		t.Errorf("L3 yield = %.3f, expected high", y[core.L3])
+	}
+	if y[core.L0] > 0.6 {
+		t.Errorf("L0 yield = %.3f; uncorrected dense+iso should fail often", y[core.L0])
+	}
+}
+
+func TestRunE1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E1 corrects a full block at every level")
+	}
+	res, err := RunE1(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	st := map[core.Level]timing.Stats{}
+	for _, r := range res.Rows {
+		st[r.Level] = r.Stats
+	}
+	// No gate may fail to print at any level on this legal layout.
+	for l, s := range st {
+		if s.Failed != 0 {
+			t.Errorf("%v: %d gates failed to print", l, s.Failed)
+		}
+	}
+	// Uncorrected gates print far from drawn; L3 centers the mean.
+	devL0 := math.Abs(st[core.L0].MeanL - 180)
+	devL3 := math.Abs(st[core.L3].MeanL - 180)
+	if devL3 >= devL0 {
+		t.Errorf("L3 mean deviation %.1f !< L0 %.1f", devL3, devL0)
+	}
+	if devL3 > 6 {
+		t.Errorf("L3 mean L = %.1f, want within 6 of 180", st[core.L3].MeanL)
+	}
+	// Uncorrected error is systematic: every gate prints wide and slow,
+	// so the worst-case delay deviation from nominal is what OPC fixes.
+	dev := func(s timing.Stats) float64 { return math.Abs(s.WorstDelay - 1) }
+	if dev(st[core.L3]) >= dev(st[core.L0]) {
+		t.Errorf("L3 worst delay deviation %.3f !< L0 %.3f",
+			dev(st[core.L3]), dev(st[core.L0]))
+	}
+}

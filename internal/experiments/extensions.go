@@ -1,0 +1,289 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"goopc/internal/core"
+	"goopc/internal/geom"
+	"goopc/internal/layout"
+	"goopc/internal/layout/gen"
+	"goopc/internal/optics"
+	"goopc/internal/orc"
+	"goopc/internal/resist"
+	"goopc/internal/timing"
+	"goopc/internal/yield"
+)
+
+// --- R-E1 (extension): electrical impact — gate delay/leakage spread ---
+
+// E1Row is the gate-population electrical outcome at one level.
+type E1Row struct {
+	Level core.Level
+	Stats timing.Stats
+}
+
+// E1Result is the timing-impact table: printed channel-length spread
+// and its delay/leakage consequences across OPC levels.
+type E1Result struct {
+	Gates int
+	Rows  []E1Row
+}
+
+// RunE1 corrects a standard-cell block's poly at every level and
+// measures every transistor gate on the simulated wafer.
+func RunE1(cfg Config) (*E1Result, error) {
+	f, err := SharedFlow(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ly := layout.New("e1")
+	lib, err := gen.BuildCellLib(ly, gen.Tech180())
+	if err != nil {
+		return nil, err
+	}
+	block, err := gen.BuildBlock(ly, lib, "B", 1, 6, rand.New(rand.NewSource(cfg.Seed)))
+	if err != nil {
+		return nil, err
+	}
+	poly := layout.Flatten(block, layout.Poly)
+	active := layout.Flatten(block, layout.Active)
+	gates := timing.ExtractGates(poly, active, 400)
+	if len(gates) == 0 {
+		return nil, timing.ErrNoGates
+	}
+	res := &E1Result{Gates: len(gates)}
+	dev := timing.Device180()
+	for _, level := range core.Levels {
+		corrected, _, err := f.CorrectWindowed(poly, level, 4*f.Ambit, true)
+		if err != nil {
+			return nil, fmt.Errorf("E1 %v: %w", level, err)
+		}
+		results, err := timing.MeasureGates(f.Sim, f.Threshold, corrected.AllMask(), gates, dev)
+		if err != nil {
+			return nil, fmt.Errorf("E1 %v: %w", level, err)
+		}
+		res.Rows = append(res.Rows, E1Row{Level: level, Stats: timing.Aggregate(results)})
+	}
+	return res, nil
+}
+
+// Print renders the table.
+func (r *E1Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "Extension 1 (R-E1): electrical impact of OPC on %d gates\n", r.Gates)
+	rule(w, 92)
+	fmt.Fprintf(w, "%-16s %8s %8s %7s %10s %10s %10s %12s\n",
+		"level", "meanL", "sigmaL", "failed", "meanDelay", "worstDelay", "meanLeak", "worstLeak")
+	for _, row := range r.Rows {
+		s := row.Stats
+		fmt.Fprintf(w, "%-16s %8.1f %8.2f %7d %10.3f %10.3f %10.2f %12.2f\n",
+			row.Level, s.MeanL, s.SigmaL, s.Failed,
+			s.MeanDelay, s.WorstDelay, s.MeanLeakage, s.WorstLeakage)
+	}
+}
+
+// --- R-E2 (extension): attenuated PSM vs binary mask ---
+
+// E2Row compares one mask technology.
+type E2Row struct {
+	Tone optics.Tone
+	// NILSDense and NILSIso at the nominal edge.
+	NILSDense, NILSIso float64
+	// DOFAt5EL of the dense+iso overlapping window.
+	DOFAt5EL float64
+	// Threshold is the per-tone dose-to-size calibration.
+	Threshold float64
+}
+
+// E2Result is the RET comparison table.
+type E2Result struct {
+	Rows []E2Row
+}
+
+// RunE2 calibrates binary and 6% attenuated-PSM processes on the same
+// anchor and compares edge slope and overlapping process window — the
+// RET adoption decision that accompanied OPC adoption.
+func RunE2(cfg Config) (*E2Result, error) {
+	res := &E2Result{}
+	cd := geom.Coord(180)
+	for _, tone := range []optics.Tone{optics.BrightField, optics.AttPSMBrightField} {
+		s := optics.Default()
+		s.SourceSteps = cfg.SourceSteps
+		s.GuardNM = cfg.GuardNM
+		s.MaskTone = tone
+		sim, err := optics.New(s)
+		if err != nil {
+			return nil, err
+		}
+		th, err := resist.CalibrateThreshold(sim, 250, 500)
+		if err != nil {
+			return nil, fmt.Errorf("E2 %v: %w", tone, err)
+		}
+		// Dense group + iso line.
+		var mask []geom.Polygon
+		for i := -3; i <= 3; i++ {
+			x := geom.Coord(i) * 430
+			mask = append(mask, geom.R(x-cd/2, -3000, x+cd/2, 3000).Polygon())
+		}
+		isoX := geom.Coord(6000)
+		mask = append(mask, geom.R(isoX-cd/2, -3000, isoX+cd/2, 3000).Polygon())
+		window := geom.R(-1000, -400, isoX+1000, 400)
+		im, err := sim.Aerial(mask, window)
+		if err != nil {
+			return nil, err
+		}
+		row := E2Row{Tone: tone, Threshold: th}
+		row.NILSDense = im.NILS(float64(cd)/2, 0, 1, 0, float64(cd))
+		row.NILSIso = im.NILS(float64(isoX)+float64(cd)/2, 0, 1, 0, float64(cd))
+		sites := []orc.PWSite{
+			{Name: "dense", At: geom.Pt(0, 0), Horizontal: true, TargetCD: float64(cd), TolFrac: 0.10},
+			{Name: "iso", At: geom.Pt(isoX, 0), Horizontal: true, TargetCD: float64(cd), TolFrac: 0.10},
+		}
+		focuses := []float64{-600, -450, -300, -150, 0, 150, 300, 450, 600}
+		doses := []float64{0.88, 0.92, 0.96, 1.0, 1.04, 1.08, 1.12}
+		pw, err := orc.AnalyzeWindow(sim, th, mask, window, sites, focuses, doses)
+		if err != nil {
+			return nil, err
+		}
+		row.DOFAt5EL = pw.DOF(0.05)
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Print renders the table.
+func (r *E2Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Extension 2 (R-E2): binary chrome vs 6% attenuated PSM (uncorrected)")
+	rule(w, 80)
+	fmt.Fprintf(w, "%-16s %10s %10s %10s %12s\n", "mask", "threshold", "NILSdense", "NILSiso", "DOF@5%EL")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-16s %10.3f %10.2f %10.2f %12.0f\n",
+			row.Tone, row.Threshold, row.NILSDense, row.NILSIso, row.DOFAt5EL)
+	}
+}
+
+// --- R-E3 (extension): mask error enhancement factor through pitch ---
+
+// E3Row is the MEEF at one pitch.
+type E3Row struct {
+	Pitch     geom.Coord
+	NominalCD float64
+	MEEF      float64
+}
+
+// E3Result is the MEEF-through-pitch figure: the mask-spec pressure OPC
+// adoption put on mask shops.
+type E3Result struct {
+	CD   geom.Coord
+	Rows []E3Row
+}
+
+// RunE3 measures the MEEF of equal line/space patterns through pitch.
+func RunE3(cfg Config) (*E3Result, error) {
+	f, err := SharedFlow(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &E3Result{CD: 0} // cd = pitch/2 per row
+	for _, pitch := range []geom.Coord{320, 360, 400, 460, 520, 600, 700, 850, 1000} {
+		cd := pitch / 2
+		var mask []geom.Polygon
+		for i := -4; i <= 4; i++ {
+			x := geom.Coord(i) * pitch
+			mask = append(mask, geom.R(x-cd/2, -3000, x+cd/2, 3000).Polygon())
+		}
+		window := geom.R(-pitch-200, -200, pitch+200, 200)
+		m, err := orc.MeasureMEEF(f.Sim, f.Threshold, mask, window, geom.Pt(0, 0), true, 4, float64(pitch))
+		if err != nil {
+			return nil, fmt.Errorf("E3 pitch %d: %w", pitch, err)
+		}
+		res.Rows = append(res.Rows, E3Row{Pitch: pitch, NominalCD: m.Nominal, MEEF: m.MEEF})
+	}
+	return res, nil
+}
+
+// Print renders the figure.
+func (r *E3Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Extension 3 (R-E3): MEEF through pitch (equal line/space)")
+	rule(w, 56)
+	fmt.Fprintf(w, "%8s %8s %12s %8s\n", "pitch", "cd", "nominalCD", "MEEF")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%8d %8d %12.1f %8.2f\n", row.Pitch, row.Pitch/2, row.NominalCD, row.MEEF)
+	}
+}
+
+// --- R-E4 (extension): parametric yield under process variation ---
+
+// E4Row is the yield outcome at one level.
+type E4Row struct {
+	Level   core.Level
+	Yield   float64
+	CDSigma float64 // worst site CD sigma [nm]
+}
+
+// E4Result is the parametric-yield table: the Monte Carlo translation
+// of the process-window gain into good-die fraction.
+type E4Result struct {
+	Variation yield.Variation
+	Rows      []E4Row
+}
+
+// RunE4 builds the dense+iso process-window surface for L0 and L3
+// masks and Monte Carlo samples focus/dose noise against it.
+func RunE4(cfg Config) (*E4Result, error) {
+	f, err := SharedFlow(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cd := geom.Coord(180)
+	var target []geom.Polygon
+	for i := -3; i <= 3; i++ {
+		x := geom.Coord(i) * 430
+		target = append(target, geom.R(x-cd/2, -3000, x+cd/2, 3000).Polygon())
+	}
+	isoX := geom.Coord(6000)
+	target = append(target, geom.R(isoX-cd/2, -3000, isoX+cd/2, 3000).Polygon())
+	sites := []orc.PWSite{
+		{Name: "dense", At: geom.Pt(0, 0), Horizontal: true, TargetCD: float64(cd), TolFrac: 0.10},
+		{Name: "iso", At: geom.Pt(isoX, 0), Horizontal: true, TargetCD: float64(cd), TolFrac: 0.10},
+	}
+	focuses := []float64{-450, -300, -150, 0, 150, 300, 450}
+	doses := []float64{0.94, 0.97, 1.0, 1.03, 1.06}
+	window := geom.R(-1000, -400, isoX+1000, 400)
+	v := yield.DefaultVariation()
+	res := &E4Result{Variation: v}
+	for _, level := range []core.Level{core.L0, core.L1, core.L3} {
+		corrected, _, err := f.Correct(target, level)
+		if err != nil {
+			return nil, fmt.Errorf("E4 %v: %w", level, err)
+		}
+		pw, err := orc.AnalyzeWindow(f.Sim, f.Threshold, corrected.AllMask(), window, sites, focuses, doses)
+		if err != nil {
+			return nil, fmt.Errorf("E4 %v window: %w", level, err)
+		}
+		y, err := yield.Estimate(pw, v)
+		if err != nil {
+			return nil, fmt.Errorf("E4 %v yield: %w", level, err)
+		}
+		row := E4Row{Level: level, Yield: y.Yield}
+		for _, st := range y.SiteStats {
+			if st.Sigma > row.CDSigma {
+				row.CDSigma = st.Sigma
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Print renders the table.
+func (r *E4Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "Extension 4 (R-E4): parametric yield, focus sigma %.0f nm / dose sigma %.1f%%\n",
+		r.Variation.FocusSigmaNM, 100*r.Variation.DoseSigma)
+	rule(w, 56)
+	fmt.Fprintf(w, "%-16s %10s %14s\n", "level", "yield", "worst CDsigma")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-16s %9.1f%% %14.2f\n", row.Level, 100*row.Yield, row.CDSigma)
+	}
+}

@@ -1,0 +1,396 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"goopc/internal/core"
+	"goopc/internal/geom"
+	"goopc/internal/layout"
+	"goopc/internal/layout/gen"
+	"goopc/internal/mask"
+	"goopc/internal/opc"
+	"goopc/internal/opc/model"
+	"goopc/internal/orc"
+	"goopc/internal/resist"
+)
+
+// --- R-F1: CD through pitch, corrected vs uncorrected ---
+
+// F1Point is one (pitch, level) CD measurement.
+type F1Point struct {
+	Pitch     geom.Coord // 0 = isolated
+	Level     core.Level
+	PrintedCD float64
+}
+
+// F1Result is the through-pitch proximity curve.
+type F1Result struct {
+	CD     geom.Coord
+	Points []F1Point
+	// Spread[level] = max - min printed CD across the pitch series: the
+	// residual iso-dense bias.
+	Spread map[core.Level]float64
+}
+
+// RunF1 sweeps pitch for L0 and L3, measuring the printed CD of the
+// center line.
+func RunF1(cfg Config) (*F1Result, error) {
+	f, err := SharedFlow(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &F1Result{CD: 180, Spread: map[core.Level]float64{}}
+	pitches := []geom.Coord{360, 400, 430, 470, 520, 580, 640, 720, 800, 0}
+	for _, level := range []core.Level{core.L0, core.L3} {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, pitch := range pitches {
+			var target []geom.Polygon
+			if pitch == 0 {
+				target = lineArray(res.CD, 0, 1, 2500)
+			} else {
+				target = lineArray(res.CD, pitch, 7, 2500)
+			}
+			corrected, _, err := f.Correct(target, level)
+			if err != nil {
+				return nil, fmt.Errorf("F1 p%d %v: %w", pitch, level, err)
+			}
+			win := geom.Coord(800)
+			if pitch > 0 {
+				win = pitch + 300
+			}
+			im, err := f.Sim.Aerial(corrected.AllMask(), geom.R(-win, -300, win, 300))
+			if err != nil {
+				return nil, err
+			}
+			cd, err := resist.MeasureCD(im, f.Threshold, 0, 0, true, float64(win))
+			if err != nil {
+				cd = math.NaN()
+			}
+			res.Points = append(res.Points, F1Point{Pitch: pitch, Level: level, PrintedCD: cd})
+			if !math.IsNaN(cd) {
+				lo = math.Min(lo, cd)
+				hi = math.Max(hi, cd)
+			}
+		}
+		res.Spread[level] = hi - lo
+	}
+	return res, nil
+}
+
+// Print renders the series.
+func (r *F1Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "Figure 1 (R-F1): printed CD through pitch, drawn %d nm (0 = iso)\n", r.CD)
+	rule(w, 56)
+	fmt.Fprintf(w, "%7s %-16s %9s\n", "pitch", "level", "CD[nm]")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "%7d %-16s %9s\n", p.Pitch, p.Level, fmtFloat(p.PrintedCD, 1))
+	}
+	for l, s := range r.Spread {
+		fmt.Fprintf(w, "spread %-16s %.1f nm\n", l, s)
+	}
+}
+
+// --- R-F2: line-end pullback vs level ---
+
+// F2Row is the pullback at one level.
+type F2Row struct {
+	Level core.Level
+	// PullbackNM is drawn tip minus printed tip along the line axis.
+	PullbackNM float64
+}
+
+// F2Result is the line-end treatment figure.
+type F2Result struct {
+	Rows []F2Row
+}
+
+// RunF2 measures line-end pullback of an isolated tip at each level.
+func RunF2(cfg Config) (*F2Result, error) {
+	f, err := SharedFlow(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &F2Result{}
+	// The worst case: a tip between two continuous neighbors at tight
+	// pitch — light funnels around the end and the pullback is maximal.
+	target := []geom.Polygon{
+		geom.R(-90, -2600, 90, 0).Polygon(), // tip at y=0
+		geom.R(-90-360, -2600, 90-360, 2600).Polygon(),
+		geom.R(-90+360, -2600, 90+360, 2600).Polygon(),
+	}
+	for _, level := range core.Levels {
+		corrected, _, err := f.Correct(target, level)
+		if err != nil {
+			return nil, fmt.Errorf("F2 %v: %w", level, err)
+		}
+		im, err := f.Sim.Aerial(corrected.AllMask(), geom.R(-700, -1100, 700, 400))
+		if err != nil {
+			return nil, err
+		}
+		d, ok := im.FindCrossing(0, -1000, 0, 1, f.Threshold, 1600)
+		if !ok {
+			return nil, fmt.Errorf("F2 %v: no tip contour", level)
+		}
+		res.Rows = append(res.Rows, F2Row{Level: level, PullbackNM: 1000 - d})
+	}
+	return res, nil
+}
+
+// Print renders the figure.
+func (r *F2Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Figure 2 (R-F2): line-end pullback vs correction level (drawn tip = 0)")
+	rule(w, 44)
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-16s pullback %7.1f nm\n", row.Level, row.PullbackNM)
+	}
+}
+
+// --- R-F3: process window with/without OPC+SRAF ---
+
+// F3Row is the window metric at one level.
+type F3Row struct {
+	Level core.Level
+	// ELAtBestFocus is the exposure latitude at focus 0.
+	ELAtBestFocus float64
+	// DOFAt5EL is the depth of focus sustaining 5% exposure latitude.
+	DOFAt5EL float64
+}
+
+// F3Result is the overlapping-process-window figure.
+type F3Result struct {
+	Rows []F3Row
+}
+
+// RunF3 compares the dense+iso overlapping process window for L0 and
+// L3 masks.
+func RunF3(cfg Config) (*F3Result, error) {
+	f, err := SharedFlow(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &F3Result{}
+	cd := geom.Coord(180)
+	// Target: one dense group and one isolated line, far apart.
+	var target []geom.Polygon
+	for i := -3; i <= 3; i++ {
+		x := geom.Coord(i) * 430
+		target = append(target, geom.R(x-cd/2, -3000, x+cd/2, 3000).Polygon())
+	}
+	isoX := geom.Coord(6000)
+	target = append(target, geom.R(isoX-cd/2, -3000, isoX+cd/2, 3000).Polygon())
+	sites := []orc.PWSite{
+		{Name: "dense", At: geom.Pt(0, 0), Horizontal: true, TargetCD: float64(cd), TolFrac: 0.10},
+		{Name: "iso", At: geom.Pt(isoX, 0), Horizontal: true, TargetCD: float64(cd), TolFrac: 0.10},
+	}
+	focuses := []float64{-600, -450, -300, -150, 0, 150, 300, 450, 600}
+	doses := []float64{0.88, 0.92, 0.96, 1.0, 1.04, 1.08, 1.12}
+	window := geom.R(-1000, -400, isoX+1000, 400)
+	for _, level := range []core.Level{core.L0, core.L3} {
+		corrected, _, err := f.Correct(target, level)
+		if err != nil {
+			return nil, fmt.Errorf("F3 %v: %w", level, err)
+		}
+		pw, err := orc.AnalyzeWindow(f.Sim, f.Threshold, corrected.AllMask(), window, sites, focuses, doses)
+		if err != nil {
+			return nil, fmt.Errorf("F3 %v: %w", level, err)
+		}
+		res.Rows = append(res.Rows, F3Row{
+			Level:         level,
+			ELAtBestFocus: pw.ExposureLatitudeAt(4),
+			DOFAt5EL:      pw.DOF(0.05),
+		})
+	}
+	return res, nil
+}
+
+// Print renders the figure.
+func (r *F3Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Figure 3 (R-F3): dense+iso overlapping process window")
+	rule(w, 56)
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-16s EL@f0 %5.1f%%  DOF@5%%EL %6.0f nm\n",
+			row.Level, 100*row.ELAtBestFocus, row.DOFAt5EL)
+	}
+}
+
+// --- R-F4: model-OPC convergence and damping ablation ---
+
+// F4Series is the RMS trace at one damping.
+type F4Series struct {
+	Damping float64
+	RMS     []float64
+	MaxAbs  []float64
+}
+
+// F4Result is the convergence figure.
+type F4Result struct {
+	Series []F4Series
+}
+
+// RunF4 traces EPE RMS per iteration at several damping factors on the
+// line-end pattern (the hardest of the suite).
+func RunF4(cfg Config) (*F4Result, error) {
+	f, err := SharedFlow(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &F4Result{}
+	target := []geom.Polygon{
+		geom.R(-90, -2200, 90, 0).Polygon(),
+		geom.R(-90+430, -2200, 90+430, 0).Polygon(),
+	}
+	window := opc.WindowFor(target, f.Ambit)
+	for _, damping := range []float64{0.3, 0.7, 1.0} {
+		eng := model.New(f.Sim, f.Threshold)
+		eng.Spec = f.Spec
+		eng.MRC = f.MRC
+		eng.Damping = damping
+		eng.MaxIter = 8
+		eng.Tol = 0.5 // run the full trace
+		_, conv, err := eng.Correct(target, window)
+		if err != nil {
+			return nil, fmt.Errorf("F4 d=%.1f: %w", damping, err)
+		}
+		s := F4Series{Damping: damping}
+		for _, st := range conv.PerIter {
+			s.RMS = append(s.RMS, st.RMS)
+			s.MaxAbs = append(s.MaxAbs, st.Max)
+		}
+		res.Series = append(res.Series, s)
+	}
+	return res, nil
+}
+
+// Print renders the figure.
+func (r *F4Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Figure 4 (R-F4): model-OPC EPE RMS vs iteration (damping ablation)")
+	rule(w, 64)
+	for _, s := range r.Series {
+		fmt.Fprintf(w, "damping %.1f:", s.Damping)
+		for _, v := range s.RMS {
+			fmt.Fprintf(w, " %6.2f", v)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// --- R-F5: hierarchy impact of context-dependent OPC ---
+
+// F5Row is the variant count at one context radius.
+type F5Row struct {
+	RadiusNM geom.Coord
+	Impact   core.HierarchyImpact
+}
+
+// F5Result is the hierarchy figure.
+type F5Result struct {
+	Rows []F5Row
+	// Stored and Expanded figures of the block, for the data-volume
+	// consequence.
+	Hier layout.HierStats
+}
+
+// RunF5 measures how many corrected cell variants a context-dependent
+// hierarchical OPC flow needs on a placed block, as the optical
+// interaction radius grows.
+func RunF5(cfg Config) (*F5Result, error) {
+	ly := layout.New("f5")
+	lib, err := gen.BuildCellLib(ly, gen.Tech180())
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	block, err := gen.BuildBlock(ly, lib, "BLOCK", 4, 12, rng)
+	if err != nil {
+		return nil, err
+	}
+	ly.SetTop(block)
+	res := &F5Result{}
+	res.Hier, err = layout.CollectHierStats(ly)
+	if err != nil {
+		return nil, err
+	}
+	for _, radius := range []geom.Coord{0, 400, 700, 1000} {
+		imp, err := core.AnalyzeHierarchyImpact(ly, layout.Poly, radius)
+		if err != nil {
+			return nil, fmt.Errorf("F5 r=%d: %w", radius, err)
+		}
+		res.Rows = append(res.Rows, F5Row{RadiusNM: radius, Impact: imp})
+	}
+	return res, nil
+}
+
+// Print renders the figure.
+func (r *F5Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Figure 5 (R-F5): cell variants required by context-dependent OPC")
+	rule(w, 72)
+	fmt.Fprintf(w, "block: %d masters, %d placements, compression %.1fx\n",
+		r.Hier.Cells, r.Hier.Placements, r.Hier.CompressionRatio)
+	fmt.Fprintf(w, "%10s %9s %11s %11s %10s\n", "radius[nm]", "masters", "placements", "variants", "expansion")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%10d %9d %11d %11d %10.2f\n",
+			row.RadiusNM, row.Impact.Masters, row.Impact.Placements,
+			row.Impact.TotalVariants, row.Impact.ExpansionFactor())
+	}
+}
+
+// --- R-F6: fragmentation granularity ablation ---
+
+// F6Row is one fragmentation setting.
+type F6Row struct {
+	MaxLen   geom.Coord
+	FinalRMS float64
+	// Shots is the fractured figure count of the corrected output: the
+	// data cost of finer fragmentation.
+	Shots    int
+	Vertices int
+}
+
+// F6Result is the fidelity-vs-data tradeoff figure.
+type F6Result struct {
+	Rows []F6Row
+}
+
+// RunF6 sweeps the fragment length on the elbow+line-end pattern,
+// recording final fidelity and mask data cost.
+func RunF6(cfg Config) (*F6Result, error) {
+	f, err := SharedFlow(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &F6Result{}
+	target := Suite(180)[5].Polys // elbow
+	target = append(target, geom.R(800, 400, 980, 2400).Polygon())
+	window := opc.WindowFor(target, f.Ambit)
+	for _, maxLen := range []geom.Coord{400, 200, 100, 60} {
+		eng := model.New(f.Sim, f.Threshold)
+		eng.Spec = geom.FragmentSpec{MaxLen: maxLen, CornerLen: 60, LineEndMax: 250}
+		eng.MRC = f.MRC
+		eng.MaxIter = 6
+		out, conv, err := eng.Correct(target, window)
+		if err != nil {
+			return nil, fmt.Errorf("F6 len=%d: %w", maxLen, err)
+		}
+		st := mask.Analyze(out.AllMask(), f.Writer)
+		res.Rows = append(res.Rows, F6Row{
+			MaxLen:   maxLen,
+			FinalRMS: conv.Final().RMS,
+			Shots:    st.Shots,
+			Vertices: st.Vertices,
+		})
+	}
+	return res, nil
+}
+
+// Print renders the figure.
+func (r *F6Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Figure 6 (R-F6): fragment length vs fidelity and mask data")
+	rule(w, 64)
+	fmt.Fprintf(w, "%10s %10s %8s %10s\n", "maxLen[nm]", "RMS[nm]", "shots", "vertices")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%10d %10.2f %8d %10d\n", row.MaxLen, row.FinalRMS, row.Shots, row.Vertices)
+	}
+}

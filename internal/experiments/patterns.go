@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"goopc/internal/geom"
+)
+
+// Pattern is one evaluation target: a flat set of drawn polygons.
+type Pattern struct {
+	Name  string
+	Polys []geom.Polygon
+}
+
+// lineArray builds n vertical lines of width cd at the pitch, centered
+// on x=0, spanning +-halfLen.
+func lineArray(cd, pitch geom.Coord, n int, halfLen geom.Coord) []geom.Polygon {
+	var out []geom.Polygon
+	for i := 0; i < n; i++ {
+		x := geom.Coord(i-n/2) * pitch
+		out = append(out, geom.R(x-cd/2, -halfLen, x+cd/2, halfLen).Polygon())
+	}
+	return out
+}
+
+// Suite returns the standard pattern suite for the fidelity table
+// (R-T1): dense through mid through iso pitches, a line-end gap
+// structure, and an elbow.
+func Suite(cd geom.Coord) []Pattern {
+	return []Pattern{
+		{"dense-p360", lineArray(cd, 360, 7, 2000)},
+		{"mid-p520", lineArray(cd, 520, 7, 2000)},
+		{"semi-p800", lineArray(cd, 800, 5, 2000)},
+		{"iso", lineArray(cd, 0, 1, 2000)},
+		{"line-end", []geom.Polygon{
+			geom.R(-cd/2, -2200, cd/2, -150).Polygon(),
+			geom.R(-cd/2, 150, cd/2, 2200).Polygon(),
+		}},
+		{"elbow", []geom.Polygon{{
+			geom.Pt(0, 0), geom.Pt(2000, 0), geom.Pt(2000, cd),
+			geom.Pt(cd, cd), geom.Pt(cd, 2000), geom.Pt(0, 2000),
+		}}},
+	}
+}

@@ -1,0 +1,306 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"goopc/internal/core"
+	"goopc/internal/geom"
+	"goopc/internal/layout"
+	"goopc/internal/layout/gen"
+	"goopc/internal/mask"
+	"goopc/internal/opc"
+)
+
+// --- R-T1: CD error (EPE) vs correction level over the pattern suite ---
+
+// T1Row is one (pattern, level) fidelity measurement.
+type T1Row struct {
+	Pattern    string
+	Level      core.Level
+	MeanAbs    float64
+	RMS        float64
+	Max        float64
+	Unresolved int
+}
+
+// T1Result is the headline fidelity table.
+type T1Result struct {
+	Rows []T1Row
+	// SummaryRMS[level] aggregates RMS across patterns (RMS of RMS,
+	// site-weighted would need the raw sites; this matches how such
+	// tables are reported).
+	SummaryRMS map[core.Level]float64
+	SummaryMax map[core.Level]float64
+}
+
+// RunT1 measures post-correction edge fidelity for every pattern at
+// every adoption level.
+func RunT1(cfg Config) (*T1Result, error) {
+	f, err := SharedFlow(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &T1Result{SummaryRMS: map[core.Level]float64{}, SummaryMax: map[core.Level]float64{}}
+	suite := Suite(180)
+	counts := map[core.Level]int{}
+	for _, p := range suite {
+		for _, l := range core.Levels {
+			corrected, _, err := f.Correct(p.Polys, l)
+			if err != nil {
+				return nil, fmt.Errorf("T1 %s %v: %w", p.Name, l, err)
+			}
+			window := opc.WindowFor(p.Polys, f.Ambit)
+			st, err := opc.EvaluateEPE(f.Sim, f.Threshold, p.Polys, corrected, window, f.Spec, 400)
+			if err != nil {
+				return nil, fmt.Errorf("T1 %s %v: %w", p.Name, l, err)
+			}
+			res.Rows = append(res.Rows, T1Row{
+				Pattern: p.Name, Level: l,
+				MeanAbs: st.MeanAbs, RMS: st.RMS, Max: st.Max,
+				Unresolved: st.Unresolved,
+			})
+			res.SummaryRMS[l] += st.RMS
+			if st.Max > res.SummaryMax[l] {
+				res.SummaryMax[l] = st.Max
+			}
+			counts[l]++
+		}
+	}
+	for l, n := range counts {
+		res.SummaryRMS[l] /= float64(n)
+	}
+	return res, nil
+}
+
+// Print renders the table.
+func (r *T1Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Table 1 (R-T1): edge placement error by pattern and correction level [nm]")
+	rule(w, 78)
+	fmt.Fprintf(w, "%-12s %-16s %9s %8s %8s %6s\n", "pattern", "level", "mean|EPE|", "RMS", "max", "unres")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-12s %-16s %9s %8s %8s %6d\n",
+			row.Pattern, row.Level,
+			fmtFloat(row.MeanAbs, 1), fmtFloat(row.RMS, 1), fmtFloat(row.Max, 1), row.Unresolved)
+	}
+	rule(w, 78)
+	for _, l := range core.Levels {
+		fmt.Fprintf(w, "summary %-16s avg-RMS=%s max=%s\n",
+			l, fmtFloat(r.SummaryRMS[l], 1), fmtFloat(r.SummaryMax[l], 1))
+	}
+}
+
+// --- R-T2: mask data impact vs level ---
+
+// T2Row is the mask-data cost of one workload at one level.
+type T2Row struct {
+	Workload string
+	Level    core.Level
+	Data     mask.DataStats
+	// GrowthVsL0 is GDSBytes relative to the same workload at L0.
+	GrowthVsL0 float64
+}
+
+// T2Result is the data-volume table.
+type T2Result struct {
+	Rows []T2Row
+}
+
+// t2Workloads builds the flat poly-layer targets: a standard-cell
+// block, an SRAM array, and a routed block's metal1.
+func t2Workloads(cfg Config) (map[string][]geom.Polygon, error) {
+	out := map[string][]geom.Polygon{}
+
+	ly := layout.New("t2")
+	lib, err := gen.BuildCellLib(ly, gen.Tech180())
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	block, err := gen.BuildBlock(ly, lib, "BLOCK", 2, 6, rng)
+	if err != nil {
+		return nil, err
+	}
+	out["stdcell-poly"] = layout.Flatten(block, layout.Poly)
+
+	sram, err := gen.BuildSRAM(ly, gen.Tech180(), "SRAM", 6, 8)
+	if err != nil {
+		return nil, err
+	}
+	out["sram-poly"] = layout.Flatten(sram, layout.Poly)
+
+	routed, err := gen.BuildRoutedBlock(ly, gen.Tech180(), "ROUTED", 20000, 20000, 18, rng)
+	if err != nil {
+		return nil, err
+	}
+	out["routed-m1"] = layout.Flatten(routed, layout.Metal1)
+	return out, nil
+}
+
+// RunT2 measures figure counts, byte volumes, shot counts and write
+// time across levels for each workload.
+func RunT2(cfg Config) (*T2Result, error) {
+	f, err := SharedFlow(cfg)
+	if err != nil {
+		return nil, err
+	}
+	works, err := t2Workloads(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &T2Result{}
+	for _, name := range []string{"stdcell-poly", "sram-poly", "routed-m1"} {
+		target := works[name]
+		var l0Bytes int64
+		for _, l := range core.Levels {
+			corrected, _, err := f.CorrectWindowed(target, l, 4*f.Ambit, true)
+			if err != nil {
+				return nil, fmt.Errorf("T2 %s %v: %w", name, l, err)
+			}
+			st := mask.Analyze(corrected.AllMask(), f.Writer)
+			row := T2Row{Workload: name, Level: l, Data: st}
+			if l == core.L0 {
+				l0Bytes = st.GDSBytes
+			}
+			if l0Bytes > 0 {
+				row.GrowthVsL0 = float64(st.GDSBytes) / float64(l0Bytes)
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// Print renders the table.
+func (r *T2Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Table 2 (R-T2): mask data impact by workload and correction level")
+	rule(w, 96)
+	fmt.Fprintf(w, "%-14s %-16s %8s %9s %10s %8s %10s %7s\n",
+		"workload", "level", "figures", "vertices", "GDSbytes", "shots", "write[s]", "xL0")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-14s %-16s %8d %9d %10d %8d %10.0f %7.2f\n",
+			row.Workload, row.Level, row.Data.Figures, row.Data.Vertices,
+			row.Data.GDSBytes, row.Data.Shots, row.Data.WriteTimeSec, row.GrowthVsL0)
+	}
+}
+
+// --- R-T3: flow runtime vs layout size and level ---
+
+// T3Row is one (size, level) timing point.
+type T3Row struct {
+	Name     string
+	Polygons int
+	Level    core.Level
+	Seconds  float64
+	Tiles    int
+}
+
+// T3Result is the runtime-scaling table.
+type T3Result struct {
+	Rows []T3Row
+}
+
+// RunT3 times the correction flow on routed blocks of growing area.
+func RunT3(cfg Config) (*T3Result, error) {
+	f, err := SharedFlow(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &T3Result{}
+	sizes := []struct {
+		name string
+		dim  geom.Coord
+		nets int
+	}{
+		{"1x", 16000, 12},
+		{"2x", 23000, 24},
+		{"4x", 32000, 48},
+	}
+	for _, sz := range sizes {
+		ly := layout.New("t3" + sz.name)
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		blk, err := gen.BuildRoutedBlock(ly, gen.Tech180(), "B", sz.dim, sz.dim, sz.nets, rng)
+		if err != nil {
+			return nil, fmt.Errorf("T3 %s: %w", sz.name, err)
+		}
+		target := layout.Flatten(blk, layout.Metal1)
+		for _, l := range []core.Level{core.L1, core.L2, core.L3} {
+			t0 := time.Now()
+			_, st, err := f.CorrectWindowed(target, l, 4*f.Ambit, true)
+			if err != nil {
+				return nil, fmt.Errorf("T3 %s %v: %w", sz.name, l, err)
+			}
+			res.Rows = append(res.Rows, T3Row{
+				Name: sz.name, Polygons: len(target), Level: l,
+				Seconds: time.Since(t0).Seconds(), Tiles: st.Tiles,
+			})
+		}
+	}
+	return res, nil
+}
+
+// Print renders the table.
+func (r *T3Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Table 3 (R-T3): correction runtime vs layout size")
+	rule(w, 64)
+	fmt.Fprintf(w, "%-6s %9s %-16s %9s %6s\n", "size", "polygons", "level", "time[s]", "tiles")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-6s %9d %-16s %9.2f %6d\n",
+			row.Name, row.Polygons, row.Level, row.Seconds, row.Tiles)
+	}
+}
+
+// --- R-T4: design-rule impact — min pitch meeting spec per level ---
+
+// T4Row is the exploration outcome at one level.
+type T4Row struct {
+	Level    core.Level
+	MinPitch geom.Coord
+	Results  []core.PitchResult
+}
+
+// T4Result is the design-rule headroom table.
+type T4Result struct {
+	CD      geom.Coord
+	Pitches []geom.Coord
+	Rows    []T4Row
+}
+
+// RunT4 finds the smallest legal pitch (printed CD within 10% of drawn)
+// at each adoption level.
+func RunT4(cfg Config) (*T4Result, error) {
+	f, err := SharedFlow(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &T4Result{CD: 180, Pitches: []geom.Coord{360, 430, 520, 640, 800}}
+	for _, l := range core.Levels {
+		min, rs, err := f.MinPitchForSpec(res.CD, res.Pitches, 0.10, l)
+		if err != nil {
+			return nil, fmt.Errorf("T4 %v: %w", l, err)
+		}
+		res.Rows = append(res.Rows, T4Row{Level: l, MinPitch: min, Results: rs})
+	}
+	return res, nil
+}
+
+// Print renders the table.
+func (r *T4Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "Table 4 (R-T4): min pitch meeting CD +-10%% (drawn CD %d nm)\n", r.CD)
+	rule(w, 72)
+	fmt.Fprintf(w, "%-16s %9s   per-pitch printed CD [nm]\n", "level", "min-pitch")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-16s %9d  ", row.Level, row.MinPitch)
+		for _, pr := range row.Results {
+			mark := " "
+			if pr.InSpec {
+				mark = "*"
+			}
+			fmt.Fprintf(w, " %d:%s%s", pr.Pitch, fmtFloat(pr.PrintedCD, 0), mark)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "(* = in spec)")
+}

@@ -1,0 +1,136 @@
+// Package fft provides the radix-2 complex FFT the aerial-image
+// simulator is built on: 1-D and 2-D transforms over power-of-two sizes,
+// with the unitary-pair convention Forward (no scaling) / Inverse (1/N
+// scaling) so Inverse(Forward(x)) == x.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// NextPow2 returns the smallest power of two >= n (n must be positive).
+func NextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// Forward computes the in-place DFT of x. len(x) must be a power of two.
+func Forward(x []complex128) error { return transform(x, false) }
+
+// Inverse computes the in-place inverse DFT of x, scaled by 1/N.
+func Inverse(x []complex128) error {
+	if err := transform(x, true); err != nil {
+		return err
+	}
+	inv := 1 / float64(len(x))
+	for i := range x {
+		x[i] = complex(real(x[i])*inv, imag(x[i])*inv)
+	}
+	return nil
+}
+
+func transform(x []complex128, invert bool) error {
+	n := len(x)
+	if !IsPow2(n) {
+		return fmt.Errorf("fft: length %d is not a power of two", n)
+	}
+	if n == 1 {
+		return nil
+	}
+	// Bit-reversal permutation.
+	shift := bits.UintSize - uint(bits.Len(uint(n-1)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse(uint(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	// Iterative Cooley-Tukey butterflies.
+	for size := 2; size <= n; size <<= 1 {
+		ang := 2 * math.Pi / float64(size)
+		if !invert {
+			ang = -ang
+		}
+		wStep := complex(math.Cos(ang), math.Sin(ang))
+		half := size / 2
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wStep
+			}
+		}
+	}
+	return nil
+}
+
+// Grid is a 2-D complex field stored row-major, sized W x H (both powers
+// of two for transforms).
+type Grid struct {
+	W, H int
+	Data []complex128
+}
+
+// NewGrid allocates a zeroed W x H grid.
+func NewGrid(w, h int) *Grid {
+	return &Grid{W: w, H: h, Data: make([]complex128, w*h)}
+}
+
+// At returns the value at (x, y).
+func (g *Grid) At(x, y int) complex128 { return g.Data[y*g.W+x] }
+
+// Set stores v at (x, y).
+func (g *Grid) Set(x, y int, v complex128) { g.Data[y*g.W+x] = v }
+
+// Clone returns a deep copy.
+func (g *Grid) Clone() *Grid {
+	out := NewGrid(g.W, g.H)
+	copy(out.Data, g.Data)
+	return out
+}
+
+// Forward2D computes the in-place 2-D DFT (rows then columns).
+func (g *Grid) Forward2D() error { return g.transform2D(false) }
+
+// Inverse2D computes the in-place 2-D inverse DFT with 1/(W*H) scaling.
+func (g *Grid) Inverse2D() error { return g.transform2D(true) }
+
+func (g *Grid) transform2D(invert bool) error {
+	if !IsPow2(g.W) || !IsPow2(g.H) {
+		return fmt.Errorf("fft: grid %dx%d not power-of-two", g.W, g.H)
+	}
+	do := Forward
+	if invert {
+		do = Inverse
+	}
+	// Rows.
+	for y := 0; y < g.H; y++ {
+		if err := do(g.Data[y*g.W : (y+1)*g.W]); err != nil {
+			return err
+		}
+	}
+	// Columns via a scratch vector.
+	col := make([]complex128, g.H)
+	for x := 0; x < g.W; x++ {
+		for y := 0; y < g.H; y++ {
+			col[y] = g.Data[y*g.W+x]
+		}
+		if err := do(col); err != nil {
+			return err
+		}
+		for y := 0; y < g.H; y++ {
+			g.Data[y*g.W+x] = col[y]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,229 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIsPow2(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 1024} {
+		if !IsPow2(n) {
+			t.Errorf("IsPow2(%d) = false", n)
+		}
+	}
+	for _, n := range []int{0, -4, 3, 6, 1000} {
+		if IsPow2(n) {
+			t.Errorf("IsPow2(%d) = true", n)
+		}
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 3: 4, 5: 8, 1000: 1024, 1024: 1024}
+	for in, want := range cases {
+		if got := NextPow2(in); got != want {
+			t.Errorf("NextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestForwardKnownDC(t *testing.T) {
+	x := []complex128{1, 1, 1, 1}
+	if err := Forward(x); err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(x[0]-4) > 1e-12 {
+		t.Errorf("DC bin = %v", x[0])
+	}
+	for i := 1; i < 4; i++ {
+		if cmplx.Abs(x[i]) > 1e-12 {
+			t.Errorf("bin %d = %v", i, x[i])
+		}
+	}
+}
+
+func TestForwardKnownImpulse(t *testing.T) {
+	// An impulse transforms to an all-ones spectrum.
+	x := make([]complex128, 8)
+	x[0] = 1
+	if err := Forward(x); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Errorf("bin %d = %v", i, v)
+		}
+	}
+}
+
+func TestForwardSingleTone(t *testing.T) {
+	n := 16
+	k := 3
+	x := make([]complex128, n)
+	for i := range x {
+		ang := 2 * math.Pi * float64(k*i) / float64(n)
+		x[i] = cmplx.Exp(complex(0, ang))
+	}
+	if err := Forward(x); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		want := complex(0, 0)
+		if i == k {
+			want = complex(float64(n), 0)
+		}
+		if cmplx.Abs(v-want) > 1e-9 {
+			t.Errorf("bin %d = %v, want %v", i, v, want)
+		}
+	}
+}
+
+func TestNonPow2Rejected(t *testing.T) {
+	if err := Forward(make([]complex128, 3)); err == nil {
+		t.Error("length 3 should be rejected")
+	}
+	g := &Grid{W: 3, H: 4, Data: make([]complex128, 12)}
+	if err := g.Forward2D(); err == nil {
+		t.Error("3x4 grid should be rejected")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 << (2 + rng.Intn(7)) // 4..512
+		x := make([]complex128, n)
+		orig := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			orig[i] = x[i]
+		}
+		if Forward(x) != nil || Inverse(x) != nil {
+			return false
+		}
+		for i := range x {
+			if cmplx.Abs(x[i]-orig[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickParseval(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 64
+		x := make([]complex128, n)
+		var timeE float64
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			timeE += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+		}
+		if Forward(x) != nil {
+			return false
+		}
+		var freqE float64
+		for _, v := range x {
+			freqE += real(v)*real(v) + imag(v)*imag(v)
+		}
+		return math.Abs(freqE/float64(n)-timeE) < 1e-7*(1+timeE)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickLinearity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 32
+		a := make([]complex128, n)
+		b := make([]complex128, n)
+		sum := make([]complex128, n)
+		for i := range a {
+			a[i] = complex(rng.NormFloat64(), 0)
+			b[i] = complex(rng.NormFloat64(), 0)
+			sum[i] = a[i] + 2*b[i]
+		}
+		_ = Forward(a)
+		_ = Forward(b)
+		_ = Forward(sum)
+		for i := range sum {
+			if cmplx.Abs(sum[i]-(a[i]+2*b[i])) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGrid2DRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g := NewGrid(16, 8)
+	orig := make([]complex128, len(g.Data))
+	for i := range g.Data {
+		g.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		orig[i] = g.Data[i]
+	}
+	if err := g.Forward2D(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Inverse2D(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range g.Data {
+		if cmplx.Abs(g.Data[i]-orig[i]) > 1e-9 {
+			t.Fatalf("2D round trip diverged at %d", i)
+		}
+	}
+}
+
+func TestGrid2DSeparableTone(t *testing.T) {
+	// A 2-D plane wave lands in exactly one bin.
+	w, h := 16, 16
+	kx, ky := 2, 5
+	g := NewGrid(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			ang := 2 * math.Pi * (float64(kx*x)/float64(w) + float64(ky*y)/float64(h))
+			g.Set(x, y, cmplx.Exp(complex(0, ang)))
+		}
+	}
+	if err := g.Forward2D(); err != nil {
+		t.Fatal(err)
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			want := complex(0, 0)
+			if x == kx && y == ky {
+				want = complex(float64(w*h), 0)
+			}
+			if cmplx.Abs(g.At(x, y)-want) > 1e-8 {
+				t.Fatalf("bin (%d,%d) = %v, want %v", x, y, g.At(x, y), want)
+			}
+		}
+	}
+}
+
+func TestGridAtSetClone(t *testing.T) {
+	g := NewGrid(4, 4)
+	g.Set(1, 2, 3+4i)
+	if g.At(1, 2) != 3+4i {
+		t.Error("At/Set mismatch")
+	}
+	c := g.Clone()
+	c.Set(1, 2, 0)
+	if g.At(1, 2) != 3+4i {
+		t.Error("Clone must not share storage")
+	}
+}

@@ -1,0 +1,39 @@
+package gds_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"goopc/internal/gds"
+	"goopc/internal/geom"
+)
+
+func Example_roundTrip() {
+	// Build a tiny library, serialize it, read it back.
+	lib := gds.NewLibrary("DEMO")
+	cell := lib.AddStruct("INV")
+	cell.Add(&gds.Boundary{Layer: 2, XY: geom.R(0, 0, 180, 2000).Polygon()})
+	top := lib.AddStruct("TOP")
+	top.Add(&gds.ARef{Name: "INV", Cols: 4, Rows: 1,
+		ColStep: geom.Pt(560, 0), RowStep: geom.Pt(0, 5040)})
+
+	var buf bytes.Buffer
+	n, _ := gds.Write(&buf, lib)
+	back, _ := gds.Read(&buf)
+	st := gds.Collect(back)
+	fmt.Println("bytes:", n)
+	fmt.Println("structs:", st.Structs, "figures:", st.Figures(), "arefs:", st.ARefs)
+	// Output:
+	// bytes: 262
+	// structs: 2 figures: 1 arefs: 1
+}
+
+func ExampleReal8Encode() {
+	// GDSII's excess-64 float: 1.0 is exponent 65, mantissa 1/16.
+	b := gds.Real8Encode(1.0)
+	fmt.Printf("% x\n", b)
+	fmt.Println(gds.Real8Decode(b))
+	// Output:
+	// 41 10 00 00 00 00 00 00
+	// 1
+}

@@ -1,0 +1,310 @@
+package gds
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"goopc/internal/geom"
+)
+
+// Library is an in-memory GDSII library: named structures plus the unit
+// header. The database unit convention across this repository is
+// 1 DBU = 1 nm, i.e. UserUnit = 1e-3 (µm per DBU) and MeterUnit = 1e-9.
+type Library struct {
+	Name string
+	// UserUnit is the size of a database unit in user units.
+	UserUnit float64
+	// MeterUnit is the size of a database unit in meters.
+	MeterUnit float64
+	Structs   []*Struct
+
+	byName map[string]*Struct
+}
+
+// NewLibrary creates a library with the repository's nm database unit.
+func NewLibrary(name string) *Library {
+	return &Library{
+		Name:      name,
+		UserUnit:  1e-3,
+		MeterUnit: 1e-9,
+		byName:    map[string]*Struct{},
+	}
+}
+
+// AddStruct creates (or returns the existing) structure with the name.
+func (l *Library) AddStruct(name string) *Struct {
+	if l.byName == nil {
+		l.byName = map[string]*Struct{}
+	}
+	if s, ok := l.byName[name]; ok {
+		return s
+	}
+	s := &Struct{Name: name}
+	l.Structs = append(l.Structs, s)
+	l.byName[name] = s
+	return s
+}
+
+// Struct looks up a structure by name; nil when absent.
+func (l *Library) Struct(name string) *Struct {
+	if l.byName == nil {
+		l.byName = map[string]*Struct{}
+		for _, s := range l.Structs {
+			l.byName[s.Name] = s
+		}
+	}
+	return l.byName[name]
+}
+
+// Validate checks referential integrity: every SREF/AREF target exists
+// and no structure participates in a reference cycle.
+func (l *Library) Validate() error {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var visit func(s *Struct) error
+	visit = func(s *Struct) error {
+		color[s.Name] = gray
+		for _, el := range s.Elements {
+			var target string
+			switch e := el.(type) {
+			case *SRef:
+				target = e.Name
+			case *ARef:
+				target = e.Name
+			default:
+				continue
+			}
+			child := l.Struct(target)
+			if child == nil {
+				return fmt.Errorf("gds: structure %q references missing %q", s.Name, target)
+			}
+			switch color[child.Name] {
+			case gray:
+				return fmt.Errorf("gds: reference cycle through %q", child.Name)
+			case white:
+				if err := visit(child); err != nil {
+					return err
+				}
+			}
+		}
+		color[s.Name] = black
+		return nil
+	}
+	for _, s := range l.Structs {
+		if color[s.Name] == white {
+			if err := visit(s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Struct is one GDSII structure (a cell).
+type Struct struct {
+	Name     string
+	Elements []Element
+}
+
+// Add appends an element to the structure.
+func (s *Struct) Add(e Element) { s.Elements = append(s.Elements, e) }
+
+// Element is any GDSII element this library models.
+type Element interface {
+	element()
+}
+
+// Property is one PROPATTR/PROPVALUE pair attached to an element.
+type Property struct {
+	Attr  int16
+	Value string
+}
+
+// Boundary is a filled polygon on a layer. XY holds the ring without the
+// GDSII closing point; the writer adds it and the reader strips it.
+type Boundary struct {
+	Layer    int16
+	DataType int16
+	XY       geom.Polygon
+	Props    []Property
+}
+
+// Path is a wire with a width, drawn along a centerline.
+type Path struct {
+	Layer    int16
+	DataType int16
+	PathType int16 // 0 flush, 1 round (approximated square on read), 2 extended
+	Width    int32
+	XY       []geom.Point
+	Props    []Property
+}
+
+// Box is the GDSII BOX element: an annotation rectangle that carries no
+// mask data but survives round trips.
+type Box struct {
+	Layer   int16
+	BoxType int16
+	XY      geom.Polygon // 4-vertex ring (closing point stripped)
+	Props   []Property
+}
+
+// SRef places one instance of a named structure.
+type SRef struct {
+	Name   string
+	Strans Strans
+	Origin geom.Point
+}
+
+// ARef places a Cols x Rows array of a named structure. ColStep and
+// RowStep are the per-column and per-row displacement vectors (the GDSII
+// file stores the two far lattice corner points; the reader divides).
+type ARef struct {
+	Name       string
+	Strans     Strans
+	Cols, Rows int16
+	Origin     geom.Point
+	ColStep    geom.Point
+	RowStep    geom.Point
+}
+
+// Text is an annotation label.
+type Text struct {
+	Layer    int16
+	TextType int16
+	Origin   geom.Point
+	Strans   Strans
+	String   string
+}
+
+func (*Boundary) element() {}
+func (*Path) element()     {}
+func (*SRef) element()     {}
+func (*ARef) element()     {}
+func (*Text) element()     {}
+func (*Box) element()      {}
+
+// Strans is the GDSII placement transform: reflect about X (before
+// rotation), magnification, and CCW rotation in degrees.
+type Strans struct {
+	Reflect bool
+	Mag     float64 // 0 means 1.0
+	Angle   float64 // degrees CCW
+}
+
+// ErrOffAxisAngle is returned when a placement angle is not a multiple of
+// 90 degrees; the Manhattan geometry engine cannot represent it.
+var ErrOffAxisAngle = errors.New("gds: placement angle not a multiple of 90 degrees")
+
+// Orient converts the transform to a geom.Orient. Only right angles are
+// representable.
+func (s Strans) Orient() (geom.Orient, error) {
+	a := math.Mod(s.Angle, 360)
+	if a < 0 {
+		a += 360
+	}
+	q := int(math.Round(a / 90))
+	if math.Abs(a-float64(q)*90) > 1e-6 {
+		return geom.R0, fmt.Errorf("%w: %v", ErrOffAxisAngle, s.Angle)
+	}
+	q %= 4
+	// GDSII applies reflection about the X axis first, then rotation —
+	// exactly geom's MX-then-rotate convention.
+	o := geom.Orient(q)
+	if s.Reflect {
+		o += geom.MX
+	}
+	return o, nil
+}
+
+// Xform converts the transform plus an origin to a geom.Xform. The
+// magnification must be a positive integer in DBU geometry.
+func (s Strans) Xform(origin geom.Point) (geom.Xform, error) {
+	o, err := s.Orient()
+	if err != nil {
+		return geom.Xform{}, err
+	}
+	mag := geom.Coord(1)
+	if s.Mag != 0 {
+		m := math.Round(s.Mag)
+		if m < 1 || math.Abs(s.Mag-m) > 1e-9 {
+			return geom.Xform{}, fmt.Errorf("gds: non-integer magnification %v", s.Mag)
+		}
+		mag = geom.Coord(m)
+	}
+	return geom.Xform{Orient: o, Mag: mag, Offset: origin}, nil
+}
+
+// StransFromOrient builds the GDSII transform encoding a geom.Orient.
+func StransFromOrient(o geom.Orient) Strans {
+	return Strans{
+		Reflect: o.Mirrored(),
+		Angle:   float64(o.AngleDeg()),
+	}
+}
+
+// Outline returns the polygon a path expands to: each segment becomes a
+// rectangle of the path width, unioned; PathType 2 extends the ends by
+// half the width. Only Manhattan centerlines are supported.
+func (p *Path) Outline() ([]geom.Polygon, error) {
+	if p.Width <= 0 || len(p.XY) < 2 {
+		return nil, fmt.Errorf("gds: path needs width and >=2 points")
+	}
+	half := geom.Coord(p.Width / 2)
+	ext := geom.Coord(0)
+	if p.PathType == 2 || p.PathType == 1 {
+		ext = half // round ends approximated as square extensions
+	}
+	var rects []geom.Rect
+	for i := 0; i+1 < len(p.XY); i++ {
+		a, b := p.XY[i], p.XY[i+1]
+		switch {
+		case a.Y == b.Y && a.X != b.X: // horizontal
+			x0, x1 := a.X, b.X
+			if x0 > x1 {
+				x0, x1 = x1, x0
+			}
+			e0, e1 := geom.Coord(0), geom.Coord(0)
+			if i == 0 {
+				e0 = ext
+			}
+			if i+2 == len(p.XY) {
+				e1 = ext
+			}
+			if a.X > b.X {
+				e0, e1 = e1, e0
+			}
+			rects = append(rects, geom.R(x0-e0, a.Y-half, x1+e1, a.Y+half))
+		case a.X == b.X && a.Y != b.Y: // vertical
+			y0, y1 := a.Y, b.Y
+			if y0 > y1 {
+				y0, y1 = y1, y0
+			}
+			e0, e1 := geom.Coord(0), geom.Coord(0)
+			if i == 0 {
+				e0 = ext
+			}
+			if i+2 == len(p.XY) {
+				e1 = ext
+			}
+			if a.Y > b.Y {
+				e0, e1 = e1, e0
+			}
+			rects = append(rects, geom.R(a.X-half, y0-e0, a.X+half, y1+e1))
+		default:
+			return nil, fmt.Errorf("gds: non-Manhattan path segment %v->%v", a, b)
+		}
+		// Square joints: corner fill comes from the union of overlapping
+		// segment rectangles, which the half-width overlap provides when
+		// consecutive segments turn. Add an explicit joint square so
+		// flush-ended (PathType 0) corners are filled too.
+		if i+2 < len(p.XY) {
+			rects = append(rects, geom.R(b.X-half, b.Y-half, b.X+half, b.Y+half))
+		}
+	}
+	return geom.RegionFromRects(rects...).Polygons(), nil
+}

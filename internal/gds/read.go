@@ -1,0 +1,311 @@
+package gds
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"goopc/internal/geom"
+)
+
+// ErrCorrupt wraps all structural read failures.
+var ErrCorrupt = errors.New("gds: corrupt stream")
+
+// record is one decoded GDSII record.
+type record struct {
+	typ  RecordType
+	dt   DataType
+	data []byte
+}
+
+// recordReader pulls records off a stream with validation.
+type recordReader struct {
+	r   *bufio.Reader
+	buf []byte
+	// Bytes counts total stream bytes consumed, for stats.
+	Bytes int64
+}
+
+func newRecordReader(r io.Reader) *recordReader {
+	return &recordReader{r: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// next reads one record. io.EOF is returned only at a clean record
+// boundary.
+func (rr *recordReader) next() (record, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(rr.r, hdr[:1]); err != nil {
+		if err == io.EOF {
+			return record{}, io.EOF
+		}
+		return record{}, fmt.Errorf("%w: header: %v", ErrCorrupt, err)
+	}
+	if _, err := io.ReadFull(rr.r, hdr[1:]); err != nil {
+		return record{}, fmt.Errorf("%w: truncated header: %v", ErrCorrupt, err)
+	}
+	length := int(binary.BigEndian.Uint16(hdr[:2]))
+	typ := RecordType(hdr[2])
+	dt := DataType(hdr[3])
+	if length < 4 {
+		// Some writers pad the stream tail with zero words.
+		if length == 0 && typ == 0 && dt == 0 {
+			return record{}, io.EOF
+		}
+		return record{}, fmt.Errorf("%w: record %v length %d", ErrCorrupt, typ, length)
+	}
+	n := length - 4
+	if cap(rr.buf) < n {
+		rr.buf = make([]byte, n)
+	}
+	data := rr.buf[:n]
+	if _, err := io.ReadFull(rr.r, data); err != nil {
+		return record{}, fmt.Errorf("%w: record %v body: %v", ErrCorrupt, typ, err)
+	}
+	if want, ok := expectedDT[typ]; ok && dt != want {
+		return record{}, fmt.Errorf("%w: record %v has data type %v, want %v", ErrCorrupt, typ, dt, want)
+	}
+	rr.Bytes += int64(length)
+	return record{typ, dt, data}, nil
+}
+
+func (r record) int16s() []int16 {
+	out := make([]int16, len(r.data)/2)
+	for i := range out {
+		out[i] = int16(binary.BigEndian.Uint16(r.data[2*i:]))
+	}
+	return out
+}
+
+func (r record) int32s() []int32 {
+	out := make([]int32, len(r.data)/4)
+	for i := range out {
+		out[i] = int32(binary.BigEndian.Uint32(r.data[4*i:]))
+	}
+	return out
+}
+
+func (r record) real8s() []float64 {
+	out := make([]float64, len(r.data)/8)
+	for i := range out {
+		var b [8]byte
+		copy(b[:], r.data[8*i:])
+		out[i] = Real8Decode(b)
+	}
+	return out
+}
+
+func (r record) str() string {
+	b := r.data
+	// ASCII records are padded to even length with a NUL.
+	for len(b) > 0 && b[len(b)-1] == 0 {
+		b = b[:len(b)-1]
+	}
+	return string(b)
+}
+
+func (r record) points() []geom.Point {
+	vals := r.int32s()
+	out := make([]geom.Point, len(vals)/2)
+	for i := range out {
+		out[i] = geom.Pt(vals[2*i], vals[2*i+1])
+	}
+	return out
+}
+
+// Read parses a GDSII stream into a Library.
+func Read(r io.Reader) (*Library, error) {
+	rr := newRecordReader(r)
+	lib := NewLibrary("")
+	sawHeader := false
+	var cur *Struct
+
+	for {
+		rec, err := rr.next()
+		if err == io.EOF {
+			return nil, fmt.Errorf("%w: missing ENDLIB", ErrCorrupt)
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch rec.typ {
+		case RecHeader:
+			sawHeader = true
+		case RecBgnLib:
+			// timestamps ignored
+		case RecLibName:
+			lib.Name = rec.str()
+		case RecUnits:
+			u := rec.real8s()
+			if len(u) != 2 {
+				return nil, fmt.Errorf("%w: UNITS has %d reals", ErrCorrupt, len(u))
+			}
+			lib.UserUnit, lib.MeterUnit = u[0], u[1]
+		case RecBgnStr:
+			cur = nil // name comes in STRNAME
+		case RecStrName:
+			cur = lib.AddStruct(rec.str())
+		case RecEndStr:
+			cur = nil
+		case RecEndLib:
+			if !sawHeader {
+				return nil, fmt.Errorf("%w: missing HEADER", ErrCorrupt)
+			}
+			return lib, nil
+		case RecBoundary, RecPath, RecSRef, RecARef, RecText, RecBox, RecNode:
+			if cur == nil {
+				return nil, fmt.Errorf("%w: element %v outside structure", ErrCorrupt, rec.typ)
+			}
+			el, err := readElement(rr, rec.typ)
+			if err != nil {
+				return nil, err
+			}
+			if el != nil {
+				cur.Add(el)
+			}
+		default:
+			// Skip records we do not model (REFLIBS, FONTS, ...).
+		}
+	}
+}
+
+// readElement consumes records up to ENDEL and builds the element.
+// BOX and NODE elements are consumed and dropped (nil element).
+func readElement(rr *recordReader, kind RecordType) (Element, error) {
+	var (
+		layer, dtype, ttype, ptype, btype int16
+		width                             int32
+		xy                                []geom.Point
+		sname, text                       string
+		strans                            Strans
+		cols, rows                        int16
+		props                             []Property
+		pendingAttr                       int16
+		havePending                       bool
+	)
+	for {
+		rec, err := rr.next()
+		if err != nil {
+			return nil, fmt.Errorf("%w: inside %v element", ErrCorrupt, kind)
+		}
+		switch rec.typ {
+		case RecEndEl:
+			return buildElement(kind, layer, dtype, ttype, ptype, btype, width, xy, sname, text, strans, cols, rows, props)
+		case RecLayer:
+			layer = first16(rec)
+		case RecDataType:
+			dtype = first16(rec)
+		case RecTextType:
+			ttype = first16(rec)
+		case RecPathType:
+			ptype = first16(rec)
+		case RecWidth:
+			v := rec.int32s()
+			if len(v) > 0 {
+				width = v[0]
+			}
+		case RecXY:
+			xy = rec.points()
+		case RecSName:
+			sname = rec.str()
+		case RecString:
+			text = rec.str()
+		case RecSTrans:
+			if len(rec.data) >= 2 {
+				strans.Reflect = rec.data[0]&0x80 != 0
+			}
+		case RecMag:
+			v := rec.real8s()
+			if len(v) > 0 {
+				strans.Mag = v[0]
+			}
+		case RecAngle:
+			v := rec.real8s()
+			if len(v) > 0 {
+				strans.Angle = v[0]
+			}
+		case RecColRow:
+			v := rec.int16s()
+			if len(v) != 2 {
+				return nil, fmt.Errorf("%w: COLROW has %d values", ErrCorrupt, len(v))
+			}
+			cols, rows = v[0], v[1]
+		case RecBoxType:
+			btype = first16(rec)
+		case RecPropAttr:
+			pendingAttr = first16(rec)
+			havePending = true
+		case RecPropValue:
+			if havePending {
+				props = append(props, Property{Attr: pendingAttr, Value: rec.str()})
+				havePending = false
+			}
+		default:
+			// ELFLAGS, PLEX: skipped.
+		}
+	}
+}
+
+func first16(rec record) int16 {
+	v := rec.int16s()
+	if len(v) > 0 {
+		return v[0]
+	}
+	return 0
+}
+
+func buildElement(kind RecordType, layer, dtype, ttype, ptype, btype int16, width int32,
+	xy []geom.Point, sname, text string, strans Strans, cols, rows int16, props []Property) (Element, error) {
+	switch kind {
+	case RecBoundary:
+		if len(xy) < 4 {
+			return nil, fmt.Errorf("%w: boundary with %d points", ErrCorrupt, len(xy))
+		}
+		ring := geom.Polygon(xy)
+		if ring[0] == ring[len(ring)-1] {
+			ring = ring[:len(ring)-1] // strip GDSII closing point
+		}
+		return &Boundary{Layer: layer, DataType: dtype, XY: ring.Clone(), Props: props}, nil
+	case RecPath:
+		if len(xy) < 2 {
+			return nil, fmt.Errorf("%w: path with %d points", ErrCorrupt, len(xy))
+		}
+		pts := make([]geom.Point, len(xy))
+		copy(pts, xy)
+		return &Path{Layer: layer, DataType: dtype, PathType: ptype, Width: width, XY: pts, Props: props}, nil
+	case RecSRef:
+		if sname == "" || len(xy) < 1 {
+			return nil, fmt.Errorf("%w: SREF missing name or origin", ErrCorrupt)
+		}
+		return &SRef{Name: sname, Strans: strans, Origin: xy[0]}, nil
+	case RecARef:
+		if sname == "" || len(xy) != 3 || cols <= 0 || rows <= 0 {
+			return nil, fmt.Errorf("%w: AREF needs SNAME, COLROW and 3 XY points", ErrCorrupt)
+		}
+		origin := xy[0]
+		colStep := geom.Pt((xy[1].X-origin.X)/int32(cols), (xy[1].Y-origin.Y)/int32(cols))
+		rowStep := geom.Pt((xy[2].X-origin.X)/int32(rows), (xy[2].Y-origin.Y)/int32(rows))
+		return &ARef{
+			Name: sname, Strans: strans, Cols: cols, Rows: rows,
+			Origin: origin, ColStep: colStep, RowStep: rowStep,
+		}, nil
+	case RecText:
+		if len(xy) < 1 {
+			return nil, fmt.Errorf("%w: TEXT missing origin", ErrCorrupt)
+		}
+		return &Text{Layer: layer, TextType: ttype, Origin: xy[0], Strans: strans, String: text}, nil
+	case RecBox:
+		if len(xy) < 4 {
+			return nil, fmt.Errorf("%w: box with %d points", ErrCorrupt, len(xy))
+		}
+		ring := geom.Polygon(xy)
+		if ring[0] == ring[len(ring)-1] {
+			ring = ring[:len(ring)-1]
+		}
+		return &Box{Layer: layer, BoxType: btype, XY: ring.Clone(), Props: props}, nil
+	case RecNode:
+		return nil, nil // consumed, not modeled
+	}
+	return nil, fmt.Errorf("%w: unexpected element kind %v", ErrCorrupt, kind)
+}

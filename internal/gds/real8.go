@@ -1,0 +1,71 @@
+package gds
+
+import "math"
+
+// GDSII REAL8 is not IEEE 754: it is an excess-64, base-16 format with a
+// sign bit, 7 exponent bits, and a 56-bit mantissa interpreted as a
+// binary fraction. value = (-1)^sign * (mantissa / 2^56) * 16^(exp-64).
+
+// Real8Encode converts a float64 to the 8 GDSII real bytes. Values whose
+// magnitude is outside the representable range saturate; NaN encodes as
+// zero (GDSII has no NaN).
+func Real8Encode(v float64) [8]byte {
+	var out [8]byte
+	if v == 0 || math.IsNaN(v) {
+		return out
+	}
+	sign := byte(0)
+	if v < 0 {
+		sign = 0x80
+		v = -v
+	}
+	// Find e such that v / 16^(e-64) is in [1/16, 1).
+	exp := 64
+	for v >= 1 {
+		v /= 16
+		exp++
+	}
+	for v < 1.0/16 {
+		v *= 16
+		exp--
+	}
+	if exp < 0 {
+		return out // underflow to zero
+	}
+	if exp > 127 {
+		exp = 127
+		v = 1 - math.Pow(2, -56) // saturate
+	}
+	mant := uint64(v * (1 << 56))
+	if mant >= 1<<56 { // rounding pushed it out of range
+		mant >>= 4
+		exp++
+		if exp > 127 {
+			exp, mant = 127, 1<<56-1
+		}
+	}
+	out[0] = sign | byte(exp)
+	for i := 6; i >= 0; i-- {
+		out[1+i] = byte(mant)
+		mant >>= 8
+	}
+	return out
+}
+
+// Real8Decode converts 8 GDSII real bytes to a float64.
+func Real8Decode(b [8]byte) float64 {
+	sign := b[0]&0x80 != 0
+	exp := int(b[0] & 0x7F)
+	var mant uint64
+	for i := 0; i < 7; i++ {
+		mant = mant<<8 | uint64(b[1+i])
+	}
+	if mant == 0 {
+		return 0
+	}
+	v := float64(mant) / float64(uint64(1)<<56) * math.Pow(16, float64(exp-64))
+	if sign {
+		v = -v
+	}
+	return v
+}

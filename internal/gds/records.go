@@ -1,0 +1,132 @@
+// Package gds implements the GDSII stream format: the binary record
+// codec (including excess-64 REAL8 floats), a reader and writer for the
+// element subset that mask layout work uses (BOUNDARY, PATH, SREF, AREF,
+// TEXT, BOX with properties; NODE is skipped), and an in-memory
+// library/structure model.
+//
+// GDSII is the interchange format the reproduced paper's flow lives in;
+// no Go EDA library exists, so this package is written against the Calma
+// GDSII Stream Format release 6 description. Byte order is big-endian
+// throughout.
+package gds
+
+import "fmt"
+
+// RecordType identifies a GDSII record header type byte.
+type RecordType uint8
+
+// GDSII record types (the subset this library reads and writes, plus the
+// ones it must be able to skip).
+const (
+	RecHeader       RecordType = 0x00
+	RecBgnLib       RecordType = 0x01
+	RecLibName      RecordType = 0x02
+	RecUnits        RecordType = 0x03
+	RecEndLib       RecordType = 0x04
+	RecBgnStr       RecordType = 0x05
+	RecStrName      RecordType = 0x06
+	RecEndStr       RecordType = 0x07
+	RecBoundary     RecordType = 0x08
+	RecPath         RecordType = 0x09
+	RecSRef         RecordType = 0x0A
+	RecARef         RecordType = 0x0B
+	RecText         RecordType = 0x0C
+	RecLayer        RecordType = 0x0D
+	RecDataType     RecordType = 0x0E
+	RecWidth        RecordType = 0x0F
+	RecXY           RecordType = 0x10
+	RecEndEl        RecordType = 0x11
+	RecSName        RecordType = 0x12
+	RecColRow       RecordType = 0x13
+	RecNode         RecordType = 0x15
+	RecTextType     RecordType = 0x16
+	RecPresentation RecordType = 0x17
+	RecString       RecordType = 0x19
+	RecSTrans       RecordType = 0x1A
+	RecMag          RecordType = 0x1B
+	RecAngle        RecordType = 0x1C
+	RecRefLibs      RecordType = 0x1F
+	RecFonts        RecordType = 0x20
+	RecPathType     RecordType = 0x21
+	RecGenerations  RecordType = 0x22
+	RecAttrTable    RecordType = 0x23
+	RecElFlags      RecordType = 0x26
+	RecNodeType     RecordType = 0x2A
+	RecPropAttr     RecordType = 0x2B
+	RecPropValue    RecordType = 0x2C
+	RecBox          RecordType = 0x2D
+	RecBoxType      RecordType = 0x2E
+	RecPlex         RecordType = 0x2F
+	RecBgnExtn      RecordType = 0x30
+	RecEndExtn      RecordType = 0x31
+)
+
+var recNames = map[RecordType]string{
+	RecHeader: "HEADER", RecBgnLib: "BGNLIB", RecLibName: "LIBNAME",
+	RecUnits: "UNITS", RecEndLib: "ENDLIB", RecBgnStr: "BGNSTR",
+	RecStrName: "STRNAME", RecEndStr: "ENDSTR", RecBoundary: "BOUNDARY",
+	RecPath: "PATH", RecSRef: "SREF", RecARef: "AREF", RecText: "TEXT",
+	RecLayer: "LAYER", RecDataType: "DATATYPE", RecWidth: "WIDTH",
+	RecXY: "XY", RecEndEl: "ENDEL", RecSName: "SNAME", RecColRow: "COLROW",
+	RecNode: "NODE", RecTextType: "TEXTTYPE", RecPresentation: "PRESENTATION",
+	RecString: "STRING", RecSTrans: "STRANS", RecMag: "MAG", RecAngle: "ANGLE",
+	RecPathType: "PATHTYPE", RecElFlags: "ELFLAGS", RecPlex: "PLEX",
+	RecBox: "BOX", RecBoxType: "BOXTYPE", RecPropAttr: "PROPATTR",
+	RecPropValue: "PROPVALUE", RecBgnExtn: "BGNEXTN", RecEndExtn: "ENDEXTN",
+}
+
+func (r RecordType) String() string {
+	if n, ok := recNames[r]; ok {
+		return n
+	}
+	return fmt.Sprintf("REC(0x%02X)", uint8(r))
+}
+
+// DataType is the GDSII record data-type byte.
+type DataType uint8
+
+// GDSII data type codes.
+const (
+	DTNone     DataType = 0
+	DTBitArray DataType = 1
+	DTInt16    DataType = 2
+	DTInt32    DataType = 3
+	DTReal4    DataType = 4
+	DTReal8    DataType = 5
+	DTASCII    DataType = 6
+)
+
+func (d DataType) String() string {
+	switch d {
+	case DTNone:
+		return "none"
+	case DTBitArray:
+		return "bits"
+	case DTInt16:
+		return "i16"
+	case DTInt32:
+		return "i32"
+	case DTReal4:
+		return "r4"
+	case DTReal8:
+		return "r8"
+	case DTASCII:
+		return "ascii"
+	}
+	return fmt.Sprintf("dt(%d)", uint8(d))
+}
+
+// expectedDT maps record types to the data type the spec requires, for
+// validation on read. Absent entries are not validated.
+var expectedDT = map[RecordType]DataType{
+	RecHeader: DTInt16, RecBgnLib: DTInt16, RecLibName: DTASCII,
+	RecUnits: DTReal8, RecEndLib: DTNone, RecBgnStr: DTInt16,
+	RecStrName: DTASCII, RecEndStr: DTNone, RecBoundary: DTNone,
+	RecPath: DTNone, RecSRef: DTNone, RecARef: DTNone, RecText: DTNone,
+	RecLayer: DTInt16, RecDataType: DTInt16, RecWidth: DTInt32,
+	RecXY: DTInt32, RecEndEl: DTNone, RecSName: DTASCII,
+	RecColRow: DTInt16, RecTextType: DTInt16, RecString: DTASCII,
+	RecSTrans: DTBitArray, RecMag: DTReal8, RecAngle: DTReal8,
+	RecPathType: DTInt16, RecBoxType: DTInt16,
+	RecPropAttr: DTInt16, RecPropValue: DTASCII, RecBox: DTNone,
+}

@@ -1,0 +1,98 @@
+package gds
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Stats summarizes the mask-data cost of a library: the figure and
+// vertex counts that drive mask write time and the byte volume that
+// drives data handling. These are the quantities the paper's
+// "impact on design and layout" discussion tracks across OPC levels.
+type Stats struct {
+	Structs    int
+	Boundaries int
+	Paths      int
+	SRefs      int
+	ARefs      int
+	Texts      int
+	// Vertices counts boundary ring vertices (excluding the implicit
+	// closing point) plus path centerline points.
+	Vertices int
+	// Bytes is the serialized GDSII stream size; zero until measured via
+	// MeasureBytes or CollectWithBytes.
+	Bytes int64
+	// PerLayer maps layer number to boundary+path figure count.
+	PerLayer map[int16]int
+}
+
+// Collect walks the library and tallies element statistics.
+func Collect(lib *Library) Stats {
+	st := Stats{PerLayer: map[int16]int{}}
+	st.Structs = len(lib.Structs)
+	for _, s := range lib.Structs {
+		for _, el := range s.Elements {
+			switch e := el.(type) {
+			case *Boundary:
+				st.Boundaries++
+				st.Vertices += len(e.XY)
+				st.PerLayer[e.Layer]++
+			case *Path:
+				st.Paths++
+				st.Vertices += len(e.XY)
+				st.PerLayer[e.Layer]++
+			case *SRef:
+				st.SRefs++
+			case *ARef:
+				st.ARefs++
+			case *Text:
+				st.Texts++
+			}
+		}
+	}
+	return st
+}
+
+// MeasureBytes serializes the library to a counting sink and returns the
+// exact stream size.
+func MeasureBytes(lib *Library) (int64, error) {
+	return Write(io.Discard, lib)
+}
+
+// CollectWithBytes tallies statistics and fills in the serialized size.
+func CollectWithBytes(lib *Library) (Stats, error) {
+	st := Collect(lib)
+	n, err := MeasureBytes(lib)
+	if err != nil {
+		return st, err
+	}
+	st.Bytes = n
+	return st, nil
+}
+
+// Figures returns the total drawn figure count (boundaries + paths).
+func (s Stats) Figures() int { return s.Boundaries + s.Paths }
+
+// String formats the stats as a one-line report.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "structs=%d figures=%d (bnd=%d path=%d) refs=%d/%d vertices=%d",
+		s.Structs, s.Figures(), s.Boundaries, s.Paths, s.SRefs, s.ARefs, s.Vertices)
+	if s.Bytes > 0 {
+		fmt.Fprintf(&b, " bytes=%d", s.Bytes)
+	}
+	if len(s.PerLayer) > 0 {
+		layers := make([]int, 0, len(s.PerLayer))
+		for l := range s.PerLayer {
+			layers = append(layers, int(l))
+		}
+		sort.Ints(layers)
+		b.WriteString(" layers:")
+		for _, l := range layers {
+			fmt.Fprintf(&b, " %d=%d", l, s.PerLayer[int16(l)])
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,233 @@
+package gds
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"goopc/internal/geom"
+)
+
+// maxXYPerRecord bounds the points in one XY record. The GDSII record
+// length field is 16 bits, giving at most 8191 coordinate pairs; the
+// historical limit for boundaries is 8191 vertices but many tools cap at
+// 8000. Boundaries larger than this are rejected (mask flows fracture
+// them first).
+const maxXYPerRecord = 8000
+
+// recordWriter emits records and counts bytes.
+type recordWriter struct {
+	w     *bufio.Writer
+	Bytes int64
+	err   error
+}
+
+func newRecordWriter(w io.Writer) *recordWriter {
+	return &recordWriter{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+func (rw *recordWriter) rec(t RecordType, dt DataType, data []byte) {
+	if rw.err != nil {
+		return
+	}
+	n := len(data) + 4
+	if n > 0xFFFF {
+		rw.err = fmt.Errorf("gds: record %v too long (%d bytes)", t, n)
+		return
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint16(hdr[:2], uint16(n))
+	hdr[2] = byte(t)
+	hdr[3] = byte(dt)
+	if _, err := rw.w.Write(hdr[:]); err != nil {
+		rw.err = err
+		return
+	}
+	if _, err := rw.w.Write(data); err != nil {
+		rw.err = err
+		return
+	}
+	rw.Bytes += int64(n)
+}
+
+func (rw *recordWriter) none(t RecordType) { rw.rec(t, DTNone, nil) }
+
+func (rw *recordWriter) i16(t RecordType, vals ...int16) {
+	b := make([]byte, 2*len(vals))
+	for i, v := range vals {
+		binary.BigEndian.PutUint16(b[2*i:], uint16(v))
+	}
+	rw.rec(t, DTInt16, b)
+}
+
+func (rw *recordWriter) i32(t RecordType, vals ...int32) {
+	b := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.BigEndian.PutUint32(b[4*i:], uint32(v))
+	}
+	rw.rec(t, DTInt32, b)
+}
+
+func (rw *recordWriter) r8(t RecordType, vals ...float64) {
+	b := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		e := Real8Encode(v)
+		copy(b[8*i:], e[:])
+	}
+	rw.rec(t, DTReal8, b)
+}
+
+func (rw *recordWriter) ascii(t RecordType, s string) {
+	b := []byte(s)
+	if len(b)%2 == 1 {
+		b = append(b, 0)
+	}
+	rw.rec(t, DTASCII, b)
+}
+
+func (rw *recordWriter) xy(pts []geom.Point) {
+	vals := make([]int32, 0, 2*len(pts))
+	for _, p := range pts {
+		vals = append(vals, p.X, p.Y)
+	}
+	rw.i32(RecXY, vals...)
+}
+
+// fixedStamp is the BGNLIB/BGNSTR timestamp written to every stream.
+// A constant stamp keeps output byte-for-byte reproducible, which the
+// data-volume experiments depend on.
+var fixedStamp = []int16{2001, 6, 18, 12, 0, 0, 2001, 6, 18, 12, 0, 0}
+
+// Write serializes the library as a GDSII stream and returns the number
+// of bytes written. The byte count is the exact mask-data volume used by
+// the impact experiments.
+func Write(w io.Writer, lib *Library) (int64, error) {
+	rw := newRecordWriter(w)
+	rw.i16(RecHeader, 600) // stream version 6
+	rw.i16(RecBgnLib, fixedStamp...)
+	name := lib.Name
+	if name == "" {
+		name = "LIB"
+	}
+	rw.ascii(RecLibName, name)
+	uu, mu := lib.UserUnit, lib.MeterUnit
+	if uu == 0 {
+		uu = 1e-3
+	}
+	if mu == 0 {
+		mu = 1e-9
+	}
+	rw.r8(RecUnits, uu, mu)
+	for _, s := range lib.Structs {
+		if err := writeStruct(rw, s); err != nil {
+			return rw.Bytes, err
+		}
+	}
+	rw.none(RecEndLib)
+	if rw.err != nil {
+		return rw.Bytes, rw.err
+	}
+	if err := rw.w.Flush(); err != nil {
+		return rw.Bytes, err
+	}
+	return rw.Bytes, nil
+}
+
+func writeStruct(rw *recordWriter, s *Struct) error {
+	rw.i16(RecBgnStr, fixedStamp...)
+	rw.ascii(RecStrName, s.Name)
+	for _, el := range s.Elements {
+		switch e := el.(type) {
+		case *Boundary:
+			if len(e.XY) < 3 {
+				return fmt.Errorf("gds: boundary in %q has %d vertices", s.Name, len(e.XY))
+			}
+			if len(e.XY)+1 > maxXYPerRecord {
+				return fmt.Errorf("gds: boundary in %q has %d vertices, exceeds format limit", s.Name, len(e.XY))
+			}
+			rw.none(RecBoundary)
+			rw.i16(RecLayer, e.Layer)
+			rw.i16(RecDataType, e.DataType)
+			ring := append([]geom.Point{}, e.XY...)
+			ring = append(ring, e.XY[0]) // GDSII closes explicitly
+			rw.xy(ring)
+			writeProps(rw, e.Props)
+			rw.none(RecEndEl)
+		case *Path:
+			rw.none(RecPath)
+			rw.i16(RecLayer, e.Layer)
+			rw.i16(RecDataType, e.DataType)
+			if e.PathType != 0 {
+				rw.i16(RecPathType, e.PathType)
+			}
+			rw.i32(RecWidth, e.Width)
+			rw.xy(e.XY)
+			writeProps(rw, e.Props)
+			rw.none(RecEndEl)
+		case *Box:
+			if len(e.XY) != 4 {
+				return fmt.Errorf("gds: box in %q has %d vertices", s.Name, len(e.XY))
+			}
+			rw.none(RecBox)
+			rw.i16(RecLayer, e.Layer)
+			rw.i16(RecBoxType, e.BoxType)
+			ring := append([]geom.Point{}, e.XY...)
+			ring = append(ring, e.XY[0])
+			rw.xy(ring)
+			writeProps(rw, e.Props)
+			rw.none(RecEndEl)
+		case *SRef:
+			rw.none(RecSRef)
+			rw.ascii(RecSName, e.Name)
+			writeStrans(rw, e.Strans)
+			rw.xy([]geom.Point{e.Origin})
+			rw.none(RecEndEl)
+		case *ARef:
+			rw.none(RecARef)
+			rw.ascii(RecSName, e.Name)
+			writeStrans(rw, e.Strans)
+			rw.i16(RecColRow, e.Cols, e.Rows)
+			p1 := geom.Pt(e.Origin.X+e.ColStep.X*int32(e.Cols), e.Origin.Y+e.ColStep.Y*int32(e.Cols))
+			p2 := geom.Pt(e.Origin.X+e.RowStep.X*int32(e.Rows), e.Origin.Y+e.RowStep.Y*int32(e.Rows))
+			rw.xy([]geom.Point{e.Origin, p1, p2})
+			rw.none(RecEndEl)
+		case *Text:
+			rw.none(RecText)
+			rw.i16(RecLayer, e.Layer)
+			rw.i16(RecTextType, e.TextType)
+			writeStrans(rw, e.Strans)
+			rw.xy([]geom.Point{e.Origin})
+			rw.ascii(RecString, e.String)
+			rw.none(RecEndEl)
+		default:
+			return fmt.Errorf("gds: unsupported element %T in %q", el, s.Name)
+		}
+	}
+	rw.none(RecEndStr)
+	return rw.err
+}
+
+func writeProps(rw *recordWriter, props []Property) {
+	for _, p := range props {
+		rw.i16(RecPropAttr, p.Attr)
+		rw.ascii(RecPropValue, p.Value)
+	}
+}
+
+func writeStrans(rw *recordWriter, s Strans) {
+	if !s.Reflect && s.Mag == 0 && s.Angle == 0 {
+		return
+	}
+	var bits [2]byte
+	if s.Reflect {
+		bits[0] = 0x80
+	}
+	rw.rec(RecSTrans, DTBitArray, bits[:])
+	if s.Mag != 0 && s.Mag != 1 {
+		rw.r8(RecMag, s.Mag)
+	}
+	if s.Angle != 0 {
+		rw.r8(RecAngle, s.Angle)
+	}
+}

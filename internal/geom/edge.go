@@ -1,0 +1,196 @@
+package geom
+
+import "fmt"
+
+// Dir is an axis-aligned edge direction, the direction of travel when
+// walking the ring.
+type Dir uint8
+
+// Edge directions. For a counter-clockwise ring the filled interior lies
+// to the left of the direction of travel.
+const (
+	East Dir = iota
+	North
+	West
+	South
+)
+
+func (d Dir) String() string {
+	switch d {
+	case East:
+		return "E"
+	case North:
+		return "N"
+	case West:
+		return "W"
+	case South:
+		return "S"
+	}
+	return "?"
+}
+
+// Horizontal reports whether the direction is east or west.
+func (d Dir) Horizontal() bool { return d == East || d == West }
+
+// Opposite returns the reversed direction.
+func (d Dir) Opposite() Dir { return (d + 2) % 4 }
+
+// Left returns the direction after a 90-degree left (CCW) turn.
+func (d Dir) Left() Dir { return (d + 1) % 4 }
+
+// Right returns the direction after a 90-degree right (CW) turn.
+func (d Dir) Right() Dir { return (d + 3) % 4 }
+
+// Normal returns the outward unit normal of an edge traveling in
+// direction d on a counter-clockwise ring (interior on the left, so the
+// outward normal is to the right).
+func (d Dir) Normal() Point {
+	switch d {
+	case East:
+		return Point{0, -1}
+	case North:
+		return Point{1, 0}
+	case West:
+		return Point{0, 1}
+	default: // South
+		return Point{-1, 0}
+	}
+}
+
+// Delta returns the unit step of the direction.
+func (d Dir) Delta() Point {
+	switch d {
+	case East:
+		return Point{1, 0}
+	case North:
+		return Point{0, 1}
+	case West:
+		return Point{-1, 0}
+	default:
+		return Point{0, -1}
+	}
+}
+
+// DirOf classifies the direction of the axis-aligned segment a->b.
+// It panics on non-axis-aligned or zero-length input; callers validate
+// polygons before walking edges.
+func DirOf(a, b Point) Dir {
+	switch {
+	case b.X > a.X && b.Y == a.Y:
+		return East
+	case b.X < a.X && b.Y == a.Y:
+		return West
+	case b.Y > a.Y && b.X == a.X:
+		return North
+	case b.Y < a.Y && b.X == a.X:
+		return South
+	}
+	panic(fmt.Sprintf("geom: DirOf on non-Manhattan segment %v->%v", a, b))
+}
+
+// CornerKind classifies a polygon vertex by the turn taken there.
+type CornerKind uint8
+
+const (
+	// Convex corners turn left on a CCW ring (90-degree exterior corner).
+	Convex CornerKind = iota
+	// Concave corners turn right on a CCW ring (270-degree interior corner).
+	Concave
+	// Straight marks collinear vertices, which Normalize removes.
+	Straight
+)
+
+func (k CornerKind) String() string {
+	switch k {
+	case Convex:
+		return "convex"
+	case Concave:
+		return "concave"
+	default:
+		return "straight"
+	}
+}
+
+// Edge is one directed axis-aligned polygon edge, annotated with the
+// corner classification at both of its endpoints. OPC fragmentation and
+// correction operate on these.
+type Edge struct {
+	A, B Point
+	Dir  Dir
+	// CornerA and CornerB classify the vertex at A (between the previous
+	// edge and this one) and at B (between this edge and the next one).
+	CornerA, CornerB CornerKind
+}
+
+// Len returns the edge length in DBU.
+func (e Edge) Len() Coord {
+	if e.Dir.Horizontal() {
+		if e.B.X > e.A.X {
+			return e.B.X - e.A.X
+		}
+		return e.A.X - e.B.X
+	}
+	if e.B.Y > e.A.Y {
+		return e.B.Y - e.A.Y
+	}
+	return e.A.Y - e.B.Y
+}
+
+// Mid returns the midpoint of the edge.
+func (e Edge) Mid() Point {
+	return Point{(e.A.X + e.B.X) / 2, (e.A.Y + e.B.Y) / 2}
+}
+
+// Normal returns the outward normal, assuming the parent ring is CCW.
+func (e Edge) Normal() Point { return e.Dir.Normal() }
+
+// Edges decomposes a validated CCW ring into its directed edges with
+// corner classification. For a clockwise ring the corner kinds come out
+// inverted; callers that care must orient rings first.
+func (p Polygon) Edges() []Edge {
+	n := len(p)
+	if n < 4 {
+		return nil
+	}
+	dirs := make([]Dir, n)
+	for i := 0; i < n; i++ {
+		dirs[i] = DirOf(p[i], p[(i+1)%n])
+	}
+	turn := func(from, to Dir) CornerKind {
+		switch {
+		case to == from.Left():
+			return Convex
+		case to == from.Right():
+			return Concave
+		default:
+			return Straight
+		}
+	}
+	out := make([]Edge, n)
+	for i := 0; i < n; i++ {
+		prev := dirs[(i-1+n)%n]
+		next := dirs[(i+1)%n]
+		out[i] = Edge{
+			A:       p[i],
+			B:       p[(i+1)%n],
+			Dir:     dirs[i],
+			CornerA: turn(prev, dirs[i]),
+			CornerB: turn(dirs[i], next),
+		}
+	}
+	return out
+}
+
+// CountCorners returns the number of convex and concave corners of a CCW
+// ring.
+func (p Polygon) CountCorners() (convex, concave int) {
+	for _, e := range p.Edges() {
+		switch e.CornerB {
+		case Convex:
+			convex++
+		case Concave:
+			concave++
+		}
+	}
+	return
+}

@@ -1,0 +1,68 @@
+package geom_test
+
+import (
+	"fmt"
+
+	"goopc/internal/geom"
+)
+
+func ExampleRegion_booleans() {
+	a := geom.RegionFromRects(geom.R(0, 0, 100, 100))
+	b := geom.RegionFromRects(geom.R(50, 0, 150, 100))
+	fmt.Println("or :", a.Union(b).Area())
+	fmt.Println("and:", a.Intersect(b).Area())
+	fmt.Println("sub:", a.Subtract(b).Area())
+	fmt.Println("xor:", a.Xor(b).Area())
+	// Output:
+	// or : 15000
+	// and: 5000
+	// sub: 5000
+	// xor: 10000
+}
+
+func ExampleRegion_Polygons() {
+	// Two touching rectangles merge into one L-shaped ring.
+	g := geom.RegionFromRects(
+		geom.R(0, 0, 200, 100),
+		geom.R(0, 100, 100, 200),
+	)
+	rings := g.Polygons()
+	fmt.Println("rings:", len(rings))
+	fmt.Println("vertices:", rings[0].VertexCount())
+	fmt.Println("area:", rings[0].Area())
+	// Output:
+	// rings: 1
+	// vertices: 6
+	// area: 30000
+}
+
+func ExampleRegion_NarrowerThan() {
+	// A 180-wide line passes a 180 check; a 100-wide sliver fails.
+	g := geom.RegionFromRects(
+		geom.R(0, 0, 180, 2000),
+		geom.R(500, 0, 600, 2000),
+	)
+	violations := g.NarrowerThan(180)
+	fmt.Println("violation area:", violations.Area())
+	fmt.Println("at:", violations.BBox())
+	// Output:
+	// violation area: 200000
+	// at: [500,0;600,2000]
+}
+
+func ExampleFragmentPolygon() {
+	// A short bar dissects into line ends, corner zones and runs.
+	bar := geom.R(0, 0, 600, 200).Polygon()
+	frags := geom.FragmentPolygon(bar, 0, geom.DefaultFragmentSpec())
+	counts := map[geom.FragmentKind]int{}
+	for _, f := range frags {
+		counts[f.Kind]++
+	}
+	fmt.Println("line-ends:", counts[geom.LineEndFragment])
+	fmt.Println("corners:", counts[geom.ConvexCornerFragment])
+	fmt.Println("runs:", counts[geom.RunFragment])
+	// Output:
+	// line-ends: 2
+	// corners: 4
+	// runs: 6
+}

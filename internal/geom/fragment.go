@@ -1,0 +1,201 @@
+package geom
+
+// Fragment is one correctable piece of a polygon edge. Model-based OPC
+// dissects every polygon edge into fragments, evaluates the edge
+// placement error at each fragment's control site, and moves each
+// fragment independently along its outward normal.
+type Fragment struct {
+	Edge Edge
+	// PolyIndex and EdgeIndex identify the source edge within the
+	// fragmented polygon set; FragIndex numbers fragments along the edge.
+	PolyIndex, EdgeIndex, FragIndex int
+	// Kind tags the fragment for rule selection: corner fragments sit
+	// adjacent to a convex or concave corner, line-end fragments span a
+	// full short edge between two convex corners.
+	Kind FragmentKind
+	// Bias is the current displacement along the outward normal in DBU;
+	// OPC iterations update it.
+	Bias Coord
+}
+
+// FragmentKind classifies a fragment by its position on the polygon.
+type FragmentKind uint8
+
+const (
+	// RunFragment is an interior piece of a long edge.
+	RunFragment FragmentKind = iota
+	// ConvexCornerFragment abuts at least one convex corner.
+	ConvexCornerFragment
+	// ConcaveCornerFragment abuts at least one concave corner.
+	ConcaveCornerFragment
+	// LineEndFragment is an entire short edge bounded by two convex
+	// corners: the tip of a line, the prime site for hammerheads.
+	LineEndFragment
+)
+
+func (k FragmentKind) String() string {
+	switch k {
+	case RunFragment:
+		return "run"
+	case ConvexCornerFragment:
+		return "convex-corner"
+	case ConcaveCornerFragment:
+		return "concave-corner"
+	case LineEndFragment:
+		return "line-end"
+	}
+	return "?"
+}
+
+// FragmentSpec controls edge dissection.
+type FragmentSpec struct {
+	// MaxLen is the maximum fragment length; longer edges are split into
+	// equal pieces no longer than this.
+	MaxLen Coord
+	// CornerLen carves a dedicated fragment of this length next to each
+	// corner so corners can be corrected independently of the edge run.
+	CornerLen Coord
+	// LineEndMax is the longest edge still treated as a line end when
+	// bounded by two convex corners.
+	LineEndMax Coord
+}
+
+// DefaultFragmentSpec matches a 2001-era 248 nm recipe: 80 nm corner
+// zones, 200 nm maximum run fragments, line ends up to 250 nm wide.
+func DefaultFragmentSpec() FragmentSpec {
+	return FragmentSpec{MaxLen: 200, CornerLen: 80, LineEndMax: 250}
+}
+
+// FragmentPolygon dissects a CCW ring into fragments per the spec.
+// Corner zones are carved first; the remaining run is split into pieces
+// of at most MaxLen. Edges short enough to be line ends become a single
+// LineEndFragment.
+func FragmentPolygon(p Polygon, polyIdx int, spec FragmentSpec) []Fragment {
+	edges := p.Edges()
+	var out []Fragment
+	for ei, e := range edges {
+		l := e.Len()
+		if l <= 0 {
+			continue
+		}
+		if e.CornerA == Convex && e.CornerB == Convex && l <= spec.LineEndMax {
+			out = append(out, Fragment{Edge: e, PolyIndex: polyIdx, EdgeIndex: ei, Kind: LineEndFragment})
+			continue
+		}
+		// Walk the edge from A to B carving sub-fragments.
+		type piece struct {
+			off, length Coord
+			kind        FragmentKind
+		}
+		var pieces []piece
+		cornerKind := func(c CornerKind) FragmentKind {
+			if c == Concave {
+				return ConcaveCornerFragment
+			}
+			return ConvexCornerFragment
+		}
+		remainingStart, remainingEnd := Coord(0), l
+		if spec.CornerLen > 0 && l > 2*spec.CornerLen {
+			pieces = append(pieces, piece{0, spec.CornerLen, cornerKind(e.CornerA)})
+			pieces = append(pieces, piece{l - spec.CornerLen, spec.CornerLen, cornerKind(e.CornerB)})
+			remainingStart, remainingEnd = spec.CornerLen, l-spec.CornerLen
+		}
+		run := remainingEnd - remainingStart
+		if run > 0 {
+			n := 1
+			if spec.MaxLen > 0 {
+				n = int((run + spec.MaxLen - 1) / spec.MaxLen)
+			}
+			step := run / Coord(n)
+			off := remainingStart
+			for i := 0; i < n; i++ {
+				length := step
+				if i == n-1 {
+					length = remainingEnd - off
+				}
+				kind := RunFragment
+				if len(pieces) == 0 { // no separate corner zones carved
+					if i == 0 && e.CornerA != Straight {
+						kind = cornerKind(e.CornerA)
+					}
+					if i == n-1 && e.CornerB != Straight {
+						kind = cornerKind(e.CornerB)
+					}
+				}
+				pieces = append(pieces, piece{off, length, kind})
+				off += length
+			}
+		}
+		// Order pieces along the edge (insertion sort: lists are tiny) and
+		// materialize fragments.
+		for i := 1; i < len(pieces); i++ {
+			for j := i; j > 0 && pieces[j].off < pieces[j-1].off; j-- {
+				pieces[j], pieces[j-1] = pieces[j-1], pieces[j]
+			}
+		}
+		d := e.Dir.Delta()
+		for fi, pc := range pieces {
+			a := Point{e.A.X + d.X*pc.off, e.A.Y + d.Y*pc.off}
+			b := Point{a.X + d.X*pc.length, a.Y + d.Y*pc.length}
+			sub := Edge{A: a, B: b, Dir: e.Dir, CornerA: Straight, CornerB: Straight}
+			if pc.off == 0 {
+				sub.CornerA = e.CornerA
+			}
+			if pc.off+pc.length == l {
+				sub.CornerB = e.CornerB
+			}
+			out = append(out, Fragment{Edge: sub, PolyIndex: polyIdx, EdgeIndex: ei, FragIndex: fi, Kind: pc.kind})
+		}
+	}
+	return out
+}
+
+// RebuildPolygon reassembles a ring from its fragments after biases have
+// been applied. Each fragment edge is shifted along its outward normal by
+// its bias; consecutive shifted edges are reconnected: perpendicular
+// neighbors meet at the intersection of their carrier lines, while
+// collinear neighbors with different biases get a connector jog. The
+// result can self-intersect for extreme biases; callers clean up with
+// RegionFromPolygons when needed.
+//
+// Fragments must be in ring order (as produced by FragmentPolygon for a
+// single polygon).
+func RebuildPolygon(frags []Fragment) Polygon {
+	n := len(frags)
+	if n == 0 {
+		return nil
+	}
+	// Shifted carrier line for each fragment: for horizontal edges the
+	// line is y = const; for vertical, x = const.
+	linePos := make([]Coord, n)
+	for i, f := range frags {
+		nrm := f.Edge.Normal()
+		if f.Edge.Dir.Horizontal() {
+			linePos[i] = f.Edge.A.Y + nrm.Y*f.Bias
+		} else {
+			linePos[i] = f.Edge.A.X + nrm.X*f.Bias
+		}
+	}
+	var ring Polygon
+	for i := 0; i < n; i++ {
+		cur, next := frags[i], frags[(i+1)%n]
+		cp, np := linePos[i], linePos[(i+1)%n]
+		if cur.Edge.Dir.Horizontal() == next.Edge.Dir.Horizontal() {
+			// Collinear neighbors: connector jog at the shared endpoint.
+			shared := cur.Edge.B
+			if cur.Edge.Dir.Horizontal() {
+				ring = append(ring, Pt(shared.X, cp), Pt(shared.X, np))
+			} else {
+				ring = append(ring, Pt(cp, shared.Y), Pt(np, shared.Y))
+			}
+		} else {
+			// Perpendicular: single corner at the carrier intersection.
+			if cur.Edge.Dir.Horizontal() {
+				ring = append(ring, Pt(np, cp))
+			} else {
+				ring = append(ring, Pt(cp, np))
+			}
+		}
+	}
+	return ring.Normalize()
+}

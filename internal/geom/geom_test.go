@@ -1,0 +1,806 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointOps(t *testing.T) {
+	p := Pt(3, 4)
+	q := Pt(-1, 2)
+	if got := p.Add(q); got != Pt(2, 6) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != Pt(4, 2) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Neg(); got != Pt(-3, -4) {
+		t.Errorf("Neg = %v", got)
+	}
+	if got := p.Scale(2); got != Pt(6, 8) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := p.ManhattanDist(q); got != 6 {
+		t.Errorf("ManhattanDist = %d", got)
+	}
+	if got := p.Dist(Pt(0, 0)); got != 5 {
+		t.Errorf("Dist = %f", got)
+	}
+}
+
+func TestCross(t *testing.T) {
+	if c := Cross(Pt(0, 0), Pt(1, 0), Pt(1, 1)); c <= 0 {
+		t.Errorf("CCW turn should be positive, got %d", c)
+	}
+	if c := Cross(Pt(0, 0), Pt(0, 1), Pt(1, 1)); c >= 0 {
+		t.Errorf("CW turn should be negative, got %d", c)
+	}
+	if c := Cross(Pt(0, 0), Pt(1, 1), Pt(2, 2)); c != 0 {
+		t.Errorf("collinear should be zero, got %d", c)
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := R(10, 0, 0, 5) // swapped corners canonicalize
+	if r != (Rect{0, 0, 10, 5}) {
+		t.Fatalf("R canonicalization: %v", r)
+	}
+	if r.W() != 10 || r.H() != 5 || r.Area() != 50 {
+		t.Errorf("dims: w=%d h=%d a=%d", r.W(), r.H(), r.Area())
+	}
+	if r.Empty() {
+		t.Error("non-empty rect reported empty")
+	}
+	if !(Rect{3, 3, 3, 9}).Empty() {
+		t.Error("zero-width rect should be empty")
+	}
+	if r.Center() != Pt(5, 2) {
+		t.Errorf("center = %v", r.Center())
+	}
+}
+
+func TestRectContainsHalfOpen(t *testing.T) {
+	r := R(0, 0, 10, 10)
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Pt(0, 0), true},
+		{Pt(9, 9), true},
+		{Pt(10, 5), false},
+		{Pt(5, 10), false},
+		{Pt(-1, 5), false},
+	}
+	for _, c := range cases {
+		if got := r.Contains(c.p); got != c.want {
+			t.Errorf("Contains(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if !r.ContainsClosed(Pt(10, 10)) {
+		t.Error("ContainsClosed should include the high corner")
+	}
+}
+
+func TestRectOverlapIntersect(t *testing.T) {
+	a := R(0, 0, 10, 10)
+	b := R(5, 5, 15, 15)
+	c := R(10, 0, 20, 10) // abutting a
+	if !a.Overlaps(b) {
+		t.Error("a should overlap b")
+	}
+	if a.Overlaps(c) {
+		t.Error("abutting rects must not count as overlapping")
+	}
+	if !a.Touches(c) {
+		t.Error("abutting rects should touch")
+	}
+	got := a.Intersect(b)
+	if got != (Rect{5, 5, 10, 10}) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if !a.Intersect(R(20, 20, 30, 30)).Empty() {
+		t.Error("disjoint intersect should be empty")
+	}
+	if u := a.Union(c); u != (Rect{0, 0, 20, 10}) {
+		t.Errorf("Union = %v", u)
+	}
+}
+
+func TestRectGrowTranslate(t *testing.T) {
+	r := R(0, 0, 10, 10)
+	if g := r.Grow(5); g != (Rect{-5, -5, 15, 15}) {
+		t.Errorf("Grow = %v", g)
+	}
+	if g := r.Grow(-6); !g.Empty() {
+		t.Errorf("over-shrunk rect should be empty, got %v", g)
+	}
+	if tr := r.Translate(Pt(3, -2)); tr != (Rect{3, -2, 13, 8}) {
+		t.Errorf("Translate = %v", tr)
+	}
+	if g := r.GrowXY(1, 2); g != (Rect{-1, -2, 11, 12}) {
+		t.Errorf("GrowXY = %v", g)
+	}
+}
+
+func TestRectFromCenter(t *testing.T) {
+	r := RectFromCenter(Pt(100, 100), 30, 20)
+	if r.W() != 30 || r.H() != 20 {
+		t.Fatalf("dims wrong: %v", r)
+	}
+	if r.Center() != Pt(100, 100) {
+		t.Errorf("center = %v", r.Center())
+	}
+}
+
+func lShape() Polygon {
+	// CCW L: 20x20 square missing its top-right 10x10 quadrant.
+	return Polygon{
+		Pt(0, 0), Pt(20, 0), Pt(20, 10), Pt(10, 10), Pt(10, 20), Pt(0, 20),
+	}
+}
+
+func TestPolygonValidate(t *testing.T) {
+	if err := lShape().Validate(); err != nil {
+		t.Fatalf("valid L rejected: %v", err)
+	}
+	diag := Polygon{Pt(0, 0), Pt(10, 10), Pt(0, 10)}
+	if err := diag.Validate(); err == nil {
+		t.Error("diagonal polygon should fail validation")
+	}
+	short := Polygon{Pt(0, 0), Pt(10, 0), Pt(10, 10)}
+	if err := short.Validate(); err == nil {
+		t.Error("3-vertex polygon should fail validation")
+	}
+	dup := Polygon{Pt(0, 0), Pt(0, 0), Pt(10, 0), Pt(10, 10), Pt(0, 10)}
+	if err := dup.Validate(); err == nil {
+		t.Error("zero-length edge should fail validation")
+	}
+}
+
+func TestPolygonAreaPerimeter(t *testing.T) {
+	l := lShape()
+	if a := l.Area(); a != 300 {
+		t.Errorf("L area = %d, want 300", a)
+	}
+	if !l.IsCCW() {
+		t.Error("L should be CCW")
+	}
+	if p := l.Perimeter(); p != 80 {
+		t.Errorf("L perimeter = %d, want 80", p)
+	}
+	rev := l.Reverse()
+	if rev.IsCCW() {
+		t.Error("reversed L should be CW")
+	}
+	if rev.Area() != 300 {
+		t.Error("area must be winding-independent")
+	}
+}
+
+func TestPolygonBBoxTranslate(t *testing.T) {
+	l := lShape()
+	if bb := l.BBox(); bb != (Rect{0, 0, 20, 20}) {
+		t.Errorf("BBox = %v", bb)
+	}
+	tr := l.Translate(Pt(5, 5))
+	if bb := tr.BBox(); bb != (Rect{5, 5, 25, 25}) {
+		t.Errorf("translated BBox = %v", bb)
+	}
+	if l[0] != Pt(0, 0) {
+		t.Error("Translate must not mutate the receiver")
+	}
+}
+
+func TestPolygonNormalize(t *testing.T) {
+	p := Polygon{
+		Pt(0, 0), Pt(5, 0), Pt(10, 0), // collinear run on the bottom
+		Pt(10, 10), Pt(10, 10), // duplicate
+		Pt(0, 10),
+	}
+	n := p.Normalize()
+	want := Polygon{Pt(0, 0), Pt(10, 0), Pt(10, 10), Pt(0, 10)}
+	if len(n) != len(want) {
+		t.Fatalf("Normalize len = %d (%v)", len(n), n)
+	}
+	if n.Area() != 100 {
+		t.Errorf("area after normalize = %d", n.Area())
+	}
+}
+
+func TestPolygonContainsPoint(t *testing.T) {
+	l := lShape()
+	in := []Point{Pt(5, 5), Pt(15, 5), Pt(5, 15), Pt(1, 1)}
+	outp := []Point{Pt(15, 15), Pt(25, 5), Pt(-1, 5), Pt(5, 25)}
+	for _, p := range in {
+		if !l.ContainsPoint(p) {
+			t.Errorf("%v should be inside", p)
+		}
+	}
+	for _, p := range outp {
+		if l.ContainsPoint(p) {
+			t.Errorf("%v should be outside", p)
+		}
+	}
+}
+
+func TestDirBasics(t *testing.T) {
+	if East.Opposite() != West || North.Opposite() != South {
+		t.Error("Opposite wrong")
+	}
+	if East.Left() != North || North.Left() != West {
+		t.Error("Left wrong")
+	}
+	if East.Right() != South || South.Right() != West {
+		t.Error("Right wrong")
+	}
+	if !East.Horizontal() || North.Horizontal() {
+		t.Error("Horizontal wrong")
+	}
+	// CCW ring, interior left: outward normal of an East edge points south.
+	if East.Normal() != Pt(0, -1) {
+		t.Errorf("East normal = %v", East.Normal())
+	}
+	if North.Normal() != Pt(1, 0) {
+		t.Errorf("North normal = %v", North.Normal())
+	}
+	if DirOf(Pt(0, 0), Pt(5, 0)) != East || DirOf(Pt(0, 0), Pt(0, -5)) != South {
+		t.Error("DirOf wrong")
+	}
+}
+
+func TestPolygonEdgesCorners(t *testing.T) {
+	sq := R(0, 0, 10, 10).Polygon()
+	edges := sq.Edges()
+	if len(edges) != 4 {
+		t.Fatalf("square edges = %d", len(edges))
+	}
+	for _, e := range edges {
+		if e.CornerA != Convex || e.CornerB != Convex {
+			t.Errorf("square corner kinds: %v %v", e.CornerA, e.CornerB)
+		}
+		if e.Len() != 10 {
+			t.Errorf("edge len = %d", e.Len())
+		}
+	}
+	convex, concave := lShape().CountCorners()
+	if convex != 5 || concave != 1 {
+		t.Errorf("L corners: convex=%d concave=%d, want 5/1", convex, concave)
+	}
+}
+
+func TestEdgeMid(t *testing.T) {
+	e := Edge{A: Pt(0, 0), B: Pt(10, 0), Dir: East}
+	if e.Mid() != Pt(5, 0) {
+		t.Errorf("Mid = %v", e.Mid())
+	}
+}
+
+func TestRegionFromRectsUnion(t *testing.T) {
+	g := RegionFromRects(R(0, 0, 10, 10), R(5, 5, 15, 15))
+	if got := g.Area(); got != 175 {
+		t.Errorf("union area = %d, want 175", got)
+	}
+	// Disjoint.
+	g = RegionFromRects(R(0, 0, 10, 10), R(20, 0, 30, 10))
+	if got := g.Area(); got != 200 {
+		t.Errorf("disjoint union area = %d", got)
+	}
+	// Identical rects collapse.
+	g = RegionFromRects(R(0, 0, 10, 10), R(0, 0, 10, 10))
+	if got := g.Area(); got != 100 {
+		t.Errorf("duplicate union area = %d", got)
+	}
+}
+
+func TestRegionBooleans(t *testing.T) {
+	a := RegionFromRects(R(0, 0, 10, 10))
+	b := RegionFromRects(R(5, 0, 15, 10))
+	if got := a.Intersect(b).Area(); got != 50 {
+		t.Errorf("AND area = %d", got)
+	}
+	if got := a.Subtract(b).Area(); got != 50 {
+		t.Errorf("SUB area = %d", got)
+	}
+	if got := a.Xor(b).Area(); got != 100 {
+		t.Errorf("XOR area = %d", got)
+	}
+	if got := a.Union(b).Area(); got != 150 {
+		t.Errorf("OR area = %d", got)
+	}
+	if !a.Intersect(RegionFromRects(R(50, 50, 60, 60))).Empty() {
+		t.Error("disjoint AND should be empty")
+	}
+}
+
+func TestRegionFromPolygonsWithHole(t *testing.T) {
+	outer := R(0, 0, 30, 30).Polygon()
+	hole := R(10, 10, 20, 20).Polygon().Reverse() // CW carves
+	g := RegionFromPolygons(outer, hole)
+	if got := g.Area(); got != 800 {
+		t.Errorf("holey area = %d, want 800", got)
+	}
+	if g.Contains(Pt(15, 15)) {
+		t.Error("hole interior should be outside")
+	}
+	if !g.Contains(Pt(5, 5)) {
+		t.Error("rim should be inside")
+	}
+}
+
+func TestRegionContainsAndBBox(t *testing.T) {
+	g := RegionFromRects(R(0, 0, 10, 10), R(20, 20, 30, 30))
+	if !g.Contains(Pt(5, 5)) || !g.Contains(Pt(25, 25)) {
+		t.Error("Contains misses member rects")
+	}
+	if g.Contains(Pt(15, 15)) {
+		t.Error("gap should be outside")
+	}
+	if bb := g.BBox(); bb != (Rect{0, 0, 30, 30}) {
+		t.Errorf("BBox = %v", bb)
+	}
+}
+
+func TestRegionGrowShrink(t *testing.T) {
+	g := RegionFromRects(R(100, 100, 200, 200))
+	grown := g.Grow(10)
+	if got := grown.Area(); got != 120*120 {
+		t.Errorf("grown area = %d", got)
+	}
+	back := grown.Shrink(10)
+	if got := back.Area(); got != 100*100 {
+		t.Errorf("shrink-back area = %d", got)
+	}
+	if bb := back.BBox(); bb != (Rect{100, 100, 200, 200}) {
+		t.Errorf("shrink-back bbox = %v", bb)
+	}
+	// Features narrower than 2d vanish.
+	thin := RegionFromRects(R(0, 0, 10, 100))
+	if !thin.Shrink(5).Empty() {
+		t.Error("10-wide bar should vanish under Shrink(5)")
+	}
+	if got := thin.Shrink(4).Area(); got != 2*92 {
+		t.Errorf("Shrink(4) area = %d, want 184", got)
+	}
+}
+
+func TestRegionSizeSign(t *testing.T) {
+	g := RegionFromRects(R(0, 0, 100, 100))
+	if got := g.Size(5).Area(); got != 110*110 {
+		t.Errorf("Size(+5) area = %d", got)
+	}
+	if got := g.Size(-5).Area(); got != 90*90 {
+		t.Errorf("Size(-5) area = %d", got)
+	}
+	if got := g.Size(0).Area(); got != 100*100 {
+		t.Errorf("Size(0) area = %d", got)
+	}
+}
+
+func TestRegionOpeningClosing(t *testing.T) {
+	// Two bars 6 apart: Closing(4) bridges the gap.
+	g := RegionFromRects(R(0, 0, 20, 100), R(26, 0, 46, 100))
+	closed := g.Closing(4)
+	if closed.Area() <= g.Area() {
+		t.Error("Closing should fill the 6-wide gap")
+	}
+	// A 4-wide sliver on a big block: Opening(4) removes it.
+	h := RegionFromRects(R(0, 0, 100, 100), R(100, 48, 104, 52))
+	opened := h.Opening(4)
+	if got := opened.Area(); got != 100*100 {
+		t.Errorf("Opening area = %d, want sliver removed", got)
+	}
+}
+
+func TestRegionTranslate(t *testing.T) {
+	g := RegionFromRects(R(0, 0, 10, 10)).Translate(Pt(100, 200))
+	if !g.Contains(Pt(105, 205)) {
+		t.Error("translated region misplaced")
+	}
+	if g.Area() != 100 {
+		t.Error("translation must preserve area")
+	}
+}
+
+func TestBooleanPolygons(t *testing.T) {
+	a := []Polygon{R(0, 0, 10, 10).Polygon()}
+	b := []Polygon{R(5, 5, 15, 15).Polygon()}
+	if got := BooleanPolygons(a, b, "and").Area(); got != 25 {
+		t.Errorf("and = %d", got)
+	}
+	if got := BooleanPolygons(a, b, "or").Area(); got != 175 {
+		t.Errorf("or = %d", got)
+	}
+	if got := BooleanPolygons(a, b, "sub").Area(); got != 75 {
+		t.Errorf("sub = %d", got)
+	}
+	if got := BooleanPolygons(a, b, "xor").Area(); got != 150 {
+		t.Errorf("xor = %d", got)
+	}
+}
+
+func TestPolygonsReconstructionSimple(t *testing.T) {
+	g := RegionFromRects(R(0, 0, 10, 10))
+	ps := g.Polygons()
+	if len(ps) != 1 {
+		t.Fatalf("polygons = %d", len(ps))
+	}
+	if ps[0].Area() != 100 || !ps[0].IsCCW() {
+		t.Errorf("bad ring: area=%d ccw=%v", ps[0].Area(), ps[0].IsCCW())
+	}
+	if len(ps[0]) != 4 {
+		t.Errorf("square should have 4 vertices, got %d: %v", len(ps[0]), ps[0])
+	}
+}
+
+func TestPolygonsReconstructionLShape(t *testing.T) {
+	g := RegionFromPolygons(lShape())
+	ps := g.Polygons()
+	if len(ps) != 1 {
+		t.Fatalf("polygons = %d: %v", len(ps), ps)
+	}
+	if ps[0].Area() != 300 {
+		t.Errorf("L area = %d", ps[0].Area())
+	}
+	if len(ps[0]) != 6 {
+		t.Errorf("L should have 6 vertices, got %d: %v", len(ps[0]), ps[0])
+	}
+}
+
+func TestPolygonsReconstructionHole(t *testing.T) {
+	outer := R(0, 0, 30, 30).Polygon()
+	hole := R(10, 10, 20, 20).Polygon().Reverse()
+	g := RegionFromPolygons(outer, hole)
+	ps := g.Polygons()
+	if len(ps) != 2 {
+		t.Fatalf("expected outer+hole rings, got %d", len(ps))
+	}
+	var net int64
+	for _, p := range ps {
+		net += p.SignedArea2() / 2
+	}
+	if net != 800 {
+		t.Errorf("net signed area = %d, want 800", net)
+	}
+	// Round trip.
+	back := RegionFromPolygons(ps...)
+	if back.Area() != 800 {
+		t.Errorf("round-trip area = %d", back.Area())
+	}
+}
+
+func TestPolygonsReconstructionDisjoint(t *testing.T) {
+	g := RegionFromRects(R(0, 0, 10, 10), R(20, 0, 30, 10), R(0, 20, 10, 30))
+	ps := g.Polygons()
+	if len(ps) != 3 {
+		t.Fatalf("expected 3 rings, got %d", len(ps))
+	}
+	back := RegionFromPolygons(ps...)
+	if back.Area() != 300 {
+		t.Errorf("round-trip area = %d", back.Area())
+	}
+}
+
+// randRegion builds a region from up to 8 random small rects near the
+// origin, for property tests.
+func randRegion(r *rand.Rand) Region {
+	n := 1 + r.Intn(8)
+	rects := make([]Rect, 0, n)
+	for i := 0; i < n; i++ {
+		x := Coord(r.Intn(60) - 30)
+		y := Coord(r.Intn(60) - 30)
+		w := Coord(1 + r.Intn(25))
+		h := Coord(1 + r.Intn(25))
+		rects = append(rects, R(x, y, x+w, y+h))
+	}
+	return RegionFromRects(rects...)
+}
+
+func TestQuickBooleanAreaIdentities(t *testing.T) {
+	// |A| + |B| == |A∪B| + |A∩B| and |A⊕B| == |A∪B| - |A∩B|.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randRegion(rng), randRegion(rng)
+		or := a.Union(b).Area()
+		and := a.Intersect(b).Area()
+		if a.Area()+b.Area() != or+and {
+			return false
+		}
+		if a.Xor(b).Area() != or-and {
+			return false
+		}
+		if a.Subtract(b).Area() != a.Area()-and {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRegionRectsDisjoint(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randRegion(rng)
+		rs := g.Rects()
+		for i := range rs {
+			for j := i + 1; j < len(rs); j++ {
+				if rs[i].Overlaps(rs[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPolygonRoundTrip(t *testing.T) {
+	// Region -> Polygons -> Region preserves area exactly.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randRegion(rng)
+		back := RegionFromPolygons(g.Polygons()...)
+		return back.Area() == g.Area() && back.Xor(g).Empty()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickGrowShrinkMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randRegion(rng)
+		d := Coord(1 + rng.Intn(5))
+		grown := g.Grow(d)
+		shrunk := g.Shrink(d)
+		// Monotonicity: shrink ⊆ original ⊆ grow.
+		if !shrunk.Subtract(g).Empty() {
+			return false
+		}
+		if !g.Subtract(grown).Empty() {
+			return false
+		}
+		// Opening and closing bracket the original.
+		if !g.Opening(d).Subtract(g).Empty() {
+			return false
+		}
+		if !g.Subtract(g.Closing(d)).Empty() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrientCompose(t *testing.T) {
+	// Exhaustive check: composing transforms equals composing orients.
+	pts := []Point{Pt(3, 5), Pt(-2, 7), Pt(0, 1)}
+	for o1 := R0; o1 <= MX270; o1++ {
+		for o2 := R0; o2 <= MX270; o2++ {
+			t1 := Xform{Orient: o1, Mag: 1}
+			t2 := Xform{Orient: o2, Mag: 1}
+			comp := o2.Compose(o1)
+			for _, p := range pts {
+				want := t2.Apply(t1.Apply(p))
+				got := (Xform{Orient: comp, Mag: 1}).Apply(p)
+				if got != want {
+					t.Fatalf("compose(%v after %v): got %v want %v at %v", o2, o1, got, want, p)
+				}
+			}
+		}
+	}
+}
+
+func TestOrientInvert(t *testing.T) {
+	for o := R0; o <= MX270; o++ {
+		inv := o.Invert()
+		if got := o.Compose(inv); got != R0 {
+			// Compose(first) applies first then o: o after inv.
+			t.Errorf("%v∘%v = %v, want R0", inv, o, got)
+		}
+		if got := inv.Compose(o); got != R0 {
+			t.Errorf("%v∘%v = %v, want R0", o, inv, got)
+		}
+	}
+}
+
+func TestXformApply(t *testing.T) {
+	x := Xform{Orient: R90, Mag: 2, Offset: Pt(100, 0)}
+	// (1,0) -> rot90 -> (0,1) -> mag2 -> (0,2) -> +offset -> (100,2)
+	if got := x.Apply(Pt(1, 0)); got != Pt(100, 2) {
+		t.Errorf("Apply = %v", got)
+	}
+	mx := Xform{Orient: MX, Mag: 1}
+	if got := mx.Apply(Pt(3, 4)); got != Pt(3, -4) {
+		t.Errorf("MX Apply = %v", got)
+	}
+}
+
+func TestXformCompose(t *testing.T) {
+	inner := Xform{Orient: R90, Mag: 2, Offset: Pt(10, 20)}
+	outer := Xform{Orient: MX, Mag: 3, Offset: Pt(-5, 7)}
+	comp := outer.Compose(inner)
+	for _, p := range []Point{Pt(0, 0), Pt(1, 0), Pt(-3, 11)} {
+		want := outer.Apply(inner.Apply(p))
+		if got := comp.Apply(p); got != want {
+			t.Errorf("Compose.Apply(%v) = %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestXformPolygonWinding(t *testing.T) {
+	sq := R(0, 0, 10, 10).Polygon()
+	mx := Xform{Orient: MX, Mag: 1}
+	out := mx.ApplyPolygon(sq)
+	if !out.IsCCW() {
+		t.Error("mirrored polygon should be re-oriented to CCW")
+	}
+	if out.Area() != 100 {
+		t.Errorf("area = %d", out.Area())
+	}
+}
+
+func TestFragmentPolygonBasic(t *testing.T) {
+	// 1000x100 bar: long edges split with 80 corner zones and 200 runs.
+	bar := R(0, 0, 1000, 100).Polygon()
+	frags := FragmentPolygon(bar, 0, DefaultFragmentSpec())
+	if len(frags) == 0 {
+		t.Fatal("no fragments")
+	}
+	// Total fragment length must equal perimeter.
+	var total int64
+	for _, f := range frags {
+		total += int64(f.Edge.Len())
+		if f.Edge.Len() <= 0 {
+			t.Fatalf("non-positive fragment: %+v", f)
+		}
+	}
+	if total != bar.Perimeter() {
+		t.Errorf("fragment length sum = %d, perimeter = %d", total, bar.Perimeter())
+	}
+	// The 100-long left/right edges are bounded by convex corners and are
+	// under LineEndMax, so they are line ends.
+	var lineEnds int
+	for _, f := range frags {
+		if f.Kind == LineEndFragment {
+			lineEnds++
+		}
+	}
+	if lineEnds != 2 {
+		t.Errorf("line ends = %d, want 2", lineEnds)
+	}
+}
+
+func TestFragmentCornerZones(t *testing.T) {
+	bar := R(0, 0, 1000, 400).Polygon() // all edges > LineEndMax
+	spec := FragmentSpec{MaxLen: 200, CornerLen: 80, LineEndMax: 250}
+	frags := FragmentPolygon(bar, 0, spec)
+	var cornerFrags int
+	for _, f := range frags {
+		if f.Kind == ConvexCornerFragment {
+			cornerFrags++
+			if f.Edge.Len() != 80 {
+				t.Errorf("corner zone len = %d, want 80", f.Edge.Len())
+			}
+		}
+	}
+	if cornerFrags != 8 {
+		t.Errorf("corner fragments = %d, want 8 (2 per edge)", cornerFrags)
+	}
+}
+
+func TestFragmentConcave(t *testing.T) {
+	frags := FragmentPolygon(lShape().Translate(Pt(0, 0)), 0, FragmentSpec{MaxLen: 5, CornerLen: 2, LineEndMax: 3})
+	var concave int
+	for _, f := range frags {
+		if f.Kind == ConcaveCornerFragment {
+			concave++
+		}
+	}
+	if concave == 0 {
+		t.Error("L-shape should yield concave corner fragments")
+	}
+}
+
+func TestRebuildPolygonIdentity(t *testing.T) {
+	bar := R(0, 0, 1000, 100).Polygon()
+	frags := FragmentPolygon(bar, 0, DefaultFragmentSpec())
+	rebuilt := RebuildPolygon(frags)
+	if rebuilt.Area() != bar.Area() {
+		t.Errorf("identity rebuild area = %d, want %d", rebuilt.Area(), bar.Area())
+	}
+}
+
+func TestRebuildPolygonUniformBias(t *testing.T) {
+	bar := R(0, 0, 1000, 100).Polygon()
+	frags := FragmentPolygon(bar, 0, DefaultFragmentSpec())
+	for i := range frags {
+		frags[i].Bias = 5 // uniform grow by 5
+	}
+	rebuilt := RebuildPolygon(frags)
+	want := int64(1010) * 110
+	if rebuilt.Area() != want {
+		t.Errorf("uniform-bias rebuild area = %d, want %d", rebuilt.Area(), want)
+	}
+}
+
+func TestRebuildPolygonJog(t *testing.T) {
+	bar := R(0, 0, 400, 100).Polygon()
+	frags := FragmentPolygon(bar, 0, FragmentSpec{MaxLen: 200, CornerLen: 0, LineEndMax: 150})
+	// Bias only the fragments on the bottom edge (dir East).
+	var biased int64
+	for i := range frags {
+		if frags[i].Edge.Dir == East && frags[i].FragIndex == 0 {
+			frags[i].Bias = 10
+			biased += int64(frags[i].Edge.Len())
+		}
+	}
+	if biased == 0 {
+		t.Fatal("no fragment biased")
+	}
+	rebuilt := RebuildPolygon(frags)
+	want := bar.Area() + biased*10
+	if rebuilt.Area() != want {
+		t.Errorf("jogged area = %d, want %d", rebuilt.Area(), want)
+	}
+}
+
+func TestGridIndexBasics(t *testing.T) {
+	idx := NewGridIndex(100)
+	idx.Insert(R(0, 0, 50, 50), 1)
+	idx.Insert(R(200, 200, 260, 260), 2)
+	idx.Insert(R(40, 40, 220, 220), 3) // spans multiple cells
+	if idx.Len() != 3 {
+		t.Fatalf("Len = %d", idx.Len())
+	}
+	ids := idx.CollectIDs(R(10, 10, 20, 20))
+	if len(ids) != 1 || ids[0] != 1 {
+		t.Errorf("query small window: %v", ids)
+	}
+	ids = idx.CollectIDs(R(0, 0, 300, 300))
+	if len(ids) != 3 {
+		t.Errorf("query all: %v", ids)
+	}
+	// Dedup: item 3 spans many cells but must appear once.
+	count := 0
+	idx.Query(R(0, 0, 300, 300), func(_ Rect, id int32) bool {
+		if id == 3 {
+			count++
+		}
+		return true
+	})
+	if count != 1 {
+		t.Errorf("item 3 reported %d times", count)
+	}
+}
+
+func TestGridIndexEarlyStop(t *testing.T) {
+	idx := NewGridIndex(100)
+	for i := int32(0); i < 10; i++ {
+		idx.Insert(R(Coord(i)*10, 0, Coord(i)*10+5, 5), i)
+	}
+	n := 0
+	idx.Query(R(0, 0, 100, 100), func(_ Rect, _ int32) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Errorf("early stop visited %d", n)
+	}
+}
+
+func TestGridIndexNegativeCoords(t *testing.T) {
+	idx := NewGridIndex(64)
+	idx.Insert(R(-130, -130, -70, -70), 9)
+	ids := idx.CollectIDs(R(-100, -100, -90, -90))
+	if len(ids) != 1 || ids[0] != 9 {
+		t.Errorf("negative-coordinate query failed: %v", ids)
+	}
+}

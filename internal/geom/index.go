@@ -1,0 +1,98 @@
+package geom
+
+// GridIndex is a uniform-grid spatial index over rectangles. Layout
+// region queries, DRC neighbor searches, and OPC context gathering use
+// it. Items are referenced by the integer ID supplied at insert time.
+type GridIndex struct {
+	cell  Coord
+	cells map[[2]int32][]int32
+	items []indexItem
+}
+
+type indexItem struct {
+	box Rect
+	id  int32
+}
+
+// NewGridIndex creates an index with the given cell size. Cell size
+// should be on the order of the typical query window; 10 µm (10000 DBU)
+// is a reasonable default for full-block layouts.
+func NewGridIndex(cellSize Coord) *GridIndex {
+	if cellSize <= 0 {
+		cellSize = 10000
+	}
+	return &GridIndex{cell: cellSize, cells: map[[2]int32][]int32{}}
+}
+
+func (g *GridIndex) cellRange(r Rect) (cx0, cy0, cx1, cy1 int32) {
+	cx0 = int32(floorDiv(r.X0, g.cell))
+	cy0 = int32(floorDiv(r.Y0, g.cell))
+	cx1 = int32(floorDiv(r.X1-1, g.cell))
+	cy1 = int32(floorDiv(r.Y1-1, g.cell))
+	return
+}
+
+func floorDiv(a, b Coord) Coord {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// Insert adds a rectangle with an application-defined ID.
+func (g *GridIndex) Insert(box Rect, id int32) {
+	if box.Empty() {
+		return
+	}
+	idx := int32(len(g.items))
+	g.items = append(g.items, indexItem{box, id})
+	cx0, cy0, cx1, cy1 := g.cellRange(box)
+	for cy := cy0; cy <= cy1; cy++ {
+		for cx := cx0; cx <= cx1; cx++ {
+			key := [2]int32{cx, cy}
+			g.cells[key] = append(g.cells[key], idx)
+		}
+	}
+}
+
+// Len returns the number of inserted items.
+func (g *GridIndex) Len() int { return len(g.items) }
+
+// Query calls fn for every inserted rectangle that touches the window
+// (sharing a boundary counts). Items spanning multiple cells are
+// deduplicated. Returning false from fn stops the query.
+func (g *GridIndex) Query(window Rect, fn func(box Rect, id int32) bool) {
+	if window.Empty() || len(g.items) == 0 {
+		return
+	}
+	cx0, cy0, cx1, cy1 := g.cellRange(window.Grow(1))
+	seen := map[int32]bool{}
+	for cy := cy0; cy <= cy1; cy++ {
+		for cx := cx0; cx <= cx1; cx++ {
+			for _, idx := range g.cells[[2]int32{cx, cy}] {
+				if seen[idx] {
+					continue
+				}
+				seen[idx] = true
+				it := g.items[idx]
+				if it.box.Touches(window) {
+					if !fn(it.box, it.id) {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// CollectIDs returns the IDs of all items touching the window, in
+// insertion order of first contact.
+func (g *GridIndex) CollectIDs(window Rect) []int32 {
+	var out []int32
+	g.Query(window, func(_ Rect, id int32) bool {
+		out = append(out, id)
+		return true
+	})
+	return out
+}

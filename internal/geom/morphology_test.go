@@ -1,0 +1,139 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSquareOpeningExactWidth(t *testing.T) {
+	// A feature exactly `side` wide survives untouched; one unit
+	// narrower vanishes. This boundary exactness is what the DRC width
+	// check depends on.
+	line := RegionFromRects(R(0, 0, 180, 2000))
+	if !line.SquareOpening(180).Xor(line).Empty() {
+		t.Error("exact-width line must survive its own width opening")
+	}
+	if !line.SquareOpening(181).Empty() {
+		t.Error("line must vanish under a wider opening")
+	}
+	narrow := RegionFromRects(R(0, 0, 179, 2000))
+	if !narrow.SquareOpening(180).Empty() {
+		t.Error("sub-width line must vanish")
+	}
+}
+
+func TestSquareOpeningLShape(t *testing.T) {
+	// Both arms 400 wide: the L survives a 400 opening exactly.
+	l := RegionFromPolygons(Polygon{
+		Pt(0, 0), Pt(2000, 0), Pt(2000, 400), Pt(400, 400), Pt(400, 2000), Pt(0, 2000),
+	})
+	if !l.SquareOpening(400).Xor(l).Empty() {
+		t.Error("L with arms at width must survive")
+	}
+	if l.SquareOpening(401).Xor(l).Empty() {
+		t.Error("L must lose area under a wider opening")
+	}
+}
+
+func TestNarrowerThan(t *testing.T) {
+	// A wide block with a narrow tab: only the tab is flagged.
+	g := RegionFromRects(R(0, 0, 1000, 1000), R(1000, 450, 1100, 550))
+	v := g.NarrowerThan(180)
+	if v.Empty() {
+		t.Fatal("tab not flagged")
+	}
+	// The violation sits in the tab, not the block.
+	if bb := v.BBox(); bb.X0 < 1000 {
+		t.Errorf("violation leaked into the block: %v", bb)
+	}
+	// Clean geometry returns empty.
+	if !RegionFromRects(R(0, 0, 1000, 1000)).NarrowerThan(180).Empty() {
+		t.Error("clean block flagged")
+	}
+}
+
+func TestGapsNarrowerThan(t *testing.T) {
+	g := RegionFromRects(R(0, 0, 500, 1000), R(620, 0, 1100, 1000))
+	// 120 gap: flagged at 180, clean at 120.
+	if g.GapsNarrowerThan(180).Empty() {
+		t.Error("120 gap not flagged at 180")
+	}
+	if !g.GapsNarrowerThan(120).Empty() {
+		t.Error("exact-width gap flagged")
+	}
+	// The flagged area is the gap itself.
+	v := g.GapsNarrowerThan(180)
+	if bb := v.BBox(); bb.X0 < 500 || bb.X1 > 620 {
+		t.Errorf("violation outside the gap: %v", bb)
+	}
+	// Isolated feature: outer space never flagged.
+	iso := RegionFromRects(R(0, 0, 300, 300))
+	if !iso.GapsNarrowerThan(200).Empty() {
+		t.Error("open space flagged")
+	}
+}
+
+func TestQuickSquareOpeningProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randRegion(rng)
+		side := Coord(2 + rng.Intn(12))
+		opened := g.SquareOpening(side)
+		// Anti-extensivity: opening never adds area.
+		if !opened.Subtract(g).Empty() {
+			return false
+		}
+		// Idempotence: opening twice = opening once.
+		if !opened.SquareOpening(side).Xor(opened).Empty() {
+			return false
+		}
+		// Monotonicity in the structuring element: larger squares keep
+		// less.
+		bigger := g.SquareOpening(side + 3)
+		return bigger.Subtract(opened).Empty()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGrowDir(t *testing.T) {
+	g := RegionFromRects(R(0, 0, 100, 100))
+	gx := g.GrowDir(10, 0)
+	if gx.BBox() != R(-10, 0, 110, 100) {
+		t.Errorf("GrowDir x: %v", gx.BBox())
+	}
+	gy := g.GrowDir(0, 20)
+	if gy.BBox() != R(0, -20, 100, 120) {
+		t.Errorf("GrowDir y: %v", gy.BBox())
+	}
+	if !g.GrowDir(0, 0).Xor(g).Empty() {
+		t.Error("zero GrowDir must be identity")
+	}
+}
+
+func TestXformInvert(t *testing.T) {
+	pts := []Point{Pt(0, 0), Pt(13, -7), Pt(-100, 42)}
+	for o := R0; o <= MX270; o++ {
+		x := Xform{Orient: o, Mag: 1, Offset: Pt(31, -17)}
+		inv := x.Invert()
+		for _, p := range pts {
+			if got := inv.Apply(x.Apply(p)); got != p {
+				t.Fatalf("invert(%v): %v -> %v", o, p, got)
+			}
+			if got := x.Apply(inv.Apply(p)); got != p {
+				t.Fatalf("invert-apply(%v): %v -> %v", o, p, got)
+			}
+		}
+	}
+}
+
+func TestXformInvertPanicsOnMag(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for mag != 1")
+		}
+	}()
+	(Xform{Orient: R0, Mag: 2}).Invert()
+}

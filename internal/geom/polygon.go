@@ -1,0 +1,175 @@
+package geom
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Polygon is a closed rectilinear ring stored as its vertex list. The
+// closing edge from the last vertex back to the first is implicit.
+// Positive signed area means counter-clockwise winding (a filled ring);
+// negative means clockwise (a hole ring when emitted by region
+// reconstruction).
+type Polygon []Point
+
+// ErrNotManhattan is returned by validation when a polygon has an edge
+// that is neither horizontal nor vertical.
+var ErrNotManhattan = errors.New("geom: polygon edge is not axis-aligned")
+
+// ErrDegenerate is returned by validation for polygons with fewer than
+// four vertices or with zero-length edges.
+var ErrDegenerate = errors.New("geom: degenerate polygon")
+
+// Validate checks that p is a usable rectilinear ring: at least 4
+// vertices, all edges axis-aligned and of nonzero length.
+func (p Polygon) Validate() error {
+	if len(p) < 4 {
+		return fmt.Errorf("%w: %d vertices", ErrDegenerate, len(p))
+	}
+	for i := range p {
+		a, b := p[i], p[(i+1)%len(p)]
+		dx, dy := b.X-a.X, b.Y-a.Y
+		if dx != 0 && dy != 0 {
+			return fmt.Errorf("%w: edge %v->%v", ErrNotManhattan, a, b)
+		}
+		if dx == 0 && dy == 0 {
+			return fmt.Errorf("%w: zero-length edge at vertex %d (%v)", ErrDegenerate, i, a)
+		}
+	}
+	return nil
+}
+
+// SignedArea2 returns twice the signed area of the ring (positive for
+// counter-clockwise winding). Using the doubled value keeps the result
+// exact in int64.
+func (p Polygon) SignedArea2() int64 {
+	var s int64
+	for i := range p {
+		a, b := p[i], p[(i+1)%len(p)]
+		s += int64(a.X)*int64(b.Y) - int64(b.X)*int64(a.Y)
+	}
+	return s
+}
+
+// Area returns the absolute area of the ring in DBU^2.
+func (p Polygon) Area() int64 {
+	s := p.SignedArea2()
+	if s < 0 {
+		s = -s
+	}
+	return s / 2
+}
+
+// IsCCW reports whether the ring winds counter-clockwise.
+func (p Polygon) IsCCW() bool { return p.SignedArea2() > 0 }
+
+// Perimeter returns the total edge length of the ring in DBU.
+func (p Polygon) Perimeter() int64 {
+	var s int64
+	for i := range p {
+		a, b := p[i], p[(i+1)%len(p)]
+		s += absI64(int64(b.X)-int64(a.X)) + absI64(int64(b.Y)-int64(a.Y))
+	}
+	return s
+}
+
+// BBox returns the bounding box of the ring.
+func (p Polygon) BBox() Rect {
+	if len(p) == 0 {
+		return Rect{}
+	}
+	r := Rect{p[0].X, p[0].Y, p[0].X, p[0].Y}
+	for _, v := range p[1:] {
+		r.X0 = minC(r.X0, v.X)
+		r.Y0 = minC(r.Y0, v.Y)
+		r.X1 = maxC(r.X1, v.X)
+		r.Y1 = maxC(r.Y1, v.Y)
+	}
+	return r
+}
+
+// Translate returns a copy of the ring shifted by d.
+func (p Polygon) Translate(d Point) Polygon {
+	q := make(Polygon, len(p))
+	for i, v := range p {
+		q[i] = v.Add(d)
+	}
+	return q
+}
+
+// Reverse returns a copy of the ring with opposite winding.
+func (p Polygon) Reverse() Polygon {
+	q := make(Polygon, len(p))
+	for i, v := range p {
+		q[len(p)-1-i] = v
+	}
+	return q
+}
+
+// Clone returns a deep copy of the ring.
+func (p Polygon) Clone() Polygon {
+	q := make(Polygon, len(p))
+	copy(q, p)
+	return q
+}
+
+// Normalize returns the ring with collinear runs merged and duplicate
+// vertices removed, winding preserved. The result shares no storage with
+// the input.
+func (p Polygon) Normalize() Polygon {
+	if len(p) < 3 {
+		return p.Clone()
+	}
+	// Pass 1: drop consecutive duplicate vertices (including wraparound).
+	dedup := make(Polygon, 0, len(p))
+	for i, v := range p {
+		if i > 0 && v == dedup[len(dedup)-1] {
+			continue
+		}
+		dedup = append(dedup, v)
+	}
+	for len(dedup) > 1 && dedup[0] == dedup[len(dedup)-1] {
+		dedup = dedup[:len(dedup)-1]
+	}
+	// Pass 2: drop vertices whose incident edges are collinear (both
+	// horizontal or both vertical through the vertex).
+	n := len(dedup)
+	out := make(Polygon, 0, n)
+	for i := 0; i < n; i++ {
+		prev := dedup[(i-1+n)%n]
+		cur := dedup[i]
+		next := dedup[(i+1)%n]
+		if (prev.X == cur.X && cur.X == next.X) || (prev.Y == cur.Y && cur.Y == next.Y) {
+			continue
+		}
+		out = append(out, cur)
+	}
+	return out
+}
+
+// ContainsPoint reports whether q is strictly inside the ring, using a
+// half-open ray-crossing test that treats points on the boundary as
+// outside-or-inside per the usual even-odd half-open convention
+// (low edges in, high edges out for rectangles).
+func (p Polygon) ContainsPoint(q Point) bool {
+	inside := false
+	n := len(p)
+	for i := 0; i < n; i++ {
+		a, b := p[i], p[(i+1)%n]
+		if a.X != b.X { // only vertical edges cross a horizontal ray cleanly in Manhattan geometry
+			continue
+		}
+		lo, hi := a.Y, b.Y
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if q.Y >= lo && q.Y < hi && q.X < a.X {
+			inside = !inside
+		}
+	}
+	return inside
+}
+
+// VertexCount returns the number of vertices (a convenience for mask
+// data-volume accounting).
+func (p Polygon) VertexCount() int { return len(p) }

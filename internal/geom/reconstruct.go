@@ -1,0 +1,237 @@
+package geom
+
+import "sort"
+
+// Polygons reconstructs the boundary of the region as rectilinear rings.
+// Outer boundaries come back counter-clockwise, hole boundaries
+// clockwise, so feeding the result to RegionFromPolygons (nonzero
+// winding) reproduces the region exactly. Collinear vertices are merged.
+//
+// The algorithm cancels interior edges between touching rectangles on
+// each grid line, then chains the surviving directed boundary edges into
+// loops, taking the left-most turn at four-valent vertices so loops never
+// self-intersect.
+// bedge is a directed boundary edge used during reconstruction.
+type bedge struct {
+	a, b Point
+	dir  Dir
+}
+
+func (g Region) Polygons() []Polygon {
+	if g.Empty() {
+		return nil
+	}
+	type seg struct {
+		pos    Coord // the line: x for vertical, y for horizontal
+		lo, hi Coord // span along the line, lo < hi
+		w      int32 // net direction weight
+	}
+	// Collect signed 1-D coverage per line. Vertical lines: +1 means the
+	// boundary travels north (up); horizontal: +1 means east.
+	vert := map[Coord][]seg{}
+	horz := map[Coord][]seg{}
+	for _, r := range g.rects {
+		// CCW rect boundary: bottom east, right north, top west, left south.
+		horz[r.Y0] = append(horz[r.Y0], seg{r.Y0, r.X0, r.X1, +1})
+		vert[r.X1] = append(vert[r.X1], seg{r.X1, r.Y0, r.Y1, +1})
+		horz[r.Y1] = append(horz[r.Y1], seg{r.Y1, r.X0, r.X1, -1})
+		vert[r.X0] = append(vert[r.X0], seg{r.X0, r.Y0, r.Y1, -1})
+	}
+
+	var boundary []bedge
+
+	// flatten resolves the signed coverage on one line into directed
+	// segments where the net weight is nonzero.
+	flatten := func(segs []seg, vertical bool) {
+		if len(segs) == 0 {
+			return
+		}
+		type ev struct {
+			at Coord
+			dw int32
+		}
+		evs := make([]ev, 0, 2*len(segs))
+		for _, s := range segs {
+			evs = append(evs, ev{s.lo, s.w}, ev{s.hi, -s.w})
+		}
+		sort.Slice(evs, func(i, j int) bool { return evs[i].at < evs[j].at })
+		pos := segs[0].pos
+		var w int32
+		var runStart Coord
+		var runW int32
+		emit := func(from, to Coord, weight int32) {
+			if weight == 0 || from == to {
+				return
+			}
+			if vertical {
+				if weight > 0 {
+					boundary = append(boundary, bedge{Pt(pos, from), Pt(pos, to), North})
+				} else {
+					boundary = append(boundary, bedge{Pt(pos, to), Pt(pos, from), South})
+				}
+			} else {
+				if weight > 0 {
+					boundary = append(boundary, bedge{Pt(from, pos), Pt(to, pos), East})
+				} else {
+					boundary = append(boundary, bedge{Pt(to, pos), Pt(from, pos), West})
+				}
+			}
+		}
+		i := 0
+		for i < len(evs) {
+			at := evs[i].at
+			emit(runStart, at, runW)
+			for i < len(evs) && evs[i].at == at {
+				w += evs[i].dw
+				i++
+			}
+			runStart, runW = at, w
+		}
+	}
+
+	for _, segs := range vert {
+		flatten(segs, true)
+	}
+	for _, segs := range horz {
+		flatten(segs, false)
+	}
+
+	// Chain boundary edges into loops. Edges are split so endpoints only
+	// meet at vertices: split every edge at interior points where another
+	// edge starts or ends on the same line. Because flatten already merges
+	// per line, the only remaining splits needed are at cross-direction
+	// junctions. Endpoints are bucketed per row and per column so each
+	// edge only consults its own line.
+	ptsByY := map[Coord][]Coord{} // y -> xs of endpoints on that row
+	ptsByX := map[Coord][]Coord{} // x -> ys of endpoints on that column
+	addPt := func(p Point) {
+		ptsByY[p.Y] = append(ptsByY[p.Y], p.X)
+		ptsByX[p.X] = append(ptsByX[p.X], p.Y)
+	}
+	for _, e := range boundary {
+		addPt(e.a)
+		addPt(e.b)
+	}
+	for _, s := range ptsByY {
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	}
+	for _, s := range ptsByX {
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	}
+	// cutsIn returns the strictly interior sorted values of line in
+	// (lo, hi), deduplicated.
+	cutsIn := func(line []Coord, lo, hi Coord) []Coord {
+		i := sort.Search(len(line), func(k int) bool { return line[k] > lo })
+		var out []Coord
+		for ; i < len(line) && line[i] < hi; i++ {
+			if len(out) == 0 || out[len(out)-1] != line[i] {
+				out = append(out, line[i])
+			}
+		}
+		return out
+	}
+	var edges []bedge
+	for _, e := range boundary {
+		if e.dir.Horizontal() {
+			y := e.a.Y
+			lo, hi := e.a.X, e.b.X
+			if e.dir == West {
+				lo, hi = e.b.X, e.a.X
+			}
+			edges = appendSplit(edges, e, lo, hi, cutsIn(ptsByY[y], lo, hi), false)
+		} else {
+			x := e.a.X
+			lo, hi := e.a.Y, e.b.Y
+			if e.dir == South {
+				lo, hi = e.b.Y, e.a.Y
+			}
+			edges = appendSplit(edges, e, lo, hi, cutsIn(ptsByX[x], lo, hi), true)
+		}
+	}
+
+	// Outgoing adjacency.
+	out := map[Point][]int{}
+	used := make([]bool, len(edges))
+	for i, e := range edges {
+		out[e.a] = append(out[e.a], i)
+	}
+
+	var rings []Polygon
+	for start := range edges {
+		if used[start] {
+			continue
+		}
+		var ring Polygon
+		cur := start
+		for {
+			used[cur] = true
+			e := edges[cur]
+			ring = append(ring, e.a)
+			// Pick the next edge leaving e.b: prefer the left-most turn
+			// (left, straight, right) and never reverse.
+			var next = -1
+			bestRank := 4
+			for _, cand := range out[e.b] {
+				if used[cand] {
+					continue
+				}
+				d := edges[cand].dir
+				var rank int
+				switch d {
+				case e.dir.Left():
+					rank = 0
+				case e.dir:
+					rank = 1
+				case e.dir.Right():
+					rank = 2
+				default:
+					rank = 3 // reversal: only if nothing else remains
+				}
+				if rank < bestRank {
+					bestRank, next = rank, cand
+				}
+			}
+			if next == -1 || next == start {
+				break
+			}
+			cur = next
+		}
+		if len(ring) >= 4 {
+			rings = append(rings, ring.Normalize())
+		}
+	}
+	return rings
+}
+
+func appendSplit(dst []bedge, e bedge, lo, hi Coord, cuts []Coord, vertical bool) []bedge {
+	pts := make([]Coord, 0, len(cuts)+2)
+	pts = append(pts, lo)
+	pts = append(pts, cuts...)
+	pts = append(pts, hi)
+	mk := func(a, b Coord) bedge {
+		var s bedge
+		s.dir = e.dir
+		if vertical {
+			x := e.a.X
+			if e.dir == North {
+				s.a, s.b = Pt(x, a), Pt(x, b)
+			} else {
+				s.a, s.b = Pt(x, b), Pt(x, a)
+			}
+		} else {
+			y := e.a.Y
+			if e.dir == East {
+				s.a, s.b = Pt(a, y), Pt(b, y)
+			} else {
+				s.a, s.b = Pt(b, y), Pt(a, y)
+			}
+		}
+		return s
+	}
+	for i := 0; i+1 < len(pts); i++ {
+		if pts[i] != pts[i+1] {
+			dst = append(dst, mk(pts[i], pts[i+1]))
+		}
+	}
+	return dst
+}

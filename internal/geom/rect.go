@@ -1,0 +1,112 @@
+package geom
+
+import "fmt"
+
+// Rect is an axis-aligned rectangle. A Rect is canonical when X0 <= X1 and
+// Y0 <= Y1; a canonical rect with X0 == X1 or Y0 == Y1 is degenerate
+// (zero area) and treated as empty by region operations.
+type Rect struct {
+	X0, Y0, X1, Y1 Coord
+}
+
+// R builds a canonical rectangle from two corner coordinates given in any
+// order.
+func R(x0, y0, x1, y1 Coord) Rect {
+	if x0 > x1 {
+		x0, x1 = x1, x0
+	}
+	if y0 > y1 {
+		y0, y1 = y1, y0
+	}
+	return Rect{x0, y0, x1, y1}
+}
+
+// RectFromCenter returns the w-by-h rectangle centered at c. Odd widths
+// and heights are rounded down on the high side.
+func RectFromCenter(c Point, w, h Coord) Rect {
+	return Rect{c.X - w/2, c.Y - h/2, c.X - w/2 + w, c.Y - h/2 + h}
+}
+
+// Empty reports whether the rectangle has zero (or negative) area.
+func (r Rect) Empty() bool { return r.X0 >= r.X1 || r.Y0 >= r.Y1 }
+
+// W returns the width of r.
+func (r Rect) W() Coord { return r.X1 - r.X0 }
+
+// H returns the height of r.
+func (r Rect) H() Coord { return r.Y1 - r.Y0 }
+
+// Area returns the rectangle area in DBU^2.
+func (r Rect) Area() int64 {
+	if r.Empty() {
+		return 0
+	}
+	return int64(r.W()) * int64(r.H())
+}
+
+// Center returns the midpoint of r (rounded toward -inf).
+func (r Rect) Center() Point { return Point{(r.X0 + r.X1) / 2, (r.Y0 + r.Y1) / 2} }
+
+// Contains reports whether p lies inside r, using half-open semantics:
+// the low edges are inside, the high edges are outside.
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.X0 && p.X < r.X1 && p.Y >= r.Y0 && p.Y < r.Y1
+}
+
+// ContainsClosed reports whether p lies inside or on the boundary of r.
+func (r Rect) ContainsClosed(p Point) bool {
+	return p.X >= r.X0 && p.X <= r.X1 && p.Y >= r.Y0 && p.Y <= r.Y1
+}
+
+// Overlaps reports whether r and s share interior area.
+func (r Rect) Overlaps(s Rect) bool {
+	return r.X0 < s.X1 && s.X0 < r.X1 && r.Y0 < s.Y1 && s.Y0 < r.Y1
+}
+
+// Touches reports whether r and s share area or boundary.
+func (r Rect) Touches(s Rect) bool {
+	return r.X0 <= s.X1 && s.X0 <= r.X1 && r.Y0 <= s.Y1 && s.Y0 <= r.Y1
+}
+
+// Intersect returns the overlap of r and s; the result may be empty.
+func (r Rect) Intersect(s Rect) Rect {
+	return Rect{maxC(r.X0, s.X0), maxC(r.Y0, s.Y0), minC(r.X1, s.X1), minC(r.Y1, s.Y1)}
+}
+
+// Union returns the bounding box of r and s. Empty operands are ignored.
+func (r Rect) Union(s Rect) Rect {
+	if r.Empty() {
+		return s
+	}
+	if s.Empty() {
+		return r
+	}
+	return Rect{minC(r.X0, s.X0), minC(r.Y0, s.Y0), maxC(r.X1, s.X1), maxC(r.Y1, s.Y1)}
+}
+
+// Grow expands every side of r outward by d (inward if d is negative).
+// The result may be empty after negative growth.
+func (r Rect) Grow(d Coord) Rect {
+	return Rect{r.X0 - d, r.Y0 - d, r.X1 + d, r.Y1 + d}
+}
+
+// GrowXY expands r by dx horizontally and dy vertically on each side.
+func (r Rect) GrowXY(dx, dy Coord) Rect {
+	return Rect{r.X0 - dx, r.Y0 - dy, r.X1 + dx, r.Y1 + dy}
+}
+
+// Translate returns r shifted by p.
+func (r Rect) Translate(p Point) Rect {
+	return Rect{r.X0 + p.X, r.Y0 + p.Y, r.X1 + p.X, r.Y1 + p.Y}
+}
+
+// Polygon returns the counter-clockwise 4-point ring of r.
+func (r Rect) Polygon() Polygon {
+	return Polygon{
+		{r.X0, r.Y0}, {r.X1, r.Y0}, {r.X1, r.Y1}, {r.X0, r.Y1},
+	}
+}
+
+func (r Rect) String() string {
+	return fmt.Sprintf("[%d,%d;%d,%d]", r.X0, r.Y0, r.X1, r.Y1)
+}

@@ -1,0 +1,412 @@
+package geom
+
+import "sort"
+
+// Region is a set of points of the plane represented as a union of
+// disjoint axis-aligned rectangles. Regions are the normal form all
+// boolean operations produce: rectangles are maximal horizontal runs of
+// scanline slabs, disjoint, and sorted by (Y0, X0). The zero Region is
+// empty and ready to use.
+type Region struct {
+	rects []Rect
+}
+
+// RegionFromRects builds a region from arbitrary, possibly overlapping
+// rectangles by taking their union.
+func RegionFromRects(rs ...Rect) Region {
+	var edges []vEdge
+	for _, r := range rs {
+		edges = appendRectEdges(edges, r, 0)
+	}
+	return sweep(edges, predOr)
+}
+
+// RegionFromPolygons builds a region from rings using the nonzero winding
+// rule: counter-clockwise rings fill, clockwise rings carve holes.
+func RegionFromPolygons(ps ...Polygon) Region {
+	var edges []vEdge
+	for _, p := range ps {
+		edges = appendPolyEdges(edges, p, 0)
+	}
+	return sweep(edges, predOr)
+}
+
+// Rects returns the rectangle decomposition. The slice is owned by the
+// region; callers must not modify it.
+func (g Region) Rects() []Rect { return g.rects }
+
+// Empty reports whether the region covers no area.
+func (g Region) Empty() bool { return len(g.rects) == 0 }
+
+// Count returns the number of rectangles in the decomposition.
+func (g Region) Count() int { return len(g.rects) }
+
+// Area returns the total covered area in DBU^2.
+func (g Region) Area() int64 {
+	var a int64
+	for _, r := range g.rects {
+		a += r.Area()
+	}
+	return a
+}
+
+// BBox returns the bounding box of the region.
+func (g Region) BBox() Rect {
+	var b Rect
+	for i, r := range g.rects {
+		if i == 0 {
+			b = r
+		} else {
+			b = b.Union(r)
+		}
+	}
+	return b
+}
+
+// Contains reports whether p lies in the region (half-open rectangles:
+// low edges in, high edges out).
+func (g Region) Contains(p Point) bool {
+	for _, r := range g.rects {
+		if r.Contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Translate returns the region shifted by d.
+func (g Region) Translate(d Point) Region {
+	out := make([]Rect, len(g.rects))
+	for i, r := range g.rects {
+		out[i] = r.Translate(d)
+	}
+	return Region{out}
+}
+
+// Union returns g OR h.
+func (g Region) Union(h Region) Region { return combine(g, h, predOr) }
+
+// Intersect returns g AND h.
+func (g Region) Intersect(h Region) Region { return combine(g, h, predAnd) }
+
+// Subtract returns g AND NOT h.
+func (g Region) Subtract(h Region) Region { return combine(g, h, predSub) }
+
+// Xor returns the symmetric difference of g and h.
+func (g Region) Xor(h Region) Region { return combine(g, h, predXor) }
+
+// Grow returns the region dilated by d on all sides (Minkowski sum with
+// the 2d-by-2d square). d must be non-negative; use Shrink to erode.
+func (g Region) Grow(d Coord) Region {
+	if d == 0 || g.Empty() {
+		return g
+	}
+	grown := make([]Rect, 0, len(g.rects))
+	for _, r := range g.rects {
+		grown = append(grown, r.Grow(d))
+	}
+	return RegionFromRects(grown...)
+}
+
+// GrowDir dilates the region by dx horizontally and dy vertically
+// (Minkowski sum with a 2dx-by-2dy rectangle). Directional design-rule
+// checks (endcap extension) use it.
+func (g Region) GrowDir(dx, dy Coord) Region {
+	if (dx == 0 && dy == 0) || g.Empty() {
+		return g
+	}
+	grown := make([]Rect, 0, len(g.rects))
+	for _, r := range g.rects {
+		grown = append(grown, r.GrowXY(dx, dy))
+	}
+	return RegionFromRects(grown...)
+}
+
+// Shrink returns the region eroded by d on all sides (Minkowski erosion
+// by the 2d-by-2d square). Features narrower than 2d vanish.
+func (g Region) Shrink(d Coord) Region {
+	if d == 0 || g.Empty() {
+		return g
+	}
+	big := g.BBox().Grow(2 * d)
+	comp := RegionFromRects(big).Subtract(g)
+	return g.Subtract(comp.Grow(d))
+}
+
+// Size applies signed sizing: positive d grows, negative d shrinks.
+func (g Region) Size(d Coord) Region {
+	if d >= 0 {
+		return g.Grow(d)
+	}
+	return g.Shrink(-d)
+}
+
+// Opening erodes then dilates by d, removing slivers narrower than 2d
+// while preserving the bulk shape. Mask rule cleanups use this.
+func (g Region) Opening(d Coord) Region { return g.Shrink(d).Grow(d) }
+
+// dilateAsym is the Minkowski sum with the rectangle spanned by the
+// origin and (dx, dy) (negative values extend in the negative
+// direction).
+func (g Region) dilateAsym(dx, dy Coord) Region {
+	if g.Empty() || (dx == 0 && dy == 0) {
+		return g
+	}
+	grown := make([]Rect, 0, len(g.rects))
+	for _, r := range g.rects {
+		grown = append(grown, Rect{
+			X0: r.X0 + minC(0, dx), Y0: r.Y0 + minC(0, dy),
+			X1: r.X1 + maxC(0, dx), Y1: r.Y1 + maxC(0, dy),
+		})
+	}
+	return RegionFromRects(grown...)
+}
+
+// SquareOpening returns the union of every side-by-side axis-aligned
+// square contained in the region: the morphological opening with a
+// square structuring element of the exact given side. Points outside
+// the result cannot be covered by any inscribed square of that size —
+// the precise minimum-width test design rule checking needs (a feature
+// exactly `side` wide survives; one unit narrower vanishes).
+func (g Region) SquareOpening(side Coord) Region {
+	if side <= 0 || g.Empty() {
+		return g
+	}
+	big := g.BBox().Grow(2 * side)
+	comp := RegionFromRects(big).Subtract(g)
+	// Erosion via the complement: anchor p survives iff the side x side
+	// square at p avoids the complement entirely. With half-open
+	// rectangles the square spans offsets [0, side-1], so the reflected
+	// element extends by side-1.
+	compD := comp.dilateAsym(-(side - 1), -(side - 1))
+	eroded := RegionFromRects(big).Subtract(compD)
+	return eroded.dilateAsym(side-1, side-1).Intersect(g)
+}
+
+// NarrowerThan returns the parts of the region not coverable by an
+// inscribed side-by-side square: the exact minimum-width violations.
+func (g Region) NarrowerThan(side Coord) Region {
+	return g.Subtract(g.SquareOpening(side))
+}
+
+// GapsNarrowerThan returns the parts of the region's complement (near
+// the region) that cannot hold a side-by-side square: the exact
+// minimum-space violations. Open space far from any feature is never
+// reported.
+func (g Region) GapsNarrowerThan(side Coord) Region {
+	if g.Empty() || side <= 0 {
+		return Region{}
+	}
+	universe := g.BBox().Grow(3 * side)
+	comp := RegionFromRects(universe).Subtract(g)
+	narrow := comp.NarrowerThan(side)
+	// Drop frame artifacts hugging the universe border.
+	return narrow.Intersect(RegionFromRects(g.BBox().Grow(side)))
+}
+
+// Closing dilates then erodes by d, filling notches and gaps narrower
+// than 2d.
+func (g Region) Closing(d Coord) Region { return g.Grow(d).Shrink(d) }
+
+// --- scanline boolean core ---
+
+// vEdge is one weighted vertical edge event. Winding convention: a
+// downward original edge contributes +1 to the winding of every point to
+// its right; an upward edge contributes -1. With counter-clockwise rings
+// this makes interior winding +1.
+type vEdge struct {
+	x, y0, y1 Coord // y0 < y1 always; w carries the direction sign
+	w         int32
+	op        uint8 // operand index: 0 = A, 1 = B
+}
+
+func appendRectEdges(dst []vEdge, r Rect, op uint8) []vEdge {
+	if r.Empty() {
+		return dst
+	}
+	// CCW rect: left edge travels south (downward, +1), right edge north
+	// (upward, -1).
+	dst = append(dst,
+		vEdge{x: r.X0, y0: r.Y0, y1: r.Y1, w: +1, op: op},
+		vEdge{x: r.X1, y0: r.Y0, y1: r.Y1, w: -1, op: op},
+	)
+	return dst
+}
+
+func appendPolyEdges(dst []vEdge, p Polygon, op uint8) []vEdge {
+	n := len(p)
+	for i := 0; i < n; i++ {
+		a, b := p[i], p[(i+1)%n]
+		if a.X != b.X || a.Y == b.Y {
+			continue // horizontal or degenerate: no winding contribution
+		}
+		if b.Y < a.Y { // downward edge: +1 to the right
+			dst = append(dst, vEdge{x: a.X, y0: b.Y, y1: a.Y, w: +1, op: op})
+		} else { // upward edge: -1 to the right
+			dst = append(dst, vEdge{x: a.X, y0: a.Y, y1: b.Y, w: -1, op: op})
+		}
+	}
+	return dst
+}
+
+func regionEdges(dst []vEdge, g Region, op uint8) []vEdge {
+	for _, r := range g.rects {
+		dst = appendRectEdges(dst, r, op)
+	}
+	return dst
+}
+
+// pred decides coverage from the two operand winding states.
+type pred func(inA, inB bool) bool
+
+func predOr(a, b bool) bool  { return a || b }
+func predAnd(a, b bool) bool { return a && b }
+func predSub(a, b bool) bool { return a && !b }
+func predXor(a, b bool) bool { return a != b }
+
+func combine(g, h Region, p pred) Region {
+	var edges []vEdge
+	edges = regionEdges(edges, g, 0)
+	edges = regionEdges(edges, h, 1)
+	return sweep(edges, p)
+}
+
+// BooleanPolygons applies op ("or", "and", "sub", "xor") to two sets of
+// rings directly, without materializing intermediate regions.
+func BooleanPolygons(a, b []Polygon, op string) Region {
+	var p pred
+	switch op {
+	case "or":
+		p = predOr
+	case "and":
+		p = predAnd
+	case "sub":
+		p = predSub
+	case "xor":
+		p = predXor
+	default:
+		p = predOr
+	}
+	var edges []vEdge
+	for _, ring := range a {
+		edges = appendPolyEdges(edges, ring, 0)
+	}
+	for _, ring := range b {
+		edges = appendPolyEdges(edges, ring, 1)
+	}
+	return sweep(edges, p)
+}
+
+// interval is a covered y-range within one scanline slab.
+type interval struct{ y0, y1 Coord }
+
+// sweep runs the vertical-edge scanline and returns the covered region
+// with maximal horizontal run-merging of slab rectangles.
+func sweep(edges []vEdge, p pred) Region {
+	if len(edges) == 0 {
+		return Region{}
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i].x < edges[j].x })
+
+	// Active winding deltas per y breakpoint, one accumulator per operand.
+	type delta struct{ a, b int32 }
+	deltas := map[Coord]*delta{}
+	var ys []Coord // sorted keys of deltas
+
+	addDelta := func(y Coord, op uint8, w int32) {
+		d := deltas[y]
+		if d == nil {
+			d = &delta{}
+			deltas[y] = d
+			i := sort.Search(len(ys), func(k int) bool { return ys[k] >= y })
+			ys = append(ys, 0)
+			copy(ys[i+1:], ys[i:])
+			ys[i] = y
+		}
+		if op == 0 {
+			d.a += w
+		} else {
+			d.b += w
+		}
+	}
+
+	// open tracks rectangles still extending rightward: interval -> x
+	// where the run started.
+	open := map[interval]Coord{}
+	var out []Rect
+
+	cur := make([]interval, 0, 16)
+	i := 0
+	for i < len(edges) {
+		x := edges[i].x
+		for i < len(edges) && edges[i].x == x {
+			e := edges[i]
+			addDelta(e.y0, e.op, e.w)
+			addDelta(e.y1, e.op, -e.w)
+			i++
+		}
+		// Recompute covered intervals after this event column.
+		cur = cur[:0]
+		var wa, wb int32
+		var start Coord
+		covering := false
+		for _, y := range ys {
+			d := deltas[y]
+			nwa, nwb := wa+d.a, wb+d.b
+			nowIn := p(nwa > 0, nwb > 0)
+			if nowIn && !covering {
+				start, covering = y, true
+			} else if !nowIn && covering {
+				cur = append(cur, interval{start, y})
+				covering = false
+			}
+			wa, wb = nwa, nwb
+		}
+		// Slab boundary at x: close runs not present anymore, open new ones.
+		next := map[interval]Coord{}
+		for _, iv := range cur {
+			if sx, ok := open[iv]; ok {
+				next[iv] = sx
+				delete(open, iv)
+			} else {
+				next[iv] = x
+			}
+		}
+		for iv, sx := range open {
+			if sx < x {
+				out = append(out, Rect{sx, iv.y0, x, iv.y1})
+			}
+		}
+		open = next
+		// Prune zero deltas to keep ys short.
+		if len(ys) > 64 {
+			kept := ys[:0]
+			for _, y := range ys {
+				d := deltas[y]
+				if d.a == 0 && d.b == 0 {
+					delete(deltas, y)
+				} else {
+					kept = append(kept, y)
+				}
+			}
+			ys = kept
+		}
+	}
+	// Edges exhausted: all windings net to zero, so nothing remains open
+	// unless the input was malformed; close defensively at the last x.
+	if len(open) > 0 {
+		lastX := edges[len(edges)-1].x
+		for iv, sx := range open {
+			if sx < lastX {
+				out = append(out, Rect{sx, iv.y0, lastX, iv.y1})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Y0 != out[j].Y0 {
+			return out[i].Y0 < out[j].Y0
+		}
+		return out[i].X0 < out[j].X0
+	})
+	return Region{out}
+}

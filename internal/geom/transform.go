@@ -1,0 +1,165 @@
+package geom
+
+import "fmt"
+
+// Orient is one of the eight axis-preserving layout orientations
+// (rotations by multiples of 90 degrees, optionally mirrored about the
+// x-axis first), matching the GDSII STRANS/ANGLE conventions used by the
+// layout database.
+type Orient uint8
+
+const (
+	// R0 is the identity.
+	R0 Orient = iota
+	// R90, R180, R270 rotate counter-clockwise.
+	R90
+	R180
+	R270
+	// MX mirrors about the x-axis (y -> -y), then rotates.
+	MX
+	MX90
+	MX180
+	MX270
+)
+
+func (o Orient) String() string {
+	switch o {
+	case R0:
+		return "R0"
+	case R90:
+		return "R90"
+	case R180:
+		return "R180"
+	case R270:
+		return "R270"
+	case MX:
+		return "MX"
+	case MX90:
+		return "MX90"
+	case MX180:
+		return "MX180"
+	case MX270:
+		return "MX270"
+	}
+	return fmt.Sprintf("Orient(%d)", uint8(o))
+}
+
+// Mirrored reports whether the orientation includes the x-axis mirror.
+func (o Orient) Mirrored() bool { return o >= MX }
+
+// AngleDeg returns the rotation angle in degrees (0, 90, 180, 270).
+func (o Orient) AngleDeg() int { return int(o%4) * 90 }
+
+// Compose returns the orientation equivalent to applying first then o.
+func (o Orient) Compose(first Orient) Orient {
+	// Work in the dihedral group D4: element = (mirror, rotation).
+	m1, r1 := first.Mirrored(), int(first%4)
+	m2, r2 := o.Mirrored(), int(o%4)
+	// Applying (m1,r1) then (m2,r2): if m2, the second mirror conjugates
+	// the first rotation: total rotation r2 - r1 (mod 4) with mirror
+	// m1 XOR m2; otherwise r1 + r2.
+	var m bool
+	var r int
+	if m2 {
+		m = !m1
+		r = (r2 - r1 + 4) % 4
+	} else {
+		m = m1
+		r = (r1 + r2) % 4
+	}
+	out := Orient(r)
+	if m {
+		out += MX
+	}
+	return out
+}
+
+// Invert returns the orientation that undoes o.
+func (o Orient) Invert() Orient {
+	if o.Mirrored() {
+		return o // mirror-rotations are involutions in D4
+	}
+	return Orient((4 - int(o)) % 4)
+}
+
+// Xform is a placement transform: mirror/rotate about the origin, scale
+// by an integer magnification, then translate. Layout instance placement
+// (SREF/AREF) uses these. Mag is in units of 1 (Mag=0 is treated as 1);
+// fractional magnification is not supported in DBU geometry.
+type Xform struct {
+	Orient Orient
+	Mag    Coord
+	Offset Point
+}
+
+// Identity returns the no-op transform.
+func Identity() Xform { return Xform{Orient: R0, Mag: 1} }
+
+func (t Xform) mag() Coord {
+	if t.Mag == 0 {
+		return 1
+	}
+	return t.Mag
+}
+
+// Apply maps a point through the transform.
+func (t Xform) Apply(p Point) Point {
+	if t.Orient.Mirrored() {
+		p.Y = -p.Y
+	}
+	switch t.Orient % 4 {
+	case 1: // 90 CCW
+		p = Point{-p.Y, p.X}
+	case 2:
+		p = Point{-p.X, -p.Y}
+	case 3:
+		p = Point{p.Y, -p.X}
+	}
+	m := t.mag()
+	return Point{p.X*m + t.Offset.X, p.Y*m + t.Offset.Y}
+}
+
+// ApplyRect maps a rectangle through the transform; the result is
+// re-canonicalized.
+func (t Xform) ApplyRect(r Rect) Rect {
+	a := t.Apply(Point{r.X0, r.Y0})
+	b := t.Apply(Point{r.X1, r.Y1})
+	return R(a.X, a.Y, b.X, b.Y)
+}
+
+// ApplyPolygon maps a ring through the transform. Mirroring reverses the
+// winding; the result is re-oriented to preserve the input's winding
+// sense so CCW-filled rings stay CCW.
+func (t Xform) ApplyPolygon(p Polygon) Polygon {
+	q := make(Polygon, len(p))
+	for i, v := range p {
+		q[i] = t.Apply(v)
+	}
+	if t.Orient.Mirrored() {
+		q = q.Reverse()
+	}
+	return q
+}
+
+// Invert returns the inverse transform. Only magnification 1 is
+// invertible in integer geometry; Invert panics otherwise (callers in
+// this repository never magnify).
+func (t Xform) Invert() Xform {
+	if t.mag() != 1 {
+		panic("geom: Xform.Invert with magnification != 1")
+	}
+	inv := Xform{Orient: t.Orient.Invert(), Mag: 1}
+	// inv.Apply(t.Apply(p)) == p requires inv.Offset = -M_inv(t.Offset).
+	inv.Offset = Xform{Orient: inv.Orient, Mag: 1}.Apply(t.Offset).Neg()
+	return inv
+}
+
+// Compose returns the transform equivalent to applying inner first,
+// then t (i.e. t.Compose(inner).Apply(p) == t.Apply(inner.Apply(p))).
+func (t Xform) Compose(inner Xform) Xform {
+	return Xform{
+		Orient: t.Orient.Compose(inner.Orient),
+		Mag:    t.mag() * inner.mag(),
+		Offset: t.Apply(inner.Offset),
+	}
+}

@@ -1,0 +1,232 @@
+// Package jobdeck runs multi-layer OPC tape-out jobs described by a
+// JSON deck: which layers to correct, at which adoption level, in which
+// mode (hierarchical master-by-master or flat tiled), against which
+// exposure setup. The deck is the artifact a production flow checks
+// into revision control next to the layout.
+package jobdeck
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"goopc/internal/core"
+	"goopc/internal/geom"
+	"goopc/internal/layout"
+	"goopc/internal/optics"
+)
+
+// Deck is the serializable job description.
+type Deck struct {
+	Name string `json:"name"`
+	// Optics selects the exposure setup; zero values take the 248 nm
+	// defaults.
+	Optics OpticsSpec `json:"optics"`
+	// Anchor is the dose-to-size calibration pattern.
+	Anchor AnchorSpec `json:"anchor"`
+	// BiasSpaces are the rule-table environment bins (empty uses
+	// defaults; L1 jobs need them).
+	BiasSpaces []geom.Coord `json:"biasSpaces,omitempty"`
+	// Layers lists the correction jobs.
+	Layers []LayerJob `json:"layers"`
+}
+
+// OpticsSpec is the JSON shape of the exposure setup.
+type OpticsSpec struct {
+	LambdaNM    float64 `json:"lambdaNM,omitempty"`
+	NA          float64 `json:"na,omitempty"`
+	Sigma       float64 `json:"sigma,omitempty"`
+	SigmaInner  float64 `json:"sigmaInner,omitempty"`
+	Annular     bool    `json:"annular,omitempty"`
+	SourceSteps int     `json:"sourceSteps,omitempty"`
+	GuardNM     float64 `json:"guardNM,omitempty"`
+	// Tone: "bright" (default), "dark", "attpsm-bright", "attpsm-dark".
+	Tone string `json:"tone,omitempty"`
+}
+
+// AnchorSpec is the calibration anchor.
+type AnchorSpec struct {
+	CD    geom.Coord `json:"cd,omitempty"`
+	Pitch geom.Coord `json:"pitch,omitempty"`
+}
+
+// LayerJob corrects one layer.
+type LayerJob struct {
+	Layer layout.Layer `json:"layer"`
+	// Level: "L0", "L1", "L2", "L3".
+	Level string `json:"level"`
+	// Mode: "hier" (master-by-master, hierarchy preserved) or "flat"
+	// (flatten then tile). Default "hier".
+	Mode string `json:"mode,omitempty"`
+	// TileNM is the flat-mode tile size (0 uses 4x the optical ambit).
+	TileNM geom.Coord `json:"tileNM,omitempty"`
+}
+
+// Parse reads a JSON deck.
+func Parse(r io.Reader) (*Deck, error) {
+	var d Deck
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&d); err != nil {
+		return nil, fmt.Errorf("jobdeck: %w", err)
+	}
+	if len(d.Layers) == 0 {
+		return nil, fmt.Errorf("jobdeck: deck %q has no layers", d.Name)
+	}
+	for i, l := range d.Layers {
+		if _, err := parseLevel(l.Level); err != nil {
+			return nil, fmt.Errorf("jobdeck: layer %d: %w", i, err)
+		}
+		switch l.Mode {
+		case "", "hier", "flat":
+		default:
+			return nil, fmt.Errorf("jobdeck: layer %d: unknown mode %q", i, l.Mode)
+		}
+	}
+	return &d, nil
+}
+
+// Write serializes the deck as indented JSON.
+func (d *Deck) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+func parseLevel(s string) (core.Level, error) {
+	switch s {
+	case "L0":
+		return core.L0, nil
+	case "L1":
+		return core.L1, nil
+	case "L2":
+		return core.L2, nil
+	case "L3":
+		return core.L3, nil
+	}
+	return 0, fmt.Errorf("unknown level %q", s)
+}
+
+// opticsSettings materializes the spec.
+func (o OpticsSpec) settings() optics.Settings {
+	s := optics.Default()
+	if o.Annular {
+		s = optics.DefaultAnnular()
+	}
+	if o.LambdaNM > 0 {
+		s.LambdaNM = o.LambdaNM
+	}
+	if o.NA > 0 {
+		s.NA = o.NA
+	}
+	if o.Sigma > 0 {
+		s.SigmaOuter = o.Sigma
+	}
+	if o.SigmaInner > 0 {
+		s.SigmaInner = o.SigmaInner
+	}
+	if o.SourceSteps > 0 {
+		s.SourceSteps = o.SourceSteps
+	}
+	if o.GuardNM > 0 {
+		s.GuardNM = o.GuardNM
+	}
+	switch o.Tone {
+	case "", "bright":
+		s.MaskTone = optics.BrightField
+	case "dark":
+		s.MaskTone = optics.DarkField
+	case "attpsm-bright":
+		s.MaskTone = optics.AttPSMBrightField
+	case "attpsm-dark":
+		s.MaskTone = optics.AttPSMDarkField
+	}
+	return s
+}
+
+// LayerResult reports one layer job.
+type LayerResult struct {
+	Layer   layout.Layer
+	Level   core.Level
+	Mode    string
+	Seconds float64
+	// Cells (hier mode) or Tiles (flat mode) processed.
+	Cells, Tiles int
+	// Figures written to the OPC output layer (stored, hierarchical).
+	Figures int
+}
+
+// Report is the whole job outcome.
+type Report struct {
+	Deck      string
+	Threshold float64
+	Layers    []LayerResult
+}
+
+// Run executes the deck against a layout, writing corrected geometry to
+// each layer's OPC output layer (layout.OPCLayer) in place. The flow is
+// calibrated once. needRules controls rule-table generation (only L1
+// jobs need it; skipping it saves setup time).
+func Run(d *Deck, ly *layout.Layout) (*Report, error) {
+	if ly.Top == nil {
+		return nil, layout.ErrNoTop
+	}
+	needRules := false
+	for _, l := range d.Layers {
+		if l.Level == "L1" || l.Level == "L3" {
+			needRules = true
+		}
+	}
+	opts := core.Options{
+		Optics:        d.Optics.settings(),
+		AnchorCD:      d.Anchor.CD,
+		AnchorPitch:   d.Anchor.Pitch,
+		BiasSpaces:    d.BiasSpaces,
+		SkipBiasTable: !needRules,
+	}
+	flow, err := core.NewFlow(opts)
+	if err != nil {
+		return nil, fmt.Errorf("jobdeck: calibration: %w", err)
+	}
+	rep := &Report{Deck: d.Name, Threshold: flow.Threshold}
+	for _, job := range d.Layers {
+		level, _ := parseLevel(job.Level)
+		t0 := time.Now()
+		lr := LayerResult{Layer: job.Layer, Level: level, Mode: job.Mode}
+		if lr.Mode == "" {
+			lr.Mode = "hier"
+		}
+		switch lr.Mode {
+		case "hier":
+			cr, err := flow.CorrectCells(ly, job.Layer, level)
+			if err != nil {
+				return nil, fmt.Errorf("jobdeck: layer %v: %w", job.Layer, err)
+			}
+			lr.Cells = len(cr.Cells)
+			for _, c := range cr.Cells {
+				lr.Figures += c.Polygons
+			}
+		case "flat":
+			target := layout.Flatten(ly.Top, job.Layer)
+			if len(target) == 0 {
+				return nil, fmt.Errorf("jobdeck: layer %v has no geometry", job.Layer)
+			}
+			tile := job.TileNM
+			if tile == 0 {
+				tile = 4 * flow.Ambit
+			}
+			res, st, err := flow.CorrectWindowed(target, level, tile, true)
+			if err != nil {
+				return nil, fmt.Errorf("jobdeck: layer %v: %w", job.Layer, err)
+			}
+			lr.Tiles = st.Tiles
+			lr.Figures = len(res.Corrected)
+			// Flat results land on the top cell.
+			ly.Top.SetLayer(layout.OPCLayer(job.Layer), res.AllMask())
+		}
+		lr.Seconds = time.Since(t0).Seconds()
+		rep.Layers = append(rep.Layers, lr)
+	}
+	return rep, nil
+}

@@ -1,0 +1,152 @@
+package jobdeck
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"goopc/internal/geom"
+	"goopc/internal/layout"
+	"goopc/internal/optics"
+)
+
+const sampleDeck = `{
+  "name": "tapeout-demo",
+  "optics": {"sourceSteps": 5, "guardNM": 1200},
+  "anchor": {"cd": 250, "pitch": 500},
+  "layers": [
+    {"layer": 2, "level": "L2", "mode": "hier"}
+  ]
+}`
+
+func TestParseValidDeck(t *testing.T) {
+	d, err := Parse(strings.NewReader(sampleDeck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "tapeout-demo" || len(d.Layers) != 1 {
+		t.Fatalf("deck: %+v", d)
+	}
+	if d.Layers[0].Layer != layout.Poly || d.Layers[0].Level != "L2" {
+		t.Errorf("layer job: %+v", d.Layers[0])
+	}
+	// Round trip.
+	var buf bytes.Buffer
+	if err := d.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Name != d.Name || len(d2.Layers) != len(d.Layers) {
+		t.Error("round trip changed the deck")
+	}
+}
+
+func TestParseRejectsBadDecks(t *testing.T) {
+	cases := []string{
+		`{"name":"x","layers":[]}`,
+		`{"name":"x","layers":[{"layer":2,"level":"L9"}]}`,
+		`{"name":"x","layers":[{"layer":2,"level":"L1","mode":"sideways"}]}`,
+		`{"name":"x","layers":[{"layer":2,"level":"L1"}],"unknown":1}`,
+		`not json`,
+	}
+	for _, c := range cases {
+		if _, err := Parse(strings.NewReader(c)); err == nil {
+			t.Errorf("deck accepted: %s", c)
+		}
+	}
+}
+
+func TestOpticsSpecSettings(t *testing.T) {
+	s := OpticsSpec{}.settings()
+	if s.LambdaNM != 248 || s.MaskTone != optics.BrightField {
+		t.Errorf("defaults: %+v", s)
+	}
+	s = OpticsSpec{Annular: true, Tone: "attpsm-bright", SourceSteps: 9}.settings()
+	if s.Shape != optics.Annular || s.MaskTone != optics.AttPSMBrightField || s.SourceSteps != 9 {
+		t.Errorf("custom: %+v", s)
+	}
+	s = OpticsSpec{Tone: "dark"}.settings()
+	if s.MaskTone != optics.DarkField {
+		t.Errorf("dark tone: %v", s.MaskTone)
+	}
+}
+
+func TestRunHierJob(t *testing.T) {
+	d, err := Parse(strings.NewReader(sampleDeck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ly := layout.New("job")
+	bit := ly.MustCell("BIT")
+	bit.AddRect(layout.Poly, geom.R(0, 0, 180, 2000))
+	top := ly.MustCell("TOP")
+	top.PlaceArray(bit, geom.Identity(), 4, 4, geom.Pt(1200, 0), geom.Pt(0, 2600))
+	ly.SetTop(top)
+
+	rep, err := Run(d, ly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Deck != "tapeout-demo" || rep.Threshold <= 0 {
+		t.Fatalf("report: %+v", rep)
+	}
+	if len(rep.Layers) != 1 || rep.Layers[0].Cells != 1 {
+		t.Fatalf("layer result: %+v", rep.Layers)
+	}
+	// The OPC layer exists on the master.
+	if len(bit.Shapes[layout.OPCLayer(layout.Poly)]) == 0 {
+		t.Error("no corrected geometry written")
+	}
+}
+
+func TestRunFlatJob(t *testing.T) {
+	deck := `{
+	  "name": "flat-demo",
+	  "optics": {"sourceSteps": 5, "guardNM": 1200},
+	  "layers": [{"layer": 2, "level": "L2", "mode": "flat"}]
+	}`
+	d, err := Parse(strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ly := layout.New("job")
+	top := ly.MustCell("TOP")
+	for i := 0; i < 4; i++ {
+		top.AddRect(layout.Poly, geom.R(geom.Coord(i)*700, 0, geom.Coord(i)*700+180, 2000))
+	}
+	ly.SetTop(top)
+	rep, err := Run(d, ly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Layers[0].Tiles == 0 || rep.Layers[0].Figures == 0 {
+		t.Fatalf("flat result: %+v", rep.Layers[0])
+	}
+	if len(top.Shapes[layout.OPCLayer(layout.Poly)]) == 0 {
+		t.Error("no corrected geometry on top")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	d, _ := Parse(strings.NewReader(sampleDeck))
+	if _, err := Run(d, layout.New("empty")); err == nil {
+		t.Error("layout without top should fail")
+	}
+	// A flat job on a missing layer fails.
+	deck := `{"name":"x","optics":{"sourceSteps":5,"guardNM":1200},
+	  "layers":[{"layer":6,"level":"L2","mode":"flat"}]}`
+	d2, err := Parse(strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ly := layout.New("j")
+	top := ly.MustCell("TOP")
+	top.AddRect(layout.Poly, geom.R(0, 0, 180, 2000))
+	ly.SetTop(top)
+	if _, err := Run(d2, ly); err == nil {
+		t.Error("missing layer should fail")
+	}
+}

@@ -1,0 +1,161 @@
+package layout
+
+import (
+	"goopc/internal/geom"
+)
+
+// Flatten returns all polygons of one layer under the cell, with every
+// instance transform applied. The result is fully flat: hierarchy and
+// arrays are expanded.
+func Flatten(c *Cell, l Layer) []geom.Polygon {
+	var out []geom.Polygon
+	flattenInto(c, l, geom.Identity(), &out, nil)
+	return out
+}
+
+// FlattenWindow returns the polygons of one layer under the cell whose
+// transformed bounding boxes touch the window. Subtrees whose bounding
+// boxes miss the window are pruned without expansion, so clip extraction
+// from large layouts stays cheap.
+func FlattenWindow(c *Cell, l Layer, window geom.Rect) []geom.Polygon {
+	var out []geom.Polygon
+	flattenInto(c, l, geom.Identity(), &out, &window)
+	return out
+}
+
+func flattenInto(c *Cell, l Layer, x geom.Xform, out *[]geom.Polygon, window *geom.Rect) {
+	if window != nil {
+		cb := x.ApplyRect(c.BBox())
+		if cb.Empty() || !cb.Touches(*window) {
+			return
+		}
+	}
+	for _, p := range c.Shapes[l] {
+		q := x.ApplyPolygon(p)
+		if window != nil && !q.BBox().Touches(*window) {
+			continue
+		}
+		*out = append(*out, q)
+	}
+	for _, in := range c.Insts {
+		child := in.Cell
+		in.Each(func(ix geom.Xform) {
+			flattenInto(child, l, x.Compose(ix), out, window)
+		})
+	}
+}
+
+// FlattenAll flattens every layer under the cell into a new single-cell
+// layout with the same name. This is the "hierarchy destroyed" endpoint
+// the paper's data-volume discussion warns about.
+func FlattenAll(ly *Layout) (*Layout, error) {
+	if ly.Top == nil {
+		return nil, ErrNoTop
+	}
+	flat := New(ly.Name + "_flat")
+	top := flat.MustCell(ly.Top.Name)
+	flat.SetTop(top)
+	for _, l := range collectLayers(ly.Top, map[*Cell]bool{}) {
+		top.SetLayer(l, Flatten(ly.Top, l))
+	}
+	return flat, nil
+}
+
+func collectLayers(c *Cell, seen map[*Cell]bool) []Layer {
+	if seen[c] {
+		return nil
+	}
+	seen[c] = true
+	set := map[Layer]bool{}
+	for l := range c.Shapes {
+		set[l] = true
+	}
+	for _, in := range c.Insts {
+		for _, l := range collectLayers(in.Cell, seen) {
+			set[l] = true
+		}
+	}
+	out := make([]Layer, 0, len(set))
+	for l := range set {
+		out = append(out, l)
+	}
+	sortLayers(out)
+	return out
+}
+
+func sortLayers(ls []Layer) {
+	for i := 1; i < len(ls); i++ {
+		for j := i; j > 0 && ls[j] < ls[j-1]; j-- {
+			ls[j], ls[j-1] = ls[j-1], ls[j]
+		}
+	}
+}
+
+// HierStats summarizes how much work hierarchy saves: figures stored vs
+// figures after full expansion.
+type HierStats struct {
+	Cells           int
+	Instances       int   // instance records (arrays count once)
+	Placements      int64 // expanded placements
+	StoredFigures   int   // polygons stored across cells
+	ExpandedFigures int64 // polygons a full flatten would produce
+	// CompressionRatio is ExpandedFigures / StoredFigures (1.0 when flat).
+	CompressionRatio float64
+}
+
+// CollectHierStats walks the hierarchy under the layout's top cell.
+func CollectHierStats(ly *Layout) (HierStats, error) {
+	if ly.Top == nil {
+		return HierStats{}, ErrNoTop
+	}
+	var st HierStats
+	// Count stored figures over reachable cells once.
+	reach := map[*Cell]bool{}
+	var mark func(c *Cell)
+	mark = func(c *Cell) {
+		if reach[c] {
+			return
+		}
+		reach[c] = true
+		st.Cells++
+		st.StoredFigures += c.LocalFigures()
+		st.Instances += len(c.Insts)
+		for _, in := range c.Insts {
+			mark(in.Cell)
+		}
+	}
+	mark(ly.Top)
+	// Expanded figures: dynamic count over the instantiation tree.
+	memo := map[*Cell]int64{}
+	var expand func(c *Cell) int64
+	expand = func(c *Cell) int64 {
+		if v, ok := memo[c]; ok {
+			return v
+		}
+		n := int64(c.LocalFigures())
+		for _, in := range c.Insts {
+			n += int64(in.Count()) * expand(in.Cell)
+		}
+		memo[c] = n
+		return n
+	}
+	st.ExpandedFigures = expand(ly.Top)
+	var place func(c *Cell) int64
+	placeMemo := map[*Cell]int64{}
+	place = func(c *Cell) int64 {
+		if v, ok := placeMemo[c]; ok {
+			return v
+		}
+		var n int64
+		for _, in := range c.Insts {
+			n += int64(in.Count()) * (1 + place(in.Cell))
+		}
+		placeMemo[c] = n
+		return n
+	}
+	st.Placements = place(ly.Top)
+	if st.StoredFigures > 0 {
+		st.CompressionRatio = float64(st.ExpandedFigures) / float64(st.StoredFigures)
+	}
+	return st, nil
+}

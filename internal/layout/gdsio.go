@@ -1,0 +1,162 @@
+package layout
+
+import (
+	"fmt"
+	"io"
+
+	"goopc/internal/gds"
+	"goopc/internal/geom"
+)
+
+// ToGDS converts the layout to a GDSII library. Cell geometry becomes
+// BOUNDARY elements; instances become SREF/AREF. Cells are emitted
+// children-first so readers that resolve references on the fly work.
+func ToGDS(ly *Layout) (*gds.Library, error) {
+	if ly.Top == nil {
+		return nil, ErrNoTop
+	}
+	lib := gds.NewLibrary(ly.Name)
+	emitted := map[*Cell]bool{}
+	var emit func(c *Cell) error
+	emit = func(c *Cell) error {
+		if emitted[c] {
+			return nil
+		}
+		emitted[c] = true
+		for _, in := range c.Insts {
+			if err := emit(in.Cell); err != nil {
+				return err
+			}
+		}
+		s := lib.AddStruct(c.Name)
+		for _, l := range c.Layers() {
+			for _, p := range c.Shapes[l] {
+				s.Add(&gds.Boundary{Layer: int16(l), XY: p.Clone()})
+			}
+		}
+		for _, in := range c.Insts {
+			strans := gds.StransFromOrient(in.Xform.Orient)
+			if in.Xform.Mag > 1 {
+				strans.Mag = float64(in.Xform.Mag)
+			}
+			if in.Cols > 1 || in.Rows > 1 {
+				cols, rows := in.Cols, in.Rows
+				if cols < 1 {
+					cols = 1
+				}
+				if rows < 1 {
+					rows = 1
+				}
+				s.Add(&gds.ARef{
+					Name: in.Cell.Name, Strans: strans,
+					Cols: int16(cols), Rows: int16(rows),
+					Origin:  in.Xform.Offset,
+					ColStep: in.ColStep, RowStep: in.RowStep,
+				})
+			} else {
+				s.Add(&gds.SRef{Name: in.Cell.Name, Strans: strans, Origin: in.Xform.Offset})
+			}
+		}
+		return nil
+	}
+	// Emit all registered cells (reachable first from top, then orphans)
+	// so libraries round-trip completely.
+	if err := emit(ly.Top); err != nil {
+		return nil, err
+	}
+	for _, c := range ly.cells {
+		if err := emit(c); err != nil {
+			return nil, err
+		}
+	}
+	return lib, nil
+}
+
+// FromGDS converts a GDSII library to a layout. PATH elements are
+// expanded to boundary polygons; TEXT is dropped. The top cell is the
+// structure that no other structure references (when unique), otherwise
+// the last structure.
+func FromGDS(lib *gds.Library) (*Layout, error) {
+	if err := lib.Validate(); err != nil {
+		return nil, err
+	}
+	ly := New(lib.Name)
+	// First pass: create cells.
+	for _, s := range lib.Structs {
+		if _, err := ly.NewCell(s.Name); err != nil {
+			return nil, err
+		}
+	}
+	referenced := map[string]bool{}
+	for _, s := range lib.Structs {
+		c := ly.Cell(s.Name)
+		for _, el := range s.Elements {
+			switch e := el.(type) {
+			case *gds.Boundary:
+				ring := geom.Polygon(e.XY)
+				if err := ring.Validate(); err != nil {
+					return nil, fmt.Errorf("layout: structure %q: %w", s.Name, err)
+				}
+				if !ring.IsCCW() {
+					ring = ring.Reverse()
+				}
+				c.AddPolygon(Layer(e.Layer), ring)
+			case *gds.Path:
+				polys, err := e.Outline()
+				if err != nil {
+					return nil, fmt.Errorf("layout: structure %q: %w", s.Name, err)
+				}
+				for _, p := range polys {
+					c.AddPolygon(Layer(e.Layer), p)
+				}
+			case *gds.SRef:
+				x, err := e.Strans.Xform(e.Origin)
+				if err != nil {
+					return nil, fmt.Errorf("layout: structure %q ref %q: %w", s.Name, e.Name, err)
+				}
+				c.Place(ly.Cell(e.Name), x)
+				referenced[e.Name] = true
+			case *gds.ARef:
+				x, err := e.Strans.Xform(e.Origin)
+				if err != nil {
+					return nil, fmt.Errorf("layout: structure %q aref %q: %w", s.Name, e.Name, err)
+				}
+				c.PlaceArray(ly.Cell(e.Name), x, int(e.Cols), int(e.Rows), e.ColStep, e.RowStep)
+				referenced[e.Name] = true
+			case *gds.Text:
+				// Annotations carry no mask geometry.
+			}
+		}
+	}
+	var top *Cell
+	nRoots := 0
+	for _, s := range lib.Structs {
+		if !referenced[s.Name] {
+			top = ly.Cell(s.Name)
+			nRoots++
+		}
+	}
+	if nRoots != 1 && len(lib.Structs) > 0 {
+		top = ly.Cell(lib.Structs[len(lib.Structs)-1].Name)
+	}
+	ly.SetTop(top)
+	return ly, nil
+}
+
+// WriteGDS serializes the layout as a GDSII stream.
+func WriteGDS(w io.Writer, ly *Layout) (int64, error) {
+	lib, err := ToGDS(ly)
+	if err != nil {
+		return 0, err
+	}
+	return gds.Write(w, lib)
+}
+
+// ReadGDS parses a GDSII stream into a layout.
+func ReadGDS(r io.Reader) (*Layout, error) {
+	lib, err := gds.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return FromGDS(lib)
+}

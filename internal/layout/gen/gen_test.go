@@ -1,0 +1,245 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"goopc/internal/geom"
+	"goopc/internal/layout"
+)
+
+func TestThroughPitch(t *testing.T) {
+	ly := layout.New("tp")
+	cell, sites, err := ThroughPitch(ly, "TP", layout.Poly, 180, []geom.Coord{360, 500, 700}, 4000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(cell.Shapes[layout.Poly]); got != 3*5+1 {
+		t.Errorf("line count = %d", got)
+	}
+	if len(sites) != 4 { // 3 pitches + iso
+		t.Fatalf("sites = %d", len(sites))
+	}
+	for _, s := range sites[:3] {
+		if s.Kind != PitchSite || s.Want != 180 {
+			t.Errorf("site %q kind=%v want=%d", s.Name, s.Kind, s.Want)
+		}
+		// Site must sit inside a drawn line.
+		hit := false
+		for _, p := range cell.Shapes[layout.Poly] {
+			if p.ContainsPoint(s.At) {
+				hit = true
+			}
+		}
+		if !hit {
+			t.Errorf("site %q at %v not on a line", s.Name, s.At)
+		}
+	}
+	if sites[3].Kind != IsoSite {
+		t.Error("last site should be iso")
+	}
+}
+
+func TestThroughPitchErrors(t *testing.T) {
+	ly := layout.New("tp")
+	if _, _, err := ThroughPitch(ly, "A", layout.Poly, 0, nil, 100, 1); err == nil {
+		t.Error("zero cd should fail")
+	}
+	if _, _, err := ThroughPitch(ly, "B", layout.Poly, 180, []geom.Coord{100}, 1000, 3); err == nil {
+		t.Error("pitch < cd should fail")
+	}
+}
+
+func TestLineEndGap(t *testing.T) {
+	ly := layout.New("le")
+	cell, sites, err := LineEndGap(ly, "LE", layout.Poly, 180, []geom.Coord{240, 300, 400}, 2000, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sites) != 3 {
+		t.Fatalf("sites = %d", len(sites))
+	}
+	// With neighbors: 4 rects per gap.
+	if got := len(cell.Shapes[layout.Poly]); got != 12 {
+		t.Errorf("rect count = %d", got)
+	}
+	for _, s := range sites {
+		if s.CutHorizontal {
+			t.Error("line-end cut must be vertical")
+		}
+		// The site center must be in the gap (not on poly).
+		for _, p := range cell.Shapes[layout.Poly] {
+			if p.ContainsPoint(s.At) {
+				t.Errorf("site %q sits on poly", s.Name)
+			}
+		}
+	}
+}
+
+func TestCornerTest(t *testing.T) {
+	ly := layout.New("ct")
+	cell, sites, err := CornerTest(ly, "CT", layout.Poly, 180, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sites) != 2 {
+		t.Fatalf("sites = %d", len(sites))
+	}
+	p := cell.Shapes[layout.Poly][0]
+	convex, concave := p.CountCorners()
+	if convex != 5 || concave != 1 {
+		t.Errorf("L corners: %d/%d", convex, concave)
+	}
+	if _, _, err := CornerTest(ly, "CT2", layout.Poly, 180, 300); err == nil {
+		t.Error("arm too short should fail")
+	}
+}
+
+func TestContactArray(t *testing.T) {
+	ly := layout.New("ca")
+	cell, sites, err := ContactArray(ly, "CA", layout.Contact, 220, 500, 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(cell.Shapes[layout.Contact]); got != 24 {
+		t.Errorf("contacts = %d", got)
+	}
+	if len(sites) != 1 || sites[0].Kind != ContactSite {
+		t.Errorf("sites = %v", sites)
+	}
+}
+
+func TestBuildCellLib(t *testing.T) {
+	ly := layout.New("lib")
+	lib, err := BuildCellLib(ly, Tech180())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lib.Cells) != 6 {
+		t.Fatalf("cells = %d", len(lib.Cells))
+	}
+	inv := lib.Cell("INVX1")
+	if inv == nil {
+		t.Fatal("INVX1 missing")
+	}
+	if lib.Cell("NOPE") != nil {
+		t.Error("unknown cell should be nil")
+	}
+	// Every cell has poly, active, contact, metal1 geometry.
+	for _, c := range lib.Cells {
+		for _, l := range []layout.Layer{layout.Poly, layout.Active, layout.Contact, layout.Metal1} {
+			if len(c.Shapes[l]) == 0 {
+				t.Errorf("cell %s missing layer %v", c.Name, l)
+			}
+		}
+		if c.BBox().H() != Tech180().CellHeight {
+			t.Errorf("cell %s height = %d", c.Name, c.BBox().H())
+		}
+		// All polygons valid and CCW.
+		for l, ps := range c.Shapes {
+			for _, p := range ps {
+				if err := p.Validate(); err != nil {
+					t.Errorf("cell %s layer %v: %v", c.Name, l, err)
+				}
+				if !p.IsCCW() {
+					t.Errorf("cell %s layer %v: CW polygon", c.Name, l)
+				}
+			}
+		}
+	}
+	// DFF is the widest cell.
+	dff := lib.Cell("DFFX1")
+	if dff.BBox().W() <= inv.BBox().W() {
+		t.Error("DFF should be wider than INV")
+	}
+}
+
+func TestBuildBlock(t *testing.T) {
+	ly := layout.New("blk")
+	lib, err := BuildCellLib(ly, Tech180())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	block, err := BuildBlock(ly, lib, "BLOCK", 4, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(block.Insts) != 40 {
+		t.Fatalf("instances = %d", len(block.Insts))
+	}
+	ly.SetTop(block)
+	st, err := layout.CollectHierStats(ly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CompressionRatio <= 1.5 {
+		t.Errorf("block should reuse masters heavily, ratio = %f", st.CompressionRatio)
+	}
+	// Rows abut: total height = 4 * cell height.
+	if h := block.BBox().H(); h != 4*Tech180().CellHeight {
+		t.Errorf("block height = %d", h)
+	}
+	// Determinism for a fixed seed.
+	ly2 := layout.New("blk2")
+	lib2, _ := BuildCellLib(ly2, Tech180())
+	block2, err := BuildBlock(ly2, lib2, "BLOCK", 4, 10, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range block.Insts {
+		if block.Insts[i].Cell.Name != block2.Insts[i].Cell.Name {
+			t.Fatal("block generation must be deterministic for a fixed seed")
+		}
+	}
+}
+
+func TestBuildSRAM(t *testing.T) {
+	ly := layout.New("sram")
+	arr, err := BuildSRAM(ly, Tech180(), "SRAM64", 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arr.Insts) != 1 || arr.Insts[0].Count() != 128 {
+		t.Fatalf("array: %d insts, count %d", len(arr.Insts), arr.Insts[0].Count())
+	}
+	ly.SetTop(arr)
+	polys := layout.Flatten(arr, layout.Poly)
+	bitPolys := len(ly.Cell("SRAM64_bit").Shapes[layout.Poly])
+	if len(polys) != 128*bitPolys {
+		t.Errorf("flattened poly = %d, want %d", len(polys), 128*bitPolys)
+	}
+	if _, err := BuildSRAM(ly, Tech180(), "BAD", 0, 4); err == nil {
+		t.Error("zero rows should fail")
+	}
+}
+
+func TestBuildRoutedBlock(t *testing.T) {
+	ly := layout.New("rt")
+	rng := rand.New(rand.NewSource(7))
+	blk, err := BuildRoutedBlock(ly, Tech180(), "RT", 40000, 40000, 30, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := len(blk.Shapes[layout.Metal1])
+	m2 := len(blk.Shapes[layout.Metal2])
+	vias := len(blk.Shapes[layout.Via1])
+	if m1 == 0 || m2 == 0 || vias == 0 {
+		t.Errorf("routing layers empty: m1=%d m2=%d via=%d", m1, m2, vias)
+	}
+	if m1 != vias || m2 != vias {
+		t.Errorf("each net has one segment per layer and one via: %d/%d/%d", m1, m2, vias)
+	}
+	// No metal1 shorts: net segments must not overlap.
+	segs := blk.Shapes[layout.Metal1]
+	for i := range segs {
+		for j := i + 1; j < len(segs); j++ {
+			if segs[i].BBox().Overlaps(segs[j].BBox()) {
+				t.Fatalf("metal1 segments %d and %d overlap", i, j)
+			}
+		}
+	}
+	if _, err := BuildRoutedBlock(ly, Tech180(), "BAD", 100, 100, 5, rng); err == nil {
+		t.Error("too-small block should fail")
+	}
+}

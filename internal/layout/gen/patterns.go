@@ -1,0 +1,174 @@
+package gen
+
+import (
+	"fmt"
+
+	"goopc/internal/geom"
+	"goopc/internal/layout"
+)
+
+// ThroughPitch builds the classic iso-dense test structure: groups of
+// vertical lines of width cd at each requested pitch, plus one isolated
+// line, all of the given length. Groups are separated by 5x the largest
+// pitch so they do not optically interact. The center line of each group
+// carries the measurement site.
+//
+// The returned sites measure line width with a horizontal cut at mid
+// height.
+func ThroughPitch(ly *layout.Layout, name string, l layout.Layer, cd geom.Coord, pitches []geom.Coord, length geom.Coord, linesPerGroup int) (*layout.Cell, []Site, error) {
+	if cd <= 0 || length <= 0 || linesPerGroup < 1 {
+		return nil, nil, fmt.Errorf("gen: bad through-pitch parameters cd=%d length=%d lines=%d", cd, length, linesPerGroup)
+	}
+	cell, err := ly.NewCell(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	var maxPitch geom.Coord
+	for _, p := range pitches {
+		if p < cd {
+			return nil, nil, fmt.Errorf("gen: pitch %d smaller than cd %d", p, cd)
+		}
+		if p > maxPitch {
+			maxPitch = p
+		}
+	}
+	gap := 5 * maxPitch
+	if gap < 3000 {
+		gap = 3000
+	}
+	var sites []Site
+	x := geom.Coord(0)
+	midY := length / 2
+	for _, pitch := range pitches {
+		groupStart := x
+		for i := 0; i < linesPerGroup; i++ {
+			lx := groupStart + geom.Coord(i)*pitch
+			cell.AddRect(l, geom.R(lx, 0, lx+cd, length))
+		}
+		center := linesPerGroup / 2
+		cx := groupStart + geom.Coord(center)*pitch + cd/2
+		sites = append(sites, Site{
+			Name:          fmt.Sprintf("p%d", pitch),
+			Kind:          PitchSite,
+			At:            geom.Pt(cx, midY),
+			CutHorizontal: true,
+			Want:          cd,
+			Pitch:         pitch,
+		})
+		x = groupStart + geom.Coord(linesPerGroup-1)*pitch + cd + gap
+	}
+	// Isolated line at the far end.
+	cell.AddRect(l, geom.R(x, 0, x+cd, length))
+	sites = append(sites, Site{
+		Name:          "iso",
+		Kind:          IsoSite,
+		At:            geom.Pt(x+cd/2, midY),
+		CutHorizontal: true,
+		Want:          cd,
+	})
+	return cell, sites, nil
+}
+
+// LineEndGap builds pairs of vertical lines facing tip-to-tip across a
+// gap, one pair per gap value, optionally flanked by dense neighbors.
+// The site measures the printed gap along the line axis (vertical cut).
+func LineEndGap(ly *layout.Layout, name string, l layout.Layer, cd geom.Coord, gaps []geom.Coord, length geom.Coord, withNeighbors bool) (*layout.Cell, []Site, error) {
+	if cd <= 0 || length <= 0 {
+		return nil, nil, fmt.Errorf("gen: bad line-end parameters cd=%d length=%d", cd, length)
+	}
+	cell, err := ly.NewCell(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	pitch := 2 * cd
+	spacing := geom.Coord(4000)
+	var sites []Site
+	x := geom.Coord(0)
+	for _, gap := range gaps {
+		yLow0, yLow1 := geom.Coord(0), length
+		yHigh0, yHigh1 := length+gap, 2*length+gap
+		cell.AddRect(l, geom.R(x, yLow0, x+cd, yLow1))
+		cell.AddRect(l, geom.R(x, yHigh0, x+cd, yHigh1))
+		if withNeighbors {
+			// Continuous flanking lines create the asymmetric environment
+			// where line-end pullback is worst.
+			cell.AddRect(l, geom.R(x-pitch, yLow0, x-pitch+cd, yHigh1))
+			cell.AddRect(l, geom.R(x+pitch, yLow0, x+pitch+cd, yHigh1))
+		}
+		sites = append(sites, Site{
+			Name:          fmt.Sprintf("gap%d", gap),
+			Kind:          LineEndSite,
+			At:            geom.Pt(x+cd/2, length+gap/2),
+			CutHorizontal: false,
+			Want:          gap,
+		})
+		x += spacing
+	}
+	return cell, sites, nil
+}
+
+// CornerTest builds L-shaped elbows of the given arm width; the site
+// probes the width at the outer corner diagonal region with a horizontal
+// cut just below the elbow.
+func CornerTest(ly *layout.Layout, name string, l layout.Layer, cd geom.Coord, armLen geom.Coord) (*layout.Cell, []Site, error) {
+	if cd <= 0 || armLen <= 2*cd {
+		return nil, nil, fmt.Errorf("gen: bad corner parameters cd=%d arm=%d", cd, armLen)
+	}
+	cell, err := ly.NewCell(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	// CCW L: vertical arm up, horizontal arm right.
+	cell.AddPolygon(l, geom.Polygon{
+		geom.Pt(0, 0), geom.Pt(armLen, 0), geom.Pt(armLen, cd),
+		geom.Pt(cd, cd), geom.Pt(cd, armLen), geom.Pt(0, armLen),
+	})
+	sites := []Site{
+		{
+			Name:          "corner-vert",
+			Kind:          CornerSite,
+			At:            geom.Pt(cd/2, cd+cd), // just above the elbow on the vertical arm
+			CutHorizontal: true,
+			Want:          cd,
+		},
+		{
+			Name:          "corner-horz",
+			Kind:          CornerSite,
+			At:            geom.Pt(cd+cd, cd/2),
+			CutHorizontal: false,
+			Want:          cd,
+		},
+	}
+	return cell, sites, nil
+}
+
+// ContactArray builds a rows x cols array of square contacts.
+func ContactArray(ly *layout.Layout, name string, l layout.Layer, size, pitch geom.Coord, rows, cols int) (*layout.Cell, []Site, error) {
+	if size <= 0 || pitch < size || rows < 1 || cols < 1 {
+		return nil, nil, fmt.Errorf("gen: bad contact array size=%d pitch=%d", size, pitch)
+	}
+	cell, err := ly.NewCell(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			x := geom.Coord(c) * pitch
+			y := geom.Coord(r) * pitch
+			cell.AddRect(l, geom.R(x, y, x+size, y+size))
+		}
+	}
+	mid := geom.Pt(geom.Coord(cols/2)*pitch+size/2, geom.Coord(rows/2)*pitch+size/2)
+	sites := []Site{{
+		Name: "contact-center", Kind: ContactSite, At: mid,
+		CutHorizontal: true, Want: size, Pitch: pitch,
+	}}
+	return cell, sites, nil
+}
+
+// DenseIso builds the minimal two-environment structure used by the
+// process-window experiment: one dense group at the given pitch and one
+// isolated line, both of width cd.
+func DenseIso(ly *layout.Layout, name string, l layout.Layer, cd, pitch, length geom.Coord) (*layout.Cell, []Site, error) {
+	return ThroughPitch(ly, name, l, cd, []geom.Coord{pitch}, length, 7)
+}

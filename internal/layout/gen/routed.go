@@ -1,0 +1,76 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"goopc/internal/geom"
+	"goopc/internal/layout"
+)
+
+// BuildRoutedBlock generates a random Manhattan-routed block: metal1
+// runs horizontally on a track grid, metal2 vertically, with vias at
+// layer changes. Each net is an L or Z route between two random grid
+// points. Track utilization and net count scale with the area, so the
+// runtime-scaling experiment can sweep block size.
+func BuildRoutedBlock(ly *layout.Layout, t Tech, name string, w, h geom.Coord, nets int, rng *rand.Rand) (*layout.Cell, error) {
+	if w <= 0 || h <= 0 || nets < 1 {
+		return nil, fmt.Errorf("gen: routed block %q needs positive dimensions and nets", name)
+	}
+	c, err := ly.NewCell(name)
+	if err != nil {
+		return nil, err
+	}
+	pitch1 := t.M1W + t.M1S
+	pitch2 := t.M2W + t.M2S
+	tracksY := int(h / pitch1)
+	tracksX := int(w / pitch2)
+	if tracksX < 2 || tracksY < 2 {
+		return nil, fmt.Errorf("gen: routed block %q too small for track grid", name)
+	}
+	// Occupancy per track keeps routes from shorting: each horizontal
+	// track and vertical track records used intervals coarsely (whole
+	// track claimed once used). Simple but yields legal, dense routing.
+	usedH := make([]bool, tracksY)
+	usedV := make([]bool, tracksX)
+
+	viaSize := t.ContactSize
+	placed := 0
+	for attempt := 0; attempt < nets*10 && placed < nets; attempt++ {
+		ht := rng.Intn(tracksY)
+		vt := rng.Intn(tracksX)
+		if usedH[ht] || usedV[vt] {
+			continue
+		}
+		usedH[ht] = true
+		usedV[vt] = true
+		y := geom.Coord(ht)*pitch1 + pitch1/2
+		x := geom.Coord(vt)*pitch2 + pitch2/2
+		// Horizontal metal1 segment from a random start to the junction.
+		x0 := geom.Coord(rng.Intn(tracksX))*pitch2 + pitch2/2
+		if x0 == x {
+			x0 = pitch2 / 2
+		}
+		lo, hi := x0, x
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		c.AddRect(layout.Metal1, geom.R(lo-t.M1W/2, y-t.M1W/2, hi+t.M1W/2, y+t.M1W/2))
+		// Vertical metal2 segment from the junction to a random end.
+		y1 := geom.Coord(rng.Intn(tracksY))*pitch1 + pitch1/2
+		if y1 == y {
+			y1 = pitch1 / 2
+		}
+		lo2, hi2 := y, y1
+		if lo2 > hi2 {
+			lo2, hi2 = hi2, lo2
+		}
+		c.AddRect(layout.Metal2, geom.R(x-t.M2W/2, lo2-t.M2W/2, x+t.M2W/2, hi2+t.M2W/2))
+		c.AddRect(layout.Via1, geom.RectFromCenter(geom.Pt(x, y), viaSize, viaSize))
+		placed++
+	}
+	if placed == 0 {
+		return nil, fmt.Errorf("gen: routed block %q could not place any net", name)
+	}
+	return c, nil
+}

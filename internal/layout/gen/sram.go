@@ -1,0 +1,72 @@
+package gen
+
+import (
+	"fmt"
+
+	"goopc/internal/geom"
+	"goopc/internal/layout"
+)
+
+// BuildSRAM generates a bit-cell and arrays it rows x cols with an array
+// instance. The bit cell is a compact 6T-style footprint: two pairs of
+// vertical poly gates at tight pitch, shared active, contacts, and
+// metal1 bit lines — the densest, most proximity-stressed layout in a
+// 2001 design, which is why SRAM drove OPC adoption.
+func BuildSRAM(ly *layout.Layout, t Tech, name string, rows, cols int) (*layout.Cell, error) {
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("gen: SRAM %q needs rows, cols >= 1", name)
+	}
+	bit, err := ly.NewCell(name + "_bit")
+	if err != nil {
+		return nil, err
+	}
+	// Bit cell footprint: 4 poly stripes at 90% of logic pitch.
+	pitch := t.PolyPitch * 9 / 10
+	cellW := 4 * pitch
+	cellH := t.CellHeight / 2
+
+	// Active: two horizontal stripes.
+	bit.AddRect(layout.Active, geom.R(pitch/4, cellH/6, cellW-pitch/4, cellH/6+t.ActiveW))
+	bit.AddRect(layout.Active, geom.R(pitch/4, cellH-cellH/6-t.ActiveW, cellW-pitch/4, cellH-cellH/6))
+
+	// Four poly gates; the middle two are cross-coupled with short
+	// line-ends facing each other (the classic SRAM OPC hotspot).
+	for g := 0; g < 4; g++ {
+		x := geom.Coord(g)*pitch + pitch/2 - t.PolyCD/2
+		switch g {
+		case 1:
+			// Lower half only: line end in the middle of the cell.
+			bit.AddRect(layout.Poly, geom.R(x, cellH/12, x+t.PolyCD, cellH/2-t.PolyCD))
+		case 2:
+			// Upper half only: facing line end.
+			bit.AddRect(layout.Poly, geom.R(x, cellH/2+t.PolyCD, x+t.PolyCD, cellH-cellH/12))
+		default:
+			bit.AddRect(layout.Poly, geom.R(x, cellH/12, x+t.PolyCD, cellH-cellH/12))
+		}
+	}
+
+	// Contacts at the four active/gate junction columns.
+	for g := 0; g <= 4; g += 2 {
+		cx := geom.Coord(g) * pitch
+		if cx == 0 {
+			cx = pitch / 3
+		}
+		if cx >= cellW {
+			cx = cellW - pitch/3
+		}
+		bit.AddRect(layout.Contact, geom.RectFromCenter(geom.Pt(cx, cellH/6+t.ActiveW/2), t.ContactSize, t.ContactSize))
+		bit.AddRect(layout.Contact, geom.RectFromCenter(geom.Pt(cx, cellH-cellH/6-t.ActiveW/2), t.ContactSize, t.ContactSize))
+	}
+
+	// Metal1 bit lines: two vertical stripes full height.
+	bit.AddRect(layout.Metal1, geom.R(pitch/2-t.M1W/2, 0, pitch/2+t.M1W/2, cellH))
+	bit.AddRect(layout.Metal1, geom.R(cellW-pitch/2-t.M1W/2, 0, cellW-pitch/2+t.M1W/2, cellH))
+
+	arr, err := ly.NewCell(name)
+	if err != nil {
+		return nil, err
+	}
+	arr.PlaceArray(bit, geom.Identity(), cols, rows,
+		geom.Pt(cellW, 0), geom.Pt(0, cellH))
+	return arr, nil
+}

@@ -1,0 +1,172 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"goopc/internal/geom"
+	"goopc/internal/layout"
+)
+
+// CellLib is a generated standard-cell library.
+type CellLib struct {
+	Tech  Tech
+	Cells []*layout.Cell
+}
+
+// BuildCellLib generates the standard-cell set (INV, BUF, NAND2, NOR2,
+// AOI21, DFF) into the layout.
+func BuildCellLib(ly *layout.Layout, t Tech) (*CellLib, error) {
+	lib := &CellLib{Tech: t}
+	specs := []struct {
+		name  string
+		gates int
+		flop  bool
+	}{
+		{"INVX1", 1, false},
+		{"BUFX2", 2, false},
+		{"NAND2X1", 2, false},
+		{"NOR2X1", 2, false},
+		{"AOI21X1", 3, false},
+		{"DFFX1", 8, true},
+	}
+	for _, sp := range specs {
+		c, err := buildGateCell(ly, t, sp.name, sp.gates, sp.flop)
+		if err != nil {
+			return nil, err
+		}
+		lib.Cells = append(lib.Cells, c)
+	}
+	return lib, nil
+}
+
+// Cell returns the library cell with the name, or nil.
+func (l *CellLib) Cell(name string) *layout.Cell {
+	for _, c := range l.Cells {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// buildGateCell draws a schematic-free but geometrically realistic
+// standard cell: power rails, N and P active stripes, vertical poly
+// gates with endcaps, active and poly contacts, and metal1 straps with
+// bends. The poly layer exhibits exactly the constructs OPC targets:
+// dense lines at minimum pitch, line ends, and T-junction landing pads.
+func buildGateCell(ly *layout.Layout, t Tech, name string, gates int, flop bool) (*layout.Cell, error) {
+	if gates < 1 {
+		return nil, fmt.Errorf("gen: cell %q needs gates >= 1", name)
+	}
+	c, err := ly.NewCell(name)
+	if err != nil {
+		return nil, err
+	}
+	width := geom.Coord(gates+1) * t.PolyPitch
+	h := t.CellHeight
+
+	// Power rails (metal1) along the top and bottom edges.
+	c.AddRect(layout.Metal1, geom.R(0, 0, width, t.RailW))
+	c.AddRect(layout.Metal1, geom.R(0, h-t.RailW, width, h))
+
+	// Active stripes: NMOS lower, PMOS upper (PMOS wider).
+	nA := geom.R(t.PolyPitch/2, t.RailW+400, width-t.PolyPitch/2, t.RailW+400+t.ActiveW)
+	pW := t.ActiveW + t.ActiveW/2
+	pA := geom.R(t.PolyPitch/2, h-t.RailW-400-pW, width-t.PolyPitch/2, h-t.RailW-400)
+	c.AddRect(layout.Active, nA)
+	c.AddRect(layout.Active, pA)
+	c.AddRect(layout.NWell, geom.R(0, h/2, width, h))
+
+	// Vertical poly gates crossing both actives, with endcaps.
+	gateY0 := nA.Y0 - t.PolyEndcap
+	gateY1 := pA.Y1 + t.PolyEndcap
+	for g := 0; g < gates; g++ {
+		x := geom.Coord(g+1)*t.PolyPitch - t.PolyCD/2
+		c.AddRect(layout.Poly, geom.R(x, gateY0, x+t.PolyCD, gateY1))
+		// Poly contact landing pad: a T-head on alternating gates, the
+		// construct whose corner rounding OPC serifs address.
+		if g%2 == 0 {
+			padW := t.ContactSize + 2*t.ContactEnclosure
+			pad := geom.R(x+t.PolyCD/2-padW/2, gateY1, x+t.PolyCD/2+padW/2, gateY1+padW)
+			c.AddRect(layout.Poly, pad)
+			c.AddRect(layout.Contact, geom.RectFromCenter(pad.Center(), t.ContactSize, t.ContactSize))
+			// Metal1 landing over the poly contact, tall enough to merge
+			// with the rail region and satisfy the M1 area rule.
+			c.AddRect(layout.Metal1, geom.RectFromCenter(pad.Center(), t.M1W, 460))
+		}
+	}
+
+	// Source/drain contacts between gates on both actives.
+	for g := 0; g <= gates; g++ {
+		cx := geom.Coord(g)*t.PolyPitch + t.PolyPitch/2
+		if cx < nA.X0+t.ContactEnclosure || cx > nA.X1-t.ContactEnclosure {
+			continue
+		}
+		c.AddRect(layout.Contact, geom.RectFromCenter(geom.Pt(cx, nA.Center().Y), t.ContactSize, t.ContactSize))
+		c.AddRect(layout.Contact, geom.RectFromCenter(geom.Pt(cx, pA.Center().Y), t.ContactSize, t.ContactSize))
+		// Metal1 landing pads over both contacts (straps merge into
+		// them where present).
+		c.AddRect(layout.Metal1, geom.RectFromCenter(geom.Pt(cx, nA.Center().Y), t.M1W, 460))
+		c.AddRect(layout.Metal1, geom.RectFromCenter(geom.Pt(cx, pA.Center().Y), t.M1W, 460))
+		// Metal1 strap from the contact toward the rail, with a bend on
+		// alternating columns to create corner-rich routing.
+		if g%2 == 0 {
+			c.AddRect(layout.Metal1, geom.R(cx-t.M1W/2, t.RailW/2, cx+t.M1W/2, nA.Center().Y+t.M1W/2))
+		} else {
+			c.AddRect(layout.Metal1, geom.R(cx-t.M1W/2, nA.Center().Y-t.M1W/2, cx+t.M1W/2, nA.Center().Y+3*t.M1W))
+			c.AddRect(layout.Metal1, geom.R(cx-t.M1W/2, nA.Center().Y+2*t.M1W, cx+2*t.M1W, nA.Center().Y+3*t.M1W))
+		}
+		if g%2 == 0 {
+			c.AddRect(layout.Metal1, geom.R(cx-t.M1W/2, pA.Center().Y-t.M1W/2, cx+t.M1W/2, h-t.RailW/2))
+		}
+	}
+
+	// Flops get an internal feedback loop: a horizontal poly route with
+	// two bends (adds long horizontal poly plus jogs).
+	if flop {
+		y := h / 2
+		c.AddRect(layout.Poly, geom.R(t.PolyPitch/2, y-t.PolyCD/2, width-t.PolyPitch/2, y+t.PolyCD/2))
+		// The feedback jog lands on the first gate (poly route into the
+		// gate line, as a real flop's internal feedback does). It stays
+		// clear of the actives: field poly only.
+		c.AddRect(layout.Poly, geom.R(t.PolyPitch/2, y-t.PolyCD/2, t.PolyPitch+t.PolyCD/2, y+2*t.PolyCD))
+	}
+	return c, nil
+}
+
+// BuildBlock places rows x cols random library cells in abutted rows
+// (alternate rows flipped, as placers do) and returns the block cell.
+// The same cell master appears many times, which is what makes the
+// hierarchy experiments meaningful.
+func BuildBlock(ly *layout.Layout, lib *CellLib, name string, rows, cols int, rng *rand.Rand) (*layout.Cell, error) {
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("gen: block %q needs rows, cols >= 1", name)
+	}
+	block, err := ly.NewCell(name)
+	if err != nil {
+		return nil, err
+	}
+	t := lib.Tech
+	for r := 0; r < rows; r++ {
+		x := geom.Coord(0)
+		y := geom.Coord(r) * t.CellHeight
+		flip := r%2 == 1
+		for cIdx := 0; cIdx < cols; cIdx++ {
+			cell := lib.Cells[rng.Intn(len(lib.Cells))]
+			w := cell.BBox().W()
+			xf := geom.Identity()
+			if flip {
+				// Mirror about X then shift so the cell occupies
+				// [y, y+height] with its own y=0 at the top.
+				xf.Orient = geom.MX
+				xf.Offset = geom.Pt(x, y+t.CellHeight)
+			} else {
+				xf.Offset = geom.Pt(x, y)
+			}
+			block.Place(cell, xf)
+			x += w
+		}
+	}
+	return block, nil
+}

@@ -1,0 +1,107 @@
+// Package gen synthesizes the layouts the experiments run on: lithography
+// test structures (through-pitch line arrays, line-end gaps, corner
+// tests, contact arrays), a small standard-cell library with a random
+// block placer, an SRAM array, and a randomly routed logic block. These
+// stand in for the proprietary product layouts the reproduced paper's
+// flow was exercised on; the impact metrics depend on layout statistics
+// (pitch distribution, density, repetition), which these generators
+// parameterize (see DESIGN.md, substitutions table).
+package gen
+
+import "goopc/internal/geom"
+
+// Tech holds the drawn design rules the generators target. Dimensions
+// are DBU (nm). The defaults model a 180 nm-node process printed with
+// 248 nm lithography, the regime in which production OPC adoption
+// happened.
+type Tech struct {
+	// PolyCD is the drawn transistor gate length.
+	PolyCD geom.Coord
+	// PolyPitch is the minimum poly pitch (contacted).
+	PolyPitch geom.Coord
+	// PolyEndcap is the poly extension past active.
+	PolyEndcap geom.Coord
+	// ActiveW is the default transistor width.
+	ActiveW geom.Coord
+	// ContactSize and ContactSpace rule the contact layer.
+	ContactSize, ContactSpace geom.Coord
+	// ContactEnclosure is poly/active/metal enclosure of contact.
+	ContactEnclosure geom.Coord
+	// M1W and M1S are metal1 width and space.
+	M1W, M1S geom.Coord
+	// M2W and M2S are metal2 width and space.
+	M2W, M2S geom.Coord
+	// CellHeight is the standard-cell height.
+	CellHeight geom.Coord
+	// RailW is the power rail width.
+	RailW geom.Coord
+}
+
+// Tech180 returns the default 180 nm-node rule set.
+func Tech180() Tech {
+	return Tech{
+		PolyCD:           180,
+		PolyPitch:        560,
+		PolyEndcap:       220,
+		ActiveW:          660,
+		ContactSize:      220,
+		ContactSpace:     280,
+		ContactEnclosure: 120,
+		M1W:              280,
+		M1S:              280,
+		M2W:              320,
+		M2S:              320,
+		CellHeight:       5040,
+		RailW:            560,
+	}
+}
+
+// SiteKind tags a CD measurement site by the proximity environment it
+// probes; the through-pitch and line-end experiments group results by
+// these.
+type SiteKind uint8
+
+// Site environments.
+const (
+	DenseSite SiteKind = iota
+	IsoSite
+	PitchSite
+	LineEndSite
+	CornerSite
+	ContactSite
+)
+
+func (k SiteKind) String() string {
+	switch k {
+	case DenseSite:
+		return "dense"
+	case IsoSite:
+		return "iso"
+	case PitchSite:
+		return "pitch"
+	case LineEndSite:
+		return "line-end"
+	case CornerSite:
+		return "corner"
+	case ContactSite:
+		return "contact"
+	}
+	return "?"
+}
+
+// Site is one planned metrology location: a cut across a feature with
+// the drawn (intended) dimension, or a line-end position probe.
+type Site struct {
+	Name string
+	Kind SiteKind
+	// At is the center of the measurement cut.
+	At geom.Point
+	// CutHorizontal is true when the cut runs along x (measuring a
+	// vertical feature's width).
+	CutHorizontal bool
+	// Want is the drawn CD in DBU. For line-end sites Want is the drawn
+	// gap between the two facing tips.
+	Want geom.Coord
+	// Pitch is the local pitch (0 for isolated).
+	Pitch geom.Coord
+}

@@ -1,0 +1,301 @@
+// Package layout provides the hierarchical cell database the OPC flow
+// operates on: named cells holding per-layer polygons plus placed
+// instances (with the eight right-angle orientations and array
+// placement), conversion to and from GDSII libraries, flattening with
+// transform composition, windowed clipping, and hierarchy statistics.
+package layout
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"goopc/internal/geom"
+)
+
+// Layer identifies a drawn or derived mask layer.
+type Layer int16
+
+// The process layer map used throughout the repository (see DESIGN.md).
+const (
+	Active   Layer = 1
+	Poly     Layer = 2
+	Contact  Layer = 3
+	Metal1   Layer = 4
+	Via1     Layer = 5
+	Metal2   Layer = 6
+	NWell    Layer = 7
+	PImplant Layer = 8
+	NImplant Layer = 9
+
+	// OPCOffset shifts a drawn layer to its post-OPC output layer.
+	OPCOffset Layer = 100
+	// SRAF is the sub-resolution assist feature layer.
+	SRAF Layer = 120
+)
+
+// OPCLayer returns the post-correction output layer for a drawn layer.
+func OPCLayer(l Layer) Layer { return l + OPCOffset }
+
+func (l Layer) String() string {
+	switch l {
+	case Active:
+		return "active"
+	case Poly:
+		return "poly"
+	case Contact:
+		return "contact"
+	case Metal1:
+		return "metal1"
+	case Via1:
+		return "via1"
+	case Metal2:
+		return "metal2"
+	case NWell:
+		return "nwell"
+	case SRAF:
+		return "sraf"
+	}
+	return fmt.Sprintf("layer%d", int16(l))
+}
+
+// Instance places another cell, possibly as a Cols x Rows array (both
+// default to 1). Steps are the array displacement vectors.
+type Instance struct {
+	Cell    *Cell
+	Xform   geom.Xform
+	Cols    int
+	Rows    int
+	ColStep geom.Point
+	RowStep geom.Point
+}
+
+// Count returns the number of placements the instance expands to.
+func (in Instance) Count() int {
+	c, r := in.Cols, in.Rows
+	if c < 1 {
+		c = 1
+	}
+	if r < 1 {
+		r = 1
+	}
+	return c * r
+}
+
+// Each calls fn with the transform of every array element.
+func (in Instance) Each(fn func(geom.Xform)) {
+	cols, rows := in.Cols, in.Rows
+	if cols < 1 {
+		cols = 1
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			x := in.Xform
+			x.Offset = x.Offset.Add(geom.Pt(
+				in.ColStep.X*geom.Coord(c)+in.RowStep.X*geom.Coord(r),
+				in.ColStep.Y*geom.Coord(c)+in.RowStep.Y*geom.Coord(r),
+			))
+			fn(x)
+		}
+	}
+}
+
+// Cell is a named piece of layout: local polygons per layer plus child
+// instances.
+type Cell struct {
+	Name   string
+	Shapes map[Layer][]geom.Polygon
+	Insts  []Instance
+
+	bboxValid bool
+	bbox      geom.Rect
+}
+
+// NewCell creates an empty cell.
+func NewCell(name string) *Cell {
+	return &Cell{Name: name, Shapes: map[Layer][]geom.Polygon{}}
+}
+
+// AddPolygon adds a ring to a layer. Rings should be CCW; Validate
+// checks.
+func (c *Cell) AddPolygon(l Layer, p geom.Polygon) {
+	c.Shapes[l] = append(c.Shapes[l], p)
+	c.bboxValid = false
+}
+
+// AddRect adds a rectangle to a layer.
+func (c *Cell) AddRect(l Layer, r geom.Rect) {
+	if r.Empty() {
+		return
+	}
+	c.AddPolygon(l, r.Polygon())
+}
+
+// AddRegion adds every rectangle of a region to a layer as separate
+// polygons.
+func (c *Cell) AddRegion(l Layer, g geom.Region) {
+	for _, r := range g.Rects() {
+		c.AddRect(l, r)
+	}
+}
+
+// SetLayer replaces the geometry of one layer.
+func (c *Cell) SetLayer(l Layer, ps []geom.Polygon) {
+	if len(ps) == 0 {
+		delete(c.Shapes, l)
+	} else {
+		c.Shapes[l] = ps
+	}
+	c.bboxValid = false
+}
+
+// Place adds a single instance of child at the transform.
+func (c *Cell) Place(child *Cell, x geom.Xform) {
+	c.Insts = append(c.Insts, Instance{Cell: child, Xform: x, Cols: 1, Rows: 1})
+	c.bboxValid = false
+}
+
+// PlaceAt adds an unrotated instance at the offset.
+func (c *Cell) PlaceAt(child *Cell, at geom.Point) {
+	x := geom.Identity()
+	x.Offset = at
+	c.Place(child, x)
+}
+
+// PlaceArray adds a Cols x Rows array instance.
+func (c *Cell) PlaceArray(child *Cell, x geom.Xform, cols, rows int, colStep, rowStep geom.Point) {
+	c.Insts = append(c.Insts, Instance{
+		Cell: child, Xform: x, Cols: cols, Rows: rows, ColStep: colStep, RowStep: rowStep,
+	})
+	c.bboxValid = false
+}
+
+// Layers returns the layers with local geometry, sorted.
+func (c *Cell) Layers() []Layer {
+	out := make([]Layer, 0, len(c.Shapes))
+	for l := range c.Shapes {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// LocalFigures counts the polygons drawn directly in this cell.
+func (c *Cell) LocalFigures() int {
+	n := 0
+	for _, ps := range c.Shapes {
+		n += len(ps)
+	}
+	return n
+}
+
+// BBox returns the bounding box of the cell including children.
+// The result is cached until the cell is modified; modifying a child
+// cell invalidates only that child, so callers that mutate deep
+// hierarchies should call InvalidateBBoxes on the layout.
+func (c *Cell) BBox() geom.Rect {
+	if c.bboxValid {
+		return c.bbox
+	}
+	var bb geom.Rect
+	first := true
+	acc := func(r geom.Rect) {
+		if r.Empty() {
+			return
+		}
+		if first {
+			bb, first = r, false
+		} else {
+			bb = bb.Union(r)
+		}
+	}
+	for _, ps := range c.Shapes {
+		for _, p := range ps {
+			acc(p.BBox())
+		}
+	}
+	for _, in := range c.Insts {
+		cb := in.Cell.BBox()
+		if cb.Empty() {
+			continue
+		}
+		in.Each(func(x geom.Xform) {
+			acc(x.ApplyRect(cb))
+		})
+	}
+	c.bbox, c.bboxValid = bb, true
+	return bb
+}
+
+// Layout is a collection of cells with a designated top.
+type Layout struct {
+	Name   string
+	Top    *Cell
+	cells  []*Cell
+	byName map[string]*Cell
+}
+
+// New creates an empty layout.
+func New(name string) *Layout {
+	return &Layout{Name: name, byName: map[string]*Cell{}}
+}
+
+// NewCell creates and registers a cell; it errors on duplicate names.
+func (ly *Layout) NewCell(name string) (*Cell, error) {
+	if _, ok := ly.byName[name]; ok {
+		return nil, fmt.Errorf("layout: duplicate cell %q", name)
+	}
+	c := NewCell(name)
+	ly.cells = append(ly.cells, c)
+	ly.byName[name] = c
+	return c, nil
+}
+
+// MustCell is NewCell for construction code where duplicates are bugs.
+func (ly *Layout) MustCell(name string) *Cell {
+	c, err := ly.NewCell(name)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Cell looks a cell up by name; nil when absent.
+func (ly *Layout) Cell(name string) *Cell { return ly.byName[name] }
+
+// Cells returns all registered cells in creation order.
+func (ly *Layout) Cells() []*Cell { return ly.cells }
+
+// SetTop designates the top cell.
+func (ly *Layout) SetTop(c *Cell) { ly.Top = c }
+
+// InvalidateBBoxes clears every cached bounding box.
+func (ly *Layout) InvalidateBBoxes() {
+	for _, c := range ly.cells {
+		c.bboxValid = false
+	}
+}
+
+// ErrNoTop is returned by operations that need a top cell.
+var ErrNoTop = errors.New("layout: no top cell set")
+
+// Validate checks polygon legality in every cell and that the top is
+// set.
+func (ly *Layout) Validate() error {
+	if ly.Top == nil {
+		return ErrNoTop
+	}
+	for _, c := range ly.cells {
+		for l, ps := range c.Shapes {
+			for i, p := range ps {
+				if err := p.Validate(); err != nil {
+					return fmt.Errorf("layout: cell %q layer %v polygon %d: %w", c.Name, l, i, err)
+				}
+			}
+		}
+	}
+	return nil
+}

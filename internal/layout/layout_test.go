@@ -1,0 +1,365 @@
+package layout
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"goopc/internal/gds"
+	"goopc/internal/geom"
+)
+
+func simpleLayout(t *testing.T) *Layout {
+	t.Helper()
+	ly := New("test")
+	leaf := ly.MustCell("LEAF")
+	leaf.AddRect(Poly, geom.R(0, 0, 100, 300))
+	leaf.AddRect(Metal1, geom.R(0, 0, 300, 100))
+	mid := ly.MustCell("MID")
+	mid.PlaceAt(leaf, geom.Pt(0, 0))
+	mid.PlaceAt(leaf, geom.Pt(1000, 0))
+	top := ly.MustCell("TOP")
+	top.PlaceAt(mid, geom.Pt(0, 0))
+	top.PlaceAt(mid, geom.Pt(0, 2000))
+	top.AddRect(Poly, geom.R(5000, 5000, 5100, 5300))
+	ly.SetTop(top)
+	return ly
+}
+
+func TestNewCellDuplicate(t *testing.T) {
+	ly := New("l")
+	if _, err := ly.NewCell("A"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ly.NewCell("A"); err == nil {
+		t.Error("duplicate cell name should error")
+	}
+}
+
+func TestCellBBox(t *testing.T) {
+	ly := simpleLayout(t)
+	leaf := ly.Cell("LEAF")
+	if bb := leaf.BBox(); bb != geom.R(0, 0, 300, 300) {
+		t.Errorf("leaf bbox = %v", bb)
+	}
+	mid := ly.Cell("MID")
+	if bb := mid.BBox(); bb != geom.R(0, 0, 1300, 300) {
+		t.Errorf("mid bbox = %v", bb)
+	}
+	top := ly.Cell("TOP")
+	if bb := top.BBox(); bb != geom.R(0, 0, 5100, 5300) {
+		t.Errorf("top bbox = %v", bb)
+	}
+}
+
+func TestBBoxCacheInvalidation(t *testing.T) {
+	ly := New("l")
+	c := ly.MustCell("C")
+	c.AddRect(Poly, geom.R(0, 0, 10, 10))
+	_ = c.BBox()
+	c.AddRect(Poly, geom.R(100, 100, 200, 200))
+	if bb := c.BBox(); bb != geom.R(0, 0, 200, 200) {
+		t.Errorf("bbox after add = %v", bb)
+	}
+}
+
+func TestFlatten(t *testing.T) {
+	ly := simpleLayout(t)
+	polys := Flatten(ly.Top, Poly)
+	// 4 leaf instances + 1 top-level rect.
+	if len(polys) != 5 {
+		t.Fatalf("flattened poly count = %d", len(polys))
+	}
+	var total int64
+	for _, p := range polys {
+		total += p.Area()
+	}
+	if total != 4*100*300+100*300 {
+		t.Errorf("total area = %d", total)
+	}
+}
+
+func TestFlattenWindow(t *testing.T) {
+	ly := simpleLayout(t)
+	// Window around the second leaf of the first mid only.
+	polys := FlattenWindow(ly.Top, Poly, geom.R(900, 0, 1400, 400))
+	if len(polys) != 1 {
+		t.Fatalf("windowed count = %d", len(polys))
+	}
+	if polys[0].BBox() != geom.R(1000, 0, 1100, 300) {
+		t.Errorf("windowed polygon at %v", polys[0].BBox())
+	}
+	// Empty window.
+	if got := FlattenWindow(ly.Top, Poly, geom.R(9000, 9000, 9100, 9100)); len(got) != 0 {
+		t.Errorf("far window returned %d polygons", len(got))
+	}
+}
+
+func TestFlattenWithOrientations(t *testing.T) {
+	ly := New("l")
+	leaf := ly.MustCell("LEAF")
+	leaf.AddRect(Poly, geom.R(0, 0, 100, 300))
+	top := ly.MustCell("TOP")
+	x := geom.Xform{Orient: geom.R90, Mag: 1, Offset: geom.Pt(1000, 0)}
+	top.Place(leaf, x)
+	ly.SetTop(top)
+	polys := Flatten(ly.Top, Poly)
+	if len(polys) != 1 {
+		t.Fatal("expected 1 polygon")
+	}
+	// R90 of (0,0,100,300) is (-300,0,0,100), shifted to (700,0,1000,100).
+	if bb := polys[0].BBox(); bb != geom.R(700, 0, 1000, 100) {
+		t.Errorf("rotated bbox = %v", bb)
+	}
+	if !polys[0].IsCCW() {
+		t.Error("winding must be preserved through transforms")
+	}
+}
+
+func TestFlattenArray(t *testing.T) {
+	ly := New("l")
+	leaf := ly.MustCell("LEAF")
+	leaf.AddRect(Contact, geom.R(0, 0, 220, 220))
+	top := ly.MustCell("TOP")
+	top.PlaceArray(leaf, geom.Identity(), 3, 2, geom.Pt(500, 0), geom.Pt(0, 500))
+	ly.SetTop(top)
+	polys := Flatten(ly.Top, Contact)
+	if len(polys) != 6 {
+		t.Fatalf("array expansion = %d", len(polys))
+	}
+	// Last element at (1000, 500).
+	found := false
+	for _, p := range polys {
+		if p.BBox() == geom.R(1000, 500, 1220, 720) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("array corner element missing")
+	}
+}
+
+func TestFlattenAll(t *testing.T) {
+	ly := simpleLayout(t)
+	flat, err := FlattenAll(ly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.Top.LocalFigures() != 5+4 {
+		t.Errorf("flat figures = %d", flat.Top.LocalFigures())
+	}
+	if len(flat.Top.Insts) != 0 {
+		t.Error("flat layout must have no instances")
+	}
+}
+
+func TestHierStats(t *testing.T) {
+	ly := simpleLayout(t)
+	st, err := CollectHierStats(ly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cells != 3 {
+		t.Errorf("cells = %d", st.Cells)
+	}
+	if st.StoredFigures != 3 { // 2 in leaf + 1 in top
+		t.Errorf("stored = %d", st.StoredFigures)
+	}
+	if st.ExpandedFigures != 4*2+1 {
+		t.Errorf("expanded = %d", st.ExpandedFigures)
+	}
+	if st.Placements != 2+4 {
+		t.Errorf("placements = %d", st.Placements)
+	}
+	if st.CompressionRatio <= 1 {
+		t.Errorf("compression = %f", st.CompressionRatio)
+	}
+}
+
+func TestGDSRoundTrip(t *testing.T) {
+	ly := simpleLayout(t)
+	var buf bytes.Buffer
+	if _, err := WriteGDS(&buf, ly); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadGDS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Top == nil || back.Top.Name != "TOP" {
+		t.Fatalf("top = %v", back.Top)
+	}
+	// Flattened geometry identical.
+	want := geom.RegionFromPolygons(Flatten(ly.Top, Poly)...)
+	got := geom.RegionFromPolygons(Flatten(back.Top, Poly)...)
+	if !want.Xor(got).Empty() {
+		t.Error("poly geometry changed across GDS round trip")
+	}
+	st, err := CollectHierStats(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cells != 3 {
+		t.Errorf("hierarchy not preserved: %d cells", st.Cells)
+	}
+}
+
+func TestGDSRoundTripArray(t *testing.T) {
+	ly := New("arr")
+	leaf := ly.MustCell("BIT")
+	leaf.AddRect(Poly, geom.R(0, 0, 180, 1000))
+	top := ly.MustCell("TOP")
+	top.PlaceArray(leaf, geom.Identity(), 8, 4, geom.Pt(2000, 0), geom.Pt(0, 3000))
+	ly.SetTop(top)
+	var buf bytes.Buffer
+	if _, err := WriteGDS(&buf, ly); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadGDS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	polys := Flatten(back.Top, Poly)
+	if len(polys) != 32 {
+		t.Errorf("array round trip expanded to %d", len(polys))
+	}
+}
+
+func TestValidate(t *testing.T) {
+	ly := New("v")
+	if err := ly.Validate(); err == nil {
+		t.Error("layout without top should fail")
+	}
+	c := ly.MustCell("C")
+	ly.SetTop(c)
+	c.AddPolygon(Poly, geom.Polygon{geom.Pt(0, 0), geom.Pt(10, 10), geom.Pt(0, 10)})
+	if err := ly.Validate(); err == nil {
+		t.Error("diagonal polygon should fail validation")
+	}
+}
+
+func TestOPCLayer(t *testing.T) {
+	if OPCLayer(Poly) != Layer(102) {
+		t.Errorf("OPCLayer(Poly) = %d", OPCLayer(Poly))
+	}
+}
+
+func TestInstanceCount(t *testing.T) {
+	in := Instance{Cols: 0, Rows: 0}
+	if in.Count() != 1 {
+		t.Errorf("default count = %d", in.Count())
+	}
+	in = Instance{Cols: 3, Rows: 4}
+	if in.Count() != 12 {
+		t.Errorf("array count = %d", in.Count())
+	}
+}
+
+func TestSetLayerDelete(t *testing.T) {
+	ly := New("l")
+	c := ly.MustCell("C")
+	c.AddRect(Poly, geom.R(0, 0, 10, 10))
+	c.SetLayer(Poly, nil)
+	if len(c.Layers()) != 0 {
+		t.Error("SetLayer(nil) should remove the layer")
+	}
+}
+
+func TestFromGDSNormalizesWinding(t *testing.T) {
+	lib := gdsLibWithCWRect(t)
+	ly, err := FromGDS(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	polys := ly.Cell("S").Shapes[Poly]
+	if len(polys) != 1 || !polys[0].IsCCW() {
+		t.Error("importer must normalize rings to CCW")
+	}
+}
+
+func gdsLibWithCWRect(t *testing.T) *gds.Library {
+	t.Helper()
+	lib := gds.NewLibrary("L")
+	s := lib.AddStruct("S")
+	s.Add(&gds.Boundary{Layer: int16(Poly), XY: geom.R(0, 0, 100, 100).Polygon().Reverse()})
+	return lib
+}
+
+func TestFromGDSRejectsDiagonal(t *testing.T) {
+	lib := gds.NewLibrary("L")
+	s := lib.AddStruct("S")
+	s.Add(&gds.Boundary{Layer: 1, XY: geom.Polygon{
+		geom.Pt(0, 0), geom.Pt(100, 0), geom.Pt(100, 100),
+	}})
+	if _, err := FromGDS(lib); err == nil {
+		t.Error("diagonal boundary should be rejected by the importer")
+	}
+}
+
+func TestDeepHierarchyFlatten(t *testing.T) {
+	// 60 nesting levels, each shifting by (10, 10): the leaf rect lands
+	// at the accumulated offset.
+	ly := New("deep")
+	leaf := ly.MustCell("L0")
+	leaf.AddRect(Poly, geom.R(0, 0, 100, 100))
+	prev := leaf
+	const depth = 60
+	for i := 1; i <= depth; i++ {
+		c := ly.MustCell(fmt.Sprintf("L%d", i))
+		c.PlaceAt(prev, geom.Pt(10, 10))
+		prev = c
+	}
+	ly.SetTop(prev)
+	polys := Flatten(prev, Poly)
+	if len(polys) != 1 {
+		t.Fatalf("flatten = %d polys", len(polys))
+	}
+	want := geom.R(10*depth, 10*depth, 10*depth+100, 10*depth+100)
+	if polys[0].BBox() != want {
+		t.Errorf("deep flatten at %v, want %v", polys[0].BBox(), want)
+	}
+	// Hierarchy statistics walk the full depth.
+	st, err := CollectHierStats(ly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cells != depth+1 || st.Placements != depth {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestFlattenRotatedArray(t *testing.T) {
+	// An array placed under a rotated parent: transforms compose.
+	ly := New("ra")
+	bit := ly.MustCell("BIT")
+	bit.AddRect(Poly, geom.R(0, 0, 100, 200))
+	arr := ly.MustCell("ARR")
+	arr.PlaceArray(bit, geom.Identity(), 2, 1, geom.Pt(500, 0), geom.Pt(0, 0))
+	top := ly.MustCell("TOP")
+	top.Place(arr, geom.Xform{Orient: geom.R90, Mag: 1, Offset: geom.Pt(10000, 0)})
+	ly.SetTop(top)
+	polys := Flatten(top, Poly)
+	if len(polys) != 2 {
+		t.Fatalf("polys = %d", len(polys))
+	}
+	var total int64
+	for _, p := range polys {
+		total += p.Area()
+		if !p.IsCCW() {
+			t.Error("winding lost")
+		}
+	}
+	if total != 2*100*200 {
+		t.Errorf("area = %d", total)
+	}
+	// R90 of the second element origin (500,0) lands at (10000-0, 500).
+	found := false
+	for _, p := range polys {
+		if p.BBox() == geom.R(10000-200, 500, 10000, 600) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("rotated array element misplaced: %v %v", polys[0].BBox(), polys[1].BBox())
+	}
+}

@@ -1,0 +1,152 @@
+// Package mask implements mask data preparation: fracturing corrected
+// layout into the rectangle primitives a vector-shaped-beam writer
+// exposes, mask rule checks (MRC) on the fractured data, and the data
+// volume / write time models behind the paper's "impact on design"
+// accounting — OPC's cost shows up here first, as figure-count and
+// file-size explosion.
+package mask
+
+import (
+	"fmt"
+
+	"goopc/internal/geom"
+)
+
+// Fracture decomposes polygons into disjoint rectangles (the Manhattan
+// trapezoid decomposition a mask writer consumes), splitting anything
+// larger than maxShot into writer-shot-sized pieces. maxShot <= 0
+// disables shot splitting.
+func Fracture(polys []geom.Polygon, maxShot geom.Coord) []geom.Rect {
+	if len(polys) == 0 {
+		return nil
+	}
+	base := geom.RegionFromPolygons(polys...).Rects()
+	if maxShot <= 0 {
+		return base
+	}
+	var out []geom.Rect
+	for _, r := range base {
+		for x := r.X0; x < r.X1; x += maxShot {
+			x1 := x + maxShot
+			if x1 > r.X1 {
+				x1 = r.X1
+			}
+			for y := r.Y0; y < r.Y1; y += maxShot {
+				y1 := y + maxShot
+				if y1 > r.Y1 {
+					y1 = r.Y1
+				}
+				out = append(out, geom.Rect{X0: x, Y0: y, X1: x1, Y1: y1})
+			}
+		}
+	}
+	return out
+}
+
+// WriterModel captures an e-beam mask writer for time estimation.
+type WriterModel struct {
+	// MaxShotNM is the largest square shot (1x dimensions).
+	MaxShotNM geom.Coord
+	// FlashHz is the shot rate.
+	FlashHz float64
+	// OverheadSec is fixed per-mask overhead (load, align, develop).
+	OverheadSec float64
+}
+
+// DefaultWriter models a 2001-era VSB writer: 2 um max shot (1x),
+// 1 MHz flash rate, 1800 s overhead.
+func DefaultWriter() WriterModel {
+	return WriterModel{MaxShotNM: 2000, FlashHz: 1e6, OverheadSec: 1800}
+}
+
+// DataStats is the mask-data cost of one layer.
+type DataStats struct {
+	// Figures is the polygon count before fracturing.
+	Figures int
+	// Vertices is the polygon vertex count before fracturing.
+	Vertices int
+	// Shots is the fractured rectangle count at the writer shot limit.
+	Shots int
+	// GDSBytes estimates the GDSII stream size of the polygons:
+	// 4-byte header + layer/datatype records + 8 bytes per vertex plus
+	// the closing point, per BOUNDARY element.
+	GDSBytes int64
+	// MEBESBytes estimates writer-format size: 16 bytes per fractured
+	// rectangle.
+	MEBESBytes int64
+	// WriteTimeSec estimates the beam time: shots / flash rate plus
+	// overhead.
+	WriteTimeSec float64
+}
+
+// Analyze computes the data statistics of a corrected layer.
+func Analyze(polys []geom.Polygon, w WriterModel) DataStats {
+	var st DataStats
+	st.Figures = len(polys)
+	for _, p := range polys {
+		st.Vertices += len(p)
+		// BOUNDARY + LAYER + DATATYPE + ENDEL headers: 4+8+8+4 bytes,
+		// XY record: 4 + 8*(n+1).
+		st.GDSBytes += 24 + 4 + 8*int64(len(p)+1)
+	}
+	shots := Fracture(polys, w.MaxShotNM)
+	st.Shots = len(shots)
+	st.MEBESBytes = 16 * int64(len(shots))
+	if w.FlashHz > 0 {
+		st.WriteTimeSec = float64(len(shots))/w.FlashHz + w.OverheadSec
+	}
+	return st
+}
+
+// MRCRules are the geometric constraints a mask shop enforces on the
+// final (post-OPC) data, at 1x dimensions.
+type MRCRules struct {
+	// MinWidth is the smallest feature the writer and process resolve.
+	MinWidth geom.Coord
+	// MinSpace is the smallest gap.
+	MinSpace geom.Coord
+	// MinArea rejects dust-sized figures.
+	MinArea int64
+}
+
+// DefaultMRCRules returns 2001-typical 1x mask limits.
+func DefaultMRCRules() MRCRules {
+	return MRCRules{MinWidth: 50, MinSpace: 50, MinArea: 3600}
+}
+
+// MRCViolation is one mask rule failure.
+type MRCViolation struct {
+	Rule string
+	At   geom.Rect
+}
+
+func (v MRCViolation) String() string { return fmt.Sprintf("%s at %v", v.Rule, v.At) }
+
+// CheckMRC verifies the polygons against the rules. Violation locations
+// are the bounding boxes of the offending slivers or gaps.
+func CheckMRC(polys []geom.Polygon, rules MRCRules) []MRCViolation {
+	if len(polys) == 0 {
+		return nil
+	}
+	region := geom.RegionFromPolygons(polys...)
+	var out []MRCViolation
+
+	if rules.MinWidth > 1 {
+		for _, r := range region.NarrowerThan(rules.MinWidth).Rects() {
+			out = append(out, MRCViolation{Rule: fmt.Sprintf("width<%d", rules.MinWidth), At: r})
+		}
+	}
+	if rules.MinSpace > 1 {
+		for _, r := range region.GapsNarrowerThan(rules.MinSpace).Rects() {
+			out = append(out, MRCViolation{Rule: fmt.Sprintf("space<%d", rules.MinSpace), At: r})
+		}
+	}
+	if rules.MinArea > 0 {
+		for _, p := range polys {
+			if p.Area() < rules.MinArea {
+				out = append(out, MRCViolation{Rule: fmt.Sprintf("area<%d", rules.MinArea), At: p.BBox()})
+			}
+		}
+	}
+	return out
+}

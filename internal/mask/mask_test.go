@@ -1,0 +1,174 @@
+package mask
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"goopc/internal/geom"
+)
+
+func TestFractureSimple(t *testing.T) {
+	// An L-shape fractures into 2 rectangles.
+	l := geom.Polygon{
+		geom.Pt(0, 0), geom.Pt(2000, 0), geom.Pt(2000, 1000),
+		geom.Pt(1000, 1000), geom.Pt(1000, 2000), geom.Pt(0, 2000),
+	}
+	rects := Fracture([]geom.Polygon{l}, 0)
+	if len(rects) != 2 {
+		t.Errorf("L fractured into %d rects", len(rects))
+	}
+	var area int64
+	for _, r := range rects {
+		area += r.Area()
+	}
+	if area != l.Area() {
+		t.Errorf("fracture area = %d, want %d", area, l.Area())
+	}
+}
+
+func TestFractureShotSplitting(t *testing.T) {
+	big := geom.R(0, 0, 5000, 3000).Polygon()
+	rects := Fracture([]geom.Polygon{big}, 2000)
+	// 3 x 2 shot grid.
+	if len(rects) != 6 {
+		t.Errorf("shot count = %d, want 6", len(rects))
+	}
+	var area int64
+	for _, r := range rects {
+		area += r.Area()
+		if r.W() > 2000 || r.H() > 2000 {
+			t.Errorf("shot %v exceeds max", r)
+		}
+	}
+	if area != big.Area() {
+		t.Errorf("area after shots = %d", area)
+	}
+	if got := Fracture(nil, 2000); got != nil {
+		t.Error("empty input should fracture to nil")
+	}
+}
+
+func TestQuickFractureAreaInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var polys []geom.Polygon
+		n := 1 + rng.Intn(6)
+		for i := 0; i < n; i++ {
+			x := geom.Coord(rng.Intn(4000))
+			y := geom.Coord(rng.Intn(4000))
+			w := geom.Coord(50 + rng.Intn(3000))
+			h := geom.Coord(50 + rng.Intn(3000))
+			polys = append(polys, geom.R(x, y, x+w, y+h).Polygon())
+		}
+		want := geom.RegionFromPolygons(polys...).Area()
+		var got int64
+		for _, r := range Fracture(polys, 1000) {
+			got += r.Area()
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	polys := []geom.Polygon{
+		geom.R(0, 0, 1000, 1000).Polygon(),
+		geom.R(3000, 0, 3500, 4100).Polygon(),
+	}
+	st := Analyze(polys, DefaultWriter())
+	if st.Figures != 2 || st.Vertices != 8 {
+		t.Errorf("figures=%d vertices=%d", st.Figures, st.Vertices)
+	}
+	// First rect: 1 shot; second: 1x3 shots (4100 tall / 2000).
+	if st.Shots != 1+3 {
+		t.Errorf("shots = %d", st.Shots)
+	}
+	if st.MEBESBytes != 16*4 {
+		t.Errorf("mebes bytes = %d", st.MEBESBytes)
+	}
+	if st.GDSBytes <= 0 {
+		t.Error("gds bytes missing")
+	}
+	if st.WriteTimeSec <= DefaultWriter().OverheadSec {
+		t.Error("write time should exceed overhead")
+	}
+}
+
+func TestAnalyzeScalesWithComplexity(t *testing.T) {
+	// A jogged (OPC-like) polygon must cost more bytes than its plain
+	// envelope.
+	plain := []geom.Polygon{geom.R(0, 0, 2000, 200).Polygon()}
+	var jog geom.Polygon
+	for x := geom.Coord(0); x < 2000; x += 100 {
+		y := geom.Coord(0)
+		if (x/100)%2 == 0 {
+			y = 10
+		}
+		jog = append(jog, geom.Pt(x, y), geom.Pt(x+100, y))
+	}
+	for x := geom.Coord(2000); x > 0; x -= 100 {
+		y := geom.Coord(200)
+		if (x/100)%2 == 0 {
+			y = 190
+		}
+		jog = append(jog, geom.Pt(x, y), geom.Pt(x-100, y))
+	}
+	jogged := []geom.Polygon{jog.Normalize()}
+	w := DefaultWriter()
+	stPlain := Analyze(plain, w)
+	stJog := Analyze(jogged, w)
+	if stJog.GDSBytes <= stPlain.GDSBytes {
+		t.Errorf("jogged bytes %d <= plain %d", stJog.GDSBytes, stPlain.GDSBytes)
+	}
+	if stJog.Shots <= stPlain.Shots {
+		t.Errorf("jogged shots %d <= plain %d", stJog.Shots, stPlain.Shots)
+	}
+}
+
+func TestCheckMRCWidth(t *testing.T) {
+	rules := MRCRules{MinWidth: 50}
+	// A 40-wide sliver on a large block.
+	polys := []geom.Polygon{
+		geom.R(0, 0, 1000, 1000).Polygon(),
+		geom.R(1000, 480, 1040, 520).Polygon(),
+	}
+	v := CheckMRC(polys, rules)
+	if len(v) == 0 {
+		t.Error("40-wide sliver should violate width rule")
+	}
+	// Clean geometry passes.
+	clean := []geom.Polygon{geom.R(0, 0, 1000, 1000).Polygon()}
+	if v := CheckMRC(clean, rules); len(v) != 0 {
+		t.Errorf("clean geometry flagged: %v", v)
+	}
+}
+
+func TestCheckMRCSpace(t *testing.T) {
+	rules := MRCRules{MinSpace: 50}
+	polys := []geom.Polygon{
+		geom.R(0, 0, 1000, 1000).Polygon(),
+		geom.R(1030, 0, 2000, 1000).Polygon(), // 30 gap
+	}
+	v := CheckMRC(polys, rules)
+	if len(v) == 0 {
+		t.Error("30 gap should violate space rule")
+	}
+	polys[1] = geom.R(1100, 0, 2000, 1000).Polygon() // 100 gap
+	if v := CheckMRC(polys, rules); len(v) != 0 {
+		t.Errorf("legal gap flagged: %v", v)
+	}
+}
+
+func TestCheckMRCArea(t *testing.T) {
+	rules := MRCRules{MinArea: 3600}
+	polys := []geom.Polygon{geom.R(0, 0, 50, 50).Polygon()} // 2500
+	if v := CheckMRC(polys, rules); len(v) == 0 {
+		t.Error("dust figure should violate area rule")
+	}
+	if v := CheckMRC(nil, rules); v != nil {
+		t.Error("empty input should pass")
+	}
+}

@@ -1,0 +1,261 @@
+// Package model implements model-based OPC: every polygon edge is
+// dissected into fragments, each fragment carries a control site at its
+// midpoint, and a damped fixed-point iteration moves each fragment along
+// its normal to drive the simulated edge placement error to zero, under
+// mask-rule constraints. This is the algorithm class of the first
+// production model-based OPC tools whose adoption the reproduced paper
+// describes.
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"goopc/internal/geom"
+	"goopc/internal/opc"
+	"goopc/internal/optics"
+	"goopc/internal/resist"
+)
+
+// Engine holds the correction configuration.
+type Engine struct {
+	// Sim is the imaging model; Threshold the calibrated resist
+	// threshold.
+	Sim       *optics.Simulator
+	Threshold float64
+	// Spec controls edge dissection.
+	Spec geom.FragmentSpec
+	// MaxIter bounds the feedback loop; Tol (nm) stops early when the
+	// worst |EPE| falls below it.
+	MaxIter int
+	Tol     float64
+	// Damping scales the per-iteration correction step (0 < d <= 1).
+	// Under-damping oscillates, over-damping converges slowly; the
+	// convergence ablation (R-F4) sweeps this.
+	Damping float64
+	// MRC clamps the accumulated bias of every fragment.
+	MRC opc.MRC
+	// MaxSearch bounds the EPE contour search (nm).
+	MaxSearch float64
+	// SRAFs, when non-nil, are frozen assist features included in every
+	// simulation but never moved.
+	SRAFs []geom.Polygon
+	// Context, when non-nil, are neighboring main features included in
+	// every simulation as drawn but not corrected and not returned —
+	// the halo geometry of tiled full-layer correction.
+	Context []geom.Polygon
+	// FreezeBoundary, when non-nil, locks every fragment whose edge
+	// lies on the boundary of this rectangle: the artificial cut edges
+	// introduced by clipping a layer into tiles. Frozen fragments are
+	// never moved and never measured (their printed edge continues in
+	// the neighboring tile).
+	FreezeBoundary *geom.Rect
+	// FocusList enables process-window OPC: when non-empty, each
+	// iteration evaluates the EPE at every listed defocus (nm) and
+	// corrects against the average — trading best-focus fidelity for
+	// through-focus stability. Empty means best-focus-only correction.
+	FocusList []float64
+}
+
+// frozen reports whether a fragment lies on the freeze boundary.
+func (e *Engine) frozen(f geom.Fragment) bool {
+	if e.FreezeBoundary == nil {
+		return false
+	}
+	b := *e.FreezeBoundary
+	a, bp := f.Edge.A, f.Edge.B
+	if a.X == bp.X { // vertical edge
+		return a.X == b.X0 || a.X == b.X1
+	}
+	return a.Y == b.Y0 || a.Y == b.Y1
+}
+
+// New returns an engine with production-typical defaults: 8 iterations,
+// 0.7 damping, 1.5 nm tolerance, default fragmentation and mask rules.
+func New(sim *optics.Simulator, threshold float64) *Engine {
+	return &Engine{
+		Sim:       sim,
+		Threshold: threshold,
+		Spec:      geom.DefaultFragmentSpec(),
+		MaxIter:   8,
+		Tol:       1.5,
+		Damping:   0.7,
+		MRC:       opc.DefaultMRC(),
+		MaxSearch: 400,
+	}
+}
+
+// Convergence records the per-iteration EPE statistics of a correction
+// run (index 0 is the uncorrected starting point).
+type Convergence struct {
+	PerIter []opc.EPEStats
+	// Iterations is the number of correction steps actually taken.
+	Iterations int
+	// Converged is true when the loop hit Tol before MaxIter.
+	Converged bool
+}
+
+// Final returns the EPE statistics after the last iteration.
+func (c Convergence) Final() opc.EPEStats {
+	if len(c.PerIter) == 0 {
+		return opc.EPEStats{}
+	}
+	return c.PerIter[len(c.PerIter)-1]
+}
+
+// Correct runs the feedback loop on the drawn polygons. The returned
+// result contains the corrected polygons (fragment jogs materialized)
+// plus the engine's frozen SRAFs, and the convergence trace.
+func (e *Engine) Correct(target []geom.Polygon, window geom.Rect) (opc.Result, Convergence, error) {
+	if e.Sim == nil {
+		return opc.Result{}, Convergence{}, fmt.Errorf("model: nil simulator")
+	}
+	if e.MaxIter < 1 {
+		return opc.Result{}, Convergence{}, fmt.Errorf("model: MaxIter %d", e.MaxIter)
+	}
+	if e.Damping <= 0 || e.Damping > 1.5 {
+		return opc.Result{}, Convergence{}, fmt.Errorf("model: damping %v out of range", e.Damping)
+	}
+	// Fragment every target polygon once; biases accumulate across
+	// iterations.
+	frags := make([][]geom.Fragment, len(target))
+	for i, p := range target {
+		frags[i] = geom.FragmentPolygon(p, i, e.Spec)
+	}
+	var conv Convergence
+	extra := make([]geom.Polygon, 0, len(e.SRAFs)+len(e.Context))
+	extra = append(extra, e.SRAFs...)
+	extra = append(extra, e.Context...)
+	foci := e.FocusList
+	if len(foci) == 0 {
+		foci = []float64{e.Sim.S.DefocusNM}
+	}
+	for iter := 0; iter <= e.MaxIter; iter++ {
+		mask := e.rebuild(frags)
+		images := make([]*optics.Image, len(foci))
+		for i, z := range foci {
+			im, err := e.Sim.AerialDefocus(append(mask, extra...), window, z)
+			if err != nil {
+				return opc.Result{}, conv, fmt.Errorf("model: iteration %d imaging: %w", iter, err)
+			}
+			images[i] = im
+		}
+		stats, worst := e.measure(images, frags)
+		conv.PerIter = append(conv.PerIter, stats)
+		if worst <= e.Tol {
+			conv.Converged = true
+			break
+		}
+		if iter == e.MaxIter {
+			break
+		}
+		e.update(images, frags)
+		conv.Iterations++
+	}
+	return opc.Result{Corrected: e.rebuild(frags), SRAFs: e.SRAFs}, conv, nil
+}
+
+// rebuild materializes the current fragment biases into polygons.
+func (e *Engine) rebuild(frags [][]geom.Fragment) []geom.Polygon {
+	out := make([]geom.Polygon, 0, len(frags))
+	for _, fs := range frags {
+		p := geom.RebuildPolygon(fs)
+		if len(p) >= 4 {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// measure evaluates the signed EPE at every control site against the
+// image set (averaged over foci for process-window OPC) and returns
+// aggregate statistics plus the worst |EPE|. Control sites sit at the
+// *drawn* fragment midpoints: OPC drives the printed contour to the
+// drawn edge, wherever the mask edge has moved.
+func (e *Engine) measure(images []*optics.Image, frags [][]geom.Fragment) (opc.EPEStats, float64) {
+	var st opc.EPEStats
+	var sumAbs, sumSq, sumSigned float64
+	worst := 0.0
+	for _, fs := range frags {
+		for _, f := range fs {
+			if e.frozen(f) {
+				continue
+			}
+			st.Sites++
+			epe, err := e.siteEPE(images, f)
+			if err != nil {
+				st.Unresolved++
+				// Unresolved sites count as worst-case so the loop keeps
+				// working on them.
+				worst = math.Max(worst, e.MaxSearch)
+				continue
+			}
+			a := math.Abs(epe)
+			sumAbs += a
+			sumSq += epe * epe
+			sumSigned += epe
+			if a > st.Max {
+				st.Max = a
+			}
+			worst = math.Max(worst, a)
+		}
+	}
+	resolved := st.Sites - st.Unresolved
+	if resolved > 0 {
+		st.MeanAbs = sumAbs / float64(resolved)
+		st.RMS = math.Sqrt(sumSq / float64(resolved))
+		st.MeanSigned = sumSigned / float64(resolved)
+	}
+	return st, worst
+}
+
+// siteEPE averages the signed EPE over the image set. A site is
+// unresolved only when it resolves in no image; resolving in at least
+// one focus keeps the feedback alive (the average then reflects the
+// conditions that still print).
+func (e *Engine) siteEPE(images []*optics.Image, f geom.Fragment) (float64, error) {
+	mid := f.Edge.Mid()
+	n := f.Edge.Normal()
+	var sum float64
+	ok := 0
+	var lastErr error
+	for _, im := range images {
+		epe, err := resist.EPE(im, e.Threshold, float64(mid.X), float64(mid.Y),
+			float64(n.X), float64(n.Y), e.MaxSearch)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		sum += epe
+		ok++
+	}
+	if ok == 0 {
+		return 0, lastErr
+	}
+	return sum / float64(ok), nil
+}
+
+// update applies one damped feedback step: a positive EPE (printed
+// feature beyond the drawn edge) retracts the mask edge, and vice
+// versa. Unresolved sites take a fixed probing step outward, which
+// recovers pinched-off features.
+func (e *Engine) update(images []*optics.Image, frags [][]geom.Fragment) {
+	for _, fs := range frags {
+		for i := range fs {
+			f := &fs[i]
+			if e.frozen(*f) {
+				continue
+			}
+			epe, err := e.siteEPE(images, *f)
+			var step geom.Coord
+			if err != nil {
+				// No contour found: the feature likely failed to print
+				// at this site; push the mask edge outward to recover.
+				step = 4
+			} else {
+				step = geom.Coord(math.Round(-e.Damping * epe))
+			}
+			f.Bias = e.MRC.Clamp(f.Bias + step)
+		}
+	}
+}

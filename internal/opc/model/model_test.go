@@ -1,0 +1,233 @@
+package model
+
+import (
+	"testing"
+
+	"goopc/internal/geom"
+	"goopc/internal/opc"
+	"goopc/internal/optics"
+	"goopc/internal/resist"
+)
+
+func fastEngine(t *testing.T) *Engine {
+	t.Helper()
+	s := optics.Default()
+	s.SourceSteps = 5
+	s.GuardNM = 1200
+	sim, err := optics.New(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := resist.CalibrateThreshold(sim, 250, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(sim, th)
+}
+
+func TestEngineValidation(t *testing.T) {
+	e := &Engine{}
+	if _, _, err := e.Correct(nil, geom.R(0, 0, 100, 100)); err == nil {
+		t.Error("nil simulator should fail")
+	}
+	e2 := fastEngine(t)
+	e2.MaxIter = 0
+	if _, _, err := e2.Correct(nil, geom.R(0, 0, 100, 100)); err == nil {
+		t.Error("zero MaxIter should fail")
+	}
+	e3 := fastEngine(t)
+	e3.Damping = -1
+	if _, _, err := e3.Correct(nil, geom.R(0, 0, 100, 100)); err == nil {
+		t.Error("negative damping should fail")
+	}
+}
+
+func TestModelOPCReducesEPE(t *testing.T) {
+	e := fastEngine(t)
+	e.MaxIter = 6
+	// An isolated 180 line plus a line end: both misprint uncorrected.
+	target := []geom.Polygon{
+		geom.R(-90, -2500, 90, 0).Polygon(),
+	}
+	window := opc.WindowFor(target, 600)
+	res, conv, err := e.Correct(target, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(conv.PerIter) < 2 {
+		t.Fatalf("iterations recorded = %d", len(conv.PerIter))
+	}
+	initial := conv.PerIter[0]
+	final := conv.Final()
+	if final.RMS >= initial.RMS {
+		t.Errorf("EPE RMS did not improve: %.2f -> %.2f", initial.RMS, final.RMS)
+	}
+	if final.RMS > initial.RMS/2 {
+		t.Errorf("EPE RMS should drop at least 2x: %.2f -> %.2f", initial.RMS, final.RMS)
+	}
+	if len(res.Corrected) == 0 {
+		t.Fatal("no corrected polygons")
+	}
+	// Corrected mask differs from the target.
+	same := geom.RegionFromPolygons(res.Corrected...).
+		Xor(geom.RegionFromPolygons(target...))
+	if same.Empty() {
+		t.Error("correction produced the identity mask")
+	}
+}
+
+func TestModelOPCConvergenceMonotoneEnough(t *testing.T) {
+	e := fastEngine(t)
+	e.MaxIter = 6
+	target := []geom.Polygon{geom.R(-90, -2000, 90, 2000).Polygon()}
+	window := opc.WindowFor(target, 600)
+	_, conv, err := e.Correct(target, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RMS at the end must be below the start; intermediate wiggle is
+	// allowed but the trace must never exceed 2x the starting error.
+	start := conv.PerIter[0].RMS
+	for i, st := range conv.PerIter {
+		if st.RMS > 2*start+1 {
+			t.Errorf("iteration %d diverged: RMS %.2f vs start %.2f", i, st.RMS, start)
+		}
+	}
+}
+
+func TestModelOPCDenseTargets(t *testing.T) {
+	e := fastEngine(t)
+	e.MaxIter = 5
+	// Dense 180/360 lines: small corrections only; must converge near
+	// tolerance quickly.
+	var target []geom.Polygon
+	for i := -2; i <= 2; i++ {
+		x := geom.Coord(i) * 360
+		target = append(target, geom.R(x-90, -1500, x+90, 1500).Polygon())
+	}
+	window := opc.WindowFor(target, 600)
+	_, conv, err := e.Correct(target, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conv.Final().RMS > 6 {
+		t.Errorf("dense final RMS = %.2f nm", conv.Final().RMS)
+	}
+}
+
+func TestModelOPCRespectsMRC(t *testing.T) {
+	e := fastEngine(t)
+	e.MaxIter = 4
+	e.MRC = opc.MRC{MaxBias: 10, MinBias: -10, Grid: 2}
+	target := []geom.Polygon{geom.R(-90, -2000, 90, 0).Polygon()}
+	window := opc.WindowFor(target, 600)
+	res, _, err := e.Correct(target, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every corrected vertex must lie within MaxBias of the drawn
+	// geometry envelope.
+	orig := geom.RegionFromPolygons(target...)
+	outer := orig.Grow(10)
+	inner := orig.Shrink(10)
+	corr := geom.RegionFromPolygons(res.Corrected...)
+	if !corr.Subtract(outer).Empty() {
+		t.Error("corrected mask exceeds +MaxBias envelope")
+	}
+	if !inner.Subtract(corr).Empty() {
+		t.Error("corrected mask violates -MinBias envelope")
+	}
+}
+
+func TestModelOPCWithSRAFs(t *testing.T) {
+	e := fastEngine(t)
+	e.MaxIter = 3
+	bar1 := geom.R(-460, -2000, -360, 2000).Polygon()
+	bar2 := geom.R(360, -2000, 460, 2000).Polygon()
+	e.SRAFs = []geom.Polygon{bar1, bar2}
+	target := []geom.Polygon{geom.R(-90, -2000, 90, 2000).Polygon()}
+	window := opc.WindowFor(target, 800)
+	res, conv, err := e.Correct(target, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.SRAFs) != 2 {
+		t.Error("SRAFs must pass through unchanged")
+	}
+	if conv.Final().RMS > conv.PerIter[0].RMS {
+		t.Error("correction with SRAFs should not degrade")
+	}
+}
+
+func TestConvergenceFinalEmpty(t *testing.T) {
+	var c Convergence
+	if st := c.Final(); st.Sites != 0 {
+		t.Error("empty convergence should return zero stats")
+	}
+}
+
+func TestProcessWindowOPC(t *testing.T) {
+	// Correcting against a focus list must improve the defocused EPE
+	// relative to best-focus-only correction, at some best-focus cost.
+	e1 := fastEngine(t)
+	e1.MaxIter = 5
+	e2 := fastEngine(t)
+	e2.MaxIter = 5
+	e2.FocusList = []float64{0, 300}
+	target := []geom.Polygon{geom.R(-90, -2000, 90, 2000).Polygon()}
+	window := opc.WindowFor(target, 600)
+
+	res1, _, err := e1.Correct(target, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, _, err := e2.Correct(target, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Evaluate both masks at 300 nm defocus (within the DOF scale so
+	// the feature still prints and EPE is measurable).
+	evalAt := func(res opc.Result, z float64) float64 {
+		im, err := e1.Sim.AerialDefocus(res.AllMask(), window, z)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := opc.EvaluateEPEOnImage(im, e1.Threshold, target, e1.Spec, 400)
+		if st.Sites == st.Unresolved {
+			t.Fatal("feature vanished at evaluation defocus")
+		}
+		return st.RMS
+	}
+	defoc1 := evalAt(res1, 300)
+	defoc2 := evalAt(res2, 300)
+	if defoc2 >= defoc1 {
+		t.Errorf("PW-OPC did not help at defocus: %.2f vs %.2f", defoc2, defoc1)
+	}
+}
+
+func TestFreezeBoundary(t *testing.T) {
+	e := fastEngine(t)
+	e.MaxIter = 3
+	b := geom.R(-90, -2000, 600, 2000)
+	e.FreezeBoundary = &b
+	// A line whose left edge lies exactly on the freeze rect boundary.
+	target := []geom.Polygon{geom.R(-90, -2000, 90, 2000).Polygon()}
+	window := opc.WindowFor(target, 600)
+	res, _, err := e.Correct(target, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The frozen left edge must not have moved: region minimum X is
+	// exactly -90. The top/bottom edges at y=+-2000 are also frozen.
+	bb := geom.RegionFromPolygons(res.Corrected...).BBox()
+	if bb.X0 != -90 {
+		t.Errorf("frozen edge moved: X0 = %d", bb.X0)
+	}
+	if bb.Y0 != -2000 || bb.Y1 != 2000 {
+		t.Errorf("frozen cut edges moved: %v", bb)
+	}
+	// The free right edge did move.
+	if bb.X1 == 90 {
+		t.Error("free edge did not move at all")
+	}
+}

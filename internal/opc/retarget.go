@@ -1,0 +1,52 @@
+package opc
+
+import (
+	"fmt"
+
+	"goopc/internal/geom"
+)
+
+// Retarget performs the pre-OPC retargeting stage: drawn features
+// narrower than minCD cannot be recovered by edge correction alone (the
+// MRC clamps movement and the image contrast collapses), so the flow
+// replaces their narrow parts with minCD-wide targets before correction.
+// Legal geometry passes through untouched.
+//
+// The returned polygons are the new correction target; the original
+// drawn layer remains the design intent the designer sees.
+func Retarget(target []geom.Polygon, minCD geom.Coord) ([]geom.Polygon, error) {
+	if minCD <= 1 {
+		return nil, fmt.Errorf("opc: retarget needs minCD > 1")
+	}
+	if len(target) == 0 {
+		return nil, nil
+	}
+	region := geom.RegionFromPolygons(target...)
+	narrow := region.NarrowerThan(minCD)
+	if narrow.Empty() {
+		return target, nil
+	}
+	// Replace each narrow piece with its minCD-wide version: grow the
+	// sliver along its thin axis until it meets the rule. Growing by
+	// (minCD - w + 1) / 2 per side makes a w-wide run minCD wide; grow
+	// symmetrically with the exact square element via repeated
+	// directional dilation of the sliver region.
+	var patches []geom.Rect
+	for _, r := range narrow.Rects() {
+		w, h := r.W(), r.H()
+		rr := r
+		if w < minCD {
+			d := (minCD - w + 1) / 2
+			rr.X0 -= d
+			rr.X1 += d
+		}
+		if h < minCD {
+			d := (minCD - h + 1) / 2
+			rr.Y0 -= d
+			rr.Y1 += d
+		}
+		patches = append(patches, rr)
+	}
+	patched := region.Union(geom.RegionFromRects(patches...))
+	return patched.Polygons(), nil
+}

@@ -1,0 +1,275 @@
+package rules
+
+import (
+	"testing"
+
+	"goopc/internal/geom"
+	"goopc/internal/optics"
+	"goopc/internal/resist"
+)
+
+func fastSim(t *testing.T) (*optics.Simulator, float64) {
+	t.Helper()
+	s := optics.Default()
+	s.SourceSteps = 5
+	s.GuardNM = 1200
+	sim, err := optics.New(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := resist.CalibrateThreshold(sim, 250, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim, th
+}
+
+func TestBiasTableLookup(t *testing.T) {
+	tab := BiasTable{
+		Entries: []BiasEntry{{Space: 300, Bias: 2}, {Space: 600, Bias: 8}},
+		IsoBias: 15,
+	}
+	cases := []struct {
+		space geom.Coord
+		want  geom.Coord
+	}{
+		{200, 2}, {300, 2}, {301, 8}, {600, 8}, {601, 15}, {5000, 15},
+	}
+	for _, c := range cases {
+		if got := tab.Lookup(c.space); got != c.want {
+			t.Errorf("Lookup(%d) = %d, want %d", c.space, got, c.want)
+		}
+	}
+	// Empty table: always iso.
+	if got := (BiasTable{IsoBias: 7}).Lookup(100); got != 7 {
+		t.Errorf("empty table Lookup = %d", got)
+	}
+}
+
+func TestBuildBiasTable(t *testing.T) {
+	sim, th := fastSim(t)
+	tab, err := BuildBiasTable(sim, th, 180, []geom.Coord{250, 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Entries) != 2 {
+		t.Fatalf("entries = %d", len(tab.Entries))
+	}
+	// Entries sorted by space.
+	if tab.Entries[0].Space != 250 || tab.Entries[1].Space != 500 {
+		t.Errorf("entry order: %+v", tab.Entries)
+	}
+	// Biases and iso bias must be within mask-rule-plausible range.
+	for _, e := range tab.Entries {
+		if e.Bias < -60 || e.Bias > 60 {
+			t.Errorf("space %d bias %d out of plausible range", e.Space, e.Bias)
+		}
+	}
+	if tab.IsoBias < -60 || tab.IsoBias > 60 {
+		t.Errorf("iso bias %d out of range", tab.IsoBias)
+	}
+	// The table must actually size the line: verify one entry.
+	w := 180 + 2*tab.IsoBias
+	mask := []geom.Polygon{geom.R(-w/2, -4000, w/2, 4000).Polygon()}
+	im, err := sim.Aerial(mask, geom.R(-400, -200, 400, 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd, err := resist.MeasureCD(im, th, 0, 0, true, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cd < 176 || cd > 184 {
+		t.Errorf("iso bias %d prints CD %.1f, want 180 +- 4", tab.IsoBias, cd)
+	}
+	// Bad parameters.
+	if _, err := BuildBiasTable(sim, th, 0, []geom.Coord{250}); err == nil {
+		t.Error("zero cd should fail")
+	}
+}
+
+func TestApplyBiasOnly(t *testing.T) {
+	r := DefaultRecipe()
+	r.HammerExt, r.HammerWing, r.SerifSize, r.SRAFWidth = 0, 0, 0, 0
+	r.Bias = BiasTable{IsoBias: 10}
+	target := []geom.Polygon{geom.R(0, 0, 180, 3000).Polygon()}
+	res := r.Apply(target)
+	if len(res.Corrected) != 1 {
+		t.Fatalf("corrected = %d polygons", len(res.Corrected))
+	}
+	// Uniform +10 bias widens by 20 in both axes.
+	bb := res.Corrected[0].BBox()
+	if bb.W() != 200 || bb.H() != 3020 {
+		t.Errorf("biased bbox = %v", bb)
+	}
+	if len(res.SRAFs) != 0 {
+		t.Error("SRAFs disabled but produced")
+	}
+}
+
+func TestApplyHammerhead(t *testing.T) {
+	r := DefaultRecipe()
+	r.SerifSize, r.SRAFWidth = 0, 0
+	r.Bias = BiasTable{} // zero bias
+	// A 180-wide vertical line: both 180 nm end edges are line ends.
+	target := []geom.Polygon{geom.R(0, 0, 180, 3000).Polygon()}
+	res := r.Apply(target)
+	merged := geom.RegionFromPolygons(res.Corrected...)
+	// The hammerhead extends past the drawn tip.
+	if !merged.Contains(geom.Pt(90, 3010)) {
+		t.Error("no extension past the top line end")
+	}
+	if !merged.Contains(geom.Pt(90, -10)) {
+		t.Error("no extension past the bottom line end")
+	}
+	// And widens beyond the line edge near the tip.
+	if !merged.Contains(geom.Pt(-10, 2990)) {
+		t.Error("no wing at the tip")
+	}
+	// But not at mid-line.
+	if merged.Contains(geom.Pt(-10, 1500)) {
+		t.Error("wing leaked to mid-line")
+	}
+}
+
+func TestApplySerifs(t *testing.T) {
+	r := DefaultRecipe()
+	r.HammerExt, r.HammerWing, r.SRAFWidth = 0, 0, 0
+	r.SerifSize = 40
+	r.Spec = geom.FragmentSpec{MaxLen: 400, CornerLen: 80, LineEndMax: 100}
+	// An L: has 5 convex + 1 concave corner (all edges > LineEndMax).
+	target := []geom.Polygon{{
+		geom.Pt(0, 0), geom.Pt(2000, 0), geom.Pt(2000, 400),
+		geom.Pt(400, 400), geom.Pt(400, 2000), geom.Pt(0, 2000),
+	}}
+	res := r.Apply(target)
+	merged := geom.RegionFromPolygons(res.Corrected...)
+	// Convex corner at (2000,0): serif sticks out.
+	if !merged.Contains(geom.Pt(2010, 10)) {
+		t.Error("no serif at convex corner")
+	}
+	// Concave corner at (400,400): notch cut in.
+	if merged.Contains(geom.Pt(395, 395)) {
+		t.Error("no anti-serif at concave corner")
+	}
+	// Area grows from convex serifs net of the single concave notch.
+	origArea := geom.RegionFromPolygons(target...).Area()
+	if merged.Area() <= origArea {
+		t.Error("serifed area should exceed original")
+	}
+}
+
+func TestApplyScatteringBars(t *testing.T) {
+	r := DefaultRecipe()
+	r.HammerExt, r.HammerWing, r.SerifSize = 0, 0, 0
+	r.Bias = BiasTable{}
+	// One isolated long line: bars appear on both open sides.
+	target := []geom.Polygon{geom.R(0, 0, 180, 6000).Polygon()}
+	res := r.Apply(target)
+	if len(res.SRAFs) < 2 {
+		t.Fatalf("SRAFs = %d, want bars both sides", len(res.SRAFs))
+	}
+	// Bars are at the recipe distance and width, and sub-resolution.
+	for _, b := range res.SRAFs {
+		bb := b.BBox()
+		w := bb.W()
+		if bb.H() < w {
+			w = bb.H()
+		}
+		if w != r.SRAFWidth {
+			t.Errorf("bar width = %d, want %d", w, r.SRAFWidth)
+		}
+	}
+	barRegion := geom.RegionFromPolygons(res.SRAFs...)
+	// Bars keep their standoff from the line.
+	tooClose := geom.RegionFromPolygons(target...).Grow(r.SRAFSpace - 10)
+	if !barRegion.Intersect(tooClose).Empty() {
+		t.Error("bar violates standoff")
+	}
+	// Dense pair: inner space below SRAFMinOpen gets no bar between.
+	target2 := []geom.Polygon{
+		geom.R(0, 0, 180, 6000).Polygon(),
+		geom.R(600, 0, 780, 6000).Polygon(), // 420 space < SRAFMinOpen
+	}
+	res2 := r.Apply(target2)
+	between := geom.R(180, 0, 600, 6000)
+	for _, b := range res2.SRAFs {
+		if b.BBox().Overlaps(between) {
+			t.Error("bar placed in dense space")
+		}
+	}
+}
+
+func TestRuleOPCImprovesIsoCD(t *testing.T) {
+	// End-to-end: rule-biased isolated line prints closer to target than
+	// uncorrected at dense calibration.
+	sim, th := fastSim(t)
+	tab, err := BuildBiasTable(sim, th, 180, []geom.Coord{320})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := DefaultRecipe()
+	r.HammerExt, r.HammerWing, r.SerifSize, r.SRAFWidth = 0, 0, 0, 0
+	r.Bias = tab
+	target := []geom.Polygon{geom.R(-90, -4000, 90, 4000).Polygon()}
+	res := r.Apply(target)
+	window := geom.R(-400, -200, 400, 200)
+	imU, err := sim.Aerial(target, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imC, err := sim.Aerial(res.Corrected, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdU, err := resist.MeasureCD(imU, th, 0, 0, true, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdC, err := resist.MeasureCD(imC, th, 0, 0, true, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errU := abs(cdU - 180)
+	errC := abs(cdC - 180)
+	if errC >= errU {
+		t.Errorf("rule OPC did not improve: uncorrected err=%.1f corrected err=%.1f", errU, errC)
+	}
+	if errC > 6 {
+		t.Errorf("corrected iso CD error = %.1f nm, want <= 6", errC)
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestHammerheadReducesPullback(t *testing.T) {
+	sim, th := fastSim(t)
+	// Line with a tip at y=0.
+	target := []geom.Polygon{geom.R(-90, -4000, 90, 0).Polygon()}
+	r := DefaultRecipe()
+	r.SerifSize, r.SRAFWidth = 0, 0
+	r.Bias = BiasTable{}
+	res := r.Apply(target)
+	window := geom.R(-400, -900, 400, 300)
+	pullback := func(mask []geom.Polygon) float64 {
+		im, err := sim.Aerial(mask, window)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, ok := im.FindCrossing(0, -800, 0, 1, th, 1200)
+		if !ok {
+			t.Fatal("no tip crossing")
+		}
+		return 800 - d // positive = printed tip short of drawn
+	}
+	pbU := pullback(target)
+	pbC := pullback(res.Corrected)
+	if pbC >= pbU {
+		t.Errorf("hammerhead did not reduce pullback: %.1f -> %.1f", pbU, pbC)
+	}
+}

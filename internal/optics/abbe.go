@@ -1,0 +1,191 @@
+package optics
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"runtime"
+	"sync"
+
+	"goopc/internal/fft"
+	"goopc/internal/geom"
+)
+
+// Simulator computes aerial images for a fixed exposure setup. It is
+// safe for concurrent use.
+type Simulator struct {
+	S   Settings
+	src []srcPoint
+}
+
+// New validates the settings and prepares the source sampling.
+func New(s Settings) (*Simulator, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &Simulator{S: s, src: sampleSource(s)}, nil
+}
+
+// SourcePoints returns the number of sampled illumination points.
+func (sim *Simulator) SourcePoints() int { return len(sim.src) }
+
+// psmAmplitude returns the shifter field amplitude sqrt(T).
+func (sim *Simulator) psmAmplitude() float64 {
+	t := sim.S.PSMTransmission
+	if t <= 0 {
+		t = 0.06
+	}
+	return math.Sqrt(t)
+}
+
+// Aerial computes the aerial image of the mask polygons over the window
+// at the settings' defocus.
+func (sim *Simulator) Aerial(mask []geom.Polygon, window geom.Rect) (*Image, error) {
+	return sim.AerialDefocus(mask, window, sim.S.DefocusNM)
+}
+
+// AerialDefocus computes the aerial image at an explicit defocus (nm),
+// overriding the settings. Dose is applied downstream by scaling the
+// resist threshold, so the image itself is dose-independent.
+func (sim *Simulator) AerialDefocus(mask []geom.Polygon, window geom.Rect, defocusNM float64) (*Image, error) {
+	if window.Empty() {
+		return nil, fmt.Errorf("optics: empty simulation window")
+	}
+	frame := FrameFor(window, sim.S.PixelNM, sim.S.GuardNM)
+	if frame.W*frame.H > 1<<22 {
+		return nil, fmt.Errorf("optics: window %v needs %dx%d grid; enlarge pixel or shrink window",
+			window, frame.W, frame.H)
+	}
+	spectrum := rasterize(mask, frame)
+	switch sim.S.MaskTone {
+	case BrightField:
+		// Drawn polygons are chrome: amplitude is the complement.
+		for i, v := range spectrum.Data {
+			spectrum.Data[i] = complex(1-real(v), 0)
+		}
+	case DarkField:
+		// Drawn polygons are openings: amplitude is the coverage itself.
+	case AttPSMBrightField:
+		// Drawn polygons are pi-shifted attenuated shifter: amplitude
+		// 1 on the background, -sqrt(T) under full coverage.
+		t := sim.psmAmplitude()
+		for i, v := range spectrum.Data {
+			c := real(v)
+			spectrum.Data[i] = complex(1-c*(1+t), 0)
+		}
+	case AttPSMDarkField:
+		// Openings in shifter: background -sqrt(T), opening 1.
+		t := sim.psmAmplitude()
+		for i, v := range spectrum.Data {
+			c := real(v)
+			spectrum.Data[i] = complex(c*(1+t)-t, 0)
+		}
+	}
+	if err := spectrum.Forward2D(); err != nil {
+		return nil, err
+	}
+
+	intensity := make([]float64, frame.W*frame.H)
+	naOverLambda := sim.S.NA / sim.S.LambdaNM
+
+	// Precompute per-axis frequencies.
+	fxs := make([]float64, frame.W)
+	for k := range fxs {
+		fxs[k] = freqAt(k, frame.W, frame.PixelNM)
+	}
+	fys := make([]float64, frame.H)
+	for k := range fys {
+		fys[k] = freqAt(k, frame.H, frame.PixelNM)
+	}
+
+	workers := 1
+	if sim.S.Parallel {
+		workers = runtime.GOMAXPROCS(0)
+		if workers > len(sim.src) {
+			workers = len(sim.src)
+		}
+		if workers < 1 {
+			workers = 1
+		}
+	}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	jobs := make(chan srcPoint)
+	var firstErr error
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			field := fft.NewGrid(frame.W, frame.H)
+			local := make([]float64, frame.W*frame.H)
+			for sp := range jobs {
+				if err := sim.sourceField(spectrum, field, frame, sp, defocusNM, naOverLambda, fxs, fys); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					continue
+				}
+				for i, v := range field.Data {
+					re, im := real(v), imag(v)
+					local[i] += sp.Weight * (re*re + im*im)
+				}
+			}
+			mu.Lock()
+			for i, v := range local {
+				intensity[i] += v
+			}
+			mu.Unlock()
+		}()
+	}
+	for _, sp := range sim.src {
+		jobs <- sp
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return &Image{Frame: frame, Window: window, I: intensity}, nil
+}
+
+// sourceField fills field with the coherent image field for one source
+// point: IFFT of the mask spectrum filtered by the shifted, defocused
+// pupil. Out-of-band bins are zeroed.
+func (sim *Simulator) sourceField(spectrum, field *fft.Grid, frame Frame, sp srcPoint,
+	defocusNM, naOverLambda float64, fxs, fys []float64) error {
+	sx := sp.SX * naOverLambda
+	sy := sp.SY * naOverLambda
+	cutoff := naOverLambda
+	cutoff2 := cutoff * cutoff
+	lambda := sim.S.LambdaNM
+	for i := range field.Data {
+		field.Data[i] = 0
+	}
+	for ky := 0; ky < frame.H; ky++ {
+		fy := fys[ky] + sy
+		fy2 := fy * fy
+		if fy2 > cutoff2 {
+			continue
+		}
+		rowS := spectrum.Data[ky*frame.W:]
+		rowF := field.Data[ky*frame.W:]
+		for kx := 0; kx < frame.W; kx++ {
+			fx := fxs[kx] + sx
+			f2 := fx*fx + fy2
+			if f2 > cutoff2 {
+				continue
+			}
+			p := complex(1, 0)
+			if defocusNM != 0 {
+				// Defocus phase: 2*pi/lambda * z * (sqrt(1-(lambda f)^2) - 1).
+				lf2 := lambda * lambda * f2
+				phase := 2 * math.Pi / lambda * defocusNM * (math.Sqrt(1-lf2) - 1)
+				p = cmplx.Exp(complex(0, phase))
+			}
+			rowF[kx] = rowS[kx] * p
+		}
+	}
+	return field.Inverse2D()
+}

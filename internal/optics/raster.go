@@ -1,0 +1,123 @@
+package optics
+
+import (
+	"fmt"
+
+	"goopc/internal/fft"
+	"goopc/internal/geom"
+)
+
+// Frame describes the simulation pixel grid: OriginX/Y is the nm
+// coordinate of the *center* of pixel (0,0); pixels are PixelNM square.
+type Frame struct {
+	W, H             int
+	PixelNM          float64
+	OriginX, OriginY float64
+}
+
+// FrameFor sizes a power-of-two frame covering the window plus the
+// guard band, centered on the window.
+func FrameFor(window geom.Rect, pixelNM, guardNM float64) Frame {
+	w := float64(window.W()) + 2*guardNM
+	h := float64(window.H()) + 2*guardNM
+	nx := fft.NextPow2(int(w/pixelNM) + 1)
+	ny := fft.NextPow2(int(h/pixelNM) + 1)
+	cx := (float64(window.X0) + float64(window.X1)) / 2
+	cy := (float64(window.Y0) + float64(window.Y1)) / 2
+	return Frame{
+		W: nx, H: ny, PixelNM: pixelNM,
+		OriginX: cx - pixelNM*float64(nx-1)/2,
+		OriginY: cy - pixelNM*float64(ny-1)/2,
+	}
+}
+
+func (f Frame) String() string {
+	return fmt.Sprintf("frame %dx%d px=%.1fnm origin=(%.1f,%.1f)", f.W, f.H, f.PixelNM, f.OriginX, f.OriginY)
+}
+
+// PixelCenter returns the nm coordinates of pixel (ix, iy).
+func (f Frame) PixelCenter(ix, iy int) (x, y float64) {
+	return f.OriginX + float64(ix)*f.PixelNM, f.OriginY + float64(iy)*f.PixelNM
+}
+
+// rasterize paints polygons into a transmission grid with exact
+// area-coverage antialiasing: each pixel receives the fraction of its
+// area covered. Overlapping input is resolved by a region union first,
+// so transmission never exceeds 1.
+func rasterize(polys []geom.Polygon, f Frame) *fft.Grid {
+	grid := fft.NewGrid(f.W, f.H)
+	if len(polys) == 0 {
+		return grid
+	}
+	region := geom.RegionFromPolygons(polys...)
+	invArea := 1 / (f.PixelNM * f.PixelNM)
+	for _, r := range region.Rects() {
+		x0, x1 := float64(r.X0), float64(r.X1)
+		y0, y1 := float64(r.Y0), float64(r.Y1)
+		// Pixel i covers [OriginX + (i-0.5)p, OriginX + (i+0.5)p).
+		ix0 := int((x0 - f.OriginX + f.PixelNM/2) / f.PixelNM)
+		ix1 := int((x1 - f.OriginX + f.PixelNM/2) / f.PixelNM)
+		iy0 := int((y0 - f.OriginY + f.PixelNM/2) / f.PixelNM)
+		iy1 := int((y1 - f.OriginY + f.PixelNM/2) / f.PixelNM)
+		if ix1 < 0 || iy1 < 0 || ix0 >= f.W || iy0 >= f.H {
+			continue
+		}
+		ix0, ix1 = clampI(ix0, 0, f.W-1), clampI(ix1, 0, f.W-1)
+		iy0, iy1 = clampI(iy0, 0, f.H-1), clampI(iy1, 0, f.H-1)
+		for iy := iy0; iy <= iy1; iy++ {
+			py0 := f.OriginY + (float64(iy)-0.5)*f.PixelNM
+			oy := overlap1(y0, y1, py0, py0+f.PixelNM)
+			if oy <= 0 {
+				continue
+			}
+			row := grid.Data[iy*f.W:]
+			for ix := ix0; ix <= ix1; ix++ {
+				px0 := f.OriginX + (float64(ix)-0.5)*f.PixelNM
+				ox := overlap1(x0, x1, px0, px0+f.PixelNM)
+				if ox <= 0 {
+					continue
+				}
+				row[ix] += complex(ox*oy*invArea, 0)
+			}
+		}
+	}
+	for i, v := range grid.Data {
+		if real(v) > 1 {
+			grid.Data[i] = 1
+		}
+	}
+	return grid
+}
+
+func clampI(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func overlap1(a0, a1, b0, b1 float64) float64 {
+	lo, hi := a0, a1
+	if b0 > lo {
+		lo = b0
+	}
+	if b1 < hi {
+		hi = b1
+	}
+	if hi <= lo {
+		return 0
+	}
+	return hi - lo
+}
+
+// freqAt returns the spatial frequency (cycles/nm) of FFT bin k on an
+// n-point axis with the given pixel.
+func freqAt(k, n int, pixel float64) float64 {
+	if k > n/2 {
+		k -= n
+	}
+	return float64(k) / (float64(n) * pixel)
+}

@@ -1,0 +1,176 @@
+// Package optics implements the partially coherent scalar aerial-image
+// simulator the OPC and verification engines are built on. It performs
+// Abbe source-point integration: the mask transmission is rasterized
+// with exact area antialiasing, transformed with an FFT, and for every
+// sampled illumination source point the shifted pupil (with a defocus
+// phase) filters the spectrum; the weighted sum of the resulting
+// coherent-field intensities is the aerial image. The intensity scale is
+// anchored so an unpatterned clear field images at intensity 1.0.
+//
+// The default settings model the 248 nm / NA 0.68 exposure tools on
+// which production OPC was first adopted (the reproduced paper's
+// regime); the proximity effects OPC corrects — iso-dense bias,
+// line-end pullback, corner rounding — all emerge from this model from
+// first principles.
+package optics
+
+import (
+	"errors"
+	"fmt"
+)
+
+// IllumShape selects the illuminator geometry.
+type IllumShape uint8
+
+// Illuminator shapes.
+const (
+	// Conventional is a filled circular source of radius SigmaOuter.
+	Conventional IllumShape = iota
+	// Annular is a ring source between SigmaInner and SigmaOuter.
+	Annular
+	// Quadrupole is four poles of radius SigmaInner centered at
+	// SigmaOuter along the +-45 degree diagonals.
+	Quadrupole
+)
+
+func (s IllumShape) String() string {
+	switch s {
+	case Conventional:
+		return "conventional"
+	case Annular:
+		return "annular"
+	case Quadrupole:
+		return "quadrupole"
+	}
+	return "?"
+}
+
+// Tone selects the mask polarity.
+type Tone uint8
+
+// Mask polarities.
+const (
+	// BrightField: drawn polygons are chrome (opaque) on a clear
+	// background. The printed resist feature is the dark region
+	// (intensity below threshold) — the normal case for poly and metal
+	// with positive resist.
+	BrightField Tone = iota
+	// DarkField: drawn polygons are clear openings in chrome — the
+	// contact/via case.
+	DarkField
+	// AttPSMBrightField: drawn polygons are attenuated phase shifter
+	// (amplitude -sqrt(PSMTransmission)) on a clear background. The
+	// pi-shifted leakage steepens image slopes at feature edges — the
+	// RET usually co-adopted with OPC.
+	AttPSMBrightField
+	// AttPSMDarkField: drawn polygons are clear openings in attenuated
+	// shifter background — the att-PSM contact case.
+	AttPSMDarkField
+)
+
+func (t Tone) String() string {
+	switch t {
+	case DarkField:
+		return "dark-field"
+	case AttPSMBrightField:
+		return "attpsm-bright"
+	case AttPSMDarkField:
+		return "attpsm-dark"
+	}
+	return "bright-field"
+}
+
+// Settings describes the exposure system and simulation grid.
+type Settings struct {
+	// LambdaNM is the exposure wavelength in nm.
+	LambdaNM float64
+	// NA is the projection numerical aperture.
+	NA float64
+	// Shape selects the illuminator; Sigma values are pupil-relative.
+	Shape      IllumShape
+	SigmaOuter float64
+	SigmaInner float64
+	// PixelNM is the simulation grid pixel in nm.
+	PixelNM float64
+	// GuardNM is the optical guard band added around the requested
+	// window so wraparound and neighborhood effects are captured. It
+	// should be at least the optical ambit (~2 lambda/NA).
+	GuardNM float64
+	// SourceSteps is the number of source sample points across the
+	// illuminator diameter; the source grid is SourceSteps^2 clipped to
+	// the shape.
+	SourceSteps int
+	// DefocusNM is the image-plane defocus in nm (0 = best focus).
+	DefocusNM float64
+	// MaskTone is the polarity of the mask (BrightField default).
+	MaskTone Tone
+	// PSMTransmission is the intensity transmission of the attenuated
+	// shifter for the AttPSM tones (0 selects the industry-standard 6%).
+	PSMTransmission float64
+	// Parallel enables source-point fan-out across goroutines.
+	Parallel bool
+}
+
+// Default returns the 248 nm KrF baseline: NA 0.68, conventional
+// sigma 0.6 illumination, 16 nm grid, 1.5 um guard band.
+func Default() Settings {
+	return Settings{
+		LambdaNM:    248,
+		NA:          0.68,
+		Shape:       Conventional,
+		SigmaOuter:  0.6,
+		PixelNM:     16,
+		GuardNM:     1500,
+		SourceSteps: 7,
+		Parallel:    true,
+	}
+}
+
+// DefaultAnnular returns the off-axis variant used with assist features
+// (annular 0.75/0.45), which trades iso performance for dense DOF.
+func DefaultAnnular() Settings {
+	s := Default()
+	s.Shape = Annular
+	s.SigmaOuter = 0.75
+	s.SigmaInner = 0.45
+	return s
+}
+
+// ErrBadSettings wraps settings validation failures.
+var ErrBadSettings = errors.New("optics: invalid settings")
+
+// Validate checks physical and numerical sanity.
+func (s Settings) Validate() error {
+	switch {
+	case s.LambdaNM <= 0:
+		return fmt.Errorf("%w: lambda %v", ErrBadSettings, s.LambdaNM)
+	case s.NA <= 0 || s.NA >= 1:
+		return fmt.Errorf("%w: NA %v (dry system expected)", ErrBadSettings, s.NA)
+	case s.SigmaOuter <= 0 || s.SigmaOuter >= 1:
+		return fmt.Errorf("%w: sigma outer %v", ErrBadSettings, s.SigmaOuter)
+	case s.Shape != Conventional && (s.SigmaInner < 0 || s.SigmaInner >= s.SigmaOuter):
+		return fmt.Errorf("%w: sigma inner %v vs outer %v", ErrBadSettings, s.SigmaInner, s.SigmaOuter)
+	case s.PixelNM <= 0:
+		return fmt.Errorf("%w: pixel %v", ErrBadSettings, s.PixelNM)
+	case s.GuardNM < 0:
+		return fmt.Errorf("%w: guard %v", ErrBadSettings, s.GuardNM)
+	case s.SourceSteps < 1:
+		return fmt.Errorf("%w: source steps %d", ErrBadSettings, s.SourceSteps)
+	}
+	// The pixel must resolve the field band limit NA(1+sigma)/lambda.
+	nyquist := s.LambdaNM / (2 * s.NA * (1 + s.SigmaOuter))
+	if s.PixelNM > nyquist {
+		return fmt.Errorf("%w: pixel %v nm exceeds field Nyquist %.1f nm", ErrBadSettings, s.PixelNM, nyquist)
+	}
+	return nil
+}
+
+// RayleighResolution returns the k1=0.61 Rayleigh resolution in nm.
+func (s Settings) RayleighResolution() float64 {
+	return 0.61 * s.LambdaNM / s.NA
+}
+
+// DepthOfFocus returns the classical lambda/(2 NA^2) DOF scale in nm.
+func (s Settings) DepthOfFocus() float64 {
+	return s.LambdaNM / (2 * s.NA * s.NA)
+}

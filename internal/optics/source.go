@@ -1,0 +1,64 @@
+package optics
+
+import "math"
+
+// srcPoint is one sampled illumination direction. SX and SY are in
+// pupil-relative sigma coordinates; the spatial-frequency shift is
+// sigma * NA / lambda.
+type srcPoint struct {
+	SX, SY float64
+	Weight float64
+}
+
+// sampleSource discretizes the illuminator into weighted points on a
+// SourceSteps x SourceSteps grid across the [-SigmaOuter, SigmaOuter]
+// square, keeping points inside the shape. Weights are uniform and
+// normalized to sum to 1.
+func sampleSource(s Settings) []srcPoint {
+	n := s.SourceSteps
+	var pts []srcPoint
+	if n == 1 {
+		// Coherent limit: a single on-axis point.
+		return []srcPoint{{0, 0, 1}}
+	}
+	step := 2 * s.SigmaOuter / float64(n-1)
+	inside := func(x, y float64) bool {
+		r := math.Hypot(x, y)
+		switch s.Shape {
+		case Conventional:
+			return r <= s.SigmaOuter+1e-12
+		case Annular:
+			return r <= s.SigmaOuter+1e-12 && r >= s.SigmaInner-1e-12
+		case Quadrupole:
+			c := s.SigmaOuter / math.Sqrt2
+			pole := s.SigmaInner
+			if pole <= 0 {
+				pole = s.SigmaOuter / 4
+			}
+			for _, p := range [4][2]float64{{c, c}, {-c, c}, {c, -c}, {-c, -c}} {
+				if math.Hypot(x-p[0], y-p[1]) <= pole+1e-12 {
+					return true
+				}
+			}
+			return false
+		}
+		return false
+	}
+	for iy := 0; iy < n; iy++ {
+		for ix := 0; ix < n; ix++ {
+			x := -s.SigmaOuter + float64(ix)*step
+			y := -s.SigmaOuter + float64(iy)*step
+			if inside(x, y) {
+				pts = append(pts, srcPoint{x, y, 1})
+			}
+		}
+	}
+	if len(pts) == 0 {
+		pts = []srcPoint{{0, 0, 1}}
+	}
+	w := 1 / float64(len(pts))
+	for i := range pts {
+		pts[i].Weight = w
+	}
+	return pts
+}

@@ -1,0 +1,260 @@
+package orc
+
+import (
+	"math"
+	"testing"
+
+	"goopc/internal/geom"
+	"goopc/internal/opc"
+	"goopc/internal/optics"
+	"goopc/internal/resist"
+)
+
+func fastSim(t *testing.T) (*optics.Simulator, float64) {
+	t.Helper()
+	s := optics.Default()
+	s.SourceSteps = 5
+	s.GuardNM = 1200
+	sim, err := optics.New(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := resist.CalibrateThreshold(sim, 250, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim, th
+}
+
+func TestCheckCleanPattern(t *testing.T) {
+	sim, th := fastSim(t)
+	c := NewChecker(sim, th)
+	c.EPELimit = 25 // relaxed: uncorrected dense prints near size
+	// The calibration anchor itself: dense 250/500 lines print to size.
+	var target []geom.Polygon
+	for i := -2; i <= 2; i++ {
+		x := geom.Coord(i) * 500
+		target = append(target, geom.R(x-125, -2000, x+125, 2000).Polygon())
+	}
+	rep, err := c.Check(target, opc.Uncorrected(target), opc.WindowFor(target, 600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := rep.Count(Pinch); n != 0 {
+		t.Errorf("clean pattern reported %d pinches: %v", n, rep.Hotspots)
+	}
+	if n := rep.Count(Bridge); n != 0 {
+		t.Errorf("clean pattern reported %d bridges", n)
+	}
+	if rep.EPE.Sites == 0 {
+		t.Error("no EPE sites evaluated")
+	}
+}
+
+func TestCheckDetectsPinch(t *testing.T) {
+	sim, th := fastSim(t)
+	c := NewChecker(sim, th)
+	// A line far below resolution: 60 nm drawn — cannot print.
+	target := []geom.Polygon{geom.R(-30, -2000, 30, 2000).Polygon()}
+	rep, err := c.Check(target, opc.Uncorrected(target), opc.WindowFor(target, 600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Count(Pinch) == 0 {
+		t.Error("60 nm line should pinch")
+	}
+}
+
+func TestCheckDetectsBridge(t *testing.T) {
+	sim, th := fastSim(t)
+	c := NewChecker(sim, th)
+	// Two wide lines separated by a 60 nm space: prints closed.
+	target := []geom.Polygon{
+		geom.R(-460, -2000, -30, 2000).Polygon(),
+		geom.R(30, -2000, 460, 2000).Polygon(),
+	}
+	rep, err := c.Check(target, opc.Uncorrected(target), opc.WindowFor(target, 600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Count(Bridge) == 0 {
+		t.Error("60 nm space should bridge")
+	}
+}
+
+func TestCheckDetectsSideLobe(t *testing.T) {
+	sim, th := fastSim(t)
+	c := NewChecker(sim, th)
+	target := []geom.Polygon{geom.R(-90, -2000, 90, 2000).Polygon()}
+	// A fat "assist" 300 nm wide prints — that is a side-lobe failure.
+	mask := opc.Result{
+		Corrected: target,
+		SRAFs:     []geom.Polygon{geom.R(500, -2000, 800, 2000).Polygon()},
+	}
+	rep, err := c.Check(target, mask, opc.WindowFor(mask.AllMask(), 600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Count(SideLobe) == 0 {
+		t.Error("printing assist should be flagged")
+	}
+	// A proper 60 nm bar does not print.
+	mask.SRAFs = []geom.Polygon{geom.R(460, -2000, 520, 2000).Polygon()}
+	rep, err = c.Check(target, mask, opc.WindowFor(mask.AllMask(), 600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Count(SideLobe) != 0 {
+		for _, h := range rep.Hotspots {
+			if h.Kind == SideLobe {
+				t.Errorf("sub-resolution bar flagged: %v", h)
+			}
+		}
+	}
+}
+
+func TestCheckEPEViolations(t *testing.T) {
+	sim, th := fastSim(t)
+	c := NewChecker(sim, th)
+	c.EPELimit = 2 // tight limit: uncorrected iso line must violate
+	target := []geom.Polygon{geom.R(-90, -2000, 90, 2000).Polygon()}
+	rep, err := c.Check(target, opc.Uncorrected(target), opc.WindowFor(target, 600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Count(EPEViolation) == 0 {
+		t.Error("uncorrected iso line should violate a 2 nm EPE limit")
+	}
+}
+
+func TestInnerWidth(t *testing.T) {
+	p := geom.R(0, 0, 180, 2000).Polygon()
+	// Midpoint of the right edge, outward normal east.
+	w, ok := innerWidth(geom.Pt(180, 1000), geom.Pt(1, 0), p, 2000)
+	if !ok || w != 180 {
+		t.Errorf("innerWidth = %d ok=%v, want 180", w, ok)
+	}
+	// From the top edge.
+	w, ok = innerWidth(geom.Pt(90, 2000), geom.Pt(0, 1), p, 3000)
+	if !ok || w != 2000 {
+		t.Errorf("vertical innerWidth = %d ok=%v", w, ok)
+	}
+	// Beyond probe distance.
+	if _, ok := innerWidth(geom.Pt(90, 2000), geom.Pt(0, 1), p, 500); ok {
+		t.Error("probe-limited width should miss")
+	}
+}
+
+func TestHotspotDedupe(t *testing.T) {
+	rep := Report{Hotspots: []Hotspot{
+		{Kind: Pinch, At: geom.Pt(0, 0)},
+		{Kind: Pinch, At: geom.Pt(10, 10)},  // within 100: dup
+		{Kind: Pinch, At: geom.Pt(500, 0)},  // far: kept
+		{Kind: Bridge, At: geom.Pt(10, 10)}, // other kind: kept
+	}}
+	dedupe(&rep)
+	if len(rep.Hotspots) != 3 {
+		t.Errorf("dedupe left %d", len(rep.Hotspots))
+	}
+}
+
+func TestProcessWindowBasics(t *testing.T) {
+	sim, th := fastSim(t)
+	var mask []geom.Polygon
+	for i := -3; i <= 3; i++ {
+		x := geom.Coord(i) * 500
+		mask = append(mask, geom.R(x-125, -3000, x+125, 3000).Polygon())
+	}
+	sites := []PWSite{{
+		Name: "dense", At: geom.Pt(0, 0), Horizontal: true,
+		TargetCD: 250, TolFrac: 0.10,
+	}}
+	focuses := []float64{-600, -300, 0, 300, 600}
+	doses := []float64{0.90, 0.95, 1.0, 1.05, 1.10}
+	res, err := AnalyzeWindow(sim, th, mask, geom.R(-400, -300, 400, 300), sites, focuses, doses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nominal condition must be in spec (it is the calibration anchor).
+	if !res.InSpec[2][2] {
+		t.Errorf("nominal focus/dose out of spec, CD=%v", res.CD[0][2][2])
+	}
+	// CD at nominal ~250.
+	if cd := res.CD[0][2][2]; math.Abs(cd-250) > 5 {
+		t.Errorf("nominal CD = %.1f", cd)
+	}
+	// Higher dose -> smaller dark CD (monotone in dose).
+	if !(res.CD[0][2][0] > res.CD[0][2][4]) {
+		t.Errorf("CD not monotone in dose: %.1f .. %.1f", res.CD[0][2][0], res.CD[0][2][4])
+	}
+	// EL at best focus positive.
+	if el := res.ExposureLatitudeAt(2); el <= 0 {
+		t.Errorf("EL at focus 0 = %f", el)
+	}
+	// DOF at a modest EL requirement positive, and shrinks as the EL
+	// requirement grows.
+	d1 := res.DOF(0.05)
+	d2 := res.DOF(0.15)
+	if d1 <= 0 {
+		t.Errorf("DOF(5%%) = %f", d1)
+	}
+	if d2 > d1 {
+		t.Errorf("DOF must shrink with stricter EL: %f > %f", d2, d1)
+	}
+}
+
+func TestProcessWindowValidation(t *testing.T) {
+	sim, th := fastSim(t)
+	if _, err := AnalyzeWindow(sim, th, nil, geom.R(0, 0, 100, 100), nil, []float64{0}, []float64{1}); err == nil {
+		t.Error("no sites should fail")
+	}
+}
+
+func TestExposureLatitudeEdgeCases(t *testing.T) {
+	r := &PWResult{
+		Focuses: []float64{0},
+		Doses:   []float64{0.9, 1.0, 1.1},
+		InSpec:  [][]bool{{false, true, true}},
+	}
+	if el := r.ExposureLatitudeAt(0); math.Abs(el-0.1) > 1e-12 {
+		t.Errorf("EL = %f, want 0.1", el)
+	}
+	if el := r.ExposureLatitudeAt(5); el != 0 {
+		t.Error("out-of-range focus index should return 0")
+	}
+	// All out of spec.
+	r.InSpec = [][]bool{{false, false, false}}
+	if el := r.ExposureLatitudeAt(0); el != 0 {
+		t.Errorf("EL = %f for all-fail", el)
+	}
+}
+
+func TestMEEFGrowsTowardResolutionLimit(t *testing.T) {
+	sim, th := fastSim(t)
+	measureAtPitch := func(pitch geom.Coord) float64 {
+		var mask []geom.Polygon
+		cd := pitch / 2
+		for i := -4; i <= 4; i++ {
+			x := geom.Coord(i) * pitch
+			mask = append(mask, geom.R(x-cd/2, -3000, x+cd/2, 3000).Polygon())
+		}
+		window := geom.R(-pitch-200, -200, pitch+200, 200)
+		res, err := MeasureMEEF(sim, th, mask, window, geom.Pt(0, 0), true, 4, float64(pitch))
+		if err != nil {
+			t.Fatalf("pitch %d: %v", pitch, err)
+		}
+		return res.MEEF
+	}
+	loose := measureAtPitch(700) // k1 comfortable
+	tight := measureAtPitch(400) // toward the limit
+	if loose < 0.5 || loose > 2.5 {
+		t.Errorf("loose-pitch MEEF = %.2f, expected near 1", loose)
+	}
+	if tight <= loose {
+		t.Errorf("MEEF should grow toward the limit: %.2f (tight) vs %.2f (loose)", tight, loose)
+	}
+	// Validation.
+	if _, err := MeasureMEEF(sim, th, nil, geom.R(0, 0, 100, 100), geom.Pt(0, 0), true, 0, 100); err == nil {
+		t.Error("zero delta should fail")
+	}
+}

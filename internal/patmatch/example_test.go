@@ -1,0 +1,38 @@
+package patmatch_test
+
+import (
+	"fmt"
+
+	"goopc/internal/geom"
+	"goopc/internal/patmatch"
+)
+
+func Example() {
+	// Capture a facing-tips configuration once...
+	hotspot := []geom.Polygon{
+		geom.R(-90, -2000, 90, -100).Polygon(),
+		geom.R(-90, 100, 90, 2000).Polygon(),
+	}
+	anchor, _ := patmatch.NearestVertex(hotspot, geom.Pt(0, 0))
+	pat := patmatch.Capture(hotspot, anchor, 600, "facing-tips")
+
+	lib := patmatch.NewLibrary(600)
+	_ = lib.Add(pat)
+
+	// ...and find it, rotated, in a new design without any simulation.
+	rot := geom.Xform{Orient: geom.R90, Mag: 1, Offset: geom.Pt(30000, 10000)}
+	var design []geom.Polygon
+	for _, p := range hotspot {
+		design = append(design, rot.ApplyPolygon(p))
+	}
+	design = append(design, geom.R(0, 0, 180, 4000).Polygon()) // innocuous
+
+	matches := lib.Scan(design)
+	fmt.Println("matches:", len(matches) > 0)
+	for _, m := range matches[:1] {
+		fmt.Println("pattern:", m.Name)
+	}
+	// Output:
+	// matches: true
+	// pattern: facing-tips
+}

@@ -1,0 +1,196 @@
+// Package patmatch implements 2D layout pattern capture and matching:
+// a hotspot found once by simulation (or silicon) is captured as a
+// geometry pattern, and new layouts are scanned for the same
+// configuration without any imaging — the "DRC Plus" methodology that
+// grew out of production OPC verification. Patterns match exactly
+// (topology and dimensions) under all eight layout orientations.
+package patmatch
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"goopc/internal/geom"
+)
+
+// Pattern is one captured layout neighborhood: the geometry within
+// Radius of the anchor, expressed in anchor-relative coordinates.
+type Pattern struct {
+	Name   string
+	Radius geom.Coord
+	// rects is the canonical (sorted, disjoint) decomposition of the
+	// captured window.
+	rects []geom.Rect
+	hash  uint64
+}
+
+// Capture extracts the pattern around an anchor point. The anchor
+// should be derived from the geometry (typically the nearest polygon
+// vertex to a hotspot) so scanning can regenerate candidate anchors.
+func Capture(polys []geom.Polygon, anchor geom.Point, radius geom.Coord, name string) Pattern {
+	window := geom.Rect{
+		X0: anchor.X - radius, Y0: anchor.Y - radius,
+		X1: anchor.X + radius, Y1: anchor.Y + radius,
+	}
+	clip := geom.RegionFromRects(window)
+	var nearby []geom.Polygon
+	for _, p := range polys {
+		if p.BBox().Touches(window) {
+			nearby = append(nearby, p)
+		}
+	}
+	region := geom.RegionFromPolygons(nearby...).Intersect(clip).Translate(anchor.Neg())
+	rects := canonical(region.Rects())
+	return Pattern{Name: name, Radius: radius, rects: rects, hash: hashRects(rects)}
+}
+
+// canonical sorts a rect list into the comparison order.
+func canonical(rs []geom.Rect) []geom.Rect {
+	out := append([]geom.Rect{}, rs...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Y0 != b.Y0 {
+			return a.Y0 < b.Y0
+		}
+		if a.X0 != b.X0 {
+			return a.X0 < b.X0
+		}
+		if a.Y1 != b.Y1 {
+			return a.Y1 < b.Y1
+		}
+		return a.X1 < b.X1
+	})
+	return out
+}
+
+func hashRects(rs []geom.Rect) uint64 {
+	h := fnv.New64a()
+	for _, r := range rs {
+		fmt.Fprintf(h, "%d,%d,%d,%d;", r.X0, r.Y0, r.X1, r.Y1)
+	}
+	return h.Sum64()
+}
+
+// Empty reports whether the captured window held no geometry.
+func (p Pattern) Empty() bool { return len(p.rects) == 0 }
+
+// Variants returns the pattern under all eight orientations, each
+// re-canonicalized. Matching against all variants makes the scan
+// orientation-invariant.
+func (p Pattern) Variants() []Pattern {
+	out := make([]Pattern, 0, 8)
+	seen := map[uint64]bool{}
+	for o := geom.R0; o <= geom.MX270; o++ {
+		x := geom.Xform{Orient: o, Mag: 1}
+		rs := make([]geom.Rect, 0, len(p.rects))
+		for _, r := range p.rects {
+			rs = append(rs, x.ApplyRect(r))
+		}
+		rs = canonical(rs)
+		h := hashRects(rs)
+		if seen[h] {
+			continue
+		}
+		seen[h] = true
+		out = append(out, Pattern{Name: p.Name, Radius: p.Radius, rects: rs, hash: h})
+	}
+	return out
+}
+
+// Match is one found occurrence.
+type Match struct {
+	Name string
+	At   geom.Point
+}
+
+// Library is a set of patterns with orientation variants expanded,
+// ready for scanning.
+type Library struct {
+	radius   geom.Coord
+	byHash   map[uint64]string
+	patterns int
+}
+
+// NewLibrary creates an empty library. All member patterns must share
+// one capture radius (scanning recaptures at that radius).
+func NewLibrary(radius geom.Coord) *Library {
+	return &Library{radius: radius, byHash: map[uint64]string{}}
+}
+
+// Add inserts a pattern and its orientation variants. Patterns captured
+// at a different radius are rejected.
+func (l *Library) Add(p Pattern) error {
+	if p.Radius != l.radius {
+		return fmt.Errorf("patmatch: pattern radius %d != library radius %d", p.Radius, l.radius)
+	}
+	if p.Empty() {
+		return fmt.Errorf("patmatch: refusing empty pattern %q", p.Name)
+	}
+	for _, v := range p.Variants() {
+		if _, dup := l.byHash[v.hash]; !dup {
+			l.byHash[v.hash] = p.Name
+		}
+	}
+	l.patterns++
+	return nil
+}
+
+// Len returns the number of added patterns (before variant expansion).
+func (l *Library) Len() int { return l.patterns }
+
+// Scan searches the layer for library patterns. Candidate anchors are
+// every polygon vertex (the same anchor family Capture expects).
+// Matches at the same location by the same pattern are deduplicated.
+func (l *Library) Scan(polys []geom.Polygon) []Match {
+	if len(l.byHash) == 0 || len(polys) == 0 {
+		return nil
+	}
+	idx := geom.NewGridIndex(4 * l.radius)
+	for i, p := range polys {
+		idx.Insert(p.BBox(), int32(i))
+	}
+	seen := map[Match]bool{}
+	var out []Match
+	for _, p := range polys {
+		for _, v := range p {
+			window := geom.Rect{
+				X0: v.X - l.radius, Y0: v.Y - l.radius,
+				X1: v.X + l.radius, Y1: v.Y + l.radius,
+			}
+			var nearby []geom.Polygon
+			for _, id := range idx.CollectIDs(window) {
+				nearby = append(nearby, polys[id])
+			}
+			region := geom.RegionFromPolygons(nearby...).
+				Intersect(geom.RegionFromRects(window)).
+				Translate(v.Neg())
+			h := hashRects(canonical(region.Rects()))
+			if name, ok := l.byHash[h]; ok {
+				m := Match{Name: name, At: v}
+				if !seen[m] {
+					seen[m] = true
+					out = append(out, m)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// NearestVertex returns the polygon vertex closest to a point — the
+// canonical anchor for capturing a hotspot found at an arbitrary
+// location.
+func NearestVertex(polys []geom.Polygon, at geom.Point) (geom.Point, bool) {
+	best := geom.Point{}
+	bestD := int64(-1)
+	for _, p := range polys {
+		for _, v := range p {
+			d := v.ManhattanDist(at)
+			if bestD < 0 || d < bestD {
+				best, bestD = v, d
+			}
+		}
+	}
+	return best, bestD >= 0
+}

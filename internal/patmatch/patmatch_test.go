@@ -1,0 +1,157 @@
+package patmatch
+
+import (
+	"testing"
+
+	"goopc/internal/geom"
+)
+
+// hotspotPair builds the facing-line-end configuration at an offset.
+func hotspotPair(off geom.Point) []geom.Polygon {
+	return []geom.Polygon{
+		geom.R(off.X-90, off.Y-2000, off.X+90, off.Y-100).Polygon(),
+		geom.R(off.X-90, off.Y+100, off.X+90, off.Y+2000).Polygon(),
+	}
+}
+
+func TestCaptureAndSelfMatch(t *testing.T) {
+	polys := hotspotPair(geom.Pt(0, 0))
+	anchor, ok := NearestVertex(polys, geom.Pt(0, 0))
+	if !ok {
+		t.Fatal("no vertex")
+	}
+	pat := Capture(polys, anchor, 600, "facing-tips")
+	if pat.Empty() {
+		t.Fatal("empty capture")
+	}
+	lib := NewLibrary(600)
+	if err := lib.Add(pat); err != nil {
+		t.Fatal(err)
+	}
+	matches := lib.Scan(polys)
+	if len(matches) == 0 {
+		t.Fatal("pattern does not match its own source")
+	}
+}
+
+func TestScanFindsTranslatedCopies(t *testing.T) {
+	src := hotspotPair(geom.Pt(0, 0))
+	anchor, _ := NearestVertex(src, geom.Pt(0, 0))
+	pat := Capture(src, anchor, 600, "facing-tips")
+	lib := NewLibrary(600)
+	if err := lib.Add(pat); err != nil {
+		t.Fatal(err)
+	}
+	// A layout with two copies at different places plus unrelated
+	// geometry.
+	var target []geom.Polygon
+	target = append(target, hotspotPair(geom.Pt(10000, 5000))...)
+	target = append(target, hotspotPair(geom.Pt(30000, -2000))...)
+	target = append(target, geom.R(50000, 0, 50180, 4000).Polygon()) // plain line: no match
+	matches := lib.Scan(target)
+	locs := map[geom.Point]bool{}
+	for _, m := range matches {
+		locs[m.At] = true
+	}
+	if len(matches) < 2 {
+		t.Fatalf("found %d matches, want copies at both offsets: %v", len(matches), matches)
+	}
+	// No match may anchor on the plain line.
+	for _, m := range matches {
+		if m.At.X >= 50000 {
+			t.Errorf("false positive at %v", m.At)
+		}
+	}
+}
+
+func TestScanOrientationInvariance(t *testing.T) {
+	src := hotspotPair(geom.Pt(0, 0))
+	anchor, _ := NearestVertex(src, geom.Pt(0, 0))
+	pat := Capture(src, anchor, 600, "facing-tips")
+	lib := NewLibrary(600)
+	if err := lib.Add(pat); err != nil {
+		t.Fatal(err)
+	}
+	// Rotate the configuration 90 degrees.
+	x := geom.Xform{Orient: geom.R90, Mag: 1, Offset: geom.Pt(20000, 20000)}
+	var rot []geom.Polygon
+	for _, p := range src {
+		rot = append(rot, x.ApplyPolygon(p))
+	}
+	if got := lib.Scan(rot); len(got) == 0 {
+		t.Error("rotated copy not found")
+	}
+	// Mirrored.
+	mx := geom.Xform{Orient: geom.MX, Mag: 1, Offset: geom.Pt(-5000, 8000)}
+	var mir []geom.Polygon
+	for _, p := range src {
+		mir = append(mir, mx.ApplyPolygon(p))
+	}
+	if got := lib.Scan(mir); len(got) == 0 {
+		t.Error("mirrored copy not found")
+	}
+}
+
+func TestScanDimensionSensitivity(t *testing.T) {
+	// A 260 nm gap is a different pattern than the captured 200 nm gap:
+	// exact matching must not fire.
+	src := hotspotPair(geom.Pt(0, 0))
+	anchor, _ := NearestVertex(src, geom.Pt(0, 0))
+	pat := Capture(src, anchor, 600, "facing-tips")
+	lib := NewLibrary(600)
+	if err := lib.Add(pat); err != nil {
+		t.Fatal(err)
+	}
+	other := []geom.Polygon{
+		geom.R(-90, -2000, 90, -130).Polygon(),
+		geom.R(-90, 130, 90, 2000).Polygon(),
+	}
+	if got := lib.Scan(other); len(got) != 0 {
+		t.Errorf("different gap matched: %v", got)
+	}
+}
+
+func TestLibraryValidation(t *testing.T) {
+	lib := NewLibrary(600)
+	if err := lib.Add(Pattern{Radius: 400}); err == nil {
+		t.Error("radius mismatch should fail")
+	}
+	if err := lib.Add(Pattern{Radius: 600}); err == nil {
+		t.Error("empty pattern should fail")
+	}
+	if lib.Len() != 0 {
+		t.Error("failed adds must not count")
+	}
+	if got := lib.Scan(hotspotPair(geom.Pt(0, 0))); got != nil {
+		t.Error("empty library should match nothing")
+	}
+}
+
+func TestVariantsDedup(t *testing.T) {
+	// A symmetric square pattern has fewer than 8 distinct variants.
+	polys := []geom.Polygon{geom.R(-100, -100, 100, 100).Polygon()}
+	pat := Capture(polys, geom.Pt(100, 100), 400, "sq")
+	if n := len(pat.Variants()); n >= 8 {
+		t.Errorf("symmetric pattern variants = %d, expected dedup", n)
+	}
+	// An asymmetric one has several.
+	asym := []geom.Polygon{
+		geom.R(-100, -100, 100, 100).Polygon(),
+		geom.R(150, -30, 400, 30).Polygon(),
+	}
+	pat2 := Capture(asym, geom.Pt(100, 100), 400, "as")
+	if n := len(pat2.Variants()); n < 4 {
+		t.Errorf("asymmetric variants = %d", n)
+	}
+}
+
+func TestNearestVertex(t *testing.T) {
+	polys := []geom.Polygon{geom.R(0, 0, 100, 100).Polygon()}
+	v, ok := NearestVertex(polys, geom.Pt(90, 120))
+	if !ok || v != geom.Pt(100, 100) {
+		t.Errorf("nearest = %v ok=%v", v, ok)
+	}
+	if _, ok := NearestVertex(nil, geom.Pt(0, 0)); ok {
+		t.Error("empty input should report not found")
+	}
+}

@@ -1,0 +1,154 @@
+// Package render draws layout geometry and printed contours as SVG:
+// the debug and documentation surface of the flow. Drawn layers render
+// as filled polygons, corrected masks as outlines, assist features
+// hatched, and resist contours as smooth polylines — the standard
+// "target vs mask vs wafer" picture in every OPC paper.
+package render
+
+import (
+	"fmt"
+	"io"
+
+	"goopc/internal/geom"
+	"goopc/internal/resist"
+)
+
+// Style is the presentation of one rendered layer.
+type Style struct {
+	// Fill is a CSS color ("" disables fill).
+	Fill string
+	// Stroke is the outline color ("" disables).
+	Stroke string
+	// Opacity in [0,1] (0 treated as 1).
+	Opacity float64
+	// StrokeWidth in user units (nm); 0 picks a size-relative default.
+	StrokeWidth float64
+	// Dashed draws a dashed outline.
+	Dashed bool
+}
+
+// LayerArt is one geometry group to draw.
+type LayerArt struct {
+	Name  string
+	Polys []geom.Polygon
+	Style Style
+}
+
+// ContourArt is one set of printed contours to draw.
+type ContourArt struct {
+	Name     string
+	Contours []resist.Contour
+	Style    Style
+}
+
+// Scene is the full drawing.
+type Scene struct {
+	Window   geom.Rect
+	Layers   []LayerArt
+	Contours []ContourArt
+}
+
+// Palette provides the default layer colors used by the tools.
+var Palette = []string{"#4878cf", "#e24a33", "#6acc65", "#d65f5f", "#956cb4", "#c4ad66"}
+
+// WriteSVG renders the scene. The SVG coordinate system is flipped so
+// +y points up, as in layout viewers.
+func (s Scene) WriteSVG(w io.Writer) error {
+	if s.Window.Empty() {
+		return fmt.Errorf("render: empty window")
+	}
+	width := s.Window.W()
+	height := s.Window.H()
+	if _, err := fmt.Fprintf(w,
+		`<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 %d %d" width="800" height="%d">`+"\n",
+		width, height, int64(800)*int64(height)/int64(width)); err != nil {
+		return err
+	}
+	// Flip y: svg y = window.Y1 - layout y.
+	fmt.Fprintf(w, `<g transform="translate(%d,%d) scale(1,-1)">`+"\n", -s.Window.X0, s.Window.Y1)
+	fmt.Fprintf(w, `<rect x="%d" y="%d" width="%d" height="%d" fill="white"/>`+"\n",
+		s.Window.X0, s.Window.Y0, width, height)
+
+	defWidth := float64(width) / 400
+	for _, l := range s.Layers {
+		fmt.Fprintf(w, `<g id=%q>`+"\n", "layer-"+l.Name)
+		for _, p := range l.Polys {
+			if !p.BBox().Touches(s.Window) {
+				continue
+			}
+			fmt.Fprint(w, `<polygon points="`)
+			for i, v := range p {
+				if i > 0 {
+					fmt.Fprint(w, " ")
+				}
+				fmt.Fprintf(w, "%d,%d", v.X, v.Y)
+			}
+			fmt.Fprintf(w, `" %s/>`+"\n", l.Style.attrs(defWidth))
+		}
+		fmt.Fprintln(w, "</g>")
+	}
+	for _, c := range s.Contours {
+		fmt.Fprintf(w, `<g id=%q>`+"\n", "contour-"+c.Name)
+		for _, loop := range c.Contours {
+			if len(loop) < 2 {
+				continue
+			}
+			fmt.Fprint(w, `<polygon points="`)
+			for i, v := range loop {
+				if i > 0 {
+					fmt.Fprint(w, " ")
+				}
+				fmt.Fprintf(w, "%.1f,%.1f", v.X, v.Y)
+			}
+			st := c.Style
+			if st.Fill == "" {
+				st.Fill = "none"
+			}
+			fmt.Fprintf(w, `" %s/>`+"\n", st.attrs(defWidth))
+		}
+		fmt.Fprintln(w, "</g>")
+	}
+	fmt.Fprintln(w, "</g>")
+	_, err := fmt.Fprintln(w, "</svg>")
+	return err
+}
+
+func (st Style) attrs(defWidth float64) string {
+	fill := st.Fill
+	if fill == "" {
+		fill = "none"
+	}
+	opacity := st.Opacity
+	if opacity == 0 {
+		opacity = 1
+	}
+	sw := st.StrokeWidth
+	if sw == 0 {
+		sw = defWidth
+	}
+	out := fmt.Sprintf(`fill=%q fill-opacity="%.2f"`, fill, opacity)
+	if st.Stroke != "" {
+		out += fmt.Sprintf(` stroke=%q stroke-width="%.1f"`, st.Stroke, sw)
+		if st.Dashed {
+			out += fmt.Sprintf(` stroke-dasharray="%.1f %.1f"`, 4*sw, 2*sw)
+		}
+	}
+	return out
+}
+
+// TargetMaskWafer builds the canonical OPC picture: drawn target
+// (filled), corrected mask (dashed outline), assists (light fill), and
+// the printed contour (solid line).
+func TargetMaskWafer(window geom.Rect, target, mask, srafs []geom.Polygon, contours []resist.Contour) Scene {
+	return Scene{
+		Window: window,
+		Layers: []LayerArt{
+			{Name: "target", Polys: target, Style: Style{Fill: "#b8c8e8", Opacity: 0.8}},
+			{Name: "mask", Polys: mask, Style: Style{Stroke: "#e24a33", Dashed: true}},
+			{Name: "sraf", Polys: srafs, Style: Style{Fill: "#f0d080", Opacity: 0.9}},
+		},
+		Contours: []ContourArt{
+			{Name: "wafer", Contours: contours, Style: Style{Stroke: "#2a7a2a"}},
+		},
+	}
+}

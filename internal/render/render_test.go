@@ -1,0 +1,113 @@
+package render
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"goopc/internal/geom"
+	"goopc/internal/resist"
+)
+
+func TestWriteSVGBasics(t *testing.T) {
+	scene := Scene{
+		Window: geom.R(0, 0, 1000, 500),
+		Layers: []LayerArt{{
+			Name:  "poly",
+			Polys: []geom.Polygon{geom.R(100, 100, 300, 400).Polygon()},
+			Style: Style{Fill: "#4878cf"},
+		}},
+		Contours: []ContourArt{{
+			Name: "wafer",
+			Contours: []resist.Contour{{
+				{X: 90, Y: 90}, {X: 310, Y: 90}, {X: 310, Y: 410}, {X: 90, Y: 410},
+			}},
+			Style: Style{Stroke: "#2a7a2a"},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := scene.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	svg := buf.String()
+	for _, want := range []string{
+		"<svg", "</svg>", `id="layer-poly"`, `id="contour-wafer"`,
+		"polygon", "#4878cf", "#2a7a2a", `scale(1,-1)`,
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// Valid-ish structure: balanced groups.
+	if strings.Count(svg, "<g") != strings.Count(svg, "</g>") {
+		t.Error("unbalanced groups")
+	}
+}
+
+func TestWriteSVGEmptyWindow(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (Scene{}).WriteSVG(&buf); err == nil {
+		t.Error("empty window should fail")
+	}
+}
+
+func TestWriteSVGClipsOutside(t *testing.T) {
+	scene := Scene{
+		Window: geom.R(0, 0, 100, 100),
+		Layers: []LayerArt{{
+			Name: "far",
+			Polys: []geom.Polygon{
+				geom.R(5000, 5000, 6000, 6000).Polygon(), // outside: skipped
+				geom.R(10, 10, 50, 50).Polygon(),
+			},
+			Style: Style{Fill: "red"},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := scene.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "5000,5000") {
+		t.Error("out-of-window polygon was drawn")
+	}
+	if !strings.Contains(buf.String(), "10,10") {
+		t.Error("in-window polygon missing")
+	}
+}
+
+func TestStyleAttrs(t *testing.T) {
+	s := Style{Fill: "blue", Stroke: "black", Dashed: true, StrokeWidth: 2}
+	a := s.attrs(1)
+	for _, want := range []string{`fill="blue"`, `stroke="black"`, "stroke-dasharray"} {
+		if !strings.Contains(a, want) {
+			t.Errorf("attrs missing %q in %q", want, a)
+		}
+	}
+	// Defaults.
+	d := Style{}.attrs(3)
+	if !strings.Contains(d, `fill="none"`) || !strings.Contains(d, `fill-opacity="1.00"`) {
+		t.Errorf("default attrs = %q", d)
+	}
+}
+
+func TestTargetMaskWafer(t *testing.T) {
+	scene := TargetMaskWafer(
+		geom.R(0, 0, 1000, 1000),
+		[]geom.Polygon{geom.R(100, 100, 300, 900).Polygon()},
+		[]geom.Polygon{geom.R(90, 90, 310, 910).Polygon()},
+		[]geom.Polygon{geom.R(500, 100, 560, 900).Polygon()},
+		[]resist.Contour{{{X: 95, Y: 95}, {X: 305, Y: 95}, {X: 305, Y: 905}}},
+	)
+	if len(scene.Layers) != 3 || len(scene.Contours) != 1 {
+		t.Fatalf("scene shape: %d layers %d contours", len(scene.Layers), len(scene.Contours))
+	}
+	var buf bytes.Buffer
+	if err := scene.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"layer-target", "layer-mask", "layer-sraf", "contour-wafer"} {
+		if !strings.Contains(buf.String(), id) {
+			t.Errorf("missing group %q", id)
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package resist
+
+import (
+	"math"
+
+	"goopc/internal/geom"
+	"goopc/internal/optics"
+)
+
+// FPoint is a sub-pixel contour vertex in nm coordinates.
+type FPoint struct {
+	X, Y float64
+}
+
+// Contour is one closed printed-edge loop extracted from an aerial
+// image at a threshold.
+type Contour []FPoint
+
+// Len returns the perimeter length of the contour in nm.
+func (c Contour) Len() float64 {
+	var s float64
+	for i := range c {
+		a, b := c[i], c[(i+1)%len(c)]
+		s += math.Hypot(b.X-a.X, b.Y-a.Y)
+	}
+	return s
+}
+
+// BBox returns the contour bounding box.
+func (c Contour) BBox() (x0, y0, x1, y1 float64) {
+	x0, y0 = math.Inf(1), math.Inf(1)
+	x1, y1 = math.Inf(-1), math.Inf(-1)
+	for _, p := range c {
+		x0 = math.Min(x0, p.X)
+		y0 = math.Min(y0, p.Y)
+		x1 = math.Max(x1, p.X)
+		y1 = math.Max(y1, p.Y)
+	}
+	return
+}
+
+// Contours extracts the threshold iso-lines of the image within the
+// window using marching squares with linear interpolation. Segments are
+// chained into closed loops; loops cut off by the window border are
+// closed along the border walk order and may be slightly open — callers
+// using contours for metrology should size the window generously.
+func Contours(im *optics.Image, th float64, window geom.Rect) []Contour {
+	f := im.Frame
+	ix0 := int((float64(window.X0) - f.OriginX) / f.PixelNM)
+	ix1 := int((float64(window.X1)-f.OriginX)/f.PixelNM + 1)
+	iy0 := int((float64(window.Y0) - f.OriginY) / f.PixelNM)
+	iy1 := int((float64(window.Y1)-f.OriginY)/f.PixelNM + 1)
+	if ix0 < 0 {
+		ix0 = 0
+	}
+	if iy0 < 0 {
+		iy0 = 0
+	}
+	if ix1 > f.W-2 {
+		ix1 = f.W - 2
+	}
+	if iy1 > f.H-2 {
+		iy1 = f.H - 2
+	}
+	if ix1 < ix0 || iy1 < iy0 {
+		return nil
+	}
+
+	// Each marching-squares cell contributes 0..2 segments with
+	// endpoints on cell edges. Key endpoints by (edge id) so loops can
+	// be chained exactly.
+	type ptKey struct {
+		// Edge identified by its low cell corner and axis: horizontal
+		// edges (axis 0) run from (x,y) to (x+1,y); vertical (axis 1)
+		// from (x,y) to (x,y+1).
+		x, y, axis int
+	}
+	type segment struct{ a, b ptKey }
+	pos := map[ptKey]FPoint{}
+	var segs []segment
+
+	val := func(x, y int) float64 { return im.I[y*f.W+x] }
+	interp := func(x0f, y0f, v0, x1f, y1f, v1 float64) FPoint {
+		t := 0.5
+		if v1 != v0 {
+			t = (th - v0) / (v1 - v0)
+		}
+		if t < 0 {
+			t = 0
+		} else if t > 1 {
+			t = 1
+		}
+		return FPoint{x0f + (x1f-x0f)*t, y0f + (y1f-y0f)*t}
+	}
+
+	for cy := iy0; cy <= iy1; cy++ {
+		for cx := ix0; cx <= ix1; cx++ {
+			v00 := val(cx, cy)
+			v10 := val(cx+1, cy)
+			v01 := val(cx, cy+1)
+			v11 := val(cx+1, cy+1)
+			var code int
+			if v00 >= th {
+				code |= 1
+			}
+			if v10 >= th {
+				code |= 2
+			}
+			if v11 >= th {
+				code |= 4
+			}
+			if v01 >= th {
+				code |= 8
+			}
+			if code == 0 || code == 15 {
+				continue
+			}
+			px := func(ix int) float64 { return f.OriginX + float64(ix)*f.PixelNM }
+			py := func(iy int) float64 { return f.OriginY + float64(iy)*f.PixelNM }
+			// Edge crossing points.
+			bottom := ptKey{cx, cy, 0}
+			top := ptKey{cx, cy + 1, 0}
+			left := ptKey{cx, cy, 1}
+			right := ptKey{cx + 1, cy, 1}
+			setPt := func(k ptKey, p FPoint) { pos[k] = p }
+			switch code {
+			case 1, 14:
+				setPt(bottom, interp(px(cx), py(cy), v00, px(cx+1), py(cy), v10))
+				setPt(left, interp(px(cx), py(cy), v00, px(cx), py(cy+1), v01))
+				segs = append(segs, segment{bottom, left})
+			case 2, 13:
+				setPt(bottom, interp(px(cx), py(cy), v00, px(cx+1), py(cy), v10))
+				setPt(right, interp(px(cx+1), py(cy), v10, px(cx+1), py(cy+1), v11))
+				segs = append(segs, segment{bottom, right})
+			case 4, 11:
+				setPt(right, interp(px(cx+1), py(cy), v10, px(cx+1), py(cy+1), v11))
+				setPt(top, interp(px(cx), py(cy+1), v01, px(cx+1), py(cy+1), v11))
+				segs = append(segs, segment{right, top})
+			case 8, 7:
+				setPt(left, interp(px(cx), py(cy), v00, px(cx), py(cy+1), v01))
+				setPt(top, interp(px(cx), py(cy+1), v01, px(cx+1), py(cy+1), v11))
+				segs = append(segs, segment{left, top})
+			case 3, 12:
+				setPt(left, interp(px(cx), py(cy), v00, px(cx), py(cy+1), v01))
+				setPt(right, interp(px(cx+1), py(cy), v10, px(cx+1), py(cy+1), v11))
+				segs = append(segs, segment{left, right})
+			case 6, 9:
+				setPt(bottom, interp(px(cx), py(cy), v00, px(cx+1), py(cy), v10))
+				setPt(top, interp(px(cx), py(cy+1), v01, px(cx+1), py(cy+1), v11))
+				segs = append(segs, segment{bottom, top})
+			case 5, 10:
+				// Saddle: resolve by the cell-center average.
+				avg := (v00 + v10 + v01 + v11) / 4
+				setPt(bottom, interp(px(cx), py(cy), v00, px(cx+1), py(cy), v10))
+				setPt(top, interp(px(cx), py(cy+1), v01, px(cx+1), py(cy+1), v11))
+				setPt(left, interp(px(cx), py(cy), v00, px(cx), py(cy+1), v01))
+				setPt(right, interp(px(cx+1), py(cy), v10, px(cx+1), py(cy+1), v11))
+				if (code == 5) == (avg >= th) {
+					segs = append(segs, segment{bottom, right}, segment{left, top})
+				} else {
+					segs = append(segs, segment{bottom, left}, segment{right, top})
+				}
+			}
+		}
+	}
+
+	// Chain segments into loops via endpoint adjacency.
+	adj := map[ptKey][]int{}
+	for i, s := range segs {
+		adj[s.a] = append(adj[s.a], i)
+		adj[s.b] = append(adj[s.b], i)
+	}
+	used := make([]bool, len(segs))
+	var loops []Contour
+	for start := range segs {
+		if used[start] {
+			continue
+		}
+		used[start] = true
+		loop := []ptKey{segs[start].a, segs[start].b}
+		for {
+			cur := loop[len(loop)-1]
+			var next = -1
+			for _, si := range adj[cur] {
+				if !used[si] {
+					next = si
+					break
+				}
+			}
+			if next == -1 {
+				break
+			}
+			used[next] = true
+			if segs[next].a == cur {
+				loop = append(loop, segs[next].b)
+			} else {
+				loop = append(loop, segs[next].a)
+			}
+		}
+		if len(loop) >= 3 {
+			c := make(Contour, 0, len(loop))
+			// Drop the duplicated closing vertex when the loop closed.
+			if loop[0] == loop[len(loop)-1] {
+				loop = loop[:len(loop)-1]
+			}
+			for _, k := range loop {
+				c = append(c, pos[k])
+			}
+			loops = append(loops, c)
+		}
+	}
+	return loops
+}

@@ -1,0 +1,180 @@
+// Package resist turns aerial images into printed geometry: constant-
+// and diffused-threshold resist models, dose-to-size calibration,
+// threshold-contour extraction (marching squares), and the CD / gap /
+// edge-placement measurements the OPC loop and the verification engine
+// are built on.
+//
+// Polarity convention: with a bright-field mask and positive resist the
+// printed feature is the *dark* region of the aerial image (intensity
+// below the threshold). All measurement helpers take the threshold
+// explicitly so dark-field layers work the same way with the roles of
+// inside/outside exchanged by the caller.
+package resist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"goopc/internal/optics"
+)
+
+// Model is the resist response: an intensity threshold after optional
+// acid-diffusion blur, with dose entering as a divisor on the threshold.
+type Model struct {
+	// Threshold is the develop threshold at nominal dose, on the
+	// clear-field = 1.0 intensity scale.
+	Threshold float64
+	// Dose is the relative exposure dose (1.0 nominal). Doubling the
+	// dose halves the effective threshold.
+	Dose float64
+	// DiffusionNM blurs the image with a Gaussian of this sigma before
+	// thresholding (0 = pure constant-threshold resist).
+	DiffusionNM float64
+}
+
+// DefaultModel returns a constant-threshold resist at 30% clear field.
+func DefaultModel() Model { return Model{Threshold: 0.30, Dose: 1.0} }
+
+// Effective returns the dose-scaled threshold.
+func (m Model) Effective() float64 {
+	d := m.Dose
+	if d == 0 {
+		d = 1
+	}
+	return m.Threshold / d
+}
+
+// Apply returns the image the model thresholds: the input unchanged for
+// a constant-threshold model, or a diffused copy.
+func (m Model) Apply(im *optics.Image) *optics.Image {
+	if m.DiffusionNM <= 0 {
+		return im
+	}
+	return Blur(im, m.DiffusionNM)
+}
+
+// Blur returns a copy of the image convolved with a Gaussian of the
+// given sigma (nm), using a separable kernel truncated at 3 sigma.
+func Blur(im *optics.Image, sigmaNM float64) *optics.Image {
+	f := im.Frame
+	sigmaPx := sigmaNM / f.PixelNM
+	radius := int(math.Ceil(3 * sigmaPx))
+	if radius < 1 {
+		radius = 1
+	}
+	kernel := make([]float64, 2*radius+1)
+	var sum float64
+	for i := range kernel {
+		x := float64(i - radius)
+		kernel[i] = math.Exp(-x * x / (2 * sigmaPx * sigmaPx))
+		sum += kernel[i]
+	}
+	for i := range kernel {
+		kernel[i] /= sum
+	}
+	tmp := make([]float64, len(im.I))
+	out := make([]float64, len(im.I))
+	// Rows.
+	for y := 0; y < f.H; y++ {
+		row := im.I[y*f.W : (y+1)*f.W]
+		dst := tmp[y*f.W : (y+1)*f.W]
+		for x := 0; x < f.W; x++ {
+			var v float64
+			for k, w := range kernel {
+				xx := x + k - radius
+				if xx < 0 {
+					xx = 0
+				} else if xx >= f.W {
+					xx = f.W - 1
+				}
+				v += w * row[xx]
+			}
+			dst[x] = v
+		}
+	}
+	// Columns.
+	for x := 0; x < f.W; x++ {
+		for y := 0; y < f.H; y++ {
+			var v float64
+			for k, w := range kernel {
+				yy := y + k - radius
+				if yy < 0 {
+					yy = 0
+				} else if yy >= f.H {
+					yy = f.H - 1
+				}
+				v += w * tmp[yy*f.W+x]
+			}
+			out[y*f.W+x] = v
+		}
+	}
+	return &optics.Image{Frame: f, Window: im.Window, I: out}
+}
+
+// ErrNoEdge is returned when a measurement cannot find the expected
+// threshold crossings.
+var ErrNoEdge = errors.New("resist: no threshold crossing found")
+
+// MeasureCD measures the printed width of a dark feature: from a point
+// inside the feature, walk both ways along the cut direction to the
+// threshold crossings. Returns the CD in nm.
+func MeasureCD(im *optics.Image, th float64, cx, cy float64, horizontal bool, maxDist float64) (float64, error) {
+	dx, dy := 1.0, 0.0
+	if !horizontal {
+		dx, dy = 0.0, 1.0
+	}
+	if im.At(cx, cy) >= th {
+		return 0, fmt.Errorf("%w: start point (%.0f,%.0f) not inside a dark feature (I=%.3f >= %.3f)",
+			ErrNoEdge, cx, cy, im.At(cx, cy), th)
+	}
+	dPlus, ok1 := im.FindCrossing(cx, cy, dx, dy, th, maxDist)
+	dMinus, ok2 := im.FindCrossing(cx, cy, -dx, -dy, th, maxDist)
+	if !ok1 || !ok2 {
+		return 0, fmt.Errorf("%w: cut at (%.0f,%.0f)", ErrNoEdge, cx, cy)
+	}
+	return dPlus + dMinus, nil
+}
+
+// MeasureGap measures the printed space between two dark features: from
+// a point inside the bright gap, walk both ways to the crossings.
+func MeasureGap(im *optics.Image, th float64, cx, cy float64, horizontal bool, maxDist float64) (float64, error) {
+	dx, dy := 1.0, 0.0
+	if !horizontal {
+		dx, dy = 0.0, 1.0
+	}
+	if im.At(cx, cy) < th {
+		return 0, fmt.Errorf("%w: start point (%.0f,%.0f) not inside a gap (I=%.3f < %.3f)",
+			ErrNoEdge, cx, cy, im.At(cx, cy), th)
+	}
+	dPlus, ok1 := im.FindCrossing(cx, cy, dx, dy, th, maxDist)
+	dMinus, ok2 := im.FindCrossing(cx, cy, -dx, -dy, th, maxDist)
+	if !ok1 || !ok2 {
+		return 0, fmt.Errorf("%w: gap cut at (%.0f,%.0f)", ErrNoEdge, cx, cy)
+	}
+	return dPlus + dMinus, nil
+}
+
+// EPE returns the signed edge placement error at a drawn edge point:
+// the distance from the drawn edge to the printed contour along the
+// outward normal (nx, ny). Positive means the printed feature extends
+// beyond the drawn edge; negative means it falls short. maxDist bounds
+// the search each way.
+func EPE(im *optics.Image, th float64, ex, ey, nx, ny, maxDist float64) (float64, error) {
+	v := im.At(ex, ey)
+	if v < th {
+		// Edge point is inside the printed (dark) feature: contour lies
+		// outward.
+		d, ok := im.FindCrossing(ex, ey, nx, ny, th, maxDist)
+		if !ok {
+			return 0, fmt.Errorf("%w: EPE outward at (%.0f,%.0f)", ErrNoEdge, ex, ey)
+		}
+		return d, nil
+	}
+	// Edge point prints bright: contour lies inward (negative EPE).
+	d, ok := im.FindCrossing(ex, ey, -nx, -ny, th, maxDist)
+	if !ok {
+		return 0, fmt.Errorf("%w: EPE inward at (%.0f,%.0f)", ErrNoEdge, ex, ey)
+	}
+	return -d, nil
+}

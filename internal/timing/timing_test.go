@@ -1,0 +1,154 @@
+package timing
+
+import (
+	"math"
+	"testing"
+
+	"goopc/internal/geom"
+	"goopc/internal/layout"
+	"goopc/internal/layout/gen"
+	"goopc/internal/optics"
+	"goopc/internal/resist"
+)
+
+func TestDeviceModels(t *testing.T) {
+	d := Device180()
+	// Nominal length: factors are exactly 1.
+	if f := d.DelayFactor(180); math.Abs(f-1) > 1e-12 {
+		t.Errorf("nominal delay = %f", f)
+	}
+	if f := d.LeakageFactor(180); math.Abs(f-1) > 1e-12 {
+		t.Errorf("nominal leakage = %f", f)
+	}
+	// Longer gate: slower, less leaky.
+	if d.DelayFactor(200) <= 1 {
+		t.Error("longer gate should be slower")
+	}
+	if d.LeakageFactor(200) >= 1 {
+		t.Error("longer gate should leak less")
+	}
+	// Shorter gate: faster but exponentially leakier.
+	if d.DelayFactor(160) >= 1 {
+		t.Error("shorter gate should be faster")
+	}
+	if d.LeakageFactor(160) < 2 {
+		t.Errorf("18 nm shorter should leak >2x, got %f", d.LeakageFactor(160))
+	}
+	// Degenerate input.
+	if !math.IsInf(d.DelayFactor(0), 1) {
+		t.Error("zero length should be infinite delay")
+	}
+}
+
+func TestExtractGates(t *testing.T) {
+	// One vertical poly line crossing a horizontal active stripe.
+	poly := []geom.Polygon{geom.R(1000, 0, 1180, 3000).Polygon()}
+	active := []geom.Polygon{geom.R(0, 1000, 3000, 1660).Polygon()}
+	gates := ExtractGates(poly, active, 400)
+	if len(gates) != 1 {
+		t.Fatalf("gates = %d", len(gates))
+	}
+	g := gates[0]
+	if g.DrawnL != 180 || !g.CutHorizontal {
+		t.Errorf("gate = %+v", g)
+	}
+	if g.Channel != geom.R(1000, 1000, 1180, 1660) {
+		t.Errorf("channel = %v", g.Channel)
+	}
+	// A wide pad crossing active is rejected by maxL.
+	pad := []geom.Polygon{geom.R(0, 0, 800, 3000).Polygon()}
+	if gs := ExtractGates(pad, active, 400); len(gs) != 0 {
+		t.Errorf("pad extracted as gate: %v", gs)
+	}
+}
+
+func TestExtractGatesFromLibraryCell(t *testing.T) {
+	ly := layout.New("t")
+	lib, err := gen.BuildCellLib(ly, gen.Tech180())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nand := lib.Cell("NAND2X1")
+	gates := ExtractGates(nand.Shapes[layout.Poly], nand.Shapes[layout.Active], 400)
+	// Two gate fingers crossing two actives = 4 channels.
+	if len(gates) != 4 {
+		t.Fatalf("NAND2 gates = %d, want 4", len(gates))
+	}
+	for _, g := range gates {
+		if g.DrawnL != 180 {
+			t.Errorf("drawn L = %d", g.DrawnL)
+		}
+	}
+}
+
+func TestMeasureAndAggregate(t *testing.T) {
+	s := optics.Default()
+	s.SourceSteps = 5
+	s.GuardNM = 1200
+	sim, err := optics.New(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := resist.CalibrateThreshold(sim, 250, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ly := layout.New("t")
+	lib, err := gen.BuildCellLib(ly, gen.Tech180())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv := lib.Cell("INVX1")
+	poly := inv.Shapes[layout.Poly]
+	active := inv.Shapes[layout.Active]
+	gates := ExtractGates(poly, active, 400)
+	if len(gates) != 2 {
+		t.Fatalf("INV gates = %d", len(gates))
+	}
+	results, err := MeasureGates(sim, th, poly, gates, Device180())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Aggregate(results)
+	if st.Gates != 2 || st.Failed != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// The printed gate length must be within tens of nm of drawn
+	// (uncorrected at dense calibration misprints but still prints).
+	if st.MeanL < 120 || st.MeanL > 240 {
+		t.Errorf("mean printed L = %.1f", st.MeanL)
+	}
+	if st.WorstDelay < 0.5 || st.WorstDelay > 2 {
+		t.Errorf("worst delay factor = %.2f", st.WorstDelay)
+	}
+	if st.MeanLeakage <= 0 {
+		t.Errorf("mean leakage = %f", st.MeanLeakage)
+	}
+}
+
+func TestAggregateWithFailures(t *testing.T) {
+	results := []GateResult{
+		{PrintedL: 180, Delay: 1, Leakage: 1},
+		{PrintedL: math.NaN()},
+		{PrintedL: 190, Delay: 1.07, Leakage: 0.6},
+	}
+	st := Aggregate(results)
+	if st.Gates != 3 || st.Failed != 1 {
+		t.Errorf("stats: %+v", st)
+	}
+	if math.Abs(st.MeanL-185) > 1e-9 {
+		t.Errorf("meanL = %f", st.MeanL)
+	}
+	if st.SigmaL != 5 {
+		t.Errorf("sigmaL = %f", st.SigmaL)
+	}
+	if st.WorstDelay != 1.07 || st.WorstLeakage != 1 {
+		t.Errorf("worst: %+v", st)
+	}
+}
+
+func TestMeasureGatesEmpty(t *testing.T) {
+	if _, err := MeasureGates(nil, 0.3, nil, nil, Device180()); err == nil {
+		t.Error("no gates should error")
+	}
+}

@@ -1,0 +1,144 @@
+// Package yield estimates parametric yield under process variation:
+// focus and dose are sampled from Gaussians, printed CDs are evaluated
+// on a precomputed exposure–defocus response surface (bilinear
+// interpolation over the orc process-window matrix), and a die is
+// counted good when every monitored site stays within its CD spec.
+// This converts the process-window pictures into the single number a
+// fab manager asked for — and shows what OPC adoption bought in yield.
+package yield
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"goopc/internal/orc"
+)
+
+// Variation is the assumed process noise.
+type Variation struct {
+	// FocusSigmaNM is the focus standard deviation (nm).
+	FocusSigmaNM float64
+	// DoseSigma is the relative dose standard deviation (e.g. 0.02).
+	DoseSigma float64
+	// Samples is the Monte Carlo sample count.
+	Samples int
+	// Seed drives the sampler.
+	Seed int64
+}
+
+// DefaultVariation models a well-run 2001 fab: 120 nm focus sigma,
+// 1.5% dose sigma.
+func DefaultVariation() Variation {
+	return Variation{FocusSigmaNM: 120, DoseSigma: 0.015, Samples: 5000, Seed: 1}
+}
+
+// Result is the Monte Carlo outcome.
+type Result struct {
+	Samples int
+	Good    int
+	// Yield is Good/Samples.
+	Yield float64
+	// CPDist holds per-site printed-CD statistics over the good+bad
+	// population (NaN CDs from failed prints excluded).
+	SiteStats []SiteStat
+}
+
+// SiteStat is the CD distribution of one monitor.
+type SiteStat struct {
+	Name         string
+	Mean, Sigma  float64
+	FailedPrints int
+}
+
+// Estimate runs the Monte Carlo against a precomputed process-window
+// surface. The surface must cover the sampled range: the focus grid
+// should span roughly +-3 focus sigma and the dose grid +-3 dose
+// sigma, or samples will clamp to the boundary (a warning-free,
+// conservative treatment).
+func Estimate(pw *orc.PWResult, v Variation) (Result, error) {
+	if v.Samples < 1 {
+		return Result{}, fmt.Errorf("yield: need samples")
+	}
+	if len(pw.Focuses) < 2 || len(pw.Doses) < 2 {
+		return Result{}, fmt.Errorf("yield: surface needs >=2 focuses and doses")
+	}
+	if !sort.Float64sAreSorted(pw.Focuses) || !sort.Float64sAreSorted(pw.Doses) {
+		return Result{}, fmt.Errorf("yield: surface axes must be ascending")
+	}
+	rng := rand.New(rand.NewSource(v.Seed))
+	res := Result{Samples: v.Samples}
+	nSites := len(pw.Sites)
+	sums := make([]float64, nSites)
+	sums2 := make([]float64, nSites)
+	counts := make([]int, nSites)
+	fails := make([]int, nSites)
+
+	for s := 0; s < v.Samples; s++ {
+		focus := rng.NormFloat64() * v.FocusSigmaNM
+		dose := 1 + rng.NormFloat64()*v.DoseSigma
+		good := true
+		for si, site := range pw.Sites {
+			cd := interp2(pw, si, focus, dose)
+			if math.IsNaN(cd) {
+				fails[si]++
+				good = false
+				continue
+			}
+			sums[si] += cd
+			sums2[si] += cd * cd
+			counts[si]++
+			if math.Abs(cd-site.TargetCD) > site.TolFrac*site.TargetCD {
+				good = false
+			}
+		}
+		if good {
+			res.Good++
+		}
+	}
+	res.Yield = float64(res.Good) / float64(res.Samples)
+	for si, site := range pw.Sites {
+		st := SiteStat{Name: site.Name, FailedPrints: fails[si]}
+		if counts[si] > 0 {
+			st.Mean = sums[si] / float64(counts[si])
+			varr := sums2[si]/float64(counts[si]) - st.Mean*st.Mean
+			if varr > 0 {
+				st.Sigma = math.Sqrt(varr)
+			}
+		}
+		res.SiteStats = append(res.SiteStats, st)
+	}
+	return res, nil
+}
+
+// interp2 bilinearly interpolates the CD surface of one site, clamping
+// outside the grid. NaN cells (failed prints) poison the interpolation,
+// correctly propagating "does not print" into the sample.
+func interp2(pw *orc.PWResult, site int, focus, dose float64) float64 {
+	fi, ft := locate(pw.Focuses, focus)
+	di, dt := locate(pw.Doses, dose)
+	c00 := pw.CD[site][fi][di]
+	c10 := pw.CD[site][fi+1][di]
+	c01 := pw.CD[site][fi][di+1]
+	c11 := pw.CD[site][fi+1][di+1]
+	return c00*(1-ft)*(1-dt) + c10*ft*(1-dt) + c01*(1-ft)*dt + c11*ft*dt
+}
+
+// locate finds the cell index and fraction for value v on an ascending
+// axis, clamped to the grid.
+func locate(axis []float64, v float64) (int, float64) {
+	if v <= axis[0] {
+		return 0, 0
+	}
+	last := len(axis) - 1
+	if v >= axis[last] {
+		return last - 1, 1
+	}
+	i := sort.SearchFloat64s(axis, v) - 1
+	if i < 0 {
+		i = 0
+	}
+	t := (v - axis[i]) / (axis[i+1] - axis[i])
+	return i, t
+}

@@ -1,0 +1,131 @@
+package yield
+
+import (
+	"math"
+	"testing"
+
+	"goopc/internal/orc"
+)
+
+// syntheticSurface builds a PWResult with an analytic CD model:
+// CD = 180 + a*(focus/100)^2 - b*(dose-1)*1000, so yield behavior is
+// predictable.
+func syntheticSurface(a, b float64) *orc.PWResult {
+	focuses := []float64{-600, -400, -200, 0, 200, 400, 600}
+	doses := []float64{0.90, 0.94, 0.98, 1.02, 1.06, 1.10}
+	sites := []orc.PWSite{{Name: "s", TargetCD: 180, TolFrac: 0.10}}
+	pw := &orc.PWResult{Focuses: focuses, Doses: doses, Sites: sites}
+	pw.CD = make([][][]float64, 1)
+	pw.CD[0] = make([][]float64, len(focuses))
+	for f, focus := range focuses {
+		pw.CD[0][f] = make([]float64, len(doses))
+		for d, dose := range doses {
+			pw.CD[0][f][d] = 180 + a*(focus/100)*(focus/100) - b*(dose-1)*1000
+		}
+	}
+	return pw
+}
+
+func TestEstimateTightProcessYieldsHigh(t *testing.T) {
+	pw := syntheticSurface(0.5, 0.2) // gentle response
+	v := Variation{FocusSigmaNM: 80, DoseSigma: 0.01, Samples: 20000, Seed: 42}
+	res, err := Estimate(pw, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Yield < 0.99 {
+		t.Errorf("gentle surface yield = %.3f, want ~1", res.Yield)
+	}
+	st := res.SiteStats[0]
+	if math.Abs(st.Mean-180) > 2 {
+		t.Errorf("mean CD = %.1f", st.Mean)
+	}
+	if st.Sigma <= 0 || st.Sigma > 6 {
+		t.Errorf("sigma = %.2f", st.Sigma)
+	}
+}
+
+func TestEstimateSteepProcessYieldsLow(t *testing.T) {
+	steep := syntheticSurface(3.0, 2.0) // strong focus/dose response
+	v := Variation{FocusSigmaNM: 200, DoseSigma: 0.03, Samples: 20000, Seed: 42}
+	resSteep, err := Estimate(steep, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gentle := syntheticSurface(0.5, 0.2)
+	resGentle, err := Estimate(gentle, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resSteep.Yield >= resGentle.Yield {
+		t.Errorf("steep surface should yield less: %.3f vs %.3f", resSteep.Yield, resGentle.Yield)
+	}
+	if resSteep.Yield > 0.95 {
+		t.Errorf("steep yield = %.3f, expected loss", resSteep.Yield)
+	}
+}
+
+func TestEstimateNaNPropagates(t *testing.T) {
+	pw := syntheticSurface(0.5, 0.2)
+	// Poison the extreme focus rows: features vanish there.
+	for d := range pw.Doses {
+		pw.CD[0][0][d] = math.NaN()
+		pw.CD[0][len(pw.Focuses)-1][d] = math.NaN()
+	}
+	v := Variation{FocusSigmaNM: 400, DoseSigma: 0.01, Samples: 20000, Seed: 7}
+	res, err := Estimate(pw, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SiteStats[0].FailedPrints == 0 {
+		t.Error("wide focus distribution should hit the poisoned rows")
+	}
+	if res.Yield >= 1 {
+		t.Error("failed prints must cost yield")
+	}
+}
+
+func TestEstimateDeterministic(t *testing.T) {
+	pw := syntheticSurface(1, 1)
+	v := DefaultVariation()
+	v.Samples = 2000
+	a, err := Estimate(pw, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Estimate(pw, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Yield != b.Yield || a.Good != b.Good {
+		t.Error("same seed must reproduce")
+	}
+}
+
+func TestEstimateValidation(t *testing.T) {
+	pw := syntheticSurface(1, 1)
+	if _, err := Estimate(pw, Variation{Samples: 0}); err == nil {
+		t.Error("zero samples should fail")
+	}
+	bad := &orc.PWResult{Focuses: []float64{0}, Doses: []float64{1, 1.1}}
+	if _, err := Estimate(bad, DefaultVariation()); err == nil {
+		t.Error("single focus should fail")
+	}
+}
+
+func TestLocate(t *testing.T) {
+	axis := []float64{-100, 0, 100}
+	// Invariant: the (cell, fraction) pair reconstructs the clamped
+	// value and stays in range.
+	for _, v := range []float64{-200, -100, -50, 0, 50, 100, 300} {
+		i, tt := locate(axis, v)
+		if i < 0 || i >= len(axis)-1 || tt < 0 || tt > 1 {
+			t.Fatalf("locate(%v) = %d,%f out of range", v, i, tt)
+		}
+		got := axis[i]*(1-tt) + axis[i+1]*tt
+		want := math.Max(axis[0], math.Min(axis[len(axis)-1], v))
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("locate(%v) reconstructs %f, want %f", v, got, want)
+		}
+	}
+}
