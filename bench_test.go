@@ -93,6 +93,7 @@ func BenchmarkFFT2D256(b *testing.B) {
 	for i := range g.Data {
 		g.Data[i] = complex(float64(i%17), 0)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c := g.Clone()
@@ -102,10 +103,37 @@ func BenchmarkFFT2D256(b *testing.B) {
 	}
 }
 
-func BenchmarkAerialImage(b *testing.B) {
+// BenchmarkFFT2D256Planned is the same transform through a reusable
+// Plan2D and the grid pool: no per-call allocation, table twiddles.
+func BenchmarkFFT2D256Planned(b *testing.B) {
+	g := fft.NewGrid(256, 256)
+	for i := range g.Data {
+		g.Data[i] = complex(float64(i%17), 0)
+	}
+	plan, err := fft.NewPlan2D(256, 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan.Workers = 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := fft.GetGrid(256, 256)
+		copy(c.Data, g.Data)
+		if err := plan.Forward2DP(c); err != nil {
+			b.Fatal(err)
+		}
+		fft.PutGrid(c)
+	}
+}
+
+func benchAerial(b *testing.B, engine optics.Engine, parallel bool) {
+	b.Helper()
 	s := optics.Default()
 	s.SourceSteps = 5
 	s.GuardNM = 1200
+	s.Engine = engine
+	s.Parallel = parallel
 	sim, err := optics.New(s)
 	if err != nil {
 		b.Fatal(err)
@@ -116,6 +144,11 @@ func BenchmarkAerialImage(b *testing.B) {
 		mask = append(mask, geom.R(x-90, -2000, x+90, 2000).Polygon())
 	}
 	window := geom.R(-800, -400, 800, 400)
+	// Warm the kernel cache: steady-state simulation cost is the metric.
+	if _, err := sim.Aerial(mask, window); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := sim.Aerial(mask, window); err != nil {
@@ -123,6 +156,13 @@ func BenchmarkAerialImage(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkAerialImage is the historical name: the default engine
+// (SOCS, serial) at equal source sampling to the Abbe variants below.
+func BenchmarkAerialImage(b *testing.B)             { benchAerial(b, optics.EngineSOCS, false) }
+func BenchmarkAerialImageSOCSParallel(b *testing.B) { benchAerial(b, optics.EngineSOCS, true) }
+func BenchmarkAerialImageAbbe(b *testing.B)         { benchAerial(b, optics.EngineAbbe, false) }
+func BenchmarkAerialImageAbbeParallel(b *testing.B) { benchAerial(b, optics.EngineAbbe, true) }
 
 func BenchmarkFractureStdCellBlock(b *testing.B) {
 	ly := layout.New("bench")

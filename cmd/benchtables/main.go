@@ -6,6 +6,7 @@
 //
 //	benchtables            # run everything (several minutes)
 //	benchtables -exp T1    # one experiment: T1 T2 T3 T4 F1 F2 F3 F4 F5 F6
+//	benchtables -exp T2 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -13,6 +14,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 )
@@ -56,8 +59,43 @@ func p[T printable](res T, err error) func(io.Writer) error {
 }
 
 func main() {
+	os.Exit(run())
+}
+
+// run carries the real main so profile-flushing defers execute before
+// the process exits (os.Exit skips defers).
+func run() int {
 	exp := flag.String("exp", "all", "experiment id (T1..T4, F1..F6) or 'all'")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtables: cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtables: cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchtables: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the heap profile is current
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "benchtables: memprofile: %v\n", err)
+			}
+		}()
+	}
 	cfg := experiments.Default()
 	exitCode := 0
 	for _, r := range all {
@@ -71,5 +109,5 @@ func main() {
 		}
 		fmt.Printf("[%s completed in %.1fs]\n\n", r.name, time.Since(t0).Seconds())
 	}
-	os.Exit(exitCode)
+	return exitCode
 }

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sync"
 )
 
 // IsPow2 reports whether n is a positive power of two.
@@ -36,6 +37,26 @@ func Inverse(x []complex128) error {
 	return nil
 }
 
+// twiddleCache memoizes per-size twiddle tables: for size n the table
+// holds exp(-2*pi*i*k/n) for k < n/2, which covers every butterfly stage
+// of a size-n transform (stage size s reads the table at stride n/s).
+var twiddleCache sync.Map // int -> []complex128
+
+// twiddles returns the forward twiddle table for size n, building and
+// caching it on first use.
+func twiddles(n int) []complex128 {
+	if v, ok := twiddleCache.Load(n); ok {
+		return v.([]complex128)
+	}
+	tw := make([]complex128, n/2)
+	for k := range tw {
+		ang := -2 * math.Pi * float64(k) / float64(n)
+		tw[k] = complex(math.Cos(ang), math.Sin(ang))
+	}
+	v, _ := twiddleCache.LoadOrStore(n, tw)
+	return v.([]complex128)
+}
+
 func transform(x []complex128, invert bool) error {
 	n := len(x)
 	if !IsPow2(n) {
@@ -44,6 +65,17 @@ func transform(x []complex128, invert bool) error {
 	if n == 1 {
 		return nil
 	}
+	transformT(x, invert, twiddles(n))
+	return nil
+}
+
+// transformT is the in-place radix-2 butterfly pass over a power-of-two
+// slice using a precomputed twiddle table for len(x). Every twiddle is
+// read directly from the table rather than accumulated by repeated
+// multiplication, so rounding error stays at table precision regardless
+// of transform length.
+func transformT(x []complex128, invert bool, tw []complex128) {
+	n := len(x)
 	// Bit-reversal permutation.
 	shift := bits.UintSize - uint(bits.Len(uint(n-1)))
 	for i := 0; i < n; i++ {
@@ -54,24 +86,23 @@ func transform(x []complex128, invert bool) error {
 	}
 	// Iterative Cooley-Tukey butterflies.
 	for size := 2; size <= n; size <<= 1 {
-		ang := 2 * math.Pi / float64(size)
-		if !invert {
-			ang = -ang
-		}
-		wStep := complex(math.Cos(ang), math.Sin(ang))
 		half := size / 2
+		stride := n / size
 		for start := 0; start < n; start += size {
-			w := complex(1, 0)
+			ti := 0
 			for k := 0; k < half; k++ {
+				w := tw[ti]
+				if invert {
+					w = complex(real(w), -imag(w))
+				}
 				a := x[start+k]
 				b := x[start+k+half] * w
 				x[start+k] = a + b
 				x[start+k+half] = a - b
-				w *= wStep
+				ti += stride
 			}
 		}
 	}
-	return nil
 }
 
 // Grid is a 2-D complex field stored row-major, sized W x H (both powers

@@ -215,6 +215,136 @@ func TestGrid2DSeparableTone(t *testing.T) {
 	}
 }
 
+func TestLongTransformMatchesDirectDFT(t *testing.T) {
+	// The scalar path reads precomputed twiddle tables instead of
+	// accumulating w *= wStep across the butterfly, so even a long
+	// transform must track a direct DFT to near machine precision.
+	n := 4096
+	rng := rand.New(rand.NewSource(7))
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	want := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for j := 0; j < n; j++ {
+			ang := -2 * math.Pi * float64(k*j%n) / float64(n)
+			sum += x[j] * complex(math.Cos(ang), math.Sin(ang))
+		}
+		want[k] = sum
+	}
+	if err := Forward(x); err != nil {
+		t.Fatal(err)
+	}
+	worst := 0.0
+	for k := range x {
+		if d := cmplx.Abs(x[k] - want[k]); d > worst {
+			worst = d
+		}
+	}
+	if worst > 1e-9 {
+		t.Errorf("size-%d transform deviates from direct DFT by %.3g, want < 1e-9", n, worst)
+	}
+}
+
+func TestPlan2DMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, workers := range []int{1, 4} {
+		g := NewGrid(64, 32)
+		for i := range g.Data {
+			g.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		ref := g.Clone()
+		plan, err := NewPlan2D(64, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan.Workers = workers
+		if err := plan.Forward2DP(g); err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.Forward2D(); err != nil {
+			t.Fatal(err)
+		}
+		for i := range g.Data {
+			if cmplx.Abs(g.Data[i]-ref.Data[i]) > 1e-12 {
+				t.Fatalf("workers=%d: planned forward diverges at %d", workers, i)
+			}
+		}
+		if err := plan.Inverse2DP(g); err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.Inverse2D(); err != nil {
+			t.Fatal(err)
+		}
+		for i := range g.Data {
+			if cmplx.Abs(g.Data[i]-ref.Data[i]) > 1e-12 {
+				t.Fatalf("workers=%d: planned inverse diverges at %d", workers, i)
+			}
+		}
+	}
+}
+
+func TestPlan2DDeterministicAcrossWorkers(t *testing.T) {
+	// Parallel fan-out must not change a single bit: each row/column is
+	// independent and the inverse scaling is one uniform pass.
+	mk := func() *Grid {
+		g := NewGrid(32, 64)
+		for i := range g.Data {
+			g.Data[i] = complex(float64(i%13)-6, float64(i%7)-3)
+		}
+		return g
+	}
+	a, b := mk(), mk()
+	pa, _ := NewPlan2D(32, 64)
+	pa.Workers = 1
+	pb, _ := NewPlan2D(32, 64)
+	pb.Workers = 8
+	if err := pa.Inverse2DP(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := pb.Inverse2DP(b); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatalf("worker count changed bits at %d: %v vs %v", i, a.Data[i], b.Data[i])
+		}
+	}
+}
+
+func TestPlan2DRejectsMismatch(t *testing.T) {
+	if _, err := NewPlan2D(3, 4); err == nil {
+		t.Error("non-pow2 plan should be rejected")
+	}
+	plan, err := NewPlan2D(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Forward2DP(NewGrid(16, 8)); err == nil {
+		t.Error("mismatched grid should be rejected")
+	}
+}
+
+func TestGridPoolReturnsZeroed(t *testing.T) {
+	g := GetGrid(8, 8)
+	for i := range g.Data {
+		g.Data[i] = complex(1, 2)
+	}
+	PutGrid(g)
+	h := GetGrid(8, 8)
+	defer PutGrid(h)
+	for i, v := range h.Data {
+		if v != 0 {
+			t.Fatalf("pooled grid not zeroed at %d: %v", i, v)
+		}
+	}
+	if h.W != 8 || h.H != 8 {
+		t.Fatalf("pooled grid geometry %dx%d", h.W, h.H)
+	}
+}
+
 func TestGridAtSetClone(t *testing.T) {
 	g := NewGrid(4, 4)
 	g.Set(1, 2, 3+4i)
@@ -225,5 +355,73 @@ func TestGridAtSetClone(t *testing.T) {
 	c.Set(1, 2, 0)
 	if g.At(1, 2) != 3+4i {
 		t.Error("Clone must not share storage")
+	}
+}
+
+// TestInverse2DPRowsMatchesFull: for spectra supported on a known row
+// set, the row-pruned inverse must be bit-identical to the full one.
+func TestInverse2DPRowsMatchesFull(t *testing.T) {
+	const w, h = 64, 32
+	rng := rand.New(rand.NewSource(11))
+	rows := []int{0, 1, 2, 3, 29, 30, 31}
+	full := NewGrid(w, h)
+	for _, y := range rows {
+		for x := 0; x < w; x++ {
+			full.Data[y*w+x] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+	}
+	pruned := NewGrid(w, h)
+	copy(pruned.Data, full.Data)
+	p, err := NewPlan2D(w, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Inverse2DP(full); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Inverse2DPRows(pruned, rows); err != nil {
+		t.Fatal(err)
+	}
+	for i := range full.Data {
+		if full.Data[i] != pruned.Data[i] {
+			t.Fatalf("bit mismatch at %d: %v vs %v", i, full.Data[i], pruned.Data[i])
+		}
+	}
+	if err := p.Inverse2DPRows(pruned, []int{h}); err == nil {
+		t.Fatal("out-of-range row accepted")
+	}
+}
+
+// TestForward2DPColsMatchesFull: listed output columns of the pruned
+// forward transform must match the full transform bit-for-bit.
+func TestForward2DPColsMatchesFull(t *testing.T) {
+	const w, h = 32, 64
+	rng := rand.New(rand.NewSource(12))
+	full := NewGrid(w, h)
+	for i := range full.Data {
+		full.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	pruned := NewGrid(w, h)
+	copy(pruned.Data, full.Data)
+	p, err := NewPlan2D(w, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Forward2DP(full); err != nil {
+		t.Fatal(err)
+	}
+	cols := []int{0, 1, 5, 30, 31}
+	if err := p.Forward2DPCols(pruned, cols); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range cols {
+		for y := 0; y < h; y++ {
+			if full.Data[y*w+x] != pruned.Data[y*w+x] {
+				t.Fatalf("bit mismatch at col %d row %d", x, y)
+			}
+		}
+	}
+	if err := p.Forward2DPCols(pruned, []int{-1}); err == nil {
+		t.Fatal("out-of-range column accepted")
 	}
 }

@@ -10,6 +10,7 @@ package model
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"goopc/internal/geom"
 	"goopc/internal/opc"
@@ -132,13 +133,10 @@ func (e *Engine) Correct(target []geom.Polygon, window geom.Rect) (opc.Result, C
 	}
 	for iter := 0; iter <= e.MaxIter; iter++ {
 		mask := e.rebuild(frags)
-		images := make([]*optics.Image, len(foci))
-		for i, z := range foci {
-			im, err := e.Sim.AerialDefocus(append(mask, extra...), window, z)
-			if err != nil {
-				return opc.Result{}, conv, fmt.Errorf("model: iteration %d imaging: %w", iter, err)
-			}
-			images[i] = im
+		full := append(mask, extra...)
+		images, err := e.imageFoci(full, window, foci)
+		if err != nil {
+			return opc.Result{}, conv, fmt.Errorf("model: iteration %d imaging: %w", iter, err)
 		}
 		stats, worst := e.measure(images, frags)
 		conv.PerIter = append(conv.PerIter, stats)
@@ -153,6 +151,40 @@ func (e *Engine) Correct(target []geom.Polygon, window geom.Rect) (opc.Result, C
 		conv.Iterations++
 	}
 	return opc.Result{Corrected: e.rebuild(frags), SRAFs: e.SRAFs}, conv, nil
+}
+
+// imageFoci computes one aerial image per focus. Process-window OPC on
+// a parallel simulator evaluates the foci concurrently (the simulator
+// is safe for concurrent use and its kernel cache is shared); images
+// land at their focus index, so the result is order-deterministic.
+func (e *Engine) imageFoci(mask []geom.Polygon, window geom.Rect, foci []float64) ([]*optics.Image, error) {
+	images := make([]*optics.Image, len(foci))
+	if !e.Sim.S.Parallel || len(foci) < 2 {
+		for i, z := range foci {
+			im, err := e.Sim.AerialDefocus(mask, window, z)
+			if err != nil {
+				return nil, err
+			}
+			images[i] = im
+		}
+		return images, nil
+	}
+	errs := make([]error, len(foci))
+	var wg sync.WaitGroup
+	for i, z := range foci {
+		wg.Add(1)
+		go func(i int, z float64) {
+			defer wg.Done()
+			images[i], errs[i] = e.Sim.AerialDefocus(mask, window, z)
+		}(i, z)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return images, nil
 }
 
 // rebuild materializes the current fragment biases into polygons.

@@ -6,16 +6,27 @@ import (
 	"math/cmplx"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"goopc/internal/fft"
 	"goopc/internal/geom"
 )
 
 // Simulator computes aerial images for a fixed exposure setup. It is
-// safe for concurrent use.
+// safe for concurrent use and must not be copied (it embeds caches).
 type Simulator struct {
 	S   Settings
 	src []srcPoint
+
+	// plans caches FFT plans per frame geometry.
+	plans sync.Map // [2]int -> *fft.Plan2D
+	// kcache caches SOCS kernel sets per (frame geometry, defocus) so
+	// OPC iteration loops and E-D process-window sweeps rebuild nothing.
+	kcache                   sync.Map // kernelKey -> *kernelEntry
+	kernelHits, kernelMisses atomic.Int64
+	// fieldEvals counts Abbe source-field evaluations (observability for
+	// the early-abort path and the benchmarks).
+	fieldEvals atomic.Int64
 }
 
 // New validates the settings and prepares the source sampling.
@@ -28,6 +39,25 @@ func New(s Settings) (*Simulator, error) {
 
 // SourcePoints returns the number of sampled illumination points.
 func (sim *Simulator) SourcePoints() int { return len(sim.src) }
+
+// plan returns the cached FFT plan for a frame geometry. Serial
+// simulators get single-worker plans so Parallel=false stays truly
+// serial.
+func (sim *Simulator) plan(w, h int) (*fft.Plan2D, error) {
+	key := [2]int{w, h}
+	if p, ok := sim.plans.Load(key); ok {
+		return p.(*fft.Plan2D), nil
+	}
+	p, err := fft.NewPlan2D(w, h)
+	if err != nil {
+		return nil, err
+	}
+	if !sim.S.Parallel {
+		p.Workers = 1
+	}
+	actual, _ := sim.plans.LoadOrStore(key, p)
+	return actual.(*fft.Plan2D), nil
+}
 
 // psmAmplitude returns the shifter field amplitude sqrt(T).
 func (sim *Simulator) psmAmplitude() float64 {
@@ -46,7 +76,9 @@ func (sim *Simulator) Aerial(mask []geom.Polygon, window geom.Rect) (*Image, err
 
 // AerialDefocus computes the aerial image at an explicit defocus (nm),
 // overriding the settings. Dose is applied downstream by scaling the
-// resist threshold, so the image itself is dose-independent.
+// resist threshold, so the image itself is dose-independent. The
+// settings' Engine selects between the cached SOCS kernel path (default)
+// and the Abbe source-point reference.
 func (sim *Simulator) AerialDefocus(mask []geom.Polygon, window geom.Rect, defocusNM float64) (*Image, error) {
 	if window.Empty() {
 		return nil, fmt.Errorf("optics: empty simulation window")
@@ -56,7 +88,45 @@ func (sim *Simulator) AerialDefocus(mask []geom.Polygon, window geom.Rect, defoc
 		return nil, fmt.Errorf("optics: window %v needs %dx%d grid; enlarge pixel or shrink window",
 			window, frame.W, frame.H)
 	}
-	spectrum := rasterize(mask, frame)
+	var intensity []float64
+	if sim.S.Engine == EngineAbbe {
+		spectrum, err := sim.maskSpectrum(mask, frame, nil)
+		if err != nil {
+			return nil, err
+		}
+		intensity, err = sim.abbeIntensity(spectrum, frame, defocusNM)
+		fft.PutGrid(spectrum)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		// Kernels first: the kernel set knows which spectrum columns are
+		// in-band, so the forward transform can skip the rest.
+		ks, err := sim.kernels(frame, defocusNM)
+		if err != nil {
+			return nil, err
+		}
+		spectrum, err := sim.maskSpectrum(mask, frame, ks.fineCols)
+		if err != nil {
+			return nil, err
+		}
+		intensity, err = sim.socsIntensity(spectrum, frame, ks)
+		fft.PutGrid(spectrum)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Image{Frame: frame, Window: window, I: intensity}, nil
+}
+
+// maskSpectrum rasterizes the mask into a pooled grid, applies the tone
+// amplitude mapping, and transforms it to the frequency domain. A
+// non-nil cols restricts the column pass to the listed spectrum
+// columns; the rest of the grid is then garbage and must not be read.
+// The caller returns the grid with fft.PutGrid.
+func (sim *Simulator) maskSpectrum(mask []geom.Polygon, frame Frame, cols []int) (*fft.Grid, error) {
+	spectrum := fft.GetGrid(frame.W, frame.H)
+	rasterizeInto(spectrum, mask, frame)
 	switch sim.S.MaskTone {
 	case BrightField:
 		// Drawn polygons are chrome: amplitude is the complement.
@@ -81,11 +151,29 @@ func (sim *Simulator) AerialDefocus(mask []geom.Polygon, window geom.Rect, defoc
 			spectrum.Data[i] = complex(c*(1+t)-t, 0)
 		}
 	}
-	if err := spectrum.Forward2D(); err != nil {
+	plan, err := sim.plan(frame.W, frame.H)
+	if err != nil {
+		fft.PutGrid(spectrum)
 		return nil, err
 	}
+	if cols != nil {
+		err = plan.Forward2DPCols(spectrum, cols)
+	} else {
+		err = plan.Forward2DP(spectrum)
+	}
+	if err != nil {
+		fft.PutGrid(spectrum)
+		return nil, err
+	}
+	return spectrum, nil
+}
 
-	intensity := make([]float64, frame.W*frame.H)
+// abbeIntensity runs the reference source-point integration: one
+// pupil-filtered inverse FFT per sampled source point, weighted
+// intensities summed. Workers abort early once any source point fails.
+func (sim *Simulator) abbeIntensity(spectrum *fft.Grid, frame Frame, defocusNM float64) ([]float64, error) {
+	n := frame.W * frame.H
+	intensity := make([]float64, n)
 	naOverLambda := sim.S.NA / sim.S.LambdaNM
 
 	// Precompute per-axis frequencies.
@@ -110,21 +198,27 @@ func (sim *Simulator) AerialDefocus(mask []geom.Polygon, window geom.Rect, defoc
 	}
 	var mu sync.Mutex
 	var wg sync.WaitGroup
+	var cancel atomic.Bool
 	jobs := make(chan srcPoint)
 	var firstErr error
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			field := fft.NewGrid(frame.W, frame.H)
-			local := make([]float64, frame.W*frame.H)
+			field := fft.GetGrid(frame.W, frame.H)
+			defer fft.PutGrid(field)
+			local := getFloats(n)
 			for sp := range jobs {
+				if cancel.Load() {
+					continue
+				}
 				if err := sim.sourceField(spectrum, field, frame, sp, defocusNM, naOverLambda, fxs, fys); err != nil {
 					mu.Lock()
 					if firstErr == nil {
 						firstErr = err
 					}
 					mu.Unlock()
+					cancel.Store(true)
 					continue
 				}
 				for i, v := range field.Data {
@@ -137,9 +231,13 @@ func (sim *Simulator) AerialDefocus(mask []geom.Polygon, window geom.Rect, defoc
 				intensity[i] += v
 			}
 			mu.Unlock()
+			putFloats(local)
 		}()
 	}
 	for _, sp := range sim.src {
+		if cancel.Load() {
+			break
+		}
 		jobs <- sp
 	}
 	close(jobs)
@@ -147,7 +245,7 @@ func (sim *Simulator) AerialDefocus(mask []geom.Polygon, window geom.Rect, defoc
 	if firstErr != nil {
 		return nil, firstErr
 	}
-	return &Image{Frame: frame, Window: window, I: intensity}, nil
+	return intensity, nil
 }
 
 // sourceField fills field with the coherent image field for one source
@@ -155,6 +253,7 @@ func (sim *Simulator) AerialDefocus(mask []geom.Polygon, window geom.Rect, defoc
 // pupil. Out-of-band bins are zeroed.
 func (sim *Simulator) sourceField(spectrum, field *fft.Grid, frame Frame, sp srcPoint,
 	defocusNM, naOverLambda float64, fxs, fys []float64) error {
+	sim.fieldEvals.Add(1)
 	sx := sp.SX * naOverLambda
 	sy := sp.SY * naOverLambda
 	cutoff := naOverLambda

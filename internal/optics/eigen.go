@@ -1,0 +1,117 @@
+package optics
+
+import "math"
+
+// jacobiHermitian diagonalizes the n x n complex Hermitian matrix h
+// (row-major, destroyed in place) with cyclic Jacobi rotations and
+// returns the eigenvalues in descending order together with the matching
+// unit eigenvectors (vecs[k] is the eigenvector of eigs[k]). The
+// matrices here are source-Gram matrices, so n is the source-point
+// count — small enough that Jacobi's robustness beats anything fancier.
+func jacobiHermitian(h [][]complex128) (eigs []float64, vecs [][]complex128) {
+	n := len(h)
+	// v accumulates the product of rotations, column k = eigenvector k.
+	v := make([][]complex128, n)
+	for i := range v {
+		v[i] = make([]complex128, n)
+		v[i][i] = 1
+	}
+	// Scale for the off-diagonal convergence threshold.
+	var scale float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			scale += real(h[i][j])*real(h[i][j]) + imag(h[i][j])*imag(h[i][j])
+		}
+	}
+	scale = math.Sqrt(scale)
+	if scale == 0 {
+		scale = 1
+	}
+	tol := 1e-15 * scale
+	for sweep := 0; sweep < 64; sweep++ {
+		var off float64
+		for p := 0; p < n; p++ {
+			for q := p + 1; q < n; q++ {
+				off += real(h[p][q])*real(h[p][q]) + imag(h[p][q])*imag(h[p][q])
+			}
+		}
+		if math.Sqrt(off) <= tol {
+			break
+		}
+		for p := 0; p < n; p++ {
+			for q := p + 1; q < n; q++ {
+				r := math.Hypot(real(h[p][q]), imag(h[p][q]))
+				if r <= tol/float64(n) {
+					continue
+				}
+				// Factor out the phase of h[p][q], then a real Jacobi
+				// rotation zeroes the pair.
+				ephi := h[p][q] / complex(r, 0) // e^{i phi}
+				a := real(h[p][p])
+				b := real(h[q][q])
+				var t float64
+				if a == b {
+					t = 1
+				} else {
+					tau := (b - a) / (2 * r)
+					t = 1 / (math.Abs(tau) + math.Sqrt(1+tau*tau))
+					if tau < 0 {
+						t = -t
+					}
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+				// The unitary J = [[c, s], [-s e^{-i phi}, c e^{-i phi}]]
+				// zeroes h[p][q] in J^H h J. Apply h <- h J (columns),
+				// v <- v J, then h <- J^H h (rows).
+				cs := complex(c, 0)
+				ss := complex(s, 0)
+				ephiConj := complex(real(ephi), -imag(ephi))
+				seConj := ss * ephiConj // s e^{-i phi}
+				ceConj := cs * ephiConj // c e^{-i phi}
+				for i := 0; i < n; i++ {
+					hip, hiq := h[i][p], h[i][q]
+					h[i][p] = cs*hip - seConj*hiq
+					h[i][q] = ss*hip + ceConj*hiq
+					vip, viq := v[i][p], v[i][q]
+					v[i][p] = cs*vip - seConj*viq
+					v[i][q] = ss*vip + ceConj*viq
+				}
+				se := ss * ephi // s e^{i phi}
+				ce := cs * ephi // c e^{i phi}
+				for i := 0; i < n; i++ {
+					hpi, hqi := h[p][i], h[q][i]
+					h[p][i] = cs*hpi - se*hqi
+					h[q][i] = ss*hpi + ce*hqi
+				}
+			}
+		}
+	}
+	eigs = make([]float64, n)
+	order := make([]int, n)
+	for i := range eigs {
+		eigs[i] = real(h[i][i])
+		order[i] = i
+	}
+	// Selection sort by descending eigenvalue (n is tiny).
+	for i := 0; i < n; i++ {
+		best := i
+		for j := i + 1; j < n; j++ {
+			if eigs[order[j]] > eigs[order[best]] {
+				best = j
+			}
+		}
+		order[i], order[best] = order[best], order[i]
+	}
+	sorted := make([]float64, n)
+	vecs = make([][]complex128, n)
+	for k, idx := range order {
+		sorted[k] = eigs[idx]
+		vec := make([]complex128, n)
+		for i := 0; i < n; i++ {
+			vec[i] = v[i][idx]
+		}
+		vecs[k] = vec
+	}
+	return sorted, vecs
+}

@@ -40,14 +40,21 @@ func (f Frame) PixelCenter(ix, iy int) (x, y float64) {
 	return f.OriginX + float64(ix)*f.PixelNM, f.OriginY + float64(iy)*f.PixelNM
 }
 
-// rasterize paints polygons into a transmission grid with exact
-// area-coverage antialiasing: each pixel receives the fraction of its
-// area covered. Overlapping input is resolved by a region union first,
-// so transmission never exceeds 1.
+// rasterize paints polygons into a freshly allocated transmission grid;
+// see rasterizeInto.
 func rasterize(polys []geom.Polygon, f Frame) *fft.Grid {
 	grid := fft.NewGrid(f.W, f.H)
+	rasterizeInto(grid, polys, f)
+	return grid
+}
+
+// rasterizeInto paints polygons into the given zeroed transmission grid
+// with exact area-coverage antialiasing: each pixel receives the
+// fraction of its area covered. Overlapping input is resolved by a
+// region union first, so transmission never exceeds 1.
+func rasterizeInto(grid *fft.Grid, polys []geom.Polygon, f Frame) {
 	if len(polys) == 0 {
-		return grid
+		return
 	}
 	region := geom.RegionFromPolygons(polys...)
 	invArea := 1 / (f.PixelNM * f.PixelNM)
@@ -86,7 +93,6 @@ func rasterize(polys []geom.Polygon, f Frame) *fft.Grid {
 			grid.Data[i] = 1
 		}
 	}
-	return grid
 }
 
 func clampI(v, lo, hi int) int {

@@ -1,10 +1,14 @@
 // Package optics implements the partially coherent scalar aerial-image
-// simulator the OPC and verification engines are built on. It performs
-// Abbe source-point integration: the mask transmission is rasterized
-// with exact area antialiasing, transformed with an FFT, and for every
-// sampled illumination source point the shifted pupil (with a defocus
-// phase) filters the spectrum; the weighted sum of the resulting
-// coherent-field intensities is the aerial image. The intensity scale is
+// simulator the OPC and verification engines are built on. The mask
+// transmission is rasterized with exact area antialiasing and
+// transformed with an FFT; partial coherence is then imaged by one of
+// two engines. The Abbe reference engine filters the spectrum once per
+// sampled illumination source point with the shifted, defocused pupil
+// and sums the coherent-field intensities. The production SOCS engine
+// (the default) eigendecomposes the transmission cross-coefficient of
+// the same source and pupil into a small set of coherent kernels —
+// cached per (frame, defocus) — so one simulation costs one inverse FFT
+// per kernel instead of one per source point. The intensity scale is
 // anchored so an unpatterned clear field images at intensity 1.0.
 //
 // The default settings model the 248 nm / NA 0.68 exposure tools on
@@ -43,6 +47,31 @@ func (s IllumShape) String() string {
 		return "quadrupole"
 	}
 	return "?"
+}
+
+// Engine selects the imaging algorithm.
+type Engine uint8
+
+// Imaging engines.
+const (
+	// EngineSOCS (the default) images with a precomputed
+	// Sum-of-Coherent-Systems kernel set: the transmission
+	// cross-coefficient built from the sampled source and defocused
+	// pupil is eigendecomposed once per (frame, defocus) and cached, so
+	// one simulation costs one inverse FFT per retained kernel instead
+	// of one per source point. Accuracy is controlled by SOCSMass.
+	EngineSOCS Engine = iota
+	// EngineAbbe is the direct source-point integration loop — the
+	// golden reference path the SOCS decomposition is validated against.
+	EngineAbbe
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineAbbe:
+		return "abbe"
+	}
+	return "socs"
 }
 
 // Tone selects the mask polarity.
@@ -109,6 +138,16 @@ type Settings struct {
 	PSMTransmission float64
 	// Parallel enables source-point fan-out across goroutines.
 	Parallel bool
+	// Engine selects the imaging path (EngineSOCS default).
+	Engine Engine
+	// SOCSMass is the fraction of the TCC trace the retained kernel set
+	// must capture; 0 selects the default 0.999. Higher mass means more
+	// kernels (slower) and tighter agreement with the Abbe reference.
+	SOCSMass float64
+	// SOCSMaxKernels caps the retained kernel count regardless of mass
+	// (0 = uncapped; the count never exceeds the source-point count,
+	// which bounds the TCC rank).
+	SOCSMaxKernels int
 }
 
 // Default returns the 248 nm KrF baseline: NA 0.68, conventional
@@ -156,6 +195,12 @@ func (s Settings) Validate() error {
 		return fmt.Errorf("%w: guard %v", ErrBadSettings, s.GuardNM)
 	case s.SourceSteps < 1:
 		return fmt.Errorf("%w: source steps %d", ErrBadSettings, s.SourceSteps)
+	case s.Engine > EngineAbbe:
+		return fmt.Errorf("%w: engine %d", ErrBadSettings, s.Engine)
+	case s.SOCSMass < 0 || s.SOCSMass >= 1:
+		return fmt.Errorf("%w: SOCS mass %v", ErrBadSettings, s.SOCSMass)
+	case s.SOCSMaxKernels < 0:
+		return fmt.Errorf("%w: SOCS max kernels %d", ErrBadSettings, s.SOCSMaxKernels)
 	}
 	// The pixel must resolve the field band limit NA(1+sigma)/lambda.
 	nyquist := s.LambdaNM / (2 * s.NA * (1 + s.SigmaOuter))

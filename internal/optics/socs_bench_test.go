@@ -1,0 +1,50 @@
+package optics
+
+import (
+	"testing"
+
+	"goopc/internal/geom"
+)
+
+// Kernel-cache micro-benchmarks: a miss pays the Gram build and Jacobi
+// eigensolve, a hit is a sync.Map lookup. OPC iteration loops and E-D
+// sweeps run entirely on the hit path.
+
+func benchCacheSim(b *testing.B) (*Simulator, Frame) {
+	b.Helper()
+	s := Default()
+	s.SourceSteps = 5
+	s.GuardNM = 1200
+	sim, err := New(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	frame := FrameFor(geom.R(-800, -400, 800, 400), s.PixelNM, s.GuardNM)
+	return sim, frame
+}
+
+func BenchmarkKernelCacheMiss(b *testing.B) {
+	sim, frame := benchCacheSim(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.ResetKernelCache()
+		if _, err := sim.kernels(frame, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKernelCacheHit(b *testing.B) {
+	sim, frame := benchCacheSim(b)
+	if _, err := sim.kernels(frame, 0); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.kernels(frame, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
