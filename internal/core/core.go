@@ -80,6 +80,21 @@ type Flow struct {
 	// TilePasses is the number of context passes CorrectWindowed runs
 	// for iterated model correction (0 selects the default of 2).
 	TilePasses int
+	// ConvergeEps is the per-iteration EPE-RMS improvement (nm) below
+	// which tiled model correction stops iterating (model.Engine.RMSEps).
+	// Zero disables the early exit and always spends the full budget.
+	ConvergeEps float64
+	// DirtyEps is the dirty-tile stitching tolerance (DBU): a pass-1
+	// edge movement is propagated to neighboring tiles' pass-2
+	// schedules only when it exceeds this. Zero (the default) treats
+	// any movement as dirty-making, which makes the dirty-tile pass 2
+	// exact: skipped tiles are provably those whose re-correction would
+	// reproduce their pass-1 result.
+	DirtyEps geom.Coord
+	// DisableDedup and DisableDirtySkip turn off the tile-deduplication
+	// and clean-tile-skip scheduler optimizations; both are exact, so
+	// the switches exist for verification and benchmarking, not safety.
+	DisableDedup, DisableDirtySkip bool
 	// RetargetMinCD, when positive, widens drawn features narrower than
 	// this before any correction (the pre-OPC retargeting stage); the
 	// EPE target remains the retargeted geometry.
@@ -133,6 +148,7 @@ func NewFlow(o Options) (*Flow, error) {
 		Writer:        mask.DefaultWriter(),
 		MaskRules:     mask.DefaultMRCRules(),
 		Ambit:         geom.Coord(2 * s.LambdaNM / s.NA),
+		ConvergeEps:   0.1,
 		AnchorCD:      o.AnchorCD,
 		AnchorPitch:   o.AnchorPitch,
 	}

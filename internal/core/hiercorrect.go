@@ -12,6 +12,10 @@ type CellCorrection struct {
 	Cell     string
 	Polygons int
 	FinalRMS float64
+	// Placements is the transitive placement count: how many times the
+	// master appears in the fully expanded layout (instance counts
+	// multiplied down the hierarchy).
+	Placements int
 }
 
 // CellReport summarizes a hierarchical (context-independent) correction
@@ -40,17 +44,33 @@ func (f *Flow) CorrectCells(ly *layout.Layout, l layout.Layer, level Level) (Cel
 	if ly.Top == nil {
 		return rep, layout.ErrNoTop
 	}
-	// Collect reachable cells and their placement counts.
-	counts := map[*layout.Cell]int{}
-	var walk func(c *layout.Cell)
-	walk = func(c *layout.Cell) {
+	// Collect reachable cells and their transitive placement counts.
+	// The traversal is memoized — each master is visited once no matter
+	// how many instance paths reach it (a naive per-path walk is
+	// exponential on deep shared hierarchies) — and counts multiply
+	// down the tree: a cell placed c times inside a parent that itself
+	// appears p times expands to p*c placements.
+	var order []*layout.Cell
+	seen := map[*layout.Cell]bool{}
+	var visit func(c *layout.Cell)
+	visit = func(c *layout.Cell) {
+		if seen[c] {
+			return
+		}
+		seen[c] = true
 		for _, in := range c.Insts {
-			counts[in.Cell] += in.Count()
-			walk(in.Cell)
+			visit(in.Cell)
+		}
+		order = append(order, c) // post-order: children before parents
+	}
+	visit(ly.Top)
+	counts := map[*layout.Cell]int{ly.Top: 1}
+	for i := len(order) - 1; i >= 0; i-- { // parents before children
+		c := order[i]
+		for _, in := range c.Insts {
+			counts[in.Cell] += counts[c] * in.Count()
 		}
 	}
-	counts[ly.Top] = 1
-	walk(ly.Top)
 
 	// Deterministic order.
 	cells := make([]*layout.Cell, 0, len(counts))
@@ -70,7 +90,7 @@ func (f *Flow) CorrectCells(ly *layout.Layout, l layout.Layer, level Level) (Cel
 		}
 		polys := res.AllMask()
 		c.SetLayer(out, polys)
-		cc := CellCorrection{Cell: c.Name, Polygons: len(polys)}
+		cc := CellCorrection{Cell: c.Name, Polygons: len(polys), Placements: counts[c]}
 		if conv != nil {
 			cc.FinalRMS = conv.Final().RMS
 		}

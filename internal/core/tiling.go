@@ -13,15 +13,41 @@ import (
 
 // TileStats reports a windowed full-layer correction run.
 type TileStats struct {
-	Tiles     int
-	Polygons  int
-	Corrected int
+	// Tiles is the number of scheduled tiles: grid tiles that actually
+	// contain target geometry. EmptyPruned counts the grid tiles
+	// dropped at enumeration time because the spatial index proved them
+	// empty.
+	Tiles       int
+	EmptyPruned int
+	Polygons    int
+	Corrected   int
+	// CorrectedTiles counts (tile, pass) engine runs; ReusedTiles the
+	// (tile, pass) results obtained by translating a deduplicated
+	// equivalence-class representative; CleanTiles the pass-2+ tiles
+	// skipped because no pass-1 movement reached their halo.
+	CorrectedTiles int
+	ReusedTiles    int
+	CleanTiles     int
+	// Iterations is the total model-iteration count over all engine
+	// runs — the quantity the convergence early-exit shrinks.
+	Iterations int
+	// KernelHits and KernelMisses are the simulator kernel-cache
+	// statistics accumulated during this run.
+	KernelHits, KernelMisses int64
 	// Passes is the number of context passes run.
 	Passes int
 	// Seconds is the wall-clock correction time (all tiles, all passes).
 	Seconds float64
 	// WorstRMS is the worst per-tile final EPE RMS of the last pass.
 	WorstRMS float64
+}
+
+// tileJob is one scheduled tile: its core rectangle and the target
+// geometry clipped to it (computed once — the active geometry never
+// changes across passes).
+type tileJob struct {
+	core   geom.Rect
+	active []geom.Polygon
 }
 
 // CorrectWindowed runs model-based correction over an arbitrarily large
@@ -38,7 +64,26 @@ type TileStats struct {
 // systematically overshoots (each tile's correction double-counts the
 // proximity change its neighbors are also making).
 //
-// Tiles run in parallel across CPUs when parallel is true.
+// The scheduler is reuse-aware and incremental:
+//
+//   - Empty tiles are pruned at enumeration time using the grid index.
+//   - Tiles whose active+context geometry is identical up to a
+//     translation are corrected once: the equivalence-class
+//     representative is corrected at a canonical origin and the result
+//     is translated to every placement (exact — the imaging stack is
+//     translation-invariant for integer shifts).
+//   - Pass 2 re-corrects only dirty tiles: tiles whose halo ring
+//     intersects geometry that moved in pass 1 (beyond Flow.DirtyEps).
+//     With DirtyEps zero the skip is exact: a clean tile's context is
+//     area-identical across passes, so re-correction would reproduce
+//     its pass-1 result.
+//   - The engine stops iterating once the EPE-RMS improvement drops
+//     below Flow.ConvergeEps instead of always spending MaxIter.
+//
+// Per-tile results are collected by job index and concatenated in tile
+// order, so the output polygon order is deterministic and identical
+// between serial and parallel runs. Tiles run in parallel across CPUs
+// when parallel is true.
 func (f *Flow) CorrectWindowed(target []geom.Polygon, level Level, tile geom.Coord, parallel bool) (opc.Result, TileStats, error) {
 	var st TileStats
 	if len(target) == 0 {
@@ -85,14 +130,29 @@ func (f *Flow) CorrectWindowed(target []geom.Polygon, level Level, tile geom.Coo
 		}
 	}
 
-	type job struct{ core geom.Rect }
-	var jobs []job
+	// Tile enumeration with empty-tile pruning: the index proves most
+	// empty tiles empty from bounding boxes alone; the clip catches
+	// boxes that touch a core without contributing geometry.
+	var jobs []tileJob
 	for y := bounds.Y0; y < bounds.Y1; y += tile {
 		for x := bounds.X0; x < bounds.X1; x += tile {
-			jobs = append(jobs, job{geom.Rect{X0: x, Y0: y, X1: x + tile, Y1: y + tile}})
+			core := geom.Rect{X0: x, Y0: y, X1: x + tile, Y1: y + tile}
+			if len(idx.CollectIDs(core)) == 0 {
+				st.EmptyPruned++
+				continue
+			}
+			active := clipToRegion(target, idx, core, geom.RegionFromRects(core))
+			if len(active) == 0 {
+				st.EmptyPruned++
+				continue
+			}
+			jobs = append(jobs, tileJob{core: core, active: active})
 		}
 	}
 	st.Tiles = len(jobs)
+	if len(jobs) == 0 {
+		return opc.Result{}, st, fmt.Errorf("core: no tiles contain geometry")
+	}
 
 	workers := 1
 	if parallel {
@@ -102,83 +162,241 @@ func (f *Flow) CorrectWindowed(target []geom.Polygon, level Level, tile geom.Coo
 		}
 	}
 
+	kh0, km0 := f.Sim.KernelCacheStats()
 	t0 := time.Now()
+
+	// Per-tile state carried across passes.
+	results := make([][]geom.Polygon, len(jobs))
+	tileRMS := make([]float64, len(jobs))
+	// xorBase is what each tile's result is diffed against to find
+	// moved geometry: the drawn active before pass 1, the previous
+	// pass's result afterwards.
+	xorBase := make([][]geom.Polygon, len(jobs))
+	for i := range jobs {
+		xorBase[i] = jobs[i].active
+	}
+	var movedIdx *geom.GridIndex
+
 	// Context source: the drawn layer on pass 1, the previous pass's
 	// corrected layer afterwards.
 	ctxPolys := target
 	ctxIdx := idx
-	var out opc.Result
 	for pass := 1; pass <= passes; pass++ {
+		// Stage 1 (serial, cheap): dirty filtering and dedup classing.
+		// A class groups tiles whose active+context geometry is
+		// identical after translating each tile origin to (0,0); the
+		// representative is the lowest job index, so classing is
+		// deterministic and independent of worker scheduling.
+		type tileClass struct {
+			rep     int
+			members []int
+		}
+		var classes []*tileClass
+		classOf := map[string]int{}
+		contexts := make([][]geom.Polygon, len(jobs))
+		var keyBuf []byte
+		for i := range jobs {
+			core := jobs[i].core
+			window := core.Grow(halo)
+			if pass > 1 && !f.DisableDirtySkip && !ringDirty(movedIdx, window, core) {
+				// Context unchanged within the halo: the engine would
+				// reproduce the previous pass's result. Keep it.
+				st.CleanTiles++
+				continue
+			}
+			ring := geom.RegionFromRects(window).Subtract(geom.RegionFromRects(core))
+			contexts[i] = clipToRegion(ctxPolys, ctxIdx, window, ring)
+			if f.DisableDedup {
+				classes = append(classes, &tileClass{rep: i, members: []int{i}})
+				continue
+			}
+			origin := geom.Pt(core.X0, core.Y0)
+			keyBuf = keyBuf[:0]
+			keyBuf = geom.AppendCanonicalPolygons(keyBuf, jobs[i].active, origin)
+			keyBuf = geom.AppendCanonicalPolygons(keyBuf, contexts[i], origin)
+			key := string(keyBuf)
+			if ci, ok := classOf[key]; ok {
+				classes[ci].members = append(classes[ci].members, i)
+			} else {
+				classOf[key] = len(classes)
+				classes = append(classes, &tileClass{rep: i, members: []int{i}})
+			}
+		}
+
+		// Stage 2 (parallel): correct one representative per class.
+		// Multi-member classes correct at the canonical origin so every
+		// placement receives the identical solution; singletons correct
+		// in place.
+		type classResult struct {
+			polys []geom.Polygon
+			rms   float64
+			iters int
+		}
+		classRes := make([]classResult, len(classes))
 		var mu sync.Mutex
 		var firstErr error
-		passOut := opc.Result{}
-		passWorst := 0.0
-		jobCh := make(chan job)
+		classCh := make(chan int)
 		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
+		nw := workers
+		if nw > len(classes) {
+			nw = len(classes)
+		}
+		if nw < 1 {
+			nw = 1
+		}
+		for w := 0; w < nw; w++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				for j := range jobCh {
-					active := clipToRegion(target, idx, j.core, geom.RegionFromRects(j.core))
-					if len(active) == 0 {
-						continue
+				for ci := range classCh {
+					c := classes[ci]
+					j := jobs[c.rep]
+					core := j.core
+					active := j.active
+					context := contexts[c.rep]
+					if len(c.members) > 1 {
+						// Canonical placement: tile origin at (0,0).
+						shift := geom.Pt(-core.X0, -core.Y0)
+						core = core.Translate(shift)
+						active = geom.TranslatePolygons(active, shift)
+						context = geom.TranslatePolygons(context, shift)
 					}
-					window := j.core.Grow(halo)
-					ring := geom.RegionFromRects(window).Subtract(geom.RegionFromRects(j.core))
-					context := clipToRegion(ctxPolys, ctxIdx, window, ring)
+					window := core.Grow(halo)
 					eng := model.New(f.Sim, f.Threshold)
 					eng.Spec = f.Spec
 					eng.MRC = f.MRC
 					eng.Damping = f.Damping
+					eng.RMSEps = f.ConvergeEps
 					if level == L2 {
 						eng.MaxIter = f.ModelIter1
 					} else {
 						eng.MaxIter = f.ModelIterFull
 					}
 					eng.Context = context
-					core := j.core
-					eng.FreezeBoundary = &core
+					freeze := core
+					eng.FreezeBoundary = &freeze
 					// Everything is clipped to core + halo, so the window
 					// never exceeds tile + 2*halo regardless of how long
 					// the original wires are.
 					res, conv, err := eng.Correct(active, window)
-					mu.Lock()
-					if err != nil && firstErr == nil {
-						firstErr = fmt.Errorf("core: pass %d tile %v: %w", pass, j.core, err)
-					}
-					if err == nil {
-						passOut.Corrected = append(passOut.Corrected, res.Corrected...)
-						if rms := conv.Final().RMS; rms > passWorst {
-							passWorst = rms
+					if err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = fmt.Errorf("core: pass %d tile %v: %w", pass, jobs[c.rep].core, err)
 						}
+						mu.Unlock()
+						continue
 					}
-					mu.Unlock()
+					classRes[ci] = classResult{polys: res.Corrected, rms: conv.Final().RMS, iters: conv.Iterations}
 				}
 			}()
 		}
-		for _, j := range jobs {
-			jobCh <- j
+		for ci := range classes {
+			classCh <- ci
 		}
-		close(jobCh)
+		close(classCh)
 		wg.Wait()
 		if firstErr != nil {
 			st.Seconds = time.Since(t0).Seconds()
 			return opc.Result{}, st, firstErr
 		}
-		out = passOut
-		st.WorstRMS = passWorst
+
+		// Stage 3 (serial): place every class member by translating the
+		// canonical solution to its tile origin.
+		for ci, c := range classes {
+			cr := classRes[ci]
+			st.CorrectedTiles++
+			st.Iterations += cr.iters
+			if len(c.members) == 1 {
+				i := c.rep
+				results[i] = cr.polys
+				tileRMS[i] = cr.rms
+				continue
+			}
+			st.ReusedTiles += len(c.members) - 1
+			for _, i := range c.members {
+				origin := geom.Pt(jobs[i].core.X0, jobs[i].core.Y0)
+				results[i] = geom.TranslatePolygons(cr.polys, origin)
+				tileRMS[i] = cr.rms
+			}
+		}
+
+		// Prepare the next pass: moved-geometry index for the dirty
+		// filter, and the corrected layer as the new context source.
 		if pass < passes {
-			ctxPolys = out.Corrected
+			movedIdx = geom.NewGridIndex(tile)
+			n := int32(0)
+			for i := range jobs {
+				if sameSlice(results[i], xorBase[i]) {
+					continue // clean reuse: nothing moved
+				}
+				moved := geom.RegionFromPolygons(results[i]...).
+					Xor(geom.RegionFromPolygons(xorBase[i]...))
+				for _, r := range moved.Rects() {
+					// DirtyEps is the stitching tolerance: an edge that
+					// moved by no more than eps (an XOR sliver thinner
+					// than eps) is not propagated as dirty-making.
+					if f.DirtyEps > 0 && (r.W() <= f.DirtyEps || r.H() <= f.DirtyEps) {
+						continue
+					}
+					movedIdx.Insert(r, n)
+					n++
+				}
+				xorBase[i] = results[i]
+			}
+			ctxPolys = ctxPolys[:0:0]
+			for i := range jobs {
+				ctxPolys = append(ctxPolys, results[i]...)
+			}
 			ctxIdx = geom.NewGridIndex(tile)
 			for i, p := range ctxPolys {
 				ctxIdx.Insert(p.BBox(), int32(i))
 			}
 		}
 	}
+
+	var out opc.Result
+	for i := range jobs {
+		out.Corrected = append(out.Corrected, results[i]...)
+	}
+	st.WorstRMS = 0
+	for _, rms := range tileRMS {
+		if rms > st.WorstRMS {
+			st.WorstRMS = rms
+		}
+	}
+	kh1, km1 := f.Sim.KernelCacheStats()
+	st.KernelHits, st.KernelMisses = kh1-kh0, km1-km0
 	st.Seconds = time.Since(t0).Seconds()
 	st.Corrected = len(out.Corrected)
 	return out, st, nil
+}
+
+// sameSlice reports whether two polygon slices are the same slice (the
+// clean-reuse case, where a tile's result was carried over unchanged).
+func sameSlice(a, b []geom.Polygon) bool {
+	return len(a) == len(b) && (len(a) == 0 || &a[0] == &b[0])
+}
+
+// ringDirty reports whether any moved rectangle overlaps the tile's
+// halo ring (window minus core) with positive area. Movement fully
+// inside the core is invisible to this tile: its context is clipped to
+// the ring, and its own active geometry restarts from the drawn layer
+// every pass.
+func ringDirty(moved *geom.GridIndex, window, core geom.Rect) bool {
+	dirty := false
+	moved.Query(window, func(box geom.Rect, _ int32) bool {
+		o := box.Intersect(window)
+		if o.Empty() {
+			return true
+		}
+		if o.X0 >= core.X0 && o.Y0 >= core.Y0 && o.X1 <= core.X1 && o.Y1 <= core.Y1 {
+			return true
+		}
+		dirty = true
+		return false
+	})
+	return dirty
 }
 
 // clipToRegion gathers the polygons touching the query window and clips

@@ -188,13 +188,17 @@ func (r *T2Result) Print(w io.Writer) {
 
 // --- R-T3: flow runtime vs layout size and level ---
 
-// T3Row is one (size, level) timing point.
+// T3Row is one (size, level) timing point with the scheduler's
+// per-run tile accounting: tiles actually corrected by the engine,
+// tiles reused via deduplication, pass-2 tiles skipped clean, and the
+// total model-iteration count.
 type T3Row struct {
-	Name     string
-	Polygons int
-	Level    core.Level
-	Seconds  float64
-	Tiles    int
+	Name                            string
+	Polygons                        int
+	Level                           core.Level
+	Seconds                         float64
+	Tiles                           int
+	CorrTiles, Reused, Clean, Iters int
 }
 
 // T3Result is the runtime-scaling table.
@@ -235,6 +239,8 @@ func RunT3(cfg Config) (*T3Result, error) {
 			res.Rows = append(res.Rows, T3Row{
 				Name: sz.name, Polygons: len(target), Level: l,
 				Seconds: time.Since(t0).Seconds(), Tiles: st.Tiles,
+				CorrTiles: st.CorrectedTiles, Reused: st.ReusedTiles,
+				Clean: st.CleanTiles, Iters: st.Iterations,
 			})
 		}
 	}
@@ -244,11 +250,13 @@ func RunT3(cfg Config) (*T3Result, error) {
 // Print renders the table.
 func (r *T3Result) Print(w io.Writer) {
 	fmt.Fprintln(w, "Table 3 (R-T3): correction runtime vs layout size")
-	rule(w, 64)
-	fmt.Fprintf(w, "%-6s %9s %-16s %9s %6s\n", "size", "polygons", "level", "time[s]", "tiles")
+	rule(w, 88)
+	fmt.Fprintf(w, "%-6s %9s %-16s %9s %6s %6s %6s %6s %6s\n",
+		"size", "polygons", "level", "time[s]", "tiles", "corr", "reuse", "clean", "iters")
 	for _, row := range r.Rows {
-		fmt.Fprintf(w, "%-6s %9d %-16s %9.2f %6d\n",
-			row.Name, row.Polygons, row.Level, row.Seconds, row.Tiles)
+		fmt.Fprintf(w, "%-6s %9d %-16s %9.2f %6d %6d %6d %6d %6d\n",
+			row.Name, row.Polygons, row.Level, row.Seconds, row.Tiles,
+			row.CorrTiles, row.Reused, row.Clean, row.Iters)
 	}
 }
 

@@ -57,6 +57,81 @@ func twiddles(n int) []complex128 {
 	return v.([]complex128)
 }
 
+// twTables is the butterfly schedule for one transform size and
+// direction: the stage-2 twiddle plus one sequential twiddle vector per
+// remaining stage. Every entry is copied (or exactly conjugated, for
+// the inverse) from the base twiddles table, so the butterflies consume
+// the same values as a strided walk over that table — the layout only
+// exists to make the hot loop read its twiddles contiguously and
+// branch-free.
+type twTables struct {
+	// w1 is tw[n/4], the single non-unit twiddle of the size-4 stage.
+	w1 complex128
+	// stages[i] holds the size-(8<<i) stage's twiddles: stages[i][k] =
+	// tw[k * n/size] for k < size/2.
+	stages [][]complex128
+	// rev is the bit-reversal swap list for the size.
+	rev [][2]int32
+}
+
+// twTableCache memoizes twTables per (size, inverse).
+var twTableCache sync.Map // [2]int -> *twTables
+
+// revCache memoizes the bit-reversal swap list per size: the (i, j)
+// pairs with i < j = reverse(i), precomputed so the permutation loop
+// neither recomputes reversals nor visits fixed points.
+var revCache sync.Map // int -> [][2]int32
+
+func revPairs(n int) [][2]int32 {
+	if v, ok := revCache.Load(n); ok {
+		return v.([][2]int32)
+	}
+	shift := bits.UintSize - uint(bits.Len(uint(n-1)))
+	var pairs [][2]int32
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse(uint(i)) >> shift)
+		if j > i {
+			pairs = append(pairs, [2]int32{int32(i), int32(j)})
+		}
+	}
+	v, _ := revCache.LoadOrStore(n, pairs)
+	return v.([][2]int32)
+}
+
+// tablesFor returns the butterfly schedule for size n, direction
+// invert, building and caching it on first use.
+func tablesFor(n int, invert bool) *twTables {
+	key := [2]int{n, 0}
+	if invert {
+		key[1] = 1
+	}
+	if v, ok := twTableCache.Load(key); ok {
+		return v.(*twTables)
+	}
+	tw := twiddles(n)
+	conj := func(w complex128) complex128 {
+		if invert {
+			return complex(real(w), -imag(w))
+		}
+		return w
+	}
+	t := &twTables{rev: revPairs(n)}
+	if n >= 4 {
+		t.w1 = conj(tw[n/4])
+	}
+	for size := 8; size <= n; size <<= 1 {
+		half := size / 2
+		stride := n / size
+		st := make([]complex128, half)
+		for k := 0; k < half; k++ {
+			st[k] = conj(tw[k*stride])
+		}
+		t.stages = append(t.stages, st)
+	}
+	v, _ := twTableCache.LoadOrStore(key, t)
+	return v.(*twTables)
+}
+
 func transform(x []complex128, invert bool) error {
 	n := len(x)
 	if !IsPow2(n) {
@@ -65,43 +140,79 @@ func transform(x []complex128, invert bool) error {
 	if n == 1 {
 		return nil
 	}
-	transformT(x, invert, twiddles(n))
+	transformT(x, tablesFor(n, invert))
 	return nil
 }
 
 // transformT is the in-place radix-2 butterfly pass over a power-of-two
-// slice using a precomputed twiddle table for len(x). Every twiddle is
-// read directly from the table rather than accumulated by repeated
+// slice using the precomputed schedule for len(x). Every twiddle is
+// read directly from a table rather than accumulated by repeated
 // multiplication, so rounding error stays at table precision regardless
-// of transform length.
-func transformT(x []complex128, invert bool, tw []complex128) {
+// of transform length. The first two stages are fused into one
+// register-resident pass: their only twiddles are exactly 1 and tw[n/4],
+// so the arithmetic (and every value where it matters — multiplying by
+// the table's exact 1 can only flip the sign of a zero component) is
+// that of the plain radix-2 ladder.
+func transformT(x []complex128, t *twTables) {
 	n := len(x)
-	// Bit-reversal permutation.
-	shift := bits.UintSize - uint(bits.Len(uint(n-1)))
-	for i := 0; i < n; i++ {
-		j := int(bits.Reverse(uint(i)) >> shift)
-		if j > i {
-			x[i], x[j] = x[j], x[i]
-		}
+	// Bit-reversal permutation via the precomputed swap list.
+	for _, p := range t.rev {
+		i, j := p[0], p[1]
+		x[i], x[j] = x[j], x[i]
 	}
-	// Iterative Cooley-Tukey butterflies.
-	for size := 2; size <= n; size <<= 1 {
-		half := size / 2
-		stride := n / size
+	if n < 4 {
+		if n == 2 {
+			x[0], x[1] = x[0]+x[1], x[0]-x[1]
+		}
+		return
+	}
+	// Fused stages of size 2 and 4.
+	w1 := t.w1
+	for s := 0; s < n; s += 4 {
+		a0, a1, a2, a3 := x[s], x[s+1], x[s+2], x[s+3]
+		b0, b1 := a0+a1, a0-a1
+		b2, b3 := a2+a3, a2-a3
+		t3 := b3 * w1
+		x[s], x[s+2] = b0+b2, b0-b2
+		x[s+1], x[s+3] = b1+t3, b1-t3
+	}
+	// Remaining stages, twiddles read sequentially per stage. The halves
+	// are resliced to len(wt) so the compiler drops every bounds check,
+	// and the loop is unrolled 4-wide: butterflies are independent, so
+	// batching them changes nothing about each one's arithmetic. half is
+	// always a multiple of 4 here (the smallest stage is size 8), so the
+	// scalar tail only guards malformed tables.
+	size := 8
+	for _, wt := range t.stages {
+		half := size >> 1
 		for start := 0; start < n; start += size {
-			ti := 0
-			for k := 0; k < half; k++ {
-				w := tw[ti]
-				if invert {
-					w = complex(real(w), -imag(w))
-				}
-				a := x[start+k]
-				b := x[start+k+half] * w
-				x[start+k] = a + b
-				x[start+k+half] = a - b
-				ti += stride
+			lo := x[start : start+half : start+half][:len(wt)]
+			hi := x[start+half : start+size : start+size][:len(wt)]
+			k := 0
+			for ; k+3 < len(wt); k += 4 {
+				b0 := hi[k] * wt[k]
+				b1 := hi[k+1] * wt[k+1]
+				b2 := hi[k+2] * wt[k+2]
+				b3 := hi[k+3] * wt[k+3]
+				a0, a1, a2, a3 := lo[k], lo[k+1], lo[k+2], lo[k+3]
+				lo[k] = a0 + b0
+				hi[k] = a0 - b0
+				lo[k+1] = a1 + b1
+				hi[k+1] = a1 - b1
+				lo[k+2] = a2 + b2
+				hi[k+2] = a2 - b2
+				lo[k+3] = a3 + b3
+				hi[k+3] = a3 - b3
+			}
+			for ; k < len(wt); k++ {
+				w := wt[k]
+				b := hi[k] * w
+				a := lo[k]
+				lo[k] = a + b
+				hi[k] = a - b
 			}
 		}
+		size <<= 1
 	}
 }
 

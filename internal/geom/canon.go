@@ -1,0 +1,48 @@
+package geom
+
+import "encoding/binary"
+
+// Translation-canonical polygon encoding. The tiled correction
+// scheduler deduplicates tiles whose geometry is identical up to a
+// translation: each tile's polygons are encoded relative to the tile
+// origin, and tiles with equal encodings are corrected once. The
+// encoding is exact — every vertex coordinate is serialized — so equal
+// keys mean equal geometry, never a hash collision.
+
+// AppendCanonicalPolygons appends a binary encoding of polys with every
+// vertex expressed relative to origin. Two polygon lists produce the
+// same bytes iff they are identical after translating their respective
+// origins to (0,0): same polygon order, same vertex order, same shapes.
+func AppendCanonicalPolygons(buf []byte, polys []Polygon, origin Point) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(polys)))
+	for _, p := range polys {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p)))
+		for _, v := range p {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(v.X-origin.X))
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(v.Y-origin.Y))
+		}
+	}
+	return buf
+}
+
+// TranslatePolygons returns a fresh copy of polys displaced by d.
+func TranslatePolygons(polys []Polygon, d Point) []Polygon {
+	out := make([]Polygon, len(polys))
+	for i, p := range polys {
+		q := make(Polygon, len(p))
+		for j, v := range p {
+			q[j] = v.Add(d)
+		}
+		out[i] = q
+	}
+	return out
+}
+
+// TranslateRects returns a fresh copy of rs displaced by d.
+func TranslateRects(rs []Rect, d Point) []Rect {
+	out := make([]Rect, len(rs))
+	for i, r := range rs {
+		out[i] = r.Translate(d)
+	}
+	return out
+}

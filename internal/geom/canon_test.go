@@ -1,0 +1,61 @@
+package geom
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestCanonicalPolygonsTranslationInvariant(t *testing.T) {
+	a := []Polygon{
+		R(100, 200, 300, 400).Polygon(),
+		{Pt(500, 500), Pt(700, 500), Pt(700, 600), Pt(600, 600), Pt(600, 700), Pt(500, 700)},
+	}
+	d := Pt(-12345, 6789)
+	b := TranslatePolygons(a, d)
+
+	ka := AppendCanonicalPolygons(nil, a, Pt(100, 200))
+	kb := AppendCanonicalPolygons(nil, b, Pt(100, 200).Add(d))
+	if !bytes.Equal(ka, kb) {
+		t.Error("translated polygons produced a different canonical key")
+	}
+
+	// Different geometry, different key.
+	c := []Polygon{R(100, 200, 300, 401).Polygon()}
+	kc := AppendCanonicalPolygons(nil, c, Pt(100, 200))
+	if bytes.Equal(ka, kc) {
+		t.Error("distinct geometry produced an equal canonical key")
+	}
+
+	// Same shapes in a different order are a different key (polygon
+	// order feeds fragmentation, so order must be part of identity).
+	rev := []Polygon{a[1], a[0]}
+	kr := AppendCanonicalPolygons(nil, rev, Pt(100, 200))
+	if bytes.Equal(ka, kr) {
+		t.Error("reordered polygons produced an equal canonical key")
+	}
+
+	// The encoding separates list boundaries: [2 polys]+[0 polys] must
+	// differ from [1 poly]+[1 poly] even when concatenated vertices match.
+	k2 := AppendCanonicalPolygons(AppendCanonicalPolygons(nil, a, Pt(0, 0)), nil, Pt(0, 0))
+	k11 := AppendCanonicalPolygons(AppendCanonicalPolygons(nil, a[:1], Pt(0, 0)), a[1:], Pt(0, 0))
+	if bytes.Equal(k2, k11) {
+		t.Error("list-boundary ambiguity in canonical encoding")
+	}
+}
+
+func TestTranslatePolygonsAndRects(t *testing.T) {
+	p := []Polygon{R(0, 0, 10, 10).Polygon()}
+	q := TranslatePolygons(p, Pt(5, -3))
+	if q[0][0] != Pt(5, -3) {
+		t.Errorf("translated vertex = %v", q[0][0])
+	}
+	// Fresh copy: mutating the result must not touch the input.
+	q[0][0] = Pt(99, 99)
+	if p[0][0] != Pt(0, 0) {
+		t.Error("TranslatePolygons aliased its input")
+	}
+	rs := TranslateRects([]Rect{R(0, 0, 2, 2)}, Pt(1, 1))
+	if rs[0] != R(1, 1, 3, 3) {
+		t.Errorf("translated rect = %v", rs[0])
+	}
+}

@@ -89,11 +89,25 @@ func (g Region) Polygons() []Polygon {
 		}
 	}
 
-	for _, segs := range vert {
-		flatten(segs, true)
+	// Flatten lines in sorted key order: map iteration order would
+	// randomize the boundary edge list, and with it the starting vertex
+	// of every emitted ring and the order of rings in the result.
+	// Downstream consumers (canonical dedup keys, parallel-vs-serial
+	// output equality) need Polygons() to be a pure function of the
+	// region, so the walk must be deterministic.
+	lineKeys := func(m map[Coord][]seg) []Coord {
+		ks := make([]Coord, 0, len(m))
+		for k := range m {
+			ks = append(ks, k)
+		}
+		sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+		return ks
 	}
-	for _, segs := range horz {
-		flatten(segs, false)
+	for _, x := range lineKeys(vert) {
+		flatten(vert[x], true)
+	}
+	for _, y := range lineKeys(horz) {
+		flatten(horz[y], false)
 	}
 
 	// Chain boundary edges into loops. Edges are split so endpoints only

@@ -30,6 +30,12 @@ type Engine struct {
 	// worst |EPE| falls below it.
 	MaxIter int
 	Tol     float64
+	// RMSEps, when positive, stops the loop once the per-iteration EPE
+	// RMS improvement drops below it: the fixed point has been reached
+	// (or the loop has started oscillating, which only worsens the
+	// result) and further iterations buy nothing. Zero keeps the full
+	// MaxIter budget, reproducing the historical behavior.
+	RMSEps float64
 	// Damping scales the per-iteration correction step (0 < d <= 1).
 	// Under-damping oscillates, over-damping converges slowly; the
 	// convergence ablation (R-F4) sweeps this.
@@ -94,6 +100,9 @@ type Convergence struct {
 	Iterations int
 	// Converged is true when the loop hit Tol before MaxIter.
 	Converged bool
+	// EarlyExit is true when the RMS-improvement criterion (RMSEps)
+	// ended the loop before MaxIter.
+	EarlyExit bool
 }
 
 // Final returns the EPE statistics after the last iteration.
@@ -143,6 +152,13 @@ func (e *Engine) Correct(target []geom.Polygon, window geom.Rect) (opc.Result, C
 		if worst <= e.Tol {
 			conv.Converged = true
 			break
+		}
+		if e.RMSEps > 0 && len(conv.PerIter) >= 2 {
+			prev := conv.PerIter[len(conv.PerIter)-2]
+			if prev.RMS-stats.RMS < e.RMSEps {
+				conv.EarlyExit = true
+				break
+			}
 		}
 		if iter == e.MaxIter {
 			break

@@ -231,3 +231,48 @@ func TestFreezeBoundary(t *testing.T) {
 		t.Error("free edge did not move at all")
 	}
 }
+
+func TestEarlyExitStopsAndDoesNotWorsen(t *testing.T) {
+	target := []geom.Polygon{geom.R(-90, -2500, 90, 0).Polygon()}
+	window := opc.WindowFor(target, 600)
+
+	full := fastEngine(t)
+	full.MaxIter = 8
+	_, fullConv, err := full.Correct(target, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	early := fastEngine(t)
+	early.MaxIter = 8
+	early.RMSEps = 0.3
+	_, earlyConv, err := early.Correct(target, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if earlyConv.Iterations > fullConv.Iterations {
+		t.Errorf("early exit took more iterations: %d > %d", earlyConv.Iterations, fullConv.Iterations)
+	}
+	if !earlyConv.Converged && !earlyConv.EarlyExit && earlyConv.Iterations == full.MaxIter {
+		t.Error("RMSEps=0.3 never fired on an 8-iteration run")
+	}
+	// The point of the criterion: stopping once per-iteration improvement
+	// falls below eps must not cost more than eps of final RMS.
+	if earlyConv.Final().RMS > fullConv.Final().RMS+early.RMSEps {
+		t.Errorf("early exit worsened final RMS: %.3f vs full %.3f (eps %.2f)",
+			earlyConv.Final().RMS, fullConv.Final().RMS, early.RMSEps)
+	}
+	// Disabled eps reproduces the historical fixed-budget behavior.
+	off := fastEngine(t)
+	off.MaxIter = 8
+	_, offConv, err := off.Correct(target, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if offConv.EarlyExit {
+		t.Error("RMSEps=0 must never set EarlyExit")
+	}
+	if len(offConv.PerIter) != len(fullConv.PerIter) {
+		t.Errorf("RMSEps=0 changed the trace length: %d vs %d", len(offConv.PerIter), len(fullConv.PerIter))
+	}
+}
