@@ -1,0 +1,22 @@
+# Developer / CI entry points. Everything is plain go tooling; the
+# targets just fix the flag sets so local runs and CI agree.
+
+.PHONY: build test verify bench
+
+build:
+	go build ./...
+
+# Full suite (simulation-heavy; several minutes).
+test:
+	go test ./...
+
+# The CI gate: static checks plus the race-sensitive packages — the
+# lock-free obs registry and the parallel tile scheduler — under the
+# race detector.
+verify:
+	go vet ./...
+	go test -race ./internal/obs/... ./internal/core/...
+
+# Regenerate the recorded evaluation tables.
+bench:
+	go run ./cmd/benchtables

@@ -4,23 +4,28 @@
 //
 // Usage:
 //
-//	benchtables            # run everything (several minutes)
-//	benchtables -exp T1    # one experiment: T1 T2 T3 T4 F1 F2 F3 F4 F5 F6
+//	benchtables                     # run everything (several minutes)
+//	benchtables -exp T2 -exp T3     # a subset (repeatable flag)
 //	benchtables -exp T2 -cpuprofile cpu.pprof -memprofile mem.pprof
+//	benchtables -exp T2 -report run.json   # metrics + trace artifact
+//
+// Progress ("[T2 completed in ...]") goes to stderr through the obs
+// logger (-v / -q adjust verbosity); the tables themselves stay on
+// stdout so redirecting stdout captures exactly the results.
 package main
 
 import (
 	"flag"
-	"fmt"
 	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"strings"
 	"time"
-)
 
-import "goopc/internal/experiments"
+	"goopc/internal/experiments"
+	"goopc/internal/obs"
+)
 
 type runner struct {
 	name string
@@ -62,22 +67,50 @@ func main() {
 	os.Exit(run())
 }
 
+// multiFlag collects repeated -exp values.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+// selected reports whether experiment name should run given the -exp
+// selections (none means all).
+func selected(sel []string, name string) bool {
+	if len(sel) == 0 {
+		return true
+	}
+	for _, s := range sel {
+		if strings.EqualFold(s, "all") || strings.EqualFold(s, name) {
+			return true
+		}
+	}
+	return false
+}
+
 // run carries the real main so profile-flushing defers execute before
 // the process exits (os.Exit skips defers).
 func run() int {
-	exp := flag.String("exp", "all", "experiment id (T1..T4, F1..F6) or 'all'")
+	var exps multiFlag
+	flag.Var(&exps, "exp", "experiment id (T1..T4, F1..F6, E1..E4) or 'all'; repeatable")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	reportPath := flag.String("report", "", "write an obs RunReport (JSON) to this file")
+	verbose := flag.Bool("v", false, "verbose progress output")
+	quiet := flag.Bool("q", false, "suppress progress output (errors still print)")
 	flag.Parse()
+	log := obs.NewLogger(os.Stderr, obs.ParseLogLevel(*quiet, *verbose), "benchtables")
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchtables: cpuprofile: %v\n", err)
+			log.Errorf("cpuprofile: %v", err)
 			return 1
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "benchtables: cpuprofile: %v\n", err)
+			log.Errorf("cpuprofile: %v", err)
 			return 1
 		}
 		defer pprof.StopCPUProfile()
@@ -86,28 +119,48 @@ func run() int {
 		defer func() {
 			f, err := os.Create(*memProfile)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "benchtables: memprofile: %v\n", err)
+				log.Errorf("memprofile: %v", err)
 				return
 			}
 			defer f.Close()
 			runtime.GC() // settle allocations so the heap profile is current
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintf(os.Stderr, "benchtables: memprofile: %v\n", err)
+				log.Errorf("memprofile: %v", err)
 			}
 		}()
+	}
+	root := obs.NewSpan("benchtables", obs.Default())
+	var rep *obs.RunReport
+	if *reportPath != "" {
+		rep = obs.NewRunReport("benchtables", os.Args[1:], map[string]any{
+			"exp": exps.String(),
+		})
 	}
 	cfg := experiments.Default()
 	exitCode := 0
 	for _, r := range all {
-		if !strings.EqualFold(*exp, "all") && !strings.EqualFold(*exp, r.name) {
+		if !selected(exps, r.name) {
 			continue
 		}
+		sp := root.Start(r.name)
+		log.Verbosef("%s starting", r.name)
 		t0 := time.Now()
 		if err := r.run(cfg, os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "benchtables %s: %v\n", r.name, err)
+			log.Errorf("%s: %v", r.name, err)
 			exitCode = 1
 		}
-		fmt.Printf("[%s completed in %.1fs]\n\n", r.name, time.Since(t0).Seconds())
+		sp.End()
+		log.Infof("[%s completed in %.1fs]", r.name, time.Since(t0).Seconds())
+	}
+	root.End()
+	if rep != nil {
+		rep.Finish(obs.Default(), root)
+		if err := rep.WriteFile(*reportPath); err != nil {
+			log.Errorf("report: %v", err)
+			exitCode = 1
+		} else {
+			log.Infof("wrote run report %s", *reportPath)
+		}
 	}
 	return exitCode
 }

@@ -8,6 +8,16 @@
 //	opcflow -workload stdcell [-level L3] [-out corrected.gds]
 //	opcflow -gds in.gds -layer 2 [-level all]
 //	opcflow -gds in.gds -deck job.json [-out corrected.gds]
+//
+// Observability:
+//
+//	opcflow -workload routed -level L3 -report run.json -obs-listen :9090
+//
+// -report writes an obs.RunReport (metrics snapshot + phase trace tree
+// + build/settings fingerprint) after the run; -obs-listen serves the
+// live inspector (/metrics, /status, /debug/pprof) while it is in
+// flight. -v / -q raise / silence progress output (progress goes to
+// stderr; result tables stay on stdout).
 package main
 
 import (
@@ -22,8 +32,15 @@ import (
 	"goopc/internal/jobdeck"
 	"goopc/internal/layout"
 	"goopc/internal/layout/gen"
+	"goopc/internal/obs"
 	"goopc/internal/optics"
 )
+
+// app carries the run-wide observability handles.
+type app struct {
+	log  *obs.Logger
+	root *obs.Span
+}
 
 func main() {
 	gdsPath := flag.String("gds", "", "GDSII input file")
@@ -33,46 +50,92 @@ func main() {
 	outPath := flag.String("out", "", "write corrected geometry to this GDSII file (single level only)")
 	deckPath := flag.String("deck", "", "JSON job deck: run a multi-layer tape-out job")
 	fast := flag.Bool("fast", true, "reduced source sampling for speed")
+	reportPath := flag.String("report", "", "write an obs RunReport (JSON) to this file")
+	obsListen := flag.String("obs-listen", "", "serve the live inspector (/metrics, /status, /debug/pprof) on this address, e.g. :9090")
+	verbose := flag.Bool("v", false, "verbose progress output")
+	quiet := flag.Bool("q", false, "suppress progress output (errors still print)")
 	flag.Parse()
+
+	a := &app{
+		log:  obs.NewLogger(os.Stderr, obs.ParseLogLevel(*quiet, *verbose), "opcflow"),
+		root: obs.NewSpan("opcflow", obs.Default()),
+	}
+	if *obsListen != "" {
+		ins := &obs.Inspector{}
+		addr, err := ins.ListenAndServe(*obsListen)
+		if err != nil {
+			a.log.Errorf("obs-listen: %v", err)
+			os.Exit(1)
+		}
+		defer ins.Close()
+		a.log.Infof("inspector on http://%s (/metrics /status /debug/pprof)", addr)
+	}
+	var rep *obs.RunReport
+	if *reportPath != "" {
+		rep = obs.NewRunReport("opcflow", os.Args[1:], map[string]any{
+			"gds": *gdsPath, "layer": *layerNum, "workload": *workload,
+			"level": *levelFlag, "deck": *deckPath, "fast": *fast,
+		})
+	}
 
 	var err error
 	if *deckPath != "" {
-		err = runDeck(*deckPath, *gdsPath, *outPath)
+		err = a.runDeck(*deckPath, *gdsPath, *outPath)
 	} else {
-		err = run(*gdsPath, layout.Layer(*layerNum), *workload, *levelFlag, *outPath, *fast)
+		err = a.run(*gdsPath, layout.Layer(*layerNum), *workload, *levelFlag, *outPath, *fast)
+	}
+	a.root.End()
+	if rep != nil {
+		rep.Finish(obs.Default(), a.root)
+		if werr := rep.WriteFile(*reportPath); werr != nil {
+			a.log.Errorf("report: %v", werr)
+			if err == nil {
+				err = werr
+			}
+		} else {
+			a.log.Infof("wrote run report %s", *reportPath)
+		}
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "opcflow:", err)
+		a.log.Errorf("%v", err)
 		os.Exit(1)
 	}
 }
 
 // runDeck executes a JSON job deck against a GDSII layout and writes
 // the layout (now carrying OPC output layers) back out.
-func runDeck(deckPath, gdsPath, outPath string) error {
+func (a *app) runDeck(deckPath, gdsPath, outPath string) error {
+	sp := a.root.Start("load")
 	df, err := os.Open(deckPath)
 	if err != nil {
+		sp.End()
 		return err
 	}
 	deck, err := jobdeck.Parse(df)
 	df.Close()
 	if err != nil {
+		sp.End()
 		return err
 	}
 	if gdsPath == "" {
+		sp.End()
 		return fmt.Errorf("-deck needs -gds input")
 	}
 	gf, err := os.Open(gdsPath)
 	if err != nil {
+		sp.End()
 		return err
 	}
 	ly, err := layout.ReadGDS(gf)
 	gf.Close()
+	sp.End()
 	if err != nil {
 		return err
 	}
-	fmt.Printf("deck %q on %q: calibrating...\n", deck.Name, gdsPath)
+	a.log.Infof("deck %q on %q: calibrating...", deck.Name, gdsPath)
+	sp = a.root.Start("deck-run")
 	rep, err := jobdeck.Run(deck, ly)
+	sp.End()
 	if err != nil {
 		return err
 	}
@@ -82,6 +145,8 @@ func runDeck(deckPath, gdsPath, outPath string) error {
 			lr.Layer, lr.Level, lr.Mode, lr.Cells, lr.Tiles, lr.Figures, lr.Seconds)
 	}
 	if outPath != "" {
+		sp = a.root.Start("write")
+		defer sp.End()
 		out, err := os.Create(outPath)
 		if err != nil {
 			return err
@@ -91,52 +156,64 @@ func runDeck(deckPath, gdsPath, outPath string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s (%d bytes, drawn + OPC layers)\n", outPath, n)
+		a.log.Infof("wrote %s (%d bytes, drawn + OPC layers)", outPath, n)
 	}
 	return nil
 }
 
-func run(gdsPath string, l layout.Layer, workload, levelFlag, outPath string, fast bool) error {
+func (a *app) run(gdsPath string, l layout.Layer, workload, levelFlag, outPath string, fast bool) error {
+	sp := a.root.Start("load")
 	target, err := loadTarget(gdsPath, l, workload)
+	sp.End()
 	if err != nil {
 		return err
 	}
-	fmt.Printf("target: %d polygons on layer %v\n", len(target), l)
+	a.log.Infof("target: %d polygons on layer %v", len(target), l)
 
 	s := optics.Default()
 	if fast {
 		s.SourceSteps = 5
 		s.GuardNM = 1200
 	}
-	fmt.Println("calibrating flow (threshold + rule table)...")
+	a.log.Infof("calibrating flow (threshold + rule table)...")
+	sp = a.root.Start("calibrate")
 	flow, err := core.NewFlow(core.Options{Optics: s, BiasSpaces: []geom.Coord{240, 320, 420, 560}})
+	sp.End()
 	if err != nil {
 		return err
 	}
-	fmt.Printf("calibrated: threshold=%.3f ambit=%d nm\n\n", flow.Threshold, flow.Ambit)
+	a.log.Infof("calibrated: threshold=%.3f ambit=%d nm", flow.Threshold, flow.Ambit)
 
 	levels, err := parseLevels(levelFlag)
 	if err != nil {
 		return err
 	}
 	for _, level := range levels {
+		sp := a.root.Start("correct-" + level.String())
 		if len(target) > 40 {
 			// Large targets go through the tiled engine; report data only.
+			a.log.Verbosef("%s: tiled correction, %d polygons", level, len(target))
+			flow.Span = sp
 			res, st, err := flow.CorrectWindowed(target, level, 4*flow.Ambit, true)
+			flow.Span = nil
 			if err != nil {
+				sp.End()
 				return err
 			}
 			fmt.Printf("%-16s tiles=%d time=%.2fs worstRMS=%.2f polygons=%d\n",
 				level, st.Tiles, st.Seconds, st.WorstRMS, len(res.Corrected))
 			if outPath != "" && len(levels) == 1 {
-				if err := writeOut(outPath, res.Corrected, l); err != nil {
+				if err := a.writeOut(outPath, res.Corrected, l); err != nil {
+					sp.End()
 					return err
 				}
 			}
+			sp.End()
 			continue
 		}
 		imp, err := flow.Assess(target, level)
 		if err != nil {
+			sp.End()
 			return err
 		}
 		fmt.Printf("%-16s EPE mean=%.1f rms=%.1f max=%.1f nm | hotspots pinch=%d bridge=%d lobe=%d epe=%d | figures=%d shots=%d gds=%dB mrc=%d | correct=%.2fs verify=%.2fs\n",
@@ -147,12 +224,15 @@ func run(gdsPath string, l layout.Layer, workload, levelFlag, outPath string, fa
 		if outPath != "" && len(levels) == 1 {
 			res, _, err := flow.Correct(target, level)
 			if err != nil {
+				sp.End()
 				return err
 			}
-			if err := writeOut(outPath, res.AllMask(), l); err != nil {
+			if err := a.writeOut(outPath, res.AllMask(), l); err != nil {
+				sp.End()
 				return err
 			}
 		}
+		sp.End()
 	}
 	return nil
 }
@@ -225,7 +305,7 @@ func parseLevels(s string) ([]core.Level, error) {
 	return nil, fmt.Errorf("unknown level %q", s)
 }
 
-func writeOut(path string, polys []geom.Polygon, l layout.Layer) error {
+func (a *app) writeOut(path string, polys []geom.Polygon, l layout.Layer) error {
 	out := layout.New("corrected")
 	cell := out.MustCell("TOP")
 	for _, p := range polys {
@@ -241,6 +321,6 @@ func writeOut(path string, polys []geom.Polygon, l layout.Layer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s (%d bytes)\n", path, n)
+	a.log.Infof("wrote %s (%d bytes)", path, n)
 	return nil
 }

@@ -23,6 +23,7 @@ import (
 	"goopc/internal/gds"
 	"goopc/internal/geom"
 	"goopc/internal/layout"
+	"goopc/internal/obs"
 	"goopc/internal/opc"
 	"goopc/internal/opc/model"
 	"goopc/internal/optics"
@@ -190,4 +191,32 @@ func NewChecker(sim *Simulator, threshold float64) *Checker {
 func AnalyzeProcessWindow(sim *Simulator, threshold float64, mask []Polygon,
 	window Rect, sites []PWSite, focuses, doses []float64) (*PWResult, error) {
 	return orc.AnalyzeWindow(sim, threshold, mask, window, sites, focuses, doses)
+}
+
+// Observability types (DESIGN.md section 5d): the metrics registry the
+// library instruments itself onto, phase spans, run-report artifacts,
+// and the live HTTP inspector.
+type (
+	// MetricsRegistry holds named counters, gauges and histograms.
+	MetricsRegistry = obs.Registry
+	// Span is a phase-trace span; set Flow.Span to trace tiled runs.
+	Span = obs.Span
+	// RunReport is the per-run JSON artifact (metrics + trace + build).
+	RunReport = obs.RunReport
+	// Inspector serves /metrics, /status and /debug/pprof over HTTP.
+	Inspector = obs.Inspector
+	// Logger is the leveled progress logger used by the CLI tools.
+	Logger = obs.Logger
+)
+
+// Metrics returns the process-wide registry all goopc_* series live on.
+func Metrics() *MetricsRegistry { return obs.Default() }
+
+// NewSpan starts a root phase span on the default registry. End it and
+// pass it to RunReport.Finish (or read Span.Tree) for the trace.
+func NewSpan(name string) *Span { return obs.NewSpan(name, obs.Default()) }
+
+// NewRunReport starts a run-report artifact for a tool invocation.
+func NewRunReport(tool string, args []string, settings map[string]any) *RunReport {
+	return obs.NewRunReport(tool, args, settings)
 }

@@ -13,6 +13,7 @@ import (
 
 	"goopc/internal/geom"
 	"goopc/internal/mask"
+	"goopc/internal/obs"
 	"goopc/internal/opc"
 	"goopc/internal/opc/model"
 	"goopc/internal/opc/rules"
@@ -99,6 +100,11 @@ type Flow struct {
 	// this before any correction (the pre-OPC retargeting stage); the
 	// EPE target remains the retargeted geometry.
 	RetargetMinCD geom.Coord
+	// Span, when non-nil, receives child spans for each CorrectWindowed
+	// context pass (obs phase tracing). Set it from the driving tool
+	// before a run; nil (the default) traces nothing. Not for use from
+	// concurrent CorrectWindowed calls on the same Flow.
+	Span *obs.Span
 	// AnchorCD and AnchorPitch record the calibration anchor.
 	AnchorCD, AnchorPitch geom.Coord
 }

@@ -1,0 +1,34 @@
+package core
+
+import "goopc/internal/obs"
+
+// Registry series for the tiled full-layer scheduler. The per-run
+// TileStats struct remains the API result (fed from the same events),
+// while these series accumulate flow-wide and drive the live /status
+// view: goopc_tiles_done / goopc_tiles_total track the current pass and
+// goopc_workers_busy the engine occupancy.
+var (
+	mRuns = obs.Default().Counter("goopc_corrections_total",
+		"windowed full-layer correction runs")
+	mPasses = obs.Default().Counter("goopc_correction_passes_total",
+		"context passes executed across all runs")
+	mTilesScheduled = obs.Default().Counter("goopc_tiles_scheduled_total",
+		"tiles scheduled (grid tiles containing geometry)")
+	mTilesEmptyPruned = obs.Default().Counter("goopc_tiles_empty_pruned_total",
+		"grid tiles pruned empty at enumeration time")
+	mTilesCorrected = obs.Default().Counter("goopc_tiles_corrected_total",
+		"(tile, pass) engine runs actually executed")
+	mTilesReused = obs.Default().Counter("goopc_tiles_reused_total",
+		"(tile, pass) results reused from a deduplicated equivalence class")
+	mTilesClean = obs.Default().Counter("goopc_tiles_clean_skipped_total",
+		"pass-2+ tiles skipped because no pass-1 movement reached their halo")
+	mTileSeconds = obs.Default().Histogram("goopc_tile_correct_seconds",
+		"wall-clock seconds per tile-class engine run",
+		[]float64{0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30})
+	mTilesDone = obs.Default().Gauge("goopc_tiles_done",
+		"tiles resolved in the current pass (corrected, reused or clean)")
+	mTilesTotal = obs.Default().Gauge("goopc_tiles_total",
+		"tiles scheduled in the current pass")
+	mWorkersBusy = obs.Default().Gauge("goopc_workers_busy",
+		"tile workers currently inside the correction engine")
+)

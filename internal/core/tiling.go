@@ -153,6 +153,9 @@ func (f *Flow) CorrectWindowed(target []geom.Polygon, level Level, tile geom.Coo
 	if len(jobs) == 0 {
 		return opc.Result{}, st, fmt.Errorf("core: no tiles contain geometry")
 	}
+	mRuns.Inc()
+	mTilesScheduled.Add(int64(len(jobs)))
+	mTilesEmptyPruned.Add(int64(st.EmptyPruned))
 
 	workers := 1
 	if parallel {
@@ -182,6 +185,10 @@ func (f *Flow) CorrectWindowed(target []geom.Polygon, level Level, tile geom.Coo
 	ctxPolys := target
 	ctxIdx := idx
 	for pass := 1; pass <= passes; pass++ {
+		passSpan := f.Span.Start(fmt.Sprintf("tile-pass-%d", pass))
+		mPasses.Inc()
+		mTilesTotal.Set(float64(len(jobs)))
+		mTilesDone.Set(0)
 		// Stage 1 (serial, cheap): dirty filtering and dedup classing.
 		// A class groups tiles whose active+context geometry is
 		// identical after translating each tile origin to (0,0); the
@@ -202,6 +209,8 @@ func (f *Flow) CorrectWindowed(target []geom.Polygon, level Level, tile geom.Coo
 				// Context unchanged within the halo: the engine would
 				// reproduce the previous pass's result. Keep it.
 				st.CleanTiles++
+				mTilesClean.Inc()
+				mTilesDone.Add(1)
 				continue
 			}
 			ring := geom.RegionFromRects(window).Subtract(geom.RegionFromRects(core))
@@ -278,7 +287,12 @@ func (f *Flow) CorrectWindowed(target []geom.Polygon, level Level, tile geom.Coo
 					// Everything is clipped to core + halo, so the window
 					// never exceeds tile + 2*halo regardless of how long
 					// the original wires are.
+					mWorkersBusy.Add(1)
+					tc0 := time.Now()
 					res, conv, err := eng.Correct(active, window)
+					mTileSeconds.Observe(time.Since(tc0).Seconds())
+					mWorkersBusy.Add(-1)
+					mTilesDone.Add(float64(len(c.members)))
 					if err != nil {
 						mu.Lock()
 						if firstErr == nil {
@@ -297,6 +311,7 @@ func (f *Flow) CorrectWindowed(target []geom.Polygon, level Level, tile geom.Coo
 		close(classCh)
 		wg.Wait()
 		if firstErr != nil {
+			passSpan.End()
 			st.Seconds = time.Since(t0).Seconds()
 			return opc.Result{}, st, firstErr
 		}
@@ -306,6 +321,7 @@ func (f *Flow) CorrectWindowed(target []geom.Polygon, level Level, tile geom.Coo
 		for ci, c := range classes {
 			cr := classRes[ci]
 			st.CorrectedTiles++
+			mTilesCorrected.Inc()
 			st.Iterations += cr.iters
 			if len(c.members) == 1 {
 				i := c.rep
@@ -314,6 +330,7 @@ func (f *Flow) CorrectWindowed(target []geom.Polygon, level Level, tile geom.Coo
 				continue
 			}
 			st.ReusedTiles += len(c.members) - 1
+			mTilesReused.Add(int64(len(c.members) - 1))
 			for _, i := range c.members {
 				origin := geom.Pt(jobs[i].core.X0, jobs[i].core.Y0)
 				results[i] = geom.TranslatePolygons(cr.polys, origin)
@@ -353,6 +370,7 @@ func (f *Flow) CorrectWindowed(target []geom.Polygon, level Level, tile geom.Coo
 				ctxIdx.Insert(p.BBox(), int32(i))
 			}
 		}
+		passSpan.End()
 	}
 
 	var out opc.Result

@@ -10,10 +10,24 @@ import (
 	"io"
 	"math"
 	"sync"
+	"time"
 
 	"goopc/internal/core"
 	"goopc/internal/geom"
+	"goopc/internal/obs"
 	"goopc/internal/optics"
+)
+
+// Registry series for flow setup: experiments share a calibrated flow,
+// so the build count and the last calibration cost tell how much of a
+// benchtables run was bring-up rather than correction.
+var (
+	mFlowBuilds = obs.Default().Counter("goopc_flow_builds_total",
+		"calibrated flows built (threshold calibration + rule table)")
+	mFlowCacheHits = obs.Default().Counter("goopc_flow_cache_hits_total",
+		"SharedFlow calls served from the per-config flow cache")
+	gCalibrationSeconds = obs.Default().Gauge("goopc_last_calibration_seconds",
+		"wall-clock seconds of the most recent flow calibration")
 )
 
 // Config scales the experiments. Fast() keeps everything laptop-scale;
@@ -46,8 +60,10 @@ func SharedFlow(cfg Config) (*core.Flow, error) {
 	flowMu.Lock()
 	defer flowMu.Unlock()
 	if f, ok := flowCache[key]; ok {
+		mFlowCacheHits.Inc()
 		return f, nil
 	}
+	t0 := time.Now()
 	s := optics.Default()
 	s.SourceSteps = cfg.SourceSteps
 	s.GuardNM = cfg.GuardNM
@@ -55,6 +71,8 @@ func SharedFlow(cfg Config) (*core.Flow, error) {
 	if err != nil {
 		return nil, err
 	}
+	mFlowBuilds.Inc()
+	gCalibrationSeconds.Set(time.Since(t0).Seconds())
 	flowCache[key] = f
 	return f, nil
 }

@@ -1,0 +1,17 @@
+package fft
+
+import "goopc/internal/obs"
+
+// Registry series for the transform substrate. Handles are resolved
+// once at init; the hot paths pay one atomic add per whole transform or
+// pool checkout — never per butterfly.
+var (
+	mPlansBuilt = obs.Default().Counter("goopc_fft_plans_built_total",
+		"2-D FFT plans constructed (twiddle tables resolved)")
+	mTransforms = obs.Default().Counter("goopc_fft_transforms_total",
+		"planned 2-D transforms executed (forward or inverse, full or pruned)")
+	mGridGets = obs.Default().Counter("goopc_fft_grid_gets_total",
+		"pooled grid checkouts")
+	mGridAllocs = obs.Default().Counter("goopc_fft_grid_allocs_total",
+		"pooled grid checkouts that allocated a fresh grid (pool miss)")
+)

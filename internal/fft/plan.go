@@ -28,6 +28,7 @@ func NewPlan2D(w, h int) (*Plan2D, error) {
 	if !IsPow2(w) || !IsPow2(h) {
 		return nil, fmt.Errorf("fft: plan %dx%d not power-of-two", w, h)
 	}
+	mPlansBuilt.Inc()
 	return &Plan2D{
 		W: w, H: h,
 		Workers: runtime.GOMAXPROCS(0),
@@ -65,6 +66,7 @@ func (p *Plan2D) apply(g *Grid, invert bool, rows, cols []int) error {
 	if g.W != p.W || g.H != p.H {
 		return fmt.Errorf("fft: plan %dx%d applied to grid %dx%d", p.W, p.H, g.W, g.H)
 	}
+	mTransforms.Inc()
 	w, h := p.W, p.H
 	for _, y := range rows {
 		if y < 0 || y >= h {
@@ -234,9 +236,11 @@ var gridPools sync.Map // [2]int -> *sync.Pool
 // GetGrid returns a zeroed W x H grid from the pool.
 func GetGrid(w, h int) *Grid {
 	key := [2]int{w, h}
+	mGridGets.Inc()
 	p, ok := gridPools.Load(key)
 	if !ok {
 		p, _ = gridPools.LoadOrStore(key, &sync.Pool{New: func() any {
+			mGridAllocs.Inc()
 			return NewGrid(w, h)
 		}})
 	}

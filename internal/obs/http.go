@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"time"
+)
+
+// Inspector serves the live run view over HTTP:
+//
+//	/metrics       Prometheus text exposition of the registry
+//	/status        JSON: current phase, uptime, every gauge, derived
+//	               cache hit rates, plus any extra Status fields
+//	/debug/pprof/  the standard Go profiling endpoints
+//
+// Wire it with `opcflow -obs-listen :9090` and poll with curl while a
+// run is in flight.
+type Inspector struct {
+	// Registry defaults to Default() when nil.
+	Registry *Registry
+	// Status, when non-nil, contributes extra top-level fields to the
+	// /status payload (merged over the built-in ones).
+	Status func() map[string]any
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+func (ins *Inspector) registry() *Registry {
+	if ins.Registry != nil {
+		return ins.Registry
+	}
+	return Default()
+}
+
+// Handler returns the inspector's route table (also usable under
+// httptest or an existing server).
+func (ins *Inspector) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = ins.registry().WritePrometheus(w)
+	})
+	mux.HandleFunc("/status", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(ins.statusPayload())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// statusPayload assembles the /status JSON: the current phase label,
+// uptime, all gauges (tile progress, worker occupancy, ...), counters,
+// and a derived hit rate for every <base>_hits_total /
+// <base>_misses_total counter pair on the registry.
+func (ins *Inspector) statusPayload() map[string]any {
+	reg := ins.registry()
+	snap := reg.Snapshot()
+	out := map[string]any{
+		"phase":          snap.Labels["phase"],
+		"uptime_seconds": time.Since(reg.Start()).Seconds(),
+		"gauges":         snap.Gauges,
+		"counters":       snap.Counters,
+	}
+	rates := map[string]float64{}
+	for name, hits := range snap.Counters {
+		base, ok := strings.CutSuffix(name, "_hits_total")
+		if !ok {
+			continue
+		}
+		if misses, ok := snap.Counters[base+"_misses_total"]; ok && hits+misses > 0 {
+			rates[base+"_hit_rate"] = float64(hits) / float64(hits+misses)
+		}
+	}
+	if len(rates) > 0 {
+		out["hit_rates"] = rates
+	}
+	if ins.Status != nil {
+		for k, v := range ins.Status() {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// ListenAndServe binds addr (e.g. ":9090"; ":0" picks a free port) and
+// serves the inspector in a background goroutine, returning the bound
+// address.
+func (ins *Inspector) ListenAndServe(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	ins.ln = ln
+	ins.srv = &http.Server{Handler: ins.Handler()}
+	go func() { _ = ins.srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// Close shuts the inspector's listener down.
+func (ins *Inspector) Close() error {
+	if ins.srv == nil {
+		return nil
+	}
+	return ins.srv.Close()
+}

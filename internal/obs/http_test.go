@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestInspectorRoundTrip serves a populated registry through the
+// inspector handler and checks both endpoints end to end.
+func TestInspectorRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("goopc_kernel_cache_hits_total", "kernel cache hits").Add(9)
+	reg.Counter("goopc_kernel_cache_misses_total", "kernel cache misses").Add(1)
+	reg.Gauge("goopc_tiles_done", "tiles finished this pass").Set(5)
+	reg.Gauge("goopc_tiles_total", "tiles scheduled this pass").Set(8)
+	reg.Histogram("goopc_model_epe_rms_nm", "per-iteration EPE RMS", []float64{1, 4, 16}).Observe(2.5)
+	reg.SetLabel("phase", "run/correct/pass-1")
+
+	ins := &Inspector{Registry: reg, Status: func() map[string]any {
+		return map[string]any{"extra": "value"}
+	}}
+	srv := httptest.NewServer(ins.Handler())
+	defer srv.Close()
+
+	// /metrics: Prometheus text with every series.
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("metrics content type = %q", ct)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"goopc_kernel_cache_hits_total 9",
+		"goopc_kernel_cache_misses_total 1",
+		"goopc_tiles_done 5",
+		`goopc_model_epe_rms_nm_bucket{le="4"} 1`,
+		"goopc_model_epe_rms_nm_count 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, text)
+		}
+	}
+
+	// /status: JSON with phase, gauges, derived hit rate, extra fields.
+	resp, err = http.Get(srv.URL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var status map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if status["phase"] != "run/correct/pass-1" {
+		t.Errorf("status phase = %v", status["phase"])
+	}
+	gauges, _ := status["gauges"].(map[string]any)
+	if gauges["goopc_tiles_done"] != 5.0 || gauges["goopc_tiles_total"] != 8.0 {
+		t.Errorf("status gauges = %v", gauges)
+	}
+	rates, _ := status["hit_rates"].(map[string]any)
+	if r, _ := rates["goopc_kernel_cache_hit_rate"].(float64); r != 0.9 {
+		t.Errorf("derived hit rate = %v, want 0.9", rates)
+	}
+	if status["extra"] != "value" {
+		t.Errorf("custom status field missing: %v", status)
+	}
+	if _, ok := status["uptime_seconds"].(float64); !ok {
+		t.Errorf("uptime missing: %v", status)
+	}
+
+	// /debug/pprof index responds.
+	resp, err = http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof index status = %d", resp.StatusCode)
+	}
+}
+
+// TestListenAndServe binds an ephemeral port and hits the live server.
+func TestListenAndServe(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c_total", "").Inc()
+	ins := &Inspector{Registry: reg}
+	addr, err := ins.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ins.Close()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "c_total 1") {
+		t.Errorf("live /metrics missing counter: %s", body)
+	}
+}

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// LogLevel selects how chatty a Logger is.
+type LogLevel int32
+
+// Levels, least to most verbose. Errors always print.
+const (
+	// LevelQuiet suppresses progress output (errors still print).
+	LevelQuiet LogLevel = iota
+	// LevelNormal prints the standard progress lines.
+	LevelNormal
+	// LevelVerbose adds per-step detail.
+	LevelVerbose
+)
+
+// ParseLogLevel maps the conventional -q/-v flag pair to a level.
+func ParseLogLevel(quiet, verbose bool) LogLevel {
+	switch {
+	case quiet:
+		return LevelQuiet
+	case verbose:
+		return LevelVerbose
+	}
+	return LevelNormal
+}
+
+// Logger is a minimal leveled logger for tool progress output. It
+// writes one line per call, serializes concurrent writers, and is
+// nil-safe: every method on a nil *Logger is a no-op, so library code
+// can accept an optional logger without guarding call sites.
+type Logger struct {
+	mu     sync.Mutex
+	w      io.Writer
+	level  LogLevel
+	prefix string
+}
+
+// NewLogger returns a logger writing to w at the given level. An empty
+// prefix is allowed; a non-empty one is prepended as "prefix: ".
+func NewLogger(w io.Writer, level LogLevel, prefix string) *Logger {
+	return &Logger{w: w, level: level, prefix: prefix}
+}
+
+// Level returns the logger's level (LevelQuiet for a nil logger).
+func (l *Logger) Level() LogLevel {
+	if l == nil {
+		return LevelQuiet
+	}
+	return l.level
+}
+
+func (l *Logger) printf(min LogLevel, format string, args ...any) {
+	if l == nil || l.level < min {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.prefix != "" {
+		fmt.Fprintf(l.w, "%s: ", l.prefix)
+	}
+	fmt.Fprintf(l.w, format, args...)
+	fmt.Fprintln(l.w)
+}
+
+// Errorf always prints (even at LevelQuiet): errors are not progress.
+func (l *Logger) Errorf(format string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.printf(LevelQuiet, format, args...)
+}
+
+// Infof prints at LevelNormal and above: the standard progress lines.
+func (l *Logger) Infof(format string, args ...any) {
+	l.printf(LevelNormal, format, args...)
+}
+
+// Verbosef prints only at LevelVerbose: per-step detail.
+func (l *Logger) Verbosef(format string, args ...any) {
+	l.printf(LevelVerbose, format, args...)
+}

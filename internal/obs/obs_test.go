@@ -1,0 +1,303 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentHammering drives every metric kind from many goroutines
+// at once; run under -race this doubles as the data-race proof, and the
+// final values prove no update was lost.
+func TestConcurrentHammering(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("test_ops_total", "ops")
+	g := reg.Gauge("test_occupancy", "busy workers")
+	h := reg.Histogram("test_latency_seconds", "latency", []float64{0.1, 1, 10})
+
+	const workers = 8
+	const perWorker = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(float64(i%20) / 2) // 0..9.5
+				if i%100 == 0 {
+					// Concurrent snapshot readers must not race writers.
+					_ = reg.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := g.Value(); got != 0 {
+		t.Errorf("gauge = %v, want 0 (balanced adds)", got)
+	}
+	if got := h.Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	// Each worker observes 0, 0.5, ... 9.5 in rotation: sum per 20
+	// observations is 95.
+	wantSum := float64(workers) * float64(perWorker) / 20 * 95
+	if got := h.Sum(); math.Abs(got-wantSum) > 1e-6 {
+		t.Errorf("histogram sum = %v, want %v", got, wantSum)
+	}
+	snap := reg.Snapshot()
+	hs := snap.Histograms["test_latency_seconds"]
+	var total int64
+	for _, n := range hs.Counts {
+		total += n
+	}
+	if total != workers*perWorker {
+		t.Errorf("bucket counts sum to %d, want %d", total, workers*perWorker)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("h", "", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 4, 5, 100} {
+		h.Observe(v)
+	}
+	snap := reg.Snapshot().Histograms["h"]
+	// le=1: {0.5, 1}; le=2: {1.5, 2}; le=4: {3, 4}; +Inf: {5, 100}.
+	want := []int64{2, 2, 2, 2}
+	for i, n := range snap.Counts {
+		if n != want[i] {
+			t.Errorf("bucket %d = %d, want %d (counts %v)", i, n, want[i], snap.Counts)
+		}
+	}
+}
+
+func TestRegistryIdempotentAndKindCollision(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("x_total", "first")
+	b := reg.Counter("x_total", "second")
+	if a != b {
+		t.Errorf("Counter not idempotent: %p vs %p", a, b)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("registering a counter name as a gauge did not panic")
+		}
+	}()
+	reg.Gauge("x_total", "")
+}
+
+// TestSpanNesting checks parent/child structure, wall-time sanity,
+// idempotent End, and the registry phase label lifecycle.
+func TestSpanNesting(t *testing.T) {
+	reg := NewRegistry()
+	root := NewSpan("run", reg)
+	if got := reg.Label("phase"); got != "run" {
+		t.Errorf("phase after root start = %q, want %q", got, "run")
+	}
+	a := root.Start("correct")
+	if got := reg.Label("phase"); got != "run/correct" {
+		t.Errorf("phase in child = %q, want %q", got, "run/correct")
+	}
+	inner := a.Start("pass-1")
+	time.Sleep(10 * time.Millisecond)
+	inner.End()
+	inner.End() // idempotent
+	a.End()
+	if got := reg.Label("phase"); got != "run" {
+		t.Errorf("phase after child end = %q, want %q", got, "run")
+	}
+	b := root.Start("verify")
+	b.End()
+	root.End()
+
+	tree := root.Tree()
+	if len(tree.Children) != 2 || tree.Children[0].Name != "correct" || tree.Children[1].Name != "verify" {
+		t.Fatalf("tree children = %+v, want [correct verify]", tree.Children)
+	}
+	pass := tree.Children[0].Children
+	if len(pass) != 1 || pass[0].Name != "pass-1" {
+		t.Fatalf("nested child = %+v, want [pass-1]", pass)
+	}
+	if pass[0].WallMS < 5 {
+		t.Errorf("pass-1 wall = %v ms, want >= 5 (slept 10ms)", pass[0].WallMS)
+	}
+	if tree.WallMS < tree.Children[0].WallMS {
+		t.Errorf("root wall %v < child wall %v", tree.WallMS, tree.Children[0].WallMS)
+	}
+	// Sequential children must sum to no more than the root.
+	sum := tree.Children[0].WallMS + tree.Children[1].WallMS
+	if sum > tree.WallMS*1.01 {
+		t.Errorf("children wall sum %v exceeds root %v", sum, tree.WallMS)
+	}
+}
+
+func TestSpanNilSafe(t *testing.T) {
+	var s *Span
+	c := s.Start("child")
+	if c != nil {
+		t.Errorf("nil.Start returned non-nil")
+	}
+	c.End()
+	s.End()
+	if got := s.Tree(); got.Name != "" {
+		t.Errorf("nil.Tree = %+v, want zero", got)
+	}
+	if s.Wall() != 0 || s.Path() != "" {
+		t.Errorf("nil span accessors not zero")
+	}
+}
+
+func TestSpanConcurrentChildren(t *testing.T) {
+	root := NewSpan("run", nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := root.Start("tile")
+			c.End()
+		}()
+	}
+	wg.Wait()
+	root.End()
+	if got := len(root.Tree().Children); got != 16 {
+		t.Errorf("children = %d, want 16", got)
+	}
+}
+
+// TestPrometheusGolden locks the exposition format byte-for-byte.
+func TestPrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("app_requests_total", "requests served").Add(42)
+	reg.Gauge("app_workers", "busy workers").Set(2.5)
+	h := reg.Histogram("app_epe_nm", "EPE per site", []float64{1, 2.5, 8})
+	h.Observe(0.5)
+	h.Observe(2)
+	h.Observe(100)
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP app_epe_nm EPE per site
+# TYPE app_epe_nm histogram
+app_epe_nm_bucket{le="1"} 1
+app_epe_nm_bucket{le="2.5"} 2
+app_epe_nm_bucket{le="8"} 2
+app_epe_nm_bucket{le="+Inf"} 3
+app_epe_nm_sum 102.5
+app_epe_nm_count 3
+# HELP app_requests_total requests served
+# TYPE app_requests_total counter
+app_requests_total 42
+# HELP app_workers busy workers
+# TYPE app_workers gauge
+app_workers 2.5
+`
+	if got := buf.String(); got != want {
+		t.Errorf("prometheus text mismatch\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c_total", "").Add(7)
+	reg.Gauge("g", "").Set(1.5)
+	reg.Histogram("h", "", []float64{1}).Observe(3)
+	reg.SetLabel("phase", "correct")
+
+	data, err := json.Marshal(reg.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["c_total"] != 7 || back.Gauges["g"] != 1.5 ||
+		back.Labels["phase"] != "correct" || back.Histograms["h"].Count != 1 {
+		t.Errorf("round trip lost data: %+v", back)
+	}
+}
+
+func TestLoggerLevels(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelNormal, "tool")
+	l.Errorf("boom %d", 1)
+	l.Infof("progress")
+	l.Verbosef("detail")
+	got := buf.String()
+	if !strings.Contains(got, "tool: boom 1\n") || !strings.Contains(got, "tool: progress\n") {
+		t.Errorf("missing expected lines in %q", got)
+	}
+	if strings.Contains(got, "detail") {
+		t.Errorf("verbose line printed at normal level: %q", got)
+	}
+
+	buf.Reset()
+	q := NewLogger(&buf, LevelQuiet, "")
+	q.Infof("progress")
+	q.Errorf("err")
+	if got := buf.String(); got != "err\n" {
+		t.Errorf("quiet logger output = %q, want just the error", got)
+	}
+
+	var nilLogger *Logger
+	nilLogger.Infof("no panic")
+	nilLogger.Errorf("no panic")
+	if nilLogger.Level() != LevelQuiet {
+		t.Errorf("nil logger level = %v, want quiet", nilLogger.Level())
+	}
+}
+
+func TestParseLogLevel(t *testing.T) {
+	if ParseLogLevel(true, false) != LevelQuiet ||
+		ParseLogLevel(false, true) != LevelVerbose ||
+		ParseLogLevel(false, false) != LevelNormal ||
+		ParseLogLevel(true, true) != LevelQuiet {
+		t.Errorf("ParseLogLevel mapping wrong")
+	}
+}
+
+func TestRunReportFinish(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c_total", "").Inc()
+	root := NewSpan("run", reg)
+	child := root.Start("phase-a")
+	child.End()
+	root.End()
+
+	rep := NewRunReport("testtool", []string{"-x"}, map[string]any{"fast": true})
+	rep.Finish(reg, root)
+	if rep.Tool != "testtool" || rep.Build.GoVersion == "" || rep.WallSeconds < 0 {
+		t.Errorf("report header incomplete: %+v", rep)
+	}
+	if rep.Metrics.Counters["c_total"] != 1 {
+		t.Errorf("report metrics missing counter")
+	}
+	if rep.Trace == nil || rep.Trace.Name != "run" || len(rep.Trace.Children) != 1 {
+		t.Errorf("report trace wrong: %+v", rep.Trace)
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back RunReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Trace.Children[0].Name != "phase-a" {
+		t.Errorf("trace lost in JSON round trip")
+	}
+}

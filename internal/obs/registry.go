@@ -1,0 +1,359 @@
+// Package obs is the flow-wide observability substrate: a
+// concurrency-safe metrics registry (atomic counters, gauges and
+// fixed-bucket histograms with snapshot and Prometheus-text
+// exposition), span-based phase tracing (wall clock plus process CPU
+// and heap-allocation deltas, nested into a per-run trace tree), a
+// leveled logger for tool progress output, a RunReport JSON artifact
+// tying all of it to a build/settings fingerprint, and a live HTTP
+// inspector serving /metrics, /status and /debug/pprof.
+//
+// Everything is stdlib-only and designed for always-on use: the hot
+// paths (counter adds, gauge sets, histogram observes) are single
+// atomic operations with no locks, so instrumented engine loops pay
+// nanoseconds per event. Metric handles are resolved once at package
+// init — never inside inner loops.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric. The zero value is not
+// usable; obtain counters from a Registry (or construct standalone ones
+// with NewCounter for per-object statistics that mirror into a
+// registry-level series).
+type Counter struct {
+	name, help string
+	v          atomic.Int64
+}
+
+// NewCounter returns a standalone (unregistered) counter. Useful for
+// per-object statistics — e.g. a per-simulator cache-hit count — whose
+// flow-wide total is mirrored onto a registered counter.
+func NewCounter(name string) *Counter { return &Counter{name: name} }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 for the Prometheus contract; this is not
+// enforced on the hot path).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Reset zeroes the counter. Only standalone per-object counters should
+// be reset (registered series are expected to be monotone).
+func (c *Counter) Reset() { c.v.Store(0) }
+
+// Name returns the metric name.
+func (c *Counter) Name() string { return c.name }
+
+// Gauge is a settable float64 metric (current value semantics).
+type Gauge struct {
+	name, help string
+	bits       atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add atomically adds delta (CAS loop; used for occupancy-style
+// up/down tracking).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Name returns the metric name.
+func (g *Gauge) Name() string { return g.name }
+
+// Histogram is a fixed-bucket distribution. Bounds are inclusive upper
+// edges in ascending order; an implicit +Inf bucket catches the rest.
+// Observe is lock-free: one binary search plus three atomics.
+type Histogram struct {
+	name, help string
+	bounds     []float64
+	buckets    []atomic.Int64 // len(bounds)+1; last is +Inf
+	count      atomic.Int64
+	sumBits    atomic.Uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Name returns the metric name.
+func (h *Histogram) Name() string { return h.name }
+
+// HistogramSnapshot is one histogram's frozen state.
+type HistogramSnapshot struct {
+	// Bounds are the inclusive upper bucket edges; Counts has one more
+	// entry than Bounds (the +Inf overflow bucket). Counts are
+	// per-bucket, not cumulative.
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// Snapshot is a point-in-time copy of a registry, JSON-serializable
+// (the RunReport metrics section).
+type Snapshot struct {
+	Labels     map[string]string            `json:"labels,omitempty"`
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Registry holds named metrics. Metric creation takes a lock (done once
+// at package init); metric updates are lock-free. A Registry also
+// carries a small set of string labels (e.g. the current phase) for the
+// /status view.
+type Registry struct {
+	start    time.Time
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	labels   map[string]string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		start:    time.Now(),
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+		labels:   map[string]string{},
+	}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry every instrumented package
+// registers on.
+func Default() *Registry { return defaultRegistry }
+
+// Start returns the registry creation time (process start for the
+// default registry); /status reports uptime against it.
+func (r *Registry) Start() time.Time { return r.start }
+
+func (r *Registry) checkFree(name, kind string) {
+	if _, ok := r.counters[name]; ok && kind != "counter" {
+		panic(fmt.Sprintf("obs: metric %q already registered as counter", name))
+	}
+	if _, ok := r.gauges[name]; ok && kind != "gauge" {
+		panic(fmt.Sprintf("obs: metric %q already registered as gauge", name))
+	}
+	if _, ok := r.hists[name]; ok && kind != "histogram" {
+		panic(fmt.Sprintf("obs: metric %q already registered as histogram", name))
+	}
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use. Registering the same name as a different metric kind
+// panics (programmer error, caught at init).
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	r.checkFree(name, "counter")
+	c := &Counter{name: name, help: help}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	r.checkFree(name, "gauge")
+	g := &Gauge{name: name, help: help}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it
+// with the given ascending bucket bounds on first use.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	r.checkFree(name, "histogram")
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q bounds not ascending", name))
+		}
+	}
+	h := &Histogram{
+		name: name, help: help,
+		bounds:  append([]float64(nil), bounds...),
+		buckets: make([]atomic.Int64, len(bounds)+1),
+	}
+	r.hists[name] = h
+	return h
+}
+
+// SetLabel sets a string label (e.g. "phase") shown in /status and the
+// snapshot.
+func (r *Registry) SetLabel(key, value string) {
+	r.mu.Lock()
+	r.labels[key] = value
+	r.mu.Unlock()
+}
+
+// Label returns a label's current value.
+func (r *Registry) Label(key string) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.labels[key]
+}
+
+// Snapshot copies every metric's current value.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]float64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	if len(r.labels) > 0 {
+		s.Labels = make(map[string]string, len(r.labels))
+		for k, v := range r.labels {
+			s.Labels[k] = v
+		}
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		hs := HistogramSnapshot{
+			Bounds: append([]float64(nil), h.bounds...),
+			Counts: make([]int64, len(h.buckets)),
+			Count:  h.Count(),
+			Sum:    h.Sum(),
+		}
+		for i := range h.buckets {
+			hs.Counts[i] = h.buckets[i].Load()
+		}
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4), metrics sorted by name so the output is
+// deterministic.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+	names := make([]string, 0, len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms))
+	for n := range snap.Counters {
+		names = append(names, n)
+	}
+	for n := range snap.Gauges {
+		names = append(names, n)
+	}
+	for n := range snap.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	r.mu.Lock()
+	helps := make(map[string]string, len(names))
+	for n, c := range r.counters {
+		helps[n] = c.help
+	}
+	for n, g := range r.gauges {
+		helps[n] = g.help
+	}
+	for n, h := range r.hists {
+		helps[n] = h.help
+	}
+	r.mu.Unlock()
+	for _, name := range names {
+		if help := helps[name]; help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, help); err != nil {
+				return err
+			}
+		}
+		if v, ok := snap.Counters[name]; ok {
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, v); err != nil {
+				return err
+			}
+			continue
+		}
+		if v, ok := snap.Gauges[name]; ok {
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name, formatFloat(v)); err != nil {
+				return err
+			}
+			continue
+		}
+		hs := snap.Histograms[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+			return err
+		}
+		cum := int64(0)
+		for i, b := range hs.Bounds {
+			cum += hs.Counts[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatFloat(b), cum); err != nil {
+				return err
+			}
+		}
+		cum += hs.Counts[len(hs.Counts)-1]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", name, formatFloat(hs.Sum), name, hs.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"time"
+)
+
+// BuildInfo fingerprints the binary and host a run executed on.
+type BuildInfo struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// RunReport is the per-run observability artifact: what ran (tool,
+// args, build and settings fingerprint), when, the full metrics
+// snapshot, and the phase trace tree. Emitted by `opcflow -report` and
+// `benchtables -report`; the schema is documented in DESIGN.md §5d.
+type RunReport struct {
+	// Tool names the emitting command; Args its command line.
+	Tool string   `json:"tool"`
+	Args []string `json:"args,omitempty"`
+	// Build fingerprints the binary; Settings the run configuration
+	// (tool-specific: flag values, optics settings, ...).
+	Build    BuildInfo `json:"build"`
+	Settings any       `json:"settings,omitempty"`
+	// Start/End bound the run; WallSeconds is their difference.
+	Start       time.Time `json:"start"`
+	End         time.Time `json:"end"`
+	WallSeconds float64   `json:"wall_seconds"`
+	// Metrics is the registry snapshot at End; Trace the span tree.
+	Metrics Snapshot  `json:"metrics"`
+	Trace   *SpanNode `json:"trace,omitempty"`
+}
+
+// NewRunReport starts a report for the named tool. settings may be nil.
+func NewRunReport(tool string, args []string, settings any) *RunReport {
+	return &RunReport{
+		Tool: tool,
+		Args: args,
+		Build: BuildInfo{
+			GoVersion:  runtime.Version(),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			NumCPU:     runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+		},
+		Settings: settings,
+		Start:    time.Now(),
+	}
+}
+
+// Finish stamps the end time and captures the registry snapshot and
+// (when root is non-nil) the trace tree.
+func (r *RunReport) Finish(reg *Registry, root *Span) {
+	r.End = time.Now()
+	r.WallSeconds = r.End.Sub(r.Start).Seconds()
+	if reg != nil {
+		r.Metrics = reg.Snapshot()
+	}
+	if root != nil {
+		t := root.Tree()
+		r.Trace = &t
+	}
+}
+
+// WriteFile writes the report as indented JSON.
+func (r *RunReport) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return os.WriteFile(path, data, 0o644)
+}

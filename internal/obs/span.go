@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// Span is one timed phase of a run. Spans nest: Start creates a child,
+// End freezes the span's wall-clock, process-CPU and heap-allocation
+// deltas. The resulting tree (Tree) is the RunReport trace.
+//
+// All Span methods are nil-safe no-ops, so call sites can thread an
+// optional span through without guarding (`f.Span.Start("pass-1")` on a
+// nil f.Span returns nil, and nil.End() does nothing).
+//
+// CPU and allocation deltas are process-wide (rusage user+system time
+// and the runtime's cumulative heap-allocation total), so sibling spans
+// running concurrently each observe the whole process's activity during
+// their window; within a single-threaded phase sequence they partition
+// exactly. Child creation is safe from concurrent goroutines.
+//
+// When the span carries a registry (NewSpan's reg, inherited by
+// children), Start and End maintain the registry's "phase" label with
+// the path of the innermost open span, which is what the /status
+// endpoint reports as the current phase.
+type Span struct {
+	name   string
+	reg    *Registry
+	parent *Span
+	start  time.Time
+	cpu0   time.Duration
+	alloc0 uint64
+
+	mu       sync.Mutex
+	children []*Span
+	done     bool
+	wall     time.Duration
+	cpu      time.Duration
+	alloc    uint64
+}
+
+// NewSpan starts a root span. reg may be nil; when set, the registry's
+// "phase" label tracks the innermost open span under this root.
+func NewSpan(name string, reg *Registry) *Span {
+	s := &Span{
+		name:   name,
+		reg:    reg,
+		start:  time.Now(),
+		cpu0:   processCPU(),
+		alloc0: heapAllocBytes(),
+	}
+	if reg != nil {
+		reg.SetLabel("phase", name)
+	}
+	return s
+}
+
+// Start creates and starts a child span.
+func (s *Span) Start(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{
+		name:   name,
+		reg:    s.reg,
+		parent: s,
+		start:  time.Now(),
+		cpu0:   processCPU(),
+		alloc0: heapAllocBytes(),
+	}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	if s.reg != nil {
+		s.reg.SetLabel("phase", c.Path())
+	}
+	return c
+}
+
+// End freezes the span's deltas. Idempotent; ending an already-ended
+// span keeps the first measurement.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.done {
+		s.mu.Unlock()
+		return
+	}
+	s.done = true
+	s.wall = time.Since(s.start)
+	s.cpu = processCPU() - s.cpu0
+	s.alloc = heapAllocBytes() - s.alloc0
+	s.mu.Unlock()
+	if s.reg != nil {
+		if s.parent != nil {
+			s.reg.SetLabel("phase", s.parent.Path())
+		} else {
+			s.reg.SetLabel("phase", s.name+" (done)")
+		}
+	}
+}
+
+// Path returns the slash-joined span path from the root.
+func (s *Span) Path() string {
+	if s == nil {
+		return ""
+	}
+	if s.parent == nil {
+		return s.name
+	}
+	return s.parent.Path() + "/" + s.name
+}
+
+// Wall returns the span's wall-clock duration (elapsed so far when the
+// span is still open).
+func (s *Span) Wall() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.done {
+		return s.wall
+	}
+	return time.Since(s.start)
+}
+
+// SpanNode is the JSON-serializable form of a span subtree.
+type SpanNode struct {
+	Name string `json:"name"`
+	// Start is the span's absolute start time.
+	Start time.Time `json:"start"`
+	// WallMS is wall-clock milliseconds; CPUMS process CPU (user +
+	// system) milliseconds during the span; AllocBytes the process heap
+	// bytes allocated during it. Open spans report progress so far.
+	WallMS     float64    `json:"wall_ms"`
+	CPUMS      float64    `json:"cpu_ms"`
+	AllocBytes uint64     `json:"alloc_bytes"`
+	Children   []SpanNode `json:"children,omitempty"`
+}
+
+// Tree freezes the span subtree into its serializable form.
+func (s *Span) Tree() SpanNode {
+	if s == nil {
+		return SpanNode{}
+	}
+	s.mu.Lock()
+	n := SpanNode{Name: s.name, Start: s.start}
+	if s.done {
+		n.WallMS = float64(s.wall) / float64(time.Millisecond)
+		n.CPUMS = float64(s.cpu) / float64(time.Millisecond)
+		n.AllocBytes = s.alloc
+	} else {
+		n.WallMS = float64(time.Since(s.start)) / float64(time.Millisecond)
+		n.CPUMS = float64(processCPU()-s.cpu0) / float64(time.Millisecond)
+		n.AllocBytes = heapAllocBytes() - s.alloc0
+	}
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range children {
+		n.Children = append(n.Children, c.Tree())
+	}
+	return n
+}
+
+// heapAllocBytes returns the runtime's cumulative heap allocation total
+// (monotone; no stop-the-world, unlike runtime.ReadMemStats).
+func heapAllocBytes() uint64 {
+	s := []metrics.Sample{{Name: "/gc/heap/allocs:bytes"}}
+	metrics.Read(s)
+	if s[0].Value.Kind() == metrics.KindUint64 {
+		return s[0].Value.Uint64()
+	}
+	return 0
+}

@@ -1,0 +1,22 @@
+package model
+
+import "goopc/internal/obs"
+
+// Registry series for the correction engine: run outcomes, the
+// iteration-count distribution the convergence early-exit shrinks, and
+// the per-iteration EPE-RMS distribution — the quality trajectory of
+// every engine run in the flow.
+var (
+	mRuns = obs.Default().Counter("goopc_model_runs_total",
+		"model-OPC engine runs (Correct calls)")
+	mConverged = obs.Default().Counter("goopc_model_converged_total",
+		"engine runs that hit the EPE tolerance before MaxIter")
+	mEarlyExit = obs.Default().Counter("goopc_model_early_exit_total",
+		"engine runs ended by the RMS-improvement criterion (RMSEps)")
+	mIterations = obs.Default().Histogram("goopc_model_iterations",
+		"correction iterations per engine run",
+		[]float64{1, 2, 3, 4, 6, 8, 12, 16})
+	mEPERMS = obs.Default().Histogram("goopc_model_epe_rms_nm",
+		"EPE RMS (nm) at each measured iteration, all engine runs",
+		[]float64{0.5, 1, 2, 4, 8, 16, 32, 64})
+)

@@ -148,6 +148,7 @@ func (e *Engine) Correct(target []geom.Polygon, window geom.Rect) (opc.Result, C
 			return opc.Result{}, conv, fmt.Errorf("model: iteration %d imaging: %w", iter, err)
 		}
 		stats, worst := e.measure(images, frags)
+		mEPERMS.Observe(stats.RMS)
 		conv.PerIter = append(conv.PerIter, stats)
 		if worst <= e.Tol {
 			conv.Converged = true
@@ -165,6 +166,14 @@ func (e *Engine) Correct(target []geom.Polygon, window geom.Rect) (opc.Result, C
 		}
 		e.update(images, frags)
 		conv.Iterations++
+	}
+	mRuns.Inc()
+	mIterations.Observe(float64(conv.Iterations))
+	if conv.Converged {
+		mConverged.Inc()
+	}
+	if conv.EarlyExit {
+		mEarlyExit.Inc()
 	}
 	return opc.Result{Corrected: e.rebuild(frags), SRAFs: e.SRAFs}, conv, nil
 }

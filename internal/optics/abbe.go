@@ -46,8 +46,10 @@ func (sim *Simulator) SourcePoints() int { return len(sim.src) }
 func (sim *Simulator) plan(w, h int) (*fft.Plan2D, error) {
 	key := [2]int{w, h}
 	if p, ok := sim.plans.Load(key); ok {
+		mPlanReuse.Inc()
 		return p.(*fft.Plan2D), nil
 	}
+	mPlanBuilds.Inc()
 	p, err := fft.NewPlan2D(w, h)
 	if err != nil {
 		return nil, err
@@ -88,8 +90,10 @@ func (sim *Simulator) AerialDefocus(mask []geom.Polygon, window geom.Rect, defoc
 		return nil, fmt.Errorf("optics: window %v needs %dx%d grid; enlarge pixel or shrink window",
 			window, frame.W, frame.H)
 	}
+	mFramePixels.Observe(float64(frame.W * frame.H))
 	var intensity []float64
 	if sim.S.Engine == EngineAbbe {
+		mImagesAbbe.Inc()
 		spectrum, err := sim.maskSpectrum(mask, frame, nil)
 		if err != nil {
 			return nil, err
@@ -100,6 +104,7 @@ func (sim *Simulator) AerialDefocus(mask []geom.Polygon, window geom.Rect, defoc
 			return nil, err
 		}
 	} else {
+		mImagesSOCS.Inc()
 		// Kernels first: the kernel set knows which spectrum columns are
 		// in-band, so the forward transform can skip the rest.
 		ks, err := sim.kernels(frame, defocusNM)
@@ -254,6 +259,7 @@ func (sim *Simulator) abbeIntensity(spectrum *fft.Grid, frame Frame, defocusNM f
 func (sim *Simulator) sourceField(spectrum, field *fft.Grid, frame Frame, sp srcPoint,
 	defocusNM, naOverLambda float64, fxs, fys []float64) error {
 	sim.fieldEvals.Add(1)
+	mFieldEvals.Inc()
 	sx := sp.SX * naOverLambda
 	sy := sp.SY * naOverLambda
 	cutoff := naOverLambda

@@ -100,11 +100,14 @@ func (sim *Simulator) kernels(frame Frame, defocusNM float64) (*kernelSet, error
 		e, loaded = sim.kcache.LoadOrStore(key, &kernelEntry{})
 		if loaded {
 			sim.kernelHits.Add(1)
+			mKernelHits.Inc()
 		} else {
 			sim.kernelMisses.Add(1)
+			mKernelMisses.Inc()
 		}
 	} else {
 		sim.kernelHits.Add(1)
+		mKernelHits.Inc()
 	}
 	entry := e.(*kernelEntry)
 	entry.once.Do(func() {
@@ -114,18 +117,26 @@ func (sim *Simulator) kernels(frame Frame, defocusNM float64) (*kernelSet, error
 }
 
 // KernelCacheStats reports SOCS kernel cache hits and misses since the
-// simulator was created.
+// simulator was created (or last ResetKernelCache). This is a thin
+// per-simulator shim over the same events mirrored onto the obs
+// registry as goopc_kernel_cache_{hits,misses}_total — the registry
+// series aggregate every simulator in the process and are never reset.
 func (sim *Simulator) KernelCacheStats() (hits, misses int64) {
 	return sim.kernelHits.Load(), sim.kernelMisses.Load()
 }
 
-// ResetKernelCache drops every cached kernel set and zeroes the cache
-// statistics (benchmark support).
+// ResetKernelCache drops every cached kernel set and zeroes the
+// per-simulator cache statistics (benchmark support). Dropped entries
+// count as evictions on the obs registry; the registry's hit/miss
+// totals stay monotone.
 func (sim *Simulator) ResetKernelCache() {
+	evicted := int64(0)
 	sim.kcache.Range(func(k, _ any) bool {
 		sim.kcache.Delete(k)
+		evicted++
 		return true
 	})
+	mKernelEvictions.Add(evicted)
 	sim.kernelHits.Store(0)
 	sim.kernelMisses.Store(0)
 }
@@ -356,6 +367,8 @@ func (sim *Simulator) buildKernels(frame Frame, defocusNM float64) (*kernelSet, 
 	if trace > 0 {
 		mass = acc / trace
 	}
+	mKernelBuilds.Inc()
+	mKernelsKept.Observe(float64(kept))
 	return &kernelSet{
 		idx: idx, cidx: cidx, coef: coef, eigs: eigs,
 		kept: kept, trace: trace, mass: mass,
