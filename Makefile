@@ -1,7 +1,7 @@
 # Developer / CI entry points. Everything is plain go tooling; the
 # targets just fix the flag sets so local runs and CI agree.
 
-.PHONY: build test verify bench
+.PHONY: build test verify fuzz-short bench
 
 build:
 	go build ./...
@@ -10,12 +10,18 @@ build:
 test:
 	go test ./...
 
-# The CI gate: static checks plus the race-sensitive packages — the
-# lock-free obs registry and the parallel tile scheduler — under the
-# race detector.
+# The CI gate: static checks plus the whole tree under the race
+# detector (the lock-free obs registry, the parallel tile scheduler,
+# and the checkpoint writer all have concurrency to defend).
 verify:
 	go vet ./...
-	go test -race ./internal/obs/... ./internal/core/...
+	go test -race ./...
+
+# Short fuzz pass over the GDS ingest hardening (the seed corpora plus
+# 30s of mutation per target); CI runs this, longer runs are manual.
+fuzz-short:
+	go test ./internal/gds/ -run '^$$' -fuzz 'FuzzReadGDS$$' -fuzztime 30s
+	go test ./internal/gds/ -run '^$$' -fuzz 'FuzzReadGDSLayout$$' -fuzztime 30s
 
 # Regenerate the recorded evaluation tables.
 bench:

@@ -90,18 +90,41 @@ func selected(sel []string, name string) bool {
 	return false
 }
 
+// knownExp reports whether name is a defined experiment id.
+func knownExp(name string) bool {
+	if strings.EqualFold(name, "all") {
+		return true
+	}
+	for _, r := range all {
+		if strings.EqualFold(r.name, name) {
+			return true
+		}
+	}
+	return false
+}
+
 // run carries the real main so profile-flushing defers execute before
-// the process exits (os.Exit skips defers).
+// the process exits (os.Exit skips defers). Exit codes: 0 success,
+// 1 experiment/report failure, 2 usage error.
 func run() int {
 	var exps multiFlag
-	flag.Var(&exps, "exp", "experiment id (T1..T4, F1..F6, E1..E4) or 'all'; repeatable")
-	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
-	reportPath := flag.String("report", "", "write an obs RunReport (JSON) to this file")
-	verbose := flag.Bool("v", false, "verbose progress output")
-	quiet := flag.Bool("q", false, "suppress progress output (errors still print)")
-	flag.Parse()
+	fs := flag.NewFlagSet("benchtables", flag.ContinueOnError)
+	fs.Var(&exps, "exp", "experiment id (T1..T4, F1..F6, E1..E4) or 'all'; repeatable")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	reportPath := fs.String("report", "", "write an obs RunReport (JSON) to this file")
+	verbose := fs.Bool("v", false, "verbose progress output")
+	quiet := fs.Bool("q", false, "suppress progress output (errors still print)")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		return 2
+	}
 	log := obs.NewLogger(os.Stderr, obs.ParseLogLevel(*quiet, *verbose), "benchtables")
+	for _, e := range exps {
+		if !knownExp(e) {
+			log.Errorf("unknown experiment %q (want T1..T4, F1..F6, E1..E4 or 'all')", e)
+			return 2
+		}
+	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {

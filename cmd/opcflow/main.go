@@ -18,16 +18,37 @@
 // live inspector (/metrics, /status, /debug/pprof) while it is in
 // flight. -v / -q raise / silence progress output (progress goes to
 // stderr; result tables stay on stdout).
+//
+// Fault tolerance (tiled runs; see DESIGN.md 5e):
+//
+//	opcflow -workload routed -level L3 -ckpt run.ckpt -deadline 10m
+//	opcflow -workload routed -level L3 -resume run.ckpt
+//	opcflow -workload routed -level L3 -inject 'seed=42;tile:panic:n=2'
+//
+// -ckpt checkpoints completed tile classes periodically and on exit
+// (including SIGINT/SIGTERM, which cancel the run cleanly); -resume
+// seeds a run from such a checkpoint, skipping finished work;
+// -tile-timeout / -deadline bound each tile attempt / the whole run;
+// -inject arms the deterministic fault-injection harness.
+//
+// Exit codes: 0 success, 1 internal/runtime failure, 2 usage error,
+// 3 invalid input (unreadable or malformed GDS/deck/checkpoint).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"goopc/internal/core"
+	"goopc/internal/faults"
 	"goopc/internal/geom"
 	"goopc/internal/jobdeck"
 	"goopc/internal/layout"
@@ -36,53 +57,161 @@ import (
 	"goopc/internal/optics"
 )
 
+// Exit codes. Everything funnels through run() so the run report and
+// any checkpoint are flushed no matter how the run ends.
+const (
+	exitOK       = 0
+	exitInternal = 1
+	exitUsage    = 2
+	exitInput    = 3
+)
+
+// usageError and inputError tag an error with its exit code; anything
+// untagged exits exitInternal.
+type usageError struct{ err error }
+
+func (e usageError) Error() string { return e.err.Error() }
+func (e usageError) Unwrap() error { return e.err }
+
+type inputError struct{ err error }
+
+func (e inputError) Error() string { return e.err.Error() }
+func (e inputError) Unwrap() error { return e.err }
+
+func usagef(format string, args ...any) error {
+	return usageError{fmt.Errorf(format, args...)}
+}
+
+func inputf(format string, args ...any) error {
+	return inputError{fmt.Errorf(format, args...)}
+}
+
+func exitCode(err error) int {
+	if err == nil {
+		return exitOK
+	}
+	var ue usageError
+	if errors.As(err, &ue) {
+		return exitUsage
+	}
+	var ie inputError
+	if errors.As(err, &ie) {
+		return exitInput
+	}
+	return exitInternal
+}
+
 // app carries the run-wide observability handles.
 type app struct {
 	log  *obs.Logger
 	root *obs.Span
 }
 
+// resilienceCfg groups the fault-tolerance flags applied to the tiled
+// correction engine.
+type resilienceCfg struct {
+	ckptPath    string
+	ckptEvery   time.Duration
+	resumePath  string
+	inject      string
+	tileTimeout time.Duration
+	deadline    time.Duration
+}
+
+// apply wires the config into the flow, loading the resume checkpoint
+// and parsing the fault plan.
+func (rc *resilienceCfg) apply(flow *core.Flow) error {
+	flow.CheckpointPath = rc.ckptPath
+	flow.CheckpointEvery = rc.ckptEvery
+	flow.TileTimeout = rc.tileTimeout
+	flow.Deadline = rc.deadline
+	if rc.resumePath != "" {
+		ck, err := core.LoadCheckpoint(rc.resumePath)
+		if err != nil {
+			return inputError{err}
+		}
+		flow.Resume = ck
+		if flow.CheckpointPath == "" {
+			// Keep checkpointing to the file we resumed from, so a
+			// second interruption also costs no completed work.
+			flow.CheckpointPath = rc.resumePath
+		}
+	}
+	if rc.inject != "" {
+		plan, err := faults.Parse(rc.inject)
+		if err != nil {
+			return usageError{err}
+		}
+		flow.FaultPlan = plan
+	}
+	return nil
+}
+
 func main() {
-	gdsPath := flag.String("gds", "", "GDSII input file")
-	layerNum := flag.Int("layer", 2, "layer to correct")
-	workload := flag.String("workload", "", "built-in workload: stdcell | sram | routed | patterns")
-	levelFlag := flag.String("level", "all", "adoption level: L0 | L1 | L2 | L3 | all")
-	outPath := flag.String("out", "", "write corrected geometry to this GDSII file (single level only)")
-	deckPath := flag.String("deck", "", "JSON job deck: run a multi-layer tape-out job")
-	fast := flag.Bool("fast", true, "reduced source sampling for speed")
-	reportPath := flag.String("report", "", "write an obs RunReport (JSON) to this file")
-	obsListen := flag.String("obs-listen", "", "serve the live inspector (/metrics, /status, /debug/pprof) on this address, e.g. :9090")
-	verbose := flag.Bool("v", false, "verbose progress output")
-	quiet := flag.Bool("q", false, "suppress progress output (errors still print)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:]))
+}
+
+// run is the single exit path: it parses flags, executes the job, and
+// always flushes the run report before returning an exit code.
+func run(args []string) int {
+	fs := flag.NewFlagSet("opcflow", flag.ContinueOnError)
+	gdsPath := fs.String("gds", "", "GDSII input file")
+	layerNum := fs.Int("layer", 2, "layer to correct")
+	workload := fs.String("workload", "", "built-in workload: stdcell | sram | routed | patterns")
+	levelFlag := fs.String("level", "all", "adoption level: L0 | L1 | L2 | L3 | all")
+	outPath := fs.String("out", "", "write corrected geometry to this GDSII file (single level only)")
+	deckPath := fs.String("deck", "", "JSON job deck: run a multi-layer tape-out job")
+	fast := fs.Bool("fast", true, "reduced source sampling for speed")
+	reportPath := fs.String("report", "", "write an obs RunReport (JSON) to this file")
+	obsListen := fs.String("obs-listen", "", "serve the live inspector (/metrics, /status, /debug/pprof) on this address, e.g. :9090")
+	verbose := fs.Bool("v", false, "verbose progress output")
+	quiet := fs.Bool("q", false, "suppress progress output (errors still print)")
+	rc := resilienceCfg{}
+	fs.StringVar(&rc.ckptPath, "ckpt", "", "checkpoint completed tile classes to this file (periodic + on exit)")
+	fs.DurationVar(&rc.ckptEvery, "ckpt-every", 0, "minimum interval between periodic checkpoint writes (default 30s)")
+	fs.StringVar(&rc.resumePath, "resume", "", "resume from this checkpoint file, skipping finished tile classes")
+	fs.StringVar(&rc.inject, "inject", "", `deterministic fault plan, e.g. 'seed=42;tile:panic:n=2;tile:delay:p=0.1:d=50ms'`)
+	fs.DurationVar(&rc.tileTimeout, "tile-timeout", 0, "per-tile correction attempt timeout (0 = none)")
+	fs.DurationVar(&rc.deadline, "deadline", 0, "whole-run deadline (0 = none)")
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
 
 	a := &app{
 		log:  obs.NewLogger(os.Stderr, obs.ParseLogLevel(*quiet, *verbose), "opcflow"),
 		root: obs.NewSpan("opcflow", obs.Default()),
 	}
+
+	// SIGINT/SIGTERM cancel the run context: the tiled engine drains its
+	// workers, flushes a final checkpoint, and we still write the run
+	// report below before exiting.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var err error
 	if *obsListen != "" {
 		ins := &obs.Inspector{}
-		addr, err := ins.ListenAndServe(*obsListen)
-		if err != nil {
-			a.log.Errorf("obs-listen: %v", err)
-			os.Exit(1)
+		addr, ierr := ins.ListenAndServe(*obsListen)
+		if ierr != nil {
+			a.log.Errorf("obs-listen: %v", ierr)
+			return exitInternal
 		}
 		defer ins.Close()
 		a.log.Infof("inspector on http://%s (/metrics /status /debug/pprof)", addr)
 	}
 	var rep *obs.RunReport
 	if *reportPath != "" {
-		rep = obs.NewRunReport("opcflow", os.Args[1:], map[string]any{
+		rep = obs.NewRunReport("opcflow", args, map[string]any{
 			"gds": *gdsPath, "layer": *layerNum, "workload": *workload,
 			"level": *levelFlag, "deck": *deckPath, "fast": *fast,
+			"ckpt": rc.ckptPath, "resume": rc.resumePath, "inject": rc.inject,
 		})
 	}
 
-	var err error
 	if *deckPath != "" {
 		err = a.runDeck(*deckPath, *gdsPath, *outPath)
 	} else {
-		err = a.run(*gdsPath, layout.Layer(*layerNum), *workload, *levelFlag, *outPath, *fast)
+		err = a.runLevels(ctx, *gdsPath, layout.Layer(*layerNum), *workload, *levelFlag, *outPath, *fast, &rc)
 	}
 	a.root.End()
 	if rep != nil {
@@ -98,8 +227,9 @@ func main() {
 	}
 	if err != nil {
 		a.log.Errorf("%v", err)
-		os.Exit(1)
+		return exitCode(err)
 	}
+	return exitOK
 }
 
 // runDeck executes a JSON job deck against a GDSII layout and writes
@@ -109,28 +239,28 @@ func (a *app) runDeck(deckPath, gdsPath, outPath string) error {
 	df, err := os.Open(deckPath)
 	if err != nil {
 		sp.End()
-		return err
+		return inputError{err}
 	}
 	deck, err := jobdeck.Parse(df)
 	df.Close()
 	if err != nil {
 		sp.End()
-		return err
+		return inputError{err}
 	}
 	if gdsPath == "" {
 		sp.End()
-		return fmt.Errorf("-deck needs -gds input")
+		return usagef("-deck needs -gds input")
 	}
 	gf, err := os.Open(gdsPath)
 	if err != nil {
 		sp.End()
-		return err
+		return inputError{err}
 	}
 	ly, err := layout.ReadGDS(gf)
 	gf.Close()
 	sp.End()
 	if err != nil {
-		return err
+		return inputError{err}
 	}
 	a.log.Infof("deck %q on %q: calibrating...", deck.Name, gdsPath)
 	sp = a.root.Start("deck-run")
@@ -161,7 +291,7 @@ func (a *app) runDeck(deckPath, gdsPath, outPath string) error {
 	return nil
 }
 
-func (a *app) run(gdsPath string, l layout.Layer, workload, levelFlag, outPath string, fast bool) error {
+func (a *app) runLevels(ctx context.Context, gdsPath string, l layout.Layer, workload, levelFlag, outPath string, fast bool, rc *resilienceCfg) error {
 	sp := a.root.Start("load")
 	target, err := loadTarget(gdsPath, l, workload)
 	sp.End()
@@ -182,6 +312,9 @@ func (a *app) run(gdsPath string, l layout.Layer, workload, levelFlag, outPath s
 	if err != nil {
 		return err
 	}
+	if err := rc.apply(flow); err != nil {
+		return err
+	}
 	a.log.Infof("calibrated: threshold=%.3f ambit=%d nm", flow.Threshold, flow.Ambit)
 
 	levels, err := parseLevels(levelFlag)
@@ -194,7 +327,7 @@ func (a *app) run(gdsPath string, l layout.Layer, workload, levelFlag, outPath s
 			// Large targets go through the tiled engine; report data only.
 			a.log.Verbosef("%s: tiled correction, %d polygons", level, len(target))
 			flow.Span = sp
-			res, st, err := flow.CorrectWindowed(target, level, 4*flow.Ambit, true)
+			res, st, err := flow.CorrectWindowedCtx(ctx, target, level, 4*flow.Ambit, true)
 			flow.Span = nil
 			if err != nil {
 				sp.End()
@@ -202,6 +335,15 @@ func (a *app) run(gdsPath string, l layout.Layer, workload, levelFlag, outPath s
 			}
 			fmt.Printf("%-16s tiles=%d time=%.2fs worstRMS=%.2f polygons=%d\n",
 				level, st.Tiles, st.Seconds, st.WorstRMS, len(res.Corrected))
+			if st.Retries+st.Panics+st.Timeouts+st.ResumedTiles+len(st.Degradations) > 0 {
+				fmt.Printf("%-16s resilience: retries=%d panics=%d timeouts=%d resumed=%d degraded-rules=%d degraded-uncorrected=%d\n",
+					level, st.Retries, st.Panics, st.Timeouts, st.ResumedTiles,
+					st.DegradedRules, st.DegradedUncorrected)
+				for _, d := range st.Degradations {
+					a.log.Infof("degraded tile pass=%d core=%v members=%d mode=%s: %s",
+						d.Pass, d.Tile, d.Members, d.Mode, d.Err)
+				}
+			}
 			if outPath != "" && len(levels) == 1 {
 				if err := a.writeOut(outPath, res.Corrected, l); err != nil {
 					sp.End()
@@ -241,12 +383,12 @@ func loadTarget(gdsPath string, l layout.Layer, workload string) ([]geom.Polygon
 	if gdsPath != "" {
 		f, err := os.Open(gdsPath)
 		if err != nil {
-			return nil, err
+			return nil, inputError{err}
 		}
 		defer f.Close()
 		ly, err := layout.ReadGDS(f)
 		if err != nil {
-			return nil, err
+			return nil, inputError{err}
 		}
 		return layout.Flatten(ly.Top, l), nil
 	}
@@ -283,9 +425,9 @@ func loadTarget(gdsPath string, l layout.Layer, workload string) ([]geom.Polygon
 		}
 		return layout.Flatten(cell, layout.Poly), nil
 	case "":
-		return nil, fmt.Errorf("need -gds or -workload")
+		return nil, usagef("need -gds or -workload")
 	}
-	return nil, fmt.Errorf("unknown workload %q", workload)
+	return nil, usagef("unknown workload %q", workload)
 }
 
 func parseLevels(s string) ([]core.Level, error) {
@@ -302,7 +444,7 @@ func parseLevels(s string) ([]core.Level, error) {
 	case "L3":
 		return []core.Level{core.L3}, nil
 	}
-	return nil, fmt.Errorf("unknown level %q", s)
+	return nil, usagef("unknown level %q", s)
 }
 
 func (a *app) writeOut(path string, polys []geom.Polygon, l layout.Layer) error {

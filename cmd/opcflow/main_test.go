@@ -1,0 +1,87 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"goopc/internal/core"
+)
+
+func TestExitCodeClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, exitOK},
+		{usagef("bad flag"), exitUsage},
+		{inputf("bad gds"), exitInput},
+		{fmt.Errorf("wrapped: %w", usagef("inner")), exitUsage},
+		{fmt.Errorf("wrapped: %w", inputf("inner")), exitInput},
+		{fmt.Errorf("anything else"), exitInternal},
+	}
+	for _, c := range cases {
+		if got := exitCode(c.err); got != c.want {
+			t.Errorf("exitCode(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}
+
+func TestParseLevelsUsageErrors(t *testing.T) {
+	if _, err := parseLevels("L9"); exitCode(err) != exitUsage {
+		t.Errorf("unknown level classified %d, want %d", exitCode(err), exitUsage)
+	}
+	if _, err := loadTarget("", 2, ""); exitCode(err) != exitUsage {
+		t.Errorf("missing input classified %d, want %d", exitCode(err), exitUsage)
+	}
+	if _, err := loadTarget("", 2, "nope"); exitCode(err) != exitUsage {
+		t.Errorf("unknown workload classified %d, want %d", exitCode(err), exitUsage)
+	}
+}
+
+func TestResilienceCfgApply(t *testing.T) {
+	var f core.Flow
+	rc := resilienceCfg{inject: "seed=1;tile:error:n=1"}
+	if err := rc.apply(&f); err != nil {
+		t.Fatal(err)
+	}
+	if f.FaultPlan == nil {
+		t.Error("fault plan not armed")
+	}
+
+	rc = resilienceCfg{inject: "tile:badkind"}
+	if err := rc.apply(&f); exitCode(err) != exitUsage {
+		t.Errorf("bad inject grammar classified %d, want %d", exitCode(err), exitUsage)
+	}
+
+	rc = resilienceCfg{resumePath: filepath.Join(t.TempDir(), "missing.ckpt")}
+	if err := rc.apply(&f); exitCode(err) != exitInput {
+		t.Errorf("missing checkpoint classified %d, want %d", exitCode(err), exitInput)
+	}
+
+	// A malformed checkpoint file is invalid input too.
+	bad := filepath.Join(t.TempDir(), "bad.ckpt")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rc = resilienceCfg{resumePath: bad}
+	if err := rc.apply(&f); exitCode(err) != exitInput {
+		t.Errorf("corrupt checkpoint classified %d, want %d", exitCode(err), exitInput)
+	}
+
+	// -resume without -ckpt keeps checkpointing to the resumed file.
+	good := filepath.Join(t.TempDir(), "good.ckpt")
+	ck := core.NewCheckpoint("fp", "L2-model-1pass", 2500)
+	if err := ck.WriteFile(good); err != nil {
+		t.Fatal(err)
+	}
+	var g core.Flow
+	rc = resilienceCfg{resumePath: good}
+	if err := rc.apply(&g); err != nil {
+		t.Fatal(err)
+	}
+	if g.Resume == nil || g.CheckpointPath != good {
+		t.Errorf("resume did not rearm checkpointing: resume=%v ckpt=%q", g.Resume != nil, g.CheckpointPath)
+	}
+}

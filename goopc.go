@@ -20,6 +20,7 @@ import (
 	"io"
 
 	"goopc/internal/core"
+	"goopc/internal/faults"
 	"goopc/internal/gds"
 	"goopc/internal/geom"
 	"goopc/internal/layout"
@@ -73,6 +74,15 @@ type (
 	PitchResult = core.PitchResult
 	// TileStats reports a windowed full-layer correction.
 	TileStats = core.TileStats
+	// TileDegradation records one tile class that fell down the
+	// degradation ladder (DESIGN.md 5e) and needs re-verification.
+	TileDegradation = core.TileDegradation
+	// Checkpoint is the resumable state of a windowed correction run;
+	// set Flow.CheckpointPath / Flow.Resume to use it.
+	Checkpoint = core.Checkpoint
+	// FaultPlan is a deterministic fault-injection plan; arm it with
+	// Flow.FaultPlan to rehearse recovery paths.
+	FaultPlan = faults.Plan
 	// HierarchyImpact reports context-variant counting.
 	HierarchyImpact = core.HierarchyImpact
 	// Convergence is the model-OPC iteration trace.
@@ -220,3 +230,10 @@ func NewSpan(name string) *Span { return obs.NewSpan(name, obs.Default()) }
 func NewRunReport(tool string, args []string, settings map[string]any) *RunReport {
 	return obs.NewRunReport(tool, args, settings)
 }
+
+// ParseFaultPlan parses the fault-plan grammar, e.g.
+// "seed=42;tile:panic:n=2;tile:delay:p=0.1:d=50ms" (DESIGN.md 5e).
+func ParseFaultPlan(s string) (*FaultPlan, error) { return faults.Parse(s) }
+
+// LoadCheckpoint reads a checkpoint artifact written by a prior run.
+func LoadCheckpoint(path string) (*Checkpoint, error) { return core.LoadCheckpoint(path) }

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"time"
 
+	"goopc/internal/faults"
 	"goopc/internal/geom"
 	"goopc/internal/mask"
 	"goopc/internal/obs"
@@ -107,6 +108,32 @@ type Flow struct {
 	Span *obs.Span
 	// AnchorCD and AnchorPitch record the calibration anchor.
 	AnchorCD, AnchorPitch geom.Coord
+
+	// Resilience knobs (see DESIGN.md 5e). Deadline, when positive,
+	// bounds the whole CorrectWindowedCtx run; TileTimeout bounds each
+	// per-tile engine attempt. TileRetries is the number of re-attempts
+	// after a failed/panicked/timed-out tile attempt before the
+	// degradation ladder engages (model -> rules -> uncorrected);
+	// RetryBackoff is the base context-aware sleep between attempts
+	// (doubled per retry).
+	Deadline     time.Duration
+	TileTimeout  time.Duration
+	TileRetries  int
+	RetryBackoff time.Duration
+	// FaultPlan, when non-nil, arms deterministic fault injection at
+	// the scheduler's probe sites ("tile", "rules") — the test harness
+	// for every recovery path, also reachable via opcflow -inject.
+	FaultPlan *faults.Plan
+	// CheckpointPath, when set, makes CorrectWindowedCtx persist
+	// completed canonical tile-class results there (atomically, at most
+	// every CheckpointEvery, default 30s) and always once at run end —
+	// including cancelled runs, so a SIGINT costs no completed work.
+	// Resume, when non-nil, seeds the run with a previously written
+	// checkpoint: classes already present are restored instead of
+	// corrected. The checkpoint fingerprint must match the run.
+	CheckpointPath  string
+	CheckpointEvery time.Duration
+	Resume          *Checkpoint
 }
 
 // Options configures flow construction.
@@ -157,6 +184,8 @@ func NewFlow(o Options) (*Flow, error) {
 		ConvergeEps:   0.1,
 		AnchorCD:      o.AnchorCD,
 		AnchorPitch:   o.AnchorPitch,
+		TileRetries:   2,
+		RetryBackoff:  10 * time.Millisecond,
 	}
 	if !o.SkipBiasTable {
 		spaces := o.BiasSpaces

@@ -31,4 +31,19 @@ var (
 		"tiles scheduled in the current pass")
 	mWorkersBusy = obs.Default().Gauge("goopc_workers_busy",
 		"tile workers currently inside the correction engine")
+
+	// Resilience series: retries, recovered panics, per-tile timeouts,
+	// degradation-ladder fallbacks, and checkpoint activity.
+	mTileRetries = obs.Default().Counter("goopc_tile_retries_total",
+		"tile-class correction attempts beyond the first")
+	mTilePanics = obs.Default().Counter("goopc_tile_panics_total",
+		"tile worker panics recovered by the scheduler")
+	mTileTimeouts = obs.Default().Counter("goopc_tile_timeouts_total",
+		"tile attempts aborted by the per-tile timeout")
+	mTilesDegraded = obs.Default().Counter("goopc_tiles_degraded_total",
+		"(tile, pass) results produced by a degradation fallback (rules or uncorrected)")
+	mTilesResumed = obs.Default().Counter("goopc_tiles_resumed_total",
+		"(tile, pass) results restored from a checkpoint instead of corrected")
+	mCheckpointWrites = obs.Default().Counter("goopc_checkpoint_writes_total",
+		"checkpoint artifacts written (periodic and final)")
 )

@@ -1,0 +1,383 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"goopc/internal/faults"
+	"goopc/internal/geom"
+)
+
+// resilientFlow copies the shared test flow with fast retry settings.
+func resilientFlow(t *testing.T) Flow {
+	f := *testFlow(t)
+	f.TileRetries = 2
+	f.RetryBackoff = time.Millisecond
+	return f
+}
+
+// mustPlan parses a fault plan or fails the test.
+func mustPlan(t *testing.T, s string) *faults.Plan {
+	t.Helper()
+	p, err := faults.Parse(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// threeDistinctClusters builds three geometrically different isolated
+// clusters, three tiles apart (tile = 2500), so the scheduler sees
+// three distinct equivalence classes.
+func threeDistinctClusters() []geom.Polygon {
+	return []geom.Polygon{
+		geom.R(200, 200, 380, 1700).Polygon(),
+		geom.R(7700, 200, 7880, 2100).Polygon(),
+		geom.R(15200, 200, 15380, 1200).Polygon(),
+		geom.R(15600, 200, 15780, 1200).Polygon(),
+	}
+}
+
+func TestFaultInjectionErrorRetriesThenSucceeds(t *testing.T) {
+	f := resilientFlow(t)
+	target, _ := twoIsolatedClusters()
+	clean, _, err := f.CorrectWindowed(target, L2, 2500, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Both classes... actually one deduped class: the first two attempts
+	// fail, the third succeeds.
+	f.FaultPlan = mustPlan(t, "seed=1;tile:error:n=2")
+	res, st, err := f.CorrectWindowed(target, L2, 2500, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Retries != 2 {
+		t.Errorf("retries = %d, want 2", st.Retries)
+	}
+	if st.Panics != 0 || st.Timeouts != 0 || len(st.Degradations) != 0 {
+		t.Errorf("unexpected panics/timeouts/degradations: %d/%d/%d",
+			st.Panics, st.Timeouts, len(st.Degradations))
+	}
+	// Recovery is invisible in the output: bit-identical to fault-free.
+	if !reflect.DeepEqual(res.Corrected, clean.Corrected) {
+		t.Error("recovered run output differs from fault-free run")
+	}
+}
+
+func TestFaultInjectionPanicRecovered(t *testing.T) {
+	f := resilientFlow(t)
+	target, _ := twoIsolatedClusters()
+	clean, _, err := f.CorrectWindowed(target, L2, 2500, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f.FaultPlan = mustPlan(t, "seed=1;tile:panic:n=1")
+	res, st, err := f.CorrectWindowed(target, L2, 2500, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Panics != 1 || st.Retries != 1 {
+		t.Errorf("panics/retries = %d/%d, want 1/1", st.Panics, st.Retries)
+	}
+	if !reflect.DeepEqual(res.Corrected, clean.Corrected) {
+		t.Error("panic-recovered run output differs from fault-free run")
+	}
+}
+
+func TestDegradationLadderRulesFallback(t *testing.T) {
+	f := resilientFlow(t)
+	target, _ := twoIsolatedClusters()
+	// Every model attempt fails; the rules fallback is healthy.
+	f.FaultPlan = mustPlan(t, "seed=1;tile:error:n=1000")
+	res, st, err := f.CorrectWindowed(target, L2, 2500, false)
+	if err != nil {
+		t.Fatalf("degradation must not lose the run: %v", err)
+	}
+	if st.DegradedRules == 0 || st.DegradedUncorrected != 0 {
+		t.Errorf("degraded rules/uncorrected = %d/%d, want >0/0",
+			st.DegradedRules, st.DegradedUncorrected)
+	}
+	if len(st.Degradations) == 0 {
+		t.Fatal("no degradation records")
+	}
+	for _, d := range st.Degradations {
+		if d.Mode != degradeRules {
+			t.Errorf("degradation mode = %q, want %q", d.Mode, degradeRules)
+		}
+		if d.Err == "" {
+			t.Error("degradation record missing the model-path error")
+		}
+	}
+	if len(res.Corrected) == 0 {
+		t.Error("degraded run produced no geometry")
+	}
+}
+
+func TestDegradationLadderUncorrectedFallback(t *testing.T) {
+	f := resilientFlow(t)
+	target, _ := twoIsolatedClusters()
+	// Model and rules both fault: the ladder bottoms out at
+	// uncorrected-as-drawn and the run still completes.
+	f.FaultPlan = mustPlan(t, "seed=1;tile:error:n=1000;rules:error:n=1000")
+	res, st, err := f.CorrectWindowed(target, L2, 2500, false)
+	if err != nil {
+		t.Fatalf("degradation must not lose the run: %v", err)
+	}
+	if st.DegradedUncorrected == 0 {
+		t.Error("no uncorrected degradations recorded")
+	}
+	for _, d := range st.Degradations {
+		if d.Mode != degradeUncorrected {
+			t.Errorf("degradation mode = %q, want %q", d.Mode, degradeUncorrected)
+		}
+	}
+	// Uncorrected fallback passes the drawn (clipped) geometry through.
+	if len(res.Corrected) != len(target) {
+		t.Errorf("uncorrected fallback produced %d polygons, want %d", len(res.Corrected), len(target))
+	}
+}
+
+func TestTileTimeoutDegrades(t *testing.T) {
+	f := resilientFlow(t)
+	f.TileTimeout = time.Nanosecond // expires before the first model iteration
+	target, _ := twoIsolatedClusters()
+	_, st, err := f.CorrectWindowed(target, L2, 2500, false)
+	if err != nil {
+		t.Fatalf("timeouts must degrade, not fail the run: %v", err)
+	}
+	if st.Timeouts != 3 {
+		t.Errorf("timeouts = %d, want 3 (initial attempt + 2 retries)", st.Timeouts)
+	}
+	if st.DegradedRules == 0 {
+		t.Error("timed-out tile did not degrade to rules")
+	}
+}
+
+func TestRunCancellationAborts(t *testing.T) {
+	f := resilientFlow(t)
+	target, _ := twoIsolatedClusters()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := f.CorrectWindowedCtx(ctx, target, L2, 2500, false)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunDeadlineAborts(t *testing.T) {
+	f := resilientFlow(t)
+	f.Deadline = time.Nanosecond
+	target, _ := twoIsolatedClusters()
+	_, _, err := f.CorrectWindowed(target, L2, 2500, false)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestCheckpointResumeBitIdentical is the tentpole proof: a faulty
+// checkpointed run followed by a fault-free resume reproduces the
+// fault-free output bit for bit, re-attempting only what the faulty run
+// degraded.
+func TestCheckpointResumeBitIdentical(t *testing.T) {
+	target := threeDistinctClusters()
+
+	clean := resilientFlow(t)
+	resClean, stClean, err := clean.CorrectWindowed(target, L2, 2500, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stClean.CorrectedTiles != 3 {
+		t.Fatalf("clean run corrected %d classes, want 3 distinct", stClean.CorrectedTiles)
+	}
+
+	ckptPath := filepath.Join(t.TempDir(), "run.ckpt")
+	faulty := resilientFlow(t)
+	faulty.CheckpointPath = ckptPath
+	faulty.CheckpointEvery = time.Nanosecond // flush on every completed class
+	// The first class consumes the whole fault budget (1 attempt + 2
+	// retries), degrades to rules; the other two correct cleanly.
+	faulty.FaultPlan = mustPlan(t, "seed=1;tile:error:n=3")
+	resFaulty, stFaulty, err := faulty.CorrectWindowed(target, L2, 2500, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stFaulty.DegradedRules != 1 {
+		t.Fatalf("faulty run degraded %d classes, want 1", stFaulty.DegradedRules)
+	}
+	if reflect.DeepEqual(resFaulty.Corrected, resClean.Corrected) {
+		t.Fatal("faulty run unexpectedly matched the clean output (fault not injected?)")
+	}
+
+	ck, err := LoadCheckpoint(ckptPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ck.Entries(); got != 2 {
+		t.Fatalf("checkpoint holds %d entries, want 2 (degraded class must be excluded)", got)
+	}
+
+	resumed := resilientFlow(t)
+	resumed.Resume = ck
+	resResumed, stResumed, err := resumed.CorrectWindowed(target, L2, 2500, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stResumed.ResumedTiles != 2 {
+		t.Errorf("resumed tiles = %d, want 2", stResumed.ResumedTiles)
+	}
+	if stResumed.CorrectedTiles != 1 {
+		t.Errorf("resumed run corrected %d classes, want 1 (the degraded one)", stResumed.CorrectedTiles)
+	}
+	if !reflect.DeepEqual(resResumed.Corrected, resClean.Corrected) {
+		t.Error("fault-free resume is not bit-identical to the fault-free run")
+	}
+}
+
+// TestCancellationMidPassLeavesLoadableCheckpoint interrupts a delayed
+// serial run after its first class completes, then proves the flushed
+// checkpoint resumes to a bit-identical result.
+func TestCancellationMidPassLeavesLoadableCheckpoint(t *testing.T) {
+	target := threeDistinctClusters()
+
+	clean := resilientFlow(t)
+	resClean, _, err := clean.CorrectWindowed(target, L2, 2500, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ckptPath := filepath.Join(t.TempDir(), "cancel.ckpt")
+	f := resilientFlow(t)
+	f.CheckpointPath = ckptPath
+	f.CheckpointEvery = time.Nanosecond
+	// Delay every attempt so the test can cancel between classes.
+	f.FaultPlan = mustPlan(t, "seed=1;tile:delay:p=1:d=30ms")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		// Cancel once the first completed class hits the checkpoint.
+		for {
+			if fi, err := os.Stat(ckptPath); err == nil && fi.Size() > 0 {
+				cancel()
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+	_, _, err = f.CorrectWindowedCtx(ctx, target, L2, 2500, false)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+
+	ck, err := LoadCheckpoint(ckptPath)
+	if err != nil {
+		t.Fatalf("interrupted run left no loadable checkpoint: %v", err)
+	}
+	if ck.Entries() < 1 {
+		t.Fatal("checkpoint empty after cancellation")
+	}
+
+	resumed := resilientFlow(t)
+	resumed.Resume = ck
+	resResumed, stResumed, err := resumed.CorrectWindowed(target, L2, 2500, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stResumed.ResumedTiles < 1 {
+		t.Errorf("resumed tiles = %d, want >= 1", stResumed.ResumedTiles)
+	}
+	if !reflect.DeepEqual(resResumed.Corrected, resClean.Corrected) {
+		t.Error("resumed output is not bit-identical to the uninterrupted run")
+	}
+}
+
+func TestCheckpointFingerprintMismatchRefused(t *testing.T) {
+	target := threeDistinctClusters()
+	ckptPath := filepath.Join(t.TempDir(), "fp.ckpt")
+	f := resilientFlow(t)
+	f.CheckpointPath = ckptPath
+	if _, _, err := f.CorrectWindowed(target, L2, 2500, false); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := LoadCheckpoint(ckptPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := resilientFlow(t)
+	g.Resume = ck
+	// Different target -> different fingerprint -> refusal.
+	other, _ := twoIsolatedClusters()
+	if _, _, err := g.CorrectWindowed(other, L2, 2500, false); err == nil {
+		t.Fatal("mismatched checkpoint fingerprint was accepted")
+	}
+}
+
+// --- scheduler edge cases (beyond the fault paths) ---
+
+func TestCorrectWindowedEmptyTarget(t *testing.T) {
+	f := resilientFlow(t)
+	if _, _, err := f.CorrectWindowed(nil, L2, 2500, false); err == nil {
+		t.Error("empty target must error, not panic")
+	}
+	if _, _, err := f.CorrectWindowedCtx(context.Background(), nil, L3, 2500, true); err == nil {
+		t.Error("empty target must error, not panic (ctx variant)")
+	}
+}
+
+func TestCorrectWindowedSingleTileLargerThanFrame(t *testing.T) {
+	f := resilientFlow(t)
+	// One tile dwarfing the whole frame: the scheduler degenerates to a
+	// single windowed correction and must still work.
+	target := []geom.Polygon{
+		geom.R(200, 200, 380, 1700).Polygon(),
+		geom.R(600, 200, 780, 1700).Polygon(),
+	}
+	res, st, err := f.CorrectWindowed(target, L2, 100000, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tiles != 1 {
+		t.Errorf("tiles = %d, want 1", st.Tiles)
+	}
+	if len(res.Corrected) == 0 {
+		t.Error("no corrected geometry")
+	}
+}
+
+func TestCorrectWindowedAllTilesOneClass(t *testing.T) {
+	f := resilientFlow(t)
+	// Four translation-identical isolated clusters: the scheduler must
+	// collapse them to a single engine run, and with checkpointing on,
+	// a single checkpoint entry.
+	cluster := []geom.Polygon{geom.R(200, 200, 380, 1700).Polygon()}
+	var target []geom.Polygon
+	for i := 0; i < 4; i++ {
+		target = append(target, geom.TranslatePolygons(cluster, geom.Pt(geom.Coord(i)*7500, 0))...)
+	}
+	ckptPath := filepath.Join(t.TempDir(), "one.ckpt")
+	f.CheckpointPath = ckptPath
+	res, st, err := f.CorrectWindowed(target, L2, 2500, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CorrectedTiles != 1 || st.ReusedTiles != 3 {
+		t.Errorf("corrected/reused = %d/%d, want 1/3", st.CorrectedTiles, st.ReusedTiles)
+	}
+	if len(res.Corrected) == 0 {
+		t.Error("no corrected geometry")
+	}
+	ck, err := LoadCheckpoint(ckptPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Entries() != 1 {
+		t.Errorf("checkpoint entries = %d, want 1 (one class)", ck.Entries())
+	}
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -40,6 +42,36 @@ type TileStats struct {
 	Seconds float64
 	// WorstRMS is the worst per-tile final EPE RMS of the last pass.
 	WorstRMS float64
+	// Resilience accounting. Retries counts tile-class attempts beyond
+	// the first; Panics the worker panics recovered; Timeouts the
+	// attempts aborted by the per-tile timeout. DegradedRules and
+	// DegradedUncorrected count (tile, pass) results produced by the
+	// degradation ladder after retries were exhausted; each such class
+	// is also recorded in Degradations. ResumedTiles counts (tile,
+	// pass) results restored from a checkpoint.
+	Retries             int
+	Panics              int
+	Timeouts            int
+	DegradedRules       int
+	DegradedUncorrected int
+	ResumedTiles        int
+	Degradations        []TileDegradation
+}
+
+// TileDegradation records one tile class that exhausted its model-OPC
+// retry budget and fell back down the degradation ladder. Uncorrected
+// fallbacks must be re-verified (ORC) before tape-out — the run
+// completed, but those tiles carry drawn geometry.
+type TileDegradation struct {
+	// Pass is the context pass; Tile the representative tile core;
+	// Members how many placements received the degraded result.
+	Pass    int       `json:"pass"`
+	Tile    geom.Rect `json:"tile"`
+	Members int       `json:"members"`
+	// Mode is "rules" (rule-based fallback) or "uncorrected".
+	Mode string `json:"mode"`
+	// Err is the final model-path error that forced the fallback.
+	Err string `json:"err"`
 }
 
 // tileJob is one scheduled tile: its core rectangle and the target
@@ -84,10 +116,42 @@ type tileJob struct {
 // order, so the output polygon order is deterministic and identical
 // between serial and parallel runs. Tiles run in parallel across CPUs
 // when parallel is true.
+//
+// CorrectWindowed runs with a background context; CorrectWindowedCtx
+// adds cancellation, per-tile isolation with retry and degradation, and
+// checkpoint/resume — the resilience layer of DESIGN.md 5e.
 func (f *Flow) CorrectWindowed(target []geom.Polygon, level Level, tile geom.Coord, parallel bool) (opc.Result, TileStats, error) {
+	return f.CorrectWindowedCtx(context.Background(), target, level, tile, parallel)
+}
+
+// CorrectWindowedCtx is the resilient tiled driver. On top of the
+// scheduler above:
+//
+//   - The run honors ctx (and Flow.Deadline, when positive): SIGINT,
+//     deadline expiry, or caller cancellation stops the run between
+//     tile attempts — and, via the engine's context, between model
+//     iterations and imaging kernels — returning the context error.
+//   - Each tile attempt is panic-isolated and bounded by
+//     Flow.TileTimeout. A failed attempt is retried up to
+//     Flow.TileRetries times with doubling context-aware backoff; a
+//     tile still failing degrades to rule-based correction, and
+//     finally to uncorrected-as-drawn, recorded in TileStats and the
+//     goopc_tile_* series. Degradation never loses the run.
+//   - When Flow.CheckpointPath is set, completed canonical tile-class
+//     results are persisted periodically and at run end (also on
+//     cancellation), and Flow.Resume restores them: resumed runs skip
+//     finished classes and produce bit-identical output. Degraded
+//     results are never checkpointed, so a fault-free resume converges
+//     to the fault-free answer.
+func (f *Flow) CorrectWindowedCtx(ctx context.Context, target []geom.Polygon, level Level, tile geom.Coord, parallel bool) (_ opc.Result, _ TileStats, retErr error) {
 	var st TileStats
 	if len(target) == 0 {
 		return opc.Result{}, st, fmt.Errorf("core: empty target")
+	}
+	if f.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, f.Deadline)
+		defer cancel()
 	}
 	if level == L0 {
 		return opc.Uncorrected(target), st, nil
@@ -95,7 +159,10 @@ func (f *Flow) CorrectWindowed(target []geom.Polygon, level Level, tile geom.Coo
 	if level == L1 {
 		// Rule-based correction is local geometry: no tiling needed.
 		t0 := time.Now()
-		res := f.Rules.Apply(target)
+		res, err := f.Rules.ApplyCtx(ctx, target)
+		if err != nil {
+			return opc.Result{}, st, fmt.Errorf("core: %w", err)
+		}
 		st.Seconds = time.Since(t0).Seconds()
 		st.Polygons = len(target)
 		st.Corrected = len(res.Corrected)
@@ -117,6 +184,33 @@ func (f *Flow) CorrectWindowed(target []geom.Polygon, level Level, tile geom.Coo
 		passes = 1
 	}
 	st.Passes = passes
+
+	// Checkpoint/resume setup. The fingerprint ties artifacts to this
+	// exact (target, level, settings) combination. needCanon gates the
+	// canonical-key serialization (dedup or checkpoint), needHash the
+	// fixed-size digest only checkpoint storage uses.
+	var ckpt *ckptWriter
+	needHash := f.CheckpointPath != "" || f.Resume != nil
+	needCanon := !f.DisableDedup || needHash
+	if needHash {
+		fp := f.runFingerprint(target, level, tile, passes)
+		seed := f.Resume
+		if seed != nil && seed.Fingerprint != fp {
+			return opc.Result{}, st, fmt.Errorf("core: checkpoint fingerprint %.12s.. does not match run %.12s.. (different target or settings)",
+				seed.Fingerprint, fp)
+		}
+		if seed == nil {
+			seed = NewCheckpoint(fp, level.String(), tile)
+		}
+		ckpt = newCkptWriter(seed, f.CheckpointPath, f.CheckpointEvery)
+		// Final flush on every exit path — success, failure, SIGINT —
+		// so completed work always survives the process.
+		defer func() {
+			if ferr := ckpt.flush(); ferr != nil && retErr == nil {
+				retErr = ferr
+			}
+		}()
+	}
 
 	idx := geom.NewGridIndex(tile)
 	var bounds geom.Rect
@@ -185,6 +279,10 @@ func (f *Flow) CorrectWindowed(target []geom.Polygon, level Level, tile geom.Coo
 	ctxPolys := target
 	ctxIdx := idx
 	for pass := 1; pass <= passes; pass++ {
+		if cerr := ctx.Err(); cerr != nil {
+			st.Seconds = time.Since(t0).Seconds()
+			return opc.Result{}, st, fmt.Errorf("core: pass %d: %w", pass, cerr)
+		}
 		passSpan := f.Span.Start(fmt.Sprintf("tile-pass-%d", pass))
 		mPasses.Inc()
 		mTilesTotal.Set(float64(len(jobs)))
@@ -193,10 +291,13 @@ func (f *Flow) CorrectWindowed(target []geom.Polygon, level Level, tile geom.Coo
 		// A class groups tiles whose active+context geometry is
 		// identical after translating each tile origin to (0,0); the
 		// representative is the lowest job index, so classing is
-		// deterministic and independent of worker scheduling.
+		// deterministic and independent of worker scheduling. The dedup
+		// map uses the exact canonical encoding (no collisions); the
+		// checkpoint key is its fixed-size hash.
 		type tileClass struct {
 			rep     int
 			members []int
+			key     string
 		}
 		var classes []*tileClass
 		classOf := map[string]int{}
@@ -215,32 +316,35 @@ func (f *Flow) CorrectWindowed(target []geom.Polygon, level Level, tile geom.Coo
 			}
 			ring := geom.RegionFromRects(window).Subtract(geom.RegionFromRects(core))
 			contexts[i] = clipToRegion(ctxPolys, ctxIdx, window, ring)
+			var key string
+			if needCanon {
+				origin := geom.Pt(core.X0, core.Y0)
+				keyBuf = keyBuf[:0]
+				keyBuf = geom.AppendCanonicalPolygons(keyBuf, jobs[i].active, origin)
+				keyBuf = geom.AppendCanonicalPolygons(keyBuf, contexts[i], origin)
+				if needHash {
+					key = classKeyHash(keyBuf)
+				}
+			}
 			if f.DisableDedup {
-				classes = append(classes, &tileClass{rep: i, members: []int{i}})
+				classes = append(classes, &tileClass{rep: i, members: []int{i}, key: key})
 				continue
 			}
-			origin := geom.Pt(core.X0, core.Y0)
-			keyBuf = keyBuf[:0]
-			keyBuf = geom.AppendCanonicalPolygons(keyBuf, jobs[i].active, origin)
-			keyBuf = geom.AppendCanonicalPolygons(keyBuf, contexts[i], origin)
-			key := string(keyBuf)
-			if ci, ok := classOf[key]; ok {
+			exact := string(keyBuf)
+			if ci, ok := classOf[exact]; ok {
 				classes[ci].members = append(classes[ci].members, i)
 			} else {
-				classOf[key] = len(classes)
-				classes = append(classes, &tileClass{rep: i, members: []int{i}})
+				classOf[exact] = len(classes)
+				classes = append(classes, &tileClass{rep: i, members: []int{i}, key: key})
 			}
 		}
 
 		// Stage 2 (parallel): correct one representative per class.
 		// Multi-member classes correct at the canonical origin so every
 		// placement receives the identical solution; singletons correct
-		// in place.
-		type classResult struct {
-			polys []geom.Polygon
-			rms   float64
-			iters int
-		}
+		// in place. Each class runs through the resilience ladder
+		// (retries, then rule-based and uncorrected fallbacks) inside
+		// correctClass, or is restored from the resume checkpoint.
 		classRes := make([]classResult, len(classes))
 		var mu sync.Mutex
 		var firstErr error
@@ -259,49 +363,79 @@ func (f *Flow) CorrectWindowed(target []geom.Polygon, level Level, tile geom.Coo
 				defer wg.Done()
 				for ci := range classCh {
 					c := classes[ci]
+					if cerr := ctx.Err(); cerr != nil {
+						// Run cancelled: drain the queue without working.
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = fmt.Errorf("core: pass %d: %w", pass, cerr)
+						}
+						mu.Unlock()
+						continue
+					}
 					j := jobs[c.rep]
 					core := j.core
 					active := j.active
-					context := contexts[c.rep]
-					if len(c.members) > 1 {
+					haloPolys := contexts[c.rep]
+					canonical := len(c.members) > 1
+					origin := geom.Pt(core.X0, core.Y0)
+					if canonical {
 						// Canonical placement: tile origin at (0,0).
 						shift := geom.Pt(-core.X0, -core.Y0)
 						core = core.Translate(shift)
 						active = geom.TranslatePolygons(active, shift)
-						context = geom.TranslatePolygons(context, shift)
+						haloPolys = geom.TranslatePolygons(haloPolys, shift)
+					}
+					if ent, ok := ckptLookup(ckpt, pass, c.key); ok {
+						// Finished in a previous (checkpointed) run:
+						// restore instead of correcting. Entries are
+						// canonical; singletons translate back in place.
+						cr := classResult{rms: ent.RMS, iters: ent.Iters, resumed: true}
+						if canonical {
+							cr.polys = ent.Polys
+						} else {
+							cr.polys = geom.TranslatePolygons(ent.Polys, origin)
+						}
+						classRes[ci] = cr
+						mTilesDone.Add(float64(len(c.members)))
+						continue
 					}
 					window := core.Grow(halo)
-					eng := model.New(f.Sim, f.Threshold)
-					eng.Spec = f.Spec
-					eng.MRC = f.MRC
-					eng.Damping = f.Damping
-					eng.RMSEps = f.ConvergeEps
-					if level == L2 {
-						eng.MaxIter = f.ModelIter1
-					} else {
-						eng.MaxIter = f.ModelIterFull
-					}
-					eng.Context = context
-					freeze := core
-					eng.FreezeBoundary = &freeze
 					// Everything is clipped to core + halo, so the window
 					// never exceeds tile + 2*halo regardless of how long
 					// the original wires are.
 					mWorkersBusy.Add(1)
 					tc0 := time.Now()
-					res, conv, err := eng.Correct(active, window)
+					cr := f.correctClass(ctx, level, active, haloPolys, core, window)
 					mTileSeconds.Observe(time.Since(tc0).Seconds())
 					mWorkersBusy.Add(-1)
 					mTilesDone.Add(float64(len(c.members)))
-					if err != nil {
+					if cr.err != nil {
 						mu.Lock()
 						if firstErr == nil {
-							firstErr = fmt.Errorf("core: pass %d tile %v: %w", pass, jobs[c.rep].core, err)
+							firstErr = fmt.Errorf("core: pass %d tile %v: %w", pass, jobs[c.rep].core, cr.err)
 						}
 						mu.Unlock()
 						continue
 					}
-					classRes[ci] = classResult{polys: res.Corrected, rms: conv.Final().RMS, iters: conv.Iterations}
+					classRes[ci] = cr
+					if ckpt != nil && cr.degraded == "" {
+						// Persist the canonical solution. Degraded
+						// results are skipped on purpose: a resume
+						// re-attempts them, so fault-free resumes
+						// reproduce the fault-free output.
+						canonPolys := cr.polys
+						if !canonical {
+							canonPolys = geom.TranslatePolygons(cr.polys, geom.Pt(-origin.X, -origin.Y))
+						}
+						err := ckpt.add(pass, c.key, CheckpointEntry{Polys: canonPolys, RMS: cr.rms, Iters: cr.iters})
+						if err != nil {
+							mu.Lock()
+							if firstErr == nil {
+								firstErr = err
+							}
+							mu.Unlock()
+						}
+					}
 				}
 			}()
 		}
@@ -317,20 +451,54 @@ func (f *Flow) CorrectWindowed(target []geom.Polygon, level Level, tile geom.Coo
 		}
 
 		// Stage 3 (serial): place every class member by translating the
-		// canonical solution to its tile origin.
+		// canonical solution to its tile origin, and fold the class
+		// outcomes into the run statistics (serial, so stats and
+		// metrics are deterministic regardless of worker scheduling).
 		for ci, c := range classes {
 			cr := classRes[ci]
-			st.CorrectedTiles++
-			mTilesCorrected.Inc()
-			st.Iterations += cr.iters
+			st.Retries += cr.retries
+			st.Panics += cr.panics
+			st.Timeouts += cr.timeouts
+			if cr.retries > 0 {
+				mTileRetries.Add(int64(cr.retries))
+			}
+			if cr.panics > 0 {
+				mTilePanics.Add(int64(cr.panics))
+			}
+			if cr.timeouts > 0 {
+				mTileTimeouts.Add(int64(cr.timeouts))
+			}
+			if cr.resumed {
+				st.ResumedTiles += len(c.members)
+				mTilesResumed.Add(int64(len(c.members)))
+			} else {
+				st.CorrectedTiles++
+				mTilesCorrected.Inc()
+				st.Iterations += cr.iters
+				if len(c.members) > 1 {
+					st.ReusedTiles += len(c.members) - 1
+					mTilesReused.Add(int64(len(c.members) - 1))
+				}
+			}
+			switch cr.degraded {
+			case degradeRules:
+				st.DegradedRules += len(c.members)
+			case degradeUncorrected:
+				st.DegradedUncorrected += len(c.members)
+			}
+			if cr.degraded != "" {
+				mTilesDegraded.Add(int64(len(c.members)))
+				st.Degradations = append(st.Degradations, TileDegradation{
+					Pass: pass, Tile: jobs[c.rep].core, Members: len(c.members),
+					Mode: cr.degraded, Err: cr.degErr,
+				})
+			}
 			if len(c.members) == 1 {
 				i := c.rep
 				results[i] = cr.polys
 				tileRMS[i] = cr.rms
 				continue
 			}
-			st.ReusedTiles += len(c.members) - 1
-			mTilesReused.Add(int64(len(c.members) - 1))
 			for _, i := range c.members {
 				origin := geom.Pt(jobs[i].core.X0, jobs[i].core.Y0)
 				results[i] = geom.TranslatePolygons(cr.polys, origin)
@@ -388,6 +556,179 @@ func (f *Flow) CorrectWindowed(target []geom.Polygon, level Level, tile geom.Coo
 	st.Seconds = time.Since(t0).Seconds()
 	st.Corrected = len(out.Corrected)
 	return out, st, nil
+}
+
+// Degradation-ladder modes.
+const (
+	degradeRules       = "rules"
+	degradeUncorrected = "uncorrected"
+)
+
+// classResult is one tile class's outcome in one pass: the corrected
+// polygons plus the resilience accounting the serial stage 3 folds into
+// TileStats.
+type classResult struct {
+	polys                     []geom.Polygon
+	rms                       float64
+	iters                     int
+	retries, panics, timeouts int
+	// degraded is "", degradeRules or degradeUncorrected; degErr the
+	// model-path error that forced the fallback.
+	degraded string
+	degErr   string
+	// resumed marks a result restored from a checkpoint.
+	resumed bool
+	// err is fatal (run cancelled / checkpoint mismatch): it aborts
+	// the run instead of engaging the degradation ladder.
+	err error
+}
+
+// correctClass runs the resilience ladder for one tile class: up to
+// 1+TileRetries panic-isolated, timeout-bounded model attempts with
+// doubling backoff, then rule-based fallback, then uncorrected
+// passthrough. Only run cancellation aborts; everything else degrades.
+func (f *Flow) correctClass(ctx context.Context, level Level, active, haloPolys []geom.Polygon, core, window geom.Rect) classResult {
+	var cr classResult
+	attempts := 1 + f.TileRetries
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if cerr := ctx.Err(); cerr != nil {
+			cr.err = cerr
+			return cr
+		}
+		if a > 0 {
+			cr.retries++
+			if !sleepBackoff(ctx, f.RetryBackoff<<(a-1)) {
+				cr.err = ctx.Err()
+				return cr
+			}
+		}
+		res, conv, aerr, panicked := f.tileAttempt(ctx, level, active, haloPolys, core, window)
+		if panicked {
+			cr.panics++
+		}
+		if aerr == nil {
+			cr.polys = res.Corrected
+			cr.rms = conv.Final().RMS
+			cr.iters = conv.Iterations
+			return cr
+		}
+		if ctx.Err() != nil {
+			// The whole run was cancelled, not just this attempt:
+			// abort instead of degrading.
+			cr.err = ctx.Err()
+			return cr
+		}
+		if errors.Is(aerr, context.DeadlineExceeded) {
+			cr.timeouts++
+		}
+		lastErr = aerr
+	}
+	// Degradation step 1: rule-based OPC. Pure geometry — no imaging —
+	// so it survives most of what breaks the model path. The halo
+	// context is dropped (rule biasing probes only within the active
+	// geometry) and cut edges are not frozen; acceptable for a
+	// fallback whose tiles are flagged for re-verification.
+	if polys, rerr := f.rulesFallback(ctx, active); rerr == nil {
+		cr.polys = polys
+		cr.degraded = degradeRules
+		cr.degErr = lastErr.Error()
+		return cr
+	} else if ctx.Err() != nil {
+		cr.err = ctx.Err()
+		return cr
+	}
+	// Degradation step 2: pass the drawn geometry through uncorrected.
+	// The run completes; the tile must be caught by post-OPC
+	// verification (the TileStats.Degradations record drives that).
+	cr.polys = active
+	cr.degraded = degradeUncorrected
+	cr.degErr = lastErr.Error()
+	return cr
+}
+
+// tileAttempt runs one panic-isolated, timeout-bounded engine attempt
+// on a tile class, probing the "tile" fault site first.
+func (f *Flow) tileAttempt(ctx context.Context, level Level, active, haloPolys []geom.Polygon, core, window geom.Rect) (res opc.Result, conv model.Convergence, err error, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = true
+			err = fmt.Errorf("tile worker panic: %v", r)
+		}
+	}()
+	tctx := ctx
+	if f.TileTimeout > 0 {
+		var cancel context.CancelFunc
+		tctx, cancel = context.WithTimeout(ctx, f.TileTimeout)
+		defer cancel()
+	}
+	if perr := f.FaultPlan.Probe(tctx, "tile"); perr != nil {
+		return opc.Result{}, model.Convergence{}, perr, false
+	}
+	eng := model.New(f.Sim, f.Threshold)
+	eng.Spec = f.Spec
+	eng.MRC = f.MRC
+	eng.Damping = f.Damping
+	eng.RMSEps = f.ConvergeEps
+	if level == L2 {
+		eng.MaxIter = f.ModelIter1
+	} else {
+		eng.MaxIter = f.ModelIterFull
+	}
+	eng.Context = haloPolys
+	freeze := core
+	eng.FreezeBoundary = &freeze
+	eng.Ctx = tctx
+	res, conv, err = eng.Correct(active, window)
+	return res, conv, err, false
+}
+
+// rulesFallback applies rule-based OPC to a tile's active geometry,
+// panic-isolated and fault-probed ("rules" site) like the model path.
+func (f *Flow) rulesFallback(ctx context.Context, active []geom.Polygon) (polys []geom.Polygon, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("rules fallback panic: %v", r)
+		}
+	}()
+	if perr := f.FaultPlan.Probe(ctx, "rules"); perr != nil {
+		return nil, perr
+	}
+	res, err := f.Rules.ApplyCtx(ctx, active)
+	if err != nil {
+		return nil, err
+	}
+	return res.Corrected, nil
+}
+
+// sleepBackoff sleeps for d honoring ctx; reports whether the sleep
+// completed (false means the run was cancelled mid-backoff).
+func sleepBackoff(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// ckptLookup consults the (resume-seeded) checkpoint for a finished
+// class result.
+func ckptLookup(w *ckptWriter, pass int, key string) (CheckpointEntry, bool) {
+	if w == nil || key == "" {
+		return CheckpointEntry{}, false
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.ck.lookup(pass, key)
 }
 
 // sameSlice reports whether two polygon slices are the same slice (the

@@ -1,0 +1,305 @@
+// Package faults is a deterministic fault-injection harness for the
+// correction pipeline. Production full-chip runs must survive panicking
+// tile workers, transient engine errors, and stalls; this package lets
+// tests (and the opcflow -inject flag) provoke exactly those failures
+// at named probe sites, reproducibly, so every recovery path in the
+// resilience layer is exercised rather than assumed.
+//
+// A Plan is a seeded set of rules. Each rule targets one probe site
+// ("tile", "rules", ...) and fires either on the first n probes of that
+// site (count mode) or with a fixed probability per probe (probability
+// mode, decided by a counter-keyed hash of the seed so a given plan
+// always fires on the same probe sequence numbers). Firing injects a
+// panic, an error wrapping ErrInjected, or a context-aware delay.
+//
+// A nil *Plan is valid and free: Probe on it is a nil check and
+// nothing else, so production code keeps its probes permanently in
+// place and pays nothing when no plan is armed.
+package faults
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is wrapped by every injected error, so recovery code and
+// tests can distinguish provoked failures from organic ones.
+var ErrInjected = errors.New("injected fault")
+
+// Kind is the failure mode a rule injects.
+type Kind int
+
+// Failure modes.
+const (
+	// KindError makes the probe return an error wrapping ErrInjected.
+	KindError Kind = iota
+	// KindPanic makes the probe panic (the tile-worker isolation path).
+	KindPanic
+	// KindDelay makes the probe sleep for the rule's Delay, honoring
+	// context cancellation (the timeout path): a cancelled sleep returns
+	// ctx.Err().
+	KindDelay
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindError:
+		return "error"
+	case KindPanic:
+		return "panic"
+	case KindDelay:
+		return "delay"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Rule arms one failure mode at one probe site.
+type Rule struct {
+	// Site is the probe site the rule targets (exact match).
+	Site string
+	Kind Kind
+	// Count, when positive, fires the rule on the first Count probes of
+	// the site and never again (transient-fault mode). When zero, Prob
+	// decides.
+	Count int64
+	// Prob is the per-probe firing probability in (0, 1]; the decision
+	// is a deterministic function of (plan seed, site, probe sequence
+	// number), so reruns of a serial pipeline fire identically.
+	Prob float64
+	// Delay is the sleep duration for KindDelay rules.
+	Delay time.Duration
+}
+
+// Plan is a seeded set of fault rules plus per-site probe counters.
+// Safe for concurrent use.
+type Plan struct {
+	Seed  int64
+	Rules []Rule
+
+	mu       sync.Mutex
+	counters map[string]*atomic.Int64
+}
+
+// NewPlan returns an empty plan with the given seed. Add rules directly
+// or parse them with Parse.
+func NewPlan(seed int64) *Plan {
+	return &Plan{Seed: seed, counters: map[string]*atomic.Int64{}}
+}
+
+// Parse builds a Plan from the -inject grammar: semicolon-separated
+// clauses, each "site:kind[:opt...]" with options "p=<prob>",
+// "n=<count>" and "d=<duration>", plus an optional leading
+// "seed=<int>" clause.
+//
+//	seed=42;tile:panic:p=0.05;tile:error:n=2;tile:delay:n=1:d=50ms
+//
+// Kinds are error, panic and delay. A rule with neither p= nor n=
+// defaults to p=1 (fire on every probe). delay rules need d=.
+func Parse(s string) (*Plan, error) {
+	p := NewPlan(1)
+	for _, clause := range strings.Split(s, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		if v, ok := strings.CutPrefix(clause, "seed="); ok {
+			seed, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faults: bad seed %q: %w", v, err)
+			}
+			p.Seed = seed
+			continue
+		}
+		parts := strings.Split(clause, ":")
+		if len(parts) < 2 {
+			return nil, fmt.Errorf("faults: clause %q: want site:kind[:opt...]", clause)
+		}
+		r := Rule{Site: parts[0]}
+		switch parts[1] {
+		case "error":
+			r.Kind = KindError
+		case "panic":
+			r.Kind = KindPanic
+		case "delay":
+			r.Kind = KindDelay
+		default:
+			return nil, fmt.Errorf("faults: clause %q: unknown kind %q", clause, parts[1])
+		}
+		for _, opt := range parts[2:] {
+			k, v, ok := strings.Cut(opt, "=")
+			if !ok {
+				return nil, fmt.Errorf("faults: clause %q: bad option %q", clause, opt)
+			}
+			switch k {
+			case "p":
+				f, err := strconv.ParseFloat(v, 64)
+				if err != nil || f <= 0 || f > 1 {
+					return nil, fmt.Errorf("faults: clause %q: probability %q out of (0,1]", clause, v)
+				}
+				r.Prob = f
+			case "n":
+				n, err := strconv.ParseInt(v, 10, 64)
+				if err != nil || n < 1 {
+					return nil, fmt.Errorf("faults: clause %q: count %q", clause, v)
+				}
+				r.Count = n
+			case "d":
+				d, err := time.ParseDuration(v)
+				if err != nil || d < 0 {
+					return nil, fmt.Errorf("faults: clause %q: duration %q", clause, v)
+				}
+				r.Delay = d
+			default:
+				return nil, fmt.Errorf("faults: clause %q: unknown option %q", clause, opt)
+			}
+		}
+		if r.Kind == KindDelay && r.Delay <= 0 {
+			return nil, fmt.Errorf("faults: clause %q: delay rule needs d=<duration>", clause)
+		}
+		if r.Count == 0 && r.Prob == 0 {
+			r.Prob = 1
+		}
+		p.Rules = append(p.Rules, r)
+	}
+	if len(p.Rules) == 0 {
+		return nil, fmt.Errorf("faults: plan %q has no rules", s)
+	}
+	return p, nil
+}
+
+// String renders the plan back in the Parse grammar (rules in order).
+func (p *Plan) String() string {
+	if p == nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed=%d", p.Seed)
+	for _, r := range p.Rules {
+		fmt.Fprintf(&b, ";%s:%s", r.Site, r.Kind)
+		if r.Count > 0 {
+			fmt.Fprintf(&b, ":n=%d", r.Count)
+		} else if r.Prob > 0 && r.Prob != 1 {
+			fmt.Fprintf(&b, ":p=%g", r.Prob)
+		}
+		if r.Kind == KindDelay {
+			fmt.Fprintf(&b, ":d=%s", r.Delay)
+		}
+	}
+	return b.String()
+}
+
+// Sites returns the distinct probe sites the plan targets, sorted.
+func (p *Plan) Sites() []string {
+	if p == nil {
+		return nil
+	}
+	set := map[string]bool{}
+	for _, r := range p.Rules {
+		set[r.Site] = true
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// counter returns the site's probe counter, creating it on first use.
+func (p *Plan) counter(site string) *atomic.Int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.counters == nil {
+		p.counters = map[string]*atomic.Int64{}
+	}
+	c := p.counters[site]
+	if c == nil {
+		c = &atomic.Int64{}
+		p.counters[site] = c
+	}
+	return c
+}
+
+// Probes returns how many times the site has been probed.
+func (p *Plan) Probes(site string) int64 {
+	if p == nil {
+		return 0
+	}
+	return p.counter(site).Load()
+}
+
+// Probe evaluates the plan at a site. It may panic, sleep (honoring
+// ctx), or return an error wrapping ErrInjected; a quiet probe returns
+// nil. Probing a nil plan is a no-op.
+func (p *Plan) Probe(ctx context.Context, site string) error {
+	if p == nil || len(p.Rules) == 0 {
+		return nil
+	}
+	// Sequence number of this probe at this site: 0, 1, 2, ...
+	n := p.counter(site).Add(1) - 1
+	for i := range p.Rules {
+		r := &p.Rules[i]
+		if r.Site != site {
+			continue
+		}
+		fire := false
+		if r.Count > 0 {
+			fire = n < r.Count
+		} else {
+			fire = uniform(p.Seed, site, n, int64(i)) < r.Prob
+		}
+		if !fire {
+			continue
+		}
+		switch r.Kind {
+		case KindPanic:
+			panic(fmt.Sprintf("faults: injected panic at %s[%d]", site, n))
+		case KindDelay:
+			t := time.NewTimer(r.Delay)
+			defer t.Stop()
+			if ctx == nil {
+				ctx = context.Background()
+			}
+			select {
+			case <-t.C:
+				// Delay elapsed: the probe stalls but does not fail.
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		default:
+			return fmt.Errorf("%w at %s[%d]", ErrInjected, site, n)
+		}
+	}
+	return nil
+}
+
+// uniform maps (seed, site, sequence, rule) to a deterministic value in
+// [0, 1) via splitmix64 over an FNV-mixed key.
+func uniform(seed int64, site string, n, rule int64) float64 {
+	h := uint64(1469598103934665603) // FNV offset basis
+	for i := 0; i < len(site); i++ {
+		h ^= uint64(site[i])
+		h *= 1099511628211
+	}
+	h ^= uint64(seed)
+	h = splitmix64(h)
+	h ^= uint64(n)*0x9e3779b97f4a7c15 + uint64(rule)
+	h = splitmix64(h)
+	return float64(h>>11) / float64(1<<53)
+}
+
+// splitmix64 is the finalizer of the splitmix64 generator: a cheap,
+// well-mixed 64-bit avalanche.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

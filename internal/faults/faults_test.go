@@ -1,0 +1,181 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseGrammar(t *testing.T) {
+	p, err := Parse("seed=42;tile:panic:p=0.05;tile:error:n=2;tile:delay:n=1:d=50ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 42 {
+		t.Errorf("seed = %d", p.Seed)
+	}
+	if len(p.Rules) != 3 {
+		t.Fatalf("rules = %d", len(p.Rules))
+	}
+	if p.Rules[0].Kind != KindPanic || p.Rules[0].Prob != 0.05 {
+		t.Errorf("rule 0 = %+v", p.Rules[0])
+	}
+	if p.Rules[1].Kind != KindError || p.Rules[1].Count != 2 {
+		t.Errorf("rule 1 = %+v", p.Rules[1])
+	}
+	if p.Rules[2].Kind != KindDelay || p.Rules[2].Delay != 50*time.Millisecond {
+		t.Errorf("rule 2 = %+v", p.Rules[2])
+	}
+	if got := p.Sites(); len(got) != 1 || got[0] != "tile" {
+		t.Errorf("sites = %v", got)
+	}
+	// The String round-trip re-parses to the same rules.
+	q, err := Parse(p.String())
+	if err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if q.String() != p.String() {
+		t.Errorf("round-trip %q != %q", q.String(), p.String())
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	for _, bad := range []string{
+		"", "tile", "tile:explode", "tile:error:p=2", "tile:error:p=0",
+		"tile:delay", "tile:error:n=0", "seed=x;tile:error", "tile:error:q=1",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestNilPlanIsQuiet(t *testing.T) {
+	var p *Plan
+	if err := p.Probe(context.Background(), "tile"); err != nil {
+		t.Fatal(err)
+	}
+	if p.Probes("tile") != 0 {
+		t.Error("nil plan counted probes")
+	}
+}
+
+func TestCountModeFiresFirstN(t *testing.T) {
+	p, err := Parse("tile:error:n=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		err := p.Probe(ctx, "tile")
+		if i < 2 {
+			if !errors.Is(err, ErrInjected) {
+				t.Errorf("probe %d: err = %v, want injected", i, err)
+			}
+		} else if err != nil {
+			t.Errorf("probe %d: err = %v, want nil", i, err)
+		}
+	}
+	// Other sites are untouched.
+	if err := p.Probe(ctx, "gds"); err != nil {
+		t.Errorf("other site fired: %v", err)
+	}
+	if p.Probes("tile") != 5 || p.Probes("gds") != 1 {
+		t.Errorf("counters = %d/%d", p.Probes("tile"), p.Probes("gds"))
+	}
+}
+
+func TestProbabilityDeterministicAndCalibrated(t *testing.T) {
+	const n = 4000
+	fire := func(seed int64) []bool {
+		p := NewPlan(seed)
+		p.Rules = []Rule{{Site: "tile", Kind: KindError, Prob: 0.25}}
+		out := make([]bool, n)
+		for i := range out {
+			out[i] = p.Probe(context.Background(), "tile") != nil
+		}
+		return out
+	}
+	a, b := fire(7), fire(7)
+	count := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("probe %d differs between identical plans", i)
+		}
+		if a[i] {
+			count++
+		}
+	}
+	if count < n/8 || count > n/2 {
+		t.Errorf("p=0.25 fired %d/%d times", count, n)
+	}
+	// A different seed fires a different sequence.
+	c := fire(8)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == n {
+		t.Error("seed change did not change the firing sequence")
+	}
+}
+
+func TestPanicKind(t *testing.T) {
+	p, err := Parse("tile:panic:n=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic")
+		}
+		if !strings.Contains(r.(string), "injected panic at tile[0]") {
+			t.Errorf("panic value %v", r)
+		}
+	}()
+	p.Probe(context.Background(), "tile")
+}
+
+func TestDelayHonorsContext(t *testing.T) {
+	p, err := Parse("tile:delay:n=1:d=10s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	t0 := time.Now()
+	perr := p.Probe(ctx, "tile")
+	if !errors.Is(perr, context.DeadlineExceeded) {
+		t.Errorf("err = %v", perr)
+	}
+	if time.Since(t0) > 5*time.Second {
+		t.Error("delay ignored cancellation")
+	}
+	// Second probe is past the count: no delay.
+	t0 = time.Now()
+	if err := p.Probe(context.Background(), "tile"); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(t0) > time.Second {
+		t.Error("quiet probe slept")
+	}
+}
+
+func TestDelayElapses(t *testing.T) {
+	p, err := Parse("tile:delay:n=1:d=5ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Now()
+	if err := p.Probe(context.Background(), "tile"); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(t0) < 5*time.Millisecond {
+		t.Error("delay did not elapse")
+	}
+}

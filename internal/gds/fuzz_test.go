@@ -1,0 +1,117 @@
+package gds_test
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"goopc/internal/gds"
+	"goopc/internal/geom"
+	"goopc/internal/layout"
+	"goopc/internal/layout/gen"
+)
+
+// seedStreams builds the fuzz seed corpus from the package's own
+// generators: a hand-assembled library covering every element kind, a
+// generated through-pitch test layout, plus deterministic corruptions
+// (truncations and byte flips) of the valid streams so the fuzzer
+// starts on both sides of the validity boundary.
+func seedStreams(tb testing.TB) [][]byte {
+	var seeds [][]byte
+
+	lib := gds.NewLibrary("SEED")
+	leaf := lib.AddStruct("LEAF")
+	leaf.Add(&gds.Boundary{Layer: 2, XY: geom.Polygon{
+		geom.Pt(0, 0), geom.Pt(400, 0), geom.Pt(400, 180), geom.Pt(0, 180),
+	}})
+	leaf.Add(&gds.Path{Layer: 3, Width: 120, XY: []geom.Point{
+		geom.Pt(0, 300), geom.Pt(900, 300), geom.Pt(900, 800),
+	}})
+	top := lib.AddStruct("TOP")
+	top.Add(&gds.SRef{Name: "LEAF", Origin: geom.Pt(1000, 0)})
+	top.Add(&gds.ARef{
+		Name: "LEAF", Cols: 3, Rows: 2,
+		Origin: geom.Pt(0, 2000), ColStep: geom.Pt(600, 0), RowStep: geom.Pt(0, 500),
+	})
+	top.Add(&gds.Text{Layer: 63, Origin: geom.Pt(10, 10), String: "label"})
+	var buf bytes.Buffer
+	if _, err := gds.Write(&buf, lib); err != nil {
+		tb.Fatalf("seed write: %v", err)
+	}
+	seeds = append(seeds, append([]byte(nil), buf.Bytes()...))
+
+	ly := layout.New("fuzzgen")
+	cell, _, err := gen.ThroughPitch(ly, "TP", layout.Poly, 180,
+		[]geom.Coord{360, 800}, 1500, 2)
+	if err != nil {
+		tb.Fatalf("seed gen: %v", err)
+	}
+	ly.SetTop(cell)
+	buf.Reset()
+	if _, err := layout.WriteGDS(&buf, ly); err != nil {
+		tb.Fatalf("seed gen write: %v", err)
+	}
+	seeds = append(seeds, append([]byte(nil), buf.Bytes()...))
+
+	rng := rand.New(rand.NewSource(7))
+	base := seeds[0]
+	for i := 0; i < 8; i++ {
+		cut := rng.Intn(len(base))
+		seeds = append(seeds, append([]byte(nil), base[:cut]...))
+		flip := append([]byte(nil), base...)
+		flip[rng.Intn(len(flip))] ^= byte(1 << rng.Intn(8))
+		seeds = append(seeds, flip)
+	}
+	return seeds
+}
+
+// FuzzReadGDS drives the reader with arbitrary byte streams. The
+// invariants: Read never panics, rejects corruption with a wrapped
+// ErrCorrupt, and anything it accepts (and that validates) survives a
+// write/reread round trip.
+func FuzzReadGDS(f *testing.F) {
+	for _, s := range seedStreams(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		lib, err := gds.Read(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, gds.ErrCorrupt) {
+				t.Fatalf("read error does not wrap ErrCorrupt: %v", err)
+			}
+			return
+		}
+		if lib == nil {
+			t.Fatal("nil library with nil error")
+		}
+		if err := lib.Validate(); err != nil {
+			return // structurally readable but referentially broken
+		}
+		var buf bytes.Buffer
+		if _, err := gds.Write(&buf, lib); err != nil {
+			return // writer limits (e.g. vertex caps) may be tighter
+		}
+		if _, err := gds.Read(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("reread of written library failed: %v", err)
+		}
+	})
+}
+
+// FuzzReadGDSLayout layers the layout importer on top of the raw
+// reader: FromGDS must reject without panicking whatever Read lets
+// through (degenerate rings, bad transforms, missing tops).
+func FuzzReadGDSLayout(f *testing.F) {
+	for _, s := range seedStreams(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ly, err := layout.ReadGDS(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if ly == nil {
+			t.Fatal("nil layout with nil error")
+		}
+	})
+}

@@ -57,8 +57,15 @@ func (l *Library) Struct(name string) *Struct {
 	return l.byName[name]
 }
 
-// Validate checks referential integrity: every SREF/AREF target exists
-// and no structure participates in a reference cycle.
+// maxRefDepth caps the structure reference hierarchy. Real layouts are
+// a few dozen levels deep; the cap exists so a hostile or corrupt
+// library (a chain of thousands of single-child structs) cannot
+// overflow the stack during validation or flattening.
+const maxRefDepth = 1024
+
+// Validate checks referential integrity: every SREF/AREF target exists,
+// no structure participates in a reference cycle, and the hierarchy is
+// no deeper than maxRefDepth.
 func (l *Library) Validate() error {
 	const (
 		white = 0
@@ -66,8 +73,11 @@ func (l *Library) Validate() error {
 		black = 2
 	)
 	color := map[string]int{}
-	var visit func(s *Struct) error
-	visit = func(s *Struct) error {
+	var visit func(s *Struct, depth int) error
+	visit = func(s *Struct, depth int) error {
+		if depth > maxRefDepth {
+			return fmt.Errorf("gds: reference hierarchy deeper than %d at %q", maxRefDepth, s.Name)
+		}
 		color[s.Name] = gray
 		for _, el := range s.Elements {
 			var target string
@@ -87,7 +97,7 @@ func (l *Library) Validate() error {
 			case gray:
 				return fmt.Errorf("gds: reference cycle through %q", child.Name)
 			case white:
-				if err := visit(child); err != nil {
+				if err := visit(child, depth+1); err != nil {
 					return err
 				}
 			}
@@ -97,7 +107,7 @@ func (l *Library) Validate() error {
 	}
 	for _, s := range l.Structs {
 		if color[s.Name] == white {
-			if err := visit(s); err != nil {
+			if err := visit(s, 0); err != nil {
 				return err
 			}
 		}

@@ -13,11 +13,13 @@ import (
 // ErrCorrupt wraps all structural read failures.
 var ErrCorrupt = errors.New("gds: corrupt stream")
 
-// record is one decoded GDSII record.
+// record is one decoded GDSII record; off is its byte offset in the
+// stream, carried so higher-level validation can report locations.
 type record struct {
 	typ  RecordType
 	dt   DataType
 	data []byte
+	off  int64
 }
 
 // recordReader pulls records off a stream with validation.
@@ -32,18 +34,39 @@ func newRecordReader(r io.Reader) *recordReader {
 	return &recordReader{r: bufio.NewReaderSize(r, 1<<16)}
 }
 
+// errAt wraps a structural failure with the byte offset of the record
+// it occurred in, so a corrupt multi-gigabyte stream is debuggable.
+func (rr *recordReader) errAt(off int64, format string, args ...any) error {
+	return fmt.Errorf("%w: at byte %d: %s", ErrCorrupt, off, fmt.Sprintf(format, args...))
+}
+
+// dtSize is the element size each data type must align to; 0 means no
+// alignment constraint (bit arrays and ASCII pad freely).
+func dtSize(dt DataType) int {
+	switch dt {
+	case DTInt16:
+		return 2
+	case DTInt32, DTReal4:
+		return 4
+	case DTReal8:
+		return 8
+	}
+	return 0
+}
+
 // next reads one record. io.EOF is returned only at a clean record
 // boundary.
 func (rr *recordReader) next() (record, error) {
+	off := rr.Bytes
 	var hdr [4]byte
 	if _, err := io.ReadFull(rr.r, hdr[:1]); err != nil {
 		if err == io.EOF {
 			return record{}, io.EOF
 		}
-		return record{}, fmt.Errorf("%w: header: %v", ErrCorrupt, err)
+		return record{}, rr.errAt(off, "header: %v", err)
 	}
 	if _, err := io.ReadFull(rr.r, hdr[1:]); err != nil {
-		return record{}, fmt.Errorf("%w: truncated header: %v", ErrCorrupt, err)
+		return record{}, rr.errAt(off, "truncated header: %v", err)
 	}
 	length := int(binary.BigEndian.Uint16(hdr[:2]))
 	typ := RecordType(hdr[2])
@@ -53,21 +76,27 @@ func (rr *recordReader) next() (record, error) {
 		if length == 0 && typ == 0 && dt == 0 {
 			return record{}, io.EOF
 		}
-		return record{}, fmt.Errorf("%w: record %v length %d", ErrCorrupt, typ, length)
+		return record{}, rr.errAt(off, "record %v length %d", typ, length)
 	}
 	n := length - 4
+	if sz := dtSize(dt); sz > 0 && n%sz != 0 {
+		return record{}, rr.errAt(off, "record %v: %d body bytes not a multiple of %d-byte %v", typ, n, sz, dt)
+	}
+	// The 16-bit length field caps n at 65531, so this buffer — the only
+	// allocation sized from untrusted input before validation — is
+	// bounded regardless of stream content.
 	if cap(rr.buf) < n {
 		rr.buf = make([]byte, n)
 	}
 	data := rr.buf[:n]
 	if _, err := io.ReadFull(rr.r, data); err != nil {
-		return record{}, fmt.Errorf("%w: record %v body: %v", ErrCorrupt, typ, err)
+		return record{}, rr.errAt(off, "record %v body: %v", typ, err)
 	}
 	if want, ok := expectedDT[typ]; ok && dt != want {
-		return record{}, fmt.Errorf("%w: record %v has data type %v, want %v", ErrCorrupt, typ, dt, want)
+		return record{}, rr.errAt(off, "record %v has data type %v, want %v", typ, dt, want)
 	}
 	rr.Bytes += int64(length)
-	return record{typ, dt, data}, nil
+	return record{typ, dt, data, off}, nil
 }
 
 func (r record) int16s() []int16 {
@@ -139,25 +168,38 @@ func Read(r io.Reader) (*Library, error) {
 		case RecUnits:
 			u := rec.real8s()
 			if len(u) != 2 {
-				return nil, fmt.Errorf("%w: UNITS has %d reals", ErrCorrupt, len(u))
+				return nil, rr.errAt(rec.off, "UNITS has %d reals", len(u))
+			}
+			// Bounds cover every plausible unit system with orders of
+			// magnitude to spare; beyond them lies corruption (and
+			// REAL8 exponent underflow on rewrite).
+			const unitMin, unitMax = 1e-30, 1e30
+			for _, v := range u {
+				if !(v >= unitMin && v <= unitMax) {
+					return nil, rr.errAt(rec.off, "UNITS out of range: %g, %g", u[0], u[1])
+				}
 			}
 			lib.UserUnit, lib.MeterUnit = u[0], u[1]
 		case RecBgnStr:
 			cur = nil // name comes in STRNAME
 		case RecStrName:
-			cur = lib.AddStruct(rec.str())
+			name := rec.str()
+			if name == "" {
+				return nil, rr.errAt(rec.off, "empty STRNAME")
+			}
+			cur = lib.AddStruct(name)
 		case RecEndStr:
 			cur = nil
 		case RecEndLib:
 			if !sawHeader {
-				return nil, fmt.Errorf("%w: missing HEADER", ErrCorrupt)
+				return nil, rr.errAt(rec.off, "missing HEADER")
 			}
 			return lib, nil
 		case RecBoundary, RecPath, RecSRef, RecARef, RecText, RecBox, RecNode:
 			if cur == nil {
-				return nil, fmt.Errorf("%w: element %v outside structure", ErrCorrupt, rec.typ)
+				return nil, rr.errAt(rec.off, "element %v outside structure", rec.typ)
 			}
-			el, err := readElement(rr, rec.typ)
+			el, err := readElement(rr, rec.typ, rec.off)
 			if err != nil {
 				return nil, err
 			}
@@ -170,9 +212,14 @@ func Read(r io.Reader) (*Library, error) {
 	}
 }
 
+// maxXYPoints caps coordinate lists; the historical GDSII boundary
+// limit is 8191 vertices and the 16-bit record length cannot encode
+// more pairs than that anyway, so anything larger is corruption.
+const maxXYPoints = 8191
+
 // readElement consumes records up to ENDEL and builds the element.
 // BOX and NODE elements are consumed and dropped (nil element).
-func readElement(rr *recordReader, kind RecordType) (Element, error) {
+func readElement(rr *recordReader, kind RecordType, start int64) (Element, error) {
 	var (
 		layer, dtype, ttype, ptype, btype int16
 		width                             int32
@@ -187,11 +234,15 @@ func readElement(rr *recordReader, kind RecordType) (Element, error) {
 	for {
 		rec, err := rr.next()
 		if err != nil {
-			return nil, fmt.Errorf("%w: inside %v element", ErrCorrupt, kind)
+			return nil, rr.errAt(start, "inside %v element: %v", kind, err)
 		}
 		switch rec.typ {
 		case RecEndEl:
-			return buildElement(kind, layer, dtype, ttype, ptype, btype, width, xy, sname, text, strans, cols, rows, props)
+			el, err := buildElement(kind, layer, dtype, ttype, ptype, btype, width, xy, sname, text, strans, cols, rows, props)
+			if err != nil {
+				return nil, rr.errAt(start, "%v", err)
+			}
+			return el, nil
 		case RecLayer:
 			layer = first16(rec)
 		case RecDataType:
@@ -206,6 +257,13 @@ func readElement(rr *recordReader, kind RecordType) (Element, error) {
 				width = v[0]
 			}
 		case RecXY:
+			vals := rec.int32s()
+			if len(vals)%2 != 0 {
+				return nil, rr.errAt(rec.off, "XY has %d values (odd)", len(vals))
+			}
+			if len(vals)/2 > maxXYPoints {
+				return nil, rr.errAt(rec.off, "XY has %d points, max %d", len(vals)/2, maxXYPoints)
+			}
 			xy = rec.points()
 		case RecSName:
 			sname = rec.str()
@@ -228,7 +286,10 @@ func readElement(rr *recordReader, kind RecordType) (Element, error) {
 		case RecColRow:
 			v := rec.int16s()
 			if len(v) != 2 {
-				return nil, fmt.Errorf("%w: COLROW has %d values", ErrCorrupt, len(v))
+				return nil, rr.errAt(rec.off, "COLROW has %d values", len(v))
+			}
+			if v[0] <= 0 || v[1] <= 0 {
+				return nil, rr.errAt(rec.off, "COLROW %dx%d not positive", v[0], v[1])
 			}
 			cols, rows = v[0], v[1]
 		case RecBoxType:
@@ -260,7 +321,7 @@ func buildElement(kind RecordType, layer, dtype, ttype, ptype, btype int16, widt
 	switch kind {
 	case RecBoundary:
 		if len(xy) < 4 {
-			return nil, fmt.Errorf("%w: boundary with %d points", ErrCorrupt, len(xy))
+			return nil, fmt.Errorf("boundary with %d points", len(xy))
 		}
 		ring := geom.Polygon(xy)
 		if ring[0] == ring[len(ring)-1] {
@@ -269,19 +330,19 @@ func buildElement(kind RecordType, layer, dtype, ttype, ptype, btype int16, widt
 		return &Boundary{Layer: layer, DataType: dtype, XY: ring.Clone(), Props: props}, nil
 	case RecPath:
 		if len(xy) < 2 {
-			return nil, fmt.Errorf("%w: path with %d points", ErrCorrupt, len(xy))
+			return nil, fmt.Errorf("path with %d points", len(xy))
 		}
 		pts := make([]geom.Point, len(xy))
 		copy(pts, xy)
 		return &Path{Layer: layer, DataType: dtype, PathType: ptype, Width: width, XY: pts, Props: props}, nil
 	case RecSRef:
 		if sname == "" || len(xy) < 1 {
-			return nil, fmt.Errorf("%w: SREF missing name or origin", ErrCorrupt)
+			return nil, fmt.Errorf("SREF missing name or origin")
 		}
 		return &SRef{Name: sname, Strans: strans, Origin: xy[0]}, nil
 	case RecARef:
 		if sname == "" || len(xy) != 3 || cols <= 0 || rows <= 0 {
-			return nil, fmt.Errorf("%w: AREF needs SNAME, COLROW and 3 XY points", ErrCorrupt)
+			return nil, fmt.Errorf("AREF needs SNAME, COLROW and 3 XY points")
 		}
 		origin := xy[0]
 		colStep := geom.Pt((xy[1].X-origin.X)/int32(cols), (xy[1].Y-origin.Y)/int32(cols))
@@ -292,12 +353,12 @@ func buildElement(kind RecordType, layer, dtype, ttype, ptype, btype int16, widt
 		}, nil
 	case RecText:
 		if len(xy) < 1 {
-			return nil, fmt.Errorf("%w: TEXT missing origin", ErrCorrupt)
+			return nil, fmt.Errorf("TEXT missing origin")
 		}
 		return &Text{Layer: layer, TextType: ttype, Origin: xy[0], Strans: strans, String: text}, nil
 	case RecBox:
 		if len(xy) < 4 {
-			return nil, fmt.Errorf("%w: box with %d points", ErrCorrupt, len(xy))
+			return nil, fmt.Errorf("box with %d points", len(xy))
 		}
 		ring := geom.Polygon(xy)
 		if ring[0] == ring[len(ring)-1] {
@@ -307,5 +368,5 @@ func buildElement(kind RecordType, layer, dtype, ttype, ptype, btype int16, widt
 	case RecNode:
 		return nil, nil // consumed, not modeled
 	}
-	return nil, fmt.Errorf("%w: unexpected element kind %v", ErrCorrupt, kind)
+	return nil, fmt.Errorf("unexpected element kind %v", kind)
 }

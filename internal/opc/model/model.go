@@ -8,6 +8,7 @@
 package model
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -62,6 +63,20 @@ type Engine struct {
 	// corrects against the average — trading best-focus fidelity for
 	// through-focus stability. Empty means best-focus-only correction.
 	FocusList []float64
+	// Ctx, when non-nil, bounds the correction: cancellation or
+	// deadline expiry aborts the loop between iterations (and inside
+	// the imaging engine between kernel evaluations) with the context
+	// error. The tiled scheduler sets this to enforce per-tile
+	// timeouts; nil means run to completion.
+	Ctx context.Context
+}
+
+// ctx returns the engine's context, defaulting to Background.
+func (e *Engine) ctx() context.Context {
+	if e.Ctx != nil {
+		return e.Ctx
+	}
+	return context.Background()
 }
 
 // frozen reports whether a fragment lies on the freeze boundary.
@@ -140,10 +155,14 @@ func (e *Engine) Correct(target []geom.Polygon, window geom.Rect) (opc.Result, C
 	if len(foci) == 0 {
 		foci = []float64{e.Sim.S.DefocusNM}
 	}
+	ctx := e.ctx()
 	for iter := 0; iter <= e.MaxIter; iter++ {
+		if err := ctx.Err(); err != nil {
+			return opc.Result{}, conv, fmt.Errorf("model: iteration %d: %w", iter, err)
+		}
 		mask := e.rebuild(frags)
 		full := append(mask, extra...)
-		images, err := e.imageFoci(full, window, foci)
+		images, err := e.imageFoci(ctx, full, window, foci)
 		if err != nil {
 			return opc.Result{}, conv, fmt.Errorf("model: iteration %d imaging: %w", iter, err)
 		}
@@ -182,11 +201,11 @@ func (e *Engine) Correct(target []geom.Polygon, window geom.Rect) (opc.Result, C
 // a parallel simulator evaluates the foci concurrently (the simulator
 // is safe for concurrent use and its kernel cache is shared); images
 // land at their focus index, so the result is order-deterministic.
-func (e *Engine) imageFoci(mask []geom.Polygon, window geom.Rect, foci []float64) ([]*optics.Image, error) {
+func (e *Engine) imageFoci(ctx context.Context, mask []geom.Polygon, window geom.Rect, foci []float64) ([]*optics.Image, error) {
 	images := make([]*optics.Image, len(foci))
 	if !e.Sim.S.Parallel || len(foci) < 2 {
 		for i, z := range foci {
-			im, err := e.Sim.AerialDefocus(mask, window, z)
+			im, err := e.Sim.AerialDefocusCtx(ctx, mask, window, z)
 			if err != nil {
 				return nil, err
 			}
@@ -200,7 +219,7 @@ func (e *Engine) imageFoci(mask []geom.Polygon, window geom.Rect, foci []float64
 		wg.Add(1)
 		go func(i int, z float64) {
 			defer wg.Done()
-			images[i], errs[i] = e.Sim.AerialDefocus(mask, window, z)
+			images[i], errs[i] = e.Sim.AerialDefocusCtx(ctx, mask, window, z)
 		}(i, z)
 	}
 	wg.Wait()

@@ -7,6 +7,7 @@
 package rules
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -175,8 +176,20 @@ func DefaultRecipe() Recipe {
 // Apply corrects the drawn polygons per the recipe. Pure geometry: the
 // simulator is not consulted.
 func (r Recipe) Apply(target []geom.Polygon) opc.Result {
+	res, _ := r.ApplyCtx(context.Background(), target)
+	return res
+}
+
+// ApplyCtx is Apply bounded by a context: cancellation aborts between
+// polygons with the context error. Rule-based correction is cheap, but
+// a full-chip layer is millions of polygons — the resilience layer
+// needs even the fallback path to honor run deadlines.
+func (r Recipe) ApplyCtx(ctx context.Context, target []geom.Polygon) (opc.Result, error) {
 	var out opc.Result
 	for pi, p := range target {
+		if err := ctx.Err(); err != nil {
+			return opc.Result{}, fmt.Errorf("rules: polygon %d: %w", pi, err)
+		}
 		frags := geom.FragmentPolygon(p, pi, r.Spec)
 		// Per-fragment bias from the neighbor environment.
 		for i := range frags {
@@ -217,7 +230,7 @@ func (r Recipe) Apply(target []geom.Polygon) opc.Result {
 		bars := scatteringBars(target, r)
 		out.SRAFs = append(out.SRAFs, bars...)
 	}
-	return out
+	return out, nil
 }
 
 // hammerhead returns the head rectangle for a line-end fragment: the

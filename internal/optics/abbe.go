@@ -1,6 +1,7 @@
 package optics
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/cmplx"
@@ -82,6 +83,18 @@ func (sim *Simulator) Aerial(mask []geom.Polygon, window geom.Rect) (*Image, err
 // settings' Engine selects between the cached SOCS kernel path (default)
 // and the Abbe source-point reference.
 func (sim *Simulator) AerialDefocus(mask []geom.Polygon, window geom.Rect, defocusNM float64) (*Image, error) {
+	return sim.AerialDefocusCtx(context.Background(), mask, window, defocusNM)
+}
+
+// AerialDefocusCtx is AerialDefocus bounded by a context: cancellation
+// or deadline expiry aborts the integration between kernel (SOCS) or
+// source-point (Abbe) evaluations and returns the context error. The
+// per-check cost is one atomic load, so an un-cancelled context costs
+// nothing measurable against an FFT.
+func (sim *Simulator) AerialDefocusCtx(ctx context.Context, mask []geom.Polygon, window geom.Rect, defocusNM float64) (*Image, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if window.Empty() {
 		return nil, fmt.Errorf("optics: empty simulation window")
 	}
@@ -98,7 +111,7 @@ func (sim *Simulator) AerialDefocus(mask []geom.Polygon, window geom.Rect, defoc
 		if err != nil {
 			return nil, err
 		}
-		intensity, err = sim.abbeIntensity(spectrum, frame, defocusNM)
+		intensity, err = sim.abbeIntensity(ctx, spectrum, frame, defocusNM)
 		fft.PutGrid(spectrum)
 		if err != nil {
 			return nil, err
@@ -115,7 +128,7 @@ func (sim *Simulator) AerialDefocus(mask []geom.Polygon, window geom.Rect, defoc
 		if err != nil {
 			return nil, err
 		}
-		intensity, err = sim.socsIntensity(spectrum, frame, ks)
+		intensity, err = sim.socsIntensity(ctx, spectrum, frame, ks)
 		fft.PutGrid(spectrum)
 		if err != nil {
 			return nil, err
@@ -175,8 +188,9 @@ func (sim *Simulator) maskSpectrum(mask []geom.Polygon, frame Frame, cols []int)
 
 // abbeIntensity runs the reference source-point integration: one
 // pupil-filtered inverse FFT per sampled source point, weighted
-// intensities summed. Workers abort early once any source point fails.
-func (sim *Simulator) abbeIntensity(spectrum *fft.Grid, frame Frame, defocusNM float64) ([]float64, error) {
+// intensities summed. Workers abort early once any source point fails
+// or the context is cancelled.
+func (sim *Simulator) abbeIntensity(ctx context.Context, spectrum *fft.Grid, frame Frame, defocusNM float64) ([]float64, error) {
 	n := frame.W * frame.H
 	intensity := make([]float64, n)
 	naOverLambda := sim.S.NA / sim.S.LambdaNM
@@ -215,6 +229,15 @@ func (sim *Simulator) abbeIntensity(spectrum *fft.Grid, frame Frame, defocusNM f
 			local := getFloats(n)
 			for sp := range jobs {
 				if cancel.Load() {
+					continue
+				}
+				if err := ctx.Err(); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					cancel.Store(true)
 					continue
 				}
 				if err := sim.sourceField(spectrum, field, frame, sp, defocusNM, naOverLambda, fxs, fys); err != nil {

@@ -33,6 +33,7 @@
 package optics
 
 import (
+	"context"
 	"math"
 	"math/cmplx"
 	"runtime"
@@ -410,7 +411,7 @@ func sortedKeys(set map[int]bool) []int {
 // With Parallel set, kernels fan out across goroutines into per-kernel
 // buffers merged in kernel order, so the result is bit-identical to the
 // serial loop.
-func (sim *Simulator) socsIntensity(spectrum *fft.Grid, frame Frame, ks *kernelSet) ([]float64, error) {
+func (sim *Simulator) socsIntensity(ctx context.Context, spectrum *fft.Grid, frame Frame, ks *kernelSet) ([]float64, error) {
 	cn := ks.cw * ks.ch
 	coarse := getFloats(cn)
 	cplan, err := sim.plan(ks.cw, ks.ch)
@@ -433,6 +434,11 @@ func (sim *Simulator) socsIntensity(spectrum *fft.Grid, frame Frame, ks *kernelS
 		// when the simulator is parallel.
 		field := fft.GetGrid(ks.cw, ks.ch)
 		for k := 0; k < ks.kept; k++ {
+			if err := ctx.Err(); err != nil {
+				fft.PutGrid(field)
+				putFloats(coarse)
+				return nil, err
+			}
 			if err := kernelField(field, spectrum, ks, k, cplan); err != nil {
 				fft.PutGrid(field)
 				putFloats(coarse)
@@ -463,6 +469,14 @@ func (sim *Simulator) socsIntensity(spectrum *fft.Grid, frame Frame, ks *kernelS
 			field := fft.GetGrid(ks.cw, ks.ch)
 			defer fft.PutGrid(field)
 			for k := range jobs {
+				if err := ctx.Err(); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					continue
+				}
 				if err := kernelField(field, spectrum, ks, k, &serial); err != nil {
 					mu.Lock()
 					if firstErr == nil {

@@ -1,6 +1,7 @@
 package optics
 
 import (
+	"context"
 	"math"
 	"math/cmplx"
 	"math/rand"
@@ -335,7 +336,7 @@ func TestAbbeEarlyAbort(t *testing.T) {
 	// A non-power-of-two frame makes every per-point inverse FFT fail.
 	frame := Frame{W: 24, H: 24, PixelNM: s.PixelNM, OriginX: 0, OriginY: 0}
 	spectrum := rasterize(nil, frame)
-	if _, err := sim.abbeIntensity(spectrum, frame, 0); err == nil {
+	if _, err := sim.abbeIntensity(context.Background(), spectrum, frame, 0); err == nil {
 		t.Fatal("expected error from non-pow2 frame")
 	}
 	if n := sim.fieldEvals.Load(); n != 1 {
