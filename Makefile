@@ -1,7 +1,7 @@
 # Developer / CI entry points. Everything is plain go tooling; the
 # targets just fix the flag sets so local runs and CI agree.
 
-.PHONY: build test verify fuzz-short bench
+.PHONY: build test verify server-integration fuzz-short bench
 
 build:
 	go build ./...
@@ -12,10 +12,19 @@ test:
 
 # The CI gate: static checks plus the whole tree under the race
 # detector (the lock-free obs registry, the parallel tile scheduler,
-# and the checkpoint writer all have concurrency to defend).
+# the checkpoint writer and the opcd job server all have concurrency
+# to defend), then the opcd integration suite forced uncached.
 verify:
 	go vet ./...
 	go test -race ./...
+	$(MAKE) server-integration
+
+# The opcd service gate on its own: the job-server integration suite
+# (concurrent submit parity, backpressure, chaos, restart recovery)
+# under the race detector, never from the test cache.
+server-integration:
+	go vet ./internal/server/ ./cmd/opcd/ ./cmd/opcctl/
+	go test -race -count=1 -run '^TestServer' ./internal/server/
 
 # Short fuzz pass over the GDS ingest hardening (the seed corpora plus
 # 30s of mutation per target); CI runs this, longer runs are manual.

@@ -16,6 +16,7 @@ package main
 
 import (
 	"flag"
+	"fmt"
 	"io"
 	"os"
 	"runtime"
@@ -115,8 +116,13 @@ func run() int {
 	reportPath := fs.String("report", "", "write an obs RunReport (JSON) to this file")
 	verbose := fs.Bool("v", false, "verbose progress output")
 	quiet := fs.Bool("q", false, "suppress progress output (errors still print)")
+	version := fs.Bool("version", false, "print the build fingerprint and exit")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		return 2
+	}
+	if *version {
+		fmt.Println("benchtables", obs.CollectBuildInfo())
+		return 0
 	}
 	log := obs.NewLogger(os.Stderr, obs.ParseLogLevel(*quiet, *verbose), "benchtables")
 	for _, e := range exps {

@@ -16,12 +16,18 @@ import (
 	"goopc/internal/drc"
 	"goopc/internal/layout"
 	"goopc/internal/layout/gen"
+	"goopc/internal/obs"
 )
 
 func main() {
 	cellName := flag.String("cell", "", "cell to check (default: top)")
 	selftest := flag.Bool("selftest", false, "check the generated standard-cell library")
+	version := flag.Bool("version", false, "print the build fingerprint and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println("drccheck", obs.CollectBuildInfo())
+		return
+	}
 
 	if err := run(flag.Arg(0), *cellName, *selftest); err != nil {
 		fmt.Fprintln(os.Stderr, "drccheck:", err)

@@ -16,6 +16,7 @@ import (
 	"goopc/internal/core"
 	"goopc/internal/geom"
 	"goopc/internal/layout"
+	"goopc/internal/obs"
 	"goopc/internal/opc"
 	"goopc/internal/optics"
 	"goopc/internal/render"
@@ -29,7 +30,12 @@ func main() {
 	out := flag.String("o", "out.svg", "output SVG path")
 	demo := flag.Bool("demo", false, "use the built-in line-end demo clip")
 	opcLevel := flag.String("opc", "", "run OPC at this level (L1/L2/L3) and overlay mask+contour")
+	version := flag.Bool("version", false, "print the build fingerprint and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println("gdsplot", obs.CollectBuildInfo())
+		return
+	}
 	if err := run(*gdsPath, *cellName, layout.Layer(*layerNum), *out, *demo, *opcLevel); err != nil {
 		fmt.Fprintln(os.Stderr, "gdsplot:", err)
 		os.Exit(1)

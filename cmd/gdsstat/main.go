@@ -14,11 +14,17 @@ import (
 
 	"goopc/internal/gds"
 	"goopc/internal/layout"
+	"goopc/internal/obs"
 )
 
 func main() {
 	layoutStats := flag.Bool("layout", false, "also report hierarchy statistics")
+	version := flag.Bool("version", false, "print the build fingerprint and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println("gdsstat", obs.CollectBuildInfo())
+		os.Exit(0)
+	}
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: gdsstat [-layout] file.gds...")
 		os.Exit(2)

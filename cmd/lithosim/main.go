@@ -15,6 +15,7 @@ import (
 
 	"goopc/internal/geom"
 	"goopc/internal/layout"
+	"goopc/internal/obs"
 	"goopc/internal/optics"
 	"goopc/internal/resist"
 )
@@ -26,7 +27,12 @@ func main() {
 	cutY := flag.Int("cut", 0, "y coordinate of the horizontal cut [DBU]")
 	defocus := flag.Float64("defocus", 0, "defocus [nm]")
 	demo := flag.Bool("demo", false, "run the built-in through-pitch demo")
+	version := flag.Bool("version", false, "print the build fingerprint and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println("lithosim", obs.CollectBuildInfo())
+		return
+	}
 
 	if err := run(*gdsPath, *cellName, layout.Layer(*layerNum), geom.Coord(*cutY), *defocus, *demo); err != nil {
 		fmt.Fprintln(os.Stderr, "lithosim:", err)

@@ -1,0 +1,321 @@
+// Command opcctl is the opcd client: submit correction jobs, watch
+// their live progress, fetch artifacts, cancel or purge.
+//
+// Usage:
+//
+//	opcctl [-server URL] submit -workload routed -level L3 [-watch]
+//	opcctl [-server URL] submit -gds in.gds -layer 2 -level L2 -verify
+//	opcctl [-server URL] list
+//	opcctl [-server URL] status <job-id>
+//	opcctl [-server URL] watch <job-id>
+//	opcctl [-server URL] fetch <job-id> result.gds [-o corrected.gds]
+//	opcctl [-server URL] cancel <job-id>
+//
+// submit prints the assigned job ID; -watch streams progress until the
+// job finishes and exits non-zero if it failed. fetch streams an
+// artifact (result.gds, report.json, orc.json) to -o or stdout.
+//
+// Exit codes: 0 success, 1 request/server failure (including a watched
+// job ending failed), 2 usage error, 3 server busy (429; the
+// Retry-After hint is printed).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"goopc/internal/geom"
+	"goopc/internal/obs"
+	"goopc/internal/server"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("opcctl", flag.ContinueOnError)
+	serverURL := fs.String("server", "http://127.0.0.1:9800", "opcd base URL")
+	version := fs.Bool("version", false, "print the build fingerprint and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *version {
+		fmt.Println("opcctl", obs.CollectBuildInfo())
+		return 0
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		fmt.Fprintln(os.Stderr, "opcctl: need a subcommand: submit | list | status | watch | fetch | cancel")
+		return 2
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	c := server.NewClient(*serverURL)
+
+	var err error
+	switch rest[0] {
+	case "submit":
+		err = cmdSubmit(ctx, c, rest[1:])
+	case "list":
+		err = cmdList(ctx, c)
+	case "status":
+		err = cmdStatus(ctx, c, rest[1:])
+	case "watch":
+		err = cmdWatch(ctx, c, rest[1:])
+	case "fetch":
+		err = cmdFetch(ctx, c, rest[1:])
+	case "cancel":
+		err = cmdCancel(ctx, c, rest[1:])
+	default:
+		fmt.Fprintf(os.Stderr, "opcctl: unknown subcommand %q\n", rest[0])
+		return 2
+	}
+	return exitCode(err)
+}
+
+// usageErr marks command-line mistakes (exit 2).
+type usageErr struct{ error }
+
+func exitCode(err error) int {
+	if err == nil {
+		return 0
+	}
+	fmt.Fprintf(os.Stderr, "opcctl: %v\n", err)
+	var ue usageErr
+	if errors.As(err, &ue) {
+		return 2
+	}
+	var be *server.BusyError
+	if errors.As(err, &be) {
+		return 3
+	}
+	return 1
+}
+
+func cmdSubmit(ctx context.Context, c *server.Client, args []string) error {
+	fs := flag.NewFlagSet("opcctl submit", flag.ContinueOnError)
+	gds := fs.String("gds", "", "upload this GDSII file (otherwise use -workload)")
+	workload := fs.String("workload", "", "built-in workload: stdcell | sram | routed | patterns")
+	layer := fs.Int("layer", 0, "drawn layer to correct (default 2, poly)")
+	level := fs.String("level", "L3", "adoption level: L0 | L1 | L2 | L3")
+	name := fs.String("name", "", "free-form job label")
+	tile := fs.Int("tile", 0, "scheduler tile size in DBU (0 = 4x ambit)")
+	priority := fs.Int("priority", 0, "queue priority (higher runs first)")
+	inject := fs.String("inject", "", "per-job fault plan (faults grammar)")
+	verify := fs.Bool("verify", false, "run post-OPC verification, producing orc.json")
+	fast := fs.Bool("fast", true, "reduced source sampling for speed")
+	flowJSON := fs.String("flow", "", "FlowSpec JSON file overriding the flow settings")
+	watch := fs.Bool("watch", false, "stream progress until the job finishes")
+	if err := fs.Parse(args); err != nil {
+		return usageErr{err}
+	}
+
+	spec := server.JobSpec{
+		Name:     *name,
+		Workload: *workload,
+		Layer:    *layer,
+		Level:    *level,
+		TileNM:   geom.Coord(*tile),
+		Priority: *priority,
+		Inject:   *inject,
+		Verify:   *verify,
+	}
+	if *fast {
+		spec.Flow.SourceSteps = 5
+		spec.Flow.GuardNM = 1200
+	}
+	if *flowJSON != "" {
+		data, err := os.ReadFile(*flowJSON)
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(data, &spec.Flow); err != nil {
+			return fmt.Errorf("-flow: %w", err)
+		}
+	}
+
+	var st server.JobStatus
+	var err error
+	if *gds != "" {
+		f, ferr := os.Open(*gds)
+		if ferr != nil {
+			return ferr
+		}
+		st, err = c.SubmitGDS(ctx, spec, f)
+		f.Close()
+	} else {
+		st, err = c.Submit(ctx, spec)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Println(st.ID)
+	if !*watch {
+		return nil
+	}
+	return watchJob(ctx, c, st.ID)
+}
+
+func cmdList(ctx context.Context, c *server.Client) error {
+	jobs, err := c.List(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-8s %-10s %-6s %-20s %-10s %s\n", "ID", "STATE", "LEVEL", "SOURCE", "PROGRESS", "SUBMITTED")
+	for _, j := range jobs {
+		fmt.Printf("%-8s %-10s %-6s %-20s %-10s %s\n",
+			j.ID, j.State, j.Spec.Level, sourceOf(j), progressOf(j),
+			j.Submitted.Format(time.RFC3339))
+	}
+	return nil
+}
+
+func sourceOf(j server.JobStatus) string {
+	if j.Upload {
+		return "gds upload"
+	}
+	return "workload " + j.Spec.Workload
+}
+
+func progressOf(j server.JobStatus) string {
+	switch j.State {
+	case server.StateQueued:
+		if j.QueuePos > 0 {
+			return fmt.Sprintf("#%d", j.QueuePos)
+		}
+		return "-"
+	case server.StateRunning:
+		return fmt.Sprintf("%d/%d p%d", j.Progress.DoneTiles, j.Progress.TotalTiles, j.Progress.Pass)
+	}
+	if j.Stats != nil {
+		return fmt.Sprintf("%d tiles", j.Stats.Tiles)
+	}
+	return "-"
+}
+
+func jobArg(args []string, cmd string) (string, error) {
+	if len(args) < 1 || args[0] == "" {
+		return "", usageErr{fmt.Errorf("%s needs a job ID", cmd)}
+	}
+	return args[0], nil
+}
+
+func cmdStatus(ctx context.Context, c *server.Client, args []string) error {
+	id, err := jobArg(args, "status")
+	if err != nil {
+		return err
+	}
+	st, err := c.Status(ctx, id)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(st)
+}
+
+func cmdWatch(ctx context.Context, c *server.Client, args []string) error {
+	id, err := jobArg(args, "watch")
+	if err != nil {
+		return err
+	}
+	return watchJob(ctx, c, id)
+}
+
+// watchJob streams SSE progress to stderr and reports the terminal
+// state; a failed job is an error (exit 1).
+func watchJob(ctx context.Context, c *server.Client, id string) error {
+	var lastLine string
+	final, err := c.Watch(ctx, id, func(st server.JobStatus) {
+		line := fmt.Sprintf("%s %s %s", st.ID, st.State, progressOf(st))
+		if line != lastLine {
+			fmt.Fprintln(os.Stderr, line)
+			lastLine = line
+		}
+	})
+	if err != nil {
+		return err
+	}
+	switch final.State {
+	case server.StateDone:
+		if final.Stats != nil {
+			fmt.Printf("%s done: tiles=%d failed_tiles=%d time=%.2fs worstRMS=%.2f polygons=%d\n",
+				final.ID, final.Stats.Tiles, final.Stats.FailedTiles,
+				final.Stats.Seconds, final.Stats.WorstRMS, final.Stats.Polygons)
+		} else {
+			fmt.Printf("%s done\n", final.ID)
+		}
+		return nil
+	case server.StateCancelled:
+		return fmt.Errorf("job %s was cancelled", final.ID)
+	default:
+		return fmt.Errorf("job %s %s: %s", final.ID, final.State, final.Error)
+	}
+}
+
+func cmdFetch(ctx context.Context, c *server.Client, args []string) error {
+	fs := flag.NewFlagSet("opcctl fetch", flag.ContinueOnError)
+	out := fs.String("o", "", "write the artifact here (default stdout)")
+	// Accept both "fetch <id> <artifact> -o f" and "fetch -o f <id> <artifact>".
+	var pos []string
+	for len(args) > 0 {
+		if strings.HasPrefix(args[0], "-") {
+			if err := fs.Parse(args); err != nil {
+				return usageErr{err}
+			}
+			args = fs.Args()
+			continue
+		}
+		pos = append(pos, args[0])
+		args = args[1:]
+	}
+	if len(pos) < 1 {
+		return usageErr{fmt.Errorf("fetch needs a job ID")}
+	}
+	id := pos[0]
+	artifact := "result.gds"
+	if len(pos) > 1 {
+		artifact = pos[1]
+	}
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	n, err := c.Fetch(ctx, id, artifact, w)
+	if err != nil {
+		return err
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "wrote %s (%d bytes)\n", *out, n)
+	}
+	return nil
+}
+
+func cmdCancel(ctx context.Context, c *server.Client, args []string) error {
+	id, err := jobArg(args, "cancel")
+	if err != nil {
+		return err
+	}
+	st, err := c.Cancel(ctx, id)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s %s\n", st.ID, st.State)
+	return nil
+}

@@ -1,0 +1,132 @@
+// Command opcd is the OPC job server: it accepts correction jobs over
+// HTTP (a GDSII upload or a named example workload, plus Flow settings
+// as JSON), queues them with admission control, runs them through the
+// tiled correction engine on a bounded worker pool, and serves the
+// corrected GDS and run-report artifacts back. Jobs survive daemon
+// restarts: spec, lifecycle state and the engine checkpoint persist
+// under the data directory, and interrupted jobs resume from their
+// checkpointed tiles.
+//
+// Usage:
+//
+//	opcd -listen :9800 -data /var/lib/opcd -workers 2 -queue-depth 16
+//
+// API (see the server package and `opcctl -h` for the client):
+//
+//	POST   /jobs                 submit (JSON spec, or GDS body + ?spec=)
+//	GET    /jobs                 list
+//	GET    /jobs/{id}            status
+//	GET    /jobs/{id}/events     SSE progress stream
+//	GET    /jobs/{id}/result.gds corrected geometry
+//	GET    /jobs/{id}/report.json, /jobs/{id}/orc.json
+//	DELETE /jobs/{id}            cancel (live) / purge (terminal)
+//	GET    /metrics /status /debug/pprof  obs inspector
+//
+// SIGINT/SIGTERM shut down gracefully: the listener drains, running
+// jobs flush a final checkpoint, and their on-disk state stays
+// "running" so the next start requeues and resumes them.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"goopc/internal/faults"
+	"goopc/internal/obs"
+	"goopc/internal/server"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("opcd", flag.ContinueOnError)
+	listen := fs.String("listen", ":9800", "HTTP listen address")
+	dataDir := fs.String("data", "opcd-data", "server state directory (job specs, checkpoints, artifacts)")
+	workers := fs.Int("workers", 2, "correction worker pool size")
+	queueDepth := fs.Int("queue-depth", 16, "max queued jobs before submissions get 429 + Retry-After")
+	maxTiles := fs.Int("max-tiles", 0, "per-job tile budget; bigger jobs are rejected (0 = unlimited)")
+	retryAfter := fs.Duration("retry-after", 0, "fixed Retry-After hint on 429s (0 = estimate from job durations)")
+	serialTiles := fs.Bool("serial-tiles", false, "run each job's tiles serially (pool-level concurrency only)")
+	ckptEvery := fs.Duration("ckpt-every", 2*time.Second, "per-job checkpoint flush interval")
+	inject := fs.String("inject", "", `server fault plan (probe site "http"), e.g. 'seed=1;http:error:p=0.1'`)
+	grace := fs.Duration("grace", 30*time.Second, "graceful shutdown budget for draining requests and jobs")
+	verbose := fs.Bool("v", false, "verbose logging")
+	quiet := fs.Bool("q", false, "errors only")
+	version := fs.Bool("version", false, "print the build fingerprint and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *version {
+		fmt.Println("opcd", obs.CollectBuildInfo())
+		return 0
+	}
+	log := obs.NewLogger(os.Stderr, obs.ParseLogLevel(*quiet, *verbose), "opcd")
+
+	var plan *faults.Plan
+	if *inject != "" {
+		p, err := faults.Parse(*inject)
+		if err != nil {
+			log.Errorf("-inject: %v", err)
+			return 2
+		}
+		plan = p
+	}
+
+	srv := server.New(server.Config{
+		DataDir:         *dataDir,
+		Workers:         *workers,
+		QueueDepth:      *queueDepth,
+		MaxTilesPerJob:  *maxTiles,
+		RetryAfterHint:  *retryAfter,
+		SerialTiles:     *serialTiles,
+		CheckpointEvery: *ckptEvery,
+		FaultPlan:       plan,
+		Log:             log,
+		Registry:        obs.Default(),
+	})
+	if err := srv.Start(); err != nil {
+		log.Errorf("%v", err)
+		return 1
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Errorf("listen: %v", err)
+		return 1
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+
+	// SIGINT/SIGTERM drain the listener via the shared obs lifecycle
+	// helper; running jobs then get cancelled by srv.Stop below (their
+	// checkpoints flush, so no completed tile work is lost).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	drained := obs.ShutdownOnCancel(ctx, *grace, hs.Shutdown)
+
+	log.Infof("opcd %s listening on http://%s (data %s, %d workers, queue %d)",
+		obs.CollectBuildInfo().Revision, ln.Addr(), *dataDir, *workers, *queueDepth)
+	if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Errorf("serve: %v", err)
+		return 1
+	}
+	<-drained
+
+	sctx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := srv.Stop(sctx); err != nil {
+		log.Errorf("%v", err)
+		return 1
+	}
+	log.Infof("opcd stopped; queued and running jobs resume on next start")
+	return 0
+}

@@ -166,6 +166,7 @@ func run(args []string) int {
 	obsListen := fs.String("obs-listen", "", "serve the live inspector (/metrics, /status, /debug/pprof) on this address, e.g. :9090")
 	verbose := fs.Bool("v", false, "verbose progress output")
 	quiet := fs.Bool("q", false, "suppress progress output (errors still print)")
+	version := fs.Bool("version", false, "print the build fingerprint and exit")
 	rc := resilienceCfg{}
 	fs.StringVar(&rc.ckptPath, "ckpt", "", "checkpoint completed tile classes to this file (periodic + on exit)")
 	fs.DurationVar(&rc.ckptEvery, "ckpt-every", 0, "minimum interval between periodic checkpoint writes (default 30s)")
@@ -175,6 +176,10 @@ func run(args []string) int {
 	fs.DurationVar(&rc.deadline, "deadline", 0, "whole-run deadline (0 = none)")
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
+	}
+	if *version {
+		fmt.Println("opcflow", obs.CollectBuildInfo())
+		return exitOK
 	}
 
 	a := &app{
@@ -196,7 +201,16 @@ func run(args []string) int {
 			a.log.Errorf("obs-listen: %v", ierr)
 			return exitInternal
 		}
-		defer ins.Close()
+		// A SIGINT/SIGTERM drains the inspector (in-flight /metrics
+		// scrapes finish) via the shared lifecycle helper; a normal exit
+		// shuts it down directly. Shutdown is idempotent, so whichever
+		// path fires second is a no-op.
+		obs.ShutdownOnCancel(ctx, 2*time.Second, ins.Shutdown)
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = ins.Shutdown(sctx)
+		}()
 		a.log.Infof("inspector on http://%s (/metrics /status /debug/pprof)", addr)
 	}
 	var rep *obs.RunReport
@@ -331,6 +345,11 @@ func (a *app) runLevels(ctx context.Context, gdsPath string, l layout.Layer, wor
 			flow.Span = nil
 			if err != nil {
 				sp.End()
+				if errors.Is(err, core.ErrCheckpointMismatch) {
+					// A -resume checkpoint from a different target or
+					// settings is bad input, not an engine failure.
+					return inputError{err}
+				}
 				return err
 			}
 			fmt.Printf("%-16s tiles=%d time=%.2fs worstRMS=%.2f polygons=%d\n",

@@ -40,6 +40,26 @@ func TestParseLevelsUsageErrors(t *testing.T) {
 	}
 }
 
+// TestResumeFingerprintMismatchExit runs the real CLI path end to end:
+// resuming a checkpoint written for a different run must exit with the
+// invalid-input code (3), not the internal-failure code (1). The
+// refusal happens before any tile correction, so the test only pays for
+// flow calibration.
+func TestResumeFingerprintMismatchExit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibrates a flow")
+	}
+	stale := filepath.Join(t.TempDir(), "stale.ckpt")
+	ck := core.NewCheckpoint("0000000000000000000000000000000000000000000000000000000000000000", "L2-model-1pass", 2500)
+	if err := ck.WriteFile(stale); err != nil {
+		t.Fatal(err)
+	}
+	code := run([]string{"-workload", "stdcell", "-level", "L2", "-resume", stale, "-q"})
+	if code != exitInput {
+		t.Errorf("stale -resume exited %d, want %d", code, exitInput)
+	}
+}
+
 func TestResilienceCfgApply(t *testing.T) {
 	var f core.Flow
 	rc := resilienceCfg{inject: "seed=1;tile:error:n=1"}

@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -16,6 +17,13 @@ import (
 // checkpointVersion guards the artifact format; a loader refuses other
 // versions rather than misreading them.
 const checkpointVersion = 1
+
+// ErrCheckpointMismatch marks a resume refused because the checkpoint's
+// fingerprint does not match the run (different target geometry or Flow
+// settings). Callers classify it as invalid input — opcflow exits 3 —
+// and the opcd server restarts the job from scratch instead of failing
+// it.
+var ErrCheckpointMismatch = errors.New("checkpoint does not match this run's target or settings")
 
 // CheckpointEntry is one completed tile-class result, stored at the
 // canonical origin (tile core translated to (0,0)) so one entry serves

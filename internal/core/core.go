@@ -106,6 +106,13 @@ type Flow struct {
 	// before a run; nil (the default) traces nothing. Not for use from
 	// concurrent CorrectWindowed calls on the same Flow.
 	Span *obs.Span
+	// Progress, when non-nil, receives tile-completion events from
+	// CorrectWindowedCtx: once when each pass starts (DoneTiles 0) and
+	// once per resolved tile batch afterwards. The callback runs on
+	// scheduler worker goroutines concurrently, so it must be
+	// concurrency-safe and fast (the opcd job server feeds per-job
+	// gauges and SSE streams from it).
+	Progress func(ProgressEvent)
 	// AnchorCD and AnchorPitch record the calibration anchor.
 	AnchorCD, AnchorPitch geom.Coord
 
@@ -134,6 +141,16 @@ type Flow struct {
 	CheckpointPath  string
 	CheckpointEvery time.Duration
 	Resume          *Checkpoint
+}
+
+// ProgressEvent is one live snapshot of a windowed correction run:
+// which context pass is executing and how many of its tiles are
+// resolved (corrected, reused, clean-skipped or resumed).
+type ProgressEvent struct {
+	Pass       int `json:"pass"`
+	Passes     int `json:"passes"`
+	DoneTiles  int `json:"done_tiles"`
+	TotalTiles int `json:"total_tiles"`
 }
 
 // Options configures flow construction.

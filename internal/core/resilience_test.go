@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -314,8 +315,25 @@ func TestCheckpointFingerprintMismatchRefused(t *testing.T) {
 	g.Resume = ck
 	// Different target -> different fingerprint -> refusal.
 	other, _ := twoIsolatedClusters()
-	if _, _, err := g.CorrectWindowed(other, L2, 2500, false); err == nil {
+	_, _, err = g.CorrectWindowed(other, L2, 2500, false)
+	if err == nil {
 		t.Fatal("mismatched checkpoint fingerprint was accepted")
+	}
+	// The refusal must be the typed sentinel (drivers map it to their
+	// invalid-input exit code) with a human-readable message: it names
+	// the cause, and never leaks byte offsets or raw hash dumps.
+	if !errors.Is(err, ErrCheckpointMismatch) {
+		t.Errorf("mismatch error does not wrap ErrCheckpointMismatch: %v", err)
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "different target or settings") {
+		t.Errorf("mismatch message does not explain the cause: %q", msg)
+	}
+	if strings.Contains(msg, "offset") || strings.Contains(msg, "byte ") {
+		t.Errorf("mismatch message leaks byte offsets: %q", msg)
+	}
+	if len(msg) > 200 {
+		t.Errorf("mismatch message dumps raw data (%d chars): %q", len(msg), msg)
 	}
 }
 

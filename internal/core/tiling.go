@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"goopc/internal/geom"
@@ -196,8 +197,8 @@ func (f *Flow) CorrectWindowedCtx(ctx context.Context, target []geom.Polygon, le
 		fp := f.runFingerprint(target, level, tile, passes)
 		seed := f.Resume
 		if seed != nil && seed.Fingerprint != fp {
-			return opc.Result{}, st, fmt.Errorf("core: checkpoint fingerprint %.12s.. does not match run %.12s.. (different target or settings)",
-				seed.Fingerprint, fp)
+			return opc.Result{}, st, fmt.Errorf("core: checkpoint fingerprint %.12s.. does not match run %.12s.. (different target or settings): %w",
+				seed.Fingerprint, fp, ErrCheckpointMismatch)
 		}
 		if seed == nil {
 			seed = NewCheckpoint(fp, level.String(), tile)
@@ -274,6 +275,21 @@ func (f *Flow) CorrectWindowedCtx(ctx context.Context, target []geom.Polygon, le
 	}
 	var movedIdx *geom.GridIndex
 
+	// Per-run tile progress, mirrored to Flow.Progress subscribers (the
+	// global goopc_tiles_done gauge stays process-wide).
+	var doneTiles atomic.Int64
+	progress := func(pass, add int) {
+		if add > 0 {
+			doneTiles.Add(int64(add))
+		}
+		if f.Progress != nil {
+			f.Progress(ProgressEvent{
+				Pass: pass, Passes: passes,
+				DoneTiles: int(doneTiles.Load()), TotalTiles: len(jobs),
+			})
+		}
+	}
+
 	// Context source: the drawn layer on pass 1, the previous pass's
 	// corrected layer afterwards.
 	ctxPolys := target
@@ -287,6 +303,8 @@ func (f *Flow) CorrectWindowedCtx(ctx context.Context, target []geom.Polygon, le
 		mPasses.Inc()
 		mTilesTotal.Set(float64(len(jobs)))
 		mTilesDone.Set(0)
+		doneTiles.Store(0)
+		progress(pass, 0)
 		// Stage 1 (serial, cheap): dirty filtering and dedup classing.
 		// A class groups tiles whose active+context geometry is
 		// identical after translating each tile origin to (0,0); the
@@ -312,6 +330,7 @@ func (f *Flow) CorrectWindowedCtx(ctx context.Context, target []geom.Polygon, le
 				st.CleanTiles++
 				mTilesClean.Inc()
 				mTilesDone.Add(1)
+				progress(pass, 1)
 				continue
 			}
 			ring := geom.RegionFromRects(window).Subtract(geom.RegionFromRects(core))
@@ -397,6 +416,7 @@ func (f *Flow) CorrectWindowedCtx(ctx context.Context, target []geom.Polygon, le
 						}
 						classRes[ci] = cr
 						mTilesDone.Add(float64(len(c.members)))
+						progress(pass, len(c.members))
 						continue
 					}
 					window := core.Grow(halo)
@@ -409,6 +429,7 @@ func (f *Flow) CorrectWindowedCtx(ctx context.Context, target []geom.Polygon, le
 					mTileSeconds.Observe(time.Since(tc0).Seconds())
 					mWorkersBusy.Add(-1)
 					mTilesDone.Add(float64(len(c.members)))
+					progress(pass, len(c.members))
 					if cr.err != nil {
 						mu.Lock()
 						if firstErr == nil {
@@ -756,6 +777,38 @@ func ringDirty(moved *geom.GridIndex, window, core geom.Rect) bool {
 		return false
 	})
 	return dirty
+}
+
+// EstimateTiles counts the grid tiles a windowed correction of target
+// at this tile size would consider non-empty, using bounding boxes
+// only. It is a cheap upper bound on TileStats.Tiles (a box may touch a
+// tile core without contributing clipped geometry) — the opcd server
+// uses it for per-job tile-budget admission before any correction work
+// is spent. Zero or negative tile sizes and empty targets count zero.
+func EstimateTiles(target []geom.Polygon, tile geom.Coord) int {
+	if len(target) == 0 || tile <= 0 {
+		return 0
+	}
+	idx := geom.NewGridIndex(tile)
+	var bounds geom.Rect
+	for i, p := range target {
+		bb := p.BBox()
+		idx.Insert(bb, int32(i))
+		if i == 0 {
+			bounds = bb
+		} else {
+			bounds = bounds.Union(bb)
+		}
+	}
+	n := 0
+	for y := bounds.Y0; y < bounds.Y1; y += tile {
+		for x := bounds.X0; x < bounds.X1; x += tile {
+			if len(idx.CollectIDs(geom.Rect{X0: x, Y0: y, X1: x + tile, Y1: y + tile})) > 0 {
+				n++
+			}
+		}
+	}
+	return n
 }
 
 // clipToRegion gathers the polygons touching the query window and clips

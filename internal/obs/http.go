@@ -1,7 +1,9 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -36,10 +38,10 @@ func (ins *Inspector) registry() *Registry {
 	return Default()
 }
 
-// Handler returns the inspector's route table (also usable under
-// httptest or an existing server).
-func (ins *Inspector) Handler() http.Handler {
-	mux := http.NewServeMux()
+// Register installs the inspector's routes on an existing mux, so a
+// host server (opcd) can serve /metrics, /status and /debug/pprof next
+// to its own API on one listener.
+func (ins *Inspector) Register(mux *http.ServeMux) {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = ins.registry().WritePrometheus(w)
@@ -55,6 +57,13 @@ func (ins *Inspector) Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// Handler returns the inspector's route table (also usable under
+// httptest or an existing server).
+func (ins *Inspector) Handler() http.Handler {
+	mux := http.NewServeMux()
+	ins.Register(mux)
 	return mux
 }
 
@@ -106,10 +115,49 @@ func (ins *Inspector) ListenAndServe(addr string) (string, error) {
 	return ln.Addr().String(), nil
 }
 
-// Close shuts the inspector's listener down.
+// Close shuts the inspector's listener down immediately, dropping
+// in-flight requests. Prefer Shutdown for clean exits.
 func (ins *Inspector) Close() error {
 	if ins.srv == nil {
 		return nil
 	}
 	return ins.srv.Close()
+}
+
+// Shutdown stops the inspector gracefully: the listener closes, then
+// in-flight requests (a /metrics scrape, a pprof profile) drain until
+// ctx expires. Idempotent — a second call reports no error — and a nil
+// inspector or one that never listened is a no-op.
+func (ins *Inspector) Shutdown(ctx context.Context) error {
+	if ins == nil || ins.srv == nil {
+		return nil
+	}
+	err := ins.srv.Shutdown(ctx)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// ShutdownOnCancel ties an HTTP server's lifecycle to a context: when
+// ctx is cancelled (SIGINT/SIGTERM via signal.NotifyContext, a test
+// fixture tearing down), shutdown runs with a grace-period deadline.
+// The returned channel closes once the shutdown call has finished —
+// callers that must not exit before the listener is released can wait
+// on it. Shared by opcflow's -obs-listen inspector and the opcd job
+// server so both drain rather than leak their listener goroutines.
+func ShutdownOnCancel(ctx context.Context, grace time.Duration, shutdown func(context.Context) error) <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-ctx.Done()
+		sctx := context.Background()
+		if grace > 0 {
+			var cancel context.CancelFunc
+			sctx, cancel = context.WithTimeout(sctx, grace)
+			defer cancel()
+		}
+		_ = shutdown(sctx)
+	}()
+	return done
 }

@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSeriesNameEscaping(t *testing.T) {
+	cases := []struct {
+		base   string
+		labels []string
+		want   string
+	}{
+		{"m", nil, "m"},
+		{"m", []string{"job", "j1"}, `m{job="j1"}`},
+		{"m", []string{"a", "1", "b", "2"}, `m{a="1",b="2"}`},
+		{"m", []string{"v", `say "hi"`}, `m{v="say \"hi\""}`},
+		{"m", []string{"v", `back\slash`}, `m{v="back\\slash"}`},
+		{"m", []string{"v", "two\nlines"}, `m{v="two\nlines"}`},
+	}
+	for _, c := range cases {
+		if got := SeriesName(c.base, c.labels...); got != c.want {
+			t.Errorf("SeriesName(%q, %v) = %q, want %q", c.base, c.labels, got, c.want)
+		}
+	}
+}
+
+func TestSplitSeries(t *testing.T) {
+	base, labels := splitSeries(`m{job="j1"}`)
+	if base != "m" || labels != `job="j1"` {
+		t.Errorf("splitSeries = %q, %q", base, labels)
+	}
+	base, labels = splitSeries("plain")
+	if base != "plain" || labels != "" {
+		t.Errorf("splitSeries(plain) = %q, %q", base, labels)
+	}
+}
+
+// TestPrometheusLabeledSeries checks that labeled series registered via
+// SeriesName expose under one HELP/TYPE header per base name, with the
+// label bodies intact and values escaped.
+func TestPrometheusLabeledSeries(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(SeriesName("jobs_finished_total", "state", "done"), "jobs by state").Add(3)
+	r.Counter(SeriesName("jobs_finished_total", "state", "failed"), "jobs by state").Add(1)
+	r.Gauge(SeriesName("job_tiles", "job", `we"ird`), "tiles").Set(7)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	if got := strings.Count(out, "# TYPE jobs_finished_total counter"); got != 1 {
+		t.Errorf("TYPE header for labeled counter family appears %d times, want 1\n%s", got, out)
+	}
+	if got := strings.Count(out, "# HELP jobs_finished_total "); got != 1 {
+		t.Errorf("HELP header appears %d times, want 1\n%s", got, out)
+	}
+	for _, want := range []string{
+		`jobs_finished_total{state="done"} 3`,
+		`jobs_finished_total{state="failed"} 1`,
+		`job_tiles{job="we\"ird"} 7`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("missing sample %q in:\n%s", want, out)
+		}
+	}
+	// The base name must never leak an unlabeled duplicate sample.
+	if strings.Contains(out, "jobs_finished_total 4") {
+		t.Errorf("unlabeled aggregate sample leaked:\n%s", out)
+	}
+}
+
+// TestPrometheusHistogramCumulative checks the histogram exposition
+// contract: le buckets are cumulative, the +Inf bucket equals the
+// sample count, and _sum/_count close the family.
+func TestPrometheusHistogramCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", []float64{1, 2, 5})
+	for _, v := range []float64{0.5, 0.7, 1.5, 4, 100} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="1"} 2`,
+		`lat_seconds_bucket{le="2"} 3`,
+		`lat_seconds_bucket{le="5"} 4`,
+		`lat_seconds_bucket{le="+Inf"} 5`,
+		"lat_seconds_count 5",
+		"lat_seconds_sum 106.7",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Buckets must appear in ascending le order.
+	i1 := strings.Index(out, `le="1"`)
+	i2 := strings.Index(out, `le="2"`)
+	i5 := strings.Index(out, `le="5"`)
+	iInf := strings.Index(out, `le="+Inf"`)
+	if !(i1 < i2 && i2 < i5 && i5 < iInf) {
+		t.Errorf("bucket order wrong (%d %d %d %d):\n%s", i1, i2, i5, iInf, out)
+	}
+}
+
+// TestPrometheusDeterministicOrder checks that two expositions of the
+// same registry are byte-identical and series sort by full name
+// regardless of registration order.
+func TestPrometheusDeterministicOrder(t *testing.T) {
+	build := func(order []int) string {
+		r := NewRegistry()
+		reg := []func(){
+			func() { r.Counter("zz_total", "z").Add(1) },
+			func() { r.Gauge("aa_gauge", "a").Set(2) },
+			func() { r.Counter(SeriesName("mid_total", "k", "b"), "m").Add(3) },
+			func() { r.Counter(SeriesName("mid_total", "k", "a"), "m").Add(4) },
+		}
+		for _, i := range order {
+			reg[i]()
+		}
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	a := build([]int{0, 1, 2, 3})
+	bOut := build([]int{3, 2, 1, 0})
+	if a != bOut {
+		t.Errorf("exposition depends on registration order:\n--- a ---\n%s--- b ---\n%s", a, bOut)
+	}
+	if strings.Index(a, "aa_gauge") > strings.Index(a, "zz_total") {
+		t.Errorf("series not sorted by name:\n%s", a)
+	}
+	if strings.Index(a, `mid_total{k="a"}`) > strings.Index(a, `mid_total{k="b"}`) {
+		t.Errorf("labeled siblings not sorted:\n%s", a)
+	}
+}
+
+func TestRegistryRemove(t *testing.T) {
+	r := NewRegistry()
+	name := SeriesName("tmp_gauge", "job", "j1")
+	r.Gauge(name, "per-job").Set(1)
+	r.Remove(name)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "tmp_gauge") {
+		t.Errorf("removed series still exposed:\n%s", b.String())
+	}
+	// Removing twice (or an unknown name) is a no-op.
+	r.Remove(name)
+	r.Remove("never_registered")
+}

@@ -20,6 +20,7 @@ import (
 	"math"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -235,6 +236,78 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 	return h
 }
 
+// SeriesName composes a labeled series name, "base{k="v",...}", from
+// alternating key/value pairs, escaping label values per the Prometheus
+// text format (backslash, double quote and newline). Labeled series are
+// ordinary registry entries — Counter/Gauge/Histogram accept the
+// composed name directly — and WritePrometheus groups every series of a
+// base name under one HELP/TYPE header, folding the labels into each
+// sample line. The opcd job server uses this for per-job series such as
+// goopc_server_job_tiles_done{job="7"}.
+func SeriesName(base string, labels ...string) string {
+	if len(labels) == 0 {
+		return base
+	}
+	var b strings.Builder
+	b.WriteString(base)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(labels[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(labels[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue applies the Prometheus text-format label escapes.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// splitSeries separates a (possibly labeled) series name into its base
+// metric name and the label body between the braces ("" when none).
+func splitSeries(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	return name[:i], strings.TrimSuffix(name[i+1:], "}")
+}
+
+// Remove drops a series from the registry (all kinds). Long-running
+// servers use it to retire per-job labeled series once the job is
+// purged; removing an unknown name is a no-op. Callers must drop their
+// own handle to the removed metric — updates through a stale handle
+// still work but are no longer exported.
+func (r *Registry) Remove(name string) {
+	r.mu.Lock()
+	delete(r.counters, name)
+	delete(r.gauges, name)
+	delete(r.hists, name)
+	r.mu.Unlock()
+}
+
 // SetLabel sets a string label (e.g. "phase") shown in /status and the
 // snapshot.
 func (r *Registry) SetLabel(key, value string) {
@@ -287,8 +360,10 @@ func (r *Registry) Snapshot() Snapshot {
 }
 
 // WritePrometheus writes the registry in the Prometheus text exposition
-// format (version 0.0.4), metrics sorted by name so the output is
-// deterministic.
+// format (version 0.0.4). Series sort by full name, so the output is
+// deterministic, and every series sharing a base metric name (labeled
+// variants composed with SeriesName) is grouped under a single
+// HELP/TYPE header with the labels folded into each sample line.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	snap := r.Snapshot()
 	names := make([]string, 0, len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms))
@@ -314,44 +389,82 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		helps[n] = h.help
 	}
 	r.mu.Unlock()
-	for _, name := range names {
+	headerDone := ""
+	header := func(name, base, kind string) error {
+		if base == headerDone {
+			return nil // labeled sibling already wrote HELP/TYPE
+		}
+		headerDone = base
 		if help := helps[name]; help != "" {
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, help); err != nil {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", base, help); err != nil {
 				return err
 			}
 		}
+		_, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, kind)
+		return err
+	}
+	for _, name := range names {
+		base, labels := splitSeries(name)
 		if v, ok := snap.Counters[name]; ok {
-			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, v); err != nil {
+			if err := header(name, base, "counter"); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s %d\n", sample(base, labels), v); err != nil {
 				return err
 			}
 			continue
 		}
 		if v, ok := snap.Gauges[name]; ok {
-			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name, formatFloat(v)); err != nil {
+			if err := header(name, base, "gauge"); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s %s\n", sample(base, labels), formatFloat(v)); err != nil {
 				return err
 			}
 			continue
 		}
 		hs := snap.Histograms[name]
-		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		if err := header(name, base, "histogram"); err != nil {
 			return err
 		}
 		cum := int64(0)
 		for i, b := range hs.Bounds {
 			cum += hs.Counts[i]
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatFloat(b), cum); err != nil {
+			if _, err := fmt.Fprintf(w, "%s %d\n", sample(base+"_bucket", joinLabels(labels, `le="`+escapeLabelValue(formatFloat(b))+`"`)), cum); err != nil {
 				return err
 			}
 		}
 		cum += hs.Counts[len(hs.Counts)-1]
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum); err != nil {
+		if _, err := fmt.Fprintf(w, "%s %d\n", sample(base+"_bucket", joinLabels(labels, `le="+Inf"`)), cum); err != nil {
 			return err
 		}
-		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", name, formatFloat(hs.Sum), name, hs.Count); err != nil {
+		if _, err := fmt.Fprintf(w, "%s %s\n%s %d\n",
+			sample(base+"_sum", labels), formatFloat(hs.Sum),
+			sample(base+"_count", labels), hs.Count); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// sample renders one exposition sample name with an optional label body.
+func sample(base, labels string) string {
+	if labels == "" {
+		return base
+	}
+	return base + "{" + labels + "}"
+}
+
+// joinLabels appends extra label pairs (already rendered) to a label
+// body, either of which may be empty.
+func joinLabels(a, b string) string {
+	switch {
+	case a == "":
+		return b
+	case b == "":
+		return a
+	}
+	return a + "," + b
 }
 
 func formatFloat(v float64) string {

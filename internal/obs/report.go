@@ -2,8 +2,10 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"time"
 )
 
@@ -14,6 +16,50 @@ type BuildInfo struct {
 	GOARCH     string `json:"goarch"`
 	NumCPU     int    `json:"num_cpu"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Revision is the VCS commit the binary was built from (suffixed
+	// "+dirty" for modified trees), or "devel" when the build carries no
+	// VCS stamp (go test, go run on a non-repo checkout).
+	Revision string `json:"revision,omitempty"`
+}
+
+// CollectBuildInfo gathers the build fingerprint every RunReport embeds
+// and every cmd's -version flag prints.
+func CollectBuildInfo() BuildInfo {
+	b := BuildInfo{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Revision:   "devel",
+	}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		rev, dirty := "", false
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+		if rev != "" {
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+			if dirty {
+				rev += "+dirty"
+			}
+			b.Revision = rev
+		}
+	}
+	return b
+}
+
+// String renders the fingerprint as the one-line -version output, e.g.
+// "go1.24.0 linux/amd64 rev=devel cpus=8".
+func (b BuildInfo) String() string {
+	return fmt.Sprintf("%s %s/%s rev=%s cpus=%d", b.GoVersion, b.GOOS, b.GOARCH, b.Revision, b.NumCPU)
 }
 
 // RunReport is the per-run observability artifact: what ran (tool,
@@ -40,15 +86,9 @@ type RunReport struct {
 // NewRunReport starts a report for the named tool. settings may be nil.
 func NewRunReport(tool string, args []string, settings any) *RunReport {
 	return &RunReport{
-		Tool: tool,
-		Args: args,
-		Build: BuildInfo{
-			GoVersion:  runtime.Version(),
-			GOOS:       runtime.GOOS,
-			GOARCH:     runtime.GOARCH,
-			NumCPU:     runtime.NumCPU(),
-			GOMAXPROCS: runtime.GOMAXPROCS(0),
-		},
+		Tool:     tool,
+		Args:     args,
+		Build:    CollectBuildInfo(),
 		Settings: settings,
 		Start:    time.Now(),
 	}

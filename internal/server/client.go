@@ -1,0 +1,244 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Client is the typed opcd API client opcctl is built on.
+type Client struct {
+	// Base is the server base URL, e.g. "http://127.0.0.1:9800".
+	Base string
+	// HTTP defaults to a client with a sane timeout for the unary
+	// calls; Watch uses an un-timed-out copy (SSE streams are long).
+	HTTP *http.Client
+}
+
+// NewClient returns a client for a base URL.
+func NewClient(base string) *Client {
+	return &Client{
+		Base: strings.TrimRight(base, "/"),
+		HTTP: &http.Client{Timeout: 30 * time.Second},
+	}
+}
+
+// BusyError reports an admission-control rejection (HTTP 429): the
+// queue is full and the server suggests when to retry.
+type BusyError struct {
+	RetryAfter time.Duration
+	Message    string
+}
+
+func (e *BusyError) Error() string {
+	return fmt.Sprintf("%s (retry after %s)", e.Message, e.RetryAfter)
+}
+
+// APIError is any other non-2xx response.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("server: %s (HTTP %d)", e.Message, e.StatusCode)
+}
+
+// decodeError turns a non-2xx response into a typed error.
+func decodeError(resp *http.Response) error {
+	var body apiError
+	msg := resp.Status
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 64<<10)).Decode(&body); err == nil && body.Error != "" {
+		msg = body.Error
+	}
+	if resp.StatusCode == http.StatusTooManyRequests {
+		retry := time.Duration(body.RetryAfterSeconds) * time.Second
+		if s := resp.Header.Get("Retry-After"); s != "" {
+			if n, err := strconv.Atoi(s); err == nil {
+				retry = time.Duration(n) * time.Second
+			}
+		}
+		return &BusyError{RetryAfter: retry, Message: msg}
+	}
+	return &APIError{StatusCode: resp.StatusCode, Message: msg}
+}
+
+func (c *Client) do(req *http.Request) (*http.Response, error) {
+	h := c.HTTP
+	if h == nil {
+		h = http.DefaultClient
+	}
+	resp, err := h.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode >= 400 {
+		defer resp.Body.Close()
+		return nil, decodeError(resp)
+	}
+	return resp, nil
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit queues a workload job described by spec.
+func (c *Client) Submit(ctx context.Context, spec JobSpec) (JobStatus, error) {
+	var st JobStatus
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return st, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/jobs", bytes.NewReader(body))
+	if err != nil {
+		return st, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.do(req)
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+// SubmitGDS queues an upload job: gds streams as the request body, the
+// spec rides in the query string.
+func (c *Client) SubmitGDS(ctx context.Context, spec JobSpec, gds io.Reader) (JobStatus, error) {
+	var st JobStatus
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		return st, err
+	}
+	u := c.Base + "/jobs?spec=" + url.QueryEscape(string(raw))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, gds)
+	if err != nil {
+		return st, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.do(req)
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+// Status fetches one job.
+func (c *Client) Status(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.getJSON(ctx, "/jobs/"+url.PathEscape(id), &st)
+	return st, err
+}
+
+// List fetches all jobs the server knows, sorted by ID.
+func (c *Client) List(ctx context.Context) ([]JobStatus, error) {
+	var out []JobStatus
+	err := c.getJSON(ctx, "/jobs", &out)
+	return out, err
+}
+
+// Cancel cancels a live job or purges a terminal one.
+func (c *Client) Cancel(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.Base+"/jobs/"+url.PathEscape(id), nil)
+	if err != nil {
+		return st, err
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+// Fetch downloads a job artifact (result.gds, report.json, orc.json)
+// into w, returning the byte count.
+func (c *Client) Fetch(ctx context.Context, id, artifact string, w io.Writer) (int64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.Base+"/jobs/"+url.PathEscape(id)+"/"+url.PathEscape(artifact), nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	return io.Copy(w, resp.Body)
+}
+
+// Watch subscribes to a job's SSE stream, invoking fn for every status
+// event until the job reaches a terminal state (returning its final
+// status), the stream ends, or ctx is cancelled. fn may be nil.
+func (c *Client) Watch(ctx context.Context, id string, fn func(JobStatus)) (JobStatus, error) {
+	var last JobStatus
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.Base+"/jobs/"+url.PathEscape(id)+"/events", nil)
+	if err != nil {
+		return last, err
+	}
+	// SSE streams outlive any unary timeout: copy the client without one.
+	h := &http.Client{}
+	if c.HTTP != nil {
+		hc := *c.HTTP
+		hc.Timeout = 0
+		h = &hc
+	}
+	resp, err := h.Do(req)
+	if err != nil {
+		return last, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return last, decodeError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	seen := false
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var st JobStatus
+		if err := json.Unmarshal([]byte(line[len("data: "):]), &st); err != nil {
+			continue
+		}
+		seen = true
+		last = st
+		if fn != nil {
+			fn(st)
+		}
+		if st.State.Terminal() {
+			return last, nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return last, err
+	}
+	if !seen {
+		return last, fmt.Errorf("event stream ended before any status arrived")
+	}
+	// Stream ended without a terminal state (e.g. server shutdown).
+	return last, fmt.Errorf("event stream ended while job was %s", last.State)
+}

@@ -1,0 +1,273 @@
+// Package server is the OPC-as-a-service layer: a long-running job
+// server (the opcd daemon) that accepts correction jobs over HTTP —
+// a GDSII upload or a named example workload, plus Flow settings as
+// JSON — queues them with admission control and backpressure, runs
+// them through the core tiled scheduler on a bounded worker pool, and
+// serves the corrected GDS plus run-report/ORC artifacts back.
+//
+// The package is the paper's end state made concrete: OPC not as a
+// per-tapeout batch step but as a shared production service every
+// layout passes through. Jobs survive daemon restarts (spec, state and
+// the core checkpoint persist under the data directory), progress
+// streams live over SSE from the scheduler's tile gauges, and the
+// /metrics, /status and /debug/pprof inspector routes share the job
+// API's listener.
+package server
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"goopc/internal/core"
+	"goopc/internal/faults"
+	"goopc/internal/geom"
+)
+
+// State is a job's lifecycle position.
+type State string
+
+// Job lifecycle. Queued and Running are live states; the other three
+// are terminal. DELETE on a live job cancels it; DELETE on a terminal
+// job purges it from the server.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// FlowSpec is the JSON shape of the per-job Flow settings. The
+// calibration-relevant fields (optics sampling, bias spaces, anchor)
+// key the server's calibrated-flow cache; the remaining knobs apply to
+// the job's private Flow copy. Zero values take the same defaults
+// opcflow uses, so a job with an empty FlowSpec corrects exactly like
+// `opcflow -fast=false`.
+type FlowSpec struct {
+	// SourceSteps and GuardNM override the optics sampling (opcflow
+	// -fast uses 5 / 1200).
+	SourceSteps int     `json:"sourceSteps,omitempty"`
+	GuardNM     float64 `json:"guardNM,omitempty"`
+	// BiasSpaces are the rule-table environment bins.
+	BiasSpaces []geom.Coord `json:"biasSpaces,omitempty"`
+	// AnchorCD / AnchorPitch override the dose-to-size anchor.
+	AnchorCD    geom.Coord `json:"anchorCD,omitempty"`
+	AnchorPitch geom.Coord `json:"anchorPitch,omitempty"`
+	// TilePasses / ConvergeEps tune the tiled scheduler (0 keeps the
+	// Flow defaults; ConvergeEps < 0 disables the early exit).
+	TilePasses  int     `json:"tilePasses,omitempty"`
+	ConvergeEps float64 `json:"convergeEps,omitempty"`
+	// TileRetries (-1 disables), TileTimeout and Deadline bound the
+	// resilience ladder; durations parse with time.ParseDuration.
+	TileRetries int    `json:"tileRetries,omitempty"`
+	TileTimeout string `json:"tileTimeout,omitempty"`
+	Deadline    string `json:"deadline,omitempty"`
+}
+
+// calibKey returns the cache key for the calibration this spec needs.
+func (fs FlowSpec) calibKey() string {
+	return fmt.Sprintf("src=%d|guard=%g|bias=%v|anchor=%d/%d",
+		fs.SourceSteps, fs.GuardNM, fs.BiasSpaces, fs.AnchorCD, fs.AnchorPitch)
+}
+
+// JobSpec describes one correction job: what to correct (an uploaded
+// GDS layer or a named example workload), at which adoption level, and
+// under which Flow settings.
+type JobSpec struct {
+	// Name is a free-form label for humans; the server assigns the ID.
+	Name string `json:"name,omitempty"`
+	// Workload names a built-in example layout (stdcell | sram |
+	// routed | patterns) — mutually exclusive with a GDS upload.
+	Workload string `json:"workload,omitempty"`
+	// Layer selects the drawn layer to correct (default 2, poly).
+	Layer int `json:"layer,omitempty"`
+	// Level is the adoption level: L0 | L1 | L2 | L3.
+	Level string `json:"level"`
+	// TileNM is the scheduler tile size in DBU (0 uses 4x the ambit).
+	TileNM geom.Coord `json:"tileNM,omitempty"`
+	// Priority orders the queue (higher first, FIFO within a level).
+	Priority int `json:"priority,omitempty"`
+	// Inject arms the per-job deterministic fault plan (the faults
+	// grammar, e.g. "seed=1;tile:panic:n=1") — chaos testing a live
+	// server without hurting other jobs.
+	Inject string `json:"inject,omitempty"`
+	// Verify runs post-OPC verification tile by tile after correction
+	// and writes the orc.json artifact.
+	Verify bool `json:"verify,omitempty"`
+	// Flow carries the per-job Flow settings.
+	Flow FlowSpec `json:"flow,omitempty"`
+}
+
+// parseLevel maps the spec's level string to the core adoption level.
+func parseLevel(s string) (core.Level, error) {
+	switch strings.ToUpper(s) {
+	case "L0":
+		return core.L0, nil
+	case "L1":
+		return core.L1, nil
+	case "L2":
+		return core.L2, nil
+	case "L3":
+		return core.L3, nil
+	}
+	return 0, fmt.Errorf("unknown level %q (want L0..L3)", s)
+}
+
+// validate rejects malformed specs at admission time.
+func (js *JobSpec) validate(hasUpload bool) error {
+	if _, err := parseLevel(js.Level); err != nil {
+		return err
+	}
+	switch js.Workload {
+	case "", "stdcell", "sram", "routed", "patterns":
+	default:
+		return fmt.Errorf("unknown workload %q", js.Workload)
+	}
+	if js.Workload == "" && !hasUpload {
+		return fmt.Errorf("job needs a GDS upload body or a named workload")
+	}
+	if js.Workload != "" && hasUpload {
+		return fmt.Errorf("job has both a GDS upload and a workload; pick one")
+	}
+	if js.Inject != "" {
+		if _, err := faults.Parse(js.Inject); err != nil {
+			return err
+		}
+	}
+	if _, err := parseDuration(js.Flow.TileTimeout); err != nil {
+		return fmt.Errorf("tileTimeout: %w", err)
+	}
+	if _, err := parseDuration(js.Flow.Deadline); err != nil {
+		return fmt.Errorf("deadline: %w", err)
+	}
+	return nil
+}
+
+// parseDuration parses an optional duration string ("" is zero).
+func parseDuration(s string) (time.Duration, error) {
+	if s == "" {
+		return 0, nil
+	}
+	return time.ParseDuration(s)
+}
+
+// RunStats is the correction outcome surfaced in a job's status: the
+// core TileStats resilience and reuse accounting, minus the bulky
+// per-degradation records (those live in the run report artifact).
+type RunStats struct {
+	Tiles          int     `json:"tiles"`
+	CorrectedTiles int     `json:"corrected_tiles"`
+	ReusedTiles    int     `json:"reused_tiles"`
+	CleanTiles     int     `json:"clean_tiles"`
+	ResumedTiles   int     `json:"resumed_tiles"`
+	Retries        int     `json:"retries"`
+	Panics         int     `json:"panics"`
+	Timeouts       int     `json:"timeouts"`
+	FailedTiles    int     `json:"failed_tiles"`
+	Iterations     int     `json:"iterations"`
+	Seconds        float64 `json:"seconds"`
+	WorstRMS       float64 `json:"worst_rms"`
+	Polygons       int     `json:"polygons"`
+}
+
+// runStatsFrom folds core TileStats into the status shape. FailedTiles
+// counts the (tile, pass) results that fell down the degradation
+// ladder — geometry that shipped rule-based or uncorrected and must be
+// re-verified before tape-out.
+func runStatsFrom(st core.TileStats) RunStats {
+	return RunStats{
+		Tiles:          st.Tiles,
+		CorrectedTiles: st.CorrectedTiles,
+		ReusedTiles:    st.ReusedTiles,
+		CleanTiles:     st.CleanTiles,
+		ResumedTiles:   st.ResumedTiles,
+		Retries:        st.Retries,
+		Panics:         st.Panics,
+		Timeouts:       st.Timeouts,
+		FailedTiles:    st.DegradedRules + st.DegradedUncorrected,
+		Iterations:     st.Iterations,
+		Seconds:        st.Seconds,
+		WorstRMS:       st.WorstRMS,
+		Polygons:       st.Corrected,
+	}
+}
+
+// JobStatus is the wire shape of one job, served by GET /jobs/{id} and
+// streamed over SSE.
+type JobStatus struct {
+	ID        string             `json:"id"`
+	State     State              `json:"state"`
+	Spec      JobSpec            `json:"spec"`
+	Upload    bool               `json:"upload,omitempty"`
+	QueuePos  int                `json:"queue_pos,omitempty"`
+	Submitted time.Time          `json:"submitted"`
+	Started   time.Time          `json:"started"`
+	Finished  time.Time          `json:"finished"`
+	Progress  core.ProgressEvent `json:"progress"`
+	Stats     *RunStats          `json:"stats,omitempty"`
+	// Recovered marks a job requeued by crash recovery after a daemon
+	// restart; its checkpointed tiles resume instead of re-correcting.
+	Recovered bool `json:"recovered,omitempty"`
+	// Error is the failure message for failed jobs.
+	Error string `json:"error,omitempty"`
+	// ResultBytes is the size of the result.gds artifact once done.
+	ResultBytes int64 `json:"result_bytes,omitempty"`
+}
+
+// Job is the server-side job state. Mutable fields are guarded by the
+// owning Server's mutex except the progress atomics, which scheduler
+// worker goroutines update directly.
+type Job struct {
+	ID   string
+	Spec JobSpec
+	// dir is the job's artifact directory under the server data dir.
+	dir string
+	// upload marks a GDS-upload job (input.gds holds the stream).
+	upload bool
+	// seq orders FIFO within a priority level.
+	seq int64
+
+	state     State
+	recovered bool
+	errMsg    string
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	stats     *RunStats
+	resultLen int64
+
+	// runCtx is the job's run-scoped context, derived from the server
+	// lifecycle context when a worker dequeues the job.
+	runCtx context.Context
+	// cancel aborts the running correction; cancelRequested separates
+	// a client DELETE (terminal: cancelled) from a daemon shutdown
+	// (job stays running on disk and recovers on restart).
+	cancel          func()
+	cancelRequested bool
+
+	// Live progress, updated from the Flow.Progress hook.
+	pass, passes, doneTiles, totalTiles atomic.Int64
+	// version bumps on every observable change; SSE streams poll it.
+	version atomic.Int64
+}
+
+// bump marks the job changed for SSE watchers.
+func (j *Job) bump() { j.version.Add(1) }
+
+// progressEvent snapshots the live tile progress.
+func (j *Job) progressEvent() core.ProgressEvent {
+	return core.ProgressEvent{
+		Pass:       int(j.pass.Load()),
+		Passes:     int(j.passes.Load()),
+		DoneTiles:  int(j.doneTiles.Load()),
+		TotalTiles: int(j.totalTiles.Load()),
+	}
+}

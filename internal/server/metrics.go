@@ -1,0 +1,91 @@
+package server
+
+import (
+	"sync"
+
+	"goopc/internal/obs"
+)
+
+// serverMetrics are the goopc_server_* series. Handles are resolved per
+// Server (not at package init) so tests can give each server instance
+// its own registry; on the default registry the names are stable across
+// instances, so a restarted daemon keeps appending to the same series.
+type serverMetrics struct {
+	reg *obs.Registry
+
+	submitted *obs.Counter
+	rejected  *obs.Counter
+	queued    *obs.Gauge
+	running   *obs.Gauge
+	recovered *obs.Counter
+	seconds   *obs.Histogram
+
+	mu       sync.Mutex
+	finished map[State]*obs.Counter
+}
+
+func newServerMetrics(reg *obs.Registry) *serverMetrics {
+	return &serverMetrics{
+		reg: reg,
+		submitted: reg.Counter("goopc_server_jobs_submitted_total",
+			"jobs accepted into the queue"),
+		rejected: reg.Counter("goopc_server_jobs_rejected_total",
+			"job submissions rejected by admission control (full queue or tile budget)"),
+		queued: reg.Gauge("goopc_server_jobs_queued",
+			"jobs currently waiting in the run queue"),
+		running: reg.Gauge("goopc_server_jobs_running",
+			"jobs currently executing on the worker pool"),
+		recovered: reg.Counter("goopc_server_jobs_recovered_total",
+			"jobs requeued by crash recovery at daemon startup"),
+		seconds: reg.Histogram("goopc_server_job_seconds",
+			"wall-clock seconds per finished job (queue wait excluded)",
+			[]float64{0.5, 1, 2.5, 5, 10, 30, 60, 300, 1800}),
+		finished: map[State]*obs.Counter{},
+	}
+}
+
+// finishedCounter returns the per-terminal-state labeled counter, e.g.
+// goopc_server_jobs_finished_total{state="done"}.
+func (m *serverMetrics) finishedCounter(st State) *obs.Counter {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.finished[st]
+	if !ok {
+		c = m.reg.Counter(obs.SeriesName("goopc_server_jobs_finished_total", "state", string(st)),
+			"jobs finished, by terminal state")
+		m.finished[st] = c
+	}
+	return c
+}
+
+// jobGauges are the per-job labeled live-progress series, fed from the
+// scheduler's Flow.Progress hook and retired when the job is purged.
+type jobGauges struct {
+	tilesDone  *obs.Gauge
+	tilesTotal *obs.Gauge
+	pass       *obs.Gauge
+	names      []string
+}
+
+// newJobGauges registers the three per-job series for a job ID.
+func (m *serverMetrics) newJobGauges(id string) *jobGauges {
+	done := obs.SeriesName("goopc_server_job_tiles_done", "job", id)
+	total := obs.SeriesName("goopc_server_job_tiles_total", "job", id)
+	pass := obs.SeriesName("goopc_server_job_pass", "job", id)
+	return &jobGauges{
+		tilesDone:  m.reg.Gauge(done, "tiles resolved in the job's current pass"),
+		tilesTotal: m.reg.Gauge(total, "tiles scheduled in the job's current pass"),
+		pass:       m.reg.Gauge(pass, "context pass the job is executing"),
+		names:      []string{done, total, pass},
+	}
+}
+
+// retire removes the per-job series from the registry.
+func (g *jobGauges) retire(m *serverMetrics) {
+	if g == nil {
+		return
+	}
+	for _, n := range g.names {
+		m.reg.Remove(n)
+	}
+}

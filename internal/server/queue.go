@@ -1,0 +1,77 @@
+package server
+
+import "container/heap"
+
+// jobQueue is the admission-controlled run queue: a priority heap
+// (higher Spec.Priority first, submission order within a level). The
+// owning Server's mutex guards every method.
+type jobQueue struct {
+	items []*Job
+}
+
+func (q *jobQueue) Len() int { return len(q.items) }
+
+func (q *jobQueue) Less(i, j int) bool {
+	a, b := q.items[i], q.items[j]
+	if a.Spec.Priority != b.Spec.Priority {
+		return a.Spec.Priority > b.Spec.Priority
+	}
+	return a.seq < b.seq
+}
+
+func (q *jobQueue) Swap(i, j int) { q.items[i], q.items[j] = q.items[j], q.items[i] }
+
+func (q *jobQueue) Push(x any) { q.items = append(q.items, x.(*Job)) }
+
+func (q *jobQueue) Pop() any {
+	old := q.items
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	q.items = old[:n-1]
+	return it
+}
+
+// push enqueues a job.
+func (q *jobQueue) push(j *Job) { heap.Push(q, j) }
+
+// pop dequeues the highest-priority job, or nil when empty.
+func (q *jobQueue) pop() *Job {
+	if len(q.items) == 0 {
+		return nil
+	}
+	return heap.Pop(q).(*Job)
+}
+
+// remove drops a specific job (cancel-while-queued); reports whether it
+// was present.
+func (q *jobQueue) remove(j *Job) bool {
+	for i, it := range q.items {
+		if it == j {
+			heap.Remove(q, i)
+			return true
+		}
+	}
+	return false
+}
+
+// position returns the job's 1-based dequeue position (an estimate for
+// status displays), or 0 when the job is not queued.
+func (q *jobQueue) position(j *Job) int {
+	found := false
+	ahead := 0
+	for _, it := range q.items {
+		if it == j {
+			found = true
+			continue
+		}
+		if it.Spec.Priority > j.Spec.Priority ||
+			(it.Spec.Priority == j.Spec.Priority && it.seq < j.seq) {
+			ahead++
+		}
+	}
+	if !found {
+		return 0
+	}
+	return ahead + 1
+}

@@ -1,0 +1,107 @@
+package server
+
+import "testing"
+
+func qjob(seq int64, prio int) *Job {
+	return &Job{ID: "j", seq: seq, Spec: JobSpec{Priority: prio}}
+}
+
+func TestQueuePriorityThenFIFO(t *testing.T) {
+	var q jobQueue
+	a := qjob(1, 0)
+	b := qjob(2, 5)
+	c := qjob(3, 5)
+	d := qjob(4, 0)
+	for _, j := range []*Job{a, b, c, d} {
+		q.push(j)
+	}
+	want := []*Job{b, c, a, d} // priority desc, submission order within
+	for i, w := range want {
+		got := q.pop()
+		if got != w {
+			t.Fatalf("pop %d: got seq %d prio %d, want seq %d prio %d",
+				i, got.seq, got.Spec.Priority, w.seq, w.Spec.Priority)
+		}
+	}
+	if q.pop() != nil {
+		t.Fatal("pop on empty queue is not nil")
+	}
+}
+
+func TestQueueRemoveAndPosition(t *testing.T) {
+	var q jobQueue
+	a := qjob(1, 0)
+	b := qjob(2, 9)
+	c := qjob(3, 0)
+	q.push(a)
+	q.push(b)
+	q.push(c)
+
+	if got := q.position(b); got != 1 {
+		t.Errorf("position(high-prio) = %d, want 1", got)
+	}
+	if got := q.position(a); got != 2 {
+		t.Errorf("position(a) = %d, want 2", got)
+	}
+	if got := q.position(c); got != 3 {
+		t.Errorf("position(c) = %d, want 3", got)
+	}
+	outside := qjob(99, 0)
+	if got := q.position(outside); got != 0 {
+		t.Errorf("position(absent) = %d, want 0", got)
+	}
+
+	if !q.remove(a) {
+		t.Fatal("remove(a) reported absent")
+	}
+	if q.remove(a) {
+		t.Fatal("second remove(a) reported present")
+	}
+	if got := q.position(c); got != 2 {
+		t.Errorf("position(c) after remove = %d, want 2", got)
+	}
+	if q.Len() != 2 {
+		t.Errorf("len = %d, want 2", q.Len())
+	}
+}
+
+func TestJobSpecValidate(t *testing.T) {
+	ok := JobSpec{Workload: "stdcell", Level: "L2"}
+	if err := ok.validate(false); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		spec   JobSpec
+		upload bool
+	}{
+		{"bad level", JobSpec{Workload: "stdcell", Level: "L9"}, false},
+		{"no source", JobSpec{Level: "L2"}, false},
+		{"two sources", JobSpec{Workload: "sram", Level: "L2"}, true},
+		{"bad workload", JobSpec{Workload: "nope", Level: "L2"}, false},
+		{"bad inject", JobSpec{Workload: "sram", Level: "L2", Inject: "tile:badkind"}, false},
+		{"bad timeout", JobSpec{Workload: "sram", Level: "L2", Flow: FlowSpec{TileTimeout: "xyz"}}, false},
+		{"bad deadline", JobSpec{Workload: "sram", Level: "L2", Flow: FlowSpec{Deadline: "-"}}, false},
+	}
+	for _, c := range cases {
+		if err := c.spec.validate(c.upload); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	// Upload-only is fine.
+	up := JobSpec{Level: "L3"}
+	if err := up.validate(true); err != nil {
+		t.Errorf("upload spec rejected: %v", err)
+	}
+}
+
+func TestStateTerminal(t *testing.T) {
+	for st, want := range map[State]bool{
+		StateQueued: false, StateRunning: false,
+		StateDone: true, StateFailed: true, StateCancelled: true,
+	} {
+		if st.Terminal() != want {
+			t.Errorf("%s.Terminal() = %v, want %v", st, st.Terminal(), want)
+		}
+	}
+}
