@@ -1,7 +1,7 @@
 # Developer / CI entry points. Everything is plain go tooling; the
 # targets just fix the flag sets so local runs and CI agree.
 
-.PHONY: build test verify server-integration fuzz-short bench
+.PHONY: build test verify server-integration patlib-bench-smoke fuzz-short bench
 
 build:
 	go build ./...
@@ -18,6 +18,7 @@ verify:
 	go vet ./...
 	go test -race ./...
 	$(MAKE) server-integration
+	$(MAKE) patlib-bench-smoke
 
 # The opcd service gate on its own: the job-server integration suite
 # (concurrent submit parity, backpressure, chaos, restart recovery)
@@ -25,6 +26,14 @@ verify:
 server-integration:
 	go vet ./internal/server/ ./cmd/opcd/ ./cmd/opcctl/
 	go test -race -count=1 -run '^TestServer' ./internal/server/
+
+# Pattern-library cold/warm smoke (DESIGN.md 5f): a tiny workload is
+# solved cold into a fresh library, then rerun warm — the warm run must
+# be served entirely by exact hits with byte-identical output, plus the
+# rotated-similarity and fingerprint-mismatch guards. Never cached, so
+# the on-disk round trip actually happens.
+patlib-bench-smoke:
+	go test -count=1 -run '^TestPatlibWarm|^TestPatlibFingerprint' ./internal/core/
 
 # Short fuzz pass over the GDS ingest hardening (the seed corpora plus
 # 30s of mutation per target); CI runs this, longer runs are manual.

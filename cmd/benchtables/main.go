@@ -21,6 +21,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strings"
 	"time"
 
@@ -104,6 +105,37 @@ func knownExp(name string) bool {
 	return false
 }
 
+// printPatlibSummary tabulates the run's goopc_patlib_* metrics so a
+// -patlib invocation ends with the hit-rate evidence next to the timing
+// tables (the cold/warm rows in bench_results.txt come from this).
+func printPatlibSummary(w io.Writer) {
+	snap := obs.Default().Snapshot()
+	var names []string
+	for name := range snap.Counters {
+		if strings.HasPrefix(name, "goopc_patlib_") {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return
+	}
+	sort.Strings(names)
+	fmt.Fprintln(w, "\nPattern library (goopc_patlib_*)")
+	for _, name := range names {
+		fmt.Fprintf(w, "  %-40s %d\n", strings.TrimPrefix(name, "goopc_patlib_"), snap.Counters[name])
+	}
+	exact := snap.Counters["goopc_patlib_exact_hits_total"]
+	similar := snap.Counters["goopc_patlib_similarity_hits_total"]
+	misses := snap.Counters["goopc_patlib_misses_total"]
+	if probed := exact + similar + misses; probed > 0 {
+		fmt.Fprintf(w, "  %-40s %.1f%%\n", "hit rate (classes)",
+			100*float64(exact+similar)/float64(probed))
+	}
+	if n, ok := snap.Gauges["goopc_patlib_entries"]; ok {
+		fmt.Fprintf(w, "  %-40s %.0f\n", "entries", n)
+	}
+}
+
 // run carries the real main so profile-flushing defers execute before
 // the process exits (os.Exit skips defers). Exit codes: 0 success,
 // 1 experiment/report failure, 2 usage error.
@@ -114,6 +146,7 @@ func run() int {
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	reportPath := fs.String("report", "", "write an obs RunReport (JSON) to this file")
+	patlibPath := fs.String("patlib", "", "persistent pattern library file for the tiled experiments (cold/warm protocol; see DESIGN.md 5f)")
 	verbose := fs.Bool("v", false, "verbose progress output")
 	quiet := fs.Bool("q", false, "suppress progress output (errors still print)")
 	version := fs.Bool("version", false, "print the build fingerprint and exit")
@@ -166,6 +199,7 @@ func run() int {
 		})
 	}
 	cfg := experiments.Default()
+	cfg.PatternLibPath = *patlibPath
 	exitCode := 0
 	for _, r := range all {
 		if !selected(exps, r.name) {
@@ -182,6 +216,9 @@ func run() int {
 		log.Infof("[%s completed in %.1fs]", r.name, time.Since(t0).Seconds())
 	}
 	root.End()
+	if *patlibPath != "" {
+		printPatlibSummary(os.Stdout)
+	}
 	if rep != nil {
 		rep.Finish(obs.Default(), root)
 		if err := rep.WriteFile(*reportPath); err != nil {

@@ -115,6 +115,7 @@ func cmdSubmit(ctx context.Context, c *server.Client, args []string) error {
 	inject := fs.String("inject", "", "per-job fault plan (faults grammar)")
 	verify := fs.Bool("verify", false, "run post-OPC verification, producing orc.json")
 	fast := fs.Bool("fast", true, "reduced source sampling for speed")
+	patlib := fs.Bool("patlib", false, "opt into the daemon's shared cross-run pattern library (needs opcd -patlib)")
 	flowJSON := fs.String("flow", "", "FlowSpec JSON file overriding the flow settings")
 	watch := fs.Bool("watch", false, "stream progress until the job finishes")
 	if err := fs.Parse(args); err != nil {
@@ -143,6 +144,9 @@ func cmdSubmit(ctx context.Context, c *server.Client, args []string) error {
 		if err := json.Unmarshal(data, &spec.Flow); err != nil {
 			return fmt.Errorf("-flow: %w", err)
 		}
+	}
+	if *patlib {
+		spec.Flow.PatternLib = true
 	}
 
 	var st server.JobStatus
@@ -253,6 +257,12 @@ func watchJob(ctx context.Context, c *server.Client, id string) error {
 			fmt.Printf("%s done: tiles=%d failed_tiles=%d time=%.2fs worstRMS=%.2f polygons=%d\n",
 				final.ID, final.Stats.Tiles, final.Stats.FailedTiles,
 				final.Stats.Seconds, final.Stats.WorstRMS, final.Stats.Polygons)
+			s := final.Stats
+			if s.LibExactTiles+s.LibSimilarTiles+s.LibHaloRejects+s.LibMisses+s.LibAppends > 0 {
+				fmt.Printf("%s patlib: exact=%d similar=%d halo-rejects=%d misses=%d appends=%d\n",
+					final.ID, s.LibExactTiles, s.LibSimilarTiles, s.LibHaloRejects,
+					s.LibMisses, s.LibAppends)
+			}
 		} else {
 			fmt.Printf("%s done\n", final.ID)
 		}

@@ -59,6 +59,8 @@ func run(args []string) int {
 	serialTiles := fs.Bool("serial-tiles", false, "run each job's tiles serially (pool-level concurrency only)")
 	ckptEvery := fs.Duration("ckpt-every", 2*time.Second, "per-job checkpoint flush interval")
 	inject := fs.String("inject", "", `server fault plan (probe site "http"), e.g. 'seed=1;http:error:p=0.1'`)
+	patlibPath := fs.String("patlib", "", "shared cross-run pattern library file; jobs opt in via flow.patternLib")
+	patlibRO := fs.Bool("patlib-readonly", false, "serve pattern-library hits without persisting new solutions")
 	grace := fs.Duration("grace", 30*time.Second, "graceful shutdown budget for draining requests and jobs")
 	verbose := fs.Bool("v", false, "verbose logging")
 	quiet := fs.Bool("q", false, "errors only")
@@ -93,6 +95,9 @@ func run(args []string) int {
 		FaultPlan:       plan,
 		Log:             log,
 		Registry:        obs.Default(),
+
+		PatternLibPath:     *patlibPath,
+		PatternLibReadOnly: *patlibRO,
 	})
 	if err := srv.Start(); err != nil {
 		log.Errorf("%v", err)

@@ -116,6 +116,8 @@ type resilienceCfg struct {
 	inject      string
 	tileTimeout time.Duration
 	deadline    time.Duration
+	patlibPath  string
+	patlibRO    bool
 }
 
 // apply wires the config into the flow, loading the resume checkpoint
@@ -144,6 +146,8 @@ func (rc *resilienceCfg) apply(flow *core.Flow) error {
 		}
 		flow.FaultPlan = plan
 	}
+	flow.PatternLibPath = rc.patlibPath
+	flow.PatLibReadOnly = rc.patlibRO
 	return nil
 }
 
@@ -174,6 +178,8 @@ func run(args []string) int {
 	fs.StringVar(&rc.inject, "inject", "", `deterministic fault plan, e.g. 'seed=42;tile:panic:n=2;tile:delay:p=0.1:d=50ms'`)
 	fs.DurationVar(&rc.tileTimeout, "tile-timeout", 0, "per-tile correction attempt timeout (0 = none)")
 	fs.DurationVar(&rc.deadline, "deadline", 0, "whole-run deadline (0 = none)")
+	fs.StringVar(&rc.patlibPath, "patlib", "", "persistent cross-run pattern library file (tiled runs; see DESIGN.md 5f)")
+	fs.BoolVar(&rc.patlibRO, "patlib-readonly", false, "consult the pattern library without persisting new solutions")
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
 	}
@@ -219,6 +225,7 @@ func run(args []string) int {
 			"gds": *gdsPath, "layer": *layerNum, "workload": *workload,
 			"level": *levelFlag, "deck": *deckPath, "fast": *fast,
 			"ckpt": rc.ckptPath, "resume": rc.resumePath, "inject": rc.inject,
+			"patlib": rc.patlibPath,
 		})
 	}
 
@@ -354,6 +361,11 @@ func (a *app) runLevels(ctx context.Context, gdsPath string, l layout.Layer, wor
 			}
 			fmt.Printf("%-16s tiles=%d time=%.2fs worstRMS=%.2f polygons=%d\n",
 				level, st.Tiles, st.Seconds, st.WorstRMS, len(res.Corrected))
+			if st.LibExactTiles+st.LibSimilarTiles+st.LibHaloRejects+st.LibMisses+st.LibAppends > 0 {
+				fmt.Printf("%-16s patlib: exact=%d similar=%d halo-rejects=%d misses=%d appends=%d\n",
+					level, st.LibExactTiles, st.LibSimilarTiles, st.LibHaloRejects,
+					st.LibMisses, st.LibAppends)
+			}
 			if st.Retries+st.Panics+st.Timeouts+st.ResumedTiles+len(st.Degradations) > 0 {
 				fmt.Printf("%-16s resilience: retries=%d panics=%d timeouts=%d resumed=%d degraded-rules=%d degraded-uncorrected=%d\n",
 					level, st.Retries, st.Panics, st.Timeouts, st.ResumedTiles,

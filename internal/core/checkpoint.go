@@ -52,8 +52,8 @@ type Checkpoint struct {
 	// Fingerprint ties the checkpoint to one (target, level, tile,
 	// engine-settings) combination; resuming against anything else is
 	// refused.
-	Fingerprint string `json:"fingerprint"`
-	Level       string `json:"level"`
+	Fingerprint string     `json:"fingerprint"`
+	Level       string     `json:"level"`
 	TileSize    geom.Coord `json:"tile_size"`
 	// Passes maps pass number -> class key -> completed result.
 	Passes map[int]map[string]CheckpointEntry `json:"passes"`

@@ -20,6 +20,7 @@ import (
 	"goopc/internal/opc/rules"
 	"goopc/internal/optics"
 	"goopc/internal/orc"
+	"goopc/internal/patlib"
 	"goopc/internal/resist"
 )
 
@@ -141,6 +142,18 @@ type Flow struct {
 	CheckpointPath  string
 	CheckpointEvery time.Duration
 	Resume          *Checkpoint
+
+	// Cross-run pattern library (DESIGN.md 5f). PatLib, when non-nil, is
+	// a shared open library — the opcd server injects one library for
+	// all jobs. Otherwise, when PatternLibPath is set,
+	// CorrectWindowedCtx opens the store there for the duration of the
+	// run (creating it on first use) and closes it at run end.
+	// PatLibReadOnly serves hits without persisting new solutions. A
+	// library whose fingerprint does not match this flow's settings is
+	// ignored for the run (every tile solves normally).
+	PatLib         *patlib.Library
+	PatternLibPath string
+	PatLibReadOnly bool
 }
 
 // ProgressEvent is one live snapshot of a windowed correction run:

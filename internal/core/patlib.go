@@ -1,0 +1,26 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"goopc/internal/geom"
+)
+
+// patlibFingerprint hashes every flow setting a stored tile-class
+// solution depends on — optics, resist threshold, tile and halo
+// geometry, engine budgets and fragmentation/MRC recipes — but NOT the
+// target layer: the whole point of the cross-run library is sharing
+// solutions between different layouts corrected under the same process
+// setup. The adoption level is part of each record's key (an L2 and an
+// L3 solution for the same geometry differ), and the pass structure
+// needs no hashing because a class key already encodes the context
+// geometry the pass saw.
+func (f *Flow) patlibFingerprint(tile geom.Coord) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "patlib1|optics=%+v|th=%.12g|tile=%d|halo=%d|iter=%d/%d|damp=%g|eps=%g|spec=%+v|mrc=%+v|",
+		f.Sim.S, f.Threshold, tile, f.Ambit,
+		f.ModelIter1, f.ModelIterFull, f.Damping, f.ConvergeEps, f.Spec, f.MRC)
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}

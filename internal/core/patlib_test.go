@@ -1,0 +1,151 @@
+package core
+
+import (
+	"path/filepath"
+	"testing"
+
+	"goopc/internal/geom"
+	"goopc/internal/patmatch"
+)
+
+// TestPatlibWarmExact is the library's core contract (and the CI smoke
+// gate, via `make patlib-bench-smoke`): a second run of the same layout
+// against a warm library serves every tile from the exact rung — zero
+// engine corrections — and reproduces the cold output bit for bit.
+func TestPatlibWarmExact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "lib.jsonl")
+	target, _ := twoIsolatedClusters()
+
+	cold := *testFlow(t)
+	cold.PatternLibPath = path
+	resC, stC, err := cold.CorrectWindowed(target, L3, 2500, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stC.LibExactTiles != 0 || stC.LibSimilarTiles != 0 {
+		t.Fatalf("cold run hit the library: exact=%d similar=%d", stC.LibExactTiles, stC.LibSimilarTiles)
+	}
+	if stC.LibAppends == 0 {
+		t.Fatal("cold run appended nothing to the library")
+	}
+
+	warm := *testFlow(t)
+	warm.PatternLibPath = path
+	resW, stW, err := warm.CorrectWindowed(target, L3, 2500, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stW.CorrectedTiles != 0 {
+		t.Errorf("warm run corrected %d tile classes, want 0 (all from library)", stW.CorrectedTiles)
+	}
+	if stW.Iterations != 0 {
+		t.Errorf("warm run spent %d model iterations, want 0", stW.Iterations)
+	}
+	if want := stC.CorrectedTiles + stC.ReusedTiles; stW.LibExactTiles != want {
+		t.Errorf("warm exact-hit tiles = %d, want %d", stW.LibExactTiles, want)
+	}
+	if stW.LibMisses != 0 || stW.LibHaloRejects != 0 {
+		t.Errorf("warm run missed: misses=%d haloRejects=%d", stW.LibMisses, stW.LibHaloRejects)
+	}
+	if len(resW.Corrected) != len(resC.Corrected) {
+		t.Fatalf("warm polygons = %d, cold = %d", len(resW.Corrected), len(resC.Corrected))
+	}
+	for i := range resC.Corrected {
+		a, b := resC.Corrected[i], resW.Corrected[i]
+		if len(a) != len(b) {
+			t.Fatalf("polygon %d: vertex count differs", i)
+		}
+		for v := range a {
+			if a[v] != b[v] {
+				t.Fatalf("polygon %d vertex %d: cold %v, warm %v — exact hit must be bit-identical", i, v, a[v], b[v])
+			}
+		}
+	}
+}
+
+// symTarget returns a single-tile target whose bounding box is the full
+// tile frame: a D4-symmetric corner marker (invariant under all eight
+// orientations, so it pins the frame) plus an asymmetric device pattern
+// mid-tile.
+func symTarget(tile geom.Coord) []geom.Polygon {
+	m := geom.Coord(200)
+	return []geom.Polygon{
+		geom.R(0, 0, m, m).Polygon(),
+		geom.R(tile-m, 0, tile, m).Polygon(),
+		geom.R(0, tile-m, m, tile).Polygon(),
+		geom.R(tile-m, tile-m, tile, tile).Polygon(),
+		// Asymmetric L so every orientation image is distinct.
+		{
+			{X: 900, Y: 700}, {X: 1500, Y: 700}, {X: 1500, Y: 900},
+			{X: 1100, Y: 900}, {X: 1100, Y: 1900}, {X: 900, Y: 1900},
+		},
+	}
+}
+
+// TestPatlibWarmSimilarityRotated: a rotated copy of a solved layout
+// misses the exact rung (its canonical bytes differ) but is served by
+// the similarity rung — the stored solution carried through the
+// matching frame orientation, area-identical to rotating the cold
+// output itself.
+func TestPatlibWarmSimilarityRotated(t *testing.T) {
+	const tile geom.Coord = 2500
+	frame := geom.Rect{X0: 0, Y0: 0, X1: tile, Y1: tile}
+	path := filepath.Join(t.TempDir(), "lib.jsonl")
+	targetA := symTarget(tile)
+
+	cold := *testFlow(t)
+	cold.PatternLibPath = path
+	resC, stC, err := cold.CorrectWindowed(targetA, L3, tile, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stC.Tiles != 1 {
+		t.Fatalf("target spans %d tiles, want 1", stC.Tiles)
+	}
+
+	targetB := patmatch.ApplyFrame(targetA, frame, geom.R90)
+	warm := *testFlow(t)
+	warm.PatternLibPath = path
+	resW, stW, err := warm.CorrectWindowed(targetB, L3, tile, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stW.LibSimilarTiles != 1 {
+		t.Fatalf("similarity-hit tiles = %d, want 1 (stats: %+v)", stW.LibSimilarTiles, stW)
+	}
+	if stW.CorrectedTiles != 0 {
+		t.Errorf("warm run corrected %d tile classes, want 0", stW.CorrectedTiles)
+	}
+	want := patmatch.ApplyFrame(resC.Corrected, frame, geom.R90)
+	if !geom.RegionFromPolygons(resW.Corrected...).Xor(geom.RegionFromPolygons(want...)).Empty() {
+		t.Error("warm output is not the rotated cold output")
+	}
+}
+
+// TestPatlibFingerprintMismatchSolves: a library written under one flow
+// setup silently stands aside for a run with different engine settings —
+// the run solves everything itself and leaves the store untouched.
+func TestPatlibFingerprintMismatchSolves(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "lib.jsonl")
+	target, _ := twoIsolatedClusters()
+
+	cold := *testFlow(t)
+	cold.PatternLibPath = path
+	if _, _, err := cold.CorrectWindowed(target, L2, 2500, true); err != nil {
+		t.Fatal(err)
+	}
+
+	other := *testFlow(t)
+	other.PatternLibPath = path
+	other.ConvergeEps = 0 // different engine budget => different fingerprint
+	_, st, err := other.CorrectWindowed(target, L2, 2500, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.LibExactTiles != 0 || st.LibSimilarTiles != 0 || st.LibAppends != 0 {
+		t.Errorf("incompatible library was used: %+v", st)
+	}
+	if st.CorrectedTiles == 0 {
+		t.Error("run did not solve its tiles")
+	}
+}

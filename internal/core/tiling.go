@@ -12,6 +12,7 @@ import (
 	"goopc/internal/geom"
 	"goopc/internal/opc"
 	"goopc/internal/opc/model"
+	"goopc/internal/patlib"
 )
 
 // TileStats reports a windowed full-layer correction run.
@@ -57,6 +58,19 @@ type TileStats struct {
 	DegradedUncorrected int
 	ResumedTiles        int
 	Degradations        []TileDegradation
+	// Pattern-library accounting (DESIGN.md 5f). LibExactTiles and
+	// LibSimilarTiles count (tile, pass) results served from the
+	// cross-run library (exact class-key hit; orientation-similarity hit
+	// that passed the halo-validity check). LibHaloRejects counts
+	// similarity candidates rejected because the stored context ring
+	// differed, LibMisses the probed classes that fell through to a full
+	// solve, and LibAppends the freshly solved classes persisted for
+	// future runs.
+	LibExactTiles   int
+	LibSimilarTiles int
+	LibHaloRejects  int
+	LibMisses       int
+	LibAppends      int
 }
 
 // TileDegradation records one tile class that exhausted its model-OPC
@@ -186,12 +200,30 @@ func (f *Flow) CorrectWindowedCtx(ctx context.Context, target []geom.Polygon, le
 	}
 	st.Passes = passes
 
+	// Cross-run pattern library (DESIGN.md 5f). A shared Flow.PatLib
+	// (the opcd server's) takes precedence; otherwise PatternLibPath
+	// opens a run-scoped library. An incompatible fingerprint yields a
+	// nil session — every rung then misses and the run solves normally.
+	plib := f.PatLib
+	if plib == nil && f.PatternLibPath != "" {
+		owned, perr := patlib.Open(f.PatternLibPath, f.PatLibReadOnly)
+		if perr != nil {
+			return opc.Result{}, st, fmt.Errorf("core: pattern library %s: %w", f.PatternLibPath, perr)
+		}
+		defer owned.Close()
+		plib = owned
+	}
+	var psess *patlib.Session
+	if plib != nil {
+		psess = plib.Session(f.patlibFingerprint(tile))
+	}
+
 	// Checkpoint/resume setup. The fingerprint ties artifacts to this
 	// exact (target, level, settings) combination. needCanon gates the
 	// canonical-key serialization (dedup or checkpoint), needHash the
-	// fixed-size digest only checkpoint storage uses.
+	// fixed-size digest checkpoint storage and the pattern library use.
 	var ckpt *ckptWriter
-	needHash := f.CheckpointPath != "" || f.Resume != nil
+	needHash := f.CheckpointPath != "" || f.Resume != nil || psess != nil
 	needCanon := !f.DisableDedup || needHash
 	if needHash {
 		fp := f.runFingerprint(target, level, tile, passes)
@@ -419,6 +451,66 @@ func (f *Flow) CorrectWindowedCtx(ctx context.Context, target []geom.Polygon, le
 						progress(pass, len(c.members))
 						continue
 					}
+					if polys, rms, iters, ok := psess.Lookup(level.String(), c.key); ok {
+						// Cross-run exact hit: the library stores canonical
+						// (frame-origin) solutions under the same contract
+						// as a checkpoint entry, so reuse is bit-identical.
+						cr := classResult{rms: rms, iters: iters, libExact: true}
+						if canonical {
+							cr.polys = polys
+						} else {
+							cr.polys = geom.TranslatePolygons(polys, origin)
+						}
+						classRes[ci] = cr
+						if ckpt != nil {
+							if err := ckpt.add(pass, c.key, CheckpointEntry{Polys: polys, RMS: rms, Iters: iters}); err != nil {
+								mu.Lock()
+								if firstErr == nil {
+									firstErr = err
+								}
+								mu.Unlock()
+							}
+						}
+						mTilesDone.Add(float64(len(c.members)))
+						progress(pass, len(c.members))
+						continue
+					}
+					// Canonical (frame-origin) geometry for the library's
+					// similarity probe and the post-solve append; classes
+					// with multiple members are already canonical.
+					cActive, cHalo := active, haloPolys
+					if psess != nil && !canonical {
+						shift := geom.Pt(-core.X0, -core.Y0)
+						cActive = geom.TranslatePolygons(active, shift)
+						cHalo = geom.TranslatePolygons(haloPolys, shift)
+					}
+					if sr, ok := psess.Similar(level.String(), tile, cActive, cHalo); ok {
+						// Similarity hit: a stored solution matched under a
+						// frame-preserving orientation and passed the
+						// halo-validity check. The carried solution is
+						// engine-equivalent within ConvergeEps, not
+						// bit-identical — fragmentation is not orientation-
+						// covariant — so it is accounted separately.
+						cr := classResult{rms: sr.RMS, iters: sr.Iters, libSimilar: true}
+						if canonical {
+							cr.polys = sr.Polys
+						} else {
+							cr.polys = geom.TranslatePolygons(sr.Polys, origin)
+						}
+						classRes[ci] = cr
+						if ckpt != nil {
+							if err := ckpt.add(pass, c.key, CheckpointEntry{Polys: sr.Polys, RMS: sr.RMS, Iters: sr.Iters}); err != nil {
+								mu.Lock()
+								if firstErr == nil {
+									firstErr = err
+								}
+								mu.Unlock()
+							}
+						}
+						mTilesDone.Add(float64(len(c.members)))
+						progress(pass, len(c.members))
+						continue
+					}
 					window := core.Grow(halo)
 					// Everything is clipped to core + halo, so the window
 					// never exceeds tile + 2*halo regardless of how long
@@ -439,22 +531,30 @@ func (f *Flow) CorrectWindowedCtx(ctx context.Context, target []geom.Polygon, le
 						continue
 					}
 					classRes[ci] = cr
-					if ckpt != nil && cr.degraded == "" {
-						// Persist the canonical solution. Degraded
-						// results are skipped on purpose: a resume
-						// re-attempts them, so fault-free resumes
-						// reproduce the fault-free output.
+					if (ckpt != nil || psess != nil) && cr.degraded == "" {
+						// Persist the canonical solution — to the checkpoint
+						// for resume, and to the pattern library for future
+						// runs. Degraded results are skipped on purpose: a
+						// resume re-attempts them, so fault-free resumes
+						// reproduce the fault-free output, and the library
+						// never serves a fallback as a solution. Similarity-
+						// derived results never reach here, so the library
+						// only ever holds engine-solved patterns (no
+						// derived-from-derived drift).
 						canonPolys := cr.polys
 						if !canonical {
 							canonPolys = geom.TranslatePolygons(cr.polys, geom.Pt(-origin.X, -origin.Y))
 						}
-						err := ckpt.add(pass, c.key, CheckpointEntry{Polys: canonPolys, RMS: cr.rms, Iters: cr.iters})
-						if err != nil {
-							mu.Lock()
-							if firstErr == nil {
-								firstErr = err
+						psess.Append(level.String(), c.key, tile, cActive, cHalo, canonPolys, cr.rms, cr.iters)
+						if ckpt != nil {
+							err := ckpt.add(pass, c.key, CheckpointEntry{Polys: canonPolys, RMS: cr.rms, Iters: cr.iters})
+							if err != nil {
+								mu.Lock()
+								if firstErr == nil {
+									firstErr = err
+								}
+								mu.Unlock()
 							}
-							mu.Unlock()
 						}
 					}
 				}
@@ -492,6 +592,10 @@ func (f *Flow) CorrectWindowedCtx(ctx context.Context, target []geom.Polygon, le
 			if cr.resumed {
 				st.ResumedTiles += len(c.members)
 				mTilesResumed.Add(int64(len(c.members)))
+			} else if cr.libExact {
+				st.LibExactTiles += len(c.members)
+			} else if cr.libSimilar {
+				st.LibSimilarTiles += len(c.members)
 			} else {
 				st.CorrectedTiles++
 				mTilesCorrected.Inc()
@@ -572,6 +676,13 @@ func (f *Flow) CorrectWindowedCtx(ctx context.Context, target []geom.Polygon, le
 			st.WorstRMS = rms
 		}
 	}
+	if psess != nil {
+		// Per-tile hit accounting folded in stage 3; the session-level
+		// probe counters land here once per run.
+		st.LibHaloRejects = int(psess.HaloRejects.Load())
+		st.LibMisses = int(psess.Misses.Load())
+		st.LibAppends = int(psess.Appends.Load())
+	}
 	kh1, km1 := f.Sim.KernelCacheStats()
 	st.KernelHits, st.KernelMisses = kh1-kh0, km1-km0
 	st.Seconds = time.Since(t0).Seconds()
@@ -597,8 +708,10 @@ type classResult struct {
 	// model-path error that forced the fallback.
 	degraded string
 	degErr   string
-	// resumed marks a result restored from a checkpoint.
-	resumed bool
+	// resumed marks a result restored from a checkpoint; libExact and
+	// libSimilar mark results served from the cross-run pattern library.
+	resumed              bool
+	libExact, libSimilar bool
 	// err is fatal (run cancelled / checkpoint mismatch): it aborts
 	// the run instead of engaging the degradation ladder.
 	err error

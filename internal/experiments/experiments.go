@@ -40,6 +40,11 @@ type Config struct {
 	BiasSpaces []geom.Coord
 	// Seed drives all random layout generation.
 	Seed int64
+	// PatternLibPath points the tiled experiments (T2/T3 and the tiled
+	// figures) at a persistent cross-run pattern library, enabling the
+	// paired cold/warm benchmark protocol (see DESIGN.md 5f). Empty
+	// keeps the library out of the loop.
+	PatternLibPath string
 }
 
 // Default returns the configuration used for the recorded results.
@@ -56,7 +61,7 @@ var (
 // configuration. Experiments share it because calibration and rule-table
 // generation dominate setup cost.
 func SharedFlow(cfg Config) (*core.Flow, error) {
-	key := fmt.Sprintf("%d/%f/%v", cfg.SourceSteps, cfg.GuardNM, cfg.BiasSpaces)
+	key := fmt.Sprintf("%d/%f/%v/%s", cfg.SourceSteps, cfg.GuardNM, cfg.BiasSpaces, cfg.PatternLibPath)
 	flowMu.Lock()
 	defer flowMu.Unlock()
 	if f, ok := flowCache[key]; ok {
@@ -71,6 +76,7 @@ func SharedFlow(cfg Config) (*core.Flow, error) {
 	if err != nil {
 		return nil, err
 	}
+	f.PatternLibPath = cfg.PatternLibPath
 	mFlowBuilds.Inc()
 	gCalibrationSeconds.Set(time.Since(t0).Seconds())
 	flowCache[key] = f

@@ -1,0 +1,16 @@
+//go:build !unix
+
+package patlib
+
+import "os"
+
+// openLocked on platforms without flock opens for append with no
+// advisory lock: single-process safety still holds (one appender
+// goroutine per Library), cross-process writers are unguarded.
+func openLocked(path string) (*os.File, func(), error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, func() {}, nil
+}

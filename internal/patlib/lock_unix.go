@@ -1,0 +1,25 @@
+//go:build unix
+
+package patlib
+
+import (
+	"os"
+	"syscall"
+)
+
+// openLocked opens path for appending and takes a non-blocking
+// exclusive advisory lock on it. A second process trying to write the
+// same library loses the race and (in Open) degrades to read-only;
+// readers never take the lock, so lookups are unaffected.
+func openLocked(path string) (*os.File, func(), error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	unlock := func() { syscall.Flock(int(f.Fd()), syscall.LOCK_UN) }
+	return f, unlock, nil
+}

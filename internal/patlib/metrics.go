@@ -1,0 +1,33 @@
+package patlib
+
+import "goopc/internal/obs"
+
+// The goopc_patlib_* series (DESIGN.md 5f). Hit/miss/reject counters
+// count lookup decisions (one per tile class probed); the per-tile
+// accounting — a reused class may cover many tile placements — lives in
+// core.TileStats and the per-job RunStats.
+var (
+	mExactHits = obs.Default().Counter("goopc_patlib_exact_hits_total",
+		"tile classes served by an exact pattern-library match")
+	mSimilarHits = obs.Default().Counter("goopc_patlib_similarity_hits_total",
+		"tile classes served by an orientation-similarity match")
+	mHaloRejects = obs.Default().Counter("goopc_patlib_halo_rejections_total",
+		"similarity candidates rejected by the halo-validity check (context ring differed)")
+	mMisses = obs.Default().Counter("goopc_patlib_misses_total",
+		"tile classes that missed both library rungs and were solved")
+	mAppends = obs.Default().Counter("goopc_patlib_appends_total",
+		"solved tile classes persisted to the pattern library")
+	mIncompatible = obs.Default().Counter("goopc_patlib_incompatible_total",
+		"sessions refused because the run fingerprint does not match the library")
+	mLockDenied = obs.Default().Counter("goopc_patlib_lock_denied_total",
+		"writable opens degraded to read-only (another process holds the library lock)")
+	mLoadSkipped = obs.Default().Counter("goopc_patlib_load_skipped_total",
+		"undecodable store lines skipped at load (torn tail, version skew, corruption)")
+	gEntries = obs.Default().Gauge("goopc_patlib_entries",
+		"pattern records currently indexed in memory")
+	gLoadSeconds = obs.Default().Gauge("goopc_patlib_load_seconds",
+		"wall-clock seconds of the most recent library load")
+	hAppendSeconds = obs.Default().Histogram("goopc_patlib_append_seconds",
+		"seconds per record append (marshal + write on the write-behind goroutine)",
+		[]float64{0.0001, 0.0005, 0.001, 0.005, 0.025, 0.1, 0.5})
+)

@@ -1,0 +1,491 @@
+// Package patlib is the persistent cross-run correction cache: a
+// content-addressed store of already-solved tile-class patterns shared
+// across jobs and across process restarts (the AdaOPC idea — see
+// DESIGN.md 5f). The tiled scheduler consults it before spending engine
+// work: an exact hit (same canonical tile key the in-run dedup
+// computes) returns the stored solution bit-identically; a similarity
+// hit (same geometry under one of the eight layout orientations,
+// accepted only after the halo-validity check that the stored context
+// ring also matches) returns the stored solution carried through the
+// orientation transform. Every solved class is appended back, so the
+// library grows under live traffic and steady-state correction cost
+// approaches lookup cost.
+//
+// On disk the library is a JSONL file: a header line carrying the
+// format version and the flow fingerprint, then one record per line in
+// the checkpoint serialization (polys/rms/iters at the canonical frame
+// origin) plus the pattern geometry. Records are appended by a single
+// write-behind goroutine through an O_APPEND descriptor guarded by an
+// advisory file lock, so concurrent jobs in one daemon and concurrent
+// daemons on one file are both safe; a reader tolerates a torn final
+// line (crash mid-append) by loading the intact prefix. Every
+// degradation path — missing file, version skew, fingerprint mismatch,
+// truncation — ends in cache-miss-and-solve, never in a wrong result
+// or a failed run.
+package patlib
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"goopc/internal/geom"
+	"goopc/internal/patmatch"
+)
+
+// storeVersion guards the JSONL format; other versions load as empty.
+const storeVersion = 1
+
+// appendQueue bounds the write-behind channel: producers (scheduler
+// workers) block once this many records are in flight, which is the
+// backpressure that keeps a slow disk from growing memory unboundedly.
+const appendQueue = 256
+
+// header is the first line of the store file.
+type header struct {
+	Version     int    `json:"version"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+// Record is one stored corrected tile-class pattern. Geometry is in
+// frame coordinates (tile core translated to the origin), exactly the
+// canonical placement the checkpoint layer uses, so Polys/RMS/Iters
+// are a core.CheckpointEntry by another name. Active and Context carry
+// the problem geometry so the similarity index can be rebuilt at load
+// time; Key is the scheduler's exact canonical class-key hash and
+// Level/Tile scope it (the same geometry corrects differently at L2
+// and L3, or under a different tile size).
+type Record struct {
+	Level   string         `json:"level"`
+	Key     string         `json:"key"`
+	Tile    geom.Coord     `json:"tile"`
+	Active  []geom.Polygon `json:"active"`
+	Context []geom.Polygon `json:"context,omitempty"`
+	Polys   []geom.Polygon `json:"polys"`
+	RMS     float64        `json:"rms"`
+	Iters   int            `json:"iters"`
+}
+
+// simRef points one orientation variant of one record into the
+// similarity index.
+type simRef struct {
+	rec    int
+	orient geom.Orient
+}
+
+// Library is the in-memory face of one store file: an exact index by
+// (level, key), a similarity index by oriented active-geometry hash,
+// and a single-writer append pipeline. One Library is safe for
+// concurrent use by many sessions (jobs).
+type Library struct {
+	path     string
+	readOnly bool
+
+	mu    sync.RWMutex
+	fp    string // claimed fingerprint ("" until the first session)
+	recs  []*Record
+	geoms []patmatch.TileGeometry
+	byKey map[string]int
+	bySim map[uint64][]simRef
+	sigs  map[uint64]bool // coarse-signature prefilter
+
+	appendCh chan *Record
+	flushCh  chan chan struct{}
+	done     chan struct{}
+	exited   chan struct{} // closed when the appender goroutine returns
+	wf       *os.File // O_APPEND descriptor; nil until first append
+	unlock   func()   // releases the advisory lock
+	wroteHdr bool
+	werr     error // first write error; appends stop after it
+
+	closed atomic.Bool
+}
+
+// Open loads (or prepares to create) the library at path. A missing
+// file is an empty library; an unreadable, version-skewed or torn file
+// degrades to the loadable prefix (possibly empty) rather than
+// failing — the caller always gets a usable Library. When readOnly is
+// false the file is advisory-locked for appends; losing the lock race
+// to another process degrades this instance to read-only.
+func Open(path string, readOnly bool) (*Library, error) {
+	l := &Library{
+		path:     path,
+		readOnly: readOnly,
+		byKey:    map[string]int{},
+		bySim:    map[uint64][]simRef{},
+		sigs:     map[uint64]bool{},
+		appendCh: make(chan *Record, appendQueue),
+		flushCh:  make(chan chan struct{}),
+		done:     make(chan struct{}),
+		exited:   make(chan struct{}),
+	}
+	t0 := time.Now()
+	if err := l.load(); err != nil {
+		return nil, err
+	}
+	gLoadSeconds.Set(time.Since(t0).Seconds())
+	gEntries.Set(float64(len(l.recs)))
+	if !l.readOnly {
+		f, unlock, err := openLocked(path)
+		if err != nil {
+			// Another process holds the library for writing (or the
+			// file is not writable): serve lookups, drop appends.
+			mLockDenied.Inc()
+			l.readOnly = true
+		} else {
+			l.wf, l.unlock = f, unlock
+			// An existing non-empty file already has its header.
+			l.wroteHdr = len(l.recs) > 0 || l.fp != ""
+		}
+	}
+	go l.appender()
+	return l, nil
+}
+
+// load reads the store file into the in-memory indexes. Any undecodable
+// line ends the load with the intact prefix kept: the only writer
+// appends whole lines, so a torn line is a crash artifact confined to
+// the tail.
+func (l *Library) load() error {
+	f, err := os.Open(l.path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("patlib: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<28)
+	if !sc.Scan() {
+		return nil // empty file: empty library
+	}
+	var h header
+	if err := json.Unmarshal(sc.Bytes(), &h); err != nil || h.Version != storeVersion {
+		// Version skew or a foreign file: refuse to index or append to
+		// it, but do not fail the caller — everything just misses.
+		mLoadSkipped.Inc()
+		l.readOnly = true
+		return nil
+	}
+	l.fp = h.Fingerprint
+	for sc.Scan() {
+		var r Record
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			mLoadSkipped.Inc()
+			break
+		}
+		l.insert(&r)
+	}
+	if err := sc.Err(); err != nil && !errors.Is(err, io.EOF) {
+		mLoadSkipped.Inc()
+	}
+	return nil
+}
+
+// insert indexes one record (caller holds mu or is the loader).
+func (l *Library) insert(r *Record) bool {
+	mapKey := r.Level + "/" + r.Key
+	if _, dup := l.byKey[mapKey]; dup {
+		return false
+	}
+	frame := geom.Rect{X0: 0, Y0: 0, X1: r.Tile, Y1: r.Tile}
+	tg := patmatch.NewTileGeometry(r.Active, r.Context, frame)
+	idx := len(l.recs)
+	l.recs = append(l.recs, r)
+	l.geoms = append(l.geoms, tg)
+	l.byKey[mapKey] = idx
+	for _, v := range tg.Variants() {
+		l.bySim[v.ActiveHash] = append(l.bySim[v.ActiveHash], simRef{rec: idx, orient: v.Orient})
+	}
+	l.sigs[tg.Sig()] = true
+	return true
+}
+
+// Len returns the number of indexed records.
+func (l *Library) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.recs)
+}
+
+// ReadOnly reports whether appends are disabled (by configuration, by
+// version skew, or by losing the cross-process lock).
+func (l *Library) ReadOnly() bool {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.readOnly
+}
+
+// Fingerprint returns the flow fingerprint the library is bound to
+// ("" while empty and unclaimed).
+func (l *Library) Fingerprint() string {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.fp
+}
+
+// appender is the single writer: it drains the append channel onto the
+// O_APPEND descriptor, writing the header first if the file is new.
+// Whole-line writes through one descriptor are what keep concurrent
+// jobs (and the torn-tail recovery story) simple.
+func (l *Library) appender() {
+	defer close(l.exited)
+	drain := func() {
+		for {
+			select {
+			case r := <-l.appendCh:
+				l.writeRecord(r)
+			default:
+				return
+			}
+		}
+	}
+	for {
+		select {
+		case r := <-l.appendCh:
+			l.writeRecord(r)
+		case ack := <-l.flushCh:
+			drain()
+			if l.wf != nil {
+				l.wf.Sync()
+			}
+			close(ack)
+		case <-l.done:
+			drain()
+			if l.wf != nil {
+				l.wf.Sync()
+				l.wf.Close()
+			}
+			if l.unlock != nil {
+				l.unlock()
+			}
+			return
+		}
+	}
+}
+
+// writeRecord appends one record line (appender goroutine only).
+func (l *Library) writeRecord(r *Record) {
+	if l.wf == nil || l.werr != nil {
+		return
+	}
+	t0 := time.Now()
+	if !l.wroteHdr {
+		hdr, err := json.Marshal(header{Version: storeVersion, Fingerprint: l.Fingerprint()})
+		if err == nil {
+			_, err = l.wf.Write(append(hdr, '\n'))
+		}
+		if err != nil {
+			l.werr = err
+			return
+		}
+		l.wroteHdr = true
+	}
+	data, err := json.Marshal(r)
+	if err == nil {
+		_, err = l.wf.Write(append(data, '\n'))
+	}
+	if err != nil {
+		l.werr = err
+		return
+	}
+	mAppends.Inc()
+	hAppendSeconds.Observe(time.Since(t0).Seconds())
+}
+
+// Flush blocks until every record queued so far is on disk — test and
+// shutdown hygiene, not needed on the hot path.
+func (l *Library) Flush() {
+	if l.closed.Load() {
+		return
+	}
+	ack := make(chan struct{})
+	select {
+	case l.flushCh <- ack:
+		<-ack
+	case <-l.done:
+	}
+}
+
+// Close drains the append queue, syncs and releases the file, blocking
+// until everything queued is on disk. Sessions must not be used after
+// Close; lookups on a closed library miss.
+func (l *Library) Close() error {
+	if !l.closed.CompareAndSwap(false, true) {
+		<-l.exited
+		return nil
+	}
+	close(l.done)
+	<-l.exited
+	return nil
+}
+
+// Session binds one correction run to the library. The run's flow
+// fingerprint must match the library's: an empty library is claimed by
+// the first session's fingerprint, a mismatch yields a nil session
+// (nil-safe: every method on a nil session misses), which is the
+// degrade-to-solve path for incompatible optics/rules/flow settings.
+type Session struct {
+	lib *Library
+
+	// Per-run accounting, folded into core.TileStats at run end.
+	Exact       atomic.Int64
+	SimHits     atomic.Int64
+	HaloRejects atomic.Int64
+	Misses      atomic.Int64
+	Appends     atomic.Int64
+}
+
+// Session returns a run handle for the fingerprint, or nil when the
+// library is bound to a different one.
+func (l *Library) Session(fingerprint string) *Session {
+	if l == nil || fingerprint == "" || l.closed.Load() {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.fp == "" {
+		l.fp = fingerprint
+	}
+	if l.fp != fingerprint {
+		mIncompatible.Inc()
+		return nil
+	}
+	return &Session{lib: l}
+}
+
+// Lookup is the exact rung: the scheduler's canonical class-key hash,
+// scoped by level. A hit returns the stored frame-origin solution —
+// bit-identical reuse, the same contract as a checkpoint restore.
+func (s *Session) Lookup(level, key string) (polys []geom.Polygon, rms float64, iters int, ok bool) {
+	if s == nil || key == "" {
+		return nil, 0, 0, false
+	}
+	l := s.lib
+	l.mu.RLock()
+	idx, hit := l.byKey[level+"/"+key]
+	var r *Record
+	if hit {
+		r = l.recs[idx]
+	}
+	l.mu.RUnlock()
+	if !hit {
+		return nil, 0, 0, false
+	}
+	s.Exact.Add(1)
+	mExactHits.Inc()
+	return r.Polys, r.RMS, r.Iters, true
+}
+
+// SimResult is a similarity hit: the stored solution carried through
+// the matching orientation, plus its provenance for observability.
+type SimResult struct {
+	Polys  []geom.Polygon
+	RMS    float64
+	Iters  int
+	Orient geom.Orient
+}
+
+// Similar is the second rung, tried after an exact miss: match the
+// candidate tile (active + context in frame coordinates) against every
+// stored record under the eight frame-preserving orientations. The
+// active geometry must match exactly under the orientation (hash probe,
+// then full rect comparison so a 64-bit collision cannot fabricate a
+// hit), and then the halo-validity check requires the stored context
+// ring to match the candidate's the same way — a pattern solved against
+// different surroundings is a different correction problem (the DAMO
+// discipline), counted as a halo rejection and fallen through to a full
+// solve. A miss on both rungs counts once, here.
+func (s *Session) Similar(level string, tile geom.Coord, active, context []geom.Polygon) (SimResult, bool) {
+	if s == nil {
+		return SimResult{}, false
+	}
+	frame := geom.Rect{X0: 0, Y0: 0, X1: tile, Y1: tile}
+	cand := patmatch.NewTileGeometry(active, context, frame)
+	l := s.lib
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if !l.sigs[cand.Sig()] {
+		// Coarse prefilter: no stored record shares even the
+		// orientation-invariant signature.
+		s.Misses.Add(1)
+		mMisses.Inc()
+		return SimResult{}, false
+	}
+	rejected := false
+	for _, ref := range l.bySim[cand.ActiveHash()] {
+		r := l.recs[ref.rec]
+		if r.Level != level || r.Tile != tile {
+			continue
+		}
+		a, c := l.geoms[ref.rec].OrientRects(ref.orient)
+		if !patmatch.EqualRects(a, cand.Active) {
+			continue // hash collision, not a match
+		}
+		if !patmatch.EqualRects(c, cand.Context) {
+			// Halo-validity failure: same pattern, different
+			// surroundings. Keep scanning — another record (or another
+			// orientation) may satisfy both.
+			rejected = true
+			continue
+		}
+		s.SimHits.Add(1)
+		mSimilarHits.Inc()
+		return SimResult{
+			Polys:  patmatch.ApplyFrame(r.Polys, frame, ref.orient),
+			RMS:    r.RMS,
+			Iters:  r.Iters,
+			Orient: ref.orient,
+		}, true
+	}
+	if rejected {
+		s.HaloRejects.Add(1)
+		mHaloRejects.Inc()
+	}
+	s.Misses.Add(1)
+	mMisses.Inc()
+	return SimResult{}, false
+}
+
+// Append stores a freshly solved class: indexed immediately (the next
+// lookup in this or any concurrent job hits it) and queued to the
+// write-behind appender for persistence. Geometry must be in frame
+// coordinates. Duplicate keys and read-only libraries are no-ops.
+func (s *Session) Append(level, key string, tile geom.Coord, active, context, polys []geom.Polygon, rms float64, iters int) {
+	if s == nil || key == "" {
+		return
+	}
+	l := s.lib
+	if l.closed.Load() {
+		return
+	}
+	r := &Record{
+		Level: level, Key: key, Tile: tile,
+		Active: active, Context: context,
+		Polys: polys, RMS: rms, Iters: iters,
+	}
+	l.mu.Lock()
+	if l.readOnly {
+		l.mu.Unlock()
+		return
+	}
+	inserted := l.insert(r)
+	n := len(l.recs)
+	l.mu.Unlock()
+	if !inserted {
+		return
+	}
+	s.Appends.Add(1)
+	gEntries.Set(float64(n))
+	select {
+	case l.appendCh <- r:
+	case <-l.done:
+	}
+}

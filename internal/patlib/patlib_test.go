@@ -1,0 +1,320 @@
+package patlib
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"goopc/internal/geom"
+	"goopc/internal/patmatch"
+)
+
+const testTile geom.Coord = 1000
+
+// testPattern builds an asymmetric tile-class problem in frame coords:
+// an L-shaped active polygon, a context stick in the halo ring, and a
+// fake "corrected" solution (the active with one edge biased).
+func testPattern() (active, context, polys []geom.Polygon) {
+	active = []geom.Polygon{{
+		{X: 100, Y: 100}, {X: 400, Y: 100}, {X: 400, Y: 200},
+		{X: 200, Y: 200}, {X: 200, Y: 500}, {X: 100, Y: 500},
+	}}
+	context = []geom.Polygon{geom.Rect{X0: -200, Y0: 100, X1: -50, Y1: 300}.Polygon()}
+	polys = []geom.Polygon{{
+		{X: 96, Y: 96}, {X: 404, Y: 96}, {X: 404, Y: 204},
+		{X: 204, Y: 204}, {X: 204, Y: 504}, {X: 96, Y: 504},
+	}}
+	return
+}
+
+func mustOpen(t *testing.T, path string, ro bool) *Library {
+	t.Helper()
+	l, err := Open(path, ro)
+	if err != nil {
+		t.Fatalf("open %s: %v", path, err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "lib.jsonl")
+	active, context, polys := testPattern()
+
+	l := mustOpen(t, path, false)
+	s := l.Session("fp-A")
+	if s == nil {
+		t.Fatal("empty library refused the first session")
+	}
+	s.Append("L3", "k1", testTile, active, context, polys, 1.25, 4)
+	// Immediately visible to this and any concurrent session.
+	got, rms, iters, ok := s.Lookup("L3", "k1")
+	if !ok || rms != 1.25 || iters != 4 || len(got) != 1 {
+		t.Fatalf("in-memory lookup: ok=%v rms=%v iters=%v", ok, rms, iters)
+	}
+	// Level-scoped: the same key at another level misses.
+	if _, _, _, ok := s.Lookup("L2", "k1"); ok {
+		t.Fatal("lookup crossed levels")
+	}
+	l.Flush()
+	l.Close()
+
+	// Reopen: the record survived the process.
+	l2 := mustOpen(t, path, true)
+	if l2.Len() != 1 {
+		t.Fatalf("reloaded %d records, want 1", l2.Len())
+	}
+	if l2.Fingerprint() != "fp-A" {
+		t.Fatalf("fingerprint %q, want fp-A", l2.Fingerprint())
+	}
+	s2 := l2.Session("fp-A")
+	got2, _, _, ok := s2.Lookup("L3", "k1")
+	if !ok {
+		t.Fatal("persisted record missed after reload")
+	}
+	for i := range got[0] {
+		if got[0][i] != got2[0][i] {
+			t.Fatalf("persisted polys differ at vertex %d", i)
+		}
+	}
+	if s2.Exact.Load() != 1 {
+		t.Fatalf("session exact counter %d, want 1", s2.Exact.Load())
+	}
+}
+
+func TestFingerprintMismatchDegrades(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "lib.jsonl")
+	active, context, polys := testPattern()
+	l := mustOpen(t, path, false)
+	l.Session("fp-A").Append("L3", "k1", testTile, active, context, polys, 1, 1)
+	l.Flush()
+	l.Close()
+
+	l2 := mustOpen(t, path, false)
+	if s := l2.Session("fp-B"); s != nil {
+		t.Fatal("session with mismatched fingerprint was not refused")
+	}
+	// Nil sessions are inert: every rung misses, appends drop.
+	var s *Session
+	if _, _, _, ok := s.Lookup("L3", "k1"); ok {
+		t.Fatal("nil session returned a hit")
+	}
+	if _, ok := s.Similar("L3", testTile, active, context); ok {
+		t.Fatal("nil session returned a similarity hit")
+	}
+	s.Append("L3", "k2", testTile, active, context, polys, 1, 1)
+	// The matching fingerprint still works on the same Library.
+	if l2.Session("fp-A") == nil {
+		t.Fatal("matching session refused")
+	}
+}
+
+func TestVersionSkewDegrades(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "lib.jsonl")
+	os.WriteFile(path, []byte(`{"version":99,"fingerprint":"fp-A"}`+"\n"+`{"level":"L3","key":"k"}`+"\n"), 0o644)
+	l := mustOpen(t, path, false)
+	if l.Len() != 0 {
+		t.Fatalf("version-skewed store indexed %d records, want 0", l.Len())
+	}
+	if !l.ReadOnly() {
+		t.Fatal("version-skewed store must not be appended to")
+	}
+	s := l.Session("fp-B")
+	if s == nil {
+		t.Fatal("skewed store should still serve (empty, all-miss) sessions")
+	}
+	if _, _, _, ok := s.Lookup("L3", "k"); ok {
+		t.Fatal("lookup hit in a version-skewed store")
+	}
+	// Appends are dropped, never written into the incompatible file.
+	active, context, polys := testPattern()
+	s.Append("L3", "k2", testTile, active, context, polys, 1, 1)
+	l.Flush()
+	data, _ := os.ReadFile(path)
+	if strings.Contains(string(data), "k2") {
+		t.Fatal("append leaked into a version-skewed store file")
+	}
+}
+
+func TestTruncatedStoreLoadsPrefix(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "lib.jsonl")
+	active, context, polys := testPattern()
+	l := mustOpen(t, path, false)
+	s := l.Session("fp-A")
+	s.Append("L3", "k1", testTile, active, context, polys, 1, 1)
+	s.Append("L3", "k2", testTile, active, nil, polys, 2, 2)
+	l.Flush()
+	l.Close()
+
+	// Tear the final line, as a crash mid-append would.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-25], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := mustOpen(t, path, true)
+	if l2.Len() != 1 {
+		t.Fatalf("torn store indexed %d records, want the intact prefix of 1", l2.Len())
+	}
+	s2 := l2.Session("fp-A")
+	if _, _, _, ok := s2.Lookup("L3", "k1"); !ok {
+		t.Fatal("intact record lost")
+	}
+	if _, _, _, ok := s2.Lookup("L3", "k2"); ok {
+		t.Fatal("torn record served")
+	}
+}
+
+func TestEmptyAndMissingLibrary(t *testing.T) {
+	dir := t.TempDir()
+	// Missing file, read-only: everything misses, nothing is created.
+	l := mustOpen(t, filepath.Join(dir, "missing.jsonl"), true)
+	s := l.Session("fp")
+	active, context, _ := testPattern()
+	if _, _, _, ok := s.Lookup("L3", "k"); ok {
+		t.Fatal("hit in a missing library")
+	}
+	if _, ok := s.Similar("L3", testTile, active, context); ok {
+		t.Fatal("similarity hit in a missing library")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "missing.jsonl")); err == nil {
+		t.Fatal("read-only open created the store file")
+	}
+	// Zero-byte file: same story.
+	empty := filepath.Join(dir, "empty.jsonl")
+	os.WriteFile(empty, nil, 0o644)
+	l2 := mustOpen(t, empty, false)
+	if s2 := l2.Session("fp"); s2 == nil {
+		t.Fatal("empty file refused a session")
+	}
+}
+
+func TestSimilarityOrientationAndHalo(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "lib.jsonl")
+	active, context, polys := testPattern()
+	frame := geom.Rect{X0: 0, Y0: 0, X1: testTile, Y1: testTile}
+
+	l := mustOpen(t, path, false)
+	s := l.Session("fp-A")
+	s.Append("L3", "k1", testTile, active, context, polys, 1.5, 3)
+
+	for o := geom.R90; o <= geom.MX270; o++ {
+		rotA := patmatch.ApplyFrame(active, frame, o)
+		rotC := patmatch.ApplyFrame(context, frame, o)
+		res, ok := s.Similar("L3", testTile, rotA, rotC)
+		if !ok {
+			t.Fatalf("%v: rotated candidate missed", o)
+		}
+		if res.RMS != 1.5 || res.Iters != 3 {
+			t.Fatalf("%v: wrong record surfaced", o)
+		}
+		// The returned solution is the stored one under the same
+		// orientation (as a region; polygon order is not contractual).
+		want := patmatch.ApplyFrame(polys, frame, o)
+		if !geom.RegionFromPolygons(res.Polys...).Xor(geom.RegionFromPolygons(want...)).Empty() {
+			t.Fatalf("%v: transformed solution differs", o)
+		}
+		// Level and tile scoping hold on the similarity rung too.
+		if _, ok := s.Similar("L2", testTile, rotA, rotC); ok {
+			t.Fatalf("%v: similarity crossed levels", o)
+		}
+		if _, ok := s.Similar("L3", testTile+8, rotA, rotC); ok {
+			t.Fatalf("%v: similarity crossed tile sizes", o)
+		}
+	}
+
+	// Halo-validity: same active geometry, different context ring.
+	rotA := patmatch.ApplyFrame(active, frame, geom.R90)
+	otherCtx := []geom.Polygon{geom.Rect{X0: -300, Y0: 600, X1: -80, Y1: 900}.Polygon()}
+	before := s.HaloRejects.Load()
+	if _, ok := s.Similar("L3", testTile, rotA, otherCtx); ok {
+		t.Fatal("similarity hit despite a mismatched context ring")
+	}
+	if s.HaloRejects.Load() != before+1 {
+		t.Fatalf("halo rejection not counted: %d -> %d", before, s.HaloRejects.Load())
+	}
+}
+
+// TestConcurrentAppend hammers one library from many goroutines under
+// the race detector: concurrent appends of distinct and duplicate keys,
+// interleaved with lookups. The single-writer appender must serialize
+// the file, and every record must survive a reload.
+func TestConcurrentAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "lib.jsonl")
+	l := mustOpen(t, path, false)
+	active, context, polys := testPattern()
+
+	const workers, perWorker = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := l.Session("fp-A")
+			for i := 0; i < perWorker; i++ {
+				key := fmt.Sprintf("k%d", i) // all workers collide on every key
+				s.Append("L3", key, testTile, active, context, polys, float64(i), i)
+				if _, _, _, ok := s.Lookup("L3", key); !ok {
+					t.Errorf("worker %d: appended key %s missed", w, key)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if l.Len() != perWorker {
+		t.Fatalf("indexed %d records, want %d (duplicates collapsed)", l.Len(), perWorker)
+	}
+	l.Flush()
+	l.Close()
+
+	l2 := mustOpen(t, path, true)
+	if l2.Len() != perWorker {
+		t.Fatalf("reloaded %d records, want %d", l2.Len(), perWorker)
+	}
+	// The file must be line-clean JSON throughout (no torn interleaving).
+	data, _ := os.ReadFile(path)
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) != perWorker+1 {
+		t.Fatalf("file has %d lines, want header + %d records", len(lines), perWorker)
+	}
+	for i, ln := range lines {
+		var v map[string]any
+		if err := json.Unmarshal([]byte(ln), &v); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v", i, err)
+		}
+	}
+}
+
+// TestCrossProcessLockDegradesToReadOnly simulates the second daemon on
+// one library file: the loser of the flock race serves lookups but
+// drops appends.
+func TestCrossProcessLockDegradesToReadOnly(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "lib.jsonl")
+	active, context, polys := testPattern()
+	l1 := mustOpen(t, path, false)
+	l1.Session("fp-A").Append("L3", "k1", testTile, active, context, polys, 1, 1)
+	l1.Flush()
+
+	l2 := mustOpen(t, path, false) // lock already held by l1
+	if !l2.ReadOnly() {
+		t.Skip("platform without flock support; cross-process guard not available")
+	}
+	s2 := l2.Session("fp-A")
+	if _, _, _, ok := s2.Lookup("L3", "k1"); !ok {
+		t.Fatal("read-only loser lost lookups too")
+	}
+	s2.Append("L3", "k2", testTile, active, context, polys, 1, 1)
+	l2.Flush()
+	data, _ := os.ReadFile(path)
+	if strings.Contains(string(data), "k2") {
+		t.Fatal("read-only loser wrote to the locked file")
+	}
+}

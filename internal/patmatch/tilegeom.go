@@ -1,0 +1,178 @@
+package patmatch
+
+import (
+	"hash/fnv"
+
+	"goopc/internal/geom"
+)
+
+// Tile-geometry signatures for the cross-run pattern library. A tile
+// class (active geometry + halo context, expressed in frame coordinates
+// with the tile core at the origin) is reduced to a canonical rectangle
+// decomposition, a coarse orientation-invariant signature for cheap
+// prefiltering, and eight orientation variants for similarity matching:
+// a candidate tile matches a stored one when some frame-preserving
+// orientation maps the stored geometry exactly onto the candidate's.
+//
+// The frame anchor is what makes a match sound: the transform maps the
+// tile core square onto itself, so a matched pair agrees on everything
+// the correction engine sees — active geometry, context ring, freeze
+// boundary and simulation window — not merely on the shapes in
+// isolation. Two tiles whose geometry coincides only after sliding it
+// relative to the core boundary are different correction problems and
+// never match.
+
+// TileGeometry is the canonical form of one tile class: the frame (the
+// tile core translated to the origin) plus the rectangle decompositions
+// of the active and context geometry in frame coordinates. Rectangle
+// decomposition makes the form insensitive to polygon order, vertex
+// order and winding — strictly coarser than the scheduler's exact
+// canonical byte key, which is what lets it catch reuse the exact layer
+// misses.
+type TileGeometry struct {
+	Frame   geom.Rect
+	Active  []geom.Rect
+	Context []geom.Rect
+}
+
+// NewTileGeometry canonicalizes a tile class. active and context are in
+// absolute coordinates; core is the tile core rectangle (the function
+// translates everything so the core lands at the origin). The core must
+// be square — the scheduler's tiles always are — so every orientation
+// maps the frame onto itself.
+func NewTileGeometry(active, context []geom.Polygon, core geom.Rect) TileGeometry {
+	off := geom.Pt(-core.X0, -core.Y0)
+	return TileGeometry{
+		Frame:   core.Translate(off),
+		Active:  canonical(geom.RegionFromPolygons(active...).Translate(off).Rects()),
+		Context: canonical(geom.RegionFromPolygons(context...).Translate(off).Rects()),
+	}
+}
+
+// ActiveHash and ContextHash are the identity-orientation hashes — what
+// a candidate tile offers to the similarity index.
+func (tg TileGeometry) ActiveHash() uint64  { return hashRects(tg.Active) }
+func (tg TileGeometry) ContextHash() uint64 { return hashRects(tg.Context) }
+
+// Sig is the coarse orientation-invariant signature used to prefilter
+// similarity candidates: the active rectangle count, area, and unordered
+// bounding-box dimensions are all preserved by the eight orientations,
+// so unequal signatures prove two actives cannot match under any of
+// them. Context deliberately stays out of the signature — halo validity
+// is checked (and counted) separately, after the active match.
+func (tg TileGeometry) Sig() uint64 {
+	var aArea int64
+	for _, r := range tg.Active {
+		aArea += int64(r.W()) * int64(r.H())
+	}
+	var w, h geom.Coord
+	if len(tg.Active) > 0 {
+		bb := tg.Active[0]
+		for _, r := range tg.Active[1:] {
+			bb = bb.Union(r)
+		}
+		w, h = bb.W(), bb.H()
+		if w > h {
+			w, h = h, w
+		}
+	}
+	hs := fnv.New64a()
+	var buf [8]byte
+	put := func(v int64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		hs.Write(buf[:])
+	}
+	put(int64(len(tg.Active)))
+	put(aArea)
+	put(int64(w))
+	put(int64(h))
+	put(int64(tg.Frame.W()))
+	return hs.Sum64()
+}
+
+// FrameXform returns the transform for orientation o that maps the
+// frame square onto itself: orient about the origin, then translate so
+// the transformed frame's min corner returns to the frame's min corner.
+// For the canonical frame (min corner at the origin) this is exactly
+// the D4 symmetry of the tile.
+func FrameXform(frame geom.Rect, o geom.Orient) geom.Xform {
+	x := geom.Xform{Orient: o, Mag: 1}
+	moved := x.ApplyRect(frame)
+	return geom.Xform{Orient: o, Mag: 1, Offset: geom.Pt(frame.X0-moved.X0, frame.Y0-moved.Y0)}
+}
+
+// TileVariant is one orientation image of a stored tile: the transform
+// that produced it and the hashes of the transformed active and context
+// rect sets. The similarity index stores every variant of every record;
+// a candidate's identity hash hitting a variant means the variant's
+// orientation maps the record onto the candidate.
+type TileVariant struct {
+	Orient      geom.Orient
+	ActiveHash  uint64
+	ContextHash uint64
+}
+
+// Variants returns the tile geometry's images under the eight
+// orientations, deduplicated by (active, context) hash pair — a
+// symmetric tile yields fewer than eight.
+func (tg TileGeometry) Variants() []TileVariant {
+	out := make([]TileVariant, 0, 8)
+	type pair struct{ a, c uint64 }
+	seen := map[pair]bool{}
+	for o := geom.R0; o <= geom.MX270; o++ {
+		a, c := tg.OrientRects(o)
+		v := TileVariant{Orient: o, ActiveHash: hashRects(a), ContextHash: hashRects(c)}
+		if seen[pair{v.ActiveHash, v.ContextHash}] {
+			continue
+		}
+		seen[pair{v.ActiveHash, v.ContextHash}] = true
+		out = append(out, v)
+	}
+	return out
+}
+
+// OrientRects returns the canonical active and context rect sets under
+// the frame-preserving transform for o. The transformed rects are
+// re-normalized through a Region pass: the sweep's slab decomposition
+// is not rotation-covariant, so transforming the rects one by one would
+// give a partition of the right area in the wrong pieces.
+func (tg TileGeometry) OrientRects(o geom.Orient) (active, context []geom.Rect) {
+	x := FrameXform(tg.Frame, o)
+	orient := func(rs []geom.Rect) []geom.Rect {
+		moved := make([]geom.Rect, len(rs))
+		for i, r := range rs {
+			moved[i] = x.ApplyRect(r)
+		}
+		return canonical(geom.RegionFromRects(moved...).Rects())
+	}
+	return orient(tg.Active), orient(tg.Context)
+}
+
+// EqualRects reports whether two canonical rect lists are identical —
+// the exact check behind every hash match, so a 64-bit collision can
+// never produce a wrong reuse.
+func EqualRects(a, b []geom.Rect) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ApplyFrame maps polygons through the frame-preserving transform for
+// o — how a stored corrected solution is carried onto a
+// similarity-matched candidate tile.
+func ApplyFrame(polys []geom.Polygon, frame geom.Rect, o geom.Orient) []geom.Polygon {
+	x := FrameXform(frame, o)
+	out := make([]geom.Polygon, len(polys))
+	for i, p := range polys {
+		out[i] = x.ApplyPolygon(p)
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+package patmatch
+
+import (
+	"testing"
+
+	"goopc/internal/geom"
+)
+
+// lShape is an asymmetric polygon: no two of its eight orientation
+// images coincide, so variant expansion must produce all eight.
+func lShape() geom.Polygon {
+	return geom.Polygon{
+		{X: 100, Y: 100}, {X: 400, Y: 100}, {X: 400, Y: 200},
+		{X: 200, Y: 200}, {X: 200, Y: 500}, {X: 100, Y: 500},
+	}
+}
+
+func TestTileGeometryCanonicalOrderInsensitive(t *testing.T) {
+	core := geom.Rect{X0: 1000, Y0: 2000, X1: 2000, Y1: 3000}
+	a := geom.TranslatePolygons([]geom.Polygon{lShape()}, geom.Pt(1000, 2000))
+	b := geom.Polygon{ // same region, different vertex start and order
+		{X: 200, Y: 200}, {X: 200, Y: 500}, {X: 100, Y: 500},
+		{X: 100, Y: 100}, {X: 400, Y: 100}, {X: 400, Y: 200},
+	}
+	bt := geom.TranslatePolygons([]geom.Polygon{b}, geom.Pt(1000, 2000))
+	ga := NewTileGeometry(a, nil, core)
+	gb := NewTileGeometry(bt, nil, core)
+	if !EqualRects(ga.Active, gb.Active) {
+		t.Fatalf("same region canonicalized differently:\n%v\n%v", ga.Active, gb.Active)
+	}
+	if ga.ActiveHash() != gb.ActiveHash() {
+		t.Fatalf("hashes differ for identical canonical forms")
+	}
+}
+
+func TestTileGeometryVariantsAsymmetric(t *testing.T) {
+	core := geom.Rect{X0: 0, Y0: 0, X1: 1000, Y1: 1000}
+	tg := NewTileGeometry([]geom.Polygon{lShape()}, nil, core)
+	vs := tg.Variants()
+	if len(vs) != 8 {
+		t.Fatalf("asymmetric tile expanded to %d variants, want 8", len(vs))
+	}
+	// Every variant's hash must be reproduced by transforming the tile.
+	for _, v := range vs {
+		a, c := tg.OrientRects(v.Orient)
+		if hashRects(a) != v.ActiveHash || hashRects(c) != v.ContextHash {
+			t.Fatalf("variant %v hash does not match OrientRects", v.Orient)
+		}
+	}
+}
+
+func TestTileGeometryVariantsSymmetric(t *testing.T) {
+	core := geom.Rect{X0: 0, Y0: 0, X1: 1000, Y1: 1000}
+	// A centered square is invariant under all eight orientations.
+	sq := geom.Rect{X0: 400, Y0: 400, X1: 600, Y1: 600}.Polygon()
+	tg := NewTileGeometry([]geom.Polygon{sq}, nil, core)
+	if vs := tg.Variants(); len(vs) != 1 {
+		t.Fatalf("fully symmetric tile expanded to %d variants, want 1", len(vs))
+	}
+}
+
+// TestFrameXformRoundTrip is the soundness property the pattern library
+// leans on: transforming a tile's geometry with FrameXform(o) and
+// hashing must land exactly on the variant the index stored for o, and
+// ApplyFrame must carry polygons to the same place as OrientRects
+// carries rects.
+func TestFrameXformRoundTrip(t *testing.T) {
+	core := geom.Rect{X0: 0, Y0: 0, X1: 1000, Y1: 1000}
+	poly := lShape()
+	tg := NewTileGeometry([]geom.Polygon{poly}, nil, core)
+	for o := geom.R0; o <= geom.MX270; o++ {
+		moved := ApplyFrame([]geom.Polygon{poly}, core, o)
+		// The transformed polygons stay inside the frame...
+		bb := moved[0].BBox()
+		if bb.X0 < 0 || bb.Y0 < 0 || bb.X1 > 1000 || bb.Y1 > 1000 {
+			t.Fatalf("%v: transformed geometry left the frame: %v", o, bb)
+		}
+		// ...and re-canonicalizing them reproduces OrientRects exactly.
+		want, _ := tg.OrientRects(o)
+		got := canonical(geom.RegionFromPolygons(moved...).Rects())
+		if !EqualRects(got, want) {
+			t.Fatalf("%v: ApplyFrame and OrientRects disagree:\n%v\n%v", o, got, want)
+		}
+	}
+}
+
+func TestTileGeometrySigOrientationInvariant(t *testing.T) {
+	core := geom.Rect{X0: 0, Y0: 0, X1: 1000, Y1: 1000}
+	ctxPoly := geom.Rect{X0: -200, Y0: 100, X1: -50, Y1: 300}.Polygon()
+	tg := NewTileGeometry([]geom.Polygon{lShape()}, []geom.Polygon{ctxPoly}, core)
+	sig := tg.Sig()
+	for o := geom.R90; o <= geom.MX270; o++ {
+		moved := NewTileGeometry(
+			ApplyFrame([]geom.Polygon{lShape()}, core, o),
+			ApplyFrame([]geom.Polygon{ctxPoly}, core, o), core)
+		if moved.Sig() != sig {
+			t.Fatalf("%v: signature changed under orientation", o)
+		}
+	}
+	// A genuinely different tile must (overwhelmingly) differ.
+	other := NewTileGeometry([]geom.Polygon{
+		geom.Rect{X0: 100, Y0: 100, X1: 300, Y1: 300}.Polygon()}, nil, core)
+	if other.Sig() == sig {
+		t.Fatalf("distinct tiles share a signature")
+	}
+}

@@ -70,6 +70,11 @@ type FlowSpec struct {
 	TileRetries int    `json:"tileRetries,omitempty"`
 	TileTimeout string `json:"tileTimeout,omitempty"`
 	Deadline    string `json:"deadline,omitempty"`
+	// PatternLib opts the job into the daemon's shared cross-run
+	// pattern library (requires opcd -patlib; ignored otherwise).
+	// Deliberately not part of the calibration key — the library is a
+	// scheduler-level cache, not a flow setting.
+	PatternLib bool `json:"patternLib,omitempty"`
 }
 
 // calibKey returns the cache key for the calibration this spec needs.
@@ -176,6 +181,16 @@ type RunStats struct {
 	Seconds        float64 `json:"seconds"`
 	WorstRMS       float64 `json:"worst_rms"`
 	Polygons       int     `json:"polygons"`
+	// Pattern-library accounting for jobs that opted in (zero
+	// otherwise): tiles served from the shared cross-run library by the
+	// exact and similarity rungs, similarity candidates rejected by the
+	// halo-validity check, probed classes that missed, and solved
+	// classes appended back.
+	LibExactTiles   int `json:"patlib_exact_tiles,omitempty"`
+	LibSimilarTiles int `json:"patlib_similarity_tiles,omitempty"`
+	LibHaloRejects  int `json:"patlib_halo_rejections,omitempty"`
+	LibMisses       int `json:"patlib_misses,omitempty"`
+	LibAppends      int `json:"patlib_appends,omitempty"`
 }
 
 // runStatsFrom folds core TileStats into the status shape. FailedTiles
@@ -197,6 +212,12 @@ func runStatsFrom(st core.TileStats) RunStats {
 		Seconds:        st.Seconds,
 		WorstRMS:       st.WorstRMS,
 		Polygons:       st.Corrected,
+
+		LibExactTiles:   st.LibExactTiles,
+		LibSimilarTiles: st.LibSimilarTiles,
+		LibHaloRejects:  st.LibHaloRejects,
+		LibMisses:       st.LibMisses,
+		LibAppends:      st.LibAppends,
 	}
 }
 

@@ -1,0 +1,153 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"testing"
+
+	"goopc/internal/geom"
+	"goopc/internal/patlib"
+)
+
+// TestServerPatlibConcurrentAppend runs two opted-in jobs concurrently
+// against one shared pattern library — race-detector coverage for the
+// single-writer append pipeline under real scheduler traffic (this file
+// rides the `make server-integration` race gate) — then proves the
+// cache pays: a third, warm job is served entirely from the library
+// with zero engine corrections and a bit-identical result artifact.
+func TestServerPatlibConcurrentAppend(t *testing.T) {
+	libPath := filepath.Join(t.TempDir(), "patterns.jsonl")
+	env := startTestServer(t, func(c *Config) {
+		c.Workers = 2
+		c.PatternLibPath = libPath
+	})
+	flow := testSpec()
+	flow.PatternLib = true
+	ctx := context.Background()
+
+	// Two uploads with disjoint geometry, so both jobs solve and append
+	// to the same library at the same time.
+	targetA := fourClusters()
+	targetB := []geom.Polygon{
+		geom.R(200, 200, 400, 1900).Polygon(),
+		geom.R(7700, 200, 7900, 1500).Polygon(),
+		geom.R(15200, 200, 15400, 1100).Polygon(),
+		geom.R(22700, 200, 22900, 800).Polygon(),
+	}
+	spec := JobSpec{Level: "L2", TileNM: 2500, Flow: flow}
+	jobA, err := env.c.SubmitGDS(ctx, spec, bytes.NewReader(gdsBytes(t, targetA)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobB, err := env.c.SubmitGDS(ctx, spec, bytes.NewReader(gdsBytes(t, targetB)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{jobA.ID, jobB.ID} {
+		st := waitState(t, env.c, id, func(js JobStatus) bool { return js.State.Terminal() }, "terminal state")
+		if st.State != StateDone {
+			t.Fatalf("job %s ended %s: %s", id, st.State, st.Error)
+		}
+		if st.Stats == nil || st.Stats.LibAppends == 0 {
+			t.Fatalf("job %s appended nothing to the shared library: %+v", id, st.Stats)
+		}
+	}
+
+	// Warm job: same geometry and flow as job A — every tile must come
+	// from the library's exact rung, and the job status must surface the
+	// hit counts (the opcctl status/fetch path reads these fields).
+	warm, err := env.c.SubmitGDS(ctx, spec, bytes.NewReader(gdsBytes(t, targetA)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitState(t, env.c, warm.ID, func(js JobStatus) bool { return js.State.Terminal() }, "terminal state")
+	if st.State != StateDone {
+		t.Fatalf("warm job ended %s: %s", st.State, st.Error)
+	}
+	if st.Stats == nil {
+		t.Fatal("warm job has no stats")
+	}
+	if st.Stats.LibExactTiles != st.Stats.Tiles {
+		t.Errorf("warm job exact-hit tiles = %d, want all %d", st.Stats.LibExactTiles, st.Stats.Tiles)
+	}
+	if st.Stats.CorrectedTiles != 0 || st.Stats.Iterations != 0 {
+		t.Errorf("warm job did engine work: corrected=%d iterations=%d",
+			st.Stats.CorrectedTiles, st.Stats.Iterations)
+	}
+
+	var coldGDS, warmGDS bytes.Buffer
+	if _, err := env.c.Fetch(ctx, jobA.ID, "result.gds", &coldGDS); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := env.c.Fetch(ctx, warm.ID, "result.gds", &warmGDS); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(coldGDS.Bytes(), warmGDS.Bytes()) {
+		t.Error("warm result.gds differs from cold — exact hits must be bit-identical")
+	}
+}
+
+// TestServerPatlibOptOut: without FlowSpec.PatternLib the daemon's
+// library is not consulted, and a daemon without -patlib accepts
+// opted-in jobs (they just solve).
+func TestServerPatlibOptOut(t *testing.T) {
+	libPath := filepath.Join(t.TempDir(), "patterns.jsonl")
+	env := startTestServer(t, func(c *Config) { c.PatternLibPath = libPath })
+	ctx := context.Background()
+
+	spec := JobSpec{Level: "L2", TileNM: 2500, Flow: testSpec()}
+	j, err := env.c.SubmitGDS(ctx, spec, bytes.NewReader(gdsBytes(t, fourClusters())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitState(t, env.c, j.ID, func(js JobStatus) bool { return js.State.Terminal() }, "terminal state")
+	if st.State != StateDone {
+		t.Fatalf("job ended %s: %s", st.State, st.Error)
+	}
+	if st.Stats.LibAppends != 0 || st.Stats.LibExactTiles != 0 || st.Stats.LibMisses != 0 {
+		t.Errorf("opted-out job touched the library: %+v", st.Stats)
+	}
+
+	// No daemon library at all: the opt-in flag is inert.
+	env2 := startTestServer(t, nil)
+	flow := testSpec()
+	flow.PatternLib = true
+	spec2 := JobSpec{Level: "L2", TileNM: 2500, Flow: flow}
+	j2, err := env2.c.SubmitGDS(ctx, spec2, bytes.NewReader(gdsBytes(t, fourClusters())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := waitState(t, env2.c, j2.ID, func(js JobStatus) bool { return js.State.Terminal() }, "terminal state")
+	if st2.State != StateDone {
+		t.Fatalf("job on library-less daemon ended %s: %s", st2.State, st2.Error)
+	}
+}
+
+// TestServerPatlibStopFlushes: Stop drains the append queue to disk, so
+// a daemon restart reopens a warm library.
+func TestServerPatlibStopFlushes(t *testing.T) {
+	libPath := filepath.Join(t.TempDir(), "patterns.jsonl")
+	env := startTestServer(t, func(c *Config) { c.PatternLibPath = libPath })
+	flow := testSpec()
+	flow.PatternLib = true
+	spec := JobSpec{Level: "L2", TileNM: 2500, Flow: flow}
+	ctx := context.Background()
+	j, err := env.c.SubmitGDS(ctx, spec, bytes.NewReader(gdsBytes(t, fourClusters())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, env.c, j.ID, func(js JobStatus) bool { return js.State == StateDone }, "done")
+	if err := env.srv.Stop(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	lib, err := patlib.Open(libPath, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lib.Close()
+	if lib.Len() == 0 {
+		t.Fatal("library empty after daemon stop — append queue was not flushed")
+	}
+}

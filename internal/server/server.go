@@ -20,6 +20,7 @@ import (
 	"goopc/internal/layout"
 	"goopc/internal/obs"
 	"goopc/internal/optics"
+	"goopc/internal/patlib"
 )
 
 // Config sizes and wires a Server.
@@ -50,6 +51,14 @@ type Config struct {
 	// every API request) — the per-job "tile"/"rules" sites come from
 	// each job's Inject spec instead.
 	FaultPlan *faults.Plan
+	// PatternLibPath, when set, opens one shared cross-run pattern
+	// library (internal/patlib) at Start and offers it to every job that
+	// opts in via FlowSpec.PatternLib — concurrent jobs look solutions
+	// up and append new ones through the same in-memory index and
+	// single-writer store. PatternLibReadOnly serves hits without
+	// persisting new solutions.
+	PatternLibPath     string
+	PatternLibReadOnly bool
 	// Log defaults to a quiet stderr logger; Registry to obs.Default().
 	Log      *obs.Logger
 	Registry *obs.Registry
@@ -64,6 +73,10 @@ type Server struct {
 	insp *obs.Inspector
 
 	flows flowCache
+
+	// patlib is the shared cross-run pattern library (nil when not
+	// configured or when opening it failed — jobs then just solve).
+	patlib *patlib.Library
 
 	// ctx cancels every running job when the server stops; workers and
 	// SSE streams watch it.
@@ -123,6 +136,18 @@ func (s *Server) Start() error {
 	if err := s.recover(); err != nil {
 		return err
 	}
+	if s.cfg.PatternLibPath != "" {
+		lib, err := patlib.Open(s.cfg.PatternLibPath, s.cfg.PatternLibReadOnly)
+		if err != nil {
+			// The library is a cache: a daemon that cannot open it keeps
+			// serving, every opted-in job just solves from scratch.
+			s.log.Errorf("pattern library %s unavailable: %v", s.cfg.PatternLibPath, err)
+		} else {
+			s.patlib = lib
+			s.log.Infof("pattern library %s: %d entries (readonly=%t)",
+				s.cfg.PatternLibPath, lib.Len(), lib.ReadOnly())
+		}
+	}
 	s.mu.Lock()
 	s.started = true
 	s.mu.Unlock()
@@ -150,6 +175,11 @@ func (s *Server) Stop(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		if s.patlib != nil {
+			// Workers have drained: flush the pattern library's append
+			// queue and release its lock.
+			s.patlib.Close()
+		}
 		return nil
 	case <-ctx.Done():
 		return fmt.Errorf("server: stop: %w", ctx.Err())

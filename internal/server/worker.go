@@ -152,6 +152,11 @@ func (s *Server) execute(ctx context.Context, j *Job) (*core.TileStats, error) {
 		// probe counters never leak across jobs.
 		f.FaultPlan, _ = faults.Parse(j.Spec.Inject)
 	}
+	if fs.PatternLib {
+		// Shared across all opted-in jobs; nil (library not configured
+		// or unavailable) simply leaves every rung missing.
+		f.PatLib = s.patlib
+	}
 
 	g := s.jobGaugesFor(j.ID)
 	f.Progress = func(ev core.ProgressEvent) {
