@@ -1,7 +1,7 @@
 # Developer / CI entry points. Everything is plain go tooling; the
 # targets just fix the flag sets so local runs and CI agree.
 
-.PHONY: build test verify server-integration patlib-bench-smoke fuzz-short bench
+.PHONY: build test test-purego verify server-integration patlib-bench-smoke fuzz-short bench bench-micro
 
 build:
 	go build ./...
@@ -10,6 +10,15 @@ build:
 test:
 	go test ./...
 
+# The no-assembly leg: compile the SIMD butterfly kernels out entirely
+# and prove the whole tree (and the kernel equivalence tests, now
+# reference-vs-reference) still passes on the pure-Go path every
+# non-amd64/arm64 port will take.
+test-purego:
+	go build -tags purego ./...
+	go vet -tags purego ./...
+	go test -tags purego -race ./internal/fft/ ./internal/optics/
+
 # The CI gate: static checks plus the whole tree under the race
 # detector (the lock-free obs registry, the parallel tile scheduler,
 # the checkpoint writer and the opcd job server all have concurrency
@@ -17,6 +26,7 @@ test:
 verify:
 	go vet ./...
 	go test -race ./...
+	$(MAKE) test-purego
 	$(MAKE) server-integration
 	$(MAKE) patlib-bench-smoke
 
@@ -40,7 +50,14 @@ patlib-bench-smoke:
 fuzz-short:
 	go test ./internal/gds/ -run '^$$' -fuzz 'FuzzReadGDS$$' -fuzztime 30s
 	go test ./internal/gds/ -run '^$$' -fuzz 'FuzzReadGDSLayout$$' -fuzztime 30s
+	go test ./internal/fft/ -run '^$$' -fuzz 'FuzzTransformEquivalence$$' -fuzztime 30s
 
 # Regenerate the recorded evaluation tables.
 bench:
 	go run ./cmd/benchtables
+
+# The aerial-image micro-benchmarks (FFT substrates plus the SOCS
+# serial/parallel/f32 and Abbe engines) in short form: the quick check
+# that a kernel or imaging change moved the needle the right way.
+bench-micro:
+	go test -run '^$$' -bench 'BenchmarkFFT2D|BenchmarkAerialImage' -benchtime 200ms .

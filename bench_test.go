@@ -127,13 +127,16 @@ func BenchmarkFFT2D256Planned(b *testing.B) {
 	}
 }
 
-func benchAerial(b *testing.B, engine optics.Engine, parallel bool) {
+func benchAerial(b *testing.B, engine optics.Engine, parallel bool, prec ...optics.Precision) {
 	b.Helper()
 	s := optics.Default()
 	s.SourceSteps = 5
 	s.GuardNM = 1200
 	s.Engine = engine
 	s.Parallel = parallel
+	if len(prec) > 0 {
+		s.Precision = prec[0]
+	}
 	sim, err := optics.New(s)
 	if err != nil {
 		b.Fatal(err)
@@ -161,6 +164,12 @@ func benchAerial(b *testing.B, engine optics.Engine, parallel bool) {
 // (SOCS, serial) at equal source sampling to the Abbe variants below.
 func BenchmarkAerialImage(b *testing.B)             { benchAerial(b, optics.EngineSOCS, false) }
 func BenchmarkAerialImageSOCSParallel(b *testing.B) { benchAerial(b, optics.EngineSOCS, true) }
+
+// BenchmarkAerialImageF32 is the SOCS serial benchmark with the
+// PrecisionF32 kernel path (complex64 coarse inverses).
+func BenchmarkAerialImageF32(b *testing.B) {
+	benchAerial(b, optics.EngineSOCS, false, optics.PrecisionF32)
+}
 func BenchmarkAerialImageAbbe(b *testing.B)         { benchAerial(b, optics.EngineAbbe, false) }
 func BenchmarkAerialImageAbbeParallel(b *testing.B) { benchAerial(b, optics.EngineAbbe, true) }
 

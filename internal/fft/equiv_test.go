@@ -1,6 +1,8 @@
 package fft
 
 import (
+	"encoding/binary"
+	"math"
 	"math/bits"
 	"math/rand"
 	"testing"
@@ -64,6 +66,141 @@ func TestTransformMatchesReferenceExactly(t *testing.T) {
 			}
 		}
 	}
+}
+
+func randVec(n int, rng *rand.Rand) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+// TestStageKernelsMatchGeneric cross-checks the dispatched complex128
+// stage kernels (AVX2 on amd64, NEON on arm64) against the pure-Go
+// reference with == across every stage size the transforms use. On a
+// purego build or under GOOPC_NOASM the dispatched vars ARE the
+// reference and the test is a tautology — the log line records which
+// case ran.
+func TestStageKernelsMatchGeneric(t *testing.T) {
+	t.Logf("active kernel: %s", KernelName())
+	rng := rand.New(rand.NewSource(13))
+	for _, n := range []int{8, 16, 32, 64, 256, 1024, 2048} {
+		for size := 8; size <= n; size <<= 1 {
+			var st []complex128
+			for i, v := range tablesFor(n, false).stages {
+				if 8<<i == size {
+					st = v
+				}
+			}
+			a := randVec(n, rng)
+			b := append([]complex128(nil), a...)
+			stage(a, size, st)
+			stageGeneric(b, size, st)
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("stage n=%d size=%d idx=%d: %v vs %v", n, size, i, a[i], b[i])
+				}
+			}
+			a = randVec(n, rng)
+			b = append([]complex128(nil), a...)
+			stageScale(a, size, st, 1/float64(n))
+			stageScaleGeneric(b, size, st, 1/float64(n))
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("stageScale n=%d size=%d idx=%d: %v vs %v", n, size, i, a[i], b[i])
+				}
+			}
+		}
+		w1 := tablesFor(n, true).w1
+		a := randVec(n, rng)
+		b := append([]complex128(nil), a...)
+		stage24(a, w1)
+		stage24Generic(b, w1)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("stage24 n=%d idx=%d: %v vs %v", n, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestInverseScaleFoldBitIdentical proves the folded 1/N of Inverse
+// against the two-pass formulation: run the reference inverse ladder,
+// scale in a separate sweep, and demand == on every bin. The fold
+// multiplies exactly the already-rounded butterfly outputs the sweep
+// would read, so any difference is a kernel bug, not rounding.
+func TestInverseScaleFoldBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for n := 2; n <= 2048; n <<= 1 {
+		x := randVec(n, rng)
+		ref := append([]complex128(nil), x...)
+		transformRef(ref, true, twiddles(n))
+		scale := 1 / float64(n)
+		for i := range ref {
+			ref[i] = complex(real(ref[i])*scale, imag(ref[i])*scale)
+		}
+		if err := Inverse(x); err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if x[i] != ref[i] {
+				t.Fatalf("n=%d bin %d: folded %v, scale-after %v", n, i, x[i], ref[i])
+			}
+		}
+	}
+}
+
+// FuzzTransformEquivalence feeds arbitrary bit patterns through the
+// full dispatched transform (bit-reversal, fused 2/4 stage, per-stage
+// kernels, folded scaling) and the verbatim reference ladder, requiring
+// value equality on every bin. Non-finite and astronomically large
+// inputs are clamped: Inf-Inf and NaN poison == on both sides equally,
+// which would mask, not find, kernel divergence.
+func FuzzTransformEquivalence(f *testing.F) {
+	seed := make([]byte, 16*16)
+	rng := rand.New(rand.NewSource(19))
+	for i := 0; i < len(seed); i += 8 {
+		binary.LittleEndian.PutUint64(seed[i:], math.Float64bits(rng.NormFloat64()))
+	}
+	f.Add(seed, false)
+	f.Add(seed[:64], true)
+	f.Fuzz(func(t *testing.T, data []byte, invert bool) {
+		vals := len(data) / 16
+		if vals < 2 {
+			t.Skip()
+		}
+		n := 1 << (bits.Len(uint(vals)) - 1) // largest power of two <= vals
+		if n > 4096 {
+			n = 4096
+		}
+		load := func(off int) float64 {
+			v := math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
+			if !(math.Abs(v) < 1e100) { // also catches NaN
+				return 1
+			}
+			return v
+		}
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(load(16*i), load(16*i+8))
+		}
+		ref := append([]complex128(nil), x...)
+		transformRef(ref, invert, twiddles(n))
+		scale := 1.0
+		if invert {
+			scale = 1 / float64(n)
+			for i := range ref {
+				ref[i] = complex(real(ref[i])*scale, imag(ref[i])*scale)
+			}
+		}
+		transformTs(x, tablesFor(n, invert), scale)
+		for i := range x {
+			if x[i] != ref[i] {
+				t.Fatalf("n=%d invert=%v bin %d: %v vs reference %v", n, invert, i, x[i], ref[i])
+			}
+		}
+	})
 }
 
 func TestPlanColumnBlockingMatchesSerialGrid(t *testing.T) {

@@ -25,15 +25,21 @@ func NextPow2(n int) int {
 // Forward computes the in-place DFT of x. len(x) must be a power of two.
 func Forward(x []complex128) error { return transform(x, false) }
 
-// Inverse computes the in-place inverse DFT of x, scaled by 1/N.
+// Inverse computes the in-place inverse DFT of x, scaled by 1/N. The
+// scaling is folded into the final butterfly stage (Plan2D folds it
+// into its column pass the same way), so no separate O(N) sweep runs;
+// 1/N is an exact power of two, making the fold bit-identical to
+// scaling afterwards.
 func Inverse(x []complex128) error {
-	if err := transform(x, true); err != nil {
-		return err
+	n := len(x)
+	if !IsPow2(n) {
+		return fmt.Errorf("fft: length %d is not a power of two", n)
 	}
-	inv := 1 / float64(len(x))
-	for i := range x {
-		x[i] = complex(real(x[i])*inv, imag(x[i])*inv)
+	if n == 1 {
+		return nil
 	}
+	mKernelDispatch.Inc()
+	transformTs(x, tablesFor(n, true), 1/float64(n))
 	return nil
 }
 
@@ -140,6 +146,7 @@ func transform(x []complex128, invert bool) error {
 	if n == 1 {
 		return nil
 	}
+	mKernelDispatch.Inc()
 	transformT(x, tablesFor(n, invert))
 	return nil
 }
@@ -148,69 +155,49 @@ func transform(x []complex128, invert bool) error {
 // slice using the precomputed schedule for len(x). Every twiddle is
 // read directly from a table rather than accumulated by repeated
 // multiplication, so rounding error stays at table precision regardless
-// of transform length. The first two stages are fused into one
-// register-resident pass: their only twiddles are exactly 1 and tw[n/4],
-// so the arithmetic (and every value where it matters — multiplying by
-// the table's exact 1 can only flip the sign of a zero component) is
-// that of the plain radix-2 ladder.
-func transformT(x []complex128, t *twTables) {
+// of transform length. The stage loops run through the dispatched
+// butterfly kernels (kernel.go): the fused size-2/4 pass, then one
+// sequential-twiddle kernel call per remaining stage.
+func transformT(x []complex128, t *twTables) { transformTs(x, t, 1) }
+
+// transformTs is transformT with a uniform output scaling folded into
+// the final butterfly stage (scale 1 disables it). Folding computes
+// exactly what a separate scaling sweep over the stored sums would, so
+// results are bit-identical to transform-then-scale while saving the
+// extra O(N) pass; inverse transforms pass their exact power-of-two
+// 1/N here. Transforms too short to reach a foldable stage (n < 8)
+// scale in a trailing loop instead.
+func transformTs(x []complex128, t *twTables, scale float64) {
 	n := len(x)
 	// Bit-reversal permutation via the precomputed swap list.
 	for _, p := range t.rev {
 		i, j := p[0], p[1]
 		x[i], x[j] = x[j], x[i]
 	}
-	if n < 4 {
-		if n == 2 {
+	if n < 8 {
+		if n >= 4 {
+			stage24(x, t.w1)
+		} else if n == 2 {
 			x[0], x[1] = x[0]+x[1], x[0]-x[1]
+		}
+		if scale != 1 {
+			for i := range x {
+				x[i] = complex(real(x[i])*scale, imag(x[i])*scale)
+			}
 		}
 		return
 	}
-	// Fused stages of size 2 and 4.
-	w1 := t.w1
-	for s := 0; s < n; s += 4 {
-		a0, a1, a2, a3 := x[s], x[s+1], x[s+2], x[s+3]
-		b0, b1 := a0+a1, a0-a1
-		b2, b3 := a2+a3, a2-a3
-		t3 := b3 * w1
-		x[s], x[s+2] = b0+b2, b0-b2
-		x[s+1], x[s+3] = b1+t3, b1-t3
-	}
-	// Remaining stages, twiddles read sequentially per stage. The halves
-	// are resliced to len(wt) so the compiler drops every bounds check,
-	// and the loop is unrolled 4-wide: butterflies are independent, so
-	// batching them changes nothing about each one's arithmetic. half is
-	// always a multiple of 4 here (the smallest stage is size 8), so the
-	// scalar tail only guards malformed tables.
+	// Fused stages of size 2 and 4, then the remaining stages with
+	// their per-stage twiddle vectors; the last stage absorbs the
+	// scaling when one was requested.
+	stage24(x, t.w1)
 	size := 8
-	for _, wt := range t.stages {
-		half := size >> 1
-		for start := 0; start < n; start += size {
-			lo := x[start : start+half : start+half][:len(wt)]
-			hi := x[start+half : start+size : start+size][:len(wt)]
-			k := 0
-			for ; k+3 < len(wt); k += 4 {
-				b0 := hi[k] * wt[k]
-				b1 := hi[k+1] * wt[k+1]
-				b2 := hi[k+2] * wt[k+2]
-				b3 := hi[k+3] * wt[k+3]
-				a0, a1, a2, a3 := lo[k], lo[k+1], lo[k+2], lo[k+3]
-				lo[k] = a0 + b0
-				hi[k] = a0 - b0
-				lo[k+1] = a1 + b1
-				hi[k+1] = a1 - b1
-				lo[k+2] = a2 + b2
-				hi[k+2] = a2 - b2
-				lo[k+3] = a3 + b3
-				hi[k+3] = a3 - b3
-			}
-			for ; k < len(wt); k++ {
-				w := wt[k]
-				b := hi[k] * w
-				a := lo[k]
-				lo[k] = a + b
-				hi[k] = a - b
-			}
+	last := len(t.stages) - 1
+	for i, wt := range t.stages {
+		if i == last && scale != 1 {
+			stageScale(x, size, wt, scale)
+		} else {
+			stage(x, size, wt)
 		}
 		size <<= 1
 	}

@@ -1,0 +1,303 @@
+package fft
+
+import (
+	"fmt"
+	"sync"
+)
+
+// complex64 transform path. Same radix-2 schedule and conventions as
+// the complex128 path — Forward (no scaling) / Inverse (1/N, folded
+// into the final butterfly stage) — but over single-precision data,
+// halving memory traffic and doubling SIMD lanes. Twiddles are rounded
+// once from the float64 tables, so every complex64 transform of a size
+// consumes identical twiddle values regardless of build or kernel.
+
+// Forward32 computes the in-place DFT of x. len(x) must be a power of
+// two.
+func Forward32(x []complex64) error { return transform32(x, false) }
+
+// Inverse32 computes the in-place inverse DFT of x, scaled by 1/N.
+// Like Inverse, the exact power-of-two scaling is folded into the final
+// butterfly stage.
+func Inverse32(x []complex64) error {
+	n := len(x)
+	if !IsPow2(n) {
+		return fmt.Errorf("fft: length %d is not a power of two", n)
+	}
+	if n == 1 {
+		return nil
+	}
+	mKernelDispatch.Inc()
+	transformTs32(x, tablesFor32(n, true), 1/float32(n))
+	return nil
+}
+
+func transform32(x []complex64, invert bool) error {
+	n := len(x)
+	if !IsPow2(n) {
+		return fmt.Errorf("fft: length %d is not a power of two", n)
+	}
+	if n == 1 {
+		return nil
+	}
+	mKernelDispatch.Inc()
+	transformTs32(x, tablesFor32(n, invert), 1)
+	return nil
+}
+
+// twTables32 is the complex64 butterfly schedule for one size and
+// direction, converted entry-for-entry from the float64 schedule; the
+// bit-reversal swap list is shared.
+type twTables32 struct {
+	w1     complex64
+	stages [][]complex64
+	rev    [][2]int32
+}
+
+var twTable32Cache sync.Map // [2]int -> *twTables32
+
+// tablesFor32 returns the complex64 schedule for size n, direction
+// invert, converting from the float64 schedule on first use.
+func tablesFor32(n int, invert bool) *twTables32 {
+	key := [2]int{n, 0}
+	if invert {
+		key[1] = 1
+	}
+	if v, ok := twTable32Cache.Load(key); ok {
+		return v.(*twTables32)
+	}
+	t64 := tablesFor(n, invert)
+	t := &twTables32{w1: complex64(t64.w1), rev: t64.rev}
+	for _, st := range t64.stages {
+		st32 := make([]complex64, len(st))
+		for i, w := range st {
+			st32[i] = complex64(w)
+		}
+		t.stages = append(t.stages, st32)
+	}
+	v, _ := twTable32Cache.LoadOrStore(key, t)
+	return v.(*twTables32)
+}
+
+// transformTs32 is the complex64 twin of transformTs: bit-reversal,
+// fused size-2/4 stage, then per-stage kernels, with a uniform output
+// scaling folded into the final stage (scale 1 disables it). Inverse
+// transforms pass 1/N, which is exact in float32 for every power-of-two
+// length that fits memory, so the fold is bit-identical to scaling
+// afterwards.
+func transformTs32(x []complex64, t *twTables32, scale float32) {
+	n := len(x)
+	for _, p := range t.rev {
+		i, j := p[0], p[1]
+		x[i], x[j] = x[j], x[i]
+	}
+	if n < 8 {
+		if n >= 4 {
+			stage2432(x, t.w1)
+		} else if n == 2 {
+			x[0], x[1] = x[0]+x[1], x[0]-x[1]
+		}
+		if scale != 1 {
+			for i := range x {
+				x[i] = complex(real(x[i])*scale, imag(x[i])*scale)
+			}
+		}
+		return
+	}
+	stage2432(x, t.w1)
+	size := 8
+	last := len(t.stages) - 1
+	for i, wt := range t.stages {
+		if i == last && scale != 1 {
+			stageScale32(x, size, wt, scale)
+		} else {
+			stage32(x, size, wt)
+		}
+		size <<= 1
+	}
+}
+
+// Grid32 is a 2-D complex64 field stored row-major, sized W x H (both
+// powers of two for transforms).
+type Grid32 struct {
+	W, H int
+	Data []complex64
+}
+
+// NewGrid32 allocates a zeroed W x H complex64 grid.
+func NewGrid32(w, h int) *Grid32 {
+	return &Grid32{W: w, H: h, Data: make([]complex64, w*h)}
+}
+
+// Plan2D32 is the complex64 twin of Plan2D: a reusable parallel 2-D
+// transform plan with the same 4-column blocked column pass and folded
+// inverse scaling. Safe for concurrent use.
+type Plan2D32 struct {
+	W, H       int
+	Workers    int
+	fwdW, fwdH *twTables32
+	invW, invH *twTables32
+}
+
+// NewPlan2D32 builds a complex64 plan for W x H grids. Workers defaults
+// to the float64 plan's policy (GOMAXPROCS); set it directly to bound
+// the fan-out.
+func NewPlan2D32(w, h int) (*Plan2D32, error) {
+	p64, err := NewPlan2D(w, h)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan2D32{
+		W: w, H: h,
+		Workers: p64.Workers,
+		fwdW:    tablesFor32(w, false),
+		fwdH:    tablesFor32(h, false),
+		invW:    tablesFor32(w, true),
+		invH:    tablesFor32(h, true),
+	}, nil
+}
+
+// Forward2DP computes the in-place 2-D DFT of g (rows then columns).
+func (p *Plan2D32) Forward2DP(g *Grid32) error { return p.apply(g, false, nil) }
+
+// Inverse2DP computes the in-place 2-D inverse DFT of g with 1/(W*H)
+// scaling.
+func (p *Plan2D32) Inverse2DP(g *Grid32) error { return p.apply(g, true, nil) }
+
+// Inverse2DPRows computes the inverse DFT of a grid whose input is
+// nonzero only on the listed rows, exactly like Plan2D.Inverse2DPRows.
+func (p *Plan2D32) Inverse2DPRows(g *Grid32, rows []int) error { return p.apply(g, true, rows) }
+
+func (p *Plan2D32) apply(g *Grid32, invert bool, rows []int) error {
+	if g.W != p.W || g.H != p.H {
+		return fmt.Errorf("fft: plan %dx%d applied to grid %dx%d", p.W, p.H, g.W, g.H)
+	}
+	mTransforms.Inc()
+	mKernelDispatch.Inc()
+	w, h := p.W, p.H
+	for _, y := range rows {
+		if y < 0 || y >= h {
+			return fmt.Errorf("fft: row %d outside plan height %d", y, h)
+		}
+	}
+	twW, twH := p.fwdW, p.fwdH
+	if invert {
+		twW, twH = p.invW, p.invH
+	}
+	if rows == nil {
+		parallelRange(h, p.Workers, func(y0, y1 int) {
+			for y := y0; y < y1; y++ {
+				transformTs32(g.Data[y*w:(y+1)*w], twW, 1)
+			}
+		})
+	} else {
+		parallelRange(len(rows), p.Workers, func(i0, i1 int) {
+			for i := i0; i < i1; i++ {
+				y := rows[i]
+				transformTs32(g.Data[y*w:(y+1)*w], twW, 1)
+			}
+		})
+	}
+	// Columns, blocked 4 wide like Plan2D; the inverse's 1/(W*H) is
+	// folded into each column transform's final stage. 1/(W*H) is an
+	// exact float32 power of two for any grid that fits memory.
+	cscale := float32(1)
+	if invert {
+		cscale = 1 / float32(w*h)
+	}
+	const colBlock = 4
+	parallelRange(w, p.Workers, func(x0, x1 int) {
+		buf := getScratch32(colBlock * h)
+		b0, b1 := buf[0*h:1*h], buf[1*h:2*h]
+		b2, b3 := buf[2*h:3*h], buf[3*h:4*h]
+		for i := x0; i < x1; i += colBlock {
+			nb := x1 - i
+			if nb > colBlock {
+				nb = colBlock
+			}
+			if nb == colBlock {
+				for y := 0; y < h; y++ {
+					r4 := g.Data[y*w+i : y*w+i+4 : y*w+i+4]
+					b0[y], b1[y], b2[y], b3[y] = r4[0], r4[1], r4[2], r4[3]
+				}
+				transformTs32(b0, twH, cscale)
+				transformTs32(b1, twH, cscale)
+				transformTs32(b2, twH, cscale)
+				transformTs32(b3, twH, cscale)
+				for y := 0; y < h; y++ {
+					r4 := g.Data[y*w+i : y*w+i+4 : y*w+i+4]
+					r4[0], r4[1], r4[2], r4[3] = b0[y], b1[y], b2[y], b3[y]
+				}
+				continue
+			}
+			for y := 0; y < h; y++ {
+				row := g.Data[y*w:]
+				for j := 0; j < nb; j++ {
+					buf[j*h+y] = row[i+j]
+				}
+			}
+			for j := 0; j < nb; j++ {
+				transformTs32(buf[j*h:(j+1)*h], twH, cscale)
+			}
+			for y := 0; y < h; y++ {
+				row := g.Data[y*w:]
+				for j := 0; j < nb; j++ {
+					row[i+j] = buf[j*h+y]
+				}
+			}
+		}
+		putScratch32(buf)
+	})
+	return nil
+}
+
+// scratchPools32 hands out per-length complex64 scratch vectors.
+var scratchPools32 sync.Map // int -> *sync.Pool
+
+func getScratch32(n int) []complex64 {
+	p, ok := scratchPools32.Load(n)
+	if !ok {
+		p, _ = scratchPools32.LoadOrStore(n, &sync.Pool{New: func() any {
+			return make([]complex64, n)
+		}})
+	}
+	return p.(*sync.Pool).Get().([]complex64)
+}
+
+func putScratch32(v []complex64) {
+	if p, ok := scratchPools32.Load(len(v)); ok {
+		p.(*sync.Pool).Put(v) //nolint:staticcheck // slice header boxing is fine here
+	}
+}
+
+// gridPools32 recycles Grid32 storage per geometry.
+var gridPools32 sync.Map // [2]int -> *sync.Pool
+
+// GetGrid32 returns a zeroed W x H complex64 grid from the pool.
+func GetGrid32(w, h int) *Grid32 {
+	key := [2]int{w, h}
+	mGridGets.Inc()
+	p, ok := gridPools32.Load(key)
+	if !ok {
+		p, _ = gridPools32.LoadOrStore(key, &sync.Pool{New: func() any {
+			mGridAllocs.Inc()
+			return NewGrid32(w, h)
+		}})
+	}
+	g := p.(*sync.Pool).Get().(*Grid32)
+	for i := range g.Data {
+		g.Data[i] = 0
+	}
+	return g
+}
+
+// PutGrid32 returns a grid obtained from GetGrid32 to its pool. The
+// caller must not retain g.Data afterwards.
+func PutGrid32(g *Grid32) {
+	if g == nil {
+		return
+	}
+	if p, ok := gridPools32.Load([2]int{g.W, g.H}); ok {
+		p.(*sync.Pool).Put(g)
+	}
+}

@@ -1,0 +1,194 @@
+package fft
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randVec32(n int, rng *rand.Rand) []complex64 {
+	x := make([]complex64, n)
+	for i := range x {
+		x[i] = complex(float32(rng.NormFloat64()), float32(rng.NormFloat64()))
+	}
+	return x
+}
+
+// TestForward32MatchesFloat64 pins the complex64 transform to the
+// float64 one: same input, results within single-precision error of
+// the double-precision spectrum.
+func TestForward32MatchesFloat64(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 2, 4, 8, 16, 64, 256, 1024} {
+		x32 := randVec32(n, rng)
+		x64 := make([]complex128, n)
+		for i, v := range x32 {
+			x64[i] = complex128(v)
+		}
+		if err := Forward32(x32); err != nil {
+			t.Fatal(err)
+		}
+		if err := Forward(x64); err != nil {
+			t.Fatal(err)
+		}
+		// Magnitudes grow like sqrt(n)*|x|; scale the tolerance with n.
+		tol := 1e-5 * math.Sqrt(float64(n)) * 4
+		for i := range x64 {
+			d := complex128(x32[i]) - x64[i]
+			if math.Abs(real(d)) > tol || math.Abs(imag(d)) > tol {
+				t.Fatalf("n=%d idx=%d: f32 %v vs f64 %v (tol %g)", n, i, x32[i], x64[i], tol)
+			}
+		}
+	}
+}
+
+// TestInverse32RoundTrip checks Inverse32(Forward32(x)) ~ x with the
+// folded 1/N scaling.
+func TestInverse32RoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, n := range []int{1, 2, 4, 8, 32, 128, 512} {
+		x := randVec32(n, rng)
+		orig := append([]complex64(nil), x...)
+		if err := Forward32(x); err != nil {
+			t.Fatal(err)
+		}
+		if err := Inverse32(x); err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			d := complex128(x[i]) - complex128(orig[i])
+			if math.Abs(real(d)) > 1e-4 || math.Abs(imag(d)) > 1e-4 {
+				t.Fatalf("n=%d idx=%d: round trip %v vs %v", n, i, x[i], orig[i])
+			}
+		}
+	}
+}
+
+// TestStage32KernelsMatchGeneric cross-checks the dispatched complex64
+// stage kernels (assembly on amd64/arm64) against the generic reference
+// with ==: outputs must be value-identical, zero signs aside (which ==
+// treats as equal).
+func TestStage32KernelsMatchGeneric(t *testing.T) {
+	t.Logf("active kernel: %s", KernelName())
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range []int{8, 16, 32, 64, 256, 1024} {
+		for size := 8; size <= n; size <<= 1 {
+			wt := tablesFor32(n, false).stages[0:]
+			// Pick the twiddle vector matching this stage size.
+			var st []complex64
+			for i, v := range wt {
+				if 8<<i == size {
+					st = v
+				}
+			}
+			a := randVec32(n, rng)
+			b := append([]complex64(nil), a...)
+			stage32(a, size, st)
+			stage32Generic(b, size, st)
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("stage32 n=%d size=%d idx=%d: %v vs %v", n, size, i, a[i], b[i])
+				}
+			}
+			a = randVec32(n, rng)
+			b = append([]complex64(nil), a...)
+			stageScale32(a, size, st, 0.25)
+			stageScale32Generic(b, size, st, 0.25)
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("stageScale32 n=%d size=%d idx=%d: %v vs %v", n, size, i, a[i], b[i])
+				}
+			}
+		}
+		w1 := tablesFor32(n, true).w1
+		a := randVec32(n, rng)
+		b := append([]complex64(nil), a...)
+		stage2432(a, w1)
+		stage2432Generic(b, w1)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("stage2432 n=%d idx=%d: %v vs %v", n, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestPlan2D32MatchesFloat64Plan compares the complex64 2-D plan
+// against the float64 plan on the same field, forward and inverse.
+func TestPlan2D32MatchesFloat64Plan(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for _, dim := range [][2]int{{8, 8}, {32, 16}, {64, 64}} {
+		w, h := dim[0], dim[1]
+		g32 := NewGrid32(w, h)
+		g64 := NewGrid(w, h)
+		for i := range g32.Data {
+			v := complex(float32(rng.NormFloat64()), float32(rng.NormFloat64()))
+			g32.Data[i] = v
+			g64.Data[i] = complex128(v)
+		}
+		p32, err := NewPlan2D32(w, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p64, err := NewPlan2D(w, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p32.Forward2DP(g32); err != nil {
+			t.Fatal(err)
+		}
+		if err := p64.Forward2DP(g64); err != nil {
+			t.Fatal(err)
+		}
+		tol := 1e-5 * math.Sqrt(float64(w*h)) * 4
+		for i := range g64.Data {
+			d := complex128(g32.Data[i]) - g64.Data[i]
+			if math.Abs(real(d)) > tol || math.Abs(imag(d)) > tol {
+				t.Fatalf("%dx%d fwd idx=%d: %v vs %v", w, h, i, g32.Data[i], g64.Data[i])
+			}
+		}
+		if err := p32.Inverse2DP(g32); err != nil {
+			t.Fatal(err)
+		}
+		if err := p64.Inverse2DP(g64); err != nil {
+			t.Fatal(err)
+		}
+		for i := range g64.Data {
+			d := complex128(g32.Data[i]) - g64.Data[i]
+			if math.Abs(real(d)) > 1e-4 || math.Abs(imag(d)) > 1e-4 {
+				t.Fatalf("%dx%d inv idx=%d: %v vs %v", w, h, i, g32.Data[i], g64.Data[i])
+			}
+		}
+	}
+}
+
+// TestInverse2DPRows32Pruning checks the pruned inverse matches the
+// full inverse bit-for-bit when the input is nonzero only on the listed
+// rows.
+func TestInverse2DPRows32Pruning(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	w, h := 32, 32
+	rows := []int{0, 1, 2, 29, 30, 31}
+	g := NewGrid32(w, h)
+	for _, y := range rows {
+		for x := 0; x < w; x++ {
+			g.Data[y*w+x] = complex(float32(rng.NormFloat64()), float32(rng.NormFloat64()))
+		}
+	}
+	full := &Grid32{W: w, H: h, Data: append([]complex64(nil), g.Data...)}
+	p, err := NewPlan2D32(w, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Inverse2DPRows(g, rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Inverse2DP(full); err != nil {
+		t.Fatal(err)
+	}
+	for i := range g.Data {
+		if g.Data[i] != full.Data[i] {
+			t.Fatalf("idx=%d: pruned %v vs full %v", i, g.Data[i], full.Data[i])
+		}
+	}
+}

@@ -1,0 +1,8 @@
+//go:build purego || (!amd64 && !arm64)
+
+package fft
+
+// installArchKernels is a no-op without architecture kernels: the
+// purego build tag, and any GOARCH without a SIMD implementation, keep
+// the pure-Go reference kernels installed.
+func installArchKernels() {}

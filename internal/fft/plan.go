@@ -67,6 +67,7 @@ func (p *Plan2D) apply(g *Grid, invert bool, rows, cols []int) error {
 		return fmt.Errorf("fft: plan %dx%d applied to grid %dx%d", p.W, p.H, g.W, g.H)
 	}
 	mTransforms.Inc()
+	mKernelDispatch.Inc()
 	w, h := p.W, p.H
 	for _, y := range rows {
 		if y < 0 || y >= h {
@@ -102,11 +103,16 @@ func (p *Plan2D) apply(g *Grid, invert bool, rows, cols []int) error {
 	// grid once per 4-column block instead of once per column cuts the
 	// strided gather/scatter traffic 4x. Each column is still an
 	// independent contiguous transform.
-	// The inverse's 1/N scaling is folded into the column scatter: every
-	// output cell passes through it exactly once (inverse passes always
-	// run the full column set), and scaling an element before the store
-	// computes the same expression as a separate pass would.
-	inv := 1 / float64(w*h)
+	// The inverse's 1/N scaling is folded into each column transform's
+	// final butterfly stage (transformTs): every output cell passes
+	// through it exactly once (inverse passes always run the full
+	// column set), and scaling inside the stage computes the same
+	// expression the old per-element scatter multiply did, so the
+	// scatter below is a plain store on both directions.
+	cscale := 1.0
+	if invert {
+		cscale = 1 / float64(w*h)
+	}
 	const colBlock = 4
 	colPass := func(x0, x1 int, pick []int) {
 		buf := getScratch(colBlock * h)
@@ -125,20 +131,13 @@ func (p *Plan2D) apply(g *Grid, invert bool, rows, cols []int) error {
 					r4 := g.Data[y*w+i : y*w+i+4 : y*w+i+4]
 					b0[y], b1[y], b2[y], b3[y] = r4[0], r4[1], r4[2], r4[3]
 				}
-				transformT(b0, twH)
-				transformT(b1, twH)
-				transformT(b2, twH)
-				transformT(b3, twH)
+				transformTs(b0, twH, cscale)
+				transformTs(b1, twH, cscale)
+				transformTs(b2, twH, cscale)
+				transformTs(b3, twH, cscale)
 				for y := 0; y < h; y++ {
 					r4 := g.Data[y*w+i : y*w+i+4 : y*w+i+4]
-					if invert {
-						r4[0] = complex(real(b0[y])*inv, imag(b0[y])*inv)
-						r4[1] = complex(real(b1[y])*inv, imag(b1[y])*inv)
-						r4[2] = complex(real(b2[y])*inv, imag(b2[y])*inv)
-						r4[3] = complex(real(b3[y])*inv, imag(b3[y])*inv)
-					} else {
-						r4[0], r4[1], r4[2], r4[3] = b0[y], b1[y], b2[y], b3[y]
-					}
+					r4[0], r4[1], r4[2], r4[3] = b0[y], b1[y], b2[y], b3[y]
 				}
 				continue
 			}
@@ -157,19 +156,12 @@ func (p *Plan2D) apply(g *Grid, invert bool, rows, cols []int) error {
 				}
 			}
 			for j := 0; j < nb; j++ {
-				transformT(buf[j*h:(j+1)*h], twH)
+				transformTs(buf[j*h:(j+1)*h], twH, cscale)
 			}
 			for y := 0; y < h; y++ {
 				row := g.Data[y*w:]
-				if invert {
-					for j := 0; j < nb; j++ {
-						v := buf[j*h+y]
-						row[xs[j]] = complex(real(v)*inv, imag(v)*inv)
-					}
-				} else {
-					for j := 0; j < nb; j++ {
-						row[xs[j]] = buf[j*h+y]
-					}
+				for j := 0; j < nb; j++ {
+					row[xs[j]] = buf[j*h+y]
 				}
 			}
 		}

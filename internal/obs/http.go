@@ -80,6 +80,9 @@ func (ins *Inspector) statusPayload() map[string]any {
 		"gauges":         snap.Gauges,
 		"counters":       snap.Counters,
 	}
+	if k := snap.Labels["fft_kernel"]; k != "" {
+		out["fft_kernel"] = k
+	}
 	rates := map[string]float64{}
 	for name, hits := range snap.Counters {
 		base, ok := strings.CutSuffix(name, "_hits_total")

@@ -20,6 +20,10 @@ type BuildInfo struct {
 	// "+dirty" for modified trees), or "devel" when the build carries no
 	// VCS stamp (go test, go run on a non-repo checkout).
 	Revision string `json:"revision,omitempty"`
+	// FFTKernel is the butterfly kernel the fft package dispatched at
+	// init (avx2, neon, or generic), read from the registry label the
+	// package publishes — obs cannot import fft directly.
+	FFTKernel string `json:"fft_kernel,omitempty"`
 }
 
 // CollectBuildInfo gathers the build fingerprint every RunReport embeds
@@ -32,6 +36,7 @@ func CollectBuildInfo() BuildInfo {
 		NumCPU:     runtime.NumCPU(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Revision:   "devel",
+		FFTKernel:  Default().Label("fft_kernel"),
 	}
 	if info, ok := debug.ReadBuildInfo(); ok {
 		rev, dirty := "", false
@@ -57,9 +62,13 @@ func CollectBuildInfo() BuildInfo {
 }
 
 // String renders the fingerprint as the one-line -version output, e.g.
-// "go1.24.0 linux/amd64 rev=devel cpus=8".
+// "go1.24.0 linux/amd64 rev=devel cpus=8 fft=avx2".
 func (b BuildInfo) String() string {
-	return fmt.Sprintf("%s %s/%s rev=%s cpus=%d", b.GoVersion, b.GOOS, b.GOARCH, b.Revision, b.NumCPU)
+	s := fmt.Sprintf("%s %s/%s rev=%s cpus=%d", b.GoVersion, b.GOOS, b.GOARCH, b.Revision, b.NumCPU)
+	if b.FFTKernel != "" {
+		s += " fft=" + b.FFTKernel
+	}
+	return s
 }
 
 // RunReport is the per-run observability artifact: what ran (tool,

@@ -19,8 +19,10 @@ type Simulator struct {
 	S   Settings
 	src []srcPoint
 
-	// plans caches FFT plans per frame geometry.
-	plans sync.Map // [2]int -> *fft.Plan2D
+	// plans caches FFT plans per frame geometry; plans32 their complex64
+	// twins for the PrecisionF32 kernel path.
+	plans   sync.Map // [2]int -> *fft.Plan2D
+	plans32 sync.Map // [2]int -> *fft.Plan2D32
 	// kcache caches SOCS kernel sets per (frame geometry, defocus) so
 	// OPC iteration loops and E-D process-window sweeps rebuild nothing.
 	kcache                   sync.Map // kernelKey -> *kernelEntry
@@ -117,7 +119,6 @@ func (sim *Simulator) AerialDefocusCtx(ctx context.Context, mask []geom.Polygon,
 			return nil, err
 		}
 	} else {
-		mImagesSOCS.Inc()
 		// Kernels first: the kernel set knows which spectrum columns are
 		// in-band, so the forward transform can skip the rest.
 		ks, err := sim.kernels(frame, defocusNM)
@@ -128,7 +129,13 @@ func (sim *Simulator) AerialDefocusCtx(ctx context.Context, mask []geom.Polygon,
 		if err != nil {
 			return nil, err
 		}
-		intensity, err = sim.socsIntensity(ctx, spectrum, frame, ks)
+		if sim.S.Precision == PrecisionF32 {
+			mImagesSOCS32.Inc()
+			intensity, err = sim.socsIntensity32(ctx, spectrum, frame, ks)
+		} else {
+			mImagesSOCS.Inc()
+			intensity, err = sim.socsIntensity(ctx, spectrum, frame, ks)
+		}
 		fft.PutGrid(spectrum)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,183 @@
+package optics
+
+import (
+	"math"
+	"testing"
+
+	"goopc/internal/geom"
+)
+
+// TestSOCSF32MatchesF64 pins the float32 SOCS path against the float64
+// one across tones and defocus. The measured gap on these cases is
+// below 2e-6 in clear-field units — the coarse kernel fields carry only
+// ~10 single-precision butterfly stages — so the 1e-5 assertion leaves
+// an order of magnitude of headroom while staying ~100x tighter than
+// the 1e-3 SOCS-vs-Abbe budget.
+func TestSOCSF32MatchesF64(t *testing.T) {
+	mask := parityMask()
+	window := geom.R(-700, -400, 700, 400)
+	for _, tone := range []Tone{BrightField, DarkField, AttPSMBrightField} {
+		for _, defocus := range []float64{0, 400} {
+			s := fastSettings()
+			s.MaskTone = tone
+			f64, err := New(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.Precision = PrecisionF32
+			f32, err := New(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			im64, err := f64.AerialDefocus(mask, window, defocus)
+			if err != nil {
+				t.Fatal(err)
+			}
+			im32, err := f32.AerialDefocus(mask, window, defocus)
+			if err != nil {
+				t.Fatal(err)
+			}
+			worst := 0.0
+			for i := range im64.I {
+				if d := math.Abs(im64.I[i] - im32.I[i]); d > worst {
+					worst = d
+				}
+			}
+			t.Logf("%s z=%.0f: max |dI(f32,f64)| = %.2e", tone, defocus, worst)
+			if worst >= 1e-5 {
+				t.Errorf("%s z=%.0f: max |dI| = %.2e, want < 1e-5", tone, defocus, worst)
+			}
+		}
+	}
+}
+
+// TestSOCSF32MatchesAbbe holds the float32 path to the same 1e-3 golden
+// budget as the float64 SOCS engine: single precision must not consume
+// the margin the decomposition leaves.
+func TestSOCSF32MatchesAbbe(t *testing.T) {
+	mask := parityMask()
+	window := geom.R(-700, -400, 700, 400)
+	for _, defocus := range []float64{0, 400} {
+		s := fastSettings()
+		s.Engine = EngineAbbe
+		abbe, err := New(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Engine = EngineSOCS
+		s.Precision = PrecisionF32
+		socs, err := New(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		imA, err := abbe.AerialDefocus(mask, window, defocus)
+		if err != nil {
+			t.Fatal(err)
+		}
+		imS, err := socs.AerialDefocus(mask, window, defocus)
+		if err != nil {
+			t.Fatal(err)
+		}
+		worst := 0.0
+		for i := range imA.I {
+			if d := math.Abs(imA.I[i] - imS.I[i]); d > worst {
+				worst = d
+			}
+		}
+		t.Logf("z=%.0f: max |dI(f32,abbe)| = %.2e", defocus, worst)
+		if worst >= 1e-3 {
+			t.Errorf("z=%.0f: max |dI| = %.2e, want < 1e-3", defocus, worst)
+		}
+	}
+}
+
+// TestSOCSF32ParallelMatchesSerial: like the float64 engine, the f32
+// kernel fan-out must be bit-identical to its serial loop (per-kernel
+// parts are merged in kernel order).
+func TestSOCSF32ParallelMatchesSerial(t *testing.T) {
+	mask := parityMask()
+	window := geom.R(-700, -400, 700, 400)
+	s := fastSettings()
+	s.Precision = PrecisionF32
+	s.Parallel = false
+	serial, err := New(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Parallel = true
+	par, err := New(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imS, err := serial.Aerial(mask, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imP, err := par.Aerial(mask, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range imS.I {
+		if imS.I[i] != imP.I[i] {
+			t.Fatalf("idx=%d: serial %v vs parallel %v", i, imS.I[i], imP.I[i])
+		}
+	}
+}
+
+// TestPrecisionSettings covers the knob itself: parsing, stringing,
+// validation, and that the Abbe engine ignores it.
+func TestPrecisionSettings(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want Precision
+		ok   bool
+	}{
+		{"", PrecisionF64, true},
+		{"f64", PrecisionF64, true},
+		{"double", PrecisionF64, true},
+		{"f32", PrecisionF32, true},
+		{"float32", PrecisionF32, true},
+		{"f16", PrecisionF64, false},
+	} {
+		got, err := ParsePrecision(c.in)
+		if c.ok != (err == nil) || got != c.want {
+			t.Errorf("ParsePrecision(%q) = %v, %v", c.in, got, err)
+		}
+	}
+	if PrecisionF32.String() != "f32" || PrecisionF64.String() != "f64" {
+		t.Errorf("Precision strings: %v %v", PrecisionF64, PrecisionF32)
+	}
+	s := fastSettings()
+	s.Precision = PrecisionF32 + 1
+	if err := s.Validate(); err == nil {
+		t.Error("invalid precision accepted")
+	}
+
+	// Abbe ignores the knob: identical images either way.
+	mask := parityMask()
+	window := geom.R(-400, -300, 400, 300)
+	s = fastSettings()
+	s.Engine = EngineAbbe
+	a, err := New(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Precision = PrecisionF32
+	b, err := New(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imA, err := a.Aerial(mask, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imB, err := b.Aerial(mask, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range imA.I {
+		if imA.I[i] != imB.I[i] {
+			t.Fatalf("abbe images differ at %d with Precision set", i)
+		}
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"goopc/internal/core"
 	"goopc/internal/faults"
 	"goopc/internal/geom"
+	"goopc/internal/optics"
 )
 
 // State is a job's lifecycle position.
@@ -56,6 +57,11 @@ type FlowSpec struct {
 	// -fast uses 5 / 1200).
 	SourceSteps int     `json:"sourceSteps,omitempty"`
 	GuardNM     float64 `json:"guardNM,omitempty"`
+	// Precision selects the SOCS imaging precision ("" or "f64" for
+	// float64, "f32" for the complex64 coarse kernel path). Part of the
+	// calibration key: the threshold and bias table must come from the
+	// same numeric path the job images with.
+	Precision string `json:"precision,omitempty"`
 	// BiasSpaces are the rule-table environment bins.
 	BiasSpaces []geom.Coord `json:"biasSpaces,omitempty"`
 	// AnchorCD / AnchorPitch override the dose-to-size anchor.
@@ -79,8 +85,8 @@ type FlowSpec struct {
 
 // calibKey returns the cache key for the calibration this spec needs.
 func (fs FlowSpec) calibKey() string {
-	return fmt.Sprintf("src=%d|guard=%g|bias=%v|anchor=%d/%d",
-		fs.SourceSteps, fs.GuardNM, fs.BiasSpaces, fs.AnchorCD, fs.AnchorPitch)
+	return fmt.Sprintf("src=%d|guard=%g|bias=%v|anchor=%d/%d|prec=%s",
+		fs.SourceSteps, fs.GuardNM, fs.BiasSpaces, fs.AnchorCD, fs.AnchorPitch, fs.Precision)
 }
 
 // JobSpec describes one correction job: what to correct (an uploaded
@@ -146,6 +152,9 @@ func (js *JobSpec) validate(hasUpload bool) error {
 		if _, err := faults.Parse(js.Inject); err != nil {
 			return err
 		}
+	}
+	if _, err := optics.ParsePrecision(js.Flow.Precision); err != nil {
+		return err
 	}
 	if _, err := parseDuration(js.Flow.TileTimeout); err != nil {
 		return fmt.Errorf("tileTimeout: %w", err)
