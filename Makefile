@@ -1,7 +1,7 @@
 # Developer / CI entry points. Everything is plain go tooling; the
 # targets just fix the flag sets so local runs and CI agree.
 
-.PHONY: build test test-purego verify server-integration patlib-bench-smoke fuzz-short bench bench-micro
+.PHONY: build test test-purego verify server-integration patlib-bench-smoke trace-smoke fuzz-short bench bench-micro bench-json
 
 build:
 	go build ./...
@@ -29,6 +29,7 @@ verify:
 	$(MAKE) test-purego
 	$(MAKE) server-integration
 	$(MAKE) patlib-bench-smoke
+	$(MAKE) trace-smoke
 
 # The opcd service gate on its own: the job-server integration suite
 # (concurrent submit parity, backpressure, chaos, restart recovery)
@@ -45,6 +46,13 @@ server-integration:
 patlib-bench-smoke:
 	go test -count=1 -run '^TestPatlibWarm|^TestPatlibFingerprint' ./internal/core/
 
+# Flight-recorder smoke (DESIGN.md 5h): a small seeded tiled run with
+# -trace must produce a loadable Chrome trace-event file whose event
+# counts reconcile exactly with the scheduler's TileStats. Never cached,
+# so the CLI path, the export and the reconciliation all actually run.
+trace-smoke:
+	go test -count=1 -run '^TestTraceSmoke$$' ./cmd/opcflow/
+
 # Short fuzz pass over the GDS ingest hardening (the seed corpora plus
 # 30s of mutation per target); CI runs this, longer runs are manual.
 fuzz-short:
@@ -55,6 +63,11 @@ fuzz-short:
 # Regenerate the recorded evaluation tables.
 bench:
 	go run ./cmd/benchtables
+
+# Regenerate the committed machine-readable bench artifacts (per-
+# experiment wall/CPU/alloc plus counter deltas and cache hit rates).
+bench-json:
+	go run ./cmd/benchtables -exp T2 -exp T3 -json 'BENCH_<exp>.json'
 
 # The aerial-image micro-benchmarks (FFT substrates plus the SOCS
 # serial/parallel/f32 and Abbe engines) in short form: the quick check

@@ -8,13 +8,22 @@
 //	benchtables -exp T2 -exp T3     # a subset (repeatable flag)
 //	benchtables -exp T2 -cpuprofile cpu.pprof -memprofile mem.pprof
 //	benchtables -exp T2 -report run.json   # metrics + trace artifact
+//	benchtables -exp T2 -exp T3 -json 'BENCH_<exp>.json'
 //
 // Progress ("[T2 completed in ...]") goes to stderr through the obs
 // logger (-v / -q adjust verbosity); the tables themselves stay on
 // stdout so redirecting stdout captures exactly the results.
+//
+// -json writes one machine-readable artifact per experiment — wall
+// time, phase breakdown from the span tree, the experiment's registry
+// counter deltas and derived cache hit rates — so CI and plotting
+// scripts diff benchmark runs without scraping the stdout tables. The
+// path is a template: the literal <exp> placeholder expands to the
+// experiment id, and is required when more than one experiment runs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -105,6 +114,108 @@ func knownExp(name string) bool {
 	return false
 }
 
+// benchArtifact is the machine-readable per-experiment record -json
+// writes: identity (experiment, build, start), cost (wall seconds plus
+// the span-tree phase breakdown), and behavior (registry counter
+// deltas over the experiment and the cache hit rates derived from
+// them). Artifacts from different runs diff cleanly: counters are
+// deltas, not lifetime totals.
+type benchArtifact struct {
+	Exp         string        `json:"exp"`
+	Build       obs.BuildInfo `json:"build"`
+	Start       time.Time     `json:"start"`
+	WallSeconds float64       `json:"wall_seconds"`
+	// CPUSeconds is process CPU (user+system) during the experiment;
+	// AllocBytes the heap bytes allocated. CPUSeconds/WallSeconds ≈
+	// effective parallelism.
+	CPUSeconds float64 `json:"cpu_seconds"`
+	AllocBytes uint64  `json:"alloc_bytes"`
+	Failed     bool    `json:"failed,omitempty"`
+	// PhaseSeconds maps slash-joined span paths under the experiment to
+	// wall seconds (the experiment's own phase tree, flattened).
+	PhaseSeconds map[string]float64 `json:"phase_seconds,omitempty"`
+	// Counters are the non-zero goopc_* counter deltas attributable to
+	// this experiment (after-snapshot minus before-snapshot).
+	Counters map[string]int64 `json:"counters,omitempty"`
+	// HitRates derive from paired <base>_hits_total / <base>_misses_total
+	// counter deltas, keyed by <base>, in [0,1].
+	HitRates map[string]float64 `json:"hit_rates,omitempty"`
+}
+
+// expandJSONPath substitutes the <exp> placeholder in the -json
+// template.
+func expandJSONPath(tmpl, exp string) string {
+	return strings.ReplaceAll(tmpl, "<exp>", exp)
+}
+
+// counterDeltas subtracts two registry snapshots, keeping counters that
+// moved during the experiment.
+func counterDeltas(before, after obs.Snapshot) map[string]int64 {
+	out := map[string]int64{}
+	for name, v := range after.Counters {
+		if d := v - before.Counters[name]; d != 0 {
+			out[name] = d
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// hitRates derives cache hit rates from the delta counters: every
+// <base>_hits_total with a sibling <base>_misses_total (either side may
+// be absent, meaning zero) yields <base> -> hits/(hits+misses).
+func hitRates(deltas map[string]int64) map[string]float64 {
+	out := map[string]float64{}
+	for name, hits := range deltas {
+		base, ok := strings.CutSuffix(name, "_hits_total")
+		if !ok {
+			continue
+		}
+		misses := deltas[base+"_misses_total"]
+		if hits+misses > 0 {
+			out[base] = float64(hits) / float64(hits+misses)
+		}
+	}
+	for name, misses := range deltas {
+		base, ok := strings.CutSuffix(name, "_misses_total")
+		if !ok {
+			continue
+		}
+		if _, seen := out[base]; !seen && misses > 0 {
+			out[base] = 0 // all misses, no hits counter moved
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// flattenPhases walks an experiment's span subtree into path -> wall
+// seconds entries ("" prefix keeps the experiment's own node out; its
+// wall time is already WallSeconds).
+func flattenPhases(n obs.SpanNode, prefix string, out map[string]float64) {
+	for _, c := range n.Children {
+		path := c.Name
+		if prefix != "" {
+			path = prefix + "/" + c.Name
+		}
+		out[path] = c.WallMS / 1e3
+		flattenPhases(c, path, out)
+	}
+}
+
+// writeBenchArtifact assembles and writes one experiment's artifact.
+func writeBenchArtifact(path string, art benchArtifact) error {
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
 // printPatlibSummary tabulates the run's goopc_patlib_* metrics so a
 // -patlib invocation ends with the hit-rate evidence next to the timing
 // tables (the cold/warm rows in bench_results.txt come from this).
@@ -146,6 +257,7 @@ func run() int {
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	reportPath := fs.String("report", "", "write an obs RunReport (JSON) to this file")
+	jsonTmpl := fs.String("json", "", "write a machine-readable artifact per experiment; '<exp>' in the path expands to the experiment id (e.g. 'BENCH_<exp>.json')")
 	patlibPath := fs.String("patlib", "", "persistent pattern library file for the tiled experiments (cold/warm protocol; see DESIGN.md 5f)")
 	verbose := fs.Bool("v", false, "verbose progress output")
 	quiet := fs.Bool("q", false, "suppress progress output (errors still print)")
@@ -161,6 +273,18 @@ func run() int {
 	for _, e := range exps {
 		if !knownExp(e) {
 			log.Errorf("unknown experiment %q (want T1..T4, F1..F6, E1..E4 or 'all')", e)
+			return 2
+		}
+	}
+	if *jsonTmpl != "" {
+		n := 0
+		for _, r := range all {
+			if selected(exps, r.name) {
+				n++
+			}
+		}
+		if n > 1 && !strings.Contains(*jsonTmpl, "<exp>") {
+			log.Errorf("-json %q would overwrite itself: %d experiments selected but the path has no <exp> placeholder", *jsonTmpl, n)
 			return 2
 		}
 	}
@@ -205,15 +329,48 @@ func run() int {
 		if !selected(exps, r.name) {
 			continue
 		}
+		var before obs.Snapshot
+		if *jsonTmpl != "" {
+			before = obs.Default().Snapshot()
+		}
 		sp := root.Start(r.name)
 		log.Verbosef("%s starting", r.name)
 		t0 := time.Now()
+		failed := false
 		if err := r.run(cfg, os.Stdout); err != nil {
 			log.Errorf("%s: %v", r.name, err)
 			exitCode = 1
+			failed = true
 		}
 		sp.End()
 		log.Infof("[%s completed in %.1fs]", r.name, time.Since(t0).Seconds())
+		if *jsonTmpl != "" {
+			deltas := counterDeltas(before, obs.Default().Snapshot())
+			art := benchArtifact{
+				Exp:         r.name,
+				Build:       obs.CollectBuildInfo(),
+				Start:       t0,
+				WallSeconds: time.Since(t0).Seconds(),
+				Failed:      failed,
+				Counters:    deltas,
+				HitRates:    hitRates(deltas),
+			}
+			node := sp.Tree()
+			art.CPUSeconds = node.CPUMS / 1e3
+			art.AllocBytes = node.AllocBytes
+			phases := map[string]float64{}
+			flattenPhases(node, "", phases)
+			if len(phases) > 0 {
+				art.PhaseSeconds = phases
+			}
+			path := expandJSONPath(*jsonTmpl, r.name)
+			if err := writeBenchArtifact(path, art); err != nil {
+				log.Errorf("%s: json artifact: %v", r.name, err)
+				exitCode = 1
+			} else {
+				log.Infof("wrote %s", path)
+			}
+		}
 	}
 	root.End()
 	if *patlibPath != "" {

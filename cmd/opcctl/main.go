@@ -9,11 +9,16 @@
 //	opcctl [-server URL] status <job-id>
 //	opcctl [-server URL] watch <job-id>
 //	opcctl [-server URL] fetch <job-id> result.gds [-o corrected.gds]
+//	opcctl [-server URL] trace <job-id> [-o job.trace.json]
 //	opcctl [-server URL] cancel <job-id>
 //
 // submit prints the assigned job ID; -watch streams progress until the
 // job finishes and exits non-zero if it failed. fetch streams an
-// artifact (result.gds, report.json, orc.json) to -o or stdout.
+// artifact (result.gds, report.json, orc.json) to -o or stdout. trace
+// downloads the job's flight-recorder timeline as Chrome trace-event
+// JSON — load it in Perfetto or chrome://tracing; it works on live
+// jobs too (point-in-time snapshot). status includes the job's
+// queued→running→done latency breakdown.
 //
 // Exit codes: 0 success, 1 request/server failure (including a watched
 // job ending failed), 2 usage error, 3 server busy (429; the
@@ -55,7 +60,7 @@ func run(args []string) int {
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		fmt.Fprintln(os.Stderr, "opcctl: need a subcommand: submit | list | status | watch | fetch | cancel")
+		fmt.Fprintln(os.Stderr, "opcctl: need a subcommand: submit | list | status | watch | fetch | trace | cancel")
 		return 2
 	}
 
@@ -75,6 +80,8 @@ func run(args []string) int {
 		err = cmdWatch(ctx, c, rest[1:])
 	case "fetch":
 		err = cmdFetch(ctx, c, rest[1:])
+	case "trace":
+		err = cmdTrace(ctx, c, rest[1:])
 	case "cancel":
 		err = cmdCancel(ctx, c, rest[1:])
 	default:
@@ -251,6 +258,10 @@ func watchJob(ctx context.Context, c *server.Client, id string) error {
 	if err != nil {
 		return err
 	}
+	if l := final.Latency; l != nil {
+		fmt.Fprintf(os.Stderr, "%s latency: queued=%.2fs running=%.2fs total=%.2fs\n",
+			final.ID, l.QueueSeconds, l.RunSeconds, l.TotalSeconds)
+	}
 	switch final.State {
 	case server.StateDone:
 		if final.Stats != nil {
@@ -313,6 +324,45 @@ func cmdFetch(ctx context.Context, c *server.Client, args []string) error {
 	}
 	if *out != "" {
 		fmt.Fprintf(os.Stderr, "wrote %s (%d bytes)\n", *out, n)
+	}
+	return nil
+}
+
+// cmdTrace downloads the job's flight-recorder timeline as Chrome
+// trace-event JSON.
+func cmdTrace(ctx context.Context, c *server.Client, args []string) error {
+	fs := flag.NewFlagSet("opcctl trace", flag.ContinueOnError)
+	out := fs.String("o", "", "write the trace here (default stdout)")
+	var pos []string
+	for len(args) > 0 {
+		if strings.HasPrefix(args[0], "-") {
+			if err := fs.Parse(args); err != nil {
+				return usageErr{err}
+			}
+			args = fs.Args()
+			continue
+		}
+		pos = append(pos, args[0])
+		args = args[1:]
+	}
+	if len(pos) < 1 {
+		return usageErr{fmt.Errorf("trace needs a job ID")}
+	}
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	n, err := c.Trace(ctx, pos[0], w)
+	if err != nil {
+		return err
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "wrote %s (%d bytes); open it in Perfetto or chrome://tracing\n", *out, n)
 	}
 	return nil
 }

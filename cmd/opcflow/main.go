@@ -12,12 +12,18 @@
 // Observability:
 //
 //	opcflow -workload routed -level L3 -report run.json -obs-listen :9090
+//	opcflow -workload stdcell -level L3 -trace run.trace.json
 //
 // -report writes an obs.RunReport (metrics snapshot + phase trace tree
 // + build/settings fingerprint) after the run; -obs-listen serves the
 // live inspector (/metrics, /status, /debug/pprof) while it is in
-// flight. -v / -q raise / silence progress output (progress goes to
-// stderr; result tables stay on stdout).
+// flight. -trace attaches the tile-level flight recorder to the tiled
+// engine and writes the merged timeline as Chrome trace-event JSON
+// (load it in Perfetto or chrome://tracing); the event counts are
+// reconciled against the scheduler's TileStats before the file is
+// trusted, and a lossy or inconsistent timeline fails the run. -v / -q
+// raise / silence progress output (progress goes to stderr; result
+// tables stay on stdout).
 //
 // Fault tolerance (tiled runs; see DESIGN.md 5e):
 //
@@ -54,6 +60,7 @@ import (
 	"goopc/internal/layout"
 	"goopc/internal/layout/gen"
 	"goopc/internal/obs"
+	"goopc/internal/obs/trace"
 	"goopc/internal/optics"
 )
 
@@ -105,6 +112,11 @@ func exitCode(err error) int {
 type app struct {
 	log  *obs.Logger
 	root *obs.Span
+	// tracer is the -trace flight recorder (nil when tracing is off);
+	// traceWant accumulates the TileStats-derived expectation across the
+	// tiled runs that share it, for the post-run reconciliation.
+	tracer    *trace.Recorder
+	traceWant trace.TileCounts
 }
 
 // resilienceCfg groups the fault-tolerance flags applied to the tiled
@@ -168,6 +180,7 @@ func run(args []string) int {
 	fast := fs.Bool("fast", true, "reduced source sampling for speed")
 	precFlag := fs.String("precision", "f64", "SOCS imaging precision: f64 | f32 (complex64 coarse kernel fields)")
 	reportPath := fs.String("report", "", "write an obs RunReport (JSON) to this file")
+	tracePath := fs.String("trace", "", "write the tiled run's flight-recorder timeline as Chrome trace-event JSON to this file")
 	obsListen := fs.String("obs-listen", "", "serve the live inspector (/metrics, /status, /debug/pprof) on this address, e.g. :9090")
 	verbose := fs.Bool("v", false, "verbose progress output")
 	quiet := fs.Bool("q", false, "suppress progress output (errors still print)")
@@ -197,6 +210,9 @@ func run(args []string) int {
 	a := &app{
 		log:  obs.NewLogger(os.Stderr, obs.ParseLogLevel(*quiet, *verbose), "opcflow"),
 		root: obs.NewSpan("opcflow", obs.Default()),
+	}
+	if *tracePath != "" {
+		a.tracer = trace.New(0)
 	}
 
 	// SIGINT/SIGTERM cancel the run context: the tiled engine drains its
@@ -237,11 +253,29 @@ func run(args []string) int {
 	}
 
 	if *deckPath != "" {
+		if a.tracer != nil {
+			a.log.Errorf("-trace covers the level flow only; deck runs are not traced")
+		}
 		err = a.runDeck(*deckPath, *gdsPath, *outPath)
 	} else {
 		err = a.runLevels(ctx, *gdsPath, layout.Layer(*layerNum), *workload, *levelFlag, *outPath, *fast, prec, &rc)
 	}
 	a.root.End()
+	if a.tracer != nil {
+		sum := a.tracer.Summary()
+		if rep != nil {
+			rep.Flight = &sum
+		}
+		// Only a clean run can reconcile (a cancelled or failed one has
+		// legitimately missing outcomes); its timeline still gets written
+		// for post-mortem reading either way.
+		if terr := a.writeTraceFile(*tracePath, sum, err == nil); terr != nil {
+			a.log.Errorf("trace: %v", terr)
+			if err == nil {
+				err = terr
+			}
+		}
+	}
 	if rep != nil {
 		rep.Finish(obs.Default(), a.root)
 		if werr := rep.WriteFile(*reportPath); werr != nil {
@@ -258,6 +292,33 @@ func run(args []string) int {
 		return exitCode(err)
 	}
 	return exitOK
+}
+
+// writeTraceFile reconciles the recorded timeline against the
+// scheduler's accumulated TileStats expectation and writes it as Chrome
+// trace-event JSON. A trace that dropped events or disagrees with the
+// stats is an error: a timeline that cannot account for the run is
+// worse than none.
+func (a *app) writeTraceFile(path string, sum trace.Summary, reconcile bool) error {
+	if reconcile {
+		if err := core.ReconcileTrace(sum, a.traceWant); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := a.tracer.WriteChrome(f, trace.ChromeOptions{PID: 1, ProcessName: "opcflow"})
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return werr
+	}
+	a.log.Infof("wrote trace %s (%d events, %d workers, drops=%d); open it in Perfetto or chrome://tracing",
+		path, sum.Events, sum.Workers, sum.Drops)
+	return nil
 }
 
 // runDeck executes a JSON job deck against a GDSII layout and writes
@@ -356,8 +417,10 @@ func (a *app) runLevels(ctx context.Context, gdsPath string, l layout.Layer, wor
 			// Large targets go through the tiled engine; report data only.
 			a.log.Verbosef("%s: tiled correction, %d polygons", level, len(target))
 			flow.Span = sp
+			flow.Tracer = a.tracer
 			res, st, err := flow.CorrectWindowedCtx(ctx, target, level, 4*flow.Ambit, true)
 			flow.Span = nil
+			a.traceWant = a.traceWant.Add(st.ExpectedTraceCounts())
 			if err != nil {
 				sp.End()
 				if errors.Is(err, core.ErrCheckpointMismatch) {

@@ -1,12 +1,14 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"goopc/internal/core"
+	"goopc/internal/obs/trace"
 )
 
 func TestExitCodeClassification(t *testing.T) {
@@ -57,6 +59,58 @@ func TestResumeFingerprintMismatchExit(t *testing.T) {
 	code := run([]string{"-workload", "stdcell", "-level", "L2", "-resume", stale, "-q"})
 	if code != exitInput {
 		t.Errorf("stale -resume exited %d, want %d", code, exitInput)
+	}
+}
+
+// TestTraceSmoke is the end-to-end tracing smoke test behind
+// `make trace-smoke`: a small seeded tiled run with -trace must exit 0
+// (run() reconciles the timeline against TileStats before trusting
+// it), produce a loadable Chrome trace-event document, and the
+// document's own event stream must agree with its embedded summary.
+func TestTraceSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a tiled correction")
+	}
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "run.trace.json")
+	code := run([]string{"-workload", "stdcell", "-level", "L2", "-trace", tracePath, "-q"})
+	if code != exitOK {
+		t.Fatalf("opcflow -trace exited %d", code)
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		OtherData struct {
+			Tool    string        `json:"tool"`
+			Summary trace.Summary `json:"summary"`
+		} `json:"otherData"`
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace is not loadable JSON: %v", err)
+	}
+	sum := doc.OtherData.Summary
+	if doc.OtherData.Tool != "goopc" || sum.Drops != 0 || sum.Tiles.Scheduled == 0 {
+		t.Fatalf("trace doc: tool=%q summary=%+v", doc.OtherData.Tool, sum)
+	}
+	// The document must account for itself: instants named "scheduled"
+	// match the summary's scheduled count, solve slices its solved count.
+	counts := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "i" || ev.Ph == "X" {
+			counts[ev.Name]++
+		}
+	}
+	if counts["scheduled"] != sum.Tiles.Scheduled {
+		t.Errorf("%d scheduled events in the stream, summary says %d", counts["scheduled"], sum.Tiles.Scheduled)
+	}
+	if counts["solve"] != sum.Tiles.Solved {
+		t.Errorf("%d solve slices in the stream, summary says %d", counts["solve"], sum.Tiles.Solved)
 	}
 }
 

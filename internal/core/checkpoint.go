@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"goopc/internal/geom"
+	"goopc/internal/obs/trace"
 )
 
 // checkpointVersion guards the artifact format; a loader refuses other
@@ -189,13 +190,17 @@ type ckptWriter struct {
 	path  string
 	every time.Duration
 	last  time.Time
+	// tw records CheckpointWrite flight-recorder events (nil-safe;
+	// flushes happen on whichever worker triggered them, but attributing
+	// them to the coordinator ring keeps the timeline readable).
+	tw *trace.Worker
 }
 
-func newCkptWriter(ck *Checkpoint, path string, every time.Duration) *ckptWriter {
+func newCkptWriter(ck *Checkpoint, path string, every time.Duration, rec *trace.Recorder) *ckptWriter {
 	if every <= 0 {
 		every = 30 * time.Second
 	}
-	return &ckptWriter{ck: ck, path: path, every: every, last: time.Now()}
+	return &ckptWriter{ck: ck, path: path, every: every, last: time.Now(), tw: rec.Worker(0)}
 }
 
 // add records one completed class and flushes if the interval elapsed.
@@ -208,6 +213,7 @@ func (w *ckptWriter) add(pass int, key string, e CheckpointEntry) error {
 	}
 	w.last = time.Now()
 	mCheckpointWrites.Inc()
+	w.tw.Emit(trace.CheckpointWrite, pass, geom.Rect{}, w.ck.Entries(), 0, 0, w.path)
 	return w.ck.WriteFile(w.path)
 }
 
@@ -220,5 +226,6 @@ func (w *ckptWriter) flush() error {
 	}
 	w.last = time.Now()
 	mCheckpointWrites.Inc()
+	w.tw.Emit(trace.CheckpointWrite, 0, geom.Rect{}, w.ck.Entries(), 0, 0, w.path)
 	return w.ck.WriteFile(w.path)
 }

@@ -15,6 +15,7 @@ import (
 	"goopc/internal/geom"
 	"goopc/internal/mask"
 	"goopc/internal/obs"
+	"goopc/internal/obs/trace"
 	"goopc/internal/opc"
 	"goopc/internal/opc/model"
 	"goopc/internal/opc/rules"
@@ -114,6 +115,14 @@ type Flow struct {
 	// concurrency-safe and fast (the opcd job server feeds per-job
 	// gauges and SSE streams from it).
 	Progress func(ProgressEvent)
+	// Tracer, when non-nil, is the flight recorder every tiled run emits
+	// its tile-lifecycle events into (DESIGN.md 5h): scheduling, dedup
+	// and pattern-library hits, solve begin/end with iterations and RMS,
+	// retries, timeouts, degradations and checkpoint writes, per worker.
+	// Nil (the default) records nothing at no measurable cost. Safe for
+	// concurrent runs — emit is lock-free — though one recorder then
+	// interleaves both runs' timelines.
+	Tracer *trace.Recorder
 	// AnchorCD and AnchorPitch record the calibration anchor.
 	AnchorCD, AnchorPitch geom.Coord
 

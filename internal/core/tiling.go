@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"goopc/internal/geom"
+	"goopc/internal/obs/trace"
 	"goopc/internal/opc"
 	"goopc/internal/opc/model"
 	"goopc/internal/patlib"
@@ -235,7 +236,7 @@ func (f *Flow) CorrectWindowedCtx(ctx context.Context, target []geom.Polygon, le
 		if seed == nil {
 			seed = NewCheckpoint(fp, level.String(), tile)
 		}
-		ckpt = newCkptWriter(seed, f.CheckpointPath, f.CheckpointEvery)
+		ckpt = newCkptWriter(seed, f.CheckpointPath, f.CheckpointEvery, f.Tracer)
 		// Final flush on every exit path — success, failure, SIGINT —
 		// so completed work always survives the process.
 		defer func() {
@@ -283,6 +284,11 @@ func (f *Flow) CorrectWindowedCtx(ctx context.Context, target []geom.Polygon, le
 	mRuns.Inc()
 	mTilesScheduled.Add(int64(len(jobs)))
 	mTilesEmptyPruned.Add(int64(st.EmptyPruned))
+
+	// Flight recorder (DESIGN.md 5h). The scheduler's serial stages emit
+	// on worker 0; each pool goroutine emits on its own ring. A nil
+	// Flow.Tracer yields nil handles and every Emit below is a no-op.
+	sched := f.Tracer.Worker(0)
 
 	workers := 1
 	if parallel {
@@ -356,9 +362,11 @@ func (f *Flow) CorrectWindowedCtx(ctx context.Context, target []geom.Polygon, le
 		for i := range jobs {
 			core := jobs[i].core
 			window := core.Grow(halo)
+			sched.Emit(trace.TileScheduled, pass, core, 1, 0, 0, "")
 			if pass > 1 && !f.DisableDirtySkip && !ringDirty(movedIdx, window, core) {
 				// Context unchanged within the halo: the engine would
 				// reproduce the previous pass's result. Keep it.
+				sched.Emit(trace.TileCleanSkip, pass, core, 1, 0, 0, "")
 				st.CleanTiles++
 				mTilesClean.Inc()
 				mTilesDone.Add(1)
@@ -410,8 +418,11 @@ func (f *Flow) CorrectWindowedCtx(ctx context.Context, target []geom.Polygon, le
 		}
 		for w := 0; w < nw; w++ {
 			wg.Add(1)
-			go func() {
+			go func(wid int32) {
 				defer wg.Done()
+				// Worker 0 is the coordinator's ring; pool goroutines
+				// record on rings 1..nw.
+				tw := f.Tracer.Worker(wid + 1)
 				for ci := range classCh {
 					c := classes[ci]
 					if cerr := ctx.Err(); cerr != nil {
@@ -440,6 +451,7 @@ func (f *Flow) CorrectWindowedCtx(ctx context.Context, target []geom.Polygon, le
 						// Finished in a previous (checkpointed) run:
 						// restore instead of correcting. Entries are
 						// canonical; singletons translate back in place.
+						tw.Emit(trace.TileResumed, pass, j.core, len(c.members), ent.Iters, ent.RMS, "")
 						cr := classResult{rms: ent.RMS, iters: ent.Iters, resumed: true}
 						if canonical {
 							cr.polys = ent.Polys
@@ -455,6 +467,7 @@ func (f *Flow) CorrectWindowedCtx(ctx context.Context, target []geom.Polygon, le
 						// Cross-run exact hit: the library stores canonical
 						// (frame-origin) solutions under the same contract
 						// as a checkpoint entry, so reuse is bit-identical.
+						tw.Emit(trace.TileLibExact, pass, j.core, len(c.members), iters, rms, "")
 						cr := classResult{rms: rms, iters: iters, libExact: true}
 						if canonical {
 							cr.polys = polys
@@ -491,6 +504,7 @@ func (f *Flow) CorrectWindowedCtx(ctx context.Context, target []geom.Polygon, le
 						// engine-equivalent within ConvergeEps, not
 						// bit-identical — fragmentation is not orientation-
 						// covariant — so it is accounted separately.
+						tw.Emit(trace.TileLibSimilar, pass, j.core, len(c.members), sr.Iters, sr.RMS, "")
 						cr := classResult{rms: sr.RMS, iters: sr.Iters, libSimilar: true}
 						if canonical {
 							cr.polys = sr.Polys
@@ -516,9 +530,18 @@ func (f *Flow) CorrectWindowedCtx(ctx context.Context, target []geom.Polygon, le
 					// never exceeds tile + 2*halo regardless of how long
 					// the original wires are.
 					mWorkersBusy.Add(1)
+					tw.Emit(trace.SolveBegin, pass, j.core, len(c.members), 0, 0, "")
 					tc0 := time.Now()
-					cr := f.correctClass(ctx, level, active, haloPolys, core, window)
+					cr := f.correctClass(ctx, level, active, haloPolys, core, window, tw, pass, j.core)
 					mTileSeconds.Observe(time.Since(tc0).Seconds())
+					solveDetail := cr.degraded
+					if cr.err != nil {
+						solveDetail = "aborted: " + cr.err.Error()
+					}
+					tw.Emit(trace.SolveEnd, pass, j.core, len(c.members), cr.iters, cr.rms, solveDetail)
+					if cr.degraded != "" {
+						tw.Emit(trace.TileDegrade, pass, j.core, len(c.members), 0, 0, cr.degraded+": "+cr.degErr)
+					}
 					mWorkersBusy.Add(-1)
 					mTilesDone.Add(float64(len(c.members)))
 					progress(pass, len(c.members))
@@ -558,7 +581,7 @@ func (f *Flow) CorrectWindowedCtx(ctx context.Context, target []geom.Polygon, le
 						}
 					}
 				}
-			}()
+			}(int32(w))
 		}
 		for ci := range classes {
 			classCh <- ci
@@ -603,6 +626,7 @@ func (f *Flow) CorrectWindowedCtx(ctx context.Context, target []geom.Polygon, le
 				if len(c.members) > 1 {
 					st.ReusedTiles += len(c.members) - 1
 					mTilesReused.Add(int64(len(c.members) - 1))
+					sched.Emit(trace.TileDedup, pass, jobs[c.rep].core, len(c.members)-1, cr.iters, cr.rms, "")
 				}
 			}
 			switch cr.degraded {
@@ -721,7 +745,9 @@ type classResult struct {
 // 1+TileRetries panic-isolated, timeout-bounded model attempts with
 // doubling backoff, then rule-based fallback, then uncorrected
 // passthrough. Only run cancellation aborts; everything else degrades.
-func (f *Flow) correctClass(ctx context.Context, level Level, active, haloPolys []geom.Polygon, core, window geom.Rect) classResult {
+// tw is the worker's flight-recorder handle (nil-safe) and at the
+// class representative's actual core, for the retry/timeout events.
+func (f *Flow) correctClass(ctx context.Context, level Level, active, haloPolys []geom.Polygon, core, window geom.Rect, tw *trace.Worker, pass int, at geom.Rect) classResult {
 	var cr classResult
 	attempts := 1 + f.TileRetries
 	if attempts < 1 {
@@ -735,6 +761,11 @@ func (f *Flow) correctClass(ctx context.Context, level Level, active, haloPolys 
 		}
 		if a > 0 {
 			cr.retries++
+			detail := ""
+			if lastErr != nil {
+				detail = lastErr.Error()
+			}
+			tw.Emit(trace.TileRetry, pass, at, 1, 0, 0, detail)
 			if !sleepBackoff(ctx, f.RetryBackoff<<(a-1)) {
 				cr.err = ctx.Err()
 				return cr
@@ -758,6 +789,7 @@ func (f *Flow) correctClass(ctx context.Context, level Level, active, haloPolys 
 		}
 		if errors.Is(aerr, context.DeadlineExceeded) {
 			cr.timeouts++
+			tw.Emit(trace.TileTimeout, pass, at, 1, 0, 0, aerr.Error())
 		}
 		lastErr = aerr
 	}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"goopc/internal/geom"
+	"goopc/internal/layout"
+	"goopc/internal/layout/gen"
+	"goopc/internal/obs/trace"
+)
+
+// TestTraceReconcilesWithTileStats runs a parallel two-pass correction
+// with the flight recorder attached — exercising concurrent emit from
+// the worker fan-out under `make verify`'s -race — and checks the
+// recorded timeline accounts for exactly the outcomes TileStats
+// reports, including dedup, clean skips and checkpoint writes.
+func TestTraceReconcilesWithTileStats(t *testing.T) {
+	f := *testFlow(t)
+	rec := trace.New(0)
+	f.Tracer = rec
+	f.CheckpointPath = filepath.Join(t.TempDir(), "run.ckpt")
+
+	ly := layout.New("trace")
+	lib, err := gen.BuildCellLib(ly, gen.Tech180())
+	if err != nil {
+		t.Fatal(err)
+	}
+	block, err := gen.BuildBlock(ly, lib, "B", 1, 4, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := layout.Flatten(block, layout.Poly)
+
+	_, st, err := f.CorrectWindowed(target, L3, 4*f.Ambit, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := rec.Summary()
+	if sum.Drops != 0 {
+		t.Fatalf("trace dropped %d events on a small run", sum.Drops)
+	}
+	if err := ReconcileTrace(sum, st.ExpectedTraceCounts()); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Tiles.Scheduled != st.Tiles*st.Passes || st.Tiles == 0 {
+		t.Fatalf("scheduled events %d, stats %d tiles x %d passes", sum.Tiles.Scheduled, st.Tiles, st.Passes)
+	}
+	if sum.Tiles.Checkpoints == 0 {
+		t.Fatalf("no checkpoint events despite CheckpointPath (final flush must emit)")
+	}
+	// A mutilated expectation must be caught field-by-field.
+	want := st.ExpectedTraceCounts()
+	want.Solved++
+	if err := ReconcileTrace(sum, want); err == nil {
+		t.Fatal("reconcile accepted a wrong solved count")
+	}
+	// Drops poison reconciliation outright.
+	poisoned := sum
+	poisoned.Drops = 1
+	if err := ReconcileTrace(poisoned, st.ExpectedTraceCounts()); err == nil {
+		t.Fatal("reconcile accepted a lossy trace")
+	}
+}
+
+// TestTraceDisabledIsInert checks a nil Flow.Tracer changes nothing:
+// the run completes identically with no recorder allocated anywhere.
+func TestTraceDisabledIsInert(t *testing.T) {
+	f := *testFlow(t)
+	f.Tracer = nil
+	target, _ := twoIsolatedClusters()
+	_, st, err := f.CorrectWindowed(target, L2, 2500, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CorrectedTiles != 1 {
+		t.Fatalf("corrected tiles = %d", st.CorrectedTiles)
+	}
+}
+
+// TestTraceGoldenDeterministicExport replays a seeded single-worker run
+// with a deterministic clock and requires the Chrome trace-event export
+// to match the committed golden byte for byte: the merge order, the
+// event payloads (iterations, RMS) and the JSON encoding are all under
+// test. Regenerate with GOOPC_UPDATE_GOLDEN=1 after intentional schema
+// changes.
+func TestTraceGoldenDeterministicExport(t *testing.T) {
+	golden := filepath.Join("testdata", "trace_golden.json")
+	f := *testFlow(t)
+	rec := trace.New(1 << 10)
+	var tick time.Duration
+	rec.SetClock(func() time.Duration { tick += time.Microsecond; return tick })
+	f.Tracer = rec
+
+	target, _ := twoIsolatedClusters()
+	// Serial run: one coordinator ring, one worker ring, fully
+	// deterministic emit order.
+	_, st, err := f.CorrectWindowed(target, L3, 2500, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ReconcileTrace(rec.Summary(), st.ExpectedTraceCounts()); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := rec.WriteChrome(&buf, trace.ChromeOptions{PID: 1, ProcessName: "goopc-test"}); err != nil {
+		t.Fatal(err)
+	}
+	if os.Getenv("GOOPC_UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s (%d bytes)", golden, buf.Len())
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (run with GOOPC_UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("trace export differs from golden %s\n got: %s\nwant: %s", golden, buf.Bytes(), want)
+	}
+
+	// The export itself is pure: re-exporting the same recorder must be
+	// byte-identical.
+	var again bytes.Buffer
+	if err := rec.WriteChrome(&again, trace.ChromeOptions{PID: 1, ProcessName: "goopc-test"}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("re-export of an identical timeline differs")
+	}
+}
+
+// TestTraceRetryAndDegradeEvents arms fault injection so one tile
+// exhausts its retries and degrades, then checks the recorder saw the
+// retries and the degradation and still reconciles.
+func TestTraceRetryAndDegradeEvents(t *testing.T) {
+	f := *testFlow(t)
+	rec := trace.New(0)
+	f.Tracer = rec
+	f.TileRetries = 1
+	f.RetryBackoff = time.Millisecond
+	// Every model attempt faults; the ladder lands on the rules rung.
+	f.FaultPlan = mustPlan(t, "seed=1;tile:error:n=1000")
+	target := []geom.Polygon{geom.R(200, 200, 380, 1700).Polygon()}
+	_, st, err := f.CorrectWindowed(target, L2, 2500, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DegradedRules+st.DegradedUncorrected == 0 || st.Retries == 0 {
+		t.Fatalf("fault plan did not degrade: %+v", st)
+	}
+	sum := rec.Summary()
+	if err := ReconcileTrace(sum, st.ExpectedTraceCounts()); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Tiles.Retries != st.Retries || sum.Tiles.Degraded == 0 {
+		t.Fatalf("trace retries/degraded = %d/%d, stats %d/%d",
+			sum.Tiles.Retries, sum.Tiles.Degraded, st.Retries, st.DegradedRules+st.DegradedUncorrected)
+	}
+	for _, e := range rec.Events() {
+		if e.Kind == trace.TileDegrade && e.Detail == "" {
+			t.Fatal("degrade event lost its mode/error detail")
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"goopc/internal/obs/trace"
+)
+
+// ExpectedTraceCounts maps a tiled run's TileStats onto the
+// member-weighted flight-recorder tile counts the run must have
+// emitted. The mapping is the recorder's reconciliation contract
+// (DESIGN.md 5h):
+//
+//   - every (tile, pass) schedule entry emits one scheduled event, so
+//     Scheduled = Tiles × Passes (non-tiled levels have Passes 0);
+//   - every engine run emits one solve begin/end pair — degraded
+//     classes included, the engine attempted them — so Solved =
+//     CorrectedTiles;
+//   - reuse rungs are member-weighted: Dedup = ReusedTiles, LibExact /
+//     LibSimilar / Resumed = their TileStats counterparts;
+//   - Clean = CleanTiles, Degraded = DegradedRules +
+//     DegradedUncorrected, Retries and Timeouts 1:1.
+//
+// Checkpoints has no TileStats counterpart (flush cadence is
+// wall-clock-driven) and stays zero here; Reconcile ignores it.
+func (st TileStats) ExpectedTraceCounts() trace.TileCounts {
+	return trace.TileCounts{
+		Scheduled:  st.Tiles * st.Passes,
+		Solved:     st.CorrectedTiles,
+		Dedup:      st.ReusedTiles,
+		Clean:      st.CleanTiles,
+		LibExact:   st.LibExactTiles,
+		LibSimilar: st.LibSimilarTiles,
+		Resumed:    st.ResumedTiles,
+		Degraded:   st.DegradedRules + st.DegradedUncorrected,
+		Retries:    st.Retries,
+		Timeouts:   st.Timeouts,
+	}
+}
+
+// ReconcileTrace verifies that a flight-recorder summary accounts for
+// exactly the tile outcomes the scheduler reported (want — typically
+// TileStats.ExpectedTraceCounts, summed with TileCounts.Add across the
+// runs sharing the recorder). A trace with ring-overflow drops cannot
+// reconcile and is rejected outright; otherwise every count must match
+// exactly, and any discrepancy — an emit site missed, double-fired, or
+// events lost — is reported field by field.
+func ReconcileTrace(sum trace.Summary, want trace.TileCounts) error {
+	if sum.Drops > 0 {
+		return fmt.Errorf("core: trace dropped %d of %d events (ring overflow); counts not reconcilable — raise the ring capacity",
+			sum.Drops, sum.Emitted)
+	}
+	got := sum.Tiles
+	checks := []struct {
+		name      string
+		got, want int
+	}{
+		{"scheduled", got.Scheduled, want.Scheduled},
+		{"solved", got.Solved, want.Solved},
+		{"dedup", got.Dedup, want.Dedup},
+		{"clean", got.Clean, want.Clean},
+		{"patlib-exact", got.LibExact, want.LibExact},
+		{"patlib-similar", got.LibSimilar, want.LibSimilar},
+		{"resumed", got.Resumed, want.Resumed},
+		{"degraded", got.Degraded, want.Degraded},
+		{"retries", got.Retries, want.Retries},
+		{"timeouts", got.Timeouts, want.Timeouts},
+	}
+	var bad []string
+	for _, c := range checks {
+		if c.got != c.want {
+			bad = append(bad, fmt.Sprintf("%s: trace %d != stats %d", c.name, c.got, c.want))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("core: trace does not reconcile with TileStats: %s", strings.Join(bad, "; "))
+	}
+	return nil
+}

@@ -42,6 +42,7 @@ func (ins *Inspector) registry() *Registry {
 // host server (opcd) can serve /metrics, /status and /debug/pprof next
 // to its own API on one listener.
 func (ins *Inspector) Register(mux *http.ServeMux) {
+	RegisterRuntimeGauges(ins.registry())
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = ins.registry().WritePrometheus(w)

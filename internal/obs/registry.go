@@ -138,6 +138,15 @@ type Snapshot struct {
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
 }
 
+// gaugeFunc is a gauge whose value is computed by a callback at
+// snapshot/scrape time instead of being pushed — the natural shape for
+// runtime health numbers (goroutines, heap) that are only meaningful
+// when read.
+type gaugeFunc struct {
+	name, help string
+	fn         func() float64
+}
+
 // Registry holds named metrics. Metric creation takes a lock (done once
 // at package init); metric updates are lock-free. A Registry also
 // carries a small set of string labels (e.g. the current phase) for the
@@ -147,6 +156,7 @@ type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
+	gaugeFns map[string]*gaugeFunc
 	hists    map[string]*Histogram
 	labels   map[string]string
 }
@@ -157,6 +167,7 @@ func NewRegistry() *Registry {
 		start:    time.Now(),
 		counters: map[string]*Counter{},
 		gauges:   map[string]*Gauge{},
+		gaugeFns: map[string]*gaugeFunc{},
 		hists:    map[string]*Histogram{},
 		labels:   map[string]string{},
 	}
@@ -178,6 +189,9 @@ func (r *Registry) checkFree(name, kind string) {
 	}
 	if _, ok := r.gauges[name]; ok && kind != "gauge" {
 		panic(fmt.Sprintf("obs: metric %q already registered as gauge", name))
+	}
+	if _, ok := r.gaugeFns[name]; ok && kind != "gaugefunc" {
+		panic(fmt.Sprintf("obs: metric %q already registered as sampled gauge", name))
 	}
 	if _, ok := r.hists[name]; ok && kind != "histogram" {
 		panic(fmt.Sprintf("obs: metric %q already registered as histogram", name))
@@ -211,6 +225,21 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	g := &Gauge{name: name, help: help}
 	r.gauges[name] = g
 	return g
+}
+
+// GaugeFunc registers a gauge whose value is sampled by calling fn at
+// snapshot/scrape time (runtime health numbers: goroutines, heap). fn
+// must be fast, concurrency-safe, and must not touch the registry (it
+// runs under the registry lock). Registering an existing name keeps the
+// first callback; registering over a different metric kind panics.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.gaugeFns[name]; ok {
+		return
+	}
+	r.checkFree(name, "gaugefunc")
+	r.gaugeFns[name] = &gaugeFunc{name: name, help: help, fn: fn}
 }
 
 // Histogram returns the histogram registered under name, creating it
@@ -304,6 +333,7 @@ func (r *Registry) Remove(name string) {
 	r.mu.Lock()
 	delete(r.counters, name)
 	delete(r.gauges, name)
+	delete(r.gaugeFns, name)
 	delete(r.hists, name)
 	r.mu.Unlock()
 }
@@ -344,6 +374,9 @@ func (r *Registry) Snapshot() Snapshot {
 	for name, g := range r.gauges {
 		s.Gauges[name] = g.Value()
 	}
+	for name, g := range r.gaugeFns {
+		s.Gauges[name] = g.fn()
+	}
 	for name, h := range r.hists {
 		hs := HistogramSnapshot{
 			Bounds: append([]float64(nil), h.bounds...),
@@ -383,6 +416,9 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		helps[n] = c.help
 	}
 	for n, g := range r.gauges {
+		helps[n] = g.help
+	}
+	for n, g := range r.gaugeFns {
 		helps[n] = g.help
 	}
 	for n, h := range r.hists {

@@ -7,6 +7,8 @@ import (
 	"runtime"
 	"runtime/debug"
 	"time"
+
+	"goopc/internal/obs/trace"
 )
 
 // BuildInfo fingerprints the binary and host a run executed on.
@@ -90,6 +92,9 @@ type RunReport struct {
 	// Metrics is the registry snapshot at End; Trace the span tree.
 	Metrics Snapshot  `json:"metrics"`
 	Trace   *SpanNode `json:"trace,omitempty"`
+	// Flight is the flight-recorder digest (event/drop accounting and
+	// per-outcome tile counts) when the run was traced (DESIGN.md 5h).
+	Flight *trace.Summary `json:"flight,omitempty"`
 }
 
 // NewRunReport starts a report for the named tool. settings may be nil.

@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// memSampler caches one runtime.ReadMemStats per interval so that the
+// heap and GC gauges sharing it cost at most one (briefly
+// stop-the-world) stats read per scrape burst, however many series are
+// derived from it.
+type memSampler struct {
+	mu   sync.Mutex
+	last time.Time
+	ms   runtime.MemStats
+}
+
+const memSampleInterval = 500 * time.Millisecond
+
+func (s *memSampler) sample() (heapInuse, gcPauseTotal float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if time.Since(s.last) > memSampleInterval {
+		runtime.ReadMemStats(&s.ms)
+		s.last = time.Now()
+	}
+	return float64(s.ms.HeapInuse), float64(s.ms.PauseTotalNs) / 1e9
+}
+
+// RegisterRuntimeGauges installs the process-health gauges — live
+// goroutines, heap bytes in use, and cumulative GC pause seconds —
+// sampled at scrape time (GaugeFunc), on /metrics and /status of any
+// Inspector serving reg. Idempotent, so every Inspector can call it.
+func RegisterRuntimeGauges(reg *Registry) {
+	s := &memSampler{}
+	reg.GaugeFunc("goopc_runtime_goroutines",
+		"live goroutines, sampled at scrape time",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("goopc_runtime_heap_inuse_bytes",
+		"heap bytes in use (runtime.MemStats.HeapInuse), sampled at scrape time",
+		func() float64 { h, _ := s.sample(); return h })
+	reg.GaugeFunc("goopc_runtime_gc_pause_total_seconds",
+		"cumulative GC stop-the-world pause seconds since process start, sampled at scrape time",
+		func() float64 { _, p := s.sample(); return p })
+}

@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGaugeFuncSampledAtSnapshot(t *testing.T) {
+	r := NewRegistry()
+	v := 1.0
+	r.GaugeFunc("test_sampled", "help text", func() float64 { return v })
+	if got := r.Snapshot().Gauges["test_sampled"]; got != 1 {
+		t.Fatalf("sampled gauge = %v, want 1", got)
+	}
+	v = 42
+	if got := r.Snapshot().Gauges["test_sampled"]; got != 42 {
+		t.Fatalf("sampled gauge after change = %v, want 42", got)
+	}
+	// Idempotent: re-registering keeps the first callback.
+	r.GaugeFunc("test_sampled", "other", func() float64 { return -1 })
+	if got := r.Snapshot().Gauges["test_sampled"]; got != 42 {
+		t.Fatalf("re-registration replaced callback: %v", got)
+	}
+	// Kind collision panics like every other registry collision.
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("counter over sampled gauge did not panic")
+		}
+	}()
+	r.Counter("test_sampled", "")
+}
+
+func TestRuntimeGaugesOnPrometheusAndStatus(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntimeGauges(r)
+	RegisterRuntimeGauges(r) // second Inspector on the same registry
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		"# TYPE goopc_runtime_goroutines gauge",
+		"# TYPE goopc_runtime_heap_inuse_bytes gauge",
+		"# TYPE goopc_runtime_gc_pause_total_seconds gauge",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	snap := r.Snapshot()
+	if snap.Gauges["goopc_runtime_goroutines"] < 1 {
+		t.Fatalf("goroutines gauge = %v, want >= 1", snap.Gauges["goopc_runtime_goroutines"])
+	}
+	if snap.Gauges["goopc_runtime_heap_inuse_bytes"] <= 0 {
+		t.Fatalf("heap gauge = %v, want > 0", snap.Gauges["goopc_runtime_heap_inuse_bytes"])
+	}
+
+	ins := &Inspector{Registry: r}
+	payload := ins.statusPayload()
+	gauges, ok := payload["gauges"].(map[string]float64)
+	if !ok || gauges["goopc_runtime_goroutines"] < 1 {
+		t.Fatalf("/status gauges missing runtime health: %v", payload["gauges"])
+	}
+	if r.Snapshot().Gauges["goopc_runtime_gc_pause_total_seconds"] < 0 {
+		t.Fatalf("gc pause total negative")
+	}
+}

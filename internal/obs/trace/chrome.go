@@ -1,0 +1,219 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"goopc/internal/geom"
+)
+
+// ChromeOptions controls the Chrome trace-event export.
+type ChromeOptions struct {
+	// PID is the trace process id (opcd uses the job number so multiple
+	// job traces merge side by side); ProcessName labels it (defaults
+	// to "goopc"); Thread0Name labels worker 0 (defaults to
+	// "scheduler"; opcd job traces use "job").
+	PID         int
+	ProcessName string
+	Thread0Name string
+}
+
+// chromeEvent is one trace-event record. Field order is fixed by the
+// struct so the export is byte-deterministic for a deterministic
+// timeline; Args maps marshal with sorted keys.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Ph    string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   *float64       `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int32          `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeOther struct {
+	Tool    string  `json:"tool"`
+	Summary Summary `json:"summary"`
+}
+
+// chromeDoc is the JSON-object envelope form of the trace-event
+// format, which lets us carry the recorder summary (and its drop
+// accounting) in otherData.
+type chromeDoc struct {
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	OtherData       chromeOther   `json:"otherData"`
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+}
+
+// us converts an epoch-relative duration to trace-event microseconds.
+func us(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+
+func argsFor(e Event) map[string]any {
+	a := map[string]any{}
+	if e.Pass != 0 {
+		a["pass"] = e.Pass
+	}
+	if e.Tile != (geom.Rect{}) {
+		a["tile"] = fmt.Sprintf("(%d,%d)-(%d,%d)", e.Tile.X0, e.Tile.Y0, e.Tile.X1, e.Tile.Y1)
+	}
+	if e.Members != 0 {
+		a["members"] = e.Members
+	}
+	if e.Iters != 0 {
+		a["iters"] = e.Iters
+	}
+	if e.RMS != 0 {
+		a["rms"] = e.RMS
+	}
+	if e.Detail != "" {
+		a["detail"] = e.Detail
+	}
+	if len(a) == 0 {
+		return nil
+	}
+	return a
+}
+
+// spanPairs maps a closing event kind to (opening kind, span name):
+// solve begin/end becomes one complete slice per engine run, and the
+// opcd enqueue→dequeue and running→done transitions become "queued"
+// and "running" slices so a job's wall breakdown reads directly off
+// the timeline.
+var spanPairs = map[Kind]struct {
+	open Kind
+	name string
+}{
+	SolveEnd:    {SolveBegin, "solve"},
+	JobDequeued: {JobEnqueued, "queued"},
+	JobDone:     {JobRunning, "running"},
+}
+
+var spanOpeners = map[Kind]bool{
+	SolveBegin:  true,
+	JobEnqueued: true,
+	JobRunning:  true,
+}
+
+// WriteChrome exports a merged timeline as Chrome trace-event JSON
+// (the object form, with the summary in otherData), loadable in
+// Perfetto or chrome://tracing. Paired events (solve begin/end, job
+// enqueue/dequeue, running/done) become complete "X" slices; everything
+// else becomes thread-scoped instants. An opener whose closer fell out
+// of the ring (or has not happened yet, on a live snapshot) degrades to
+// an "<name>-open" instant rather than being lost.
+func WriteChrome(w io.Writer, events []Event, sum Summary, opt ChromeOptions) error {
+	if opt.ProcessName == "" {
+		opt.ProcessName = "goopc"
+	}
+	if opt.Thread0Name == "" {
+		opt.Thread0Name = "scheduler"
+	}
+	doc := chromeDoc{
+		DisplayTimeUnit: "ms",
+		OtherData:       chromeOther{Tool: "goopc", Summary: sum},
+	}
+
+	// Metadata: name the process and every worker thread, tid 0 first.
+	seen := map[int32]bool{}
+	var tids []int32
+	for _, e := range events {
+		if !seen[e.Worker] {
+			seen[e.Worker] = true
+			tids = append(tids, e.Worker)
+		}
+	}
+	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+	doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+		Name: "process_name", Ph: "M", PID: opt.PID, TID: 0,
+		Args: map[string]any{"name": opt.ProcessName},
+	})
+	for _, tid := range tids {
+		name := opt.Thread0Name
+		if tid != 0 {
+			name = fmt.Sprintf("worker-%d", tid)
+		}
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: opt.PID, TID: tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+
+	type openKey struct {
+		worker int32
+		kind   Kind
+	}
+	open := map[openKey]Event{}
+	for _, e := range events {
+		if spanOpeners[e.Kind] {
+			k := openKey{e.Worker, e.Kind}
+			if prev, ok := open[k]; ok {
+				// Re-opened without a closer (closer dropped): keep the
+				// older one visible as an instant.
+				doc.TraceEvents = append(doc.TraceEvents, instant(prev, prev.Kind.String()+"-open", opt.PID))
+			}
+			open[k] = e
+			continue
+		}
+		if p, ok := spanPairs[e.Kind]; ok {
+			k := openKey{e.Worker, p.open}
+			if b, okb := open[k]; okb {
+				delete(open, k)
+				dur := us(e.T - b.T)
+				doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+					Name: p.name, Ph: "X", TS: us(b.T), Dur: &dur,
+					PID: opt.PID, TID: e.Worker, Args: argsFor(e),
+				})
+				continue
+			}
+			// Opener fell out of the ring: degrade to an instant at the
+			// close time so the outcome payload survives.
+			doc.TraceEvents = append(doc.TraceEvents, instant(e, p.name, opt.PID))
+			continue
+		}
+		doc.TraceEvents = append(doc.TraceEvents, instant(e, e.Kind.String(), opt.PID))
+	}
+
+	// Spans still open at snapshot time (live export or dropped
+	// closers), in deterministic timeline order.
+	var left []Event
+	for _, e := range open {
+		left = append(left, e)
+	}
+	sort.Slice(left, func(i, j int) bool {
+		if left[i].T != left[j].T {
+			return left[i].T < left[j].T
+		}
+		if left[i].Worker != left[j].Worker {
+			return left[i].Worker < left[j].Worker
+		}
+		return left[i].Seq < left[j].Seq
+	})
+	for _, e := range left {
+		doc.TraceEvents = append(doc.TraceEvents, instant(e, e.Kind.String()+"-open", opt.PID))
+	}
+
+	enc, err := json.Marshal(doc)
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	_, err = w.Write(enc)
+	return err
+}
+
+func instant(e Event, name string, pid int) chromeEvent {
+	return chromeEvent{
+		Name: name, Ph: "i", TS: us(e.T), PID: pid, TID: e.Worker,
+		Scope: "t", Args: argsFor(e),
+	}
+}
+
+// WriteChrome exports the recorder's current timeline.
+func (r *Recorder) WriteChrome(w io.Writer, opt ChromeOptions) error {
+	events := r.Events()
+	return WriteChrome(w, events, Summarize(events, r.Emitted(), r.Drops()), opt)
+}

@@ -1,0 +1,424 @@
+// Package trace is the tile-level flight recorder (DESIGN.md 5h): a
+// low-overhead, always-on event log of what the tiled correction
+// scheduler and the opcd job lifecycle actually did, per worker and
+// per tile — which tiles were deduplicated, served from the pattern
+// library, solved (and how long the solve took), retried, timed out,
+// degraded or checkpointed, and when a job was admitted, queued,
+// dequeued and finished.
+//
+// Events land in per-worker bounded ring buffers. The emit path is
+// lock-free — one atomic fetch-add to claim a slot plus one atomic
+// pointer swap to publish the event — so instrumented scheduler loops
+// pay tens of nanoseconds per event and never block each other. When a
+// ring wraps, the oldest events are overwritten and counted as drops
+// (flight-recorder semantics: the recent past is always retained, the
+// loss is explicit, and nothing on the hot path ever stalls).
+//
+// Collection merges every ring into one deterministic timeline
+// (ordered by timestamp, then worker, then per-ring sequence) that
+// exports as Chrome trace-event JSON (WriteChrome) loadable in
+// Perfetto or chrome://tracing, with pid = job and tid = worker.
+// Collection is safe while emitters are still running — a live opcd
+// job can be traced mid-flight — the snapshot is simply the retained
+// window at that instant.
+//
+// Like obs.Span, every method is nil-safe: a nil *Recorder returns a
+// nil *Worker, and Emit on a nil *Worker is a single predictable
+// branch, so call sites thread an optional recorder through without
+// guarding and a disabled tracer costs nothing measurable.
+package trace
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"goopc/internal/geom"
+)
+
+// Kind enumerates the recorded lifecycle events.
+type Kind uint8
+
+// Tile lifecycle (emitted by the core tiled scheduler) and job
+// lifecycle (emitted by the opcd server) event kinds.
+const (
+	KindUnknown Kind = iota
+	// TileScheduled marks a tile entering a pass's schedule;
+	// TileCleanSkip a pass-2+ tile kept because nothing moved in its
+	// halo; TileDedup placements served by translating a deduplicated
+	// class representative (Members = extra placements).
+	TileScheduled
+	TileCleanSkip
+	TileDedup
+	// TileLibExact / TileLibSimilar are cross-run pattern-library hits
+	// (Members = placements served); TileResumed a class restored from
+	// a checkpoint.
+	TileLibExact
+	TileLibSimilar
+	TileResumed
+	// SolveBegin / SolveEnd bracket one engine run on a class
+	// representative; SolveEnd carries Iters and RMS (and the degrade
+	// mode in Detail when the resilience ladder engaged).
+	SolveBegin
+	SolveEnd
+	// TileRetry / TileTimeout / TileDegrade are resilience-ladder
+	// events; CheckpointWrite one checkpoint flush (Members = entries).
+	TileRetry
+	TileTimeout
+	TileDegrade
+	CheckpointWrite
+	// Job lifecycle in opcd: admitted (spec validated), enqueued,
+	// dequeued by a pool worker, running, done (Detail = terminal
+	// state).
+	JobAdmitted
+	JobEnqueued
+	JobDequeued
+	JobRunning
+	JobDone
+)
+
+var kindNames = [...]string{
+	KindUnknown:     "unknown",
+	TileScheduled:   "scheduled",
+	TileCleanSkip:   "clean-skip",
+	TileDedup:       "dedup",
+	TileLibExact:    "patlib-exact",
+	TileLibSimilar:  "patlib-similar",
+	TileResumed:     "resumed",
+	SolveBegin:      "solve-begin",
+	SolveEnd:        "solve",
+	TileRetry:       "retry",
+	TileTimeout:     "timeout",
+	TileDegrade:     "degrade",
+	CheckpointWrite: "checkpoint",
+	JobAdmitted:     "admitted",
+	JobEnqueued:     "enqueued",
+	JobDequeued:     "dequeued",
+	JobRunning:      "running",
+	JobDone:         "done",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Event is one flight-recorder record. Fields beyond T/Seq/Worker/Kind
+// are kind-specific and zero when not applicable.
+type Event struct {
+	// T is the emit time relative to the recorder epoch; Seq the
+	// per-ring emit index (total order within a worker); Worker the
+	// emitting worker id (0 is the scheduler/coordinator).
+	T      time.Duration `json:"t"`
+	Seq    uint64        `json:"seq"`
+	Worker int32         `json:"worker"`
+	Kind   Kind          `json:"kind"`
+	// Pass is the context pass; Tile the class representative's core
+	// rectangle (zero for job events); Members the placements the event
+	// accounts for; Iters / RMS the engine outcome on SolveEnd.
+	Pass    int32     `json:"pass,omitempty"`
+	Tile    geom.Rect `json:"tile"`
+	Members int32     `json:"members,omitempty"`
+	Iters   int32     `json:"iters,omitempty"`
+	RMS     float64   `json:"rms,omitempty"`
+	// Detail carries kind-specific text: degrade mode and error, job
+	// source, terminal state, checkpoint path.
+	Detail string `json:"detail,omitempty"`
+}
+
+// ring is one worker's bounded event buffer. Emit claims a slot with a
+// fetch-add and publishes with a pointer swap; a displaced (non-nil)
+// old event is a drop. Readers Load slots concurrently and see either
+// the old or the new event, never a torn one.
+type ring struct {
+	worker int32
+	mask   uint64
+	slots  []atomic.Pointer[Event]
+	next   atomic.Uint64
+	drops  atomic.Uint64
+}
+
+func newRing(worker int32, capacity int) *ring {
+	return &ring{
+		worker: worker,
+		mask:   uint64(capacity - 1),
+		slots:  make([]atomic.Pointer[Event], capacity),
+	}
+}
+
+func (r *ring) emit(e *Event) {
+	i := r.next.Add(1) - 1
+	e.Seq = i
+	if old := r.slots[i&r.mask].Swap(e); old != nil {
+		r.drops.Add(1)
+	}
+}
+
+// DefaultCap is the per-worker ring capacity when New is given zero:
+// 16384 events ≈ a few hundred KB per worker, enough to hold every
+// event of a mid-size run and the recent past of a huge one.
+const DefaultCap = 1 << 14
+
+// Recorder is the flight recorder: a set of per-worker rings sharing
+// one epoch. The zero value is not usable; a nil *Recorder is a valid
+// disabled tracer.
+type Recorder struct {
+	capacity int
+	epoch    time.Time
+	// clock overrides the monotonic epoch-relative clock; tests inject
+	// a deterministic one. Set before the first emit only.
+	clock func() time.Duration
+
+	mu    sync.Mutex
+	rings map[int32]*ring
+}
+
+// New returns a recorder whose per-worker rings hold capPerWorker
+// events (rounded up to a power of two; 0 selects DefaultCap).
+func New(capPerWorker int) *Recorder {
+	if capPerWorker <= 0 {
+		capPerWorker = DefaultCap
+	}
+	c := 1
+	for c < capPerWorker {
+		c <<= 1
+	}
+	return &Recorder{
+		capacity: c,
+		epoch:    time.Now(),
+		rings:    map[int32]*ring{},
+	}
+}
+
+// SetClock replaces the recorder's clock (a function returning the
+// time since the epoch). For deterministic tests; call before any
+// emit, never concurrently with one.
+func (r *Recorder) SetClock(fn func() time.Duration) { r.clock = fn }
+
+func (r *Recorder) now() time.Duration {
+	if r.clock != nil {
+		return r.clock()
+	}
+	return time.Since(r.epoch)
+}
+
+// Worker returns an emit handle for a worker id, creating its ring on
+// first use. Id 0 is conventionally the scheduler/coordinator thread.
+// Nil-safe: a nil recorder returns a nil handle.
+func (r *Recorder) Worker(id int32) *Worker {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	rg := r.rings[id]
+	if rg == nil {
+		rg = newRing(id, r.capacity)
+		r.rings[id] = rg
+	}
+	r.mu.Unlock()
+	return &Worker{rec: r, ring: rg}
+}
+
+// Worker is a per-worker emit handle. Handles for the same id share
+// the ring; Emit is safe from any number of goroutines.
+type Worker struct {
+	rec  *Recorder
+	ring *ring
+}
+
+// Emit records one event. Nil-safe no-op on a nil handle — the
+// disabled-tracer hot path is this one branch.
+func (w *Worker) Emit(k Kind, pass int, tile geom.Rect, members, iters int, rms float64, detail string) {
+	if w == nil {
+		return
+	}
+	w.ring.emit(&Event{
+		T:       w.rec.now(),
+		Worker:  w.ring.worker,
+		Kind:    k,
+		Pass:    int32(pass),
+		Tile:    tile,
+		Members: int32(members),
+		Iters:   int32(iters),
+		RMS:     rms,
+		Detail:  detail,
+	})
+}
+
+// snapshotRings copies the ring set under the lock.
+func (r *Recorder) snapshotRings() []*ring {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*ring, 0, len(r.rings))
+	for _, rg := range r.rings {
+		out = append(out, rg)
+	}
+	return out
+}
+
+// Events merges every ring's retained events into one deterministic
+// timeline, ordered by (T, Worker, Seq). Safe to call while emitters
+// run; the result is the retained window at that instant.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	var out []Event
+	for _, rg := range r.snapshotRings() {
+		for i := range rg.slots {
+			if e := rg.slots[i].Load(); e != nil {
+				out = append(out, *e)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].T != out[j].T {
+			return out[i].T < out[j].T
+		}
+		if out[i].Worker != out[j].Worker {
+			return out[i].Worker < out[j].Worker
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}
+
+// Emitted returns the total events ever emitted (retained + dropped).
+func (r *Recorder) Emitted() uint64 {
+	if r == nil {
+		return 0
+	}
+	var n uint64
+	for _, rg := range r.snapshotRings() {
+		n += rg.next.Load()
+	}
+	return n
+}
+
+// Drops returns the events lost to ring overflow across all workers.
+func (r *Recorder) Drops() uint64 {
+	if r == nil {
+		return 0
+	}
+	var n uint64
+	for _, rg := range r.snapshotRings() {
+		n += rg.drops.Load()
+	}
+	return n
+}
+
+// TileCounts is the member-weighted per-outcome tile accounting
+// recovered from a timeline. It reconciles exactly with the scheduler's
+// TileStats on a drop-free trace — the test that the recorder observed
+// every (tile, pass) outcome the run reported.
+type TileCounts struct {
+	// Scheduled counts (tile, pass) schedule entries; one run schedules
+	// Tiles × Passes of them.
+	Scheduled int `json:"scheduled"`
+	// Solved counts engine runs (SolveEnd events — includes degraded
+	// classes, which the engine attempted); Dedup the placements served
+	// by translating a class representative; Clean the pass-2+ tiles
+	// kept because their halo stayed still.
+	Solved int `json:"solved"`
+	Dedup  int `json:"dedup"`
+	Clean  int `json:"clean"`
+	// LibExact / LibSimilar / Resumed are member-weighted reuse
+	// placements; Degraded the member-weighted degradation-ladder
+	// outcomes; Retries / Timeouts the resilience events; Checkpoints
+	// the checkpoint flushes observed.
+	LibExact    int `json:"patlib_exact"`
+	LibSimilar  int `json:"patlib_similar"`
+	Resumed     int `json:"resumed"`
+	Degraded    int `json:"degraded"`
+	Retries     int `json:"retries"`
+	Timeouts    int `json:"timeouts"`
+	Checkpoints int `json:"checkpoints"`
+}
+
+// Add returns the field-wise sum (aggregating multiple runs traced on
+// one recorder).
+func (c TileCounts) Add(o TileCounts) TileCounts {
+	c.Scheduled += o.Scheduled
+	c.Solved += o.Solved
+	c.Dedup += o.Dedup
+	c.Clean += o.Clean
+	c.LibExact += o.LibExact
+	c.LibSimilar += o.LibSimilar
+	c.Resumed += o.Resumed
+	c.Degraded += o.Degraded
+	c.Retries += o.Retries
+	c.Timeouts += o.Timeouts
+	c.Checkpoints += o.Checkpoints
+	return c
+}
+
+// Summary is the merged-timeline digest embedded in RunReports and the
+// Chrome export's otherData: totals, explicit drop accounting, and the
+// per-outcome tile counts.
+type Summary struct {
+	// Events is the retained (exported) count; Emitted the lifetime
+	// total; Drops the events lost to ring overflow (Emitted - Events
+	// once emitters have quiesced).
+	Events  int    `json:"events"`
+	Emitted uint64 `json:"emitted"`
+	Drops   uint64 `json:"drops"`
+	Workers int    `json:"workers"`
+	ByKind  map[string]int `json:"by_kind,omitempty"`
+	Tiles   TileCounts     `json:"tiles"`
+}
+
+// Summarize digests a merged timeline.
+func Summarize(events []Event, emitted, drops uint64) Summary {
+	s := Summary{
+		Events:  len(events),
+		Emitted: emitted,
+		Drops:   drops,
+	}
+	workers := map[int32]bool{}
+	byKind := map[string]int{}
+	for _, e := range events {
+		workers[e.Worker] = true
+		byKind[e.Kind.String()]++
+		m := int(e.Members)
+		switch e.Kind {
+		case TileScheduled:
+			s.Tiles.Scheduled++
+		case SolveEnd:
+			s.Tiles.Solved++
+		case TileDedup:
+			s.Tiles.Dedup += m
+		case TileCleanSkip:
+			s.Tiles.Clean++
+		case TileLibExact:
+			s.Tiles.LibExact += m
+		case TileLibSimilar:
+			s.Tiles.LibSimilar += m
+		case TileResumed:
+			s.Tiles.Resumed += m
+		case TileDegrade:
+			s.Tiles.Degraded += m
+		case TileRetry:
+			s.Tiles.Retries++
+		case TileTimeout:
+			s.Tiles.Timeouts++
+		case CheckpointWrite:
+			s.Tiles.Checkpoints++
+		}
+	}
+	s.Workers = len(workers)
+	if len(byKind) > 0 {
+		s.ByKind = byKind
+	}
+	return s
+}
+
+// Summary digests the recorder's current timeline.
+func (r *Recorder) Summary() Summary {
+	if r == nil {
+		return Summary{}
+	}
+	return Summarize(r.Events(), r.Emitted(), r.Drops())
+}

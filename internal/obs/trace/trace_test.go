@@ -1,0 +1,263 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"goopc/internal/geom"
+)
+
+// fakeClock returns a deterministic clock: each call advances 1µs.
+func fakeClock() func() time.Duration {
+	var n time.Duration
+	return func() time.Duration {
+		n += time.Microsecond
+		return n
+	}
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	w := r.Worker(3)
+	if w != nil {
+		t.Fatalf("nil recorder returned non-nil worker")
+	}
+	w.Emit(SolveBegin, 1, geom.Rect{}, 1, 0, 0, "") // must not panic
+	if got := r.Events(); got != nil {
+		t.Fatalf("nil recorder Events = %v, want nil", got)
+	}
+	if r.Drops() != 0 || r.Emitted() != 0 {
+		t.Fatalf("nil recorder drops/emitted nonzero")
+	}
+	if s := r.Summary(); s.Events != 0 {
+		t.Fatalf("nil recorder summary = %+v", s)
+	}
+}
+
+// TestConcurrentEmit hammers one recorder from many goroutines — some
+// sharing a ring, some on distinct rings, one concurrently snapshotting
+// — and checks the emit accounting stays exact. Run under -race this is
+// the lock-free-emit soundness test.
+func TestConcurrentEmit(t *testing.T) {
+	r := New(1 << 10)
+	const goroutines = 8
+	const perG = 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Even goroutines share ring 1; odd ones get their own.
+			id := int32(1)
+			if g%2 == 1 {
+				id = int32(g + 1)
+			}
+			w := r.Worker(id)
+			for i := 0; i < perG; i++ {
+				w.Emit(TileScheduled, 1, geom.Rect{X0: int32(i)}, 1, 0, 0, "")
+			}
+		}(g)
+	}
+	// Concurrent snapshots must be safe (and torn-free) mid-emit.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			for _, e := range r.Events() {
+				if e.Kind != TileScheduled {
+					t.Errorf("torn event: %+v", e)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	if got, want := r.Emitted(), uint64(goroutines*perG); got != want {
+		t.Fatalf("Emitted = %d, want %d", got, want)
+	}
+	if got, want := uint64(len(r.Events()))+r.Drops(), r.Emitted(); got != want {
+		t.Fatalf("retained(%d) + drops(%d) = %d, want emitted %d",
+			len(r.Events()), r.Drops(), got, want)
+	}
+}
+
+// TestOverflowDropAccounting fills one ring far past capacity and
+// checks the drop count and the retained window are exactly right.
+func TestOverflowDropAccounting(t *testing.T) {
+	const capacity = 64
+	r := New(capacity)
+	r.SetClock(fakeClock())
+	w := r.Worker(0)
+	const emits = 1000
+	for i := 0; i < emits; i++ {
+		w.Emit(TileScheduled, 1, geom.Rect{X0: int32(i)}, 1, 0, 0, "")
+	}
+	if got := r.Emitted(); got != emits {
+		t.Fatalf("Emitted = %d, want %d", got, emits)
+	}
+	if got, want := r.Drops(), uint64(emits-capacity); got != want {
+		t.Fatalf("Drops = %d, want %d", got, want)
+	}
+	events := r.Events()
+	if len(events) != capacity {
+		t.Fatalf("retained %d events, want %d", len(events), capacity)
+	}
+	// The retained window must be the newest `capacity` events in order.
+	for i, e := range events {
+		if want := uint64(emits - capacity + i); e.Seq != want {
+			t.Fatalf("event %d Seq = %d, want %d (oldest must be displaced first)", i, e.Seq, want)
+		}
+	}
+	sum := r.Summary()
+	if sum.Drops != uint64(emits-capacity) || sum.Events != capacity || sum.Emitted != emits {
+		t.Fatalf("summary accounting = %+v", sum)
+	}
+}
+
+func TestCapacityRoundsUpToPowerOfTwo(t *testing.T) {
+	r := New(100)
+	if r.capacity != 128 {
+		t.Fatalf("capacity = %d, want 128", r.capacity)
+	}
+	if New(0).capacity != DefaultCap {
+		t.Fatalf("zero capacity did not select default")
+	}
+}
+
+// TestDeterministicMerge checks the merged timeline orders by
+// (T, Worker, Seq) and is stable across snapshots.
+func TestDeterministicMerge(t *testing.T) {
+	r := New(256)
+	var n time.Duration
+	r.SetClock(func() time.Duration { n += time.Microsecond; return n })
+	w0, w1 := r.Worker(0), r.Worker(1)
+	w0.Emit(TileScheduled, 1, geom.Rect{X1: 10, Y1: 10}, 1, 0, 0, "")
+	w1.Emit(SolveBegin, 1, geom.Rect{X1: 10, Y1: 10}, 2, 0, 0, "")
+	w1.Emit(SolveEnd, 1, geom.Rect{X1: 10, Y1: 10}, 2, 7, 0.25, "")
+	w0.Emit(TileDedup, 1, geom.Rect{X0: 10, X1: 20, Y1: 10}, 1, 0, 0, "")
+
+	a := r.Events()
+	b := r.Events()
+	if len(a) != 4 {
+		t.Fatalf("got %d events, want 4", len(a))
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i].T <= a[i-1].T {
+			t.Fatalf("merge out of order at %d: %v then %v", i, a[i-1].T, a[i].T)
+		}
+	}
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if !bytes.Equal(ja, jb) {
+		t.Fatalf("snapshots differ:\n%s\n%s", ja, jb)
+	}
+}
+
+func TestSummarizeMemberWeighting(t *testing.T) {
+	events := []Event{
+		{Kind: TileScheduled, Members: 1},
+		{Kind: TileScheduled, Members: 1},
+		{Kind: SolveEnd, Members: 3, Iters: 5},
+		{Kind: TileDedup, Members: 2},
+		{Kind: TileLibExact, Members: 4},
+		{Kind: TileLibSimilar, Members: 1},
+		{Kind: TileResumed, Members: 2},
+		{Kind: TileCleanSkip, Members: 1},
+		{Kind: TileDegrade, Members: 3},
+		{Kind: TileRetry, Members: 1},
+		{Kind: TileTimeout, Members: 1},
+		{Kind: CheckpointWrite, Members: 12},
+	}
+	s := Summarize(events, uint64(len(events)), 0)
+	want := TileCounts{
+		Scheduled: 2, Solved: 1, Dedup: 2, Clean: 1,
+		LibExact: 4, LibSimilar: 1, Resumed: 2, Degraded: 3,
+		Retries: 1, Timeouts: 1, Checkpoints: 1,
+	}
+	if s.Tiles != want {
+		t.Fatalf("tile counts = %+v, want %+v", s.Tiles, want)
+	}
+	if s.ByKind["solve"] != 1 || s.ByKind["patlib-exact"] != 1 {
+		t.Fatalf("by-kind = %v", s.ByKind)
+	}
+	sum := want.Add(want)
+	if sum.LibExact != 8 || sum.Scheduled != 4 {
+		t.Fatalf("Add = %+v", sum)
+	}
+}
+
+// TestChromeExport checks the trace-event JSON shape: metadata, paired
+// solve slices, job queue/run slices, instants, and open-span fallback.
+func TestChromeExport(t *testing.T) {
+	r := New(256)
+	r.SetClock(fakeClock())
+	sched := r.Worker(0)
+	w1 := r.Worker(1)
+	sched.Emit(JobEnqueued, 0, geom.Rect{}, 0, 0, 0, "")
+	sched.Emit(JobDequeued, 0, geom.Rect{}, 0, 0, 0, "")
+	sched.Emit(JobRunning, 0, geom.Rect{}, 0, 0, 0, "")
+	sched.Emit(TileScheduled, 1, geom.Rect{X1: 5, Y1: 5}, 1, 0, 0, "")
+	w1.Emit(SolveBegin, 1, geom.Rect{X1: 5, Y1: 5}, 1, 0, 0, "")
+	w1.Emit(SolveEnd, 1, geom.Rect{X1: 5, Y1: 5}, 1, 9, 0.5, "")
+	w1.Emit(SolveBegin, 2, geom.Rect{X1: 5, Y1: 5}, 1, 0, 0, "") // left open
+	var buf bytes.Buffer
+	if err := r.WriteChrome(&buf, ChromeOptions{PID: 7, ProcessName: "job 7", Thread0Name: "job"}); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		OtherData       struct {
+			Tool    string  `json:"tool"`
+			Summary Summary `json:"summary"`
+		} `json:"otherData"`
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" || doc.OtherData.Tool != "goopc" {
+		t.Fatalf("envelope = %+v", doc)
+	}
+	if doc.OtherData.Summary.Events != 7 || doc.OtherData.Summary.Drops != 0 {
+		t.Fatalf("summary = %+v", doc.OtherData.Summary)
+	}
+	names := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		names[e["name"].(string)]++
+		if e["pid"].(float64) != 7 {
+			t.Fatalf("pid = %v, want 7", e["pid"])
+		}
+	}
+	for _, want := range []string{"process_name", "thread_name", "queued", "solve", "scheduled", "running-open", "solve-begin-open"} {
+		if names[want] == 0 {
+			t.Fatalf("export missing %q event; got %v\n%s", want, names, buf.String())
+		}
+	}
+	if names["thread_name"] != 2 {
+		t.Fatalf("thread_name count = %d, want 2", names["thread_name"])
+	}
+	// The solve slice must carry the outcome payload.
+	if !strings.Contains(buf.String(), `"iters":9`) || !strings.Contains(buf.String(), `"rms":0.5`) {
+		t.Fatalf("solve slice lost its payload:\n%s", buf.String())
+	}
+	// Byte determinism of the export for a fixed timeline.
+	var buf2 bytes.Buffer
+	if err := r.WriteChrome(&buf2, ChromeOptions{PID: 7, ProcessName: "job 7", Thread0Name: "job"}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatalf("export is not deterministic")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if TileLibSimilar.String() != "patlib-similar" || Kind(250).String() != "unknown" {
+		t.Fatalf("kind strings wrong")
+	}
+}

@@ -187,6 +187,13 @@ func (c *Client) Fetch(ctx context.Context, id, artifact string, w io.Writer) (i
 	return io.Copy(w, resp.Body)
 }
 
+// Trace downloads the job's flight-recorder timeline as Chrome
+// trace-event JSON into w. Unlike the other artifacts it works in any
+// job state — live jobs serve a point-in-time snapshot.
+func (c *Client) Trace(ctx context.Context, id string, w io.Writer) (int64, error) {
+	return c.Fetch(ctx, id, "trace", w)
+}
+
 // Watch subscribes to a job's SSE stream, invoking fn for every status
 // event until the job reaches a terminal state (returning its final
 // status), the stream ends, or ctx is cancelled. fn may be nil.

@@ -17,6 +17,7 @@ package server
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -24,6 +25,7 @@ import (
 	"goopc/internal/core"
 	"goopc/internal/faults"
 	"goopc/internal/geom"
+	"goopc/internal/obs/trace"
 	"goopc/internal/optics"
 )
 
@@ -250,6 +252,44 @@ type JobStatus struct {
 	Error string `json:"error,omitempty"`
 	// ResultBytes is the size of the result.gds artifact once done.
 	ResultBytes int64 `json:"result_bytes,omitempty"`
+	// Latency is the queued→running→done wall-clock breakdown; live
+	// jobs report the elapsed-so-far leg.
+	Latency *JobLatency `json:"latency,omitempty"`
+}
+
+// JobLatency decomposes a job's end-to-end wall clock into its queue
+// wait and its run time (the same split the
+// goopc_server_job_queue_seconds / goopc_server_job_run_seconds
+// histograms aggregate across jobs).
+type JobLatency struct {
+	QueueSeconds float64 `json:"queue_seconds"`
+	RunSeconds   float64 `json:"run_seconds"`
+	TotalSeconds float64 `json:"total_seconds"`
+}
+
+// latency computes the breakdown at time now. Legs still in flight
+// (queued, running) report elapsed time so far; a job cancelled while
+// queued closes its queue leg at the cancellation instant.
+func (j *Job) latency(now time.Time) *JobLatency {
+	if j.submitted.IsZero() {
+		return nil
+	}
+	queueEnd := j.started
+	if queueEnd.IsZero() {
+		if queueEnd = j.finished; queueEnd.IsZero() {
+			queueEnd = now
+		}
+	}
+	l := &JobLatency{QueueSeconds: queueEnd.Sub(j.submitted).Seconds()}
+	if !j.started.IsZero() {
+		runEnd := j.finished
+		if runEnd.IsZero() {
+			runEnd = now
+		}
+		l.RunSeconds = runEnd.Sub(j.started).Seconds()
+	}
+	l.TotalSeconds = l.QueueSeconds + l.RunSeconds
+	return l
 }
 
 // Job is the server-side job state. Mutable fields are guarded by the
@@ -283,6 +323,14 @@ type Job struct {
 	cancel          func()
 	cancelRequested bool
 
+	// rec is the job's flight recorder: lifecycle events land on worker
+	// ring 0 here, and the run wires the same recorder into
+	// Flow.Tracer so tile events interleave on the one timeline. Set
+	// once at admission (or recovery requeue) and never reassigned, so
+	// reads need no lock. Nil only for terminal jobs rebuilt from disk
+	// history, which serve their persisted trace.json artifact instead.
+	rec *trace.Recorder
+
 	// Live progress, updated from the Flow.Progress hook.
 	pass, passes, doneTiles, totalTiles atomic.Int64
 	// version bumps on every observable change; SSE streams poll it.
@@ -291,6 +339,21 @@ type Job struct {
 
 // bump marks the job changed for SSE watchers.
 func (j *Job) bump() { j.version.Add(1) }
+
+// emit records one job-lifecycle event on the job's flight recorder
+// (nil-safe: history jobs without a recorder drop it).
+func (j *Job) emit(k trace.Kind, detail string) {
+	j.rec.Worker(0).Emit(k, 0, geom.Rect{}, 0, 0, 0, detail)
+}
+
+// jobChromeOptions maps a job onto Chrome trace process identity: the
+// numeric job sequence becomes the pid so multi-job traces merge
+// side by side, and ring 0 — job lifecycle plus the tile scheduler —
+// renders as the "job" track.
+func jobChromeOptions(id string) trace.ChromeOptions {
+	pid, _ := strconv.Atoi(strings.TrimPrefix(id, "j"))
+	return trace.ChromeOptions{PID: pid, ProcessName: "opcd job " + id, Thread0Name: "job"}
+}
 
 // progressEvent snapshots the live tile progress.
 func (j *Job) progressEvent() core.ProgressEvent {

@@ -19,6 +19,13 @@ type serverMetrics struct {
 	running   *obs.Gauge
 	recovered *obs.Counter
 	seconds   *obs.Histogram
+	// End-to-end latency accounting: how long jobs sit in the queue
+	// before a worker dequeues them, and how long they run once
+	// dequeued. Together with goopc_server_jobs_queued these answer the
+	// capacity question directly — queue-time growth with flat run time
+	// means the pool, not the solver, is the bottleneck.
+	queueSeconds *obs.Histogram
+	runSeconds   *obs.Histogram
 
 	mu       sync.Mutex
 	finished map[State]*obs.Counter
@@ -39,6 +46,12 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 			"jobs requeued by crash recovery at daemon startup"),
 		seconds: reg.Histogram("goopc_server_job_seconds",
 			"wall-clock seconds per finished job (queue wait excluded)",
+			[]float64{0.5, 1, 2.5, 5, 10, 30, 60, 300, 1800}),
+		queueSeconds: reg.Histogram("goopc_server_job_queue_seconds",
+			"seconds jobs waited in the queue before a worker dequeued them",
+			[]float64{0.05, 0.25, 1, 2.5, 5, 10, 30, 60, 300, 1800}),
+		runSeconds: reg.Histogram("goopc_server_job_run_seconds",
+			"seconds jobs spent running (dequeue to terminal state)",
 			[]float64{0.5, 1, 2.5, 5, 10, 30, 60, 300, 1800}),
 		finished: map[State]*obs.Counter{},
 	}

@@ -19,6 +19,7 @@ import (
 	"goopc/internal/geom"
 	"goopc/internal/layout"
 	"goopc/internal/obs"
+	"goopc/internal/obs/trace"
 	"goopc/internal/optics"
 	"goopc/internal/patlib"
 )
@@ -201,6 +202,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}/result.gds", s.handleArtifact("result.gds", "application/octet-stream"))
 	mux.HandleFunc("GET /jobs/{id}/report.json", s.handleArtifact("report.json", "application/json"))
 	mux.HandleFunc("GET /jobs/{id}/orc.json", s.handleArtifact("orc.json", "application/json"))
+	mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.insp.Register(mux)
 	return s.probeMiddleware(mux)
@@ -320,6 +322,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	j := &Job{
 		ID: id, Spec: spec, seq: s.seq, upload: upload,
 		dir: filepath.Join(s.jobsDir(), id), state: StateQueued, submitted: time.Now(),
+		rec: trace.New(0),
 	}
 	s.mu.Unlock()
 
@@ -355,8 +358,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
 		return
 	}
+	j.emit(trace.JobAdmitted, jobSource(spec, upload))
 	s.jobs[id] = j
 	s.queue.push(j)
+	j.emit(trace.JobEnqueued, "")
 	s.met.submitted.Inc()
 	s.met.queued.Set(float64(s.queue.Len()))
 	s.persistLocked(j)
@@ -616,6 +621,36 @@ func (s *Server) handleArtifact(name, contentType string) http.HandlerFunc {
 	}
 }
 
+// handleTrace serves the job's flight-recorder timeline as Chrome
+// trace-event JSON (load it in Perfetto / chrome://tracing). Unlike the
+// other artifacts it is available in any state: live jobs export a
+// point-in-time snapshot of the recorder, and terminal jobs that
+// predate this daemon process fall back to the trace.json artifact the
+// finishing worker persisted.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	if j.rec != nil {
+		w.Header().Set("Content-Type", "application/json")
+		_ = j.rec.WriteChrome(w, jobChromeOptions(j.ID))
+		return
+	}
+	s.mu.Lock()
+	dir := j.dir
+	s.mu.Unlock()
+	f, err := os.Open(filepath.Join(dir, "trace.json"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "trace not available for this job")
+		return
+	}
+	defer f.Close()
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = io.Copy(w, f)
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	ok := s.started && !s.stopping
@@ -636,6 +671,7 @@ func (s *Server) statusLocked(j *Job) JobStatus {
 		Progress: j.progressEvent(), Stats: j.stats,
 		Recovered: j.recovered, Error: j.errMsg, ResultBytes: j.resultLen,
 	}
+	st.Latency = j.latency(time.Now())
 	if j.state == StateQueued {
 		st.QueuePos = s.queue.position(j)
 	}
@@ -742,11 +778,17 @@ func (s *Server) recover() error {
 		if !rec.State.Terminal() {
 			// Interrupted mid-flight: requeue from the top. The core
 			// checkpoint under the job dir restores completed tile
-			// classes, so only unfinished work re-runs.
+			// classes, so only unfinished work re-runs. The job gets a
+			// fresh flight recorder — the pre-crash timeline is gone, and
+			// the resumed run will show the surviving tiles as resumed
+			// events instead.
 			j.state = StateQueued
 			j.recovered = true
 			j.started = time.Time{}
+			j.rec = trace.New(0)
+			j.emit(trace.JobAdmitted, "recovered (was "+string(rec.State)+")")
 			s.queue.push(j)
+			j.emit(trace.JobEnqueued, "")
 			s.met.recovered.Inc()
 			s.persistLocked(j)
 			s.log.Infof("job %s recovered (was %s)", j.ID, rec.State)

@@ -1,0 +1,132 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"goopc/internal/obs/trace"
+)
+
+// chromeTrace is the subset of the Chrome trace-event document the
+// trace endpoint serves that the test inspects.
+type chromeTrace struct {
+	OtherData struct {
+		Tool    string        `json:"tool"`
+		Summary trace.Summary `json:"summary"`
+	} `json:"otherData"`
+	TraceEvents []struct {
+		Name string `json:"name"`
+		Ph   string `json:"ph"`
+		PID  int    `json:"pid"`
+		TID  int    `json:"tid"`
+	} `json:"traceEvents"`
+}
+
+// TestServerTraceAndLatency runs one upload job end to end and checks
+// the flight-recorder surface: GET /jobs/{id}/trace returns a Chrome
+// timeline whose summary carries the job lifecycle and the scheduler's
+// tile outcomes, the trace.json artifact lands in the job dir, the
+// run report embeds the flight summary, the latency breakdown splits
+// queue wait from run time, and the queue/run histograms observe.
+func TestServerTraceAndLatency(t *testing.T) {
+	env := startTestServer(t, nil)
+	spec := JobSpec{Level: "L2", TileNM: 2500, Flow: testSpec()}
+	st, err := env.c.SubmitGDS(context.Background(), spec, bytes.NewReader(gdsBytes(t, fourClusters())))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	id := st.ID
+	final := waitState(t, env.c, id, func(s JobStatus) bool { return s.State.Terminal() }, "terminal state")
+	if final.State != StateDone {
+		t.Fatalf("job finished %s: %s", final.State, final.Error)
+	}
+
+	// Latency breakdown: both legs present, total is their sum, and the
+	// run leg brackets the Started→Finished interval.
+	if final.Latency == nil {
+		t.Fatal("done job has no latency breakdown")
+	}
+	l := final.Latency
+	if l.QueueSeconds < 0 || l.RunSeconds <= 0 {
+		t.Fatalf("latency legs: %+v", l)
+	}
+	if diff := l.TotalSeconds - (l.QueueSeconds + l.RunSeconds); diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("latency total %v != queue %v + run %v", l.TotalSeconds, l.QueueSeconds, l.RunSeconds)
+	}
+	// The server computed the run leg from monotonic readings; the
+	// round-tripped timestamps only keep wall time, so allow 1ms slack.
+	wantRun := final.Finished.Sub(final.Started).Seconds()
+	if diff := l.RunSeconds - wantRun; diff > 1e-3 || diff < -1e-3 {
+		t.Fatalf("run leg %v != finished-started %v", l.RunSeconds, wantRun)
+	}
+
+	// The trace endpoint serves a loadable Chrome document that accounts
+	// for the whole lifecycle: admitted/enqueued/dequeued/running/done
+	// exactly once each, a drop-free timeline, and tile outcomes that
+	// agree with the status stats.
+	var buf bytes.Buffer
+	if _, err := env.c.Trace(context.Background(), id, &buf); err != nil {
+		t.Fatalf("fetch trace: %v", err)
+	}
+	var doc chromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if doc.OtherData.Tool != "goopc" || len(doc.TraceEvents) == 0 {
+		t.Fatalf("trace doc: tool=%q, %d events", doc.OtherData.Tool, len(doc.TraceEvents))
+	}
+	sum := doc.OtherData.Summary
+	if sum.Drops != 0 {
+		t.Fatalf("trace dropped %d events", sum.Drops)
+	}
+	for _, kind := range []string{"admitted", "enqueued", "dequeued", "running", "done"} {
+		if sum.ByKind[kind] != 1 {
+			t.Fatalf("lifecycle kind %q seen %d times, want 1 (by_kind %v)", kind, sum.ByKind[kind], sum.ByKind)
+		}
+	}
+	if final.Stats == nil || sum.Tiles.Scheduled == 0 ||
+		sum.Tiles.Solved+sum.Tiles.Dedup != final.Stats.CorrectedTiles+final.Stats.ReusedTiles {
+		t.Fatalf("trace tiles %+v do not match stats %+v", sum.Tiles, final.Stats)
+	}
+	// The queued and running slices must render as complete events in
+	// the job's numeric pid.
+	slices := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			slices[ev.Name] = true
+			if ev.PID != 1 {
+				t.Fatalf("slice %q in pid %d, want 1 (job j000001)", ev.Name, ev.PID)
+			}
+		}
+	}
+	if !slices["queued"] || !slices["running"] {
+		t.Fatalf("missing lifecycle slices in %v", slices)
+	}
+
+	// The same timeline persisted as the trace.json artifact, and the
+	// run report embeds the flight summary.
+	job := env.srv.lookup(id)
+	if _, err := os.Stat(filepath.Join(job.dir, "trace.json")); err != nil {
+		t.Fatalf("trace.json artifact: %v", err)
+	}
+	rep, err := os.ReadFile(filepath.Join(job.dir, "report.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(rep, []byte(`"flight"`)) {
+		t.Fatalf("report.json has no flight summary: %.200s", rep)
+	}
+
+	// Both latency histograms observed the job.
+	snap := env.reg.Snapshot()
+	if snap.Histograms["goopc_server_job_queue_seconds"].Count != 1 {
+		t.Fatalf("queue_seconds histogram: %+v", snap.Histograms["goopc_server_job_queue_seconds"])
+	}
+	if snap.Histograms["goopc_server_job_run_seconds"].Count != 1 {
+		t.Fatalf("run_seconds histogram: %+v", snap.Histograms["goopc_server_job_run_seconds"])
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"goopc/internal/layout"
 	"goopc/internal/layout/gen"
 	"goopc/internal/obs"
+	"goopc/internal/obs/trace"
 	"goopc/internal/opc"
 	"goopc/internal/optics"
 	"goopc/internal/orc"
@@ -46,6 +47,9 @@ func (s *Server) next() *Job {
 			j.state = StateRunning
 			j.started = time.Now()
 			j.runCtx, j.cancel = context.WithCancel(s.ctx)
+			s.met.queueSeconds.Observe(j.started.Sub(j.submitted).Seconds())
+			j.emit(trace.JobDequeued, "")
+			j.emit(trace.JobRunning, "")
 			s.met.queued.Set(float64(s.queue.Len()))
 			s.met.running.Add(1)
 			// Register the per-job tile series now so scrapes see the
@@ -65,6 +69,33 @@ func (s *Server) runJob(j *Job) {
 	st, err := s.execute(j.runCtx, j)
 	j.cancel()
 	s.finish(j, st, err)
+	s.writeTrace(j)
+}
+
+// writeTrace persists the job's flight-recorder timeline as a Chrome
+// trace-event artifact once the job is terminal, so the trace survives
+// a later daemon restart (the in-memory recorder does not). A
+// shutdown-interrupted job skips it: the run resumes with a fresh
+// recorder and writes the artifact when it actually finishes.
+func (s *Server) writeTrace(j *Job) {
+	s.mu.Lock()
+	terminal, dir := j.state.Terminal(), j.dir
+	s.mu.Unlock()
+	if j.rec == nil || !terminal {
+		return
+	}
+	f, err := os.Create(filepath.Join(dir, "trace.json"))
+	if err != nil {
+		s.log.Errorf("job %s: trace artifact: %v", j.ID, err)
+		return
+	}
+	werr := j.rec.WriteChrome(f, jobChromeOptions(j.ID))
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		s.log.Errorf("job %s: trace artifact: %v", j.ID, werr)
+	}
 }
 
 // finish applies the terminal state transition under the server lock.
@@ -93,8 +124,10 @@ func (s *Server) finish(j *Job, st *core.TileStats, err error) {
 		j.errMsg = err.Error()
 	}
 	j.finished = time.Now()
+	j.emit(trace.JobDone, string(j.state))
 	s.met.finishedCounter(j.state).Inc()
 	s.met.seconds.Observe(wall)
+	s.met.runSeconds.Observe(wall)
 	if j.state == StateDone {
 		// Calibrate the Retry-After estimator on real completions.
 		s.ewmaSec = 0.7*s.ewmaSec + 0.3*wall
@@ -157,6 +190,11 @@ func (s *Server) execute(ctx context.Context, j *Job) (*core.TileStats, error) {
 		// or unavailable) simply leaves every rung missing.
 		f.PatLib = s.patlib
 	}
+
+	// The job's flight recorder rides into the scheduler: tile events
+	// land on worker rings 1..N alongside the lifecycle events the
+	// server put on ring 0.
+	f.Tracer = j.rec
 
 	g := s.jobGaugesFor(j.ID)
 	f.Progress = func(ev core.ProgressEvent) {
@@ -321,6 +359,10 @@ func (s *Server) writeReport(j *Job, st core.TileStats) error {
 		"stats": runStatsFrom(st),
 	})
 	rep.Finish(s.cfg.Registry, nil)
+	if j.rec != nil {
+		sum := j.rec.Summary()
+		rep.Flight = &sum
+	}
 	return rep.WriteFile(filepath.Join(j.dir, "report.json"))
 }
 
