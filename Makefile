@@ -1,7 +1,7 @@
 # Developer / CI entry points. Everything is plain go tooling; the
 # targets just fix the flag sets so local runs and CI agree.
 
-.PHONY: build test test-purego verify server-integration patlib-bench-smoke trace-smoke fuzz-short bench bench-micro bench-json
+.PHONY: build test test-purego verify server-integration cluster-smoke patlib-bench-smoke trace-smoke fuzz-short bench bench-micro bench-json
 
 build:
 	go build ./...
@@ -28,6 +28,7 @@ verify:
 	go test -race ./...
 	$(MAKE) test-purego
 	$(MAKE) server-integration
+	$(MAKE) cluster-smoke
 	$(MAKE) patlib-bench-smoke
 	$(MAKE) trace-smoke
 
@@ -37,6 +38,16 @@ verify:
 server-integration:
 	go vet ./internal/server/ ./cmd/opcd/ ./cmd/opcctl/
 	go test -race -count=1 -run '^TestServer' ./internal/server/
+
+# Distributed-cluster smoke (DESIGN.md 5i): a coordinator with three
+# REAL worker processes (the test binary re-execs itself) corrects a
+# job, one worker is SIGKILLed mid-shard, and the run must still finish
+# with output bit-identical to the single-process engine — plus, on
+# machines with >=4 CPUs, beat the forced-serial run on wall clock.
+# Never cached, so the kill/requeue actually happens every run.
+cluster-smoke:
+	go test -count=1 -run '^TestClusterSmoke$$' ./internal/server/
+	go test -count=1 -race -run '^TestCluster' ./internal/cluster/
 
 # Pattern-library cold/warm smoke (DESIGN.md 5f): a tiny workload is
 # solved cold into a fresh library, then rerun warm — the warm run must

@@ -11,6 +11,7 @@
 //	opcctl [-server URL] fetch <job-id> result.gds [-o corrected.gds]
 //	opcctl [-server URL] trace <job-id> [-o job.trace.json]
 //	opcctl [-server URL] cancel <job-id>
+//	opcctl [-server URL] cluster
 //
 // submit prints the assigned job ID; -watch streams progress until the
 // job finishes and exits non-zero if it failed. fetch streams an
@@ -60,7 +61,7 @@ func run(args []string) int {
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		fmt.Fprintln(os.Stderr, "opcctl: need a subcommand: submit | list | status | watch | fetch | trace | cancel")
+		fmt.Fprintln(os.Stderr, "opcctl: need a subcommand: submit | list | status | watch | fetch | trace | cancel | cluster")
 		return 2
 	}
 
@@ -84,6 +85,8 @@ func run(args []string) int {
 		err = cmdTrace(ctx, c, rest[1:])
 	case "cancel":
 		err = cmdCancel(ctx, c, rest[1:])
+	case "cluster":
+		err = cmdCluster(ctx, c)
 	default:
 		fmt.Fprintf(os.Stderr, "opcctl: unknown subcommand %q\n", rest[0])
 		return 2
@@ -119,6 +122,7 @@ func cmdSubmit(ctx context.Context, c *server.Client, args []string) error {
 	name := fs.String("name", "", "free-form job label")
 	tile := fs.Int("tile", 0, "scheduler tile size in DBU (0 = 4x ambit)")
 	priority := fs.Int("priority", 0, "queue priority (higher runs first)")
+	tenant := fs.String("tenant", "", "tenant name for fair-share queueing and quotas")
 	inject := fs.String("inject", "", "per-job fault plan (faults grammar)")
 	verify := fs.Bool("verify", false, "run post-OPC verification, producing orc.json")
 	fast := fs.Bool("fast", true, "reduced source sampling for speed")
@@ -136,6 +140,7 @@ func cmdSubmit(ctx context.Context, c *server.Client, args []string) error {
 		Level:    *level,
 		TileNM:   geom.Coord(*tile),
 		Priority: *priority,
+		Tenant:   *tenant,
 		Inject:   *inject,
 		Verify:   *verify,
 	}
@@ -363,6 +368,36 @@ func cmdTrace(ctx context.Context, c *server.Client, args []string) error {
 	}
 	if *out != "" {
 		fmt.Fprintf(os.Stderr, "wrote %s (%d bytes); open it in Perfetto or chrome://tracing\n", *out, n)
+	}
+	return nil
+}
+
+// cmdCluster prints the coordinator's worker table and shard counters
+// (opcd must be running with -cluster).
+func cmdCluster(ctx context.Context, c *server.Client) error {
+	st, err := c.ClusterStatus(ctx)
+	if err != nil {
+		return err
+	}
+	circuit := ""
+	if st.CircuitOpen {
+		circuit = " [circuit open: solving locally]"
+	}
+	fmt.Printf("workers=%d jobs=%d shards pending=%d inflight=%d%s\n",
+		len(st.Workers), st.Jobs, st.PendingShards, st.InflightShards, circuit)
+	fmt.Printf("lifetime: assigned=%d completed=%d requeued=%d stolen=%d abandoned=%d\n",
+		st.Assigned, st.Completed, st.Requeued, st.Stolen, st.Abandoned)
+	fmt.Printf("classes: remote=%d failed=%d duplicates=%d local-fallbacks=%d\n",
+		st.Remote, st.Failed, st.Duplicates, st.Fallbacks)
+	if len(st.Workers) > 0 {
+		fmt.Printf("%-14s %-16s %-24s %s\n", "ID", "NAME", "SHARD", "LAST SEEN")
+		for _, w := range st.Workers {
+			shard := w.Shard
+			if shard == "" {
+				shard = "-"
+			}
+			fmt.Printf("%-14s %-16s %-24s %s\n", w.ID, w.Name, shard, w.LastSeen)
+		}
 	}
 	return nil
 }

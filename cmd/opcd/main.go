@@ -10,6 +10,14 @@
 // Usage:
 //
 //	opcd -listen :9800 -data /var/lib/opcd -workers 2 -queue-depth 16
+//	opcd -listen :9800 -cluster            # also coordinate remote workers
+//	opcd -join http://coord:9800           # run as a cluster worker process
+//
+// With -cluster the daemon is also the coordinator of a distributed
+// correction cluster (DESIGN.md 5i): worker processes started with
+// -join lease shards of each job's canonical tile classes, solve them
+// remotely, and stream results back; expired leases requeue, stragglers
+// are work-stolen, and with no workers jobs just run locally.
 //
 // API (see the server package and `opcctl -h` for the client):
 //
@@ -21,6 +29,8 @@
 //	GET    /jobs/{id}/report.json, /jobs/{id}/orc.json
 //	DELETE /jobs/{id}            cancel (live) / purge (terminal)
 //	GET    /metrics /status /debug/pprof  obs inspector
+//	POST   /cluster/join|lease|heartbeat|result  worker protocol (-cluster)
+//	GET    /cluster/status       coordinator state (opcctl cluster)
 //
 // SIGINT/SIGTERM shut down gracefully: the listener drains, running
 // jobs flush a final checkpoint, and their on-disk state stays
@@ -36,9 +46,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
+	"goopc/internal/cluster"
 	"goopc/internal/faults"
 	"goopc/internal/obs"
 	"goopc/internal/server"
@@ -59,6 +72,14 @@ func run(args []string) int {
 	serialTiles := fs.Bool("serial-tiles", false, "run each job's tiles serially (pool-level concurrency only)")
 	ckptEvery := fs.Duration("ckpt-every", 2*time.Second, "per-job checkpoint flush interval")
 	inject := fs.String("inject", "", `server fault plan (probe site "http"), e.g. 'seed=1;http:error:p=0.1'`)
+	clusterOn := fs.Bool("cluster", false, "coordinate a distributed correction cluster (workers join with -join)")
+	leaseTTL := fs.Duration("lease-ttl", 5*time.Second, "cluster shard lease TTL; expired leases requeue")
+	shardClasses := fs.Int("shard-classes", 4, "canonical tile classes per cluster shard")
+	requeueLimit := fs.Int("requeue-limit", 3, "requeues before a cluster shard is abandoned to local solving")
+	tenantQuota := fs.Int("tenant-quota", 0, "max queued jobs per tenant (0 = no per-tenant cap)")
+	tenantWeights := fs.String("tenant-weights", "", `fair-share dequeue weights, e.g. "acme=3,umbra=1" (missing tenants weigh 1)`)
+	join := fs.String("join", "", "run as a cluster worker of this coordinator URL instead of serving")
+	workerName := fs.String("worker-name", "", "worker display name in cluster status (default hostname-derived)")
 	patlibPath := fs.String("patlib", "", "shared cross-run pattern library file; jobs opt in via flow.patternLib")
 	patlibRO := fs.Bool("patlib-readonly", false, "serve pattern-library hits without persisting new solutions")
 	grace := fs.Duration("grace", 30*time.Second, "graceful shutdown budget for draining requests and jobs")
@@ -84,6 +105,26 @@ func run(args []string) int {
 		plan = p
 	}
 
+	if *join != "" {
+		return runWorker(*join, *workerName, plan, log)
+	}
+
+	weights, err := parseWeights(*tenantWeights)
+	if err != nil {
+		log.Errorf("-tenant-weights: %v", err)
+		return 2
+	}
+	var coord *cluster.Coordinator
+	if *clusterOn {
+		coord = cluster.New(cluster.Config{
+			LeaseTTL:     *leaseTTL,
+			ShardClasses: *shardClasses,
+			RequeueLimit: *requeueLimit,
+			Registry:     obs.Default(),
+			Log:          log,
+		})
+	}
+
 	srv := server.New(server.Config{
 		DataDir:         *dataDir,
 		Workers:         *workers,
@@ -98,6 +139,10 @@ func run(args []string) int {
 
 		PatternLibPath:     *patlibPath,
 		PatternLibReadOnly: *patlibRO,
+
+		TenantQuota:   *tenantQuota,
+		TenantWeights: weights,
+		Cluster:       coord,
 	})
 	if err := srv.Start(); err != nil {
 		log.Errorf("%v", err)
@@ -134,4 +179,47 @@ func run(args []string) int {
 	}
 	log.Infof("opcd stopped; queued and running jobs resume on next start")
 	return 0
+}
+
+// runWorker turns this process into a cluster worker: it joins the
+// coordinator, leases shards, solves them with the same engine the
+// daemon uses, and rejoins through coordinator restarts until
+// SIGINT/SIGTERM.
+func runWorker(join, name string, plan *faults.Plan, log *obs.Logger) int {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	log.Infof("opcd worker joining %s", join)
+	err := cluster.RunWorker(ctx, cluster.WorkerConfig{
+		Coordinator: join,
+		Name:        name,
+		Solve:       server.NewWorkerSolver(log, plan),
+		FaultPlan:   plan,
+		Log:         log,
+	})
+	if err != nil && !errors.Is(err, context.Canceled) {
+		log.Errorf("worker: %v", err)
+		return 1
+	}
+	log.Infof("opcd worker stopped")
+	return 0
+}
+
+// parseWeights parses "name=3,other=1" into tenant fair-share weights.
+func parseWeights(s string) (map[string]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := map[string]int{}
+	for _, part := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("bad entry %q, want name=weight", part)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("bad weight %q for %s (want a positive integer)", val, name)
+		}
+		out[name] = w
+	}
+	return out, nil
 }

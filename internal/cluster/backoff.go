@@ -1,0 +1,56 @@
+package cluster
+
+import (
+	"context"
+	"math/rand"
+	"time"
+)
+
+// Backoff produces jittered exponential retry delays: Base doubling
+// per attempt up to Max, each delay multiplied by a uniform factor in
+// [0.5, 1.5) so a fleet of workers retrying the same dead coordinator
+// does not thunder back in lockstep. The zero value uses sane
+// defaults. Not safe for concurrent use; each retry loop owns one.
+type Backoff struct {
+	Base time.Duration
+	Max  time.Duration
+	n    int
+}
+
+// Next returns the next delay and advances the schedule.
+func (b *Backoff) Next() time.Duration {
+	base := b.Base
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	max := b.Max
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	d := base << b.n
+	if d > max || d <= 0 {
+		d = max
+	} else {
+		b.n++
+	}
+	return time.Duration(float64(d) * (0.5 + rand.Float64()))
+}
+
+// Reset restarts the schedule from Base (call after a success).
+func (b *Backoff) Reset() { b.n = 0 }
+
+// SleepCtx sleeps for d honoring ctx; reports whether the sleep
+// completed (false means ctx was cancelled first).
+func SleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

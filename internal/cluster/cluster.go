@@ -1,0 +1,136 @@
+// Package cluster is the fault-tolerant distributed tile-correction
+// protocol (DESIGN.md 5i): a coordinator that shards a job's canonical
+// tile classes across workers registered over HTTP, built so the
+// degenerate cluster — zero workers, all workers dead, any worker
+// kill -9'd mid-shard — is never worse than single-process execution.
+//
+// The protocol is pull-based over four POST endpoints:
+//
+//	/cluster/join       worker registers, receives an id and lease TTL
+//	/cluster/lease      worker asks for a shard (or is told to idle)
+//	/cluster/heartbeat  worker extends its shard lease mid-solve
+//	/cluster/result     worker posts its shard's per-class results
+//
+// Correctness never depends on a worker behaving: every assignment is
+// a lease with a TTL, a background reconciler requeues any shard whose
+// lease expires (process death, network partition, injected fault),
+// idle workers steal duplicate assignments of straggler shards near
+// job end, and the result fold is idempotent first-write-wins — the
+// engine is deterministic, so duplicate completions are bit-identical
+// and the second is simply dropped. Workers retry every comms edge
+// with jittered exponential backoff and rejoin from scratch when the
+// coordinator forgets them.
+//
+// The wire format for a solved class is core.CheckpointEntry, the PR 4
+// checkpoint record: canonical-frame polygons plus RMS and iteration
+// count. A remote result folds into the run through the same path a
+// resumed checkpoint entry does, which is what makes distributed
+// output bit-identical to local output.
+package cluster
+
+import (
+	"encoding/json"
+
+	"goopc/internal/core"
+	"goopc/internal/geom"
+)
+
+// JobPayload is the flow context a shard's classes solve under. Flow
+// carries the submitting job's FlowSpec verbatim (the server package
+// owns that type; the coordinator never interprets it), so a worker
+// calibrates exactly the flow the coordinator's local path would use.
+type JobPayload struct {
+	Job  string          `json:"job"`
+	Flow json.RawMessage `json:"flow"`
+	// Level is the numeric core.Level; Tile the tile size (DBU); Pass
+	// the context pass the classes belong to.
+	Level int        `json:"level"`
+	Tile  geom.Coord `json:"tile"`
+	Pass  int        `json:"pass"`
+}
+
+// ClassWork is one canonical tile class to solve: the mirror of
+// core.ClassSolveRequest on the wire.
+type ClassWork struct {
+	Key    string         `json:"key"`
+	Core   geom.Rect      `json:"core"`
+	Active []geom.Polygon `json:"active"`
+	Halo   []geom.Polygon `json:"halo,omitempty"`
+}
+
+// ClassResult is one solved class: the checkpoint record doubling as
+// the wire format. Degraded names the resilience-ladder mode when the
+// worker could not solve the class cleanly ("rules"/"uncorrected");
+// Err carries a worker-side failure. Either being non-empty means the
+// class is unsolved — the coordinator counts it served but folds
+// nothing, and the submitting run's local ladder handles it, keeping
+// degraded geometry out of checkpoints.
+type ClassResult struct {
+	Key      string               `json:"key"`
+	Entry    core.CheckpointEntry `json:"entry"`
+	Degraded string               `json:"degraded,omitempty"`
+	Err      string               `json:"err,omitempty"`
+}
+
+// JoinRequest registers a worker.
+type JoinRequest struct {
+	Name string `json:"name"`
+}
+
+// JoinResponse assigns the worker its id and the lease parameters it
+// must heartbeat within.
+type JoinResponse struct {
+	WorkerID    string `json:"worker_id"`
+	LeaseTTLMS  int64  `json:"lease_ttl_ms"`
+	PollDelayMS int64  `json:"poll_delay_ms"`
+}
+
+// LeaseRequest asks for work.
+type LeaseRequest struct {
+	WorkerID string `json:"worker_id"`
+}
+
+// Assignment is one leased shard: a slice of a job's classes under one
+// payload. Stolen marks a duplicate assignment of a shard another
+// worker is still holding (work-stealing near job end).
+type Assignment struct {
+	ShardID string      `json:"shard_id"`
+	Payload JobPayload  `json:"payload"`
+	Classes []ClassWork `json:"classes"`
+	Stolen  bool        `json:"stolen,omitempty"`
+}
+
+// LeaseResponse carries an assignment, or nothing (idle — poll again
+// after PollDelayMS).
+type LeaseResponse struct {
+	Assignment *Assignment `json:"assignment,omitempty"`
+}
+
+// HeartbeatRequest extends a shard lease; Done reports solved-so-far
+// for observability.
+type HeartbeatRequest struct {
+	WorkerID string `json:"worker_id"`
+	ShardID  string `json:"shard_id"`
+	Done     int    `json:"done"`
+}
+
+// HeartbeatResponse; Abandon tells the worker to drop the shard — it
+// was requeued after a lease expiry, completed by another worker, or
+// its job is gone. The worker stops solving and asks for a new lease.
+type HeartbeatResponse struct {
+	Abandon bool `json:"abandon,omitempty"`
+}
+
+// ResultRequest posts a completed (or partially completed) shard.
+type ResultRequest struct {
+	WorkerID string        `json:"worker_id"`
+	ShardID  string        `json:"shard_id"`
+	Results  []ClassResult `json:"results"`
+}
+
+// ResultResponse reports how many class results were folded (already-
+// folded duplicates and unknown shards count zero — both are normal
+// after a requeue, not errors).
+type ResultResponse struct {
+	Folded int `json:"folded"`
+}

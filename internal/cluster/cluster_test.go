@@ -1,0 +1,468 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"goopc/internal/core"
+	"goopc/internal/faults"
+	"goopc/internal/geom"
+	"goopc/internal/obs"
+)
+
+// testConfig is tuned for fast protocol tests: tiny leases, eager
+// polls, 2-class shards.
+func testConfig() Config {
+	return Config{
+		LeaseTTL:        300 * time.Millisecond,
+		PollDelay:       10 * time.Millisecond,
+		ShardClasses:    2,
+		RequeueLimit:    3,
+		CircuitCooldown: 200 * time.Millisecond,
+		Registry:        obs.NewRegistry(),
+	}
+}
+
+func startCoord(t *testing.T, cfg Config) (*Coordinator, *httptest.Server) {
+	t.Helper()
+	co := New(cfg)
+	co.Start()
+	mux := http.NewServeMux()
+	co.Register(mux)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(func() {
+		ts.Close()
+		co.Stop()
+	})
+	return co, ts
+}
+
+// fakeEntry derives a recognizable deterministic result per class key.
+func fakeEntry(key string) core.CheckpointEntry {
+	return core.CheckpointEntry{
+		Polys: []geom.Polygon{geom.R(0, 0, geom.Coord(len(key)), 10).Polygon()},
+		RMS:   float64(len(key)) + 0.5,
+		Iters: 3,
+	}
+}
+
+func fakeSolve(ctx context.Context, pl JobPayload, cw ClassWork) ClassResult {
+	return ClassResult{Entry: fakeEntry(cw.Key)}
+}
+
+func classWorks(n int) []ClassWork {
+	out := make([]ClassWork, n)
+	for i := range out {
+		out[i] = ClassWork{Key: fmt.Sprintf("class-%03d", i), Core: geom.R(0, 0, 100, 100)}
+	}
+	return out
+}
+
+// startWorker runs a RunWorker loop for the test's lifetime.
+func startWorker(t *testing.T, url, name string, solve SolveFunc, plan *faults.Plan) context.CancelFunc {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		RunWorker(ctx, WorkerConfig{Coordinator: url, Name: name, Solve: solve, FaultPlan: plan})
+	}()
+	stop := func() {
+		cancel()
+		<-done
+	}
+	t.Cleanup(stop)
+	return stop
+}
+
+func waitWorkers(t *testing.T, co *Coordinator, n int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(co.Status().Workers) >= n {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("never saw %d workers (status %+v)", n, co.Status())
+}
+
+func TestClusterSolveBasic(t *testing.T) {
+	co, ts := startCoord(t, testConfig())
+	startWorker(t, ts.URL, "a", fakeSolve, nil)
+	startWorker(t, ts.URL, "b", fakeSolve, nil)
+	waitWorkers(t, co, 2)
+
+	works := classWorks(9)
+	got := co.Solve(context.Background(), JobPayload{Job: "j1", Pass: 1}, works)
+	if len(got) != len(works) {
+		t.Fatalf("solved %d of %d classes", len(got), len(works))
+	}
+	for _, cw := range works {
+		ent, ok := got[cw.Key]
+		if !ok {
+			t.Fatalf("class %s missing", cw.Key)
+		}
+		want := fakeEntry(cw.Key)
+		if ent.RMS != want.RMS || ent.Iters != want.Iters || len(ent.Polys) != 1 {
+			t.Fatalf("class %s entry mangled: %+v", cw.Key, ent)
+		}
+	}
+	st := co.Status()
+	if st.Completed == 0 || st.Remote != int64(len(works)) {
+		t.Fatalf("status accounting off: %+v", st)
+	}
+}
+
+func TestClusterZeroWorkersLocalFallback(t *testing.T) {
+	co, _ := startCoord(t, testConfig())
+	t0 := time.Now()
+	got := co.Solve(context.Background(), JobPayload{Job: "j1"}, classWorks(4))
+	if got != nil {
+		t.Fatalf("no-worker solve returned %d entries, want nil", len(got))
+	}
+	if d := time.Since(t0); d > time.Second {
+		t.Fatalf("no-worker solve took %s, want immediate", d)
+	}
+	if st := co.Status(); st.Fallbacks != 1 {
+		t.Fatalf("fallbacks = %d, want 1", st.Fallbacks)
+	}
+}
+
+// postJSON is a bare-protocol helper for tests that play a misbehaving
+// worker by hand.
+func postJSON(t *testing.T, url string, in, out any) int {
+	t.Helper()
+	body, _ := json.Marshal(in)
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("post %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode < 400 {
+		json.NewDecoder(resp.Body).Decode(out)
+	}
+	return resp.StatusCode
+}
+
+func joinManual(t *testing.T, url, name string) string {
+	var jr JoinResponse
+	if code := postJSON(t, url+"/cluster/join", JoinRequest{Name: name}, &jr); code != 200 {
+		t.Fatalf("join: HTTP %d", code)
+	}
+	return jr.WorkerID
+}
+
+func leaseManual(t *testing.T, url, wid string) *Assignment {
+	var lr LeaseResponse
+	if code := postJSON(t, url+"/cluster/lease", LeaseRequest{WorkerID: wid}, &lr); code != 200 {
+		t.Fatalf("lease: HTTP %d", code)
+	}
+	return lr.Assignment
+}
+
+// TestClusterLeaseExpiryRequeue models kill -9: a worker takes a shard
+// and goes silent. The reconciler must requeue it and a healthy worker
+// must finish the job with full results.
+func TestClusterLeaseExpiryRequeue(t *testing.T) {
+	co, ts := startCoord(t, testConfig())
+
+	// The victim: joins, grabs one shard, never heartbeats or posts.
+	victim := joinManual(t, ts.URL, "victim")
+
+	works := classWorks(6)
+	done := make(chan map[string]core.CheckpointEntry, 1)
+	go func() {
+		done <- co.Solve(context.Background(), JobPayload{Job: "j1", Pass: 1}, works)
+	}()
+
+	// Grab a shard as the victim, then die.
+	var grabbed *Assignment
+	deadline := time.Now().Add(5 * time.Second)
+	for grabbed == nil && time.Now().Before(deadline) {
+		grabbed = leaseManual(t, ts.URL, victim)
+		time.Sleep(5 * time.Millisecond)
+	}
+	if grabbed == nil {
+		t.Fatal("victim never got a shard")
+	}
+
+	// Wait for the reconciler to notice the dead lease and requeue the
+	// shard before adding capacity — otherwise the survivor would
+	// rescue it by stealing, which is a different test.
+	for deadline := time.Now().Add(10 * time.Second); co.Status().Requeued == 0; {
+		if !time.Now().Before(deadline) {
+			t.Fatalf("reconciler never requeued the dead shard: %+v", co.Status())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The survivor finishes everything, including the requeued shard.
+	startWorker(t, ts.URL, "survivor", fakeSolve, nil)
+
+	select {
+	case got := <-done:
+		if len(got) != len(works) {
+			t.Fatalf("solved %d of %d classes after worker death", len(got), len(works))
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("solve never completed after worker death")
+	}
+	if st := co.Status(); st.Requeued == 0 {
+		t.Fatalf("no requeue recorded: %+v", st)
+	}
+}
+
+// TestClusterDuplicateCompletionIdempotent posts the same shard result
+// twice and from a thief; the fold must count each class once.
+func TestClusterDuplicateCompletionIdempotent(t *testing.T) {
+	cfg := testConfig()
+	cfg.LeaseTTL = 5 * time.Second // no expiry interference
+	co, ts := startCoord(t, cfg)
+
+	wa := joinManual(t, ts.URL, "a")
+	wb := joinManual(t, ts.URL, "b")
+
+	works := classWorks(2) // one shard
+	done := make(chan map[string]core.CheckpointEntry, 1)
+	go func() {
+		done <- co.Solve(context.Background(), JobPayload{Job: "j1", Pass: 1}, works)
+	}()
+
+	var a *Assignment
+	deadline := time.Now().Add(5 * time.Second)
+	for a == nil && time.Now().Before(deadline) {
+		a = leaseManual(t, ts.URL, wa)
+		time.Sleep(5 * time.Millisecond)
+	}
+	if a == nil {
+		t.Fatal("worker a never got the shard")
+	}
+	// b steals the straggler.
+	b := leaseManual(t, ts.URL, wb)
+	if b == nil || !b.Stolen || b.ShardID != a.ShardID {
+		t.Fatalf("no steal: %+v", b)
+	}
+	results := func() []ClassResult {
+		out := make([]ClassResult, 0, len(a.Classes))
+		for _, cw := range a.Classes {
+			out = append(out, ClassResult{Key: cw.Key, Entry: fakeEntry(cw.Key)})
+		}
+		return out
+	}()
+	var r1, r2, r3 ResultResponse
+	postJSON(t, ts.URL+"/cluster/result", ResultRequest{WorkerID: wa, ShardID: a.ShardID, Results: results}, &r1)
+	postJSON(t, ts.URL+"/cluster/result", ResultRequest{WorkerID: wa, ShardID: a.ShardID, Results: results}, &r2)
+	postJSON(t, ts.URL+"/cluster/result", ResultRequest{WorkerID: wb, ShardID: b.ShardID, Results: results}, &r3)
+	if r1.Folded != 2 || r2.Folded != 0 || r3.Folded != 0 {
+		t.Fatalf("folded %d/%d/%d, want 2/0/0", r1.Folded, r2.Folded, r3.Folded)
+	}
+	got := <-done
+	if len(got) != 2 {
+		t.Fatalf("solved %d classes, want 2", len(got))
+	}
+	st := co.Status()
+	if st.Stolen != 1 || st.Duplicates == 0 {
+		t.Fatalf("steal/duplicate accounting off: %+v", st)
+	}
+}
+
+// TestClusterWorkerJoinsMidJob starts a job on one slow worker and
+// adds a second mid-flight; the job completes and the newcomer serves
+// at least one shard (fresh or stolen).
+func TestClusterWorkerJoinsMidJob(t *testing.T) {
+	co, ts := startCoord(t, testConfig())
+	slow := func(ctx context.Context, pl JobPayload, cw ClassWork) ClassResult {
+		if !SleepCtx(ctx, 50*time.Millisecond) {
+			return ClassResult{Err: "cancelled"}
+		}
+		return ClassResult{Entry: fakeEntry(cw.Key)}
+	}
+	startWorker(t, ts.URL, "early", slow, nil)
+	waitWorkers(t, co, 1)
+
+	works := classWorks(10)
+	done := make(chan map[string]core.CheckpointEntry, 1)
+	go func() {
+		done <- co.Solve(context.Background(), JobPayload{Job: "j1", Pass: 1}, works)
+	}()
+	time.Sleep(60 * time.Millisecond)
+	startWorker(t, ts.URL, "late", slow, nil)
+
+	select {
+	case got := <-done:
+		if len(got) != len(works) {
+			t.Fatalf("solved %d of %d classes", len(got), len(works))
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("solve never completed")
+	}
+	if st := co.Status(); len(st.Workers) != 2 {
+		t.Fatalf("want 2 workers in status, got %+v", st.Workers)
+	}
+}
+
+// TestClusterHeartbeatFlapping drops half of all heartbeats (and
+// sprinkles lease-call failures); with the TTL comfortably above the
+// heartbeat interval the shards must still complete without loss.
+func TestClusterHeartbeatFlapping(t *testing.T) {
+	plan, err := faults.Parse("seed=7;worker.heartbeat:error:p=0.5;rpc.lease:error:p=0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig()
+	cfg.LeaseTTL = 2 * time.Second
+	cfg.FaultPlan = plan // rpc.* fires coordinator-side
+	co, ts := startCoord(t, cfg)
+	slow := func(ctx context.Context, pl JobPayload, cw ClassWork) ClassResult {
+		if !SleepCtx(ctx, 30*time.Millisecond) {
+			return ClassResult{Err: "cancelled"}
+		}
+		return ClassResult{Entry: fakeEntry(cw.Key)}
+	}
+	startWorker(t, ts.URL, "flappy", slow, plan)
+	waitWorkers(t, co, 1)
+
+	works := classWorks(8)
+	got := co.Solve(context.Background(), JobPayload{Job: "j1", Pass: 1}, works)
+	if len(got) != len(works) {
+		t.Fatalf("solved %d of %d classes under flapping", len(got), len(works))
+	}
+}
+
+// TestClusterAbandonAndCircuit: a worker that leases shards and never
+// delivers burns through the requeue budget; the Solve barrier must
+// release with no results (local fallback), and the circuit must then
+// short-circuit the next Solve instantly until the cooldown passes.
+func TestClusterAbandonAndCircuit(t *testing.T) {
+	cfg := testConfig()
+	cfg.LeaseTTL = 100 * time.Millisecond
+	cfg.RequeueLimit = 1
+	cfg.CircuitCooldown = time.Minute
+	co, ts := startCoord(t, cfg)
+
+	// A black hole: keeps leasing (so it stays "healthy") and silently
+	// discards every assignment. Runs off the test goroutine, so posts
+	// must not t.Fatal — errors are simply ignored.
+	stop := make(chan struct{})
+	defer close(stop)
+	wid := joinManual(t, ts.URL, "blackhole")
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(10 * time.Millisecond):
+				body, _ := json.Marshal(LeaseRequest{WorkerID: wid})
+				if resp, err := http.Post(ts.URL+"/cluster/lease", "application/json", bytes.NewReader(body)); err == nil {
+					resp.Body.Close()
+				}
+			}
+		}
+	}()
+
+	works := classWorks(4)
+	got := co.Solve(context.Background(), JobPayload{Job: "j1", Pass: 1}, works)
+	if len(got) != 0 {
+		t.Fatalf("black-hole cluster produced %d results, want 0", len(got))
+	}
+	st := co.Status()
+	if st.Abandoned == 0 || !st.CircuitOpen {
+		t.Fatalf("want abandoned shards and open circuit: %+v", st)
+	}
+	t0 := time.Now()
+	if got := co.Solve(context.Background(), JobPayload{Job: "j2", Pass: 1}, works); got != nil {
+		t.Fatalf("open-circuit solve returned results")
+	}
+	if d := time.Since(t0); d > time.Second {
+		t.Fatalf("open-circuit solve took %s, want immediate", d)
+	}
+}
+
+// TestClusterDegradedNotFolded: degraded worker results must be
+// reported unsolved, never folded into the result map.
+func TestClusterDegradedNotFolded(t *testing.T) {
+	co, ts := startCoord(t, testConfig())
+	degrading := func(ctx context.Context, pl JobPayload, cw ClassWork) ClassResult {
+		if cw.Key == "class-001" {
+			return ClassResult{Degraded: "rules", Entry: fakeEntry(cw.Key)}
+		}
+		return ClassResult{Entry: fakeEntry(cw.Key)}
+	}
+	startWorker(t, ts.URL, "d", degrading, nil)
+	waitWorkers(t, co, 1)
+
+	works := classWorks(4)
+	got := co.Solve(context.Background(), JobPayload{Job: "j1", Pass: 1}, works)
+	if len(got) != 3 {
+		t.Fatalf("solved %d classes, want 3 (one degraded)", len(got))
+	}
+	if _, ok := got["class-001"]; ok {
+		t.Fatal("degraded class was folded")
+	}
+	if st := co.Status(); st.Failed != 1 {
+		t.Fatalf("failed classes = %d, want 1", st.Failed)
+	}
+}
+
+// TestClusterSolveCancel releases the barrier on caller cancellation
+// and detaches the job so late results are dropped, not folded.
+func TestClusterSolveCancel(t *testing.T) {
+	cfg := testConfig()
+	cfg.LeaseTTL = 5 * time.Second
+	co, ts := startCoord(t, cfg)
+	wid := joinManual(t, ts.URL, "slowpoke")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan map[string]core.CheckpointEntry, 1)
+	go func() {
+		done <- co.Solve(ctx, JobPayload{Job: "j1", Pass: 1}, classWorks(2))
+	}()
+	var a *Assignment
+	deadline := time.Now().Add(5 * time.Second)
+	for a == nil && time.Now().Before(deadline) {
+		a = leaseManual(t, ts.URL, wid)
+		time.Sleep(5 * time.Millisecond)
+	}
+	if a == nil {
+		t.Fatal("never got the shard")
+	}
+	cancel()
+	select {
+	case got := <-done:
+		if len(got) != 0 {
+			t.Fatalf("cancelled solve returned %d results", len(got))
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled solve never returned")
+	}
+	// Late post lands on a detached shard: accepted, dropped.
+	var rr ResultResponse
+	postJSON(t, ts.URL+"/cluster/result", ResultRequest{
+		WorkerID: wid, ShardID: a.ShardID,
+		Results: []ClassResult{{Key: a.Classes[0].Key, Entry: fakeEntry(a.Classes[0].Key)}},
+	}, &rr)
+	if rr.Folded != 0 {
+		t.Fatalf("late result folded %d, want 0", rr.Folded)
+	}
+}
+
+func TestBackoffJitterBounds(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: time.Second}
+	for i := 0; i < 10; i++ {
+		raw := 100 * time.Millisecond << i
+		if raw > time.Second || raw <= 0 {
+			raw = time.Second
+		}
+		d := b.Next()
+		if d < raw/2 || d >= raw*3/2 {
+			t.Fatalf("attempt %d: delay %s outside [%s, %s)", i, d, raw/2, raw*3/2)
+		}
+	}
+}

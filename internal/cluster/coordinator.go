@@ -1,0 +1,631 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"goopc/internal/core"
+	"goopc/internal/faults"
+	"goopc/internal/obs"
+)
+
+// Config tunes the coordinator. The zero value works; every field has
+// a production default.
+type Config struct {
+	// LeaseTTL is how long a shard assignment stays valid without a
+	// heartbeat before the reconciler requeues it (default 5s). Workers
+	// heartbeat at TTL/3.
+	LeaseTTL time.Duration
+	// PollDelay is the idle re-poll interval suggested to workers when
+	// no work is pending (default 250ms).
+	PollDelay time.Duration
+	// ShardClasses caps the classes per shard (default 4). Small shards
+	// cost more round trips but bound the work lost to a dead worker
+	// and give stealing its granularity.
+	ShardClasses int
+	// RequeueLimit is how many times one shard may be requeued before
+	// the coordinator gives up on it and leaves its classes to the
+	// submitting run's local fallback (default 3).
+	RequeueLimit int
+	// CircuitCooldown is how long Solve short-circuits to local
+	// execution after a job ends with zero remote results despite
+	// healthy workers (default 15s).
+	CircuitCooldown time.Duration
+	// FaultPlan arms the coordinator-side chaos probes (sites
+	// "rpc.join", "rpc.lease", "rpc.heartbeat", "rpc.result"); an
+	// injected error turns into a 503 the worker retries through.
+	FaultPlan *faults.Plan
+	// Log may be nil (every method on a nil *obs.Logger is a no-op);
+	// Registry defaults to obs.Default().
+	Log      *obs.Logger
+	Registry *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 5 * time.Second
+	}
+	if c.PollDelay <= 0 {
+		c.PollDelay = 250 * time.Millisecond
+	}
+	if c.ShardClasses <= 0 {
+		c.ShardClasses = 4
+	}
+	if c.RequeueLimit <= 0 {
+		c.RequeueLimit = 3
+	}
+	if c.CircuitCooldown <= 0 {
+		c.CircuitCooldown = 15 * time.Second
+	}
+	if c.Registry == nil {
+		c.Registry = obs.Default()
+	}
+	return c
+}
+
+// workerState is one registered worker.
+type workerState struct {
+	id       string
+	name     string
+	lastSeen time.Time
+	// shard is the shard id this worker currently holds ("" idle) —
+	// each worker holds at most one shard at a time.
+	shard string
+}
+
+// solveJob is one Solve call in flight: the barrier the submitting
+// run's scheduler waits on.
+type solveJob struct {
+	payload   JobPayload
+	remaining int
+	results   map[string]core.CheckpointEntry
+	done      chan struct{}
+	closed    bool
+}
+
+func (j *solveJob) finishLocked() {
+	if !j.closed && j.remaining <= 0 {
+		j.closed = true
+		close(j.done)
+	}
+}
+
+// shard is one leased slice of a job's classes.
+type shard struct {
+	id      string
+	job     *solveJob
+	classes []ClassWork
+	// pending is the class keys not yet folded or failed.
+	pending map[string]bool
+	// primary / stolen are the holders ("" unheld). leaseUntil is
+	// shared: either holder's heartbeat extends it.
+	primary    string
+	stolen     string
+	leaseUntil time.Time
+	assignedAt time.Time
+	requeues   int
+	queued     bool // on the pending list, awaiting a worker
+}
+
+func (s *shard) held() bool { return s.primary != "" || s.stolen != "" }
+
+// Coordinator owns the cluster protocol state: the worker table, the
+// shard queue and leases, the reconciler, and the idempotent result
+// fold. One Coordinator serves any number of concurrent Solve calls.
+type Coordinator struct {
+	cfg Config
+	log *obs.Logger
+	met *metrics
+
+	mu           sync.Mutex
+	workers      map[string]*workerState
+	shards       map[string]*shard
+	pending      []*shard // FIFO of unheld shards
+	jobs         int      // Solve calls in flight
+	wseq, sseq   int64
+	circuitUntil time.Time
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+// New builds a coordinator. Call Start before serving and Stop on
+// shutdown.
+func New(cfg Config) *Coordinator {
+	cfg = cfg.withDefaults()
+	return &Coordinator{
+		cfg:     cfg,
+		log:     cfg.Log,
+		met:     newMetrics(cfg.Registry),
+		workers: map[string]*workerState{},
+		shards:  map[string]*shard{},
+		stop:    make(chan struct{}),
+	}
+}
+
+// Start launches the lease reconciler.
+func (c *Coordinator) Start() {
+	c.wg.Add(1)
+	go c.reconcileLoop()
+}
+
+// Stop halts the reconciler (idempotent). In-flight Solve calls are
+// not aborted; their callers' contexts own that.
+func (c *Coordinator) Stop() {
+	c.once.Do(func() { close(c.stop) })
+	c.wg.Wait()
+}
+
+func (c *Coordinator) reconcileLoop() {
+	defer c.wg.Done()
+	tick := time.NewTicker(c.cfg.LeaseTTL / 4)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-tick.C:
+			c.reconcile(time.Now())
+		}
+	}
+}
+
+// reconcile requeues expired shards and prunes dead workers — the
+// recovery path for kill -9, partitions, and injected faults. A shard
+// over its requeue budget is abandoned: its classes count as served-
+// unsolved so the submitting run's local ladder picks them up instead
+// of the job hanging forever on a poisonous shard.
+func (c *Coordinator) reconcile(now time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for id, ws := range c.workers {
+		if now.Sub(ws.lastSeen) > 3*c.cfg.LeaseTTL {
+			c.log.Infof("worker %s (%s) expired", id, ws.name)
+			delete(c.workers, id)
+			c.met.workers.Set(float64(len(c.workers)))
+			// Its shard, if any, is handled by lease expiry below.
+		}
+	}
+	for _, sh := range c.shards {
+		if !sh.held() || now.Before(sh.leaseUntil) {
+			continue
+		}
+		c.releaseHoldersLocked(sh)
+		sh.requeues++
+		c.met.requeued.Inc()
+		if sh.requeues > c.cfg.RequeueLimit {
+			c.log.Errorf("shard %s abandoned after %d requeues (%d classes to local fallback)",
+				sh.id, sh.requeues-1, len(sh.pending))
+			c.met.abandoned.Inc()
+			c.failShardLocked(sh)
+			continue
+		}
+		c.log.Infof("shard %s lease expired; requeued (%d/%d)", sh.id, sh.requeues, c.cfg.RequeueLimit)
+		sh.queued = true
+		c.pending = append(c.pending, sh)
+	}
+}
+
+// releaseHoldersLocked detaches a shard from its holders.
+func (c *Coordinator) releaseHoldersLocked(sh *shard) {
+	for _, wid := range []string{sh.primary, sh.stolen} {
+		if ws := c.workers[wid]; ws != nil && ws.shard == sh.id {
+			ws.shard = ""
+		}
+	}
+	sh.primary, sh.stolen = "", ""
+}
+
+// failShardLocked gives up on a shard: its unfolded classes are
+// counted served so the Solve barrier releases and the local path
+// solves them.
+func (c *Coordinator) failShardLocked(sh *shard) {
+	delete(c.shards, sh.id)
+	sh.job.remaining -= len(sh.pending)
+	sh.pending = nil
+	sh.job.finishLocked()
+}
+
+// healthyLocked counts workers seen within the expiry horizon.
+func (c *Coordinator) healthyLocked(now time.Time) int {
+	n := 0
+	for _, ws := range c.workers {
+		if now.Sub(ws.lastSeen) <= 3*c.cfg.LeaseTTL {
+			n++
+		}
+	}
+	return n
+}
+
+// Solve shards the classes across the registered workers and blocks
+// until every class is folded, failed, or ctx ends. The returned map
+// holds the cleanly solved classes; missing keys are the caller's to
+// solve locally (the core.ClassSolver contract). With no healthy
+// workers — or while the failure circuit is open — it returns nil
+// immediately: the degenerate cluster costs one mutex acquisition.
+func (c *Coordinator) Solve(ctx context.Context, payload JobPayload, classes []ClassWork) map[string]core.CheckpointEntry {
+	if len(classes) == 0 {
+		return nil
+	}
+	now := time.Now()
+	c.mu.Lock()
+	if now.Before(c.circuitUntil) {
+		c.met.localFallbacks.Inc()
+		c.mu.Unlock()
+		return nil
+	}
+	if c.healthyLocked(now) == 0 {
+		c.met.localFallbacks.Inc()
+		c.mu.Unlock()
+		return nil
+	}
+	job := &solveJob{
+		payload:   payload,
+		remaining: len(classes),
+		results:   make(map[string]core.CheckpointEntry, len(classes)),
+		done:      make(chan struct{}),
+	}
+	c.jobs++
+	for off := 0; off < len(classes); off += c.cfg.ShardClasses {
+		end := off + c.cfg.ShardClasses
+		if end > len(classes) {
+			end = len(classes)
+		}
+		c.sseq++
+		sh := &shard{
+			id:      fmt.Sprintf("s%d", c.sseq),
+			job:     job,
+			classes: classes[off:end],
+			pending: make(map[string]bool, end-off),
+			queued:  true,
+		}
+		for _, cw := range sh.classes {
+			sh.pending[cw.Key] = true
+		}
+		c.shards[sh.id] = sh
+		c.pending = append(c.pending, sh)
+	}
+	c.mu.Unlock()
+
+	select {
+	case <-job.done:
+	case <-ctx.Done():
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.jobs--
+	c.detachJobLocked(job)
+	if len(job.results) == 0 && ctx.Err() == nil {
+		// Healthy-looking workers produced nothing: open the circuit so
+		// the next runs go straight to local execution instead of
+		// paying the barrier again.
+		c.circuitUntil = time.Now().Add(c.cfg.CircuitCooldown)
+		c.met.circuitOpens.Inc()
+		c.log.Errorf("job %s: no remote results; circuit open for %s", payload.Job, c.cfg.CircuitCooldown)
+	} else if len(job.results) > 0 {
+		c.circuitUntil = time.Time{}
+	}
+	c.met.classesRemote.Add(int64(len(job.results)))
+	return job.results
+}
+
+// detachJobLocked removes a finished/cancelled job's shards so late
+// workers get Abandon instead of folding into a dead barrier.
+func (c *Coordinator) detachJobLocked(job *solveJob) {
+	for id, sh := range c.shards {
+		if sh.job == job {
+			c.releaseHoldersLocked(sh)
+			sh.queued = false
+			delete(c.shards, id)
+		}
+	}
+	live := c.pending[:0]
+	for _, sh := range c.pending {
+		if sh.job != job && sh.queued {
+			live = append(live, sh)
+		}
+	}
+	c.pending = live
+	job.remaining = 0
+	job.finishLocked()
+}
+
+// Register mounts the protocol endpoints on a Go 1.22 pattern mux.
+func (c *Coordinator) Register(mux *http.ServeMux) {
+	mux.HandleFunc("POST /cluster/join", c.handleJoin)
+	mux.HandleFunc("POST /cluster/lease", c.handleLease)
+	mux.HandleFunc("POST /cluster/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("POST /cluster/result", c.handleResult)
+	mux.HandleFunc("GET /cluster/status", c.handleStatus)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+// probe runs the coordinator-side chaos probe for an rpc site; a fired
+// error becomes a 503 the worker's retry loop absorbs.
+func (c *Coordinator) probe(w http.ResponseWriter, r *http.Request, site string) bool {
+	if err := c.cfg.FaultPlan.Probe(r.Context(), site); err != nil {
+		writeError(w, http.StatusServiceUnavailable, "chaos: "+err.Error())
+		return false
+	}
+	return true
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(io.LimitReader(r.Body, 256<<20)).Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
+	if !c.probe(w, r, "rpc.join") {
+		return
+	}
+	var req JoinRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	c.mu.Lock()
+	c.wseq++
+	ws := &workerState{id: fmt.Sprintf("w%d", c.wseq), name: req.Name, lastSeen: time.Now()}
+	c.workers[ws.id] = ws
+	c.met.joins.Inc()
+	c.met.workers.Set(float64(len(c.workers)))
+	c.mu.Unlock()
+	c.log.Infof("worker %s (%s) joined", ws.id, ws.name)
+	writeJSON(w, http.StatusOK, JoinResponse{
+		WorkerID:    ws.id,
+		LeaseTTLMS:  c.cfg.LeaseTTL.Milliseconds(),
+		PollDelayMS: c.cfg.PollDelay.Milliseconds(),
+	})
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	if !c.probe(w, r, "rpc.lease") {
+		return
+	}
+	var req LeaseRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ws := c.workers[req.WorkerID]
+	if ws == nil {
+		writeError(w, http.StatusGone, "unknown worker (rejoin)")
+		return
+	}
+	ws.lastSeen = now
+	c.met.leases.Inc()
+	// Lost-response retry: the worker already holds a shard it never
+	// learned about — re-deliver the same assignment.
+	if sh := c.shards[ws.shard]; sh != nil && sh.held() {
+		writeJSON(w, http.StatusOK, LeaseResponse{Assignment: c.assignmentLocked(sh, ws.id)})
+		return
+	}
+	ws.shard = ""
+	// Pending work first; otherwise steal a straggler.
+	for len(c.pending) > 0 {
+		sh := c.pending[0]
+		c.pending = c.pending[1:]
+		if !sh.queued || c.shards[sh.id] == nil {
+			continue // detached while queued
+		}
+		sh.queued = false
+		sh.primary = ws.id
+		sh.leaseUntil = now.Add(c.cfg.LeaseTTL)
+		sh.assignedAt = now
+		ws.shard = sh.id
+		c.met.assigned.Inc()
+		writeJSON(w, http.StatusOK, LeaseResponse{Assignment: c.assignmentLocked(sh, ws.id)})
+		return
+	}
+	if sh := c.stealLocked(ws.id, now); sh != nil {
+		ws.shard = sh.id
+		c.met.stolen.Inc()
+		c.log.Infof("worker %s steals straggler shard %s from %s", ws.id, sh.id, sh.primary)
+		writeJSON(w, http.StatusOK, LeaseResponse{Assignment: c.assignmentLocked(sh, ws.id)})
+		return
+	}
+	writeJSON(w, http.StatusOK, LeaseResponse{})
+}
+
+// stealLocked picks the oldest-running singly-held shard for an idle
+// worker to duplicate — work-stealing near job end, when the pending
+// queue is dry but stragglers hold the barrier. The duplicate fold is
+// idempotent, so racing completions are safe by construction.
+func (c *Coordinator) stealLocked(wid string, now time.Time) *shard {
+	var best *shard
+	for _, sh := range c.shards {
+		if sh.queued || sh.primary == "" || sh.stolen != "" || sh.primary == wid {
+			continue
+		}
+		if best == nil || sh.assignedAt.Before(best.assignedAt) {
+			best = sh
+		}
+	}
+	if best != nil {
+		best.stolen = wid
+		best.leaseUntil = now.Add(c.cfg.LeaseTTL)
+	}
+	return best
+}
+
+func (c *Coordinator) assignmentLocked(sh *shard, wid string) *Assignment {
+	pl := sh.job.payload
+	return &Assignment{
+		ShardID: sh.id,
+		Payload: pl,
+		Classes: sh.classes,
+		Stolen:  sh.primary != wid,
+	}
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	if !c.probe(w, r, "rpc.heartbeat") {
+		return
+	}
+	var req HeartbeatRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ws := c.workers[req.WorkerID]
+	if ws == nil {
+		writeError(w, http.StatusGone, "unknown worker (rejoin)")
+		return
+	}
+	ws.lastSeen = now
+	sh := c.shards[req.ShardID]
+	if sh == nil || (sh.primary != req.WorkerID && sh.stolen != req.WorkerID) {
+		// Completed by someone else, requeued after an expiry, or the
+		// job is gone: stop working on it.
+		if ws.shard == req.ShardID {
+			ws.shard = ""
+		}
+		writeJSON(w, http.StatusOK, HeartbeatResponse{Abandon: true})
+		return
+	}
+	sh.leaseUntil = now.Add(c.cfg.LeaseTTL)
+	writeJSON(w, http.StatusOK, HeartbeatResponse{})
+}
+
+func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
+	if !c.probe(w, r, "rpc.result") {
+		return
+	}
+	var req ResultRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ws := c.workers[req.WorkerID]; ws != nil {
+		ws.lastSeen = time.Now()
+		if ws.shard == req.ShardID {
+			ws.shard = ""
+		}
+	}
+	sh := c.shards[req.ShardID]
+	if sh == nil {
+		// Already completed by a duplicate holder, abandoned, or the job
+		// ended. Not an error: accept and drop (idempotent fold).
+		c.met.duplicates.Inc()
+		writeJSON(w, http.StatusOK, ResultResponse{})
+		return
+	}
+	folded := 0
+	for _, res := range req.Results {
+		if !sh.pending[res.Key] {
+			c.met.duplicates.Inc()
+			continue
+		}
+		delete(sh.pending, res.Key)
+		sh.job.remaining--
+		if res.Err != "" || res.Degraded != "" {
+			// Served but unsolved: the class goes to the submitting
+			// run's local ladder. Folding a degraded result would let it
+			// into checkpoints and break the fault-free-resume
+			// invariant.
+			c.met.classesFailed.Inc()
+			continue
+		}
+		sh.job.results[res.Key] = res.Entry
+		folded++
+	}
+	if len(sh.pending) == 0 {
+		c.releaseHoldersLocked(sh)
+		delete(c.shards, sh.id)
+		c.met.completed.Inc()
+		sh.job.finishLocked()
+	}
+	writeJSON(w, http.StatusOK, ResultResponse{Folded: folded})
+}
+
+// WorkerStatus is one row of the cluster status report.
+type WorkerStatus struct {
+	ID       string `json:"id"`
+	Name     string `json:"name,omitempty"`
+	Shard    string `json:"shard,omitempty"`
+	LastSeen string `json:"last_seen"`
+}
+
+// StatusReport is the /cluster/status document (also embedded in the
+// opcd /status view).
+type StatusReport struct {
+	Workers        []WorkerStatus `json:"workers"`
+	Jobs           int            `json:"jobs"`
+	PendingShards  int            `json:"pending_shards"`
+	InflightShards int            `json:"inflight_shards"`
+	CircuitOpen    bool           `json:"circuit_open"`
+	// Lifetime counters.
+	Assigned   int64 `json:"shards_assigned"`
+	Completed  int64 `json:"shards_completed"`
+	Requeued   int64 `json:"shards_requeued"`
+	Stolen     int64 `json:"shards_stolen"`
+	Abandoned  int64 `json:"shards_abandoned"`
+	Remote     int64 `json:"classes_remote"`
+	Failed     int64 `json:"classes_failed"`
+	Duplicates int64 `json:"duplicate_results"`
+	Fallbacks  int64 `json:"local_fallbacks"`
+}
+
+// Status snapshots the cluster state.
+func (c *Coordinator) Status() StatusReport {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := StatusReport{
+		Jobs:        c.jobs,
+		CircuitOpen: now.Before(c.circuitUntil),
+		Assigned:    c.met.assigned.Value(),
+		Completed:   c.met.completed.Value(),
+		Requeued:    c.met.requeued.Value(),
+		Stolen:      c.met.stolen.Value(),
+		Abandoned:   c.met.abandoned.Value(),
+		Remote:      c.met.classesRemote.Value(),
+		Failed:      c.met.classesFailed.Value(),
+		Duplicates:  c.met.duplicates.Value(),
+		Fallbacks:   c.met.localFallbacks.Value(),
+	}
+	for _, sh := range c.shards {
+		if sh.queued {
+			st.PendingShards++
+		} else if sh.held() {
+			st.InflightShards++
+		}
+	}
+	for _, ws := range c.workers {
+		st.Workers = append(st.Workers, WorkerStatus{
+			ID: ws.id, Name: ws.name, Shard: ws.shard,
+			LastSeen: now.Sub(ws.lastSeen).Truncate(time.Millisecond).String() + " ago",
+		})
+	}
+	sort.Slice(st.Workers, func(i, j int) bool { return st.Workers[i].ID < st.Workers[j].ID })
+	return st
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, c.Status())
+}

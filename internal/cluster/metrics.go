@@ -1,0 +1,53 @@
+package cluster
+
+import "goopc/internal/obs"
+
+// metrics is the coordinator's goopc_cluster_* series: the lease /
+// requeue / steal lifecycle, the idempotent-fold accounting, and the
+// graceful-degradation counters the robustness story is judged by.
+type metrics struct {
+	workers        *obs.Gauge
+	joins          *obs.Counter
+	leases         *obs.Counter
+	assigned       *obs.Counter
+	completed      *obs.Counter
+	requeued       *obs.Counter
+	stolen         *obs.Counter
+	abandoned      *obs.Counter
+	classesRemote  *obs.Counter
+	classesFailed  *obs.Counter
+	duplicates     *obs.Counter
+	localFallbacks *obs.Counter
+	circuitOpens   *obs.Counter
+}
+
+func newMetrics(reg *obs.Registry) *metrics {
+	return &metrics{
+		workers: reg.Gauge("goopc_cluster_workers",
+			"workers currently registered with the coordinator"),
+		joins: reg.Counter("goopc_cluster_joins_total",
+			"worker join requests accepted"),
+		leases: reg.Counter("goopc_cluster_leases_total",
+			"lease polls served (with or without an assignment)"),
+		assigned: reg.Counter("goopc_cluster_shards_assigned_total",
+			"shard assignments handed to workers (requeues re-count)"),
+		completed: reg.Counter("goopc_cluster_shards_completed_total",
+			"shards whose every class was folded or failed"),
+		requeued: reg.Counter("goopc_cluster_shards_requeued_total",
+			"shards requeued after a lease expiry"),
+		stolen: reg.Counter("goopc_cluster_shards_stolen_total",
+			"duplicate straggler assignments handed to idle workers"),
+		abandoned: reg.Counter("goopc_cluster_shards_abandoned_total",
+			"shards given up after the requeue limit (classes fell back to local)"),
+		classesRemote: reg.Counter("goopc_cluster_classes_remote_total",
+			"tile classes solved remotely and folded into runs"),
+		classesFailed: reg.Counter("goopc_cluster_classes_failed_total",
+			"tile classes reported unsolved by workers (left to local fallback)"),
+		duplicates: reg.Counter("goopc_cluster_duplicate_results_total",
+			"class results dropped by the idempotent first-write-wins fold"),
+		localFallbacks: reg.Counter("goopc_cluster_local_fallbacks_total",
+			"Solve calls short-circuited to local execution (no workers or open circuit)"),
+		circuitOpens: reg.Counter("goopc_cluster_circuit_opens_total",
+			"times the no-results circuit opened"),
+	}
+}

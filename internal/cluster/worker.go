@@ -1,0 +1,276 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"goopc/internal/faults"
+	"goopc/internal/obs"
+)
+
+// SolveFunc executes one class of an assignment. Implementations fill
+// Entry on success, or Degraded/Err when the class could not be solved
+// cleanly; the worker loop sets Key. It must honor ctx — cancellation
+// means the shard was abandoned.
+type SolveFunc func(ctx context.Context, payload JobPayload, work ClassWork) ClassResult
+
+// WorkerConfig configures one cluster worker process (or goroutine).
+type WorkerConfig struct {
+	// Coordinator is the coordinator base URL, e.g. "http://host:9800".
+	Coordinator string
+	// Name labels the worker in cluster status (hostname+pid by
+	// convention; opcd -worker fills it in).
+	Name string
+	// Solve executes one class. Required.
+	Solve SolveFunc
+	// HTTP defaults to a client with a 30s timeout.
+	HTTP *http.Client
+	// FaultPlan arms the worker-side chaos probes (sites "worker.join",
+	// "worker.lease", "worker.heartbeat", "worker.result" on the comms
+	// edges and "worker.solve" before each class): errors exercise the
+	// retry loops, delays make stragglers, panics kill the worker.
+	FaultPlan *faults.Plan
+	// Log may be nil.
+	Log *obs.Logger
+}
+
+// RunWorker joins the coordinator and processes shard leases until ctx
+// ends: lease → heartbeat while solving → post results, with jittered
+// exponential backoff on every comms edge and a from-scratch rejoin
+// whenever the coordinator says it forgot us (410 after a coordinator
+// restart or a worker-table expiry). It only returns on ctx
+// cancellation — a worker outlives any number of coordinator outages.
+func RunWorker(ctx context.Context, cfg WorkerConfig) error {
+	if cfg.Solve == nil {
+		return fmt.Errorf("cluster: WorkerConfig.Solve is required")
+	}
+	h := cfg.HTTP
+	if h == nil {
+		h = &http.Client{Timeout: 30 * time.Second}
+	}
+	w := &workerLoop{cfg: cfg, http: h, log: cfg.Log}
+	for {
+		if err := w.join(ctx); err != nil {
+			return err // ctx ended
+		}
+		if err := w.serve(ctx); err != nil {
+			return err // ctx ended
+		}
+		// serve returned to rejoin (coordinator forgot us).
+	}
+}
+
+type workerLoop struct {
+	cfg  WorkerConfig
+	http *http.Client
+	log  *obs.Logger
+
+	id        string
+	leaseTTL  time.Duration
+	pollDelay time.Duration
+}
+
+// errRejoin signals that the coordinator no longer knows this worker.
+var errRejoin = fmt.Errorf("cluster: worker must rejoin")
+
+// join registers with the coordinator, retrying forever with backoff.
+func (w *workerLoop) join(ctx context.Context) error {
+	var bo Backoff
+	for {
+		var resp JoinResponse
+		err := w.post(ctx, "worker.join", "/cluster/join", JoinRequest{Name: w.cfg.Name}, &resp)
+		if err == nil {
+			w.id = resp.WorkerID
+			w.leaseTTL = time.Duration(resp.LeaseTTLMS) * time.Millisecond
+			w.pollDelay = time.Duration(resp.PollDelayMS) * time.Millisecond
+			if w.leaseTTL <= 0 {
+				w.leaseTTL = 5 * time.Second
+			}
+			if w.pollDelay <= 0 {
+				w.pollDelay = 250 * time.Millisecond
+			}
+			w.log.Infof("joined %s as %s (lease %s)", w.cfg.Coordinator, w.id, w.leaseTTL)
+			return nil
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		w.log.Verbosef("join: %v (retrying)", err)
+		if !SleepCtx(ctx, bo.Next()) {
+			return ctx.Err()
+		}
+	}
+}
+
+// serve polls for leases until ctx ends (error return) or the
+// coordinator forgets us (nil return → caller rejoins).
+func (w *workerLoop) serve(ctx context.Context) error {
+	var bo Backoff
+	for {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		var resp LeaseResponse
+		err := w.post(ctx, "worker.lease", "/cluster/lease", LeaseRequest{WorkerID: w.id}, &resp)
+		switch {
+		case err == errRejoin:
+			return nil
+		case err != nil:
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			w.log.Verbosef("lease: %v (retrying)", err)
+			if !SleepCtx(ctx, bo.Next()) {
+				return ctx.Err()
+			}
+			continue
+		}
+		bo.Reset()
+		if resp.Assignment == nil {
+			if !SleepCtx(ctx, w.pollDelay) {
+				return ctx.Err()
+			}
+			continue
+		}
+		w.runShard(ctx, resp.Assignment)
+	}
+}
+
+// runShard solves every class of an assignment under a heartbeat, then
+// posts the results. An Abandon heartbeat response (the shard was
+// requeued or completed elsewhere) cancels the solve mid-class and
+// skips the post — whatever we computed is either already folded or
+// will be recomputed identically by the new holder.
+func (w *workerLoop) runShard(ctx context.Context, a *Assignment) {
+	shardCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		w.heartbeat(shardCtx, a.ShardID, cancel)
+	}()
+
+	w.log.Infof("shard %s: %d classes (job %s pass %d, stolen=%t)",
+		a.ShardID, len(a.Classes), a.Payload.Job, a.Payload.Pass, a.Stolen)
+	results := make([]ClassResult, 0, len(a.Classes))
+	for _, cw := range a.Classes {
+		if shardCtx.Err() != nil {
+			break
+		}
+		res := w.solveOne(shardCtx, a.Payload, cw)
+		res.Key = cw.Key
+		results = append(results, res)
+	}
+	cancel()
+	<-hbDone
+	if ctx.Err() != nil || len(results) < len(a.Classes) {
+		w.log.Infof("shard %s abandoned after %d/%d classes", a.ShardID, len(results), len(a.Classes))
+		return
+	}
+	w.postResults(ctx, a.ShardID, results)
+}
+
+// solveOne runs one class through the chaos probe and the solver,
+// converting a cancelled solve or a fired probe into an unsolved
+// ClassResult (panics are left to kill the process — that is the
+// fault being modeled).
+func (w *workerLoop) solveOne(ctx context.Context, pl JobPayload, cw ClassWork) ClassResult {
+	if err := w.cfg.FaultPlan.Probe(ctx, "worker.solve"); err != nil {
+		return ClassResult{Err: "chaos: " + err.Error()}
+	}
+	if ctx.Err() != nil {
+		return ClassResult{Err: ctx.Err().Error()}
+	}
+	return w.cfg.Solve(ctx, pl, cw)
+}
+
+// heartbeat extends the shard lease at TTL/3 until ctx ends, calling
+// abandon when the coordinator disowns the shard. Transient heartbeat
+// failures are absorbed — if they persist past the TTL the coordinator
+// requeues the shard and the next heartbeat comes back Abandon.
+func (w *workerLoop) heartbeat(ctx context.Context, shardID string, abandon context.CancelFunc) {
+	tick := time.NewTicker(w.leaseTTL / 3)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		var resp HeartbeatResponse
+		err := w.post(ctx, "worker.heartbeat", "/cluster/heartbeat",
+			HeartbeatRequest{WorkerID: w.id, ShardID: shardID}, &resp)
+		if err == errRejoin || (err == nil && resp.Abandon) {
+			abandon()
+			return
+		}
+		if err != nil {
+			w.log.Verbosef("heartbeat %s: %v", shardID, err)
+		}
+	}
+}
+
+// postResults delivers a completed shard with bounded retries. Giving
+// up is safe: the lease expires and the shard is requeued.
+func (w *workerLoop) postResults(ctx context.Context, shardID string, results []ClassResult) {
+	var bo Backoff
+	for attempt := 0; attempt < 5; attempt++ {
+		var resp ResultResponse
+		err := w.post(ctx, "worker.result", "/cluster/result",
+			ResultRequest{WorkerID: w.id, ShardID: shardID, Results: results}, &resp)
+		if err == nil {
+			w.log.Infof("shard %s: %d/%d results folded", shardID, resp.Folded, len(results))
+			return
+		}
+		if err == errRejoin || ctx.Err() != nil {
+			return
+		}
+		w.log.Verbosef("result %s: %v (retrying)", shardID, err)
+		if !SleepCtx(ctx, bo.Next()) {
+			return
+		}
+	}
+	w.log.Errorf("shard %s: result delivery failed; lease expiry will requeue it", shardID)
+}
+
+// post is one probed JSON round trip to the coordinator. It returns
+// errRejoin on 410 (the coordinator forgot this worker) and an
+// ordinary error on anything else retryable.
+func (w *workerLoop) post(ctx context.Context, site, path string, in, out any) error {
+	if err := w.cfg.FaultPlan.Probe(ctx, site); err != nil {
+		return err
+	}
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.cfg.Coordinator+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusGone {
+		return errRejoin
+	}
+	if resp.StatusCode >= 400 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(io.LimitReader(resp.Body, 64<<10)).Decode(&e)
+		if e.Error == "" {
+			e.Error = resp.Status
+		}
+		return fmt.Errorf("%s: %s", path, e.Error)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

@@ -163,6 +163,15 @@ type Flow struct {
 	PatLib         *patlib.Library
 	PatternLibPath string
 	PatLibReadOnly bool
+
+	// ClassSolver, when non-nil, is the distributed-correction seam
+	// (DESIGN.md 5i): CorrectWindowedCtx offers each pass's
+	// checkpoint-missing canonical tile classes to it before the local
+	// solve pool runs, and folds returned entries exactly like resumed
+	// checkpoint records. Best-effort — classes the solver does not
+	// return are solved locally, so a failing or empty cluster never
+	// changes the output, only where the work ran.
+	ClassSolver ClassSolver
 }
 
 // ProgressEvent is one live snapshot of a windowed correction run:

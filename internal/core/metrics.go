@@ -44,6 +44,8 @@ var (
 		"(tile, pass) results produced by a degradation fallback (rules or uncorrected)")
 	mTilesResumed = obs.Default().Counter("goopc_tiles_resumed_total",
 		"(tile, pass) results restored from a checkpoint instead of corrected")
+	mTilesRemote = obs.Default().Counter("goopc_tiles_remote_total",
+		"(tile, pass) results solved by cluster workers via the class solver")
 	mCheckpointWrites = obs.Default().Counter("goopc_checkpoint_writes_total",
 		"checkpoint artifacts written (periodic and final)")
 )

@@ -58,7 +58,10 @@ type TileStats struct {
 	DegradedRules       int
 	DegradedUncorrected int
 	ResumedTiles        int
-	Degradations        []TileDegradation
+	// RemoteTiles counts (tile, pass) results solved by cluster workers
+	// through Flow.ClassSolver, member-weighted like the library rungs.
+	RemoteTiles  int
+	Degradations []TileDegradation
 	// Pattern-library accounting (DESIGN.md 5f). LibExactTiles and
 	// LibSimilarTiles count (tile, pass) results served from the
 	// cross-run library (exact class-key hit; orientation-similarity hit
@@ -224,7 +227,7 @@ func (f *Flow) CorrectWindowedCtx(ctx context.Context, target []geom.Polygon, le
 	// canonical-key serialization (dedup or checkpoint), needHash the
 	// fixed-size digest checkpoint storage and the pattern library use.
 	var ckpt *ckptWriter
-	needHash := f.CheckpointPath != "" || f.Resume != nil || psess != nil
+	needHash := f.CheckpointPath != "" || f.Resume != nil || psess != nil || f.ClassSolver != nil
 	needCanon := !f.DisableDedup || needHash
 	if needHash {
 		fp := f.runFingerprint(target, level, tile, passes)
@@ -398,6 +401,34 @@ func (f *Flow) CorrectWindowedCtx(ctx context.Context, target []geom.Polygon, le
 			}
 		}
 
+		// Distribution seam (DESIGN.md 5i): classes the resume checkpoint
+		// does not already cover are offered to the external class solver
+		// — the cluster coordinator — in canonical frame before the local
+		// pool runs. The solver is best-effort: any class it does not
+		// return falls through to the local ladder below, so a degenerate
+		// cluster costs nothing beyond this call.
+		var remote map[string]CheckpointEntry
+		if f.ClassSolver != nil && ctx.Err() == nil {
+			reqs := make([]ClassSolveRequest, 0, len(classes))
+			for _, c := range classes {
+				if _, ok := ckptLookup(ckpt, pass, c.key); ok {
+					continue
+				}
+				j := jobs[c.rep]
+				shift := geom.Pt(-j.core.X0, -j.core.Y0)
+				reqs = append(reqs, ClassSolveRequest{
+					Pass:   pass,
+					Key:    c.key,
+					Core:   j.core.Translate(shift),
+					Active: geom.TranslatePolygons(j.active, shift),
+					Halo:   geom.TranslatePolygons(contexts[c.rep], shift),
+				})
+			}
+			if len(reqs) > 0 {
+				remote = f.ClassSolver(ctx, level, tile, reqs)
+			}
+		}
+
 		// Stage 2 (parallel): correct one representative per class.
 		// Multi-member classes correct at the canonical origin so every
 		// placement receives the identical solution; singletons correct
@@ -459,6 +490,43 @@ func (f *Flow) CorrectWindowedCtx(ctx context.Context, target []geom.Polygon, le
 							cr.polys = geom.TranslatePolygons(ent.Polys, origin)
 						}
 						classRes[ci] = cr
+						mTilesDone.Add(float64(len(c.members)))
+						progress(pass, len(c.members))
+						continue
+					}
+					if ent, ok := remote[c.key]; ok {
+						// Solved by a cluster worker: entries arrive in the
+						// canonical checkpoint format, so folding one is the
+						// resume path with a different source. Remote entries
+						// are always clean engine solutions (workers report
+						// degraded classes as unsolved), so they are
+						// checkpoint and library material like a local solve.
+						tw.Emit(trace.TileRemote, pass, j.core, len(c.members), ent.Iters, ent.RMS, "")
+						cr := classResult{rms: ent.RMS, iters: ent.Iters, remote: true}
+						if canonical {
+							cr.polys = ent.Polys
+						} else {
+							cr.polys = geom.TranslatePolygons(ent.Polys, origin)
+						}
+						classRes[ci] = cr
+						if psess != nil {
+							cActive, cHalo := active, haloPolys
+							if !canonical {
+								shift := geom.Pt(-core.X0, -core.Y0)
+								cActive = geom.TranslatePolygons(active, shift)
+								cHalo = geom.TranslatePolygons(haloPolys, shift)
+							}
+							psess.Append(level.String(), c.key, tile, cActive, cHalo, ent.Polys, ent.RMS, ent.Iters)
+						}
+						if ckpt != nil {
+							if err := ckpt.add(pass, c.key, ent); err != nil {
+								mu.Lock()
+								if firstErr == nil {
+									firstErr = err
+								}
+								mu.Unlock()
+							}
+						}
 						mTilesDone.Add(float64(len(c.members)))
 						progress(pass, len(c.members))
 						continue
@@ -615,6 +683,9 @@ func (f *Flow) CorrectWindowedCtx(ctx context.Context, target []geom.Polygon, le
 			if cr.resumed {
 				st.ResumedTiles += len(c.members)
 				mTilesResumed.Add(int64(len(c.members)))
+			} else if cr.remote {
+				st.RemoteTiles += len(c.members)
+				mTilesRemote.Add(int64(len(c.members)))
 			} else if cr.libExact {
 				st.LibExactTiles += len(c.members)
 			} else if cr.libSimilar {
@@ -732,9 +803,11 @@ type classResult struct {
 	// model-path error that forced the fallback.
 	degraded string
 	degErr   string
-	// resumed marks a result restored from a checkpoint; libExact and
-	// libSimilar mark results served from the cross-run pattern library.
+	// resumed marks a result restored from a checkpoint; remote one
+	// solved by a cluster worker; libExact and libSimilar mark results
+	// served from the cross-run pattern library.
 	resumed              bool
+	remote               bool
 	libExact, libSimilar bool
 	// err is fatal (run cancelled / checkpoint mismatch): it aborts
 	// the run instead of engaging the degradation ladder.

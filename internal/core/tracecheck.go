@@ -36,6 +36,7 @@ func (st TileStats) ExpectedTraceCounts() trace.TileCounts {
 		Degraded:   st.DegradedRules + st.DegradedUncorrected,
 		Retries:    st.Retries,
 		Timeouts:   st.Timeouts,
+		Remote:     st.RemoteTiles,
 	}
 }
 
@@ -66,6 +67,7 @@ func ReconcileTrace(sum trace.Summary, want trace.TileCounts) error {
 		{"degraded", got.Degraded, want.Degraded},
 		{"retries", got.Retries, want.Retries},
 		{"timeouts", got.Timeouts, want.Timeouts},
+		{"remote", got.Remote, want.Remote},
 	}
 	var bad []string
 	for _, c := range checks {

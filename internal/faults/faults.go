@@ -12,6 +12,12 @@
 // always fires on the same probe sequence numbers). Firing injects a
 // panic, an error wrapping ErrInjected, or a context-aware delay.
 //
+// Site names are flat strings by convention grouped into dot-separated
+// families ("rpc.lease", "worker.solve"); a rule site ending in ".*"
+// ("rpc.*") arms every site in that family by prefix match. Counters
+// (and probability draws) stay keyed by the concrete probed site, so a
+// wildcard rule fires deterministically per site, not per family.
+//
 // A nil *Plan is valid and free: Probe on it is a nil check and
 // nothing else, so production code keeps its probes permanently in
 // place and pays nothing when no plan is armed.
@@ -62,7 +68,8 @@ func (k Kind) String() string {
 
 // Rule arms one failure mode at one probe site.
 type Rule struct {
-	// Site is the probe site the rule targets (exact match).
+	// Site is the probe site the rule targets: an exact match, or a
+	// family wildcard "prefix.*" matching every site under "prefix.".
 	Site string
 	Kind Kind
 	// Count, when positive, fires the rule on the first Count probes of
@@ -246,7 +253,7 @@ func (p *Plan) Probe(ctx context.Context, site string) error {
 	n := p.counter(site).Add(1) - 1
 	for i := range p.Rules {
 		r := &p.Rules[i]
-		if r.Site != site {
+		if !matchSite(r.Site, site) {
 			continue
 		}
 		fire := false
@@ -278,6 +285,16 @@ func (p *Plan) Probe(ctx context.Context, site string) error {
 		}
 	}
 	return nil
+}
+
+// matchSite reports whether a rule site selects a probed site: exact
+// match, or family wildcard ("rpc.*" matches "rpc.lease" but not "rpc"
+// itself — a bare family name is its own site).
+func matchSite(rule, site string) bool {
+	if prefix, ok := strings.CutSuffix(rule, "*"); ok {
+		return strings.HasPrefix(site, prefix)
+	}
+	return rule == site
 }
 
 // uniform maps (seed, site, sequence, rule) to a deterministic value in

@@ -179,3 +179,51 @@ func TestDelayElapses(t *testing.T) {
 		t.Error("delay did not elapse")
 	}
 }
+
+func TestMatchSiteWildcard(t *testing.T) {
+	cases := []struct {
+		rule, site string
+		want       bool
+	}{
+		{"rpc.lease", "rpc.lease", true},
+		{"rpc.lease", "rpc.join", false},
+		{"rpc.*", "rpc.lease", true},
+		{"rpc.*", "rpc.join", true},
+		{"rpc.*", "rpc", false}, // bare family is its own site
+		{"rpc.*", "worker.lease", false},
+		{"worker.*", "worker.solve", true},
+		{"*", "anything", true},
+		{"tile", "tile", true},
+		{"tile", "tiles", false},
+	}
+	for _, c := range cases {
+		if got := matchSite(c.rule, c.site); got != c.want {
+			t.Errorf("matchSite(%q, %q) = %v, want %v", c.rule, c.site, got, c.want)
+		}
+	}
+}
+
+func TestWildcardRuleFiresAcrossFamily(t *testing.T) {
+	// One rpc.* rule arms every rpc edge; counters stay per concrete
+	// site, so each edge gets its own first-n burst.
+	p, err := Parse("seed=3;rpc.*:error:n=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, site := range []string{"rpc.join", "rpc.lease", "rpc.result"} {
+		if err := p.Probe(ctx, site); !errors.Is(err, ErrInjected) {
+			t.Errorf("first probe at %s: %v, want injected", site, err)
+		}
+		if err := p.Probe(ctx, site); err != nil {
+			t.Errorf("second probe at %s: %v, want nil", site, err)
+		}
+	}
+	// The family's worker-side edges are not selected.
+	if err := p.Probe(ctx, "worker.solve"); err != nil {
+		t.Errorf("worker.solve fired on an rpc.* rule: %v", err)
+	}
+	if got := p.Probes("rpc.lease"); got != 2 {
+		t.Errorf("rpc.lease counter = %d, want 2", got)
+	}
+}

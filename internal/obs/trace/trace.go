@@ -76,6 +76,11 @@ const (
 	JobDequeued
 	JobRunning
 	JobDone
+	// TileRemote marks a class whose solve was served by a cluster
+	// worker through the distributed coordinator (DESIGN.md 5i);
+	// Members = placements served, Iters/RMS the remote engine outcome.
+	// Appended after the job kinds so recorded numeric kinds stay stable.
+	TileRemote
 )
 
 var kindNames = [...]string{
@@ -97,6 +102,7 @@ var kindNames = [...]string{
 	JobDequeued:     "dequeued",
 	JobRunning:      "running",
 	JobDone:         "done",
+	TileRemote:      "remote",
 }
 
 func (k Kind) String() string {
@@ -336,6 +342,10 @@ type TileCounts struct {
 	Retries     int `json:"retries"`
 	Timeouts    int `json:"timeouts"`
 	Checkpoints int `json:"checkpoints"`
+	// Remote is the member-weighted count of placements served by
+	// cluster workers (TileRemote events). omitempty keeps summaries of
+	// non-distributed runs byte-identical to pre-cluster exports.
+	Remote int `json:"remote,omitempty"`
 }
 
 // Add returns the field-wise sum (aggregating multiple runs traced on
@@ -352,6 +362,7 @@ func (c TileCounts) Add(o TileCounts) TileCounts {
 	c.Retries += o.Retries
 	c.Timeouts += o.Timeouts
 	c.Checkpoints += o.Checkpoints
+	c.Remote += o.Remote
 	return c
 }
 
@@ -398,6 +409,8 @@ func Summarize(events []Event, emitted, drops uint64) Summary {
 			s.Tiles.LibSimilar += m
 		case TileResumed:
 			s.Tiles.Resumed += m
+		case TileRemote:
+			s.Tiles.Remote += m
 		case TileDegrade:
 			s.Tiles.Degraded += m
 		case TileRetry:

@@ -12,6 +12,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"goopc/internal/cluster"
 )
 
 // Client is the typed opcd API client opcctl is built on.
@@ -21,13 +23,20 @@ type Client struct {
 	// HTTP defaults to a client with a sane timeout for the unary
 	// calls; Watch uses an un-timed-out copy (SSE streams are long).
 	HTTP *http.Client
+	// MaxRetries bounds transparent retries of transient failures:
+	// connection errors, 5xx responses, and 429s whose Retry-After hint
+	// fits within busyRetryCap, all with jittered exponential backoff.
+	// Request bodies replay through GetBody, so JSON calls retry but a
+	// streamed GDS upload (no GetBody) never does. 0 disables retries.
+	MaxRetries int
 }
 
 // NewClient returns a client for a base URL.
 func NewClient(base string) *Client {
 	return &Client{
-		Base: strings.TrimRight(base, "/"),
-		HTTP: &http.Client{Timeout: 30 * time.Second},
+		Base:       strings.TrimRight(base, "/"),
+		HTTP:       &http.Client{Timeout: 30 * time.Second},
+		MaxRetries: 3,
 	}
 }
 
@@ -71,20 +80,57 @@ func decodeError(resp *http.Response) error {
 	return &APIError{StatusCode: resp.StatusCode, Message: msg}
 }
 
+// busyRetryCap is the longest pause do is willing to absorb on a 429:
+// a server hinting a longer wait gets its BusyError surfaced to the
+// caller (opcctl tells the user; scripts schedule the resubmit).
+const busyRetryCap = 3 * time.Second
+
 func (c *Client) do(req *http.Request) (*http.Response, error) {
 	h := c.HTTP
 	if h == nil {
 		h = http.DefaultClient
 	}
-	resp, err := h.Do(req)
-	if err != nil {
-		return nil, err
+	replayable := req.Body == nil || req.GetBody != nil
+	bo := cluster.Backoff{Base: 150 * time.Millisecond, Max: busyRetryCap}
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 && req.Body != nil {
+			body, err := req.GetBody()
+			if err != nil {
+				return nil, err
+			}
+			req.Body = body
+		}
+		resp, err := h.Do(req)
+		if err == nil && resp.StatusCode < 400 {
+			return resp, nil
+		}
+		if err == nil {
+			err = decodeError(resp)
+			resp.Body.Close()
+		}
+		wait := bo.Next()
+		switch e := err.(type) {
+		case *BusyError:
+			if e.RetryAfter > busyRetryCap {
+				return nil, err
+			}
+			if e.RetryAfter > 0 {
+				wait = e.RetryAfter
+			}
+		case *APIError:
+			if e.StatusCode < 500 {
+				// Permanent: bad spec, missing job, conflict. Retrying
+				// cannot change the answer.
+				return nil, err
+			}
+		}
+		if attempt >= c.MaxRetries || !replayable {
+			return nil, err
+		}
+		if !cluster.SleepCtx(req.Context(), wait) {
+			return nil, req.Context().Err()
+		}
 	}
-	if resp.StatusCode >= 400 {
-		defer resp.Body.Close()
-		return nil, decodeError(resp)
-	}
-	return resp, nil
 }
 
 func (c *Client) getJSON(ctx context.Context, path string, out any) error {
@@ -192,6 +238,15 @@ func (c *Client) Fetch(ctx context.Context, id, artifact string, w io.Writer) (i
 // job state — live jobs serve a point-in-time snapshot.
 func (c *Client) Trace(ctx context.Context, id string, w io.Writer) (int64, error) {
 	return c.Fetch(ctx, id, "trace", w)
+}
+
+// ClusterStatus fetches the coordinator's cluster state: joined
+// workers, pending/in-flight shards, and lifetime protocol counters.
+// A daemon running without -cluster answers 404 (an *APIError).
+func (c *Client) ClusterStatus(ctx context.Context) (cluster.StatusReport, error) {
+	var st cluster.StatusReport
+	err := c.getJSON(ctx, "/cluster/status", &st)
+	return st, err
 }
 
 // Watch subscribes to a job's SSE stream, invoking fn for every status

@@ -1,0 +1,138 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flakyHandler fails the first n requests with code, then delegates.
+func flakyHandler(n int32, code int, next http.Handler) http.Handler {
+	var served atomic.Int32
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if served.Add(1) <= n {
+			if code == http.StatusTooManyRequests {
+				w.Header().Set("Retry-After", "1")
+			}
+			writeError(w, code, "transient")
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+func okJobs() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, []JobStatus{{ID: "j000001", State: StateDone}})
+	})
+}
+
+func TestClientRetriesTransient5xx(t *testing.T) {
+	ts := httptest.NewServer(flakyHandler(2, http.StatusServiceUnavailable, okJobs()))
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	jobs, err := c.List(context.Background())
+	if err != nil {
+		t.Fatalf("transient 503s not absorbed: %v", err)
+	}
+	if len(jobs) != 1 || jobs[0].ID != "j000001" {
+		t.Fatalf("unexpected list after retries: %+v", jobs)
+	}
+}
+
+func TestClientRetriesBudgetExhausted(t *testing.T) {
+	ts := httptest.NewServer(flakyHandler(100, http.StatusInternalServerError, okJobs()))
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	c.MaxRetries = 1
+	_, err := c.List(context.Background())
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("exhausted retries: got %v, want surfaced 500", err)
+	}
+}
+
+func TestClientDoesNotRetryPermanent4xx(t *testing.T) {
+	var served atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+		writeError(w, http.StatusNotFound, "no such job")
+	}))
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	_, err := c.Status(context.Background(), "j9")
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.StatusCode != http.StatusNotFound {
+		t.Fatalf("got %v, want 404", err)
+	}
+	if n := served.Load(); n != 1 {
+		t.Fatalf("404 was retried: %d requests", n)
+	}
+}
+
+func TestClientRetries429WithinCap(t *testing.T) {
+	ts := httptest.NewServer(flakyHandler(1, http.StatusTooManyRequests, okJobs()))
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	t0 := time.Now()
+	if _, err := c.List(context.Background()); err != nil {
+		t.Fatalf("short 429 not absorbed: %v", err)
+	}
+	// The Retry-After: 1 hint must actually be honored.
+	if d := time.Since(t0); d < 900*time.Millisecond {
+		t.Fatalf("retried after %s, before the server's 1s hint", d)
+	}
+}
+
+func TestClientSurfacesLong429(t *testing.T) {
+	// A Retry-After beyond busyRetryCap must surface immediately as
+	// BusyError (the admission-backpressure contract).
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "30")
+		writeError(w, http.StatusTooManyRequests, "queue full")
+	}))
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	t0 := time.Now()
+	_, err := c.List(context.Background())
+	var be *BusyError
+	if !errors.As(err, &be) || be.RetryAfter != 30*time.Second {
+		t.Fatalf("got %v, want BusyError with 30s hint", err)
+	}
+	if d := time.Since(t0); d > 2*time.Second {
+		t.Fatalf("long 429 blocked for %s before surfacing", d)
+	}
+}
+
+func TestClientRetryReplaysBody(t *testing.T) {
+	var bodies atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var spec JobSpec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil || spec.Workload != "sram" {
+			writeError(w, http.StatusBadRequest, "body not replayed")
+			return
+		}
+		if bodies.Add(1) == 1 {
+			writeError(w, http.StatusServiceUnavailable, "transient")
+			return
+		}
+		writeJSON(w, http.StatusAccepted, JobStatus{ID: "j000042", State: StateQueued})
+	}))
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	st, err := c.Submit(context.Background(), JobSpec{Workload: "sram", Level: "L2"})
+	if err != nil {
+		t.Fatalf("submit with one transient failure: %v", err)
+	}
+	if st.ID != "j000042" {
+		t.Fatalf("submit returned %+v", st)
+	}
+	if n := bodies.Load(); n != 2 {
+		t.Fatalf("server decoded %d bodies, want 2", n)
+	}
+}

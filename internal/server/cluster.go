@@ -1,0 +1,108 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+
+	"goopc/internal/cluster"
+	"goopc/internal/core"
+	"goopc/internal/faults"
+	"goopc/internal/geom"
+	"goopc/internal/obs"
+)
+
+// This file bridges the job server and internal/cluster in both
+// directions: clusterSolver makes a coordinator daemon offer each
+// job's canonical tile classes to the cluster, and NewWorkerSolver is
+// the execution half an `opcd -worker` process runs. Both sides apply
+// the same FlowSpec through applyFlowSpec, which is what makes a
+// remotely solved class bit-identical to the local solve the
+// submitting job would otherwise perform.
+
+// applyFlowSpec applies the non-calibration FlowSpec knobs to a job's
+// private Flow copy (the calibrated parts are shared via flowCache).
+func applyFlowSpec(f *core.Flow, fs FlowSpec) {
+	if fs.TilePasses > 0 {
+		f.TilePasses = fs.TilePasses
+	}
+	if fs.ConvergeEps != 0 {
+		f.ConvergeEps = fs.ConvergeEps
+		if fs.ConvergeEps < 0 {
+			f.ConvergeEps = 0
+		}
+	}
+	if fs.TileRetries != 0 {
+		f.TileRetries = fs.TileRetries
+		if fs.TileRetries < 0 {
+			f.TileRetries = 0
+		}
+	}
+	f.TileTimeout, _ = parseDuration(fs.TileTimeout)
+	f.Deadline, _ = parseDuration(fs.Deadline)
+}
+
+// clusterSolver returns the core.ClassSolver that ships a pass's
+// unsolved canonical classes to the coordinator. Solve's nil or
+// partial return is exactly the ClassSolver contract: missing classes
+// fall through to the job's local ladder, so a dead or empty cluster
+// degrades to single-process execution mid-pass.
+func (s *Server) clusterSolver(j *Job) core.ClassSolver {
+	flowJSON, err := json.Marshal(j.Spec.Flow)
+	if err != nil {
+		return nil
+	}
+	return func(ctx context.Context, level core.Level, tile geom.Coord, reqs []core.ClassSolveRequest) map[string]core.CheckpointEntry {
+		if len(reqs) == 0 {
+			return nil
+		}
+		payload := cluster.JobPayload{
+			Job:   j.ID,
+			Flow:  flowJSON,
+			Level: int(level),
+			Tile:  tile,
+			Pass:  reqs[0].Pass,
+		}
+		classes := make([]cluster.ClassWork, len(reqs))
+		for i, r := range reqs {
+			classes[i] = cluster.ClassWork{Key: r.Key, Core: r.Core, Active: r.Active, Halo: r.Halo}
+		}
+		return s.cfg.Cluster.Solve(ctx, payload, classes)
+	}
+}
+
+// NewWorkerSolver builds the cluster.SolveFunc a worker process runs:
+// calibrate (and cache) the Flow for the payload's FlowSpec, then
+// solve one canonical class per call through the same resilience
+// ladder the scheduler applies locally. Degraded solves are reported
+// as such — the coordinator refuses to fold them — and plan arms the
+// worker's "worker.solve" chaos site alongside its comms sites.
+func NewWorkerSolver(log *obs.Logger, plan *faults.Plan) cluster.SolveFunc {
+	var flows flowCache
+	return func(ctx context.Context, payload cluster.JobPayload, work cluster.ClassWork) cluster.ClassResult {
+		var fs FlowSpec
+		if len(payload.Flow) > 0 {
+			if err := json.Unmarshal(payload.Flow, &fs); err != nil {
+				return cluster.ClassResult{Err: "flow spec: " + err.Error()}
+			}
+		}
+		base, err := flows.get(fs)
+		if err != nil {
+			return cluster.ClassResult{Err: "flow calibration: " + err.Error()}
+		}
+		f := *base
+		applyFlowSpec(&f, fs)
+		f.FaultPlan = plan
+		entry, degraded, err := f.SolveClass(ctx, core.Level(payload.Level), core.ClassSolveRequest{
+			Pass: payload.Pass, Key: work.Key,
+			Core: work.Core, Active: work.Active, Halo: work.Halo,
+		})
+		if err != nil {
+			return cluster.ClassResult{Err: err.Error()}
+		}
+		if degraded != "" {
+			log.Verbosef("class %s degraded to %s; reporting unsolved", work.Key, degraded)
+			return cluster.ClassResult{Degraded: degraded}
+		}
+		return cluster.ClassResult{Entry: entry}
+	}
+}

@@ -108,6 +108,11 @@ type JobSpec struct {
 	TileNM geom.Coord `json:"tileNM,omitempty"`
 	// Priority orders the queue (higher first, FIFO within a level).
 	Priority int `json:"priority,omitempty"`
+	// Tenant attributes the job for multi-tenant fair queueing: the
+	// dequeue order interleaves tenants by weighted fair share, and
+	// opcd's per-tenant quota caps how many jobs one tenant may have
+	// queued. Empty is the shared default tenant.
+	Tenant string `json:"tenant,omitempty"`
 	// Inject arms the per-job deterministic fault plan (the faults
 	// grammar, e.g. "seed=1;tile:panic:n=1") — chaos testing a live
 	// server without hurting other jobs.
@@ -184,6 +189,7 @@ type RunStats struct {
 	ReusedTiles    int     `json:"reused_tiles"`
 	CleanTiles     int     `json:"clean_tiles"`
 	ResumedTiles   int     `json:"resumed_tiles"`
+	RemoteTiles    int     `json:"remote_tiles,omitempty"`
 	Retries        int     `json:"retries"`
 	Panics         int     `json:"panics"`
 	Timeouts       int     `json:"timeouts"`
@@ -215,6 +221,7 @@ func runStatsFrom(st core.TileStats) RunStats {
 		ReusedTiles:    st.ReusedTiles,
 		CleanTiles:     st.CleanTiles,
 		ResumedTiles:   st.ResumedTiles,
+		RemoteTiles:    st.RemoteTiles,
 		Retries:        st.Retries,
 		Panics:         st.Panics,
 		Timeouts:       st.Timeouts,

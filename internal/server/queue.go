@@ -2,53 +2,153 @@ package server
 
 import "container/heap"
 
-// jobQueue is the admission-controlled run queue: a priority heap
-// (higher Spec.Priority first, submission order within a level). The
-// owning Server's mutex guards every method.
-type jobQueue struct {
-	items []*Job
-}
+// tenantHeap orders one tenant's waiting jobs: higher Spec.Priority
+// first, submission order within a level.
+type tenantHeap []*Job
 
-func (q *jobQueue) Len() int { return len(q.items) }
+func (h tenantHeap) Len() int { return len(h) }
 
-func (q *jobQueue) Less(i, j int) bool {
-	a, b := q.items[i], q.items[j]
-	if a.Spec.Priority != b.Spec.Priority {
-		return a.Spec.Priority > b.Spec.Priority
+func (h tenantHeap) Less(i, j int) bool {
+	if h[i].Spec.Priority != h[j].Spec.Priority {
+		return h[i].Spec.Priority > h[j].Spec.Priority
 	}
-	return a.seq < b.seq
+	return h[i].seq < h[j].seq
 }
 
-func (q *jobQueue) Swap(i, j int) { q.items[i], q.items[j] = q.items[j], q.items[i] }
+func (h tenantHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 
-func (q *jobQueue) Push(x any) { q.items = append(q.items, x.(*Job)) }
+func (h *tenantHeap) Push(x any) { *h = append(*h, x.(*Job)) }
 
-func (q *jobQueue) Pop() any {
-	old := q.items
+func (h *tenantHeap) Pop() any {
+	old := *h
 	n := len(old)
 	it := old[n-1]
 	old[n-1] = nil
-	q.items = old[:n-1]
+	*h = old[:n-1]
 	return it
 }
 
-// push enqueues a job.
-func (q *jobQueue) push(j *Job) { heap.Push(q, j) }
+// tenantState is one tenant's slice of the queue.
+type tenantState struct {
+	name string
+	jobs tenantHeap
+	// served is the tenant's normalized service credit: dequeued jobs
+	// divided by the tenant's weight. The fair scheduler always serves
+	// the active tenant with the lowest credit, so over time tenants
+	// dequeue in proportion to their weights regardless of who floods
+	// the queue.
+	served float64
+}
 
-// pop dequeues the highest-priority job, or nil when empty.
+// jobQueue is the admission-controlled run queue: a weighted fair
+// queue across tenants, each tenant holding a priority heap (higher
+// Spec.Priority first, submission order within a level). With a single
+// tenant — every job from the same Spec.Tenant, including the ""
+// default — dequeue order degenerates to exactly the plain
+// priority/FIFO discipline. The owning Server's mutex guards every
+// method; the zero value is ready to use.
+type jobQueue struct {
+	tenants map[string]*tenantState
+	// weights maps tenant name to relative dequeue weight (missing or
+	// <1 means 1). Set once at server construction.
+	weights map[string]int
+	total   int
+}
+
+func (q *jobQueue) Len() int { return q.total }
+
+func (q *jobQueue) weight(name string) float64 {
+	if w := q.weights[name]; w > 0 {
+		return float64(w)
+	}
+	return 1
+}
+
+// push enqueues a job under its tenant.
+func (q *jobQueue) push(j *Job) {
+	if q.tenants == nil {
+		q.tenants = map[string]*tenantState{}
+	}
+	if q.total == 0 {
+		// Idle queue: restart the fairness clock so credit earned in a
+		// previous busy period does not hand anyone a grudge or a head
+		// start.
+		for _, t := range q.tenants {
+			t.served = 0
+		}
+	}
+	t := q.tenants[j.Spec.Tenant]
+	if t == nil {
+		t = &tenantState{name: j.Spec.Tenant}
+		q.tenants[j.Spec.Tenant] = t
+	}
+	if len(t.jobs) == 0 {
+		// (Re)activating tenant: align its credit with the least-served
+		// active tenant so it competes fairly from now on instead of
+		// replaying service it missed while absent.
+		if m, ok := q.minActiveServed(); ok && m > t.served {
+			t.served = m
+		}
+	}
+	heap.Push(&t.jobs, j)
+	q.total++
+}
+
+// minActiveServed returns the lowest service credit among tenants with
+// queued jobs.
+func (q *jobQueue) minActiveServed() (float64, bool) {
+	min, any := 0.0, false
+	for _, t := range q.tenants {
+		if len(t.jobs) == 0 {
+			continue
+		}
+		if !any || t.served < min {
+			min, any = t.served, true
+		}
+	}
+	return min, any
+}
+
+// pick selects the tenant to serve next: lowest credit, ties broken by
+// name for determinism.
+func (q *jobQueue) pick() *tenantState {
+	var best *tenantState
+	for _, t := range q.tenants {
+		if len(t.jobs) == 0 {
+			continue
+		}
+		if best == nil || t.served < best.served ||
+			(t.served == best.served && t.name < best.name) {
+			best = t
+		}
+	}
+	return best
+}
+
+// pop dequeues the next job under the fair-share discipline, or nil
+// when empty.
 func (q *jobQueue) pop() *Job {
-	if len(q.items) == 0 {
+	t := q.pick()
+	if t == nil {
 		return nil
 	}
-	return heap.Pop(q).(*Job)
+	j := heap.Pop(&t.jobs).(*Job)
+	t.served += 1 / q.weight(t.name)
+	q.total--
+	return j
 }
 
 // remove drops a specific job (cancel-while-queued); reports whether it
 // was present.
 func (q *jobQueue) remove(j *Job) bool {
-	for i, it := range q.items {
+	t := q.tenants[j.Spec.Tenant]
+	if t == nil {
+		return false
+	}
+	for i, it := range t.jobs {
 		if it == j {
-			heap.Remove(q, i)
+			heap.Remove(&t.jobs, i)
+			q.total--
 			return true
 		}
 	}
@@ -56,22 +156,57 @@ func (q *jobQueue) remove(j *Job) bool {
 }
 
 // position returns the job's 1-based dequeue position (an estimate for
-// status displays), or 0 when the job is not queued.
+// status displays), or 0 when the job is not queued. Computed by
+// replaying the fair scheduler on a scratch copy, so the estimate
+// honors tenant weights, not just priority.
 func (q *jobQueue) position(j *Job) int {
 	found := false
-	ahead := 0
-	for _, it := range q.items {
-		if it == j {
-			found = true
-			continue
-		}
-		if it.Spec.Priority > j.Spec.Priority ||
-			(it.Spec.Priority == j.Spec.Priority && it.seq < j.seq) {
-			ahead++
+	if t := q.tenants[j.Spec.Tenant]; t != nil {
+		for _, it := range t.jobs {
+			if it == j {
+				found = true
+				break
+			}
 		}
 	}
 	if !found {
 		return 0
 	}
-	return ahead + 1
+	scratch := jobQueue{tenants: map[string]*tenantState{}, weights: q.weights}
+	for name, t := range q.tenants {
+		if len(t.jobs) == 0 {
+			continue
+		}
+		scratch.tenants[name] = &tenantState{
+			name:   name,
+			jobs:   append(tenantHeap(nil), t.jobs...), // a copy of a heap is a heap
+			served: t.served,
+		}
+		scratch.total += len(t.jobs)
+	}
+	for pos := 1; ; pos++ {
+		if scratch.pop() == j {
+			return pos
+		}
+	}
+}
+
+// tenantLen returns how many jobs a tenant has queued (the admission
+// quota gate).
+func (q *jobQueue) tenantLen(name string) int {
+	if t := q.tenants[name]; t != nil {
+		return len(t.jobs)
+	}
+	return 0
+}
+
+// tenantCounts snapshots queued-job counts per active tenant.
+func (q *jobQueue) tenantCounts() map[string]int {
+	out := map[string]int{}
+	for name, t := range q.tenants {
+		if len(t.jobs) > 0 {
+			out[name] = len(t.jobs)
+		}
+	}
+	return out
 }

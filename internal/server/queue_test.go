@@ -65,6 +65,107 @@ func TestQueueRemoveAndPosition(t *testing.T) {
 	}
 }
 
+func tjob(seq int64, tenant string, prio int) *Job {
+	return &Job{ID: "j", seq: seq, Spec: JobSpec{Priority: prio, Tenant: tenant}}
+}
+
+// drainTenants pops the whole queue and returns the tenant sequence.
+func drainTenants(q *jobQueue) []string {
+	var out []string
+	for {
+		j := q.pop()
+		if j == nil {
+			return out
+		}
+		out = append(out, j.Spec.Tenant)
+	}
+}
+
+func TestQueueTenantFairInterleave(t *testing.T) {
+	var q jobQueue
+	// Tenant a floods the queue first; b submits after. Equal weights
+	// must interleave them rather than let a's backlog starve b.
+	for i := int64(1); i <= 4; i++ {
+		q.push(tjob(i, "a", 0))
+	}
+	q.push(tjob(5, "b", 0))
+	q.push(tjob(6, "b", 0))
+	got := drainTenants(&q)
+	want := []string{"a", "b", "a", "b", "a", "a"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dequeue order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestQueueTenantWeights(t *testing.T) {
+	q := jobQueue{weights: map[string]int{"heavy": 3}}
+	for i := int64(1); i <= 6; i++ {
+		q.push(tjob(i, "heavy", 0))
+	}
+	for i := int64(7); i <= 8; i++ {
+		q.push(tjob(i, "light", 0))
+	}
+	got := drainTenants(&q)
+	// With weight 3 vs 1, heavy takes three turns for each of light's.
+	want := []string{"heavy", "light", "heavy", "heavy", "heavy", "light", "heavy", "heavy"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dequeue order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestQueueTenantPriorityWithinTenant(t *testing.T) {
+	var q jobQueue
+	low := tjob(1, "a", 0)
+	high := tjob(2, "a", 9)
+	other := tjob(3, "b", 0)
+	q.push(low)
+	q.push(high)
+	q.push(other)
+	// Priority still rules within a tenant; fairness rules across them.
+	if j := q.pop(); j != high {
+		t.Fatalf("first pop seq %d, want high-prio a", j.seq)
+	}
+	if j := q.pop(); j != other {
+		t.Fatalf("second pop seq %d, want tenant b", j.seq)
+	}
+	if j := q.pop(); j != low {
+		t.Fatalf("third pop seq %d, want low-prio a", j.seq)
+	}
+}
+
+func TestQueueTenantPositionAndLen(t *testing.T) {
+	var q jobQueue
+	a1 := tjob(1, "a", 0)
+	a2 := tjob(2, "a", 0)
+	b1 := tjob(3, "b", 0)
+	q.push(a1)
+	q.push(a2)
+	q.push(b1)
+	if got := q.position(a1); got != 1 {
+		t.Errorf("position(a1) = %d, want 1", got)
+	}
+	if got := q.position(b1); got != 2 {
+		t.Errorf("position(b1) = %d, want 2 (fair share)", got)
+	}
+	if got := q.position(a2); got != 3 {
+		t.Errorf("position(a2) = %d, want 3", got)
+	}
+	if got := q.tenantLen("a"); got != 2 {
+		t.Errorf("tenantLen(a) = %d, want 2", got)
+	}
+	if got := q.tenantLen("nope"); got != 0 {
+		t.Errorf("tenantLen(nope) = %d, want 0", got)
+	}
+	counts := q.tenantCounts()
+	if counts["a"] != 2 || counts["b"] != 1 {
+		t.Errorf("tenantCounts = %v", counts)
+	}
+}
+
 func TestJobSpecValidate(t *testing.T) {
 	ok := JobSpec{Workload: "stdcell", Level: "L2"}
 	if err := ok.validate(false); err != nil {

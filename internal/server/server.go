@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"goopc/internal/cluster"
 	"goopc/internal/core"
 	"goopc/internal/faults"
 	"goopc/internal/geom"
@@ -42,6 +43,21 @@ type Config struct {
 	// RetryAfterHint overrides the computed Retry-After estimate on 429
 	// responses (0 derives it from observed job durations).
 	RetryAfterHint time.Duration
+	// TenantQuota caps how many jobs one tenant (JobSpec.Tenant) may
+	// have queued at once; excess submissions get 429 even when the
+	// global queue has room. 0 means no per-tenant cap.
+	TenantQuota int
+	// TenantWeights sets relative fair-share dequeue weights per tenant
+	// (missing tenants weigh 1). With no weights every active tenant
+	// dequeues in equal turns.
+	TenantWeights map[string]int
+	// Cluster, when set, makes this daemon the coordinator of a
+	// distributed correction cluster (DESIGN.md 5i): the /cluster/*
+	// protocol endpoints mount on the handler, the coordinator starts
+	// and stops with the server, and every job offers its unsolved
+	// canonical tile classes to the cluster before solving them locally.
+	// Nil runs everything in-process, as before.
+	Cluster *cluster.Coordinator
 	// SerialTiles turns off intra-job tile parallelism (each job then
 	// uses one CPU; the pool provides the concurrency).
 	SerialTiles bool
@@ -122,6 +138,7 @@ func New(cfg Config) *Server {
 		gauges:  map[string]*jobGauges{},
 		ewmaSec: 30, // pessimistic seed until real jobs calibrate it
 	}
+	s.queue.weights = cfg.TenantWeights
 	s.cond = sync.NewCond(&s.mu)
 	s.ctx, s.stop = context.WithCancel(context.Background())
 	s.insp = &obs.Inspector{Registry: cfg.Registry, Status: s.inspectorStatus}
@@ -148,6 +165,9 @@ func (s *Server) Start() error {
 			s.log.Infof("pattern library %s: %d entries (readonly=%t)",
 				s.cfg.PatternLibPath, lib.Len(), lib.ReadOnly())
 		}
+	}
+	if s.cfg.Cluster != nil {
+		s.cfg.Cluster.Start()
 	}
 	s.mu.Lock()
 	s.started = true
@@ -181,6 +201,9 @@ func (s *Server) Stop(ctx context.Context) error {
 			// queue and release its lock.
 			s.patlib.Close()
 		}
+		if s.cfg.Cluster != nil {
+			s.cfg.Cluster.Stop()
+		}
 		return nil
 	case <-ctx.Done():
 		return fmt.Errorf("server: stop: %w", ctx.Err())
@@ -204,6 +227,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}/orc.json", s.handleArtifact("orc.json", "application/json"))
 	mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if s.cfg.Cluster != nil {
+		s.cfg.Cluster.Register(mux)
+	}
 	s.insp.Register(mux)
 	return s.probeMiddleware(mux)
 }
@@ -220,23 +246,47 @@ func (s *Server) probeMiddleware(next http.Handler) http.Handler {
 	})
 }
 
-// inspectorStatus contributes the job-server summary to /status.
+// inspectorStatus contributes the job-server summary to /status: the
+// job totals, the per-tenant queued/running fairness view, and (when
+// this daemon coordinates a cluster) the cluster report.
 func (s *Server) inspectorStatus() map[string]any {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	running := 0
+	runningBy := map[string]int{}
 	for _, j := range s.jobs {
 		if j.state == StateRunning {
 			running++
+			runningBy[j.Spec.Tenant]++
 		}
 	}
-	return map[string]any{
+	queuedBy := s.queue.tenantCounts()
+	total, queued := len(s.jobs), s.queue.Len()
+	s.mu.Unlock()
+
+	tenants := map[string]any{}
+	for name, n := range queuedBy {
+		tenants[tenantLabel(name)] = map[string]int{"queued": n, "running": runningBy[name]}
+		delete(runningBy, name)
+	}
+	for name, n := range runningBy {
+		tenants[tenantLabel(name)] = map[string]int{"queued": 0, "running": n}
+	}
+	out := map[string]any{
 		"jobs": map[string]any{
-			"total":   len(s.jobs),
-			"queued":  s.queue.Len(),
+			"total":   total,
+			"queued":  queued,
 			"running": running,
 		},
 	}
+	if len(tenants) > 0 {
+		out["tenants"] = tenants
+	}
+	if s.cfg.Cluster != nil {
+		// Status takes the coordinator's own lock; never call it under
+		// s.mu.
+		out["cluster"] = s.cfg.Cluster.Status()
+	}
+	return out
 }
 
 // apiError is the JSON error body every non-2xx response carries.
@@ -305,16 +355,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.queue.Len() >= s.cfg.QueueDepth {
-		retry := s.retryAfterLocked()
-		s.met.rejected.Inc()
-		s.mu.Unlock()
-		w.Header().Set("Retry-After", strconv.Itoa(retry))
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(http.StatusTooManyRequests)
-		_ = json.NewEncoder(w).Encode(apiError{
-			Error:             fmt.Sprintf("queue full (%d jobs waiting)", s.cfg.QueueDepth),
-			RetryAfterSeconds: retry,
-		})
+		s.reject429Locked(w, fmt.Sprintf("queue full (%d jobs waiting)", s.cfg.QueueDepth))
+		return
+	}
+	// Per-tenant quota: one tenant cannot occupy the whole queue even
+	// when global depth has room.
+	if s.cfg.TenantQuota > 0 && s.queue.tenantLen(spec.Tenant) >= s.cfg.TenantQuota {
+		s.reject429Locked(w, fmt.Sprintf("tenant %q quota reached (%d jobs queued)",
+			tenantLabel(spec.Tenant), s.cfg.TenantQuota))
 		return
 	}
 	s.seq++
@@ -370,6 +418,26 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.cond.Signal()
 	s.log.Infof("job %s queued (%s %s)", id, spec.Level, jobSource(spec, upload))
 	writeJSON(w, http.StatusAccepted, st)
+}
+
+// reject429Locked answers a submission with 429 + Retry-After and
+// releases the server lock.
+func (s *Server) reject429Locked(w http.ResponseWriter, msg string) {
+	retry := s.retryAfterLocked()
+	s.met.rejected.Inc()
+	s.mu.Unlock()
+	w.Header().Set("Retry-After", strconv.Itoa(retry))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusTooManyRequests)
+	_ = json.NewEncoder(w).Encode(apiError{Error: msg, RetryAfterSeconds: retry})
+}
+
+// tenantLabel names a tenant for humans ("" is the shared default).
+func tenantLabel(name string) string {
+	if name == "" {
+		return "default"
+	}
+	return name
 }
 
 func jobSource(spec JobSpec, upload bool) string {

@@ -414,12 +414,15 @@ func TestServerWorkloadAndChaosProbe(t *testing.T) {
 		// Fail the very first API request deterministically.
 		c.FaultPlan = plan
 	})
-	// First request hits the injected fault -> 503.
+	// First request hits the injected fault -> 503. Retries off so the
+	// raw failure surfaces instead of being transparently absorbed.
+	env.c.MaxRetries = 0
 	_, err = env.c.List(context.Background())
 	var ae *APIError
 	if !errors.As(err, &ae) || ae.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("chaos probe: got %v, want 503", err)
 	}
+	env.c.MaxRetries = 3
 	// Subsequent requests are clean.
 	spec := JobSpec{Workload: "patterns", Level: "L1", Flow: testSpec()}
 	st, err := env.c.Submit(context.Background(), spec)

@@ -163,23 +163,7 @@ func (s *Server) execute(ctx context.Context, j *Job) (*core.TileStats, error) {
 	// is per-job.
 	f := *base
 	fs := j.Spec.Flow
-	if fs.TilePasses > 0 {
-		f.TilePasses = fs.TilePasses
-	}
-	if fs.ConvergeEps != 0 {
-		f.ConvergeEps = fs.ConvergeEps
-		if fs.ConvergeEps < 0 {
-			f.ConvergeEps = 0
-		}
-	}
-	if fs.TileRetries != 0 {
-		f.TileRetries = fs.TileRetries
-		if fs.TileRetries < 0 {
-			f.TileRetries = 0
-		}
-	}
-	f.TileTimeout, _ = parseDuration(fs.TileTimeout)
-	f.Deadline, _ = parseDuration(fs.Deadline)
+	applyFlowSpec(&f, fs)
 	if j.Spec.Inject != "" {
 		// Validated at admission; re-parse for the job's private plan so
 		// probe counters never leak across jobs.
@@ -195,6 +179,13 @@ func (s *Server) execute(ctx context.Context, j *Job) (*core.TileStats, error) {
 	// land on worker rings 1..N alongside the lifecycle events the
 	// server put on ring 0.
 	f.Tracer = j.rec
+
+	// Coordinator daemons offer each pass's unsolved classes to the
+	// cluster first; classes the cluster cannot serve fall through to
+	// the local solve below.
+	if s.cfg.Cluster != nil {
+		f.ClassSolver = s.clusterSolver(j)
+	}
 
 	g := s.jobGaugesFor(j.ID)
 	f.Progress = func(ev core.ProgressEvent) {
