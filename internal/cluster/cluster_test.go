@@ -385,6 +385,75 @@ func TestClusterAbandonAndCircuit(t *testing.T) {
 	}
 }
 
+// TestClusterAllHoldersDieWithQueuedShards models a whole-fleet kill
+// -9 mid-job: the only worker leases one shard and goes silent while
+// another shard is still queued. The requeued shard lands in a cluster
+// with no one left to lease it — the reconciler must abandon the
+// queued shards once the worker table empties, releasing the Solve
+// barrier to the local fallback instead of hanging forever.
+func TestClusterAllHoldersDieWithQueuedShards(t *testing.T) {
+	co, ts := startCoord(t, testConfig())
+
+	victim := joinManual(t, ts.URL, "victim")
+	works := classWorks(4) // two shards; the victim leases only one
+	done := make(chan map[string]core.CheckpointEntry, 1)
+	go func() {
+		done <- co.Solve(context.Background(), JobPayload{Job: "j1", Pass: 1}, works)
+	}()
+
+	var grabbed *Assignment
+	deadline := time.Now().Add(5 * time.Second)
+	for grabbed == nil && time.Now().Before(deadline) {
+		grabbed = leaseManual(t, ts.URL, victim)
+		time.Sleep(5 * time.Millisecond)
+	}
+	if grabbed == nil {
+		t.Fatal("victim never got a shard")
+	}
+	// The victim dies holding one shard, with the other still queued.
+	// Lease expiry requeues the held shard; worker expiry then leaves
+	// zero healthy workers and both queued shards must be abandoned.
+	select {
+	case got := <-done:
+		if len(got) != 0 {
+			t.Fatalf("dead cluster produced %d results, want 0", len(got))
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("solve hung with queued shards in an empty cluster: %+v", co.Status())
+	}
+	st := co.Status()
+	if st.Abandoned != 2 {
+		t.Fatalf("abandoned = %d, want 2 (both shards to local fallback): %+v", st.Abandoned, st)
+	}
+}
+
+// TestClusterWorkerDiesBeforeFirstLease: a worker joins (so Solve's
+// entry-time health check passes and shards are queued) but dies
+// before ever polling for a lease. No lease ever expires, so only the
+// queued-shard abandonment path can release the barrier.
+func TestClusterWorkerDiesBeforeFirstLease(t *testing.T) {
+	co, ts := startCoord(t, testConfig())
+	joinManual(t, ts.URL, "stillborn") // joins, never leases or heartbeats
+
+	works := classWorks(4)
+	done := make(chan map[string]core.CheckpointEntry, 1)
+	go func() {
+		done <- co.Solve(context.Background(), JobPayload{Job: "j1", Pass: 1}, works)
+	}()
+	select {
+	case got := <-done:
+		if len(got) != 0 {
+			t.Fatalf("leaseless cluster produced %d results, want 0", len(got))
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("solve hung after the only worker died unleased: %+v", co.Status())
+	}
+	st := co.Status()
+	if st.Abandoned != 2 || st.Requeued != 0 {
+		t.Fatalf("want 2 abandoned / 0 requeued (no lease ever existed): %+v", st)
+	}
+}
+
 // TestClusterDegradedNotFolded: degraded worker results must be
 // reported unsolved, never folded into the result map.
 func TestClusterDegradedNotFolded(t *testing.T) {

@@ -198,18 +198,37 @@ func (c *Coordinator) reconcile(now time.Time) {
 			continue
 		}
 		c.releaseHoldersLocked(sh)
-		sh.requeues++
-		c.met.requeued.Inc()
-		if sh.requeues > c.cfg.RequeueLimit {
+		if sh.requeues >= c.cfg.RequeueLimit {
 			c.log.Errorf("shard %s abandoned after %d requeues (%d classes to local fallback)",
-				sh.id, sh.requeues-1, len(sh.pending))
+				sh.id, sh.requeues, len(sh.pending))
 			c.met.abandoned.Inc()
 			c.failShardLocked(sh)
 			continue
 		}
+		sh.requeues++
+		c.met.requeued.Inc()
 		c.log.Infof("shard %s lease expired; requeued (%d/%d)", sh.id, sh.requeues, c.cfg.RequeueLimit)
 		sh.queued = true
 		c.pending = append(c.pending, sh)
+	}
+	// Queued shards are only ever served by worker lease polls, so a
+	// cluster whose last worker died (or expired before its first lease)
+	// would hold every pending shard — and the Solve barrier — forever.
+	// Fail them instead: the classes fall through to the submitting
+	// run's local ladder, preserving the guarantee that a coordinator
+	// with zero workers behaves like a plain daemon.
+	if len(c.pending) > 0 && c.healthyLocked(now) == 0 {
+		for _, sh := range c.pending {
+			if !sh.queued || c.shards[sh.id] == nil {
+				continue // detached while queued
+			}
+			c.log.Errorf("shard %s abandoned while queued: no healthy workers (%d classes to local fallback)",
+				sh.id, len(sh.pending))
+			c.met.abandoned.Inc()
+			sh.queued = false
+			c.failShardLocked(sh)
+		}
+		c.pending = c.pending[:0]
 	}
 }
 

@@ -4,6 +4,8 @@ import (
 	"bufio"
 	"bytes"
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -27,7 +29,10 @@ type Client struct {
 	// connection errors, 5xx responses, and 429s whose Retry-After hint
 	// fits within busyRetryCap, all with jittered exponential backoff.
 	// Request bodies replay through GetBody, so JSON calls retry but a
-	// streamed GDS upload (no GetBody) never does. 0 disables retries.
+	// streamed GDS upload (no GetBody) never does. Submits carry an
+	// Idempotency-Key so a replay of a committed-but-lost-response
+	// request dedupes server-side instead of creating a duplicate job.
+	// 0 disables retries.
 	MaxRetries int
 }
 
@@ -146,6 +151,19 @@ func (c *Client) getJSON(ctx context.Context, path string, out any) error {
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
+// newIdempotencyKey mints the per-call submit dedupe token. Submit is
+// not idempotent by nature, and do retries connection errors — a
+// request the server committed but whose response was lost would
+// otherwise replay into a duplicate job. The key makes the replay safe:
+// the server answers it with the already-created job's status.
+func newIdempotencyKey() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "" // no entropy: submit without dedupe rather than fail
+	}
+	return hex.EncodeToString(b[:])
+}
+
 // Submit queues a workload job described by spec.
 func (c *Client) Submit(ctx context.Context, spec JobSpec) (JobStatus, error) {
 	var st JobStatus
@@ -158,6 +176,7 @@ func (c *Client) Submit(ctx context.Context, spec JobSpec) (JobStatus, error) {
 		return st, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Idempotency-Key", newIdempotencyKey())
 	resp, err := c.do(req)
 	if err != nil {
 		return st, err
@@ -180,6 +199,9 @@ func (c *Client) SubmitGDS(ctx context.Context, spec JobSpec, gds io.Reader) (Jo
 		return st, err
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
+	// The streamed body has no GetBody so do never replays it, but the
+	// key still protects external retries (scripts, proxies).
+	req.Header.Set("Idempotency-Key", newIdempotencyKey())
 	resp, err := c.do(req)
 	if err != nil {
 		return st, err

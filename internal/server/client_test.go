@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -134,5 +135,97 @@ func TestClientRetryReplaysBody(t *testing.T) {
 	}
 	if n := bodies.Load(); n != 2 {
 		t.Fatalf("server decoded %d bodies, want 2", n)
+	}
+}
+
+// TestClientSubmitReplayAfterLostResponse models the at-least-once
+// hazard of retrying a non-idempotent POST: the first submit commits
+// on the real server but its response is lost (connection killed
+// before the reply reaches the client). The client's transparent retry
+// must dedupe via the Idempotency-Key instead of creating a second
+// job.
+func TestClientSubmitReplayAfterLostResponse(t *testing.T) {
+	env := startTestServer(t, nil)
+	inner := env.srv.Handler()
+	var submits atomic.Int32
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && r.URL.Path == "/jobs" && submits.Add(1) == 1 {
+			// Commit the job server-side, then kill the connection so the
+			// client never sees the 202.
+			inner.ServeHTTP(httptest.NewRecorder(), r)
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				t.Error("hijack unsupported")
+				return
+			}
+			conn, _, err := hj.Hijack()
+			if err != nil {
+				t.Errorf("hijack: %v", err)
+				return
+			}
+			conn.Close()
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer flaky.Close()
+
+	c := NewClient(flaky.URL)
+	st, err := c.Submit(context.Background(), JobSpec{Workload: "patterns", Level: "L1", Flow: testSpec()})
+	if err != nil {
+		t.Fatalf("submit across lost response: %v", err)
+	}
+	if n := submits.Load(); n < 2 {
+		t.Fatalf("submit was not replayed (%d attempts)", n)
+	}
+	jobs, err := c.List(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || jobs[0].ID != st.ID {
+		t.Fatalf("replayed submit duplicated the job: got %s, server has %+v", st.ID, jobs)
+	}
+}
+
+// TestSubmitIdempotencyKeyDedupes drives the header contract directly:
+// a second POST /jobs with the same key answers 200 with the first
+// job's status; a different key admits a new job.
+func TestSubmitIdempotencyKeyDedupes(t *testing.T) {
+	env := startTestServer(t, nil)
+	post := func(key string) (int, JobStatus) {
+		body, _ := json.Marshal(JobSpec{Workload: "patterns", Level: "L1", Flow: testSpec()})
+		req, err := http.NewRequest(http.MethodPost, env.ts.URL+"/jobs", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("Idempotency-Key", key)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var st JobStatus
+		_ = json.NewDecoder(resp.Body).Decode(&st)
+		return resp.StatusCode, st
+	}
+	code1, st1 := post("key-A")
+	if code1 != http.StatusAccepted || st1.ID == "" {
+		t.Fatalf("first submit: HTTP %d %+v", code1, st1)
+	}
+	code2, st2 := post("key-A")
+	if code2 != http.StatusOK || st2.ID != st1.ID {
+		t.Fatalf("replay: HTTP %d job %s, want 200 with %s", code2, st2.ID, st1.ID)
+	}
+	code3, st3 := post("key-B")
+	if code3 != http.StatusAccepted || st3.ID == st1.ID {
+		t.Fatalf("fresh key: HTTP %d job %s, want a new job", code3, st3.ID)
+	}
+	jobs, err := env.c.List(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 2 {
+		t.Fatalf("server has %d jobs, want 2", len(jobs))
 	}
 }

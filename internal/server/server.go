@@ -109,6 +109,13 @@ type Server struct {
 	ewmaSec  float64
 	stopping bool
 	started  bool
+	// idem dedupes submit replays: Idempotency-Key → job ID ("" while
+	// the keyed admission is still in flight). idemOrder is the FIFO
+	// eviction order bounding the cache. In-memory only — the window it
+	// guards (a client retrying a lost response) is seconds, not
+	// restarts.
+	idem      map[string]string
+	idemOrder []string
 
 	wg sync.WaitGroup
 }
@@ -136,6 +143,7 @@ func New(cfg Config) *Server {
 		met:     newServerMetrics(cfg.Registry),
 		jobs:    map[string]*Job{},
 		gauges:  map[string]*jobGauges{},
+		idem:    map[string]string{},
 		ewmaSec: 30, // pessimistic seed until real jobs calibrate it
 	}
 	s.queue.weights = cfg.TenantWeights
@@ -346,6 +354,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	idemKey := r.Header.Get("Idempotency-Key")
 
 	// Queue-depth gate first: reject cheap, before touching the body.
 	s.mu.Lock()
@@ -354,13 +363,28 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "server is not accepting jobs")
 		return
 	}
+	// Replayed submit (the client retried a request whose response was
+	// lost): answer with the committed job instead of duplicating it.
+	if prev, inflight := s.resolveIdemLocked(idemKey); prev != nil {
+		st := s.statusLocked(prev)
+		s.mu.Unlock()
+		s.log.Infof("job %s: submit replay deduped (idempotency key)", prev.ID)
+		writeJSON(w, http.StatusOK, st)
+		return
+	} else if inflight {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "a submission with this idempotency key is in flight")
+		return
+	}
 	if s.queue.Len() >= s.cfg.QueueDepth {
+		s.releaseIdemLocked(idemKey)
 		s.reject429Locked(w, fmt.Sprintf("queue full (%d jobs waiting)", s.cfg.QueueDepth))
 		return
 	}
 	// Per-tenant quota: one tenant cannot occupy the whole queue even
 	// when global depth has room.
 	if s.cfg.TenantQuota > 0 && s.queue.tenantLen(spec.Tenant) >= s.cfg.TenantQuota {
+		s.releaseIdemLocked(idemKey)
 		s.reject429Locked(w, fmt.Sprintf("tenant %q quota reached (%d jobs queued)",
 			tenantLabel(spec.Tenant), s.cfg.TenantQuota))
 		return
@@ -375,6 +399,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 
 	if err := os.MkdirAll(j.dir, 0o755); err != nil {
+		s.releaseIdem(idemKey)
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
@@ -385,6 +410,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	target, err := s.admitTarget(j, r.Body)
 	if err != nil {
 		os.RemoveAll(j.dir)
+		s.releaseIdem(idemKey)
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
@@ -392,6 +418,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		tiles := core.EstimateTiles(target, s.tileSize(spec))
 		if tiles > s.cfg.MaxTilesPerJob {
 			os.RemoveAll(j.dir)
+			s.releaseIdem(idemKey)
 			s.met.rejected.Inc()
 			writeError(w, http.StatusUnprocessableEntity,
 				fmt.Sprintf("job needs ~%d tiles, per-job budget is %d", tiles, s.cfg.MaxTilesPerJob))
@@ -401,11 +428,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	s.mu.Lock()
 	if s.stopping {
+		s.releaseIdemLocked(idemKey)
 		s.mu.Unlock()
 		os.RemoveAll(j.dir)
 		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
 		return
 	}
+	s.commitIdemLocked(idemKey, id)
 	j.emit(trace.JobAdmitted, jobSource(spec, upload))
 	s.jobs[id] = j
 	s.queue.push(j)
@@ -430,6 +459,63 @@ func (s *Server) reject429Locked(w http.ResponseWriter, msg string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusTooManyRequests)
 	_ = json.NewEncoder(w).Encode(apiError{Error: msg, RetryAfterSeconds: retry})
+}
+
+// idemCacheCap bounds the submit dedupe cache; the oldest keys evict
+// first once it fills.
+const idemCacheCap = 4096
+
+// resolveIdemLocked resolves an Idempotency-Key at admission. A
+// non-nil job means the key already committed — the caller answers
+// with that job's status instead of creating a duplicate. inflight
+// means another submission carrying the same key is mid-admission; the
+// caller answers 503 and the client's retry loop absorbs it.
+// Otherwise the key is reserved: the caller must commitIdemLocked on
+// success or releaseIdem(Locked) on any rejection so a later retry is
+// admitted afresh.
+func (s *Server) resolveIdemLocked(key string) (prev *Job, inflight bool) {
+	if key == "" {
+		return nil, false
+	}
+	if id, ok := s.idem[key]; ok {
+		if id == "" {
+			return nil, true
+		}
+		if j := s.jobs[id]; j != nil {
+			return j, false
+		}
+		// The committed job has since been purged: admit afresh under
+		// the same key (it is already in the eviction order).
+	} else {
+		if len(s.idemOrder) >= idemCacheCap {
+			delete(s.idem, s.idemOrder[0])
+			s.idemOrder = s.idemOrder[1:]
+		}
+		s.idemOrder = append(s.idemOrder, key)
+	}
+	s.idem[key] = ""
+	return nil, false
+}
+
+func (s *Server) commitIdemLocked(key, id string) {
+	if key != "" {
+		s.idem[key] = id
+	}
+}
+
+func (s *Server) releaseIdemLocked(key string) {
+	if key == "" {
+		return
+	}
+	if id, ok := s.idem[key]; ok && id == "" {
+		delete(s.idem, key)
+	}
+}
+
+func (s *Server) releaseIdem(key string) {
+	s.mu.Lock()
+	s.releaseIdemLocked(key)
+	s.mu.Unlock()
 }
 
 // tenantLabel names a tenant for humans ("" is the shared default).
