@@ -1,7 +1,7 @@
 # Developer / CI entry points. Everything is plain go tooling; the
 # targets just fix the flag sets so local runs and CI agree.
 
-.PHONY: build test test-purego verify server-integration cluster-smoke patlib-bench-smoke trace-smoke fuzz-short bench bench-micro bench-json
+.PHONY: build test test-purego verify server-integration cluster-smoke patlib-bench-smoke trace-smoke dataset-smoke fuzz-short bench bench-micro bench-json
 
 build:
 	go build ./...
@@ -31,6 +31,7 @@ verify:
 	$(MAKE) cluster-smoke
 	$(MAKE) patlib-bench-smoke
 	$(MAKE) trace-smoke
+	$(MAKE) dataset-smoke
 
 # The opcd service gate on its own: the job-server integration suite
 # (concurrent submit parity, backpressure, chaos, restart recovery)
@@ -57,6 +58,16 @@ cluster-smoke:
 patlib-bench-smoke:
 	go test -count=1 -run '^TestPatlibWarm|^TestPatlibFingerprint' ./internal/core/
 
+# Dataset-factory / learned-prior smoke (DESIGN.md 5j): a tiny sweep is
+# generated into a throwaway dataset, a shard is regenerated from the
+# manifest's spec+seed and must match byte for byte, a prior is fitted
+# from the records, and the same cells rerun warm must spend strictly
+# fewer total model iterations while converging to the cold result
+# (final RMS within ConvergeEps). Never cached, so the sweep, the fit
+# and the warm rerun actually happen every run.
+dataset-smoke:
+	go test -count=1 -run '^TestSweepFitWarm$$' ./internal/dataset/
+
 # Flight-recorder smoke (DESIGN.md 5h): a small seeded tiled run with
 # -trace must produce a loadable Chrome trace-event file whose event
 # counts reconcile exactly with the scheduler's TileStats. Never cached,
@@ -78,7 +89,7 @@ bench:
 # Regenerate the committed machine-readable bench artifacts (per-
 # experiment wall/CPU/alloc plus counter deltas and cache hit rates).
 bench-json:
-	go run ./cmd/benchtables -exp T2 -exp T3 -json 'BENCH_<exp>.json'
+	go run ./cmd/benchtables -exp T2 -exp T3 -exp PRIOR -json 'BENCH_<exp>.json'
 
 # The aerial-image micro-benchmarks (FFT substrates plus the SOCS
 # serial/parallel/f32 and Abbe engines) in short form: the quick check

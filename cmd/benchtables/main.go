@@ -40,37 +40,39 @@ import (
 
 type runner struct {
 	name string
-	run  func(experiments.Config, io.Writer) error
+	run  func(experiments.Config, io.Writer) (any, error)
 }
 
 var all = []runner{
-	{"T1", func(c experiments.Config, w io.Writer) error { return p(experiments.RunT1(c))(w) }},
-	{"T2", func(c experiments.Config, w io.Writer) error { return p(experiments.RunT2(c))(w) }},
-	{"T3", func(c experiments.Config, w io.Writer) error { return p(experiments.RunT3(c))(w) }},
-	{"T4", func(c experiments.Config, w io.Writer) error { return p(experiments.RunT4(c))(w) }},
-	{"F1", func(c experiments.Config, w io.Writer) error { return p(experiments.RunF1(c))(w) }},
-	{"F2", func(c experiments.Config, w io.Writer) error { return p(experiments.RunF2(c))(w) }},
-	{"F3", func(c experiments.Config, w io.Writer) error { return p(experiments.RunF3(c))(w) }},
-	{"F4", func(c experiments.Config, w io.Writer) error { return p(experiments.RunF4(c))(w) }},
-	{"F5", func(c experiments.Config, w io.Writer) error { return p(experiments.RunF5(c))(w) }},
-	{"F6", func(c experiments.Config, w io.Writer) error { return p(experiments.RunF6(c))(w) }},
-	{"E1", func(c experiments.Config, w io.Writer) error { return p(experiments.RunE1(c))(w) }},
-	{"E2", func(c experiments.Config, w io.Writer) error { return p(experiments.RunE2(c))(w) }},
-	{"E3", func(c experiments.Config, w io.Writer) error { return p(experiments.RunE3(c))(w) }},
-	{"E4", func(c experiments.Config, w io.Writer) error { return p(experiments.RunE4(c))(w) }},
+	{"T1", func(c experiments.Config, w io.Writer) (any, error) { return p(experiments.RunT1(c))(w) }},
+	{"T2", func(c experiments.Config, w io.Writer) (any, error) { return p(experiments.RunT2(c))(w) }},
+	{"T3", func(c experiments.Config, w io.Writer) (any, error) { return p(experiments.RunT3(c))(w) }},
+	{"T4", func(c experiments.Config, w io.Writer) (any, error) { return p(experiments.RunT4(c))(w) }},
+	{"F1", func(c experiments.Config, w io.Writer) (any, error) { return p(experiments.RunF1(c))(w) }},
+	{"F2", func(c experiments.Config, w io.Writer) (any, error) { return p(experiments.RunF2(c))(w) }},
+	{"F3", func(c experiments.Config, w io.Writer) (any, error) { return p(experiments.RunF3(c))(w) }},
+	{"F4", func(c experiments.Config, w io.Writer) (any, error) { return p(experiments.RunF4(c))(w) }},
+	{"F5", func(c experiments.Config, w io.Writer) (any, error) { return p(experiments.RunF5(c))(w) }},
+	{"F6", func(c experiments.Config, w io.Writer) (any, error) { return p(experiments.RunF6(c))(w) }},
+	{"E1", func(c experiments.Config, w io.Writer) (any, error) { return p(experiments.RunE1(c))(w) }},
+	{"E2", func(c experiments.Config, w io.Writer) (any, error) { return p(experiments.RunE2(c))(w) }},
+	{"E3", func(c experiments.Config, w io.Writer) (any, error) { return p(experiments.RunE3(c))(w) }},
+	{"E4", func(c experiments.Config, w io.Writer) (any, error) { return p(experiments.RunE4(c))(w) }},
+	{"PRIOR", func(c experiments.Config, w io.Writer) (any, error) { return p(experiments.RunPrior(c))(w) }},
 }
 
 // printable is any experiment result.
 type printable interface{ Print(io.Writer) }
 
-// p adapts a (result, error) pair to a deferred printer.
-func p[T printable](res T, err error) func(io.Writer) error {
-	return func(w io.Writer) error {
+// p adapts a (result, error) pair to a deferred printer that also
+// hands the result back for the -json artifact.
+func p[T printable](res T, err error) func(io.Writer) (any, error) {
+	return func(w io.Writer) (any, error) {
 		if err != nil {
-			return err
+			return nil, err
 		}
 		res.Print(w)
-		return nil
+		return res, nil
 	}
 }
 
@@ -140,6 +142,10 @@ type benchArtifact struct {
 	// HitRates derive from paired <base>_hits_total / <base>_misses_total
 	// counter deltas, keyed by <base>, in [0,1].
 	HitRates map[string]float64 `json:"hit_rates,omitempty"`
+	// Result embeds the experiment's own row data (the same values the
+	// stdout table prints), so artifact diffs carry the measurements,
+	// not just the meta-accounting.
+	Result any `json:"result,omitempty"`
 }
 
 // expandJSONPath substitutes the <exp> placeholder in the -json
@@ -337,7 +343,8 @@ func run() int {
 		log.Verbosef("%s starting", r.name)
 		t0 := time.Now()
 		failed := false
-		if err := r.run(cfg, os.Stdout); err != nil {
+		result, err := r.run(cfg, os.Stdout)
+		if err != nil {
 			log.Errorf("%s: %v", r.name, err)
 			exitCode = 1
 			failed = true
@@ -354,6 +361,7 @@ func run() int {
 				Failed:      failed,
 				Counters:    deltas,
 				HitRates:    hitRates(deltas),
+				Result:      result,
 			}
 			node := sp.Tree()
 			art.CPUSeconds = node.CPUMS / 1e3

@@ -1,0 +1,308 @@
+// Command datasetgen drives the dataset factory and the learned
+// initial-bias prior (DESIGN.md 5j): it sweeps layout generators x
+// optics x correction levels into a sharded on-disk dataset, audits
+// dataset integrity, and fits prior tables that warm-start model OPC
+// (opcflow -prior, opcd FlowSpec.prior).
+//
+// Usage:
+//
+//	datasetgen sweep -out dir [-spec spec.json | -smoke] [-seed N]
+//	datasetgen stats <dir>
+//	datasetgen verify <dir> [-regen N]
+//	datasetgen fit <dir> -o prior.json [-radius DBU] [-level L2|L3]
+//	datasetgen spec [-smoke]
+//
+// sweep generates the dataset described by -spec (JSON, see spec
+// subcommand for a template) into -out; -smoke selects the tiny
+// built-in CI spec and -seed overrides the spec's seed. verify
+// re-hashes every shard against the manifest; -regen N additionally
+// regenerates shard N from the spec alone and requires the bytes to
+// match the shard on disk. fit builds a prior table from a generated
+// dataset and writes it with its summary. spec prints the built-in
+// spec as JSON to adapt.
+//
+// Exit codes: 0 success, 1 failure, 2 usage error.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+
+	"goopc/internal/dataset"
+	"goopc/internal/geom"
+	"goopc/internal/layout/gen"
+	"goopc/internal/obs"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("datasetgen", flag.ContinueOnError)
+	version := fs.Bool("version", false, "print the build fingerprint and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *version {
+		fmt.Println("datasetgen", obs.CollectBuildInfo())
+		return 0
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		fmt.Fprintln(os.Stderr, "datasetgen: need a subcommand: sweep | stats | verify | fit | spec")
+		return 2
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var err error
+	switch rest[0] {
+	case "sweep":
+		err = cmdSweep(ctx, rest[1:])
+	case "stats":
+		err = cmdStats(rest[1:])
+	case "verify":
+		err = cmdVerify(ctx, rest[1:])
+	case "fit":
+		err = cmdFit(rest[1:])
+	case "spec":
+		err = cmdSpec(rest[1:])
+	default:
+		fmt.Fprintf(os.Stderr, "datasetgen: unknown subcommand %q\n", rest[0])
+		return 2
+	}
+	if err == nil {
+		return 0
+	}
+	fmt.Fprintf(os.Stderr, "datasetgen: %v\n", err)
+	var ue usageErr
+	if errors.As(err, &ue) {
+		return 2
+	}
+	return 1
+}
+
+// usageErr marks command-line mistakes (exit 2).
+type usageErr struct{ error }
+
+// smokeSpec is the tiny CI sweep `make dataset-smoke` runs: two
+// pattern populations, one optics point, model-full correction.
+func smokeSpec() dataset.Spec {
+	return dataset.Spec{
+		Name: "smoke",
+		Seed: 7,
+		Generators: []dataset.GeneratorSpec{
+			{Name: "through-pitch", Variants: []int{0}},
+			{Name: "corner", Variants: []int{0}},
+		},
+		ShardSamples: 1,
+	}
+}
+
+// defaultSpec sweeps the whole generator catalog at one optics point —
+// a sensible starting corpus to fit a first prior from.
+func defaultSpec() dataset.Spec {
+	spec := dataset.Spec{Name: "catalog", Seed: 1}
+	for _, name := range gen.CatalogNames() {
+		spec.Generators = append(spec.Generators, dataset.GeneratorSpec{Name: name})
+	}
+	return spec
+}
+
+func loadSpec(path string, smoke bool) (dataset.Spec, error) {
+	if path != "" && smoke {
+		return dataset.Spec{}, usageErr{errors.New("-spec and -smoke are mutually exclusive")}
+	}
+	if smoke {
+		return smokeSpec(), nil
+	}
+	if path == "" {
+		return defaultSpec(), nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return dataset.Spec{}, err
+	}
+	var spec dataset.Spec
+	if err := json.Unmarshal(data, &spec); err != nil {
+		return dataset.Spec{}, fmt.Errorf("spec %s: %w", path, err)
+	}
+	return spec, nil
+}
+
+func cmdSweep(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("datasetgen sweep", flag.ContinueOnError)
+	out := fs.String("out", "", "dataset output directory (required)")
+	specPath := fs.String("spec", "", "sweep spec JSON (default: built-in catalog spec)")
+	smoke := fs.Bool("smoke", false, "use the tiny built-in CI spec")
+	seed := fs.Int64("seed", 0, "override the spec's root seed (0 keeps it)")
+	if err := fs.Parse(args); err != nil {
+		return usageErr{err}
+	}
+	if *out == "" {
+		return usageErr{errors.New("sweep: -out is required")}
+	}
+	spec, err := loadSpec(*specPath, *smoke)
+	if err != nil {
+		return err
+	}
+	if *seed != 0 {
+		spec.Seed = *seed
+	}
+	man, err := dataset.Generate(ctx, spec, *out, dataset.Options{
+		Log: func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) },
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dataset %s: %d samples in %d shards, fingerprint %s\n",
+		*out, man.Samples, len(man.Shards), man.Fingerprint)
+	return nil
+}
+
+func dirArg(fs *flag.FlagSet, name string, args []string) (string, error) {
+	if err := fs.Parse(args); err != nil {
+		return "", usageErr{err}
+	}
+	if fs.NArg() != 1 {
+		return "", usageErr{fmt.Errorf("%s: need exactly one dataset directory", name)}
+	}
+	return fs.Arg(0), nil
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("datasetgen stats", flag.ContinueOnError)
+	asJSON := fs.Bool("json", false, "emit machine-readable JSON")
+	dir, err := dirArg(fs, "stats", args)
+	if err != nil {
+		return err
+	}
+	man, err := dataset.LoadManifest(dir)
+	if err != nil {
+		return err
+	}
+	type stats struct {
+		Samples   int            `json:"samples"`
+		Shards    int            `json:"shards"`
+		Mode      string         `json:"mode"`
+		Seed      int64          `json:"seed"`
+		Levels    map[string]int `json:"levels"`
+		Iters     int            `json:"model_iterations"`
+		Fragments int            `json:"fragments"`
+		Converged int            `json:"converged"`
+	}
+	st := stats{Samples: man.Samples, Shards: len(man.Shards), Mode: man.Mode,
+		Seed: man.Seed, Levels: map[string]int{}}
+	err = dataset.ScanRecords(dir, func(rec dataset.Record) error {
+		st.Levels[rec.Level]++
+		st.Iters += rec.Iters
+		st.Fragments += len(rec.Frags)
+		if rec.Converged {
+			st.Converged++
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		return json.NewEncoder(os.Stdout).Encode(st)
+	}
+	fmt.Printf("dataset %s (%s, seed %d)\n", dir, st.Mode, st.Seed)
+	fmt.Printf("  samples    %d in %d shards (fingerprint %s)\n", st.Samples, st.Shards, man.Fingerprint)
+	for level, n := range st.Levels {
+		fmt.Printf("  level %-4s %d samples\n", level, n)
+	}
+	fmt.Printf("  iterations %d model iterations, %d/%d converged\n", st.Iters, st.Converged, st.Samples)
+	fmt.Printf("  fragments  %d recorded\n", st.Fragments)
+	return nil
+}
+
+func cmdVerify(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("datasetgen verify", flag.ContinueOnError)
+	regen := fs.Int("regen", -1, "also regenerate this shard from the spec and require byte-identity")
+	dir, err := dirArg(fs, "verify", args)
+	if err != nil {
+		return err
+	}
+	if err := dataset.Verify(dir); err != nil {
+		return err
+	}
+	fmt.Printf("dataset %s: shard hashes verified\n", dir)
+	if *regen < 0 {
+		return nil
+	}
+	man, err := dataset.LoadManifest(dir)
+	if err != nil {
+		return err
+	}
+	if *regen >= len(man.Shards) {
+		return usageErr{fmt.Errorf("verify: shard %d out of range (%d shards)", *regen, len(man.Shards))}
+	}
+	got, err := dataset.RegenerateShard(ctx, dir, *regen, dataset.Options{})
+	if err != nil {
+		return err
+	}
+	disk, err := os.ReadFile(filepath.Join(dir, man.Shards[*regen].File))
+	if err != nil {
+		return err
+	}
+	if string(got) != string(disk) {
+		return fmt.Errorf("shard %d regeneration differs from disk: %d vs %d bytes", *regen, len(got), len(disk))
+	}
+	fmt.Printf("dataset %s: shard %d regenerated byte-identically (%d bytes)\n", dir, *regen, len(got))
+	return nil
+}
+
+func cmdFit(args []string) error {
+	fs := flag.NewFlagSet("datasetgen fit", flag.ContinueOnError)
+	out := fs.String("o", "", "prior table output path (required)")
+	radius := fs.Int("radius", 0, "signature capture radius in DBU (default: dataset.DefaultSigRadius)")
+	level := fs.String("level", "", "correction level to fit (default: the spec's first level)")
+	dir, err := dirArg(fs, "fit", args)
+	if err != nil {
+		return err
+	}
+	if *out == "" {
+		return usageErr{errors.New("fit: -o is required")}
+	}
+	tab, err := dataset.Fit(dir, geom.Coord(*radius), *level)
+	if err != nil {
+		return err
+	}
+	if err := tab.Save(*out); err != nil {
+		return err
+	}
+	s := tab.Summary()
+	fmt.Printf("prior %s: level %s radius %d, %d entries (%d conflicted), %.1f obs/entry, fitted from %d runs at %.2f mean iterations\n",
+		*out, tab.Level, tab.Radius, s.Entries, s.Conflicts, s.MeanObs, s.Runs, s.MeanIters)
+	return nil
+}
+
+func cmdSpec(args []string) error {
+	fs := flag.NewFlagSet("datasetgen spec", flag.ContinueOnError)
+	smoke := fs.Bool("smoke", false, "print the tiny built-in CI spec")
+	if err := fs.Parse(args); err != nil {
+		return usageErr{err}
+	}
+	spec := defaultSpec()
+	if *smoke {
+		spec = smokeSpec()
+	}
+	norm, err := dataset.Normalize(spec)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(norm)
+}

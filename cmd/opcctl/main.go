@@ -5,6 +5,7 @@
 //
 //	opcctl [-server URL] submit -workload routed -level L3 [-watch]
 //	opcctl [-server URL] submit -gds in.gds -layer 2 -level L2 -verify
+//	opcctl [-server URL] submit -batch jobs.jsonl
 //	opcctl [-server URL] list
 //	opcctl [-server URL] status <job-id>
 //	opcctl [-server URL] watch <job-id>
@@ -14,7 +15,9 @@
 //	opcctl [-server URL] cluster
 //
 // submit prints the assigned job ID; -watch streams progress until the
-// job finishes and exits non-zero if it failed. fetch streams an
+// job finishes and exits non-zero if it failed. -batch submits one job
+// per JSONL line of JobSpecs (bulk dataset sweeps); -prior points the
+// daemon at a fitted initial-bias table to warm-start model OPC. fetch streams an
 // artifact (result.gds, report.json, orc.json) to -o or stdout. trace
 // downloads the job's flight-recorder timeline as Chrome trace-event
 // JSON — load it in Perfetto or chrome://tracing; it works on live
@@ -27,6 +30,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"errors"
@@ -127,10 +131,18 @@ func cmdSubmit(ctx context.Context, c *server.Client, args []string) error {
 	verify := fs.Bool("verify", false, "run post-OPC verification, producing orc.json")
 	fast := fs.Bool("fast", true, "reduced source sampling for speed")
 	patlib := fs.Bool("patlib", false, "opt into the daemon's shared cross-run pattern library (needs opcd -patlib)")
+	priorPath := fs.String("prior", "", "daemon-local path to a fitted initial-bias prior table (datasetgen fit)")
+	batch := fs.String("batch", "", "submit a batch: one JobSpec JSON per line (\"-\" reads stdin)")
 	flowJSON := fs.String("flow", "", "FlowSpec JSON file overriding the flow settings")
 	watch := fs.Bool("watch", false, "stream progress until the job finishes")
 	if err := fs.Parse(args); err != nil {
 		return usageErr{err}
+	}
+	if *batch != "" {
+		if *gds != "" || *workload != "" || *watch {
+			return usageErr{errors.New("-batch is standalone: job specs come from the batch file, -watch is per-job")}
+		}
+		return submitBatch(ctx, c, *batch)
 	}
 
 	spec := server.JobSpec{
@@ -160,6 +172,9 @@ func cmdSubmit(ctx context.Context, c *server.Client, args []string) error {
 	if *patlib {
 		spec.Flow.PatternLib = true
 	}
+	if *priorPath != "" {
+		spec.Flow.Prior = *priorPath
+	}
 
 	var st server.JobStatus
 	var err error
@@ -181,6 +196,53 @@ func cmdSubmit(ctx context.Context, c *server.Client, args []string) error {
 		return nil
 	}
 	return watchJob(ctx, c, st.ID)
+}
+
+// submitBatch submits one job per non-empty line of a JSONL file of
+// JobSpecs (datasetgen sweeps use this to farm a dataset's cells out
+// to a daemon). It fails fast on the first bad line or refused
+// submission — already-submitted jobs keep running — and prints one
+// assigned ID per job.
+func submitBatch(ctx context.Context, c *server.Client, path string) error {
+	var r io.Reader
+	if path == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	line, submitted := 0, 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		var spec server.JobSpec
+		if err := json.Unmarshal([]byte(text), &spec); err != nil {
+			return fmt.Errorf("batch line %d: %w", line, err)
+		}
+		st, err := c.Submit(ctx, spec)
+		if err != nil {
+			return fmt.Errorf("batch line %d: %w", line, err)
+		}
+		submitted++
+		fmt.Println(st.ID)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if submitted == 0 {
+		return usageErr{fmt.Errorf("batch %s: no job specs found", path)}
+	}
+	fmt.Fprintf(os.Stderr, "submitted %d jobs\n", submitted)
+	return nil
 }
 
 func cmdList(ctx context.Context, c *server.Client) error {
@@ -278,6 +340,10 @@ func watchJob(ctx context.Context, c *server.Client, id string) error {
 				fmt.Printf("%s patlib: exact=%d similar=%d halo-rejects=%d misses=%d appends=%d\n",
 					final.ID, s.LibExactTiles, s.LibSimilarTiles, s.LibHaloRejects,
 					s.LibMisses, s.LibAppends)
+			}
+			if s.WarmTiles > 0 || s.PriorSavedIters > 0 {
+				fmt.Printf("%s prior: warm-tiles=%d warm-fragments=%d saved-iterations=%d mean-iterations=%.2f\n",
+					final.ID, s.WarmTiles, s.WarmFragments, s.PriorSavedIters, s.MeanIterations)
 			}
 		} else {
 			fmt.Printf("%s done\n", final.ID)

@@ -62,6 +62,7 @@ import (
 	"goopc/internal/obs"
 	"goopc/internal/obs/trace"
 	"goopc/internal/optics"
+	"goopc/internal/prior"
 )
 
 // Exit codes. Everything funnels through run() so the run report and
@@ -130,6 +131,7 @@ type resilienceCfg struct {
 	deadline    time.Duration
 	patlibPath  string
 	patlibRO    bool
+	priorPath   string
 }
 
 // apply wires the config into the flow, loading the resume checkpoint
@@ -160,6 +162,13 @@ func (rc *resilienceCfg) apply(flow *core.Flow) error {
 	}
 	flow.PatternLibPath = rc.patlibPath
 	flow.PatLibReadOnly = rc.patlibRO
+	if rc.priorPath != "" {
+		tab, err := prior.Load(rc.priorPath)
+		if err != nil {
+			return inputError{err}
+		}
+		flow.Prior = tab
+	}
 	return nil
 }
 
@@ -194,6 +203,7 @@ func run(args []string) int {
 	fs.DurationVar(&rc.deadline, "deadline", 0, "whole-run deadline (0 = none)")
 	fs.StringVar(&rc.patlibPath, "patlib", "", "persistent cross-run pattern library file (tiled runs; see DESIGN.md 5f)")
 	fs.BoolVar(&rc.patlibRO, "patlib-readonly", false, "consult the pattern library without persisting new solutions")
+	fs.StringVar(&rc.priorPath, "prior", "", "learned initial-bias prior table (datasetgen fit; DESIGN.md 5j): warm-starts model-OPC runs")
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
 	}
@@ -247,8 +257,8 @@ func run(args []string) int {
 			"gds": *gdsPath, "layer": *layerNum, "workload": *workload,
 			"level": *levelFlag, "deck": *deckPath, "fast": *fast,
 			"precision": prec.String(),
-			"ckpt": rc.ckptPath, "resume": rc.resumePath, "inject": rc.inject,
-			"patlib": rc.patlibPath,
+			"ckpt":      rc.ckptPath, "resume": rc.resumePath, "inject": rc.inject,
+			"patlib": rc.patlibPath, "prior": rc.priorPath,
 		})
 	}
 
@@ -436,6 +446,10 @@ func (a *app) runLevels(ctx context.Context, gdsPath string, l layout.Layer, wor
 				fmt.Printf("%-16s patlib: exact=%d similar=%d halo-rejects=%d misses=%d appends=%d\n",
 					level, st.LibExactTiles, st.LibSimilarTiles, st.LibHaloRejects,
 					st.LibMisses, st.LibAppends)
+			}
+			if st.WarmTiles > 0 || st.PriorSavedIters > 0 {
+				fmt.Printf("%-16s prior: warm-tiles=%d warm-fragments=%d saved-iterations=%d\n",
+					level, st.WarmTiles, st.WarmFragments, st.PriorSavedIters)
 			}
 			if st.Retries+st.Panics+st.Timeouts+st.ResumedTiles+len(st.Degradations) > 0 {
 				fmt.Printf("%-16s resilience: retries=%d panics=%d timeouts=%d resumed=%d degraded-rules=%d degraded-uncorrected=%d\n",

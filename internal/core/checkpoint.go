@@ -167,6 +167,13 @@ func (f *Flow) runFingerprint(target []geom.Polygon, level Level, tile geom.Coor
 		checkpointVersion, level, tile, passes, f.Ambit,
 		f.ModelIter1, f.ModelIterFull, f.Damping, f.ConvergeEps, f.DirtyEps,
 		f.Threshold, f.DisableDedup, f.DisableDirtySkip, f.Spec, f.MRC)
+	if f.Prior != nil {
+		// A warmed run's tile results depend on the table contents, so a
+		// checkpoint warmed by one table must never resume a run warmed
+		// by another — or a cold run. Cold runs omit the token entirely,
+		// keeping every pre-existing checkpoint valid.
+		fmt.Fprintf(h, "prior=%s|", f.Prior.Fingerprint())
+	}
 	var buf []byte
 	// Hash in bounded chunks so huge layers do not hold a second copy.
 	for i := 0; i < len(target); i += 1024 {

@@ -22,6 +22,7 @@ import (
 	"goopc/internal/optics"
 	"goopc/internal/orc"
 	"goopc/internal/patlib"
+	"goopc/internal/prior"
 	"goopc/internal/resist"
 )
 
@@ -172,6 +173,16 @@ type Flow struct {
 	// return are solved locally, so a failing or empty cluster never
 	// changes the output, only where the work ran.
 	ClassSolver ClassSolver
+
+	// Prior, when non-nil, is the learned initial-bias table (DESIGN.md
+	// 5j): every model-OPC engine run warm-starts each fragment whose
+	// D4-canonical signature the table predicts, clamped by MRC. Warm
+	// starts only seed iteration 0 — the feedback loop still converges
+	// on its own criteria — so warmed output agrees with a cold run to
+	// within ConvergeEps while spending fewer iterations. With Prior
+	// nil the flow is bit-identical to a flow without this field, and
+	// checkpoints/pattern libraries written cold stay valid.
+	Prior *prior.Table
 }
 
 // ProgressEvent is one live snapshot of a windowed correction run:
@@ -269,29 +280,79 @@ func (f *Flow) Correct(target []geom.Polygon, level Level) (opc.Result, *model.C
 	case L1:
 		return f.Rules.Apply(target), nil, nil
 	case L2, L3:
-		eng := model.New(f.Sim, f.Threshold)
-		eng.Spec = f.Spec
-		eng.MRC = f.MRC
-		eng.Damping = f.Damping
-		if level == L2 {
-			eng.MaxIter = f.ModelIter1
-		} else {
-			eng.MaxIter = f.ModelIterFull
-			// L3 adds assist features from the rule recipe before model
-			// iteration, then freezes them.
-			sraf := f.Rules
-			sraf.Bias = rules.BiasTable{}
-			sraf.HammerExt, sraf.HammerWing, sraf.SerifSize = 0, 0, 0
-			eng.SRAFs = sraf.Apply(target).SRAFs
-		}
+		eng := f.modelEngine(target, level)
 		window := opc.WindowFor(target, f.Ambit)
 		res, conv, err := eng.Correct(target, window)
 		if err != nil {
 			return opc.Result{}, nil, err
 		}
+		if f.Prior != nil && conv.WarmStarted > 0 {
+			f.Prior.ObserveWarmRun(conv.Iterations)
+		}
 		return res, &conv, nil
 	}
 	return opc.Result{}, nil, fmt.Errorf("core: unknown level %d", int(level))
+}
+
+// modelEngine builds the configured model-OPC engine for an untiled
+// L2/L3 run on target, including L3 assist-feature seeding and the
+// learned-prior warm-start hook (signatures are captured against the
+// drawn target — the same geometry family the table was fitted over).
+func (f *Flow) modelEngine(target []geom.Polygon, level Level) *model.Engine {
+	eng := model.New(f.Sim, f.Threshold)
+	eng.Spec = f.Spec
+	eng.MRC = f.MRC
+	eng.Damping = f.Damping
+	if level == L2 {
+		eng.MaxIter = f.ModelIter1
+	} else {
+		eng.MaxIter = f.ModelIterFull
+		// L3 adds assist features from the rule recipe before model
+		// iteration, then freezes them.
+		sraf := f.Rules
+		sraf.Bias = rules.BiasTable{}
+		sraf.HammerExt, sraf.HammerWing, sraf.SerifSize = 0, 0, 0
+		eng.SRAFs = sraf.Apply(target).SRAFs
+	}
+	if f.Prior != nil {
+		eng.InitialBias = f.Prior.InitialBias(target)
+	}
+	return eng
+}
+
+// CorrectSample is Correct restricted to the model levels (L2/L3),
+// additionally returning the engine's final per-polygon fragment state
+// — the dataset factory's record source: each fragment carries its
+// converged bias, which internal/prior fits signatures against.
+func (f *Flow) CorrectSample(target []geom.Polygon, level Level) (opc.Result, model.Convergence, [][]geom.Fragment, error) {
+	if len(target) == 0 {
+		return opc.Result{}, model.Convergence{}, nil, fmt.Errorf("core: empty target")
+	}
+	if level != L2 && level != L3 {
+		return opc.Result{}, model.Convergence{}, nil, fmt.Errorf("core: CorrectSample needs a model level, got %s", level)
+	}
+	if f.RetargetMinCD > 0 {
+		rt, err := opc.Retarget(target, f.RetargetMinCD)
+		if err != nil {
+			return opc.Result{}, model.Convergence{}, nil, err
+		}
+		target = rt
+	}
+	eng := f.modelEngine(target, level)
+	// Sample runs mirror the tiled production loop's stall-based early
+	// exit, so recorded (and warm-rerun) iteration counts match what
+	// full-layer correction would spend. Correct keeps RMSEps unset for
+	// exact compatibility with untiled runs that predate ConvergeEps.
+	eng.RMSEps = f.ConvergeEps
+	window := opc.WindowFor(target, f.Ambit)
+	res, conv, frags, err := eng.CorrectFragments(target, window)
+	if err != nil {
+		return opc.Result{}, model.Convergence{}, nil, err
+	}
+	if f.Prior != nil && conv.WarmStarted > 0 {
+		f.Prior.ObserveWarmRun(conv.Iterations)
+	}
+	return res, conv, frags, nil
 }
 
 // Impact is what one adoption level did to one layout clip: the

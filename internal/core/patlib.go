@@ -22,5 +22,11 @@ func (f *Flow) patlibFingerprint(tile geom.Coord) string {
 	fmt.Fprintf(h, "patlib1|optics=%+v|th=%.12g|tile=%d|halo=%d|iter=%d/%d|damp=%g|eps=%g|spec=%+v|mrc=%+v|",
 		f.Sim.S, f.Threshold, tile, f.Ambit,
 		f.ModelIter1, f.ModelIterFull, f.Damping, f.ConvergeEps, f.Spec, f.MRC)
+	if f.Prior != nil {
+		// Warmed solutions differ (within ConvergeEps) from cold ones, so
+		// a library built warm is not interchangeable with a cold one.
+		// Cold flows omit the token, keeping existing libraries valid.
+		fmt.Fprintf(h, "prior=%s|", f.Prior.Fingerprint())
+	}
 	return hex.EncodeToString(h.Sum(nil)[:16])
 }

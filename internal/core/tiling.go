@@ -75,6 +75,15 @@ type TileStats struct {
 	LibHaloRejects  int
 	LibMisses       int
 	LibAppends      int
+	// Learned-prior accounting (DESIGN.md 5j). WarmTiles counts engine
+	// runs the initial-bias prior warm-started (at least one fragment
+	// seeded before iteration 0); WarmFragments the fragments seeded;
+	// PriorSavedIters the estimated iterations those warm starts saved
+	// against the prior's cold-corpus mean. All zero when Flow.Prior is
+	// nil.
+	WarmTiles       int
+	WarmFragments   int
+	PriorSavedIters int
 }
 
 // TileDegradation records one tile class that exhausted its model-OPC
@@ -694,6 +703,11 @@ func (f *Flow) CorrectWindowedCtx(ctx context.Context, target []geom.Polygon, le
 				st.CorrectedTiles++
 				mTilesCorrected.Inc()
 				st.Iterations += cr.iters
+				if cr.warmFrags > 0 && f.Prior != nil {
+					st.WarmTiles++
+					st.WarmFragments += cr.warmFrags
+					st.PriorSavedIters += f.Prior.ObserveWarmRun(cr.iters)
+				}
 				if len(c.members) > 1 {
 					st.ReusedTiles += len(c.members) - 1
 					mTilesReused.Add(int64(len(c.members) - 1))
@@ -798,6 +812,7 @@ type classResult struct {
 	polys                     []geom.Polygon
 	rms                       float64
 	iters                     int
+	warmFrags                 int
 	retries, panics, timeouts int
 	// degraded is "", degradeRules or degradeUncorrected; degErr the
 	// model-path error that forced the fallback.
@@ -852,6 +867,7 @@ func (f *Flow) correctClass(ctx context.Context, level Level, active, haloPolys 
 			cr.polys = res.Corrected
 			cr.rms = conv.Final().RMS
 			cr.iters = conv.Iterations
+			cr.warmFrags = conv.WarmStarted
 			return cr
 		}
 		if ctx.Err() != nil {
@@ -921,6 +937,16 @@ func (f *Flow) tileAttempt(ctx context.Context, level Level, active, haloPolys [
 	freeze := core
 	eng.FreezeBoundary = &freeze
 	eng.Ctx = tctx
+	if f.Prior != nil {
+		// Signatures see the tile's drawn geometry plus its halo ring —
+		// a fragment near the core boundary captures the same
+		// environment it would in an untiled run.
+		env := active
+		if len(haloPolys) > 0 {
+			env = append(append(make([]geom.Polygon, 0, len(active)+len(haloPolys)), active...), haloPolys...)
+		}
+		eng.InitialBias = f.Prior.InitialBias(env)
+	}
 	res, conv, err = eng.Correct(active, window)
 	return res, conv, err, false
 }

@@ -1,0 +1,261 @@
+// Package dataset is the dataset factory (DESIGN.md 5j): it enumerates
+// layout generators (internal/layout/gen catalog) × optics settings ×
+// correction levels from a declarative Spec, runs every generated cell
+// through the calibrated correction flow, and writes per-sample records
+// — target layout, corrected mask, printed contour, per-fragment
+// converged bias and residual EPE — into sharded, manifest-indexed
+// JSONL on disk.
+//
+// Shards are deterministic: the same spec (including its seed)
+// regenerates byte-identical shard bytes, which the manifest's
+// per-shard SHA-256 fingerprints enforce. Every sample's layout is
+// derived from a seed computed from (spec seed, generator, variant,
+// rep) alone, so a single shard can be regenerated — or audited —
+// without re-running the rest of the sweep. internal/prior fits its
+// initial-bias table from these manifests.
+package dataset
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+
+	"goopc/internal/geom"
+	"goopc/internal/layout/gen"
+	"goopc/internal/resist"
+)
+
+// manifestVersion guards the on-disk format.
+const manifestVersion = 1
+
+// ManifestFile is the manifest's file name inside a dataset directory.
+const ManifestFile = "manifest.json"
+
+// OpticsSpec is one optics point of the sweep: the accuracy/speed knobs
+// layered over the default exposure setup (248 nm / NA 0.68). The
+// defaults match the experiment harness, so priors fitted from a sweep
+// transfer to benchmark flows.
+type OpticsSpec struct {
+	SourceSteps int     `json:"source_steps"`
+	GuardNM     float64 `json:"guard_nm"`
+}
+
+// DefaultOptics is the experiment-harness optics point.
+func DefaultOptics() OpticsSpec { return OpticsSpec{SourceSteps: 5, GuardNM: 1200} }
+
+// GeneratorSpec selects a catalog generator and how much of it to run.
+type GeneratorSpec struct {
+	// Name is a gen.Catalog entry name.
+	Name string `json:"name"`
+	// Variants selects parameterizations (default: all the entry has).
+	Variants []int `json:"variants,omitempty"`
+	// Count is the number of seeded repetitions per variant (default 1).
+	// Only rng-driven generators (stdcell, routed) produce distinct
+	// geometry across reps.
+	Count int `json:"count,omitempty"`
+}
+
+// Spec declares a sweep: the cross-product of generators × variants ×
+// reps × optics × levels, plus the seed everything derives from.
+type Spec struct {
+	Name string `json:"name"`
+	// Seed is the root of every per-sample layout seed (satellite:
+	// recorded in the manifest; equal seeds regenerate equal shards).
+	Seed int64 `json:"seed"`
+	// Levels are the correction levels to run ("L2", "L3"; default L3).
+	Levels []string `json:"levels,omitempty"`
+	// Optics are the optics points (default: DefaultOptics).
+	Optics []OpticsSpec `json:"optics,omitempty"`
+	// Generators are the layout populations.
+	Generators []GeneratorSpec `json:"generators"`
+	// ShardSamples caps records per shard file (default 16).
+	ShardSamples int `json:"shard_samples,omitempty"`
+}
+
+// Normalize fills defaults and validates the spec against the catalog.
+func Normalize(spec Spec) (Spec, error) {
+	if spec.Name == "" {
+		spec.Name = "sweep"
+	}
+	if len(spec.Levels) == 0 {
+		spec.Levels = []string{"L3"}
+	}
+	for _, l := range spec.Levels {
+		if l != "L2" && l != "L3" {
+			return spec, fmt.Errorf("dataset: level %q: only the model levels L2/L3 produce fragment biases", l)
+		}
+	}
+	if len(spec.Optics) == 0 {
+		spec.Optics = []OpticsSpec{DefaultOptics()}
+	}
+	if spec.ShardSamples <= 0 {
+		spec.ShardSamples = 16
+	}
+	if len(spec.Generators) == 0 {
+		return spec, fmt.Errorf("dataset: spec %q has no generators", spec.Name)
+	}
+	for i, g := range spec.Generators {
+		entry, err := gen.FindCatalog(g.Name)
+		if err != nil {
+			return spec, err
+		}
+		if len(g.Variants) == 0 {
+			vs := make([]int, entry.Variants)
+			for v := range vs {
+				vs[v] = v
+			}
+			spec.Generators[i].Variants = vs
+		} else {
+			for _, v := range g.Variants {
+				if v < 0 || v >= entry.Variants {
+					return spec, fmt.Errorf("dataset: generator %q variant %d out of range [0,%d)", g.Name, v, entry.Variants)
+				}
+			}
+		}
+		if g.Count <= 0 {
+			spec.Generators[i].Count = 1
+		}
+	}
+	return spec, nil
+}
+
+// Sample is one enumerated sweep point.
+type Sample struct {
+	Index   int
+	Gen     string
+	Variant int
+	Rep     int
+	Level   string
+	Optics  OpticsSpec
+	// Seed drives the layout build rng. It depends only on (spec seed,
+	// generator, variant, rep) — NOT on level or optics — so every
+	// level/optics point of the cross-product corrects the same
+	// geometry.
+	Seed int64
+}
+
+// Enumerate expands a normalized spec into its ordered sample list.
+// The order is part of the format: shard contents follow it.
+func Enumerate(spec Spec) ([]Sample, error) {
+	spec, err := Normalize(spec)
+	if err != nil {
+		return nil, err
+	}
+	var samples []Sample
+	for _, g := range spec.Generators {
+		for _, v := range g.Variants {
+			for rep := 0; rep < g.Count; rep++ {
+				seed := layoutSeed(spec.Seed, g.Name, v, rep)
+				for _, o := range spec.Optics {
+					for _, l := range spec.Levels {
+						samples = append(samples, Sample{
+							Index: len(samples), Gen: g.Name, Variant: v, Rep: rep,
+							Level: l, Optics: o, Seed: seed,
+						})
+					}
+				}
+			}
+		}
+	}
+	return samples, nil
+}
+
+// layoutSeed derives a sample's layout rng seed.
+func layoutSeed(root int64, name string, variant, rep int) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%d|%d", root, name, variant, rep)
+	return int64(h.Sum64())
+}
+
+// FragRecord is one fragment's outcome: identity within the target's
+// deterministic fragmentation (poly/edge/frag indices — fitting
+// re-fragments the recorded target and pairs by these), the converged
+// bias the engine settled on, and the residual EPE measured on the
+// final printed image at the fragment midpoint.
+type FragRecord struct {
+	Poly int `json:"poly"`
+	Edge int `json:"edge"`
+	Frag int `json:"frag"`
+	Kind int `json:"kind"`
+	// MidX/MidY and Len locate the fragment on the drawn edge (debug
+	// and plotting; fitting uses the index triple).
+	MidX geom.Coord `json:"mx"`
+	MidY geom.Coord `json:"my"`
+	Len  geom.Coord `json:"len"`
+	Bias geom.Coord `json:"bias"`
+	EPE  float64    `json:"epe"`
+	// Unresolved marks a midpoint where the final-image contour search
+	// found no edge (EPE is then 0 and meaningless).
+	Unresolved bool `json:"unresolved,omitempty"`
+}
+
+// Record is one sample's full outcome — everything a learned prior (or
+// any other consumer) needs, with no reference back to the generator.
+type Record struct {
+	Index    int              `json:"index"`
+	Gen      string           `json:"gen"`
+	Variant  int              `json:"variant"`
+	Rep      int              `json:"rep"`
+	Level    string           `json:"level"`
+	Optics   OpticsSpec       `json:"optics"`
+	Seed     int64            `json:"seed"`
+	Target   []geom.Polygon   `json:"target"`
+	Mask     []geom.Polygon   `json:"mask"`
+	SRAFs    []geom.Polygon   `json:"srafs,omitempty"`
+	Contours []resist.Contour `json:"contours,omitempty"`
+	Frags    []FragRecord     `json:"frags"`
+	// Iters / RMS / Converged are the engine run's convergence outcome
+	// (cold — dataset generation never applies a prior).
+	Iters     int     `json:"iters"`
+	RMS       float64 `json:"rms"`
+	Converged bool    `json:"converged"`
+}
+
+// ShardInfo indexes one shard file in the manifest.
+type ShardInfo struct {
+	File       string `json:"file"`
+	FirstIndex int    `json:"first_index"`
+	Samples    int    `json:"samples"`
+	// SHA256 is the content fingerprint regeneration must reproduce.
+	SHA256 string `json:"sha256"`
+}
+
+// Manifest indexes a generated dataset directory.
+type Manifest struct {
+	Version int  `json:"version"`
+	Spec    Spec `json:"spec"`
+	// Seed repeats Spec.Seed at top level: the regeneration contract is
+	// explicit in the index, not buried in the spec.
+	Seed int64 `json:"seed"`
+	// Fingerprint hashes the normalized spec — two manifests with equal
+	// fingerprints index byte-identical datasets.
+	Fingerprint string `json:"fingerprint"`
+	// Mode is "local" (in-process solves; regenerable) or "remote"
+	// (solved by an opcd cluster; not locally regenerable because the
+	// cluster runs the tiled scheduler).
+	Mode string `json:"mode"`
+	// FragSpec is the fragmentation recipe the flow used; fitting
+	// re-fragments recorded targets with it to recapture signatures.
+	FragSpec geom.FragmentSpec `json:"frag_spec"`
+	Samples  int               `json:"samples"`
+	Shards   []ShardInfo       `json:"shards"`
+}
+
+// SpecFingerprint hashes a spec's normalized form.
+func SpecFingerprint(spec Spec) (string, error) {
+	spec, err := Normalize(spec)
+	if err != nil {
+		return "", err
+	}
+	data, err := json.Marshal(spec)
+	if err != nil {
+		return "", fmt.Errorf("dataset: %w", err)
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:16]), nil
+}
+
+// shardName formats the i-th shard's file name.
+func shardName(i int) string { return fmt.Sprintf("shard-%04d.jsonl", i) }

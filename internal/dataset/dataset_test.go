@@ -1,0 +1,224 @@
+package dataset
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"goopc/internal/core"
+	"goopc/internal/geom"
+)
+
+// testSpec is a tiny but non-trivial sweep: two pattern populations,
+// one optics point, model-full correction.
+func testSpec() Spec {
+	return Spec{
+		Name: "smoke",
+		Seed: 7,
+		Generators: []GeneratorSpec{
+			{Name: "through-pitch", Variants: []int{0}},
+			{Name: "corner", Variants: []int{0}},
+		},
+		ShardSamples: 1,
+	}
+}
+
+func TestEnumerateDeterministic(t *testing.T) {
+	spec := Spec{
+		Seed: 3,
+		Generators: []GeneratorSpec{
+			{Name: "through-pitch", Count: 2},
+			{Name: "routed", Variants: []int{1}},
+		},
+		Levels: []string{"L2", "L3"},
+	}
+	a, err := Enumerate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Enumerate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// through-pitch: 3 variants x 2 reps x 2 levels; routed: 1 x 1 x 2.
+	if len(a) != 3*2*2+2 {
+		t.Fatalf("enumerated %d samples", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample %d differs across enumerations: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// Levels of one rep share the layout seed; distinct reps do not.
+	if a[0].Seed != a[1].Seed {
+		t.Error("same rep, different level: layout seeds must match")
+	}
+	if a[0].Seed == a[2].Seed {
+		t.Error("distinct reps must have distinct layout seeds")
+	}
+}
+
+func TestEnumerateRejectsUnknown(t *testing.T) {
+	if _, err := Enumerate(Spec{Generators: []GeneratorSpec{{Name: "nope"}}}); err == nil {
+		t.Fatal("unknown generator accepted")
+	}
+	if _, err := Enumerate(Spec{Levels: []string{"L1"}, Generators: []GeneratorSpec{{Name: "corner"}}}); err == nil {
+		t.Fatal("non-model level accepted")
+	}
+}
+
+// TestSweepFitWarm is the subsystem's end-to-end contract in one pass
+// over one generated dataset (generation dominates the test budget):
+//
+//  1. shards regenerate byte-identically from the manifest's spec+seed;
+//  2. a prior fitted from the dataset warm-starts a rerun of the same
+//     sweep into strictly fewer total model iterations;
+//  3. the warmed output converges to the cold result (final RMS within
+//     the flow's ConvergeEps).
+func TestSweepFitWarm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep generation in -short")
+	}
+	ctx := context.Background()
+	dir := t.TempDir()
+	spec := testSpec()
+
+	man, err := Generate(ctx, spec, dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Samples != 2 || len(man.Shards) != 2 {
+		t.Fatalf("manifest: %d samples in %d shards, want 2 in 2", man.Samples, len(man.Shards))
+	}
+	if man.Seed != spec.Seed {
+		t.Fatalf("manifest seed %d, want %d", man.Seed, spec.Seed)
+	}
+	if err := Verify(dir); err != nil {
+		t.Fatalf("integrity: %v", err)
+	}
+
+	// (1) Byte-identical regeneration of a shard, from spec alone.
+	regen, err := RegenerateShard(ctx, dir, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk, err := os.ReadFile(filepath.Join(dir, man.Shards[0].File))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(regen, disk) {
+		t.Fatalf("shard 0 regeneration differs: %d vs %d bytes", len(regen), len(disk))
+	}
+
+	// Record sanity: fragments carry biases and resolved EPEs.
+	biased, resolved, coldIters := 0, 0, 0
+	err = ScanRecords(dir, func(rec Record) error {
+		coldIters += rec.Iters
+		for _, fr := range rec.Frags {
+			if fr.Bias != 0 {
+				biased++
+			}
+			if !fr.Unresolved {
+				resolved++
+			}
+		}
+		if len(rec.Contours) == 0 {
+			t.Errorf("record %d has no printed contours", rec.Index)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if biased == 0 || resolved == 0 {
+		t.Fatalf("records look empty: %d biased, %d resolved fragments", biased, resolved)
+	}
+	if coldIters == 0 {
+		t.Fatal("cold sweep spent no model iterations; nothing for a prior to save")
+	}
+
+	// (2) Fit and rerun warm.
+	tab, err := Fit(dir, 0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() == 0 {
+		t.Fatal("fitted table is empty")
+	}
+	samples, err := Enumerate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmIters, warmedFrags := 0, 0
+	for _, s := range samples {
+		target, err := BuildTarget(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold, err := DefaultFlows(s.Optics)
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm := *cold
+		warm.Prior = tab
+		_, conv, _, err := warm.CorrectSample(target, core.L3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		warmIters += conv.Iterations
+		warmedFrags += conv.WarmStarted
+
+		// (3) Warm output converges to the cold result.
+		var coldRec Record
+		if err := ScanRecords(dir, func(rec Record) error {
+			if rec.Index == s.Index {
+				coldRec = rec
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if d := conv.Final().RMS - coldRec.RMS; d > cold.ConvergeEps || d < -10*cold.ConvergeEps {
+			t.Errorf("sample %d: warm RMS %.3f vs cold %.3f (eps %.2f)", s.Index, conv.Final().RMS, coldRec.RMS, cold.ConvergeEps)
+		}
+	}
+	if warmedFrags == 0 {
+		t.Fatal("prior warmed no fragments on its own fitting corpus")
+	}
+	if warmIters >= coldIters {
+		t.Fatalf("warm start saved nothing: %d warm vs %d cold iterations", warmIters, coldIters)
+	}
+	t.Logf("cold %d iters, warm %d iters, %d fragments warmed, %d table entries (%d conflicts)",
+		coldIters, warmIters, warmedFrags, tab.Len(), tab.Conflicts())
+}
+
+func TestRecoverBias(t *testing.T) {
+	// A drawn square biased outward by 10 on its right edge.
+	target := geom.Polygon{geom.Pt(0, 0), geom.Pt(400, 0), geom.Pt(400, 400), geom.Pt(0, 400)}
+	corrected := geom.Polygon{geom.Pt(0, 0), geom.Pt(410, 0), geom.Pt(410, 400), geom.Pt(0, 400)}
+	frags := geom.FragmentPolygon(target, 0, geom.DefaultFragmentSpec())
+	found := false
+	for _, f := range frags {
+		b, ok := recoverBias(f, corrected, 40)
+		if !ok {
+			continue
+		}
+		mid := f.Edge.Mid()
+		switch {
+		case mid.X == 400: // right edge fragments
+			if b != 10 {
+				t.Errorf("right-edge fragment at %v: bias %d, want 10", mid, b)
+			}
+			found = true
+		case mid.Y == 0 || mid.Y == 400 || mid.X == 0:
+			if b != 0 {
+				t.Errorf("unbiased edge fragment at %v: bias %d, want 0", mid, b)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no right-edge fragment recovered")
+	}
+}

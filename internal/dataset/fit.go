@@ -1,0 +1,73 @@
+package dataset
+
+import (
+	"fmt"
+
+	"goopc/internal/geom"
+	"goopc/internal/patmatch"
+	"goopc/internal/prior"
+)
+
+// DefaultSigRadius is the signature capture radius (DBU) priors are
+// fitted at: past the optical ambit at 248 nm / NA 0.68 (2λ/NA ≈ 730),
+// so a signature sees everything that meaningfully couples into its
+// fragment's bias — the precondition for prior.DefaultConflictSpread's
+// same-geometry noise tolerance.
+const DefaultSigRadius geom.Coord = 1000
+
+// Fit builds an initial-bias prior table from a generated dataset:
+// every record at the requested level is re-fragmented with the
+// manifest's fragmentation recipe, each fragment's D4-canonical
+// signature is captured against the record's drawn target, and the
+// engine's converged bias is accumulated into the table. Conflicting
+// observations (and any 64-bit signature collisions) poison their
+// entries — internal/prior then refuses to predict them.
+func Fit(dir string, radius geom.Coord, level string) (*prior.Table, error) {
+	if radius <= 0 {
+		radius = DefaultSigRadius
+	}
+	man, err := LoadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	if level == "" {
+		level = man.Spec.Levels[0]
+	}
+	tab := prior.New(radius, level)
+	iterSum, runs := 0, 0
+	err = ScanRecords(dir, func(rec Record) error {
+		if rec.Level != level {
+			return nil
+		}
+		// Deterministic recapture: the engine fragmented the recorded
+		// target with the same recipe, so (poly, edge, frag) triples
+		// pair exactly.
+		type fragKey struct{ p, e, f int }
+		frags := map[fragKey]geom.Fragment{}
+		for pi, poly := range rec.Target {
+			for _, f := range geom.FragmentPolygon(poly, pi, man.FragSpec) {
+				frags[fragKey{f.PolyIndex, f.EdgeIndex, f.FragIndex}] = f
+			}
+		}
+		for _, fr := range rec.Frags {
+			f, ok := frags[fragKey{fr.Poly, fr.Edge, fr.Frag}]
+			if !ok {
+				continue
+			}
+			tab.Add(patmatch.CaptureFragment(f, rec.Target, radius), fr.Bias)
+		}
+		tab.Samples++
+		iterSum += rec.Iters
+		runs++
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if runs == 0 {
+		return nil, fmt.Errorf("dataset: no records at level %s in %s", level, dir)
+	}
+	tab.Runs = runs
+	tab.MeanIters = float64(iterSum) / float64(runs)
+	return tab, nil
+}

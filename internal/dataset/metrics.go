@@ -1,0 +1,18 @@
+package dataset
+
+import "goopc/internal/obs"
+
+// Registry series for the dataset factory: sweep output volume and the
+// record stream fitting consumes.
+var (
+	mSamples = obs.Default().Counter("goopc_dataset_samples_total",
+		"sweep samples corrected and recorded")
+	mShards = obs.Default().Counter("goopc_dataset_shards_total",
+		"dataset shard files written")
+	mBytes = obs.Default().Counter("goopc_dataset_bytes_total",
+		"dataset shard bytes written")
+	mScanned = obs.Default().Counter("goopc_dataset_records_scanned_total",
+		"dataset records streamed by ScanRecords (stats, fitting)")
+	gSweepSeconds = obs.Default().Gauge("goopc_dataset_sweep_seconds",
+		"wall-clock duration of the most recent Generate run")
+)

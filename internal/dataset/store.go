@@ -1,0 +1,151 @@
+package dataset
+
+import (
+	"bufio"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// writeFileAtomic writes data via temp file + rename.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".ds-*")
+	if err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	tmpName := tmp.Name()
+	_, werr := tmp.Write(data)
+	if werr == nil {
+		werr = tmp.Sync()
+	}
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmpName, path)
+	}
+	if werr != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("dataset: write %s: %w", path, werr)
+	}
+	return nil
+}
+
+func sha256Hex(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// writeManifest serializes the manifest (indented — it is the
+// human-readable index of the dataset).
+func writeManifest(dir string, man *Manifest) error {
+	data, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return fmt.Errorf("dataset: encode manifest: %w", err)
+	}
+	return writeFileAtomic(filepath.Join(dir, ManifestFile), append(data, '\n'))
+}
+
+// LoadManifest reads a dataset directory's manifest.
+func LoadManifest(dir string) (*Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ManifestFile))
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	var man Manifest
+	if err := json.Unmarshal(data, &man); err != nil {
+		return nil, fmt.Errorf("dataset: %s: %w", dir, err)
+	}
+	if man.Version != manifestVersion {
+		return nil, fmt.Errorf("dataset: %s: manifest version %d, want %d", dir, man.Version, manifestVersion)
+	}
+	return &man, nil
+}
+
+// Verify checks every shard file on disk against the manifest's
+// fingerprints (integrity — cheap; it reads but does not recompute).
+func Verify(dir string) error {
+	man, err := LoadManifest(dir)
+	if err != nil {
+		return err
+	}
+	for _, sh := range man.Shards {
+		data, err := os.ReadFile(filepath.Join(dir, sh.File))
+		if err != nil {
+			return fmt.Errorf("dataset: %w", err)
+		}
+		if got := sha256Hex(data); got != sh.SHA256 {
+			return fmt.Errorf("dataset: shard %s: sha256 %s, manifest says %s", sh.File, got, sh.SHA256)
+		}
+	}
+	return nil
+}
+
+// RegenerateShard recomputes one shard's bytes from the manifest's spec
+// alone — the determinism contract (satellite: explicit seed threading
+// makes regeneration byte-identical). The caller compares the returned
+// bytes against the on-disk shard. Remote-mode manifests are refused:
+// their solves ran the cluster's tiled scheduler, not this path.
+func RegenerateShard(ctx context.Context, dir string, shard int, opt Options) ([]byte, error) {
+	man, err := LoadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	if man.Mode != "local" {
+		return nil, fmt.Errorf("dataset: manifest mode %q is not locally regenerable", man.Mode)
+	}
+	if shard < 0 || shard >= len(man.Shards) {
+		return nil, fmt.Errorf("dataset: shard %d out of range [0,%d)", shard, len(man.Shards))
+	}
+	samples, err := Enumerate(man.Spec)
+	if err != nil {
+		return nil, err
+	}
+	sh := man.Shards[shard]
+	if sh.FirstIndex+sh.Samples > len(samples) {
+		return nil, fmt.Errorf("dataset: shard %s spans samples beyond the spec's enumeration", sh.File)
+	}
+	opt.Correct = nil // regeneration is always the local path
+	return shardBytes(ctx, samples[sh.FirstIndex:sh.FirstIndex+sh.Samples], opt)
+}
+
+// ScanRecords streams every record of the dataset through fn in sample
+// order, stopping at the first error.
+func ScanRecords(dir string, fn func(Record) error) error {
+	man, err := LoadManifest(dir)
+	if err != nil {
+		return err
+	}
+	for _, sh := range man.Shards {
+		f, err := os.Open(filepath.Join(dir, sh.File))
+		if err != nil {
+			return fmt.Errorf("dataset: %w", err)
+		}
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 1<<20), 1<<28)
+		for sc.Scan() {
+			var rec Record
+			if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+				f.Close()
+				return fmt.Errorf("dataset: %s: %w", sh.File, err)
+			}
+			mScanned.Inc()
+			if err := fn(rec); err != nil {
+				f.Close()
+				return err
+			}
+		}
+		serr := sc.Err()
+		f.Close()
+		if serr != nil {
+			return fmt.Errorf("dataset: %s: %w", sh.File, serr)
+		}
+	}
+	return nil
+}

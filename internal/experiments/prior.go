@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"goopc/internal/core"
+	"goopc/internal/dataset"
+)
+
+// --- R-PRIOR: learned initial-bias prior, cold vs warm (DESIGN.md 5j) ---
+
+// PriorRow aggregates one generator family of the sweep corpus: the
+// paired cold/warm model-iteration counts and wall time for the same
+// cells, corrected by the same engine, with only the prior differing.
+// The stdcell / sram / routed families are the T2/T3 workloads at
+// dataset-cell scale.
+type PriorRow struct {
+	Gen       string  `json:"gen"`
+	Samples   int     `json:"samples"`
+	ColdIters int     `json:"cold_iters"`
+	WarmIters int     `json:"warm_iters"`
+	ColdSec   float64 `json:"cold_sec"`
+	WarmSec   float64 `json:"warm_sec"`
+	WarmFrags int     `json:"warm_fragments"`
+	// MaxRMSDelta is the worst signed (warm - cold) final-RMS
+	// disagreement across the family's samples — the convergence-
+	// equivalence check. Positive means a warm run ended worse than its
+	// cold twin; negative-or-zero means warm never lost accuracy.
+	MaxRMSDelta float64 `json:"max_rms_delta"`
+}
+
+// PriorResult is the cold/warm comparison table plus the fitted-table
+// summary it was produced with.
+type PriorResult struct {
+	Rows        []PriorRow `json:"rows"`
+	Entries     int        `json:"entries"`
+	Conflicts   int        `json:"conflicts"`
+	ConvergeEps float64    `json:"converge_eps"`
+}
+
+// priorSpec is the benchmark corpus: one variant of each generator
+// family, including the stdcell/sram/routed families the T2/T3 tables
+// are built from.
+func priorSpec(seed int64) dataset.Spec {
+	spec := dataset.Spec{Name: "prior-bench", Seed: seed, ShardSamples: 4}
+	for _, name := range []string{"through-pitch", "line-end", "corner", "stdcell", "sram", "routed"} {
+		spec.Generators = append(spec.Generators, dataset.GeneratorSpec{Name: name, Variants: []int{0}})
+	}
+	return spec
+}
+
+// RunPrior sweeps the corpus cold into a throwaway dataset, fits a
+// prior from it, then corrects every cell again twice — cold and
+// prior-warmed — through the identical CorrectSample path, pairing
+// iteration counts and wall time per generator family.
+func RunPrior(cfg Config) (*PriorResult, error) {
+	ctx := context.Background()
+	dir, err := os.MkdirTemp("", "goopc-prior-bench-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	spec := priorSpec(cfg.Seed)
+	if _, err := dataset.Generate(ctx, spec, dir, dataset.Options{}); err != nil {
+		return nil, fmt.Errorf("PRIOR sweep: %w", err)
+	}
+	tab, err := dataset.Fit(dir, 0, "")
+	if err != nil {
+		return nil, fmt.Errorf("PRIOR fit: %w", err)
+	}
+	samples, err := dataset.Enumerate(spec)
+	if err != nil {
+		return nil, err
+	}
+	coldRMS := map[int]float64{}
+	if err := dataset.ScanRecords(dir, func(rec dataset.Record) error {
+		coldRMS[rec.Index] = rec.RMS
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	res := &PriorResult{Entries: tab.Len(), Conflicts: tab.Conflicts()}
+	byGen := map[string]*PriorRow{}
+	var order []string
+	for _, s := range samples {
+		target, err := dataset.BuildTarget(s)
+		if err != nil {
+			return nil, err
+		}
+		base, err := dataset.DefaultFlows(s.Optics)
+		if err != nil {
+			return nil, err
+		}
+		res.ConvergeEps = base.ConvergeEps
+		level := core.L3
+		if s.Level == "L2" {
+			level = core.L2
+		}
+
+		row := byGen[s.Gen]
+		if row == nil {
+			row = &PriorRow{Gen: s.Gen}
+			byGen[s.Gen] = row
+			order = append(order, s.Gen)
+		}
+		row.Samples++
+
+		cold := *base
+		t0 := time.Now()
+		_, cc, _, err := cold.CorrectSample(target, level)
+		if err != nil {
+			return nil, fmt.Errorf("PRIOR cold %s: %w", s.Gen, err)
+		}
+		row.ColdSec += time.Since(t0).Seconds()
+		row.ColdIters += cc.Iterations
+
+		warm := *base
+		warm.Prior = tab
+		t0 = time.Now()
+		_, wc, _, err := warm.CorrectSample(target, level)
+		if err != nil {
+			return nil, fmt.Errorf("PRIOR warm %s: %w", s.Gen, err)
+		}
+		row.WarmSec += time.Since(t0).Seconds()
+		row.WarmIters += wc.Iterations
+		row.WarmFrags += wc.WarmStarted
+		d := wc.Final().RMS - coldRMS[s.Index]
+		if row.Samples == 1 || d > row.MaxRMSDelta {
+			row.MaxRMSDelta = d
+		}
+	}
+	for _, g := range order {
+		res.Rows = append(res.Rows, *byGen[g])
+	}
+	return res, nil
+}
+
+// Print renders the comparison table.
+func (r *PriorResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "PRIOR (R-PRIOR): learned initial-bias prior, cold vs warm (%d entries, %d conflicted)\n",
+		r.Entries, r.Conflicts)
+	rule(w, 92)
+	fmt.Fprintf(w, "%-14s %7s %10s %10s %7s %9s %9s %10s %9s\n",
+		"gen", "samples", "coldIters", "warmIters", "saved", "cold[s]", "warm[s]", "warmFrags", "maxΔRMS")
+	var coldI, warmI int
+	for _, row := range r.Rows {
+		saved := "-"
+		if row.ColdIters > 0 {
+			saved = fmt.Sprintf("%.0f%%", 100*(1-float64(row.WarmIters)/float64(row.ColdIters)))
+		}
+		fmt.Fprintf(w, "%-14s %7d %10d %10d %7s %9.2f %9.2f %10d %+9.3f\n",
+			row.Gen, row.Samples, row.ColdIters, row.WarmIters, saved,
+			row.ColdSec, row.WarmSec, row.WarmFrags, row.MaxRMSDelta)
+		coldI += row.ColdIters
+		warmI += row.WarmIters
+	}
+	rule(w, 92)
+	if coldI > 0 {
+		fmt.Fprintf(w, "total model iterations: cold %d, warm %d (%.0f%% saved; eps %.2f)\n",
+			coldI, warmI, 100*(1-float64(warmI)/float64(coldI)), r.ConvergeEps)
+	}
+}

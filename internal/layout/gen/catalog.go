@@ -1,0 +1,138 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"goopc/internal/geom"
+	"goopc/internal/layout"
+)
+
+// CatalogEntry is one named layout generator the dataset factory
+// (internal/dataset) enumerates. Build creates a fresh cell in ly and
+// returns it with the drawn layer to correct. Builds are deterministic:
+// the same (variant, rng seed) produces byte-identical geometry, which
+// is what makes dataset shards regenerable.
+//
+// Entries are sized for untiled model correction (a few microns a
+// side): the learned prior is pattern-local — its capture radius is an
+// optical ambit, not a chip — so small cells cover the same signature
+// population full-layer tiles draw from.
+type CatalogEntry struct {
+	Name string
+	// Variants is the number of distinct parameterizations; Build
+	// accepts variant in [0, Variants).
+	Variants int
+	Build    func(ly *layout.Layout, name string, variant int, rng *rand.Rand) (*layout.Cell, layout.Layer, error)
+}
+
+// Catalog returns the named generators in deterministic order.
+func Catalog() []CatalogEntry {
+	return []CatalogEntry{
+		{
+			// Dense-to-iso line arrays: the proximity sweep at the heart of
+			// the paper's through-pitch data.
+			Name: "through-pitch", Variants: 3,
+			Build: func(ly *layout.Layout, name string, v int, rng *rand.Rand) (*layout.Cell, layout.Layer, error) {
+				cd := []geom.Coord{180, 220, 260}[v]
+				pitches := []geom.Coord{2 * cd, 2*cd + 140, 3 * cd}
+				cell, _, err := ThroughPitch(ly, name, layout.Poly, cd, pitches, 3000, 4)
+				return cell, layout.Poly, err
+			},
+		},
+		{
+			// Facing line ends across shrinking gaps — the line-end
+			// pullback population.
+			Name: "line-end", Variants: 2,
+			Build: func(ly *layout.Layout, name string, v int, rng *rand.Rand) (*layout.Cell, layout.Layer, error) {
+				cell, _, err := LineEndGap(ly, name, layout.Poly, 180,
+					[]geom.Coord{240, 320, 440}, 2000, v == 1)
+				return cell, layout.Poly, err
+			},
+		},
+		{
+			// L/T corner structures: convex/concave corner fragments.
+			Name: "corner", Variants: 2,
+			Build: func(ly *layout.Layout, name string, v int, rng *rand.Rand) (*layout.Cell, layout.Layer, error) {
+				cd := []geom.Coord{180, 240}[v]
+				cell, _, err := CornerTest(ly, name, layout.Poly, cd, 1600)
+				return cell, layout.Poly, err
+			},
+		},
+		{
+			// Square contact arrays: the small-feature corner-rounding
+			// population.
+			Name: "contact-array", Variants: 2,
+			Build: func(ly *layout.Layout, name string, v int, rng *rand.Rand) (*layout.Cell, layout.Layer, error) {
+				size := []geom.Coord{220, 260}[v]
+				cell, _, err := ContactArray(ly, name, layout.Poly, size, 2*size, 4, 4)
+				return cell, layout.Poly, err
+			},
+		},
+		{
+			// A dense pack next to an isolated line: the dense-iso bias
+			// split rule-based OPC tabulates.
+			Name: "dense-iso", Variants: 2,
+			Build: func(ly *layout.Layout, name string, v int, rng *rand.Rand) (*layout.Cell, layout.Layer, error) {
+				cd := []geom.Coord{180, 220}[v]
+				cell, _, err := DenseIso(ly, name, layout.Poly, cd, 2*cd, 3000)
+				return cell, layout.Poly, err
+			},
+		},
+		{
+			// A small random standard-cell block placement (poly layer):
+			// product-like gate patterns with realistic repetition.
+			Name: "stdcell", Variants: 2,
+			Build: func(ly *layout.Layout, name string, v int, rng *rand.Rand) (*layout.Cell, layout.Layer, error) {
+				lib, err := BuildCellLib(ly, Tech180())
+				if err != nil {
+					return nil, layout.Poly, err
+				}
+				rows, cols := 1, 2+v
+				cell, err := BuildBlock(ly, lib, name, rows, cols, rng)
+				return cell, layout.Poly, err
+			},
+		},
+		{
+			// A small SRAM array: the most repetitive pattern population.
+			Name: "sram", Variants: 2,
+			Build: func(ly *layout.Layout, name string, v int, rng *rand.Rand) (*layout.Cell, layout.Layer, error) {
+				n := 2 + v
+				cell, err := BuildSRAM(ly, Tech180(), name, n, n)
+				return cell, layout.Poly, err
+			},
+		},
+		{
+			// A randomly routed metal block: bends, jogs and line ends with
+			// low repetition — the hard residual the prior must not
+			// mispredict (misses are fine; wrong biases are not).
+			Name: "routed", Variants: 2,
+			Build: func(ly *layout.Layout, name string, v int, rng *rand.Rand) (*layout.Cell, layout.Layer, error) {
+				size := []geom.Coord{5000, 7000}[v]
+				nets := []int{4, 6}[v]
+				cell, err := BuildRoutedBlock(ly, Tech180(), name, size, size, nets, rng)
+				return cell, layout.Metal1, err
+			},
+		},
+	}
+}
+
+// FindCatalog looks up a catalog entry by name.
+func FindCatalog(name string) (CatalogEntry, error) {
+	for _, e := range Catalog() {
+		if e.Name == name {
+			return e, nil
+		}
+	}
+	return CatalogEntry{}, fmt.Errorf("gen: unknown catalog generator %q (have %v)", name, CatalogNames())
+}
+
+// CatalogNames lists the catalog entry names in order.
+func CatalogNames() []string {
+	entries := Catalog()
+	names := make([]string, len(entries))
+	for i, e := range entries {
+		names[i] = e.Name
+	}
+	return names
+}

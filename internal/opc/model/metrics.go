@@ -19,4 +19,8 @@ var (
 	mEPERMS = obs.Default().Histogram("goopc_model_epe_rms_nm",
 		"EPE RMS (nm) at each measured iteration, all engine runs",
 		[]float64{0.5, 1, 2, 4, 8, 16, 32, 64})
+	mWarmRuns = obs.Default().Counter("goopc_model_warm_runs_total",
+		"engine runs warm-started by an InitialBias prior")
+	mWarmFragments = obs.Default().Counter("goopc_model_warm_fragments_total",
+		"fragments seeded by an InitialBias prior before iteration 0")
 )

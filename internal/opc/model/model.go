@@ -69,6 +69,15 @@ type Engine struct {
 	// error. The tiled scheduler sets this to enforce per-tile
 	// timeouts; nil means run to completion.
 	Ctx context.Context
+	// InitialBias, when non-nil, seeds fragment biases before the first
+	// iteration (warm start): it is consulted once per non-frozen
+	// fragment after dissection, and a true second return applies the
+	// returned bias, clamped by MRC like every correction step. The
+	// learned prior (internal/prior) plugs in here; a good prediction
+	// puts iteration 0's measurement near the fixed point, so the loop
+	// converges in fewer steps. Nil leaves every bias at zero — the
+	// historical cold start — and the engine behaves bit-identically.
+	InitialBias func(f geom.Fragment) (geom.Coord, bool)
 }
 
 // ctx returns the engine's context, defaulting to Background.
@@ -118,6 +127,17 @@ type Convergence struct {
 	// EarlyExit is true when the RMS-improvement criterion (RMSEps)
 	// ended the loop before MaxIter.
 	EarlyExit bool
+	// WarmStarted counts the fragments seeded by the InitialBias hook
+	// before iteration 0 (zero for cold runs).
+	WarmStarted int
+	// WarmRestored is true when a warm-started run returned an earlier
+	// iterate than its last: warmed runs keep the best-RMS measured
+	// state, because one update step from an already-stalled seeded
+	// state can oscillate away from the fixed point. Cold runs always
+	// return the last iterate (bit-compatible with prior releases).
+	// When set, PerIter's final entry repeats the restored iterate's
+	// statistics so Final() describes the returned geometry.
+	WarmRestored bool
 }
 
 // Final returns the EPE statistics after the last iteration.
@@ -132,14 +152,23 @@ func (c Convergence) Final() opc.EPEStats {
 // result contains the corrected polygons (fragment jogs materialized)
 // plus the engine's frozen SRAFs, and the convergence trace.
 func (e *Engine) Correct(target []geom.Polygon, window geom.Rect) (opc.Result, Convergence, error) {
+	res, conv, _, err := e.CorrectFragments(target, window)
+	return res, conv, err
+}
+
+// CorrectFragments is Correct exposing the final fragment state: one
+// fragment list per target polygon, in dissection order, each carrying
+// its converged Bias. The dataset factory records per-fragment biases
+// from this; everyone else uses Correct.
+func (e *Engine) CorrectFragments(target []geom.Polygon, window geom.Rect) (opc.Result, Convergence, [][]geom.Fragment, error) {
 	if e.Sim == nil {
-		return opc.Result{}, Convergence{}, fmt.Errorf("model: nil simulator")
+		return opc.Result{}, Convergence{}, nil, fmt.Errorf("model: nil simulator")
 	}
 	if e.MaxIter < 1 {
-		return opc.Result{}, Convergence{}, fmt.Errorf("model: MaxIter %d", e.MaxIter)
+		return opc.Result{}, Convergence{}, nil, fmt.Errorf("model: MaxIter %d", e.MaxIter)
 	}
 	if e.Damping <= 0 || e.Damping > 1.5 {
-		return opc.Result{}, Convergence{}, fmt.Errorf("model: damping %v out of range", e.Damping)
+		return opc.Result{}, Convergence{}, nil, fmt.Errorf("model: damping %v out of range", e.Damping)
 	}
 	// Fragment every target polygon once; biases accumulate across
 	// iterations.
@@ -148,6 +177,28 @@ func (e *Engine) Correct(target []geom.Polygon, window geom.Rect) (opc.Result, C
 		frags[i] = geom.FragmentPolygon(p, i, e.Spec)
 	}
 	var conv Convergence
+	if e.InitialBias != nil {
+		// Warm start: seed predicted biases before the first
+		// measurement, clamped exactly like an update step. Frozen
+		// (cut-edge) fragments never move, warm or cold.
+		for i := range frags {
+			for j := range frags[i] {
+				f := &frags[i][j]
+				if e.frozen(*f) {
+					continue
+				}
+				if b, ok := e.InitialBias(*f); ok {
+					f.Bias = e.MRC.Clamp(b)
+					conv.WarmStarted++
+				}
+			}
+		}
+	}
+	var (
+		bestFrags [][]geom.Fragment
+		bestRMS   float64
+		bestStats opc.EPEStats
+	)
 	extra := make([]geom.Polygon, 0, len(e.SRAFs)+len(e.Context))
 	extra = append(extra, e.SRAFs...)
 	extra = append(extra, e.Context...)
@@ -158,17 +209,23 @@ func (e *Engine) Correct(target []geom.Polygon, window geom.Rect) (opc.Result, C
 	ctx := e.ctx()
 	for iter := 0; iter <= e.MaxIter; iter++ {
 		if err := ctx.Err(); err != nil {
-			return opc.Result{}, conv, fmt.Errorf("model: iteration %d: %w", iter, err)
+			return opc.Result{}, conv, nil, fmt.Errorf("model: iteration %d: %w", iter, err)
 		}
 		mask := e.rebuild(frags)
 		full := append(mask, extra...)
 		images, err := e.imageFoci(ctx, full, window, foci)
 		if err != nil {
-			return opc.Result{}, conv, fmt.Errorf("model: iteration %d imaging: %w", iter, err)
+			return opc.Result{}, conv, nil, fmt.Errorf("model: iteration %d imaging: %w", iter, err)
 		}
 		stats, worst := e.measure(images, frags)
 		mEPERMS.Observe(stats.RMS)
 		conv.PerIter = append(conv.PerIter, stats)
+		if conv.WarmStarted > 0 && (bestFrags == nil || stats.RMS < bestRMS) {
+			// Warmed runs keep the best measured iterate (see
+			// Convergence.WarmRestored); the copy is fragment values
+			// only, cheap next to an imaging pass.
+			bestRMS, bestStats, bestFrags = stats.RMS, stats, copyFrags(frags)
+		}
 		if worst <= e.Tol {
 			conv.Converged = true
 			break
@@ -194,7 +251,26 @@ func (e *Engine) Correct(target []geom.Polygon, window geom.Rect) (opc.Result, C
 	if conv.EarlyExit {
 		mEarlyExit.Inc()
 	}
-	return opc.Result{Corrected: e.rebuild(frags), SRAFs: e.SRAFs}, conv, nil
+	if conv.WarmStarted > 0 {
+		mWarmRuns.Inc()
+		mWarmFragments.Add(int64(conv.WarmStarted))
+	}
+	if bestFrags != nil && bestRMS < conv.Final().RMS {
+		frags = bestFrags
+		conv.PerIter = append(conv.PerIter, bestStats)
+		conv.WarmRestored = true
+	}
+	return opc.Result{Corrected: e.rebuild(frags), SRAFs: e.SRAFs}, conv, frags, nil
+}
+
+// copyFrags deep-copies the per-polygon fragment lists (fragments are
+// plain values).
+func copyFrags(frags [][]geom.Fragment) [][]geom.Fragment {
+	out := make([][]geom.Fragment, len(frags))
+	for i, fl := range frags {
+		out[i] = append([]geom.Fragment(nil), fl...)
+	}
+	return out
 }
 
 // imageFoci computes one aerial image per focus. Process-window OPC on

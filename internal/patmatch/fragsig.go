@@ -1,0 +1,146 @@
+package patmatch
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"goopc/internal/geom"
+)
+
+// Fragment signatures for the learned initial-bias prior (DESIGN.md
+// 5j). A model-OPC fragment's converged bias is a function of the
+// geometry the optics sees around its control site, so the prior keys
+// its lookup table on a canonical form of that neighborhood: the
+// geometry within Radius of the fragment midpoint, expressed in a frame
+// where the fragment's outward normal points +X. Two fragments whose
+// neighborhoods coincide in that frame are the same correction problem
+// under the imaging model's translation- and D4-invariance, regardless
+// of where or in which orientation they appear in the layout.
+//
+// Exactly two of the eight orientations map a given outward normal to
+// +X (they differ by the mirror across the normal axis); the canonical
+// form is the lexicographically smaller of the two transformed rect
+// decompositions, which makes the signature invariant under all eight
+// layout orientations. The exact canonical rects are retained alongside
+// the 64-bit key so a hash collision between distinct geometries is
+// detected at lookup time and degrades to "no prediction" — the same
+// exact-check-behind-every-hash contract the pattern library uses.
+
+// FragSig is the canonical signature of one fragment neighborhood.
+type FragSig struct {
+	// Kind is the fragment classification (geom.FragmentKind) and Len
+	// the fragment length: fragments with equal surroundings but
+	// different roles (a line end vs. a run) correct differently, so
+	// both fold into the key.
+	Kind uint8
+	Len  geom.Coord
+	// Radius is the capture radius (DBU).
+	Radius geom.Coord
+	// Rects is the canonical neighborhood decomposition: geometry within
+	// Radius of the fragment midpoint, midpoint at the origin, outward
+	// normal mapped to +X, lexicographically smallest of the two
+	// normal-preserving orientations.
+	Rects []geom.Rect
+
+	key uint64
+}
+
+// CaptureFragment captures the canonical signature of a fragment given
+// the surrounding geometry (the fragment's own polygon plus any
+// context/halo polygons the engine simulates with).
+func CaptureFragment(f geom.Fragment, env []geom.Polygon, radius geom.Coord) FragSig {
+	mid := f.Edge.Mid()
+	window := geom.Rect{
+		X0: mid.X - radius, Y0: mid.Y - radius,
+		X1: mid.X + radius, Y1: mid.Y + radius,
+	}
+	var nearby []geom.Polygon
+	for _, p := range env {
+		if p.BBox().Touches(window) {
+			nearby = append(nearby, p)
+		}
+	}
+	base := geom.RegionFromPolygons(nearby...).
+		Intersect(geom.RegionFromRects(window)).
+		Translate(mid.Neg()).Rects()
+	var best []geom.Rect
+	for _, o := range normalOrients(f.Edge.Normal()) {
+		x := geom.Xform{Orient: o, Mag: 1}
+		moved := make([]geom.Rect, len(base))
+		for i, r := range base {
+			moved[i] = x.ApplyRect(r)
+		}
+		// Re-normalize through a Region pass: the sweep's slab
+		// decomposition is not rotation-covariant (see OrientRects).
+		rs := canonical(geom.RegionFromRects(moved...).Rects())
+		if best == nil || lessRects(rs, best) {
+			best = rs
+		}
+	}
+	s := FragSig{Kind: uint8(f.Kind), Len: f.Edge.Len(), Radius: radius, Rects: best}
+	s.key = s.hash()
+	return s
+}
+
+// Key is the 64-bit lookup key (kind, length, radius and canonical
+// rects folded together). Callers must confirm SameGeometry on a key
+// match before trusting it.
+func (s FragSig) Key() uint64 { return s.key }
+
+// Empty reports whether the capture window held no geometry.
+func (s FragSig) Empty() bool { return len(s.Rects) == 0 }
+
+// SameGeometry reports whether two signatures describe the identical
+// correction problem — the exact check behind every key match, so a
+// 64-bit collision can never produce a wrong bias prediction.
+func (s FragSig) SameGeometry(o FragSig) bool {
+	return s.Kind == o.Kind && s.Len == o.Len && s.Radius == o.Radius &&
+		EqualRects(s.Rects, o.Rects)
+}
+
+// hash folds the signature fields into the lookup key.
+func (s FragSig) hash() uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "k%d|l%d|r%d|", s.Kind, s.Len, s.Radius)
+	for _, r := range s.Rects {
+		fmt.Fprintf(h, "%d,%d,%d,%d;", r.X0, r.Y0, r.X1, r.Y1)
+	}
+	return h.Sum64()
+}
+
+// normalOrients returns the two orientations that map the outward
+// normal n (a unit axis vector) to +X. They differ by the mirror across
+// the normal axis; a neighborhood symmetric about the fragment yields
+// the same canonical rects under both.
+func normalOrients(n geom.Point) [2]geom.Orient {
+	var out [2]geom.Orient
+	k := 0
+	for o := geom.R0; o <= geom.MX270 && k < 2; o++ {
+		if (geom.Xform{Orient: o, Mag: 1}).Apply(n) == geom.Pt(1, 0) {
+			out[k] = o
+			k++
+		}
+	}
+	return out
+}
+
+// lessRects orders canonical rect lists lexicographically, using the
+// same per-rect order canonical() sorts by.
+func lessRects(a, b []geom.Rect) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			x, y := a[i], b[i]
+			if x.Y0 != y.Y0 {
+				return x.Y0 < y.Y0
+			}
+			if x.X0 != y.X0 {
+				return x.X0 < y.X0
+			}
+			if x.Y1 != y.Y1 {
+				return x.Y1 < y.Y1
+			}
+			return x.X1 < y.X1
+		}
+	}
+	return len(a) < len(b)
+}

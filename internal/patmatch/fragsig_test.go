@@ -1,0 +1,135 @@
+package patmatch
+
+import (
+	"sort"
+	"testing"
+
+	"goopc/internal/geom"
+)
+
+// fragSigKeys fragments p and returns the sorted signature keys of all
+// fragments against the environment env.
+func fragSigKeys(t *testing.T, p geom.Polygon, env []geom.Polygon, radius geom.Coord) []uint64 {
+	t.Helper()
+	frags := geom.FragmentPolygon(p, 0, geom.DefaultFragmentSpec())
+	if len(frags) == 0 {
+		t.Fatal("no fragments")
+	}
+	keys := make([]uint64, 0, len(frags))
+	for _, f := range frags {
+		s := CaptureFragment(f, env, radius)
+		if s.Empty() {
+			t.Fatalf("empty capture at %v", f.Edge.Mid())
+		}
+		keys = append(keys, s.Key())
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// TestFragSigD4Invariance checks the prior key's central property: a
+// layout transformed by any of the eight orientations (plus an
+// arbitrary translation) yields the identical multiset of fragment
+// signatures. Edge lengths are chosen so dissection is symmetric under
+// edge reversal (runs divide evenly), making fragment midpoints map
+// exactly through the transform.
+func TestFragSigD4Invariance(t *testing.T) {
+	// CCW L-shape (800x800 with a 400x400 notch) plus a context bar in
+	// optical range of its right edge, so signatures see multi-polygon
+	// environments too.
+	main := geom.Polygon{
+		geom.Pt(0, 0), geom.Pt(800, 0), geom.Pt(800, 400),
+		geom.Pt(400, 400), geom.Pt(400, 800), geom.Pt(0, 800),
+	}
+	bar := geom.Polygon{
+		geom.Pt(900, 0), geom.Pt(1000, 0), geom.Pt(1000, 800), geom.Pt(900, 800),
+	}
+	const radius = 400
+	want := fragSigKeys(t, main, []geom.Polygon{main, bar}, radius)
+
+	for o := geom.R0; o <= geom.MX270; o++ {
+		x := geom.Xform{Orient: o, Mag: 1, Offset: geom.Pt(12340, -9860)}
+		tm := x.ApplyPolygon(main)
+		tb := x.ApplyPolygon(bar)
+		got := fragSigKeys(t, tm, []geom.Polygon{tm, tb}, radius)
+		if len(got) != len(want) {
+			t.Fatalf("%v: %d signatures, want %d", o, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%v: signature multiset differs at %d: %x != %x", o, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestFragSigDistinguishesGeometry checks that different neighborhoods
+// produce different signatures: an isolated line fragment vs. the same
+// fragment with a dense neighbor.
+func TestFragSigDistinguishesGeometry(t *testing.T) {
+	line := geom.Polygon{geom.Pt(0, 0), geom.Pt(180, 0), geom.Pt(180, 2000), geom.Pt(0, 2000)}
+	neighbor := geom.Polygon{geom.Pt(360, 0), geom.Pt(540, 0), geom.Pt(540, 2000), geom.Pt(360, 2000)}
+	frags := geom.FragmentPolygon(line, 0, geom.DefaultFragmentSpec())
+	var run geom.Fragment
+	found := false
+	for _, f := range frags {
+		if f.Kind == geom.RunFragment && f.Edge.Dir == geom.North {
+			run, found = f, true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no vertical run fragment")
+	}
+	iso := CaptureFragment(run, []geom.Polygon{line}, 600)
+	dense := CaptureFragment(run, []geom.Polygon{line, neighbor}, 600)
+	if iso.Key() == dense.Key() {
+		t.Fatal("iso and dense environments share a key")
+	}
+	if iso.SameGeometry(dense) {
+		t.Fatal("iso and dense environments report same geometry")
+	}
+}
+
+// TestFragSigCollisionSafety checks the exact-rects backstop: a forged
+// key collision between distinct geometries must still fail the
+// SameGeometry verification that gates every prediction, so a 64-bit
+// collision can degrade to "no prediction" but never to a wrong bias.
+func TestFragSigCollisionSafety(t *testing.T) {
+	a := FragSig{Kind: 0, Len: 200, Radius: 400,
+		Rects: []geom.Rect{geom.R(0, -200, 40, 200)}}
+	a.key = a.hash()
+	b := FragSig{Kind: 0, Len: 200, Radius: 400,
+		Rects: []geom.Rect{geom.R(0, -200, 40, 200), geom.R(200, -200, 260, 200)}}
+	// Forge the collision: same key, different geometry.
+	b.key = a.key
+	if a.Key() != b.Key() {
+		t.Fatal("forged collision did not take")
+	}
+	if a.SameGeometry(b) || b.SameGeometry(a) {
+		t.Fatal("SameGeometry accepted distinct rect sets under a key collision")
+	}
+	if !a.SameGeometry(a) {
+		t.Fatal("SameGeometry rejected identical signature")
+	}
+}
+
+// TestNormalOrients checks that each outward normal has exactly two
+// orientations mapping it to +X and that they differ by a mirror.
+func TestNormalOrients(t *testing.T) {
+	for _, d := range []geom.Dir{geom.East, geom.North, geom.West, geom.South} {
+		os := normalOrients(d.Normal())
+		if os[0] == os[1] {
+			t.Fatalf("%v: degenerate orientation pair %v", d, os)
+		}
+		for _, o := range os {
+			got := (geom.Xform{Orient: o, Mag: 1}).Apply(d.Normal())
+			if got != geom.Pt(1, 0) {
+				t.Fatalf("%v: orient %v maps normal to %v, want (1,0)", d, o, got)
+			}
+		}
+		if os[0].Mirrored() == os[1].Mirrored() {
+			t.Fatalf("%v: pair %v does not differ by a mirror", d, os)
+		}
+	}
+}

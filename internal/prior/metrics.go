@@ -1,0 +1,21 @@
+package prior
+
+import "goopc/internal/obs"
+
+// Registry series for the learned prior: lookup outcomes (every miss
+// or conflict cold-starts one fragment), the loaded table size, and
+// the estimated iteration savings the warm starts bought.
+var (
+	mLookups = obs.Default().Counter("goopc_prior_lookups_total",
+		"prior table lookups (one per non-frozen fragment in warmed runs)")
+	mHits = obs.Default().Counter("goopc_prior_hits_total",
+		"prior lookups that predicted an initial bias")
+	mMisses = obs.Default().Counter("goopc_prior_misses_total",
+		"prior lookups with no fitted entry for the signature")
+	mConflicts = obs.Default().Counter("goopc_prior_conflicts_total",
+		"prior lookups refused: conflicted entry or exact-rects mismatch on a key hit")
+	mSavedIters = obs.Default().Counter("goopc_prior_saved_iterations_total",
+		"estimated model iterations saved by warm starts (corpus mean minus actual)")
+	mEntries = obs.Default().Gauge("goopc_prior_entries",
+		"entries in the most recently loaded prior table")
+)

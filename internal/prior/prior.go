@@ -1,0 +1,362 @@
+// Package prior implements the learned initial-bias prior for model
+// OPC (DESIGN.md 5j): a lookup table over D4-canonical fragment
+// signatures (internal/patmatch) fitted from a corrected dataset
+// (internal/dataset), predicting each fragment's converged bias before
+// the first model iteration. DAMO-style — the expensive iterative loop
+// runs once per distinct pattern during dataset generation, then every
+// later run of a known pattern starts at the answer and converges in
+// fewer iterations. Stdlib-only by design: the table is exact matching
+// with mean aggregation, not gradient anything, which keeps prediction
+// deterministic, auditable, and collision-safe.
+//
+// Safety contract: a prediction is returned only when the stored
+// entry's exact canonical rects match the queried fragment's. Distinct
+// geometries that collide on the 64-bit key — or that legitimately
+// share a key because they were fitted from conflicting observations —
+// degrade to "no prediction" (the engine cold-starts that fragment),
+// never to a wrong bias.
+package prior
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"goopc/internal/geom"
+	"goopc/internal/patmatch"
+)
+
+// tableVersion guards the artifact format.
+const tableVersion = 1
+
+// Entry is one fitted pattern: the exact canonical signature geometry
+// (the collision backstop) plus the accumulated bias observations.
+type Entry struct {
+	Kind  uint8       `json:"kind"`
+	Len   geom.Coord  `json:"len"`
+	Rects []geom.Rect `json:"rects"`
+	// N observations accumulated SumBias; the prediction is the rounded
+	// mean. BiasMin/BiasMax record the observed spread — entries whose
+	// observations disagree beyond ConflictSpread are marked Conflict
+	// and never predict.
+	N       int        `json:"n"`
+	SumBias int64      `json:"sum_bias"`
+	BiasMin geom.Coord `json:"bias_min"`
+	BiasMax geom.Coord `json:"bias_max"`
+	// Conflict marks an entry that must not predict: either two
+	// distinct geometries collided on its key, or its observations
+	// disagree beyond the spread tolerance.
+	Conflict bool `json:"conflict,omitempty"`
+}
+
+// Bias returns the entry's prediction (rounded mean of observations).
+func (e *Entry) Bias() geom.Coord {
+	if e.N == 0 {
+		return 0
+	}
+	return geom.Coord(math.Round(float64(e.SumBias) / float64(e.N)))
+}
+
+// Table is the serialized prior: fitted entries keyed by the fragment
+// signature's 64-bit key (hex), plus the capture parameters a
+// prediction-time signature must reproduce.
+type Table struct {
+	Version int `json:"version"`
+	// Radius is the signature capture radius (DBU); Level the adoption
+	// level the corpus was corrected at. Both must match at prediction
+	// time — a table fitted at L3 has nothing to say about an L2 run.
+	Radius geom.Coord `json:"radius"`
+	Level  string     `json:"level"`
+	// ConflictSpread is the widest |max-min| observation disagreement
+	// (DBU) an entry may carry and still predict.
+	ConflictSpread geom.Coord `json:"conflict_spread"`
+	// MeanIters is the mean model-iteration count per engine run in the
+	// fitted (cold) corpus — the baseline SavedIters estimates against.
+	MeanIters float64 `json:"mean_iters"`
+	// Samples and Runs describe the fitted corpus.
+	Samples int `json:"samples"`
+	Runs    int `json:"runs"`
+	// Entries maps %016x signature keys to fitted entries.
+	Entries map[string]*Entry `json:"entries"`
+
+	// fingerprint is the content hash, computed at Save/Load.
+	fingerprint string
+}
+
+// DefaultConflictSpread tolerates the measurement noise between
+// D4-duplicate placements of the same pattern: geometrically identical
+// fragments at different positions (or orientations) sample the aerial
+// image at different pixel-grid phases and converge to biases a few
+// mask-grid steps apart, for which the mean is the right estimator.
+// Genuinely ambiguous signatures — environments that differ beyond the
+// capture radius in ways that matter optically — disagree far more
+// widely and are rejected. This calibration assumes a capture radius of
+// at least the optical ambit (~2λ/NA); fit at smaller radii with a
+// tighter spread.
+const DefaultConflictSpread geom.Coord = 16
+
+// New returns an empty table for the capture radius and level.
+func New(radius geom.Coord, level string) *Table {
+	return &Table{
+		Version:        tableVersion,
+		Radius:         radius,
+		Level:          level,
+		ConflictSpread: DefaultConflictSpread,
+		Entries:        map[string]*Entry{},
+	}
+}
+
+// keyString formats a signature key for the entries map.
+func keyString(key uint64) string { return fmt.Sprintf("%016x", key) }
+
+// Add accumulates one observed (signature, converged bias) pair. A key
+// collision between distinct geometries poisons the entry (Conflict):
+// it will never predict, for either geometry.
+func (t *Table) Add(sig patmatch.FragSig, bias geom.Coord) {
+	if sig.Empty() {
+		return
+	}
+	k := keyString(sig.Key())
+	e := t.Entries[k]
+	if e == nil {
+		t.Entries[k] = &Entry{
+			Kind: sig.Kind, Len: sig.Len, Rects: sig.Rects,
+			N: 1, SumBias: int64(bias), BiasMin: bias, BiasMax: bias,
+		}
+		return
+	}
+	if !sig.SameGeometry(t.entrySig(e)) {
+		e.Conflict = true
+		return
+	}
+	e.N++
+	e.SumBias += int64(bias)
+	if bias < e.BiasMin {
+		e.BiasMin = bias
+	}
+	if bias > e.BiasMax {
+		e.BiasMax = bias
+	}
+	if e.BiasMax-e.BiasMin > t.conflictSpread() {
+		e.Conflict = true
+	}
+}
+
+func (t *Table) conflictSpread() geom.Coord {
+	if t.ConflictSpread <= 0 {
+		return DefaultConflictSpread
+	}
+	return t.ConflictSpread
+}
+
+// entrySig reconstructs the comparable signature of a stored entry.
+func (t *Table) entrySig(e *Entry) patmatch.FragSig {
+	return patmatch.FragSig{Kind: e.Kind, Len: e.Len, Radius: t.Radius, Rects: e.Rects}
+}
+
+// Bias predicts the initial bias for a captured signature. The miss
+// paths: unknown key, conflicted entry, or a key hit whose exact rects
+// differ (hash collision) — all return ok=false.
+func (t *Table) Bias(sig patmatch.FragSig) (geom.Coord, bool) {
+	if t == nil || sig.Empty() {
+		return 0, false
+	}
+	mLookups.Inc()
+	e, ok := t.Entries[keyString(sig.Key())]
+	if !ok {
+		mMisses.Inc()
+		return 0, false
+	}
+	if e.Conflict {
+		mConflicts.Inc()
+		return 0, false
+	}
+	if !sig.SameGeometry(t.entrySig(e)) {
+		// 64-bit collision between distinct geometries: refuse.
+		mConflicts.Inc()
+		return 0, false
+	}
+	mHits.Inc()
+	return e.Bias(), true
+}
+
+// InitialBias adapts the table to the model engine's warm-start hook
+// for one correction run: env is the drawn geometry the signatures are
+// captured against (the run's target plus any halo context — the same
+// geometry family the table was fitted over).
+func (t *Table) InitialBias(env []geom.Polygon) func(geom.Fragment) (geom.Coord, bool) {
+	if t == nil {
+		return nil
+	}
+	return func(f geom.Fragment) (geom.Coord, bool) {
+		return t.Bias(patmatch.CaptureFragment(f, env, t.Radius))
+	}
+}
+
+// SavedIters estimates the iterations a warmed run saved: the fitted
+// corpus's mean cold iteration count minus the run's actual count,
+// floored at zero. An un-fitted table (MeanIters 0) estimates nothing.
+func (t *Table) SavedIters(iters int) int {
+	if t == nil || t.MeanIters <= 0 {
+		return 0
+	}
+	s := int(math.Round(t.MeanIters)) - iters
+	if s < 0 {
+		s = 0
+	}
+	return s
+}
+
+// ObserveWarmRun folds one warmed engine run into the prior metrics and
+// returns the saved-iteration estimate.
+func (t *Table) ObserveWarmRun(iters int) int {
+	saved := t.SavedIters(iters)
+	if saved > 0 {
+		mSavedIters.Add(int64(saved))
+	}
+	return saved
+}
+
+// Len returns the number of fitted entries; Conflicts the subset
+// blocked from predicting.
+func (t *Table) Len() int { return len(t.Entries) }
+
+// Conflicts counts entries marked conflicted.
+func (t *Table) Conflicts() int {
+	n := 0
+	for _, e := range t.Entries {
+		if e.Conflict {
+			n++
+		}
+	}
+	return n
+}
+
+// Fingerprint is the content hash of the serialized table — what the
+// core run fingerprint folds in when a prior is active, so a checkpoint
+// warmed by one table never resumes a run warmed by another.
+func (t *Table) Fingerprint() string {
+	if t == nil {
+		return ""
+	}
+	if t.fingerprint == "" {
+		data, err := t.marshal()
+		if err != nil {
+			return "unserializable"
+		}
+		t.fingerprint = contentHash(data)
+	}
+	return t.fingerprint
+}
+
+func contentHash(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:16])
+}
+
+// marshal serializes deterministically (encoding/json sorts map keys).
+func (t *Table) marshal() ([]byte, error) {
+	data, err := json.Marshal(t)
+	if err != nil {
+		return nil, fmt.Errorf("prior: encode: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// Save writes the table atomically (temp file + rename) and refreshes
+// the fingerprint.
+func (t *Table) Save(path string) error {
+	data, err := t.marshal()
+	if err != nil {
+		return err
+	}
+	t.fingerprint = contentHash(data)
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".prior-*")
+	if err != nil {
+		return fmt.Errorf("prior: %w", err)
+	}
+	tmpName := tmp.Name()
+	_, werr := tmp.Write(data)
+	if werr == nil {
+		werr = tmp.Sync()
+	}
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmpName, path)
+	}
+	if werr != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("prior: write %s: %w", path, werr)
+	}
+	return nil
+}
+
+// Load reads a table written by Save and records its fingerprint.
+func Load(path string) (*Table, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("prior: %w", err)
+	}
+	var t Table
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("prior: %s: %w", path, err)
+	}
+	if t.Version != tableVersion {
+		return nil, fmt.Errorf("prior: %s: version %d, want %d", path, t.Version, tableVersion)
+	}
+	if t.Entries == nil {
+		t.Entries = map[string]*Entry{}
+	}
+	t.fingerprint = contentHash(data)
+	mEntries.Set(float64(len(t.Entries)))
+	return &t, nil
+}
+
+// Stats is the fitted-table summary datasetgen prints.
+type Stats struct {
+	Entries   int     `json:"entries"`
+	Conflicts int     `json:"conflicts"`
+	Samples   int     `json:"samples"`
+	Runs      int     `json:"runs"`
+	MeanIters float64 `json:"mean_iters"`
+	// MeanObs is the mean observation count per predicting entry.
+	MeanObs float64 `json:"mean_obs"`
+}
+
+// Summary computes the table's stats.
+func (t *Table) Summary() Stats {
+	s := Stats{Entries: len(t.Entries), Samples: t.Samples, Runs: t.Runs, MeanIters: t.MeanIters}
+	obsSum, predicting := 0, 0
+	for _, e := range t.Entries {
+		if e.Conflict {
+			s.Conflicts++
+			continue
+		}
+		predicting++
+		obsSum += e.N
+	}
+	if predicting > 0 {
+		s.MeanObs = float64(obsSum) / float64(predicting)
+	}
+	return s
+}
+
+// SortedKeys returns the entry keys in deterministic order (for
+// printing and tests).
+func (t *Table) SortedKeys() []string {
+	keys := make([]string, 0, len(t.Entries))
+	for k := range t.Entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

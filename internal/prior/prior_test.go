@@ -1,0 +1,144 @@
+package prior
+
+import (
+	"path/filepath"
+	"testing"
+
+	"goopc/internal/geom"
+	"goopc/internal/patmatch"
+)
+
+// sig captures the signature of the first matching fragment of a line
+// in the given environment.
+func lineSig(t *testing.T, env []geom.Polygon, radius geom.Coord) patmatch.FragSig {
+	t.Helper()
+	frags := geom.FragmentPolygon(env[0], 0, geom.DefaultFragmentSpec())
+	for _, f := range frags {
+		if f.Kind == geom.RunFragment {
+			return patmatch.CaptureFragment(f, env, radius)
+		}
+	}
+	t.Fatal("no run fragment")
+	return patmatch.FragSig{}
+}
+
+func TestTableFitPredictRoundtrip(t *testing.T) {
+	line := geom.Polygon{geom.Pt(0, 0), geom.Pt(180, 0), geom.Pt(180, 2000), geom.Pt(0, 2000)}
+	sig := lineSig(t, []geom.Polygon{line}, 600)
+
+	tab := New(600, "L3")
+	tab.Add(sig, 12)
+	tab.Add(sig, 13) // within DefaultConflictSpread
+	b, ok := tab.Bias(sig)
+	if !ok {
+		t.Fatal("no prediction for fitted signature")
+	}
+	if b != 13 && b != 12 { // rounded mean of 12.5
+		t.Fatalf("bias %d, want ~12-13", b)
+	}
+
+	// Save/Load roundtrip preserves prediction and fingerprint.
+	path := filepath.Join(t.TempDir(), "prior.json")
+	tab.MeanIters = 4.5
+	if err := tab.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Fingerprint() != tab.Fingerprint() {
+		t.Fatalf("fingerprint changed across save/load: %s != %s", got.Fingerprint(), tab.Fingerprint())
+	}
+	b2, ok := got.Bias(sig)
+	if !ok || b2 != b {
+		t.Fatalf("loaded table predicts (%d,%v), want (%d,true)", b2, ok, b)
+	}
+	// math.Round(4.5) == 5 (half away from zero), so a 2-iteration
+	// warmed run is estimated to have saved 3.
+	if got.SavedIters(2) != 3 {
+		t.Fatalf("SavedIters(2) = %d, want 3", got.SavedIters(2))
+	}
+	if got.SavedIters(9) != 0 {
+		t.Fatalf("SavedIters(9) = %d, want 0 (floored)", got.SavedIters(9))
+	}
+}
+
+// TestTableConflictingObservations: a pattern observed with genuinely
+// different converged biases must stop predicting.
+func TestTableConflictingObservations(t *testing.T) {
+	line := geom.Polygon{geom.Pt(0, 0), geom.Pt(180, 0), geom.Pt(180, 2000), geom.Pt(0, 2000)}
+	sig := lineSig(t, []geom.Polygon{line}, 600)
+	tab := New(600, "L3")
+	tab.Add(sig, 5)
+	tab.Add(sig, 25) // spread 20 > DefaultConflictSpread
+	if _, ok := tab.Bias(sig); ok {
+		t.Fatal("conflicted entry still predicts")
+	}
+	if tab.Conflicts() != 1 {
+		t.Fatalf("Conflicts() = %d, want 1", tab.Conflicts())
+	}
+}
+
+// TestTableCollisionNoPrediction is the satellite acceptance case: two
+// distinct geometries with equal keys must degrade to "no prediction",
+// never a wrong bias. The collision is forged by rewriting a fitted
+// entry's rects to different geometry while keeping its key.
+func TestTableCollisionNoPrediction(t *testing.T) {
+	line := geom.Polygon{geom.Pt(0, 0), geom.Pt(180, 0), geom.Pt(180, 2000), geom.Pt(0, 2000)}
+	sig := lineSig(t, []geom.Polygon{line}, 600)
+	tab := New(600, "L3")
+	tab.Add(sig, 12)
+	for _, e := range tab.Entries {
+		// Same key (map key unchanged), different exact geometry: the
+		// situation a 64-bit hash collision would produce.
+		e.Rects = append([]geom.Rect{}, e.Rects...)
+		e.Rects[0].X1 += 40
+	}
+	if b, ok := tab.Bias(sig); ok {
+		t.Fatalf("collision predicted bias %d; must refuse", b)
+	}
+}
+
+// TestTableAddCollisionPoisons: Add detecting two distinct geometries
+// on one key marks the entry conflicted.
+func TestTableAddCollisionPoisons(t *testing.T) {
+	line := geom.Polygon{geom.Pt(0, 0), geom.Pt(180, 0), geom.Pt(180, 2000), geom.Pt(0, 2000)}
+	sig := lineSig(t, []geom.Polygon{line}, 600)
+	tab := New(600, "L3")
+	tab.Add(sig, 12)
+	other := sig
+	other.Rects = append([]geom.Rect{}, sig.Rects...)
+	other.Rects[0].X0 -= 20 // distinct geometry, forged same key
+	tab.Add(other, 40)
+	if _, ok := tab.Bias(sig); ok {
+		t.Fatal("entry poisoned by collision still predicts")
+	}
+}
+
+func TestInitialBiasHook(t *testing.T) {
+	line := geom.Polygon{geom.Pt(0, 0), geom.Pt(180, 0), geom.Pt(180, 2000), geom.Pt(0, 2000)}
+	env := []geom.Polygon{line}
+	tab := New(600, "L3")
+	frags := geom.FragmentPolygon(line, 0, geom.DefaultFragmentSpec())
+	for _, f := range frags {
+		tab.Add(patmatch.CaptureFragment(f, env, 600), geom.Coord(7))
+	}
+	hook := tab.InitialBias(env)
+	hits := 0
+	for _, f := range frags {
+		if b, ok := hook(f); ok {
+			if b != 7 {
+				t.Fatalf("predicted %d, want 7", b)
+			}
+			hits++
+		}
+	}
+	if hits == 0 {
+		t.Fatal("hook predicted nothing for the fitted layout")
+	}
+	var nilTab *Table
+	if nilTab.InitialBias(env) != nil {
+		t.Fatal("nil table must yield nil hook")
+	}
+}

@@ -3,12 +3,14 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"sync"
 
 	"goopc/internal/cluster"
 	"goopc/internal/core"
 	"goopc/internal/faults"
 	"goopc/internal/geom"
 	"goopc/internal/obs"
+	"goopc/internal/prior"
 )
 
 // This file bridges the job server and internal/cluster in both
@@ -21,7 +23,11 @@ import (
 
 // applyFlowSpec applies the non-calibration FlowSpec knobs to a job's
 // private Flow copy (the calibrated parts are shared via flowCache).
-func applyFlowSpec(f *core.Flow, fs FlowSpec) {
+// It errors only when the spec references an artifact this process
+// cannot load (the prior table) — silently dropping it would let a
+// worker produce solves that are not bit-identical to the submitting
+// coordinator's.
+func applyFlowSpec(f *core.Flow, fs FlowSpec) error {
 	if fs.TilePasses > 0 {
 		f.TilePasses = fs.TilePasses
 	}
@@ -39,6 +45,36 @@ func applyFlowSpec(f *core.Flow, fs FlowSpec) {
 	}
 	f.TileTimeout, _ = parseDuration(fs.TileTimeout)
 	f.Deadline, _ = parseDuration(fs.Deadline)
+	if fs.Prior != "" {
+		tab, err := loadPrior(fs.Prior)
+		if err != nil {
+			return err
+		}
+		f.Prior = tab
+	}
+	return nil
+}
+
+// priorCache shares loaded prior tables across jobs and class solves
+// keyed by path; tables are immutable once fitted, so the process
+// caches the first successful load (restart to pick up a refit).
+var priorCache = struct {
+	sync.Mutex
+	tables map[string]*prior.Table
+}{tables: map[string]*prior.Table{}}
+
+func loadPrior(path string) (*prior.Table, error) {
+	priorCache.Lock()
+	defer priorCache.Unlock()
+	if t, ok := priorCache.tables[path]; ok {
+		return t, nil
+	}
+	t, err := prior.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	priorCache.tables[path] = t
+	return t, nil
 }
 
 // clusterSolver returns the core.ClassSolver that ships a pass's
@@ -90,7 +126,9 @@ func NewWorkerSolver(log *obs.Logger, plan *faults.Plan) cluster.SolveFunc {
 			return cluster.ClassResult{Err: "flow calibration: " + err.Error()}
 		}
 		f := *base
-		applyFlowSpec(&f, fs)
+		if err := applyFlowSpec(&f, fs); err != nil {
+			return cluster.ClassResult{Err: err.Error()}
+		}
 		f.FaultPlan = plan
 		entry, degraded, err := f.SolveClass(ctx, core.Level(payload.Level), core.ClassSolveRequest{
 			Pass: payload.Pass, Key: work.Key,

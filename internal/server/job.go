@@ -83,6 +83,13 @@ type FlowSpec struct {
 	// Deliberately not part of the calibration key — the library is a
 	// scheduler-level cache, not a flow setting.
 	PatternLib bool `json:"patternLib,omitempty"`
+	// Prior is a daemon-local path to a fitted initial-bias prior table
+	// (datasetgen fit; DESIGN.md 5j) that warm-starts the job's model
+	// iterations. Coordinator and workers each load the path from their
+	// own filesystem — deploy the same table everywhere, or remote class
+	// solves fail. Like PatternLib it is not part of the calibration
+	// key: the prior seeds iteration, it does not change calibration.
+	Prior string `json:"prior,omitempty"`
 }
 
 // calibKey returns the cache key for the calibration this spec needs.
@@ -169,6 +176,13 @@ func (js *JobSpec) validate(hasUpload bool) error {
 	if _, err := parseDuration(js.Flow.Deadline); err != nil {
 		return fmt.Errorf("deadline: %w", err)
 	}
+	if js.Flow.Prior != "" {
+		// Fail at admission, not mid-run: the table must load on this
+		// daemon (workers validate their own copy per solve).
+		if _, err := loadPrior(js.Flow.Prior); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -208,6 +222,13 @@ type RunStats struct {
 	LibHaloRejects  int `json:"patlib_halo_rejections,omitempty"`
 	LibMisses       int `json:"patlib_misses,omitempty"`
 	LibAppends      int `json:"patlib_appends,omitempty"`
+	// Model-iteration summary (DESIGN.md 5j): MeanIterations averages
+	// Iterations over freshly corrected tiles; the prior fields are
+	// nonzero only when FlowSpec.Prior warm-started model runs.
+	MeanIterations  float64 `json:"mean_iterations,omitempty"`
+	WarmTiles       int     `json:"warm_tiles,omitempty"`
+	WarmFragments   int     `json:"warm_fragments,omitempty"`
+	PriorSavedIters int     `json:"prior_saved_iterations,omitempty"`
 }
 
 // runStatsFrom folds core TileStats into the status shape. FailedTiles
@@ -236,7 +257,19 @@ func runStatsFrom(st core.TileStats) RunStats {
 		LibHaloRejects:  st.LibHaloRejects,
 		LibMisses:       st.LibMisses,
 		LibAppends:      st.LibAppends,
+
+		MeanIterations:  meanIterations(st),
+		WarmTiles:       st.WarmTiles,
+		WarmFragments:   st.WarmFragments,
+		PriorSavedIters: st.PriorSavedIters,
 	}
+}
+
+func meanIterations(st core.TileStats) float64 {
+	if st.CorrectedTiles == 0 {
+		return 0
+	}
+	return float64(st.Iterations) / float64(st.CorrectedTiles)
 }
 
 // JobStatus is the wire shape of one job, served by GET /jobs/{id} and

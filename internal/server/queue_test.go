@@ -183,6 +183,7 @@ func TestJobSpecValidate(t *testing.T) {
 		{"bad inject", JobSpec{Workload: "sram", Level: "L2", Inject: "tile:badkind"}, false},
 		{"bad timeout", JobSpec{Workload: "sram", Level: "L2", Flow: FlowSpec{TileTimeout: "xyz"}}, false},
 		{"bad deadline", JobSpec{Workload: "sram", Level: "L2", Flow: FlowSpec{Deadline: "-"}}, false},
+		{"missing prior", JobSpec{Workload: "sram", Level: "L2", Flow: FlowSpec{Prior: "/no/such/table.json"}}, false},
 	}
 	for _, c := range cases {
 		if err := c.spec.validate(c.upload); err == nil {

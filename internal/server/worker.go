@@ -163,7 +163,9 @@ func (s *Server) execute(ctx context.Context, j *Job) (*core.TileStats, error) {
 	// is per-job.
 	f := *base
 	fs := j.Spec.Flow
-	applyFlowSpec(&f, fs)
+	if err := applyFlowSpec(&f, fs); err != nil {
+		return nil, err
+	}
 	if j.Spec.Inject != "" {
 		// Validated at admission; re-parse for the job's private plan so
 		// probe counters never leak across jobs.
